@@ -1,0 +1,63 @@
+//! E1 — interconnect throughput (paper §3.2).
+//!
+//! Reproduces: "an average network throughput of up to 20.000 packets (of
+//! 256 bits) per second for each processing element simultaneously."
+//! Prints the offered-vs-delivered curve for mesh and chordal ring, and
+//! criterion-measures the simulator itself at a fixed load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prisma_core::multicomputer::traffic::{inject_open_loop, throughput_sweep, TrafficPattern};
+use prisma_core::multicomputer::NetworkSim;
+use prisma_core::types::{MachineConfig, TopologyKind};
+
+fn print_sweep() {
+    for (label, topo) in [
+        ("mesh-8x8", TopologyKind::Mesh),
+        ("chordal-ring-s8", TopologyKind::ChordalRing { stride: 8 }),
+    ] {
+        let cfg = MachineConfig::paper_prototype().with_topology(topo);
+        let rates = [5_000.0, 10_000.0, 15_000.0, 20_000.0, 30_000.0, 40_000.0];
+        let pts = throughput_sweep(&cfg, TrafficPattern::UniformRandom, &rates, 10, 40, 42);
+        eprintln!("[E1:{label}] offered_pps_per_pe -> delivered_pps_per_pe (latency µs)");
+        let mut peak: f64 = 0.0;
+        for p in &pts {
+            peak = peak.max(p.delivered_pps);
+            eprintln!(
+                "[E1:{label}]   {:>7.0} -> {:>7.0}  ({:.1})",
+                p.offered_pps, p.delivered_pps, p.mean_latency_us
+            );
+        }
+        eprintln!("[E1:{label}] saturation ≈ {peak:.0} pps/PE (paper: up to 20000)");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_sweep();
+    let mut group = c.benchmark_group("e1_network");
+    group.sample_size(10);
+    for (label, topo) in [
+        ("mesh", TopologyKind::Mesh),
+        ("chordal_ring", TopologyKind::ChordalRing { stride: 8 }),
+    ] {
+        let cfg = MachineConfig::paper_prototype().with_topology(topo);
+        group.bench_function(format!("sim_20ms_at_15kpps/{label}"), |b| {
+            b.iter(|| {
+                let mut sim = NetworkSim::new(&cfg).unwrap();
+                inject_open_loop(
+                    &mut sim,
+                    TrafficPattern::UniformRandom,
+                    15_000.0,
+                    0,
+                    20_000_000,
+                    7,
+                );
+                sim.run_to_completion();
+                sim.stats().delivered_total()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

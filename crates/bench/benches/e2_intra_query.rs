@@ -1,0 +1,53 @@
+//! E2 — intra-query parallelism (paper §2.2, §2.4).
+//!
+//! Claim: fragment-parallel query processing scales with the number of
+//! OFMs/PEs. Measures the same selection+aggregation query over a
+//! Wisconsin-style relation fragmented 1/2/4/8 ways.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prisma_core::workload::{values_clause, wisconsin_rows};
+use prisma_core::PrismaMachine;
+
+fn setup(fragments: usize, rows: usize) -> PrismaMachine {
+    let db = PrismaMachine::builder().pes(16).build().unwrap();
+    db.sql(&format!(
+        "CREATE TABLE wisc (unique1 INT, unique2 INT, two INT, ten INT, hundred INT, string4 STRING) \
+         FRAGMENTED BY HASH(unique1) INTO {fragments}"
+    ))
+    .unwrap();
+    let data = wisconsin_rows(rows, 42);
+    for chunk in data.chunks(2000) {
+        db.sql(&format!("INSERT INTO wisc VALUES {}", values_clause(chunk)))
+            .unwrap();
+    }
+    db.refresh_stats("wisc").unwrap();
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    const ROWS: usize = 40_000;
+    let mut group = c.benchmark_group("e2_intra_query");
+    group.sample_size(10);
+    for fragments in [1usize, 2, 4, 8] {
+        let db = setup(fragments, ROWS);
+        group.bench_function(format!("scan_agg_40k/{fragments}_fragments"), |b| {
+            b.iter(|| {
+                db.query(
+                    "SELECT ten, COUNT(*) AS n, SUM(hundred) AS s FROM wisc \
+                     WHERE two = 1 GROUP BY ten",
+                )
+                .unwrap()
+            })
+        });
+        group.bench_function(format!("selective_scan_40k/{fragments}_fragments"), |b| {
+            b.iter(|| {
+                db.query("SELECT unique2 FROM wisc WHERE unique1 < 100").unwrap()
+            })
+        });
+        db.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

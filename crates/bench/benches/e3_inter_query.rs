@@ -1,0 +1,94 @@
+//! E3 — inter-query parallelism (paper §2.2).
+//!
+//! Claim: "evaluation of several queries and updates can be done in
+//! parallel, except for accesses to the same copy of base fragments."
+//! Measures a fixed batch of 16 read queries executed by 1 vs 4 client
+//! threads over disjoint relations (should scale), and a batch of updates
+//! against a single relation (strict 2PL serializes them).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prisma_core::workload::{values_clause, wisconsin_rows};
+use prisma_core::PrismaMachine;
+
+fn setup() -> Arc<PrismaMachine> {
+    let db = Arc::new(PrismaMachine::builder().pes(16).build().unwrap());
+    for t in 0..4 {
+        db.sql(&format!(
+            "CREATE TABLE wisc{t} (unique1 INT, unique2 INT, two INT, ten INT, hundred INT, string4 STRING) \
+             FRAGMENTED BY HASH(unique1) INTO 4"
+        ))
+        .unwrap();
+        let data = wisconsin_rows(10_000, t as u64);
+        for chunk in data.chunks(2000) {
+            db.sql(&format!("INSERT INTO wisc{t} VALUES {}", values_clause(chunk)))
+                .unwrap();
+        }
+        db.refresh_stats(&format!("wisc{t}")).unwrap();
+    }
+    db
+}
+
+fn run_batch(db: &Arc<PrismaMachine>, clients: usize, queries_per_client: usize) {
+    let mut handles = Vec::new();
+    for cidx in 0..clients {
+        let db = db.clone();
+        handles.push(std::thread::spawn(move || {
+            let table = format!("wisc{cidx}");
+            for _ in 0..queries_per_client {
+                db.query(&format!(
+                    "SELECT ten, COUNT(*) AS n FROM {table} WHERE two = 0 GROUP BY ten"
+                ))
+                .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let db = setup();
+    let mut group = c.benchmark_group("e3_inter_query");
+    group.sample_size(10);
+    // 16 queries total in both configurations.
+    group.bench_function("16_queries/1_client", |b| {
+        b.iter(|| run_batch(&db, 1, 16))
+    });
+    group.bench_function("16_queries/4_clients_disjoint", |b| {
+        b.iter(|| run_batch(&db, 4, 4))
+    });
+    // Updates to the SAME relation: 2PL serializes; expect no scaling.
+    group.bench_function("8_updates/1_client_same_fragment", |b| {
+        b.iter(|| {
+            for _ in 0..8 {
+                db.sql("UPDATE wisc0 SET hundred = hundred + 1 WHERE unique1 = 5")
+                    .unwrap();
+            }
+        })
+    });
+    group.bench_function("8_updates/4_clients_same_fragment", |b| {
+        b.iter(|| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let db = db.clone();
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..2 {
+                        db.sql("UPDATE wisc0 SET hundred = hundred + 1 WHERE unique1 = 5")
+                            .unwrap();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+    });
+    group.finish();
+    db.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! E5 — compiled expression routines vs interpretation (paper §2.5).
+//!
+//! "Each OFM is equipped with an expression compiler to generate routines
+//! dynamically … it avoids the otherwise excessive interpretation overhead
+//! incurred by a query expression interpreter." Measures the same
+//! predicates over 100k tuples via the tree-walking interpreter and the
+//! closure compiler, at three predicate complexities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prisma_core::storage::expr::{ArithOp, CmpOp, ScalarExpr};
+use prisma_core::types::Tuple;
+use prisma_core::workload::wisconsin_rows;
+
+fn predicates() -> Vec<(&'static str, ScalarExpr)> {
+    vec![
+        (
+            "simple_cmp",
+            // unique1 < 5000
+            ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(0), ScalarExpr::lit(5000)),
+        ),
+        (
+            "conjunction3",
+            // two = 1 AND ten < 7 AND hundred >= 20
+            ScalarExpr::conjunction(vec![
+                ScalarExpr::eq(ScalarExpr::col(2), ScalarExpr::lit(1)),
+                ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(3), ScalarExpr::lit(7)),
+                ScalarExpr::cmp(CmpOp::Ge, ScalarExpr::col(4), ScalarExpr::lit(20)),
+            ]),
+        ),
+        (
+            "arith_heavy",
+            // (unique1 * 3 + unique2) % 7 = 0 AND string4 = 'AAAA'
+            ScalarExpr::and(
+                ScalarExpr::eq(
+                    ScalarExpr::arith(
+                        ArithOp::Rem,
+                        ScalarExpr::arith(
+                            ArithOp::Add,
+                            ScalarExpr::arith(
+                                ArithOp::Mul,
+                                ScalarExpr::col(0),
+                                ScalarExpr::lit(3),
+                            ),
+                            ScalarExpr::col(1),
+                        ),
+                        ScalarExpr::lit(7),
+                    ),
+                    ScalarExpr::lit(0),
+                ),
+                ScalarExpr::eq(ScalarExpr::col(5), ScalarExpr::lit("AAAA")),
+            ),
+        ),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let rows: Vec<Tuple> = wisconsin_rows(100_000, 3);
+    let mut group = c.benchmark_group("e5_compiled_expr");
+    for (name, pred) in predicates() {
+        // Sanity: both paths agree.
+        let compiled = pred.compile_predicate();
+        let n_interp = rows
+            .iter()
+            .filter(|t| pred.eval_predicate(t).unwrap())
+            .count();
+        let n_comp = rows.iter().filter(|t| compiled(t)).count();
+        assert_eq!(n_interp, n_comp);
+        eprintln!("[E5:{name}] selects {n_comp} of {} tuples", rows.len());
+
+        group.bench_function(format!("interpreted/{name}"), |b| {
+            b.iter(|| {
+                rows.iter()
+                    .filter(|t| pred.eval_predicate(t).unwrap())
+                    .count()
+            })
+        });
+        group.bench_function(format!("compiled/{name}"), |b| {
+            let f = pred.compile_predicate();
+            b.iter(|| rows.iter().filter(|t| f(t)).count())
+        });
+        group.bench_function(format!("compile_cost/{name}"), |b| {
+            b.iter(|| pred.compile_predicate())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E6 — the transitive-closure operator and recursive queries
+//! (paper §2.3, §2.5).
+//!
+//! Compares (a) the OFM's dedicated semi-naive closure operator, (b) the
+//! algebra Fixpoint evaluated semi-naively, and (c) naive fixpoint
+//! iteration, across graph shapes with different recursion depths.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prisma_core::prismalog::{self, seminaive};
+use prisma_core::relalg::eval::{transitive_closure, transitive_closure_naive};
+use prisma_core::relalg::Relation;
+use prisma_core::workload::{edge_schema, graph_edges, GraphShape};
+
+fn graph(shape: GraphShape, n: usize) -> Relation {
+    Relation::new(edge_schema(), graph_edges(shape, n, 11))
+}
+
+fn bench(c: &mut Criterion) {
+    let shapes = [
+        ("chain_256", GraphShape::Chain, 256),
+        ("tree_1023", GraphShape::BinaryTree, 1023),
+        ("random_d2_400", GraphShape::Random { out_degree: 2 }, 400),
+    ];
+    let mut group = c.benchmark_group("e6_closure");
+    group.sample_size(10);
+    for (name, shape, n) in shapes {
+        let rel = graph(shape, n);
+        let semi = transitive_closure(rel.clone()).unwrap();
+        let naive = transitive_closure_naive(rel.clone()).unwrap();
+        assert_eq!(semi.len(), naive.len());
+        eprintln!(
+            "[E6:{name}] edges={} closure={} tuples",
+            rel.len(),
+            semi.len()
+        );
+        group.bench_function(format!("ofm_seminaive_closure/{name}"), |b| {
+            b.iter(|| transitive_closure(rel.clone()).unwrap().len())
+        });
+        group.bench_function(format!("naive_iteration/{name}"), |b| {
+            b.iter(|| transitive_closure_naive(rel.clone()).unwrap().len())
+        });
+    }
+
+    // PRISMAlog path: semi-naive vs naive evaluation of the path program.
+    let program = prismalog::parse_program(
+        "path(X, Y) :- edge(X, Y).
+         path(X, Y) :- edge(X, Z), path(Z, Y).",
+    )
+    .unwrap();
+    let mut db: HashMap<String, Relation> = HashMap::new();
+    db.insert("edge".to_owned(), graph(GraphShape::Chain, 128));
+    let (semi, s_stats) =
+        seminaive::evaluate_mode(&program, &db, seminaive::Mode::SemiNaive).unwrap();
+    let (_, n_stats) = seminaive::evaluate_mode(&program, &db, seminaive::Mode::Naive).unwrap();
+    eprintln!(
+        "[E6:prismalog_chain128] closure={} tuples; tuples considered: semi-naive {} vs naive {} ({}x)",
+        semi["path"].len(),
+        s_stats.tuples_considered,
+        n_stats.tuples_considered,
+        n_stats.tuples_considered / s_stats.tuples_considered.max(1),
+    );
+    group.bench_function("prismalog_seminaive/chain_128", |b| {
+        b.iter(|| seminaive::evaluate_mode(&program, &db, seminaive::Mode::SemiNaive).unwrap())
+    });
+    group.bench_function("prismalog_naive/chain_128", |b| {
+        b.iter(|| seminaive::evaluate_mode(&program, &db, seminaive::Mode::Naive).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

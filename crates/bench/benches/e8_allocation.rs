@@ -1,0 +1,88 @@
+//! E8 — data allocation and communication balance (paper §2.2, §3.1).
+//!
+//! "POOL-X supports explicit allocation of the dynamically created
+//! processes onto processing elements. This allows for a proper balance
+//! between storage, processing, and communication." Compares placement
+//! policies by the communication they induce for a repeated
+//! co-partitioned join: locality-aware placement puts joining fragments
+//! on the same PEs, round-robin scatters them. Reported: wall time and
+//! the ledger's bytes×hops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prisma_core::workload::{values_clause, wisconsin_rows};
+use prisma_core::{AllocationPolicy, PrismaMachine};
+
+fn setup(policy: AllocationPolicy) -> PrismaMachine {
+    let db = PrismaMachine::builder()
+        .pes(16)
+        .allocation(policy)
+        .build()
+        .unwrap();
+    db.sql(
+        "CREATE TABLE fact (unique1 INT, unique2 INT, two INT, ten INT, hundred INT, string4 STRING) \
+         FRAGMENTED BY HASH(unique1) INTO 8",
+    )
+    .unwrap();
+    let data = wisconsin_rows(20_000, 5);
+    for chunk in data.chunks(2000) {
+        db.sql(&format!("INSERT INTO fact VALUES {}", values_clause(chunk)))
+            .unwrap();
+    }
+    // Dimension table created second so LocalityAware can anchor on fact.
+    let dim_schema = prisma_core::types::Schema::new(vec![
+        prisma_core::types::Column::new("k", prisma_core::types::DataType::Int),
+        prisma_core::types::Column::new("label", prisma_core::types::DataType::Str),
+    ]);
+    db.gdh()
+        .create_table("dim", dim_schema, Some(0), 8, Some("fact"))
+        .unwrap();
+    let dim_rows: Vec<prisma_core::Tuple> = (0..100)
+        .map(|i| prisma_core::types::tuple![i, format!("label{i}")])
+        .collect();
+    db.sql(&format!("INSERT INTO dim VALUES {}", values_clause(&dim_rows)))
+        .unwrap();
+    db.refresh_stats("fact").unwrap();
+    db.refresh_stats("dim").unwrap();
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_allocation");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("round_robin", AllocationPolicy::RoundRobin),
+        ("load_balanced", AllocationPolicy::LoadBalanced),
+        ("locality_aware", AllocationPolicy::LocalityAware),
+    ] {
+        let db = setup(policy);
+        // One measured query to report the communication metric.
+        db.gdh().ledger().reset();
+        db.query(
+            "SELECT d.label, COUNT(*) AS n FROM fact f, dim d \
+             WHERE f.hundred = d.k GROUP BY d.label",
+        )
+        .unwrap();
+        let ledger = db.gdh().ledger();
+        eprintln!(
+            "[E8:{name}] join query: {} remote msgs, {} remote bytes, {} byte-hops, est transfer {:.1} ms",
+            ledger.remote_messages(),
+            ledger.remote_bytes(),
+            ledger.byte_hops(),
+            ledger.est_transfer_ns() / 1e6,
+        );
+        group.bench_function(format!("broadcast_join/{name}"), |b| {
+            b.iter(|| {
+                db.query(
+                    "SELECT d.label, COUNT(*) AS n FROM fact f, dim d \
+                     WHERE f.hundred = d.k GROUP BY d.label",
+                )
+                .unwrap()
+            })
+        });
+        db.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! E9 — the knowledge-based optimizer's rule families (paper §2.4).
+//!
+//! Ablates the rule groups one by one on a 3-way join with selections and
+//! a shared subexpression: all rules on, pushdown off, join ordering off,
+//! everything off. The executor's CSE memo is exercised by a UNION with
+//! two identical branches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prisma_core::optimizer::OptimizerConfig;
+use prisma_core::workload::{values_clause, wisconsin_rows};
+use prisma_core::PrismaMachine;
+
+const JOIN_SQL: &str = "SELECT b.unique2, s.label FROM big b, mid m, small s \
+     WHERE b.hundred = m.k AND m.tag = s.k AND b.unique1 < 2000 AND s.k < 5";
+
+const CSE_SQL: &str = "SELECT unique2 FROM big WHERE hundred = 7 AND two = 1 \
+     UNION ALL SELECT unique2 FROM big WHERE hundred = 7 AND two = 1";
+
+fn setup() -> PrismaMachine {
+    let db = PrismaMachine::builder().pes(16).build().unwrap();
+    db.sql(
+        "CREATE TABLE big (unique1 INT, unique2 INT, two INT, ten INT, hundred INT, string4 STRING) \
+         FRAGMENTED BY HASH(unique1) INTO 8",
+    )
+    .unwrap();
+    for chunk in wisconsin_rows(20_000, 1).chunks(2000) {
+        db.sql(&format!("INSERT INTO big VALUES {}", values_clause(chunk)))
+            .unwrap();
+    }
+    db.sql("CREATE TABLE mid (k INT, tag INT) FRAGMENTED BY HASH(k) INTO 4")
+        .unwrap();
+    let mid: Vec<prisma_core::Tuple> = (0..100)
+        .map(|i| prisma_core::types::tuple![i, i % 10])
+        .collect();
+    db.sql(&format!("INSERT INTO mid VALUES {}", values_clause(&mid)))
+        .unwrap();
+    db.sql("CREATE TABLE small (k INT, label STRING) FRAGMENTED INTO 2")
+        .unwrap();
+    let small: Vec<prisma_core::Tuple> = (0..10)
+        .map(|i| prisma_core::types::tuple![i, format!("s{i}")])
+        .collect();
+    db.sql(&format!("INSERT INTO small VALUES {}", values_clause(&small)))
+        .unwrap();
+    for t in ["big", "mid", "small"] {
+        db.refresh_stats(t).unwrap();
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let configs: Vec<(&str, OptimizerConfig)> = vec![
+        ("all_rules", OptimizerConfig::default()),
+        (
+            "no_pushdown",
+            OptimizerConfig {
+                pushdown: false,
+                ..OptimizerConfig::default()
+            },
+        ),
+        (
+            "no_join_order",
+            OptimizerConfig {
+                join_order: false,
+                ..OptimizerConfig::default()
+            },
+        ),
+        (
+            "no_prune",
+            OptimizerConfig {
+                prune: false,
+                ..OptimizerConfig::default()
+            },
+        ),
+        ("all_disabled", OptimizerConfig::disabled()),
+    ];
+    let mut group = c.benchmark_group("e9_optimizer");
+    group.sample_size(10);
+    for (name, cfg) in configs {
+        let mut db = setup();
+        db.gdh_mut().set_optimizer_config(cfg);
+        // Correctness across configurations.
+        let rows = db.query(JOIN_SQL).unwrap();
+        eprintln!("[E9:{name}] join query returns {} rows", rows.len());
+        group.bench_function(format!("three_way_join/{name}"), |b| {
+            b.iter(|| db.query(JOIN_SQL).unwrap())
+        });
+        group.bench_function(format!("shared_subexpr_union/{name}"), |b| {
+            b.iter(|| db.query(CSE_SQL).unwrap())
+        });
+        db.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

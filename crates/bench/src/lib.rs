@@ -1,0 +1,5 @@
+//! # prisma-bench
+//!
+//! Criterion benchmarks regenerating every experiment of EXPERIMENTS.md
+//! (E1–E9). Run with `cargo bench --workspace`; each bench prints the
+//! paper-shape series it measures in addition to criterion's timings.

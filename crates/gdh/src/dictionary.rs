@@ -1,0 +1,317 @@
+//! The data dictionary: relations, fragmentation, placement, statistics.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use prisma_optimizer::{StatsSource, TableStats};
+use prisma_stable::{CheckpointStore, DiskProfile, SimulatedDisk, StableDevice, WriteAheadLog};
+use prisma_types::{
+    FragmentId, MachineConfig, PeId, PrismaError, ProcessId, Result, Schema, Value,
+};
+
+/// One fragment's placement: which PE it lives on and the actor serving it.
+#[derive(Debug, Clone)]
+pub struct FragmentHandle {
+    /// Fragment id (unique machine-wide).
+    pub id: FragmentId,
+    /// Hosting processing element.
+    pub pe: PeId,
+    /// The OFM actor's address.
+    pub actor: ProcessId,
+}
+
+/// Dictionary entry for one relation.
+#[derive(Debug, Clone)]
+pub struct RelationInfo {
+    /// Relation schema.
+    pub schema: Schema,
+    /// Hash-fragmentation column (None = round-robin placement of rows).
+    pub frag_column: Option<usize>,
+    /// The fragments in partition order.
+    pub fragments: Vec<FragmentHandle>,
+}
+
+impl RelationInfo {
+    /// Which fragment a row belongs to.
+    pub fn route(&self, values: &[Value]) -> usize {
+        match self.frag_column {
+            Some(col) => {
+                use std::hash::{BuildHasher, Hash, Hasher};
+                let mut h = prisma_storage::FnvBuild.build_hasher();
+                values[col].hash(&mut h);
+                (h.finish() as usize) % self.fragments.len()
+            }
+            // Round-robin by whole-row hash keeps routing deterministic
+            // without dictionary mutation on every insert.
+            None => {
+                use std::hash::{BuildHasher, Hash, Hasher};
+                let mut h = prisma_storage::FnvBuild.build_hasher();
+                for v in values {
+                    v.hash(&mut h);
+                }
+                (h.finish() as usize) % self.fragments.len()
+            }
+        }
+    }
+
+    /// PEs hosting this relation's fragments.
+    pub fn pes(&self) -> Vec<PeId> {
+        self.fragments.iter().map(|f| f.pe).collect()
+    }
+}
+
+/// Stable-storage services of one disk PE (paper §3.2: only some PEs own
+/// disks; their neighbours use them for recovery).
+#[derive(Clone)]
+pub struct StableServices {
+    /// Shared write-ahead log.
+    pub wal: Arc<WriteAheadLog>,
+    /// Shared checkpoint store.
+    pub checkpoints: Arc<CheckpointStore>,
+}
+
+/// The GDH data dictionary.
+pub struct DataDictionary {
+    config: MachineConfig,
+    relations: RwLock<HashMap<String, RelationInfo>>,
+    stats: RwLock<HashMap<String, TableStats>>,
+    stable: HashMap<usize, StableServices>,
+    next_fragment: RwLock<u32>,
+}
+
+impl DataDictionary {
+    /// Build the dictionary, creating stable-storage services on every
+    /// disk-owning PE of the configuration.
+    pub fn new(config: MachineConfig, disk_profile: DiskProfile) -> Self {
+        let mut stable = HashMap::new();
+        for pe in 0..config.num_pes {
+            if config.pe_has_disk(pe) {
+                let wal_dev: Arc<dyn StableDevice> =
+                    Arc::new(SimulatedDisk::new(disk_profile));
+                let ck_dev: Arc<dyn StableDevice> =
+                    Arc::new(SimulatedDisk::new(disk_profile));
+                stable.insert(
+                    pe,
+                    StableServices {
+                        wal: Arc::new(WriteAheadLog::new(wal_dev)),
+                        checkpoints: Arc::new(CheckpointStore::open(ck_dev)),
+                    },
+                );
+            }
+        }
+        DataDictionary {
+            config,
+            relations: RwLock::new(HashMap::new()),
+            stats: RwLock::new(HashMap::new()),
+            stable,
+            next_fragment: RwLock::new(0),
+        }
+    }
+
+    /// Machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Allocate a machine-wide unique fragment id.
+    pub fn alloc_fragment_id(&self) -> FragmentId {
+        let mut n = self.next_fragment.write();
+        let id = FragmentId(*n);
+        *n += 1;
+        id
+    }
+
+    /// The stable services a fragment hosted on `pe` uses: the nearest
+    /// disk PE at or below it (paper: "some of the processing elements
+    /// will also be connected to secondary storage").
+    pub fn stable_for(&self, pe: PeId) -> StableServices {
+        let stride = self.config.disk_stride;
+        let disk_pe = (pe.index() / stride) * stride;
+        self.stable
+            .get(&disk_pe)
+            .or_else(|| self.stable.get(&0))
+            .expect("PE 0 always has a disk")
+            .clone()
+    }
+
+    /// Register a relation.
+    pub fn register(&self, name: &str, info: RelationInfo) -> Result<()> {
+        let mut rels = self.relations.write();
+        if rels.contains_key(name) {
+            return Err(PrismaError::DuplicateRelation(name.to_owned()));
+        }
+        rels.insert(name.to_owned(), info);
+        Ok(())
+    }
+
+    /// Remove a relation, returning its entry.
+    pub fn unregister(&self, name: &str) -> Result<RelationInfo> {
+        self.stats.write().remove(name);
+        self.relations
+            .write()
+            .remove(name)
+            .ok_or_else(|| PrismaError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Look up a relation.
+    pub fn relation(&self, name: &str) -> Result<RelationInfo> {
+        self.relations
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PrismaError::UnknownRelation(name.to_owned()))
+    }
+
+    /// All relation names.
+    pub fn relation_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.relations.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Current fragment count per PE — the load signal for allocation.
+    pub fn fragments_per_pe(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.config.num_pes];
+        for info in self.relations.read().values() {
+            for f in &info.fragments {
+                counts[f.pe.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Install exact statistics (called by the GDH after loads).
+    pub fn put_stats(&self, name: &str, stats: TableStats) {
+        self.stats.write().insert(name.to_owned(), stats);
+    }
+
+    /// Adjust the row count after DML (keeps estimates usable between
+    /// full refreshes).
+    pub fn bump_rows(&self, name: &str, delta: i64) {
+        if let Some(s) = self.stats.write().get_mut(name) {
+            s.rows = (s.rows as i64 + delta).max(0) as u64;
+        }
+    }
+}
+
+impl StatsSource for DataDictionary {
+    fn table_stats(&self, name: &str) -> Option<TableStats> {
+        if let Some(s) = self.stats.read().get(name) {
+            return Some(s.clone());
+        }
+        // Fall back to an arity-aware default so the estimator stays sane.
+        let rels = self.relations.read();
+        let info = rels.get(name)?;
+        let arity = info.schema.arity();
+        Some(TableStats {
+            rows: 1000,
+            distinct: vec![100; arity],
+            min: vec![None; arity],
+            max: vec![None; arity],
+        })
+    }
+}
+
+impl prisma_sqlfe::Catalog for DataDictionary {
+    fn table_schema(&self, name: &str) -> Result<Schema> {
+        Ok(self.relation(name)?.schema)
+    }
+}
+
+impl prisma_prismalog::SchemaSource for DataDictionary {
+    fn edb_schema(&self, name: &str) -> Result<Schema> {
+        Ok(self.relation(name)?.schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prisma_types::{tuple, Column, DataType};
+
+    fn dict() -> DataDictionary {
+        DataDictionary::new(MachineConfig::paper_prototype(), DiskProfile::instant())
+    }
+
+    fn info(frags: usize, frag_column: Option<usize>) -> RelationInfo {
+        RelationInfo {
+            schema: Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Str),
+            ]),
+            frag_column,
+            fragments: (0..frags)
+                .map(|i| FragmentHandle {
+                    id: FragmentId(i as u32),
+                    pe: PeId::from(i),
+                    actor: ProcessId(i as u32),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn register_lookup_unregister() {
+        let d = dict();
+        d.register("t", info(4, Some(0))).unwrap();
+        assert!(d.register("t", info(4, Some(0))).is_err());
+        assert_eq!(d.relation("t").unwrap().fragments.len(), 4);
+        assert_eq!(d.relation_names(), vec!["t".to_owned()]);
+        d.unregister("t").unwrap();
+        assert!(d.relation("t").is_err());
+    }
+
+    #[test]
+    fn hash_routing_is_deterministic_and_spread() {
+        let d = dict();
+        d.register("t", info(4, Some(0))).unwrap();
+        let info = d.relation("t").unwrap();
+        let mut seen = vec![0usize; 4];
+        for i in 0..100 {
+            let row = tuple![i, "x"];
+            let f = info.route(row.values());
+            assert_eq!(f, info.route(row.values()));
+            seen[f] += 1;
+        }
+        assert!(seen.iter().all(|&c| c > 10), "skewed routing: {seen:?}");
+    }
+
+    #[test]
+    fn stable_services_shared_within_stride() {
+        let d = dict();
+        let a = d.stable_for(PeId(1));
+        let b = d.stable_for(PeId(7));
+        let c = d.stable_for(PeId(8));
+        assert!(Arc::ptr_eq(&a.wal, &b.wal), "PE1 and PE7 share disk PE0");
+        assert!(!Arc::ptr_eq(&a.wal, &c.wal), "PE8 has its own disk");
+    }
+
+    #[test]
+    fn stats_fallback_has_relation_arity() {
+        let d = dict();
+        d.register("t", info(2, None)).unwrap();
+        let s = d.table_stats("t").unwrap();
+        assert_eq!(s.distinct.len(), 2);
+        assert!(d.table_stats("ghost").is_none());
+        d.put_stats(
+            "t",
+            TableStats {
+                rows: 5,
+                distinct: vec![5, 5],
+                min: vec![None, None],
+                max: vec![None, None],
+            },
+        );
+        d.bump_rows("t", 3);
+        assert_eq!(d.table_stats("t").unwrap().rows, 8);
+    }
+
+    #[test]
+    fn fragment_ids_unique() {
+        let d = dict();
+        let a = d.alloc_fragment_id();
+        let b = d.alloc_fragment_id();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,437 @@
+//! The parallel executor: fragment-parallel query processing over the OFM
+//! actors (paper §2.2's intra-query parallelism).
+//!
+//! Strategy per operator:
+//!
+//! * a **pushable** subtree (Select/Project chains over one relation's
+//!   scan) runs on every fragment of that relation in parallel; results
+//!   are unioned at the coordinator;
+//! * an equi-**join** broadcasts the smaller (materialized) side to every
+//!   fragment of the pushable side and joins locally in parallel — the
+//!   classic shared-nothing broadcast join; if neither side is pushable
+//!   both are materialized and joined at the coordinator;
+//! * a decomposable **aggregate** (COUNT/SUM/MIN/MAX) computes partials on
+//!   each fragment and merges them at the coordinator;
+//! * everything else evaluates at the coordinator over materialized
+//!   children (correct by construction: the reference evaluator is the
+//!   semantics);
+//! * subtrees reported by the optimizer's common-subexpression detection
+//!   are **memoized**: the second occurrence reuses the first result.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use prisma_optimizer::cse::{detect_common_subexpressions, plan_key};
+use prisma_poolx::PoolRuntime;
+use prisma_relalg::{eval, AggExpr, AggFunc, JoinKind, LogicalPlan, Relation};
+use prisma_types::{PrismaError, Result, Schema};
+
+use crate::dictionary::DataDictionary;
+use crate::message::GdhMsg;
+
+const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Per-query execution metrics (drives E2/E8 measurements).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecMetrics {
+    /// Subplans shipped to fragment actors.
+    pub fragment_tasks: u64,
+    /// Tuples returned by fragment actors to the coordinator.
+    pub tuples_shipped: u64,
+    /// Subtree results served from the CSE memo.
+    pub memo_hits: u64,
+}
+
+/// The fragment-parallel executor.
+pub struct ParallelExecutor {
+    runtime: Arc<PoolRuntime<GdhMsg>>,
+    dictionary: Arc<DataDictionary>,
+}
+
+impl ParallelExecutor {
+    /// Executor over a runtime and dictionary.
+    pub fn new(runtime: Arc<PoolRuntime<GdhMsg>>, dictionary: Arc<DataDictionary>) -> Self {
+        ParallelExecutor {
+            runtime,
+            dictionary,
+        }
+    }
+
+    /// Execute a logical plan, returning the result and metrics.
+    pub fn execute(&self, plan: &LogicalPlan) -> Result<(Relation, ExecMetrics)> {
+        let cse_keys: HashSet<String> = detect_common_subexpressions(plan)
+            .into_iter()
+            .map(|c| c.key)
+            .collect();
+        let mut memo: HashMap<String, Relation> = HashMap::new();
+        let mut metrics = ExecMetrics::default();
+        let rel = self.exec_node(plan, &cse_keys, &mut memo, &mut metrics)?;
+        Ok((rel, metrics))
+    }
+
+    /// Materialize a full base relation (used by the PRISMAlog evaluator
+    /// fallback and by tests).
+    pub fn materialize(&self, relation: &str) -> Result<Relation> {
+        let info = self.dictionary.relation(relation)?;
+        let plan = LogicalPlan::scan(relation, info.schema.clone());
+        let mut metrics = ExecMetrics::default();
+        self.run_on_fragments(&plan, relation, &mut metrics)
+    }
+
+    fn exec_node(
+        &self,
+        plan: &LogicalPlan,
+        cse: &HashSet<String>,
+        memo: &mut HashMap<String, Relation>,
+        metrics: &mut ExecMetrics,
+    ) -> Result<Relation> {
+        let key = if cse.is_empty() {
+            None
+        } else {
+            let k = plan_key(plan);
+            if cse.contains(&k) { Some(k) } else { None }
+        };
+        if let Some(k) = &key {
+            if let Some(hit) = memo.get(k) {
+                metrics.memo_hits += 1;
+                return Ok(hit.clone());
+            }
+        }
+
+        let result = self.exec_inner(plan, cse, memo, metrics)?;
+        if let Some(k) = key {
+            memo.insert(k, result.clone());
+        }
+        Ok(result)
+    }
+
+    fn exec_inner(
+        &self,
+        plan: &LogicalPlan,
+        cse: &HashSet<String>,
+        memo: &mut HashMap<String, Relation>,
+        metrics: &mut ExecMetrics,
+    ) -> Result<Relation> {
+        // 1. Fragment-parallel pushable subtree.
+        if let Some(relation) = pushable_relation(plan) {
+            return self.run_on_fragments(plan, &relation, metrics);
+        }
+        match plan {
+            // 2. Joins: broadcast the materialized small side into the
+            //    fragments of a pushable side.
+            LogicalPlan::Join {
+                left,
+                right,
+                kind: JoinKind::Inner,
+                on,
+                residual,
+            } => {
+                if let Some(rel) = pushable_relation(left) {
+                    let build = self.exec_node(right, cse, memo, metrics)?;
+                    let build_schema = build.schema().clone();
+                    let frag_plan = LogicalPlan::Join {
+                        left: left.clone(),
+                        right: Box::new(LogicalPlan::scan("__build", build_schema)),
+                        kind: JoinKind::Inner,
+                        on: on.clone(),
+                        residual: residual.clone(),
+                    };
+                    let mut extra = HashMap::new();
+                    extra.insert("__build".to_owned(), build);
+                    return self.run_on_fragments_with(&frag_plan, &rel, extra, metrics);
+                }
+                if let Some(rel) = pushable_relation(right) {
+                    let build = self.exec_node(left, cse, memo, metrics)?;
+                    let build_schema = build.schema().clone();
+                    let frag_plan = LogicalPlan::Join {
+                        left: Box::new(LogicalPlan::scan("__build", build_schema)),
+                        right: right.clone(),
+                        kind: JoinKind::Inner,
+                        on: on.clone(),
+                        residual: residual.clone(),
+                    };
+                    let mut extra = HashMap::new();
+                    extra.insert("__build".to_owned(), build);
+                    return self.run_on_fragments_with(&frag_plan, &rel, extra, metrics);
+                }
+                // Neither side pushable: coordinator-local join.
+                self.local_eval(plan, cse, memo, metrics)
+            }
+            // 3. Decomposable aggregates: partial per fragment + merge.
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } if pushable_relation(input).is_some() && decomposable(aggs) => {
+                let relation = pushable_relation(input).expect("guard");
+                let partial_plan = LogicalPlan::Aggregate {
+                    input: input.clone(),
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                };
+                let partials = self.run_on_fragments(&partial_plan, &relation, metrics)?;
+                merge_partials(partials, group_by.len(), aggs, plan)
+            }
+            // 4. Recursive operators need their fixpoint bindings intact:
+            //    materialize base relations and evaluate in one piece.
+            LogicalPlan::Closure { .. } | LogicalPlan::Fixpoint { .. } => {
+                self.local_eval(plan, cse, memo, metrics)
+            }
+            // 5. Everything else: execute the children through the
+            //    distributed machinery, then apply this one operator at
+            //    the coordinator (so a Project above a fragment-parallel
+            //    Aggregate does not de-parallelize the aggregate).
+            _ => self.exec_via_children(plan, cse, memo, metrics),
+        }
+    }
+
+    /// Execute each child distributed, splice the results in as literal
+    /// rows, and evaluate only this node locally.
+    fn exec_via_children(
+        &self,
+        plan: &LogicalPlan,
+        cse: &HashSet<String>,
+        memo: &mut HashMap<String, Relation>,
+        metrics: &mut ExecMetrics,
+    ) -> Result<Relation> {
+        let mut materialized = Vec::new();
+        for child in plan.children() {
+            let rel = self.exec_node(child, cse, memo, metrics)?;
+            materialized.push(LogicalPlan::Values {
+                schema: rel.schema().clone(),
+                rows: rel.into_tuples(),
+            });
+        }
+        let mut it = materialized.into_iter();
+        let mut next = || it.next().expect("children arity matches");
+        let rebuilt = match plan.clone() {
+            LogicalPlan::Select { predicate, .. } => LogicalPlan::Select {
+                input: Box::new(next()),
+                predicate,
+            },
+            LogicalPlan::Project { exprs, schema, .. } => LogicalPlan::Project {
+                input: Box::new(next()),
+                exprs,
+                schema,
+            },
+            LogicalPlan::Join {
+                kind, on, residual, ..
+            } => LogicalPlan::Join {
+                left: Box::new(next()),
+                right: Box::new(next()),
+                kind,
+                on,
+                residual,
+            },
+            LogicalPlan::Union { all, .. } => LogicalPlan::Union {
+                left: Box::new(next()),
+                right: Box::new(next()),
+                all,
+            },
+            LogicalPlan::Difference { .. } => LogicalPlan::Difference {
+                left: Box::new(next()),
+                right: Box::new(next()),
+            },
+            LogicalPlan::Distinct { .. } => LogicalPlan::Distinct {
+                input: Box::new(next()),
+            },
+            LogicalPlan::Aggregate { group_by, aggs, .. } => LogicalPlan::Aggregate {
+                input: Box::new(next()),
+                group_by,
+                aggs,
+            },
+            LogicalPlan::Sort { keys, .. } => LogicalPlan::Sort {
+                input: Box::new(next()),
+                keys,
+            },
+            LogicalPlan::Limit { n, .. } => LogicalPlan::Limit {
+                input: Box::new(next()),
+                n,
+            },
+            leaf => leaf,
+        };
+        let provider: HashMap<String, Relation> = HashMap::new();
+        eval(&rebuilt, &provider)
+    }
+
+    /// Evaluate `plan` at the coordinator, materializing each child via
+    /// the distributed machinery and splicing it in as literal rows.
+    fn local_eval(
+        &self,
+        plan: &LogicalPlan,
+        cse: &HashSet<String>,
+        memo: &mut HashMap<String, Relation>,
+        metrics: &mut ExecMetrics,
+    ) -> Result<Relation> {
+        // Fixpoints need their Scan bindings intact; materialize only the
+        // *free* scans (base relations) into a provider map and evaluate.
+        let mut provider: HashMap<String, Relation> = HashMap::new();
+        for name in plan.scanned_relations() {
+            if provider.contains_key(&name) {
+                continue;
+            }
+            let info = self.dictionary.relation(&name)?;
+            let scan = LogicalPlan::scan(&name, info.schema.clone());
+            let rel = self.exec_node(&scan, cse, memo, metrics)?;
+            provider.insert(name, rel);
+        }
+        eval(plan, &provider)
+    }
+
+    fn run_on_fragments(
+        &self,
+        plan: &LogicalPlan,
+        relation: &str,
+        metrics: &mut ExecMetrics,
+    ) -> Result<Relation> {
+        self.run_on_fragments_with(plan, relation, HashMap::new(), metrics)
+    }
+
+    /// Ship `plan` (+ `extra` relations) to every fragment actor of
+    /// `relation` and union the replies.
+    fn run_on_fragments_with(
+        &self,
+        plan: &LogicalPlan,
+        relation: &str,
+        extra: HashMap<String, Relation>,
+        metrics: &mut ExecMetrics,
+    ) -> Result<Relation> {
+        let info = self.dictionary.relation(relation)?;
+        let mailbox = self.runtime.external_mailbox();
+        for (i, frag) in info.fragments.iter().enumerate() {
+            self.runtime.send(
+                frag.actor,
+                GdhMsg::RunSubplan {
+                    plan: Box::new(plan.clone()),
+                    extra: extra.clone(),
+                    reply_to: mailbox.id,
+                    tag: i as u64,
+                },
+            )?;
+            metrics.fragment_tasks += 1;
+        }
+        let schema = plan.output_schema()?;
+        let mut out = Relation::empty(schema);
+        for _ in 0..info.fragments.len() {
+            match mailbox.recv_timeout(REPLY_TIMEOUT)? {
+                GdhMsg::SubplanResult { result, .. } => {
+                    let rel = result?;
+                    metrics.tuples_shipped += rel.len() as u64;
+                    for t in rel.into_tuples() {
+                        out.push(t);
+                    }
+                }
+                other => {
+                    return Err(PrismaError::Execution(format!(
+                        "unexpected reply {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// If `plan` is a Select/Project/Distinct-free chain over exactly one
+/// base-relation scan, return that relation's name.
+///
+/// Distinct is excluded (local dedup ≠ global dedup under bag semantics is
+/// fine, but a parent expecting set semantics must dedup globally — the
+/// coordinator path handles that). Closure is excluded: the closure of a
+/// union of fragments is not the union of per-fragment closures.
+fn pushable_relation(plan: &LogicalPlan) -> Option<String> {
+    match plan {
+        LogicalPlan::Scan { relation, .. } => {
+            if relation.starts_with("__") || relation.starts_with('Δ') {
+                None // executor-internal or fixpoint binding
+            } else {
+                Some(relation.clone())
+            }
+        }
+        LogicalPlan::Select { input, .. } | LogicalPlan::Project { input, .. } => {
+            pushable_relation(input)
+        }
+        _ => None,
+    }
+}
+
+fn decomposable(aggs: &[AggExpr]) -> bool {
+    aggs.iter().all(|a| {
+        matches!(
+            a.func,
+            AggFunc::CountStar | AggFunc::Count | AggFunc::Sum | AggFunc::Min | AggFunc::Max
+        )
+    })
+}
+
+/// Merge per-fragment partial aggregates: COUNT→SUM, SUM→SUM, MIN→MIN,
+/// MAX→MAX, re-grouped on the same keys.
+fn merge_partials(
+    partials: Relation,
+    num_group_cols: usize,
+    aggs: &[AggExpr],
+    original: &LogicalPlan,
+) -> Result<Relation> {
+    let final_schema = original.output_schema()?;
+    let merge_aggs: Vec<AggExpr> = aggs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let func = match a.func {
+                AggFunc::CountStar | AggFunc::Count | AggFunc::Sum => AggFunc::Sum,
+                AggFunc::Min => AggFunc::Min,
+                AggFunc::Max => AggFunc::Max,
+                AggFunc::Avg => unreachable!("guarded by decomposable()"),
+            };
+            AggExpr::new(func, num_group_cols + i, a.name.clone())
+        })
+        .collect();
+    let merge_plan = LogicalPlan::Aggregate {
+        input: Box::new(LogicalPlan::Values {
+            schema: partials.schema().clone(),
+            rows: partials.tuples().to_vec(),
+        }),
+        group_by: (0..num_group_cols).collect(),
+        aggs: merge_aggs,
+    };
+    let provider: HashMap<String, Relation> = HashMap::new();
+    let merged = eval(&merge_plan, &provider)?;
+    // COUNT over zero fragments of matching rows yields NULL from the SUM
+    // merge for global (ungrouped) aggregates; coerce back to 0.
+    if num_group_cols == 0 && merged.len() == 1 {
+        let row = &merged.tuples()[0];
+        let fixed: Vec<prisma_types::Value> = row
+            .values()
+            .iter()
+            .zip(aggs)
+            .map(|(v, a)| {
+                if v.is_null()
+                    && matches!(a.func, AggFunc::Count | AggFunc::CountStar)
+                {
+                    prisma_types::Value::Int(0)
+                } else {
+                    v.clone()
+                }
+            })
+            .collect();
+        return Ok(Relation::new(
+            final_schema,
+            vec![prisma_types::Tuple::new(fixed)],
+        ));
+    }
+    Ok(Relation::new(final_schema, merged.into_tuples()))
+}
+
+/// Schema helper re-exported for the facade.
+pub fn scan_of(dictionary: &DataDictionary, relation: &str) -> Result<LogicalPlan> {
+    let info = dictionary.relation(relation)?;
+    Ok(LogicalPlan::scan(relation, info.schema))
+}
+
+#[allow(dead_code)]
+fn _assert_send() {
+    fn is_send<T: Send>() {}
+    is_send::<GdhMsg>();
+    is_send::<Schema>();
+}

@@ -1,0 +1,613 @@
+//! The Global Data Handler façade: parsers + optimizer + transactions +
+//! parallel executor, supervising the OFM actors.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use prisma_multicomputer::{CostModel, Topology};
+use prisma_ofm::{Ofm, OfmKind};
+use prisma_optimizer::{Optimizer, OptimizerConfig, TableStats};
+use prisma_poolx::{PoolRuntime, TrafficLedger};
+use prisma_prismalog as plog;
+use prisma_relalg::{LogicalPlan, Relation};
+use prisma_sqlfe::{self as sqlfe, PlannedStatement};
+use prisma_stable::DiskProfile;
+use prisma_storage::expr::ScalarExpr;
+use prisma_types::{
+    MachineConfig, PeId, PrismaError, Result, Schema, Tuple, TxnId,
+};
+
+use crate::allocation::AllocationPolicy;
+use crate::dictionary::{DataDictionary, FragmentHandle, RelationInfo};
+use crate::exec::{ExecMetrics, ParallelExecutor};
+use crate::locks::{LockManager, LockMode};
+use crate::message::{GdhMsg, OfmActor};
+use crate::txn::TransactionManager;
+
+const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Result of executing one statement.
+#[derive(Debug, Clone)]
+pub enum QueryOutcome {
+    /// A query result.
+    Rows(Relation),
+    /// DML row count.
+    Affected(usize),
+    /// DDL success.
+    Done,
+}
+
+impl QueryOutcome {
+    /// The relation, for callers that know they ran a query.
+    pub fn rows(self) -> Result<Relation> {
+        match self {
+            QueryOutcome::Rows(r) => Ok(r),
+            other => Err(PrismaError::Execution(format!(
+                "expected rows, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The affected-row count, for callers that know they ran DML.
+    pub fn affected(self) -> Result<usize> {
+        match self {
+            QueryOutcome::Affected(n) => Ok(n),
+            other => Err(PrismaError::Execution(format!(
+                "expected a row count, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// The GDH: the supervisor of the PRISMA DBMS (paper §2.2).
+pub struct GlobalDataHandler {
+    config: MachineConfig,
+    runtime: Arc<PoolRuntime<GdhMsg>>,
+    dictionary: Arc<DataDictionary>,
+    locks: Arc<LockManager>,
+    txns: TransactionManager,
+    executor: ParallelExecutor,
+    topology: Topology,
+    allocation: AllocationPolicy,
+    optimizer_config: OptimizerConfig,
+}
+
+impl GlobalDataHandler {
+    /// Boot the DBMS on a simulated machine: start the POOL-X runtime with
+    /// one worker per PE, create stable-storage services on disk PEs, and
+    /// stand up the supervisor components.
+    pub fn boot(
+        config: MachineConfig,
+        allocation: AllocationPolicy,
+        disk_profile: DiskProfile,
+    ) -> Result<GlobalDataHandler> {
+        config.validate()?;
+        let cost = CostModel::new(&config)?;
+        let topology = Topology::build(&config)?;
+        let ledger = Arc::new(TrafficLedger::new(cost));
+        let runtime: Arc<PoolRuntime<GdhMsg>> = PoolRuntime::start(config.num_pes, ledger);
+        let dictionary = Arc::new(DataDictionary::new(config.clone(), disk_profile));
+        let locks = Arc::new(LockManager::new());
+        let coordinator_log = dictionary.stable_for(PeId(0)).wal;
+        let txns = TransactionManager::new(runtime.clone(), locks.clone(), coordinator_log);
+        let executor = ParallelExecutor::new(runtime.clone(), dictionary.clone());
+        Ok(GlobalDataHandler {
+            config,
+            runtime,
+            dictionary,
+            locks,
+            txns,
+            executor,
+            topology,
+            allocation,
+            optimizer_config: OptimizerConfig::default(),
+        })
+    }
+
+    /// Boot with paper defaults (64-PE mesh, load-balanced allocation,
+    /// instant disks — benches override the profile).
+    pub fn boot_default() -> Result<GlobalDataHandler> {
+        GlobalDataHandler::boot(
+            MachineConfig::paper_prototype(),
+            AllocationPolicy::LoadBalanced,
+            DiskProfile::instant(),
+        )
+    }
+
+    /// Machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The data dictionary.
+    pub fn dictionary(&self) -> &Arc<DataDictionary> {
+        &self.dictionary
+    }
+
+    /// Communication ledger of the underlying runtime.
+    pub fn ledger(&self) -> &Arc<TrafficLedger> {
+        self.runtime.ledger()
+    }
+
+    /// Override the optimizer configuration (E9 ablation).
+    pub fn set_optimizer_config(&mut self, cfg: OptimizerConfig) {
+        self.optimizer_config = cfg;
+    }
+
+    /// Shut the machine down (drains actor mailboxes).
+    pub fn shutdown(&self) {
+        self.runtime.shutdown();
+    }
+
+    // ---------------- DDL ----------------
+
+    /// Create a relation with `frag_count` fragments, hash-fragmented on
+    /// `frag_column` (None = round-robin), placed by the allocation
+    /// policy; `co_locate_with` anchors locality-aware placement.
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        frag_column: Option<usize>,
+        frag_count: usize,
+        co_locate_with: Option<&str>,
+    ) -> Result<()> {
+        if frag_count == 0 {
+            return Err(PrismaError::Config("frag_count must be > 0".into()));
+        }
+        let anchor: Option<Vec<PeId>> = match co_locate_with {
+            Some(other) => Some(self.dictionary.relation(other)?.pes()),
+            None => None,
+        };
+        let load = self.dictionary.fragments_per_pe();
+        let pes = self
+            .allocation
+            .place(frag_count, &load, &self.topology, anchor.as_deref());
+        let mut fragments = Vec::with_capacity(frag_count);
+        for pe in pes {
+            let id = self.dictionary.alloc_fragment_id();
+            let stable = self.dictionary.stable_for(pe);
+            let ofm = Ofm::new(
+                id,
+                name,
+                schema.clone(),
+                OfmKind::Persistent {
+                    wal: stable.wal,
+                    checkpoints: stable.checkpoints,
+                },
+            );
+            let actor = self.runtime.spawn(pe, Box::new(OfmActor::new(ofm)))?;
+            fragments.push(FragmentHandle { id, pe, actor });
+        }
+        self.dictionary.register(
+            name,
+            RelationInfo {
+                schema,
+                frag_column,
+                fragments,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Drop a relation and its OFM actors.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let _info = self.dictionary.unregister(name)?;
+        // Actors are leaked-but-idle in this prototype (killing requires a
+        // process context); their fragments become unreachable.
+        Ok(())
+    }
+
+    /// Create an index on every fragment.
+    pub fn create_index(&self, table: &str, column: usize, hash: bool) -> Result<()> {
+        let info = self.dictionary.relation(table)?;
+        let mailbox = self.runtime.external_mailbox();
+        for (i, frag) in info.fragments.iter().enumerate() {
+            self.runtime.send(
+                frag.actor,
+                GdhMsg::CreateIndex {
+                    column,
+                    hash,
+                    reply_to: mailbox.id,
+                    tag: i as u64,
+                },
+            )?;
+        }
+        for _ in 0..info.fragments.len() {
+            match mailbox.recv_timeout(REPLY_TIMEOUT)? {
+                GdhMsg::Ack { result, .. } => {
+                    result?;
+                }
+                other => {
+                    return Err(PrismaError::Execution(format!(
+                        "unexpected reply {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checkpoint every fragment of a relation; returns total simulated
+    /// disk ns.
+    pub fn checkpoint(&self, table: &str) -> Result<u64> {
+        let info = self.dictionary.relation(table)?;
+        let mailbox = self.runtime.external_mailbox();
+        for (i, frag) in info.fragments.iter().enumerate() {
+            self.runtime.send(
+                frag.actor,
+                GdhMsg::Checkpoint {
+                    reply_to: mailbox.id,
+                    tag: i as u64,
+                },
+            )?;
+        }
+        let mut total = 0;
+        for _ in 0..info.fragments.len() {
+            if let GdhMsg::Ack { result, .. } = mailbox.recv_timeout(REPLY_TIMEOUT)? {
+                total += result?;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Recover a relation from stable storage: fresh OFMs rebuilt from
+    /// checkpoint + committed WAL suffix replace the old actors (paper
+    /// §3.2's "automatic recovery upon system failures").
+    pub fn recover_relation(&self, name: &str) -> Result<()> {
+        let info = self.dictionary.relation(name)?;
+        let mut new_fragments = Vec::with_capacity(info.fragments.len());
+        for frag in &info.fragments {
+            let stable = self.dictionary.stable_for(frag.pe);
+            let ofm = Ofm::recover(
+                frag.id,
+                name,
+                info.schema.clone(),
+                stable.wal,
+                stable.checkpoints,
+            )?;
+            let actor = self.runtime.spawn(frag.pe, Box::new(OfmActor::new(ofm)))?;
+            new_fragments.push(FragmentHandle {
+                id: frag.id,
+                pe: frag.pe,
+                actor,
+            });
+        }
+        self.dictionary.unregister(name)?;
+        self.dictionary.register(
+            name,
+            RelationInfo {
+                schema: info.schema,
+                frag_column: info.frag_column,
+                fragments: new_fragments,
+            },
+        )?;
+        Ok(())
+    }
+
+    // ---------------- transactions & DML ----------------
+
+    /// Begin an explicit transaction.
+    pub fn begin(&self) -> TxnId {
+        self.txns.begin()
+    }
+
+    /// Commit an explicit transaction (2PC).
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        self.txns.commit(txn).map(|_| ())
+    }
+
+    /// Abort an explicit transaction.
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        self.txns.abort(txn)
+    }
+
+    /// Insert rows under `txn` (routes each row to its fragment).
+    pub fn insert(&self, txn: TxnId, table: &str, rows: Vec<Tuple>) -> Result<usize> {
+        let info = self.dictionary.relation(table)?;
+        self.locks.acquire(txn, table, LockMode::Exclusive)?;
+        // Route rows to fragments.
+        let mut per_frag: HashMap<usize, Vec<Tuple>> = HashMap::new();
+        for row in rows {
+            info.schema.check_tuple(row.values())?;
+            per_frag
+                .entry(info.route(row.values()))
+                .or_default()
+                .push(row);
+        }
+        let mailbox = self.runtime.external_mailbox();
+        let mut outstanding = 0;
+        for (frag_idx, rows) in per_frag {
+            let frag = &info.fragments[frag_idx];
+            self.txns.register_participant(txn, frag.actor)?;
+            self.runtime.send(
+                frag.actor,
+                GdhMsg::Insert {
+                    txn,
+                    rows,
+                    reply_to: mailbox.id,
+                    tag: frag_idx as u64,
+                },
+            )?;
+            outstanding += 1;
+        }
+        let mut n = 0;
+        for _ in 0..outstanding {
+            match mailbox.recv_timeout(REPLY_TIMEOUT)? {
+                GdhMsg::DmlDone { result, .. } => n += result?,
+                other => {
+                    return Err(PrismaError::Execution(format!(
+                        "unexpected reply {other:?}"
+                    )))
+                }
+            }
+        }
+        self.dictionary.bump_rows(table, n as i64);
+        Ok(n)
+    }
+
+    /// Delete matching rows under `txn` (broadcast to all fragments).
+    pub fn delete(
+        &self,
+        txn: TxnId,
+        table: &str,
+        predicate: Option<ScalarExpr>,
+    ) -> Result<usize> {
+        self.locks.acquire(txn, table, LockMode::Exclusive)?;
+        let info = self.dictionary.relation(table)?;
+        let mailbox = self.runtime.external_mailbox();
+        for (i, frag) in info.fragments.iter().enumerate() {
+            self.txns.register_participant(txn, frag.actor)?;
+            self.runtime.send(
+                frag.actor,
+                GdhMsg::DeleteWhere {
+                    txn,
+                    predicate: predicate.clone(),
+                    reply_to: mailbox.id,
+                    tag: i as u64,
+                },
+            )?;
+        }
+        let mut n = 0;
+        for _ in 0..info.fragments.len() {
+            match mailbox.recv_timeout(REPLY_TIMEOUT)? {
+                GdhMsg::DmlDone { result, .. } => n += result?,
+                other => {
+                    return Err(PrismaError::Execution(format!(
+                        "unexpected reply {other:?}"
+                    )))
+                }
+            }
+        }
+        self.dictionary.bump_rows(table, -(n as i64));
+        Ok(n)
+    }
+
+    /// Update matching rows under `txn`.
+    pub fn update(
+        &self,
+        txn: TxnId,
+        table: &str,
+        assignments: Vec<(usize, ScalarExpr)>,
+        predicate: Option<ScalarExpr>,
+    ) -> Result<usize> {
+        self.locks.acquire(txn, table, LockMode::Exclusive)?;
+        let info = self.dictionary.relation(table)?;
+        let mailbox = self.runtime.external_mailbox();
+        for (i, frag) in info.fragments.iter().enumerate() {
+            self.txns.register_participant(txn, frag.actor)?;
+            self.runtime.send(
+                frag.actor,
+                GdhMsg::UpdateWhere {
+                    txn,
+                    assignments: assignments.clone(),
+                    predicate: predicate.clone(),
+                    reply_to: mailbox.id,
+                    tag: i as u64,
+                },
+            )?;
+        }
+        let mut n = 0;
+        for _ in 0..info.fragments.len() {
+            match mailbox.recv_timeout(REPLY_TIMEOUT)? {
+                GdhMsg::DmlDone { result, .. } => n += result?,
+                other => {
+                    return Err(PrismaError::Execution(format!(
+                        "unexpected reply {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    // ---------------- queries ----------------
+
+    /// Optimize and execute a query plan under shared locks.
+    pub fn query(&self, plan: &LogicalPlan) -> Result<(Relation, ExecMetrics)> {
+        let txn = self.txns.begin();
+        let result = self.query_in(txn, plan);
+        match &result {
+            Ok(_) => {
+                let _ = self.txns.commit(txn);
+            }
+            Err(_) => {
+                let _ = self.txns.abort(txn);
+            }
+        }
+        result
+    }
+
+    fn query_in(&self, txn: TxnId, plan: &LogicalPlan) -> Result<(Relation, ExecMetrics)> {
+        for rel in plan.scanned_relations() {
+            self.locks.acquire(txn, &rel, LockMode::Shared)?;
+        }
+        let optimizer = Optimizer::new(&*self.dictionary).with_config(self.optimizer_config);
+        let (optimized, _trace) = optimizer.optimize(plan)?;
+        self.executor.execute(&optimized)
+    }
+
+    /// Execute one SQL statement (auto-commit).
+    pub fn execute_sql(&self, sql: &str) -> Result<QueryOutcome> {
+        let planned = sqlfe::compile(sql, &*self.dictionary)?;
+        match planned {
+            PlannedStatement::Query(plan) => {
+                let (rows, _) = self.query(&plan)?;
+                Ok(QueryOutcome::Rows(rows))
+            }
+            PlannedStatement::CreateTable {
+                name,
+                schema,
+                frag_column,
+                frag_count,
+            } => {
+                self.create_table(&name, schema, frag_column, frag_count, None)?;
+                Ok(QueryOutcome::Done)
+            }
+            PlannedStatement::DropTable(name) => {
+                self.drop_table(&name)?;
+                Ok(QueryOutcome::Done)
+            }
+            PlannedStatement::CreateIndex {
+                table,
+                column,
+                hash,
+            } => {
+                self.create_index(&table, column, hash)?;
+                Ok(QueryOutcome::Done)
+            }
+            PlannedStatement::Insert { table, rows } => {
+                self.autocommit(|txn| self.insert(txn, &table, rows.clone()))
+                    .map(QueryOutcome::Affected)
+            }
+            PlannedStatement::Delete { table, predicate } => {
+                self.autocommit(|txn| self.delete(txn, &table, predicate.clone()))
+                    .map(QueryOutcome::Affected)
+            }
+            PlannedStatement::Update {
+                table,
+                assignments,
+                predicate,
+            } => self
+                .autocommit(|txn| {
+                    self.update(txn, &table, assignments.clone(), predicate.clone())
+                })
+                .map(QueryOutcome::Affected),
+        }
+    }
+
+    /// Execute one SQL statement inside an explicit transaction (locks
+    /// held and changes visible-but-undecided until commit/abort).
+    pub fn execute_sql_in(&self, txn: TxnId, sql: &str) -> Result<QueryOutcome> {
+        let planned = sqlfe::compile(sql, &*self.dictionary)?;
+        match planned {
+            PlannedStatement::Query(plan) => {
+                let (rows, _) = self.query_in(txn, &plan)?;
+                Ok(QueryOutcome::Rows(rows))
+            }
+            PlannedStatement::Insert { table, rows } => {
+                Ok(QueryOutcome::Affected(self.insert(txn, &table, rows)?))
+            }
+            PlannedStatement::Delete { table, predicate } => {
+                Ok(QueryOutcome::Affected(self.delete(txn, &table, predicate)?))
+            }
+            PlannedStatement::Update {
+                table,
+                assignments,
+                predicate,
+            } => Ok(QueryOutcome::Affected(self.update(
+                txn,
+                &table,
+                assignments,
+                predicate,
+            )?)),
+            _ => Err(PrismaError::Execution(
+                "DDL is not transactional; run it with execute_sql".into(),
+            )),
+        }
+    }
+
+    fn autocommit<T>(&self, f: impl Fn(TxnId) -> Result<T>) -> Result<T> {
+        let txn = self.txns.begin();
+        match f(txn) {
+            Ok(v) => {
+                self.txns.commit(txn)?;
+                Ok(v)
+            }
+            Err(e) => {
+                let _ = self.txns.abort(txn);
+                Err(e)
+            }
+        }
+    }
+
+    /// EXPLAIN: the optimized plan plus the knowledge-base firing trace.
+    pub fn explain_sql(&self, sql: &str) -> Result<String> {
+        let planned = sqlfe::compile(sql, &*self.dictionary)?;
+        let PlannedStatement::Query(plan) = planned else {
+            return Err(PrismaError::Execution("EXPLAIN expects a query".into()));
+        };
+        let optimizer = Optimizer::new(&*self.dictionary).with_config(self.optimizer_config);
+        let (optimized, trace) = optimizer.optimize(&plan)?;
+        let mut out = String::new();
+        out.push_str("== unoptimized ==\n");
+        out.push_str(&plan.to_string());
+        out.push_str("== optimized ==\n");
+        out.push_str(&optimized.to_string());
+        out.push_str("== knowledge-base rule firings ==\n");
+        for f in &trace.fired {
+            out.push_str(f);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Execute a PRISMAlog query: translate to algebra when possible
+    /// (distributed execution); fall back to the set-oriented semi-naive
+    /// evaluator for mutually-recursive programs.
+    pub fn execute_prismalog(&self, program: &str, query: &str) -> Result<Relation> {
+        let program = plog::parse_program(program)?;
+        let query = plog::parse_query(query)?;
+        match plog::compile_query(&program, &query, &*self.dictionary) {
+            Ok(plan) => {
+                let (rows, _) = self.query(&plan)?;
+                Ok(rows)
+            }
+            Err(PrismaError::UnsafeRule(_)) => {
+                // Mutual/non-linear recursion: evaluate centrally over
+                // materialized EDB relations.
+                let txn = self.txns.begin();
+                let mut edb: HashMap<String, Relation> = HashMap::new();
+                let defined = program.defined_predicates();
+                for rule in &program.rules {
+                    for atom in rule.body_atoms() {
+                        if !defined.contains(&atom.pred) && !edb.contains_key(&atom.pred) {
+                            self.locks.acquire(txn, &atom.pred, LockMode::Shared)?;
+                            edb.insert(atom.pred.clone(), self.executor.materialize(&atom.pred)?);
+                        }
+                    }
+                }
+                let result = plog::evaluate(&program, &edb)
+                    .and_then(|(idb, _)| plog::seminaive::answer_query(&query, &idb, &edb));
+                let _ = self.txns.commit(txn);
+                result
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Recompute exact statistics for a relation (a data-dictionary duty;
+    /// the optimizer's size estimation reads them).
+    pub fn refresh_stats(&self, table: &str) -> Result<()> {
+        let rel = self.executor.materialize(table)?;
+        self.dictionary
+            .put_stats(table, TableStats::from_relation(&rel));
+        Ok(())
+    }
+
+    /// Snapshot a relation (all fragments unioned) — test/debug helper.
+    pub fn snapshot(&self, table: &str) -> Result<Relation> {
+        self.executor.materialize(table)
+    }
+}

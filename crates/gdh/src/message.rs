@@ -1,0 +1,266 @@
+//! The GDH ↔ OFM message protocol.
+//!
+//! Everything the supervisor asks of a One-Fragment Manager travels as a
+//! message to the OFM's actor on its PE (no shared memory, paper §3.1);
+//! results come back to the requester's mailbox. Each request carries a
+//! `tag` so a coordinator fanning out to many fragments can match replies.
+
+use std::collections::HashMap;
+
+use prisma_poolx::{Ctx, Process, WireMessage};
+use prisma_relalg::{LogicalPlan, Relation};
+use prisma_storage::expr::ScalarExpr;
+use prisma_types::{ProcessId, Result, Tuple, TxnId};
+
+/// Messages of the PRISMA DBMS layer.
+#[derive(Debug)]
+pub enum GdhMsg {
+    /// Execute a local subplan; `Scan(<relation name>)` reads the OFM's
+    /// fragment, `extra` supplies shipped-in intermediates.
+    RunSubplan {
+        /// The subplan.
+        plan: Box<LogicalPlan>,
+        /// Shipped-in relations by name (e.g. a broadcast build side).
+        extra: HashMap<String, Relation>,
+        /// Where to send the result.
+        reply_to: ProcessId,
+        /// Correlation tag.
+        tag: u64,
+    },
+    /// Reply to `RunSubplan`.
+    SubplanResult {
+        /// Correlation tag.
+        tag: u64,
+        /// The fragment's result (or the error).
+        result: Result<Relation>,
+    },
+    /// Insert rows under a transaction.
+    Insert {
+        /// Transaction.
+        txn: TxnId,
+        /// Rows for this fragment.
+        rows: Vec<Tuple>,
+        /// Reply address.
+        reply_to: ProcessId,
+        /// Correlation tag.
+        tag: u64,
+    },
+    /// Delete matching rows under a transaction.
+    DeleteWhere {
+        /// Transaction.
+        txn: TxnId,
+        /// Predicate (None = all rows).
+        predicate: Option<ScalarExpr>,
+        /// Reply address.
+        reply_to: ProcessId,
+        /// Correlation tag.
+        tag: u64,
+    },
+    /// Update matching rows under a transaction.
+    UpdateWhere {
+        /// Transaction.
+        txn: TxnId,
+        /// `(column, expression over the old tuple)` assignments.
+        assignments: Vec<(usize, ScalarExpr)>,
+        /// Predicate (None = all rows).
+        predicate: Option<ScalarExpr>,
+        /// Reply address.
+        reply_to: ProcessId,
+        /// Correlation tag.
+        tag: u64,
+    },
+    /// Reply to DML requests: affected row count.
+    DmlDone {
+        /// Correlation tag.
+        tag: u64,
+        /// Rows affected (or the error).
+        result: Result<usize>,
+    },
+    /// 2PC phase 1.
+    Prepare {
+        /// Transaction.
+        txn: TxnId,
+        /// Reply address.
+        reply_to: ProcessId,
+        /// Correlation tag.
+        tag: u64,
+    },
+    /// 2PC vote.
+    Vote {
+        /// Correlation tag.
+        tag: u64,
+        /// Yes/no plus simulated disk nanoseconds spent forcing the log.
+        result: Result<u64>,
+    },
+    /// 2PC phase 2: commit.
+    Commit {
+        /// Transaction.
+        txn: TxnId,
+        /// Reply address.
+        reply_to: ProcessId,
+        /// Correlation tag.
+        tag: u64,
+    },
+    /// Roll back a transaction's local effects.
+    Abort {
+        /// Transaction.
+        txn: TxnId,
+        /// Reply address.
+        reply_to: ProcessId,
+        /// Correlation tag.
+        tag: u64,
+    },
+    /// Generic acknowledgement (commit/abort/index/checkpoint done).
+    Ack {
+        /// Correlation tag.
+        tag: u64,
+        /// Success, with simulated disk nanoseconds where applicable.
+        result: Result<u64>,
+    },
+    /// Build an index on the fragment.
+    CreateIndex {
+        /// Column ordinal.
+        column: usize,
+        /// Hash (true) or B-tree.
+        hash: bool,
+        /// Reply address.
+        reply_to: ProcessId,
+        /// Correlation tag.
+        tag: u64,
+    },
+    /// Force a checkpoint (persistent OFMs).
+    Checkpoint {
+        /// Reply address.
+        reply_to: ProcessId,
+        /// Correlation tag.
+        tag: u64,
+    },
+}
+
+impl WireMessage for GdhMsg {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            // Result shipping dominates communication; control messages
+            // are a single packet.
+            GdhMsg::SubplanResult {
+                result: Ok(rel), ..
+            } => (rel.wire_bits() / 8) as usize + 32,
+            GdhMsg::RunSubplan { extra, .. } => {
+                64 + extra
+                    .values()
+                    .map(|r| (r.wire_bits() / 8) as usize)
+                    .sum::<usize>()
+            }
+            GdhMsg::Insert { rows, .. } => {
+                32 + rows.iter().map(|t| (t.wire_bits() / 8) as usize).sum::<usize>()
+            }
+            _ => 32,
+        }
+    }
+}
+
+/// The OFM actor: owns a One-Fragment Manager and serves the protocol.
+pub struct OfmActor {
+    ofm: prisma_ofm::Ofm,
+}
+
+impl OfmActor {
+    /// Wrap an OFM as an actor.
+    pub fn new(ofm: prisma_ofm::Ofm) -> Self {
+        OfmActor { ofm }
+    }
+}
+
+impl Process<GdhMsg> for OfmActor {
+    fn handle(&mut self, msg: GdhMsg, ctx: &mut Ctx<'_, GdhMsg>) {
+        match msg {
+            GdhMsg::RunSubplan {
+                plan,
+                extra,
+                reply_to,
+                tag,
+            } => {
+                let result = self.ofm.execute(&plan, &extra);
+                let _ = ctx.send(reply_to, GdhMsg::SubplanResult { tag, result });
+            }
+            GdhMsg::Insert {
+                txn,
+                rows,
+                reply_to,
+                tag,
+            } => {
+                let mut n = 0;
+                let mut result = Ok(0);
+                for row in rows {
+                    match self.ofm.insert(txn, row) {
+                        Ok(_) => n += 1,
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                }
+                let result = result.map(|_| n);
+                let _ = ctx.send(reply_to, GdhMsg::DmlDone { tag, result });
+            }
+            GdhMsg::DeleteWhere {
+                txn,
+                predicate,
+                reply_to,
+                tag,
+            } => {
+                let pred = predicate
+                    .unwrap_or_else(|| ScalarExpr::lit(true));
+                let result = self.ofm.delete_where(txn, &pred);
+                let _ = ctx.send(reply_to, GdhMsg::DmlDone { tag, result });
+            }
+            GdhMsg::UpdateWhere {
+                txn,
+                assignments,
+                predicate,
+                reply_to,
+                tag,
+            } => {
+                let pred = predicate
+                    .unwrap_or_else(|| ScalarExpr::lit(true));
+                let result = self.ofm.update_where(txn, &pred, &assignments);
+                let _ = ctx.send(reply_to, GdhMsg::DmlDone { tag, result });
+            }
+            GdhMsg::Prepare { txn, reply_to, tag } => {
+                let result = self.ofm.prepare(txn);
+                let _ = ctx.send(reply_to, GdhMsg::Vote { tag, result });
+            }
+            GdhMsg::Commit { txn, reply_to, tag } => {
+                let result = self.ofm.commit(txn);
+                let _ = ctx.send(reply_to, GdhMsg::Ack { tag, result });
+            }
+            GdhMsg::Abort { txn, reply_to, tag } => {
+                let result = self.ofm.abort(txn).map(|_| 0);
+                let _ = ctx.send(reply_to, GdhMsg::Ack { tag, result });
+            }
+            GdhMsg::CreateIndex {
+                column,
+                hash,
+                reply_to,
+                tag,
+            } => {
+                let result = if hash {
+                    self.ofm.fragment_mut().add_hash_index(vec![column])
+                } else {
+                    self.ofm.fragment_mut().add_btree_index(vec![column])
+                }
+                .map(|_| 0);
+                let _ = ctx.send(reply_to, GdhMsg::Ack { tag, result });
+            }
+            GdhMsg::Checkpoint { reply_to, tag } => {
+                let result = self.ofm.checkpoint();
+                let _ = ctx.send(reply_to, GdhMsg::Ack { tag, result });
+            }
+            // Replies arriving at an OFM are protocol errors; ignore.
+            GdhMsg::SubplanResult { .. }
+            | GdhMsg::DmlDone { .. }
+            | GdhMsg::Vote { .. }
+            | GdhMsg::Ack { .. } => {}
+        }
+    }
+}

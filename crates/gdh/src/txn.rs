@@ -1,0 +1,224 @@
+//! The transaction manager: two-phase commit across OFM participants.
+//!
+//! The GDH is the 2PC coordinator. Persistent OFMs force `Prepared` and
+//! `Commit` records to their disk PE's WAL; the coordinator forces its own
+//! decision record before phase 2, so recovery can always resolve in-doubt
+//! participants. Lock release (strict 2PL) happens only after the
+//! decision.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use prisma_poolx::PoolRuntime;
+use prisma_stable::{LogPayload, WriteAheadLog};
+use prisma_types::{PrismaError, ProcessId, Result, TxnId};
+
+use crate::locks::LockManager;
+use crate::message::GdhMsg;
+
+/// How long the coordinator waits for a participant vote/ack before
+/// presuming it dead (simulation safety net, not a tuning knob).
+const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+#[derive(Debug, Default)]
+struct TxnState {
+    participants: HashSet<ProcessId>,
+}
+
+/// Outcome metrics of a 2PC commit (E7 measures these).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommitMetrics {
+    /// Participants involved.
+    pub participants: usize,
+    /// Total simulated disk ns forced across participants + coordinator.
+    pub disk_ns: u64,
+    /// Messages exchanged (prepare + votes + commits + acks).
+    pub messages: u64,
+}
+
+/// The 2PC coordinator.
+pub struct TransactionManager {
+    runtime: Arc<PoolRuntime<GdhMsg>>,
+    locks: Arc<LockManager>,
+    coordinator_log: Arc<WriteAheadLog>,
+    next: AtomicU32,
+    active: Mutex<HashMap<TxnId, TxnState>>,
+}
+
+impl TransactionManager {
+    /// Coordinator over the runtime, lock manager and a coordinator WAL.
+    pub fn new(
+        runtime: Arc<PoolRuntime<GdhMsg>>,
+        locks: Arc<LockManager>,
+        coordinator_log: Arc<WriteAheadLog>,
+    ) -> Self {
+        TransactionManager {
+            runtime,
+            locks,
+            coordinator_log,
+            next: AtomicU32::new(1),
+            active: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The lock manager (shared with the executor).
+    pub fn locks(&self) -> &Arc<LockManager> {
+        &self.locks
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> TxnId {
+        let txn = TxnId(self.next.fetch_add(1, Ordering::Relaxed));
+        self.coordinator_log.append(&LogPayload::Begin { txn });
+        self.active.lock().insert(txn, TxnState::default());
+        txn
+    }
+
+    /// Record that `txn` touched the OFM served by `actor`.
+    pub fn register_participant(&self, txn: TxnId, actor: ProcessId) -> Result<()> {
+        let mut active = self.active.lock();
+        let st = active.get_mut(&txn).ok_or(PrismaError::UnknownTxn(txn))?;
+        st.participants.insert(actor);
+        Ok(())
+    }
+
+    /// Participants registered so far.
+    pub fn participants_of(&self, txn: TxnId) -> Vec<ProcessId> {
+        self.active
+            .lock()
+            .get(&txn)
+            .map(|s| s.participants.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Two-phase commit. On any no-vote or participant failure the
+    /// transaction is aborted everywhere and the error is returned.
+    pub fn commit(&self, txn: TxnId) -> Result<CommitMetrics> {
+        let state = self
+            .active
+            .lock()
+            .remove(&txn)
+            .ok_or(PrismaError::UnknownTxn(txn))?;
+        let participants: Vec<ProcessId> = state.participants.iter().copied().collect();
+        let mut metrics = CommitMetrics {
+            participants: participants.len(),
+            ..CommitMetrics::default()
+        };
+
+        // Read-only transactions skip 2PC entirely.
+        if participants.is_empty() {
+            self.coordinator_log.append(&LogPayload::Commit { txn });
+            self.locks.release_all(txn);
+            return Ok(metrics);
+        }
+
+        // Phase 1: prepare.
+        let mailbox = self.runtime.external_mailbox();
+        for (i, &p) in participants.iter().enumerate() {
+            self.runtime.send(
+                p,
+                GdhMsg::Prepare {
+                    txn,
+                    reply_to: mailbox.id,
+                    tag: i as u64,
+                },
+            )?;
+            metrics.messages += 1;
+        }
+        let mut all_yes = true;
+        for _ in 0..participants.len() {
+            match mailbox.recv_timeout(REPLY_TIMEOUT)? {
+                GdhMsg::Vote { result, .. } => {
+                    metrics.messages += 1;
+                    match result {
+                        Ok(ns) => metrics.disk_ns += ns,
+                        Err(_) => all_yes = false,
+                    }
+                }
+                _ => all_yes = false,
+            }
+        }
+        if !all_yes {
+            self.abort_participants(txn, &participants)?;
+            self.coordinator_log
+                .append_durable(&LogPayload::Abort { txn });
+            self.locks.release_all(txn);
+            return Err(PrismaError::TxnAborted {
+                txn,
+                reason: "participant voted no in 2PC".into(),
+            });
+        }
+
+        // Decision point: force the coordinator's commit record.
+        let (_, ns) = self
+            .coordinator_log
+            .append_durable(&LogPayload::Commit { txn });
+        metrics.disk_ns += ns;
+
+        // Phase 2: commit everywhere.
+        for (i, &p) in participants.iter().enumerate() {
+            self.runtime.send(
+                p,
+                GdhMsg::Commit {
+                    txn,
+                    reply_to: mailbox.id,
+                    tag: i as u64,
+                },
+            )?;
+            metrics.messages += 1;
+        }
+        for _ in 0..participants.len() {
+            if let GdhMsg::Ack { result, .. } = mailbox.recv_timeout(REPLY_TIMEOUT)? {
+                metrics.messages += 1;
+                if let Ok(ns) = result {
+                    metrics.disk_ns += ns;
+                }
+            }
+        }
+        self.locks.release_all(txn);
+        Ok(metrics)
+    }
+
+    /// Abort a transaction everywhere and release its locks.
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        let state = self.active.lock().remove(&txn);
+        if let Some(state) = state {
+            let participants: Vec<ProcessId> = state.participants.iter().copied().collect();
+            self.abort_participants(txn, &participants)?;
+        }
+        self.coordinator_log.append(&LogPayload::Abort { txn });
+        self.locks.release_all(txn);
+        Ok(())
+    }
+
+    fn abort_participants(&self, txn: TxnId, participants: &[ProcessId]) -> Result<()> {
+        if participants.is_empty() {
+            return Ok(());
+        }
+        let mailbox = self.runtime.external_mailbox();
+        let mut sent = 0;
+        for (i, &p) in participants.iter().enumerate() {
+            if self
+                .runtime
+                .send(
+                    p,
+                    GdhMsg::Abort {
+                        txn,
+                        reply_to: mailbox.id,
+                        tag: i as u64,
+                    },
+                )
+                .is_ok()
+            {
+                sent += 1;
+            }
+        }
+        for _ in 0..sent {
+            let _ = mailbox.recv_timeout(REPLY_TIMEOUT);
+        }
+        Ok(())
+    }
+}

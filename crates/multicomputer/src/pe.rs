@@ -1,0 +1,115 @@
+//! Per-PE local-memory accounting.
+//!
+//! Each PRISMA PE owns 16 MB of local main memory (paper §3.2); a relation
+//! fragment must fit the memory of the PE that hosts its One-Fragment
+//! Manager — this is the design pressure that forces fragmentation of
+//! large relations. [`PeMemory`] is the budget ledger the OFM layer charges
+//! against.
+
+use prisma_types::{PeId, PrismaError, Result};
+
+/// Memory ledger for one processing element.
+#[derive(Debug, Clone)]
+pub struct PeMemory {
+    pe: PeId,
+    capacity: usize,
+    used: usize,
+    high_water: usize,
+}
+
+impl PeMemory {
+    /// A ledger with `capacity` bytes (paper default: 16 MB).
+    pub fn new(pe: PeId, capacity: usize) -> Self {
+        PeMemory {
+            pe,
+            capacity,
+            used: 0,
+            high_water: 0,
+        }
+    }
+
+    /// The owning PE.
+    pub fn pe(&self) -> PeId {
+        self.pe
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Peak usage observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Claim `bytes`; fails with [`PrismaError::OutOfMemory`] if the PE's
+    /// main memory would be exceeded.
+    pub fn allocate(&mut self, bytes: usize) -> Result<()> {
+        if bytes > self.available() {
+            return Err(PrismaError::OutOfMemory {
+                pe: self.pe,
+                requested: bytes,
+                available: self.available(),
+            });
+        }
+        self.used += bytes;
+        self.high_water = self.high_water.max(self.used);
+        Ok(())
+    }
+
+    /// Return `bytes` to the pool (saturating; freeing more than allocated
+    /// indicates an accounting bug upstream but must not underflow).
+    pub fn free(&mut self, bytes: usize) {
+        self.used = self.used.saturating_sub(bytes);
+    }
+
+    /// Fraction of capacity in use (0.0–1.0), the load-balance signal used
+    /// by the data-allocation manager.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            1.0
+        } else {
+            self.used as f64 / self.capacity as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_free_cycle() {
+        let mut m = PeMemory::new(PeId(0), 1000);
+        m.allocate(400).unwrap();
+        m.allocate(600).unwrap();
+        assert_eq!(m.available(), 0);
+        assert!(matches!(
+            m.allocate(1),
+            Err(PrismaError::OutOfMemory { .. })
+        ));
+        m.free(500);
+        assert_eq!(m.used(), 500);
+        assert_eq!(m.high_water(), 1000);
+        assert!((m.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_never_underflows() {
+        let mut m = PeMemory::new(PeId(1), 10);
+        m.allocate(5).unwrap();
+        m.free(100);
+        assert_eq!(m.used(), 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Discrete-event, store-and-forward packet simulator.
+//!
+//! The model follows the paper's description of the interconnect: packets
+//! of 256 bits hop between PEs over 10 Mbit/s links. Each directed link is
+//! a FIFO server with deterministic service time `packet_bits / bandwidth`
+//! (25.6 µs for the paper parameters); a configurable per-hop switching
+//! latency is added on top. Routing uses the precomputed shortest-path
+//! next-hop tables of [`Topology`].
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use prisma_types::{MachineConfig, PeId, Result};
+
+use crate::stats::NetworkStats;
+use crate::topology::Topology;
+
+/// Simulation time in nanoseconds since simulation start.
+pub type SimTime = u64;
+
+/// One 256-bit packet in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Unique per-simulation id.
+    pub id: u64,
+    /// Origin PE.
+    pub src: PeId,
+    /// Destination PE.
+    pub dst: PeId,
+    /// Injection time at the source.
+    pub injected_at: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// Packet ready to leave `at` towards its destination.
+    Depart { at: PeId },
+    /// Packet fully received by `at` (store-and-forward hop done).
+    Arrive { at: PeId },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: SimTime,
+    seq: u64, // tie-breaker for determinism
+    packet: Packet,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The network simulator.
+///
+/// Drive it by [`NetworkSim::inject`]ing packets (typically via a
+/// [`crate::traffic::TrafficPattern`]) and then [`NetworkSim::run_until`].
+pub struct NetworkSim {
+    topology: Topology,
+    /// Transmission time of one packet over one link, ns.
+    packet_tx_ns: u64,
+    /// Extra switching latency per hop, ns.
+    hop_latency_ns: u64,
+    /// `busy_until[src][k]` — earliest time directed link `src -> neighbors(src)[k]`
+    /// is free.
+    busy_until: Vec<Vec<SimTime>>,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    next_packet_id: u64,
+    stats: NetworkStats,
+}
+
+impl NetworkSim {
+    /// Build a simulator for the configured machine.
+    pub fn new(config: &MachineConfig) -> Result<NetworkSim> {
+        let topology = Topology::build(config)?;
+        let packet_tx_ns = (config.packet_bits as f64 / config.link_bandwidth_bps as f64
+            * 1e9)
+            .round() as u64;
+        let busy_until = (0..topology.num_pes())
+            .map(|i| vec![0; topology.neighbors(PeId::from(i)).len()])
+            .collect();
+        Ok(NetworkSim {
+            topology,
+            packet_tx_ns,
+            hop_latency_ns: config.hop_latency_ns,
+            busy_until,
+            events: BinaryHeap::new(),
+            seq: 0,
+            next_packet_id: 0,
+            stats: NetworkStats::new(config.num_pes),
+        })
+    }
+
+    /// The topology the simulator routes over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// One-packet link transmission time in nanoseconds (25 600 ns for the
+    /// paper's 256-bit packets on 10 Mbit/s links).
+    pub fn packet_tx_ns(&self) -> u64 {
+        self.packet_tx_ns
+    }
+
+    /// Queue a packet for injection at `src` at simulated time `when`.
+    pub fn inject(&mut self, src: PeId, dst: PeId, when: SimTime) -> u64 {
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        let packet = Packet {
+            id,
+            src,
+            dst,
+            injected_at: when,
+        };
+        self.stats.record_injected(src);
+        self.push(Event {
+            time: when,
+            seq: 0,
+            packet,
+            kind: EventKind::Depart { at: src },
+        });
+        id
+    }
+
+    fn push(&mut self, mut ev: Event) {
+        ev.seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(ev));
+    }
+
+    /// Run the event loop until the queue drains or simulated time passes
+    /// `deadline` (events beyond the deadline stay queued). Returns the time
+    /// of the last processed event.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        let mut now = 0;
+        while let Some(Reverse(ev)) = self.events.peek().copied() {
+            if ev.time > deadline {
+                break;
+            }
+            self.events.pop();
+            now = ev.time;
+            self.handle(ev);
+        }
+        now
+    }
+
+    /// Run until every queued event (including cascades) is processed.
+    pub fn run_to_completion(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev.kind {
+            EventKind::Depart { at } => {
+                if at == ev.packet.dst {
+                    // Degenerate self-send: delivered instantly.
+                    self.stats
+                        .record_delivered(ev.packet.dst, ev.time, ev.packet.injected_at);
+                    return;
+                }
+                let hop = self.topology.next_hop(at, ev.packet.dst);
+                // Find the link slot for this neighbor.
+                let slot = self
+                    .topology
+                    .neighbors(at)
+                    .iter()
+                    .position(|&n| n == hop)
+                    .expect("next_hop returns a neighbor");
+                let busy = &mut self.busy_until[at.index()][slot];
+                let start = (*busy).max(ev.time);
+                let done = start + self.packet_tx_ns;
+                *busy = done;
+                self.stats
+                    .record_link_busy(at, done - start, start - ev.time);
+                self.push(Event {
+                    time: done + self.hop_latency_ns,
+                    seq: 0,
+                    packet: ev.packet,
+                    kind: EventKind::Arrive { at: hop },
+                });
+            }
+            EventKind::Arrive { at } => {
+                if at == ev.packet.dst {
+                    self.stats
+                        .record_delivered(at, ev.time, ev.packet.injected_at);
+                } else {
+                    // Store-and-forward: the packet is now queued for the
+                    // next outbound link.
+                    self.push(Event {
+                        time: ev.time,
+                        seq: 0,
+                        packet: ev.packet,
+                        kind: EventKind::Depart { at },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Reset statistics (e.g. after a warm-up phase) without disturbing
+    /// in-flight packets or link state.
+    pub fn reset_stats(&mut self) {
+        let n = self.topology.num_pes();
+        self.stats = NetworkStats::new(n);
+    }
+
+    /// Number of events still queued (in-flight packets).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prisma_types::TopologyKind;
+
+    fn sim(cfg: &MachineConfig) -> NetworkSim {
+        NetworkSim::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn single_packet_latency_is_hops_times_service_time() {
+        let cfg = MachineConfig::paper_prototype();
+        let mut s = sim(&cfg);
+        // PE0 -> PE63 on the 8x8 mesh: 14 hops.
+        s.inject(PeId(0), PeId(63), 0);
+        s.run_to_completion();
+        let st = s.stats();
+        assert_eq!(st.delivered_total(), 1);
+        let hops = s.topology().distance(PeId(0), PeId(63)) as u64;
+        assert_eq!(hops, 14);
+        let expect = hops * (s.packet_tx_ns() + cfg.hop_latency_ns);
+        assert_eq!(st.mean_latency_ns().round() as u64, expect);
+    }
+
+    #[test]
+    fn paper_packet_service_time_is_25_6_us() {
+        let s = sim(&MachineConfig::paper_prototype());
+        assert_eq!(s.packet_tx_ns(), 25_600);
+    }
+
+    #[test]
+    fn fifo_link_serializes_contending_packets() {
+        // Two packets leave PE0 for the same neighbor at t=0; the second
+        // must wait one service time.
+        let cfg = MachineConfig::paper_prototype();
+        let mut s = sim(&cfg);
+        s.inject(PeId(0), PeId(1), 0);
+        s.inject(PeId(0), PeId(1), 0);
+        s.run_to_completion();
+        let st = s.stats();
+        assert_eq!(st.delivered_total(), 2);
+        let tx = s.packet_tx_ns() + cfg.hop_latency_ns;
+        // latencies: tx and 2*tx - hop_latency? Second starts at 25600.
+        let lat_sum = (tx) + (2 * s.packet_tx_ns() + cfg.hop_latency_ns);
+        assert_eq!(st.total_latency_ns(), lat_sum);
+    }
+
+    #[test]
+    fn self_send_is_free() {
+        let mut s = sim(&MachineConfig::paper_prototype());
+        s.inject(PeId(5), PeId(5), 100);
+        s.run_to_completion();
+        assert_eq!(s.stats().delivered_total(), 1);
+        assert_eq!(s.stats().total_latency_ns(), 0);
+    }
+
+    #[test]
+    fn deadline_stops_but_preserves_events() {
+        let mut s = sim(&MachineConfig::paper_prototype());
+        s.inject(PeId(0), PeId(63), 0);
+        s.run_until(1000); // far less than the 14-hop latency
+        assert_eq!(s.stats().delivered_total(), 0);
+        assert!(s.pending_events() > 0);
+        s.run_to_completion();
+        assert_eq!(s.stats().delivered_total(), 1);
+    }
+
+    #[test]
+    fn all_packets_delivered_on_chordal_ring() {
+        let cfg = MachineConfig::paper_prototype()
+            .with_topology(TopologyKind::ChordalRing { stride: 8 });
+        let mut s = sim(&cfg);
+        for i in 0..64u32 {
+            s.inject(PeId(i), PeId((i * 7 + 3) % 64), (i as u64) * 1000);
+        }
+        s.run_to_completion();
+        assert_eq!(s.stats().delivered_total(), 64);
+    }
+
+    #[test]
+    fn determinism_same_injections_same_stats() {
+        let cfg = MachineConfig::paper_prototype();
+        let mut a = sim(&cfg);
+        let mut b = sim(&cfg);
+        for i in 0..200u32 {
+            let (src, dst, t) = (PeId(i % 64), PeId((i * 13 + 5) % 64), (i as u64) * 777);
+            a.inject(src, dst, t);
+            b.inject(src, dst, t);
+        }
+        a.run_to_completion();
+        b.run_to_completion();
+        assert_eq!(a.stats().delivered_total(), b.stats().delivered_total());
+        assert_eq!(a.stats().total_latency_ns(), b.stats().total_latency_ns());
+    }
+}

@@ -1,0 +1,334 @@
+//! Interconnect topologies and shortest-path routing.
+//!
+//! The paper fixes four links per PE and proposes a mesh or a chordal-ring
+//! variant (§3.2). [`Topology`] materializes the adjacency structure and a
+//! precomputed next-hop routing table (all-pairs BFS), which both the
+//! packet simulator and the optimizer's communication cost model consult.
+
+use prisma_types::{MachineConfig, PeId, PrismaError, Result, TopologyKind};
+use std::collections::VecDeque;
+
+/// A concrete interconnect: adjacency lists plus an all-pairs next-hop
+/// routing table.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    kind: TopologyKind,
+    n: usize,
+    /// `neighbors[i]` — PEs directly linked to PE `i`.
+    neighbors: Vec<Vec<PeId>>,
+    /// `next_hop[src * n + dst]` — neighbor of `src` on a shortest path to
+    /// `dst`; `src` itself when `src == dst`.
+    next_hop: Vec<PeId>,
+    /// `dist[src * n + dst]` — hop count of the shortest path.
+    dist: Vec<u32>,
+}
+
+impl Topology {
+    /// Build the topology described by `config`.
+    ///
+    /// For [`TopologyKind::Mesh`] the PE count is arranged into the most
+    /// square `rows × cols` grid; a perfect square (like the paper's 64 → 8×8)
+    /// gives the canonical mesh.
+    pub fn build(config: &MachineConfig) -> Result<Topology> {
+        config.validate()?;
+        let n = config.num_pes;
+        let neighbors = match config.topology {
+            TopologyKind::Mesh => mesh_neighbors(n),
+            TopologyKind::ChordalRing { stride } => chordal_ring_neighbors(n, stride as usize)?,
+            TopologyKind::FullyConnected => (0..n)
+                .map(|i| {
+                    (0..n)
+                        .filter(|&j| j != i)
+                        .map(PeId::from)
+                        .collect::<Vec<_>>()
+                })
+                .collect(),
+        };
+        let (next_hop, dist) = routing_tables(n, &neighbors)?;
+        Ok(Topology {
+            kind: config.topology,
+            n,
+            neighbors,
+            next_hop,
+            dist,
+        })
+    }
+
+    /// Which topology family this is.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of PEs.
+    #[inline]
+    pub fn num_pes(&self) -> usize {
+        self.n
+    }
+
+    /// Direct neighbors of `pe`.
+    #[inline]
+    pub fn neighbors(&self, pe: PeId) -> &[PeId] {
+        &self.neighbors[pe.index()]
+    }
+
+    /// Neighbor of `src` on a shortest path towards `dst`.
+    #[inline]
+    pub fn next_hop(&self, src: PeId, dst: PeId) -> PeId {
+        self.next_hop[src.index() * self.n + dst.index()]
+    }
+
+    /// Shortest-path hop count between two PEs.
+    #[inline]
+    pub fn distance(&self, src: PeId, dst: PeId) -> u32 {
+        self.dist[src.index() * self.n + dst.index()]
+    }
+
+    /// Largest shortest-path distance in the network.
+    pub fn diameter(&self) -> u32 {
+        self.dist.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean shortest-path distance over all ordered pairs of distinct PEs —
+    /// the quantity that fixes how many link-crossings an average packet
+    /// consumes, and therefore where uniform-traffic throughput saturates.
+    pub fn mean_distance(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let total: u64 = self.dist.iter().map(|&d| d as u64).sum();
+        total as f64 / (self.n * (self.n - 1)) as f64
+    }
+
+    /// Total number of *directed* links (each undirected link counts twice,
+    /// once per direction, matching the full-duplex links of the paper).
+    pub fn num_directed_links(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).sum()
+    }
+
+    /// Maximum link degree — must be ≤ 4 for the buildable topologies
+    /// (paper: "four communication links" per PE).
+    pub fn max_degree(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Analytic saturation throughput per PE under uniform random traffic,
+    /// in packets per second: aggregate link capacity divided by the mean
+    /// hop count a packet consumes, normalized per PE.
+    ///
+    /// This is the closed-form counterpart of the E1 simulation and is used
+    /// in tests to cross-validate the simulator.
+    pub fn uniform_saturation_pps(&self, link_pps: f64) -> f64 {
+        let capacity = self.num_directed_links() as f64 * link_pps;
+        capacity / self.mean_distance() / self.n as f64
+    }
+}
+
+/// Most-square factorization of `n` into `rows × cols` (rows ≤ cols).
+pub fn mesh_dims(n: usize) -> (usize, usize) {
+    let mut rows = (n as f64).sqrt() as usize;
+    while rows > 1 && n % rows != 0 {
+        rows -= 1;
+    }
+    (rows.max(1), n / rows.max(1))
+}
+
+fn mesh_neighbors(n: usize) -> Vec<Vec<PeId>> {
+    let (rows, cols) = mesh_dims(n);
+    let mut adj = vec![Vec::with_capacity(4); n];
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            let mut push = |rr: isize, cc: isize| {
+                if rr >= 0 && (rr as usize) < rows && cc >= 0 && (cc as usize) < cols {
+                    adj[id(r, c)].push(PeId::from(id(rr as usize, cc as usize)));
+                }
+            };
+            push(r as isize - 1, c as isize);
+            push(r as isize + 1, c as isize);
+            push(r as isize, c as isize - 1);
+            push(r as isize, c as isize + 1);
+        }
+    }
+    adj
+}
+
+fn chordal_ring_neighbors(n: usize, stride: usize) -> Result<Vec<Vec<PeId>>> {
+    if n < 3 {
+        return Err(PrismaError::Config(
+            "chordal ring needs at least 3 PEs".into(),
+        ));
+    }
+    let mut adj = vec![Vec::with_capacity(4); n];
+    for i in 0..n {
+        let mut add = |j: usize| {
+            let p = PeId::from(j);
+            if j != i && !adj[i].contains(&p) {
+                adj[i].push(p);
+            }
+        };
+        add((i + 1) % n);
+        add((i + n - 1) % n);
+        add((i + stride) % n);
+        add((i + n - stride % n) % n);
+    }
+    Ok(adj)
+}
+
+/// All-pairs BFS producing next-hop and distance tables.
+fn routing_tables(n: usize, adj: &[Vec<PeId>]) -> Result<(Vec<PeId>, Vec<u32>)> {
+    let mut next = vec![PeId(0); n * n];
+    let mut dist = vec![u32::MAX; n * n];
+    let mut queue = VecDeque::new();
+    for src in 0..n {
+        // BFS from src; record each node's *parent-side first hop*.
+        let row = src * n;
+        dist[row + src] = 0;
+        next[row + src] = PeId::from(src);
+        queue.clear();
+        queue.push_back(src);
+        // first_hop[v] = the neighbor of src through which v was first reached
+        let mut first_hop = vec![usize::MAX; n];
+        first_hop[src] = src;
+        while let Some(u) = queue.pop_front() {
+            for &vpe in &adj[u] {
+                let v = vpe.index();
+                if dist[row + v] == u32::MAX {
+                    dist[row + v] = dist[row + u] + 1;
+                    first_hop[v] = if u == src { v } else { first_hop[u] };
+                    next[row + v] = PeId::from(first_hop[v]);
+                    queue.push_back(v);
+                }
+            }
+        }
+        if dist[row..row + n].iter().any(|&d| d == u32::MAX) {
+            return Err(PrismaError::Config(
+                "topology is not connected".to_owned(),
+            ));
+        }
+    }
+    Ok((next, dist))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prisma_types::TopologyKind;
+
+    fn mesh64() -> Topology {
+        Topology::build(&MachineConfig::paper_prototype()).unwrap()
+    }
+
+    fn ring64() -> Topology {
+        let cfg = MachineConfig::paper_prototype()
+            .with_topology(TopologyKind::ChordalRing { stride: 8 });
+        Topology::build(&cfg).unwrap()
+    }
+
+    #[test]
+    fn paper_mesh_is_8x8() {
+        assert_eq!(mesh_dims(64), (8, 8));
+        let t = mesh64();
+        assert_eq!(t.num_pes(), 64);
+        assert_eq!(t.max_degree(), 4, "paper allows only 4 links per PE");
+        assert_eq!(t.diameter(), 14); // (8-1)+(8-1)
+        // 2*rows*(cols-1) + 2*cols*(rows-1) directed links = 224
+        assert_eq!(t.num_directed_links(), 224);
+    }
+
+    #[test]
+    fn chordal_ring_has_degree_four_and_shorter_diameter_than_plain_ring() {
+        let t = ring64();
+        assert_eq!(t.max_degree(), 4);
+        assert!(t.diameter() <= 8, "diameter {} too large", t.diameter());
+    }
+
+    #[test]
+    fn next_hop_walk_reaches_destination_in_distance_steps() {
+        for t in [mesh64(), ring64()] {
+            for (src, dst) in [(0usize, 63usize), (5, 42), (17, 17), (63, 0)] {
+                let (src, dst) = (PeId::from(src), PeId::from(dst));
+                let mut cur = src;
+                let mut steps = 0;
+                while cur != dst {
+                    cur = t.next_hop(cur, dst);
+                    steps += 1;
+                    assert!(steps <= t.diameter(), "routing loop {src}->{dst}");
+                }
+                assert_eq!(steps, t.distance(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_distance_of_8x8_mesh_matches_closed_form() {
+        // Mean Manhattan distance on an m×m grid over ordered distinct
+        // pairs: 2*m*(m^2-1)/3 / (m^2-1) ... computed directly instead:
+        let t = mesh64();
+        let mut total = 0u64;
+        let mut pairs = 0u64;
+        for a in 0..64 {
+            for b in 0..64 {
+                if a != b {
+                    total += t.distance(PeId(a), PeId(b)) as u64;
+                    pairs += 1;
+                }
+            }
+        }
+        let mean = total as f64 / pairs as f64;
+        assert!((t.mean_distance() - mean).abs() < 1e-9);
+        // 8x8 mesh mean distance is 16/3 ≈ 5.33 over all pairs incl. self;
+        // over distinct pairs slightly higher.
+        assert!(mean > 5.0 && mean < 5.6, "mean {mean}");
+    }
+
+    #[test]
+    fn fully_connected_is_distance_one() {
+        let cfg = MachineConfig::tiny().with_topology(TopologyKind::FullyConnected);
+        let t = Topology::build(&cfg).unwrap();
+        assert_eq!(t.diameter(), 1);
+        assert_eq!(t.mean_distance(), 1.0);
+    }
+
+    #[test]
+    fn saturation_estimate_is_near_20k_for_paper_machine() {
+        // One 10 Mbit/s link moves 39062.5 packets of 256 bits per second.
+        let link_pps = 10_000_000.0 / 256.0;
+        let mesh = mesh64().uniform_saturation_pps(link_pps);
+        let ring = ring64().uniform_saturation_pps(link_pps);
+        // The paper reports "up to 20.000 packets per second per PE". The
+        // analytic bound assumes perfectly balanced links, so it sits above
+        // the simulated number; both must share the paper's order of
+        // magnitude (the chordal ring's shorter mean distance puts its
+        // ideal bound near 39k, the mesh near 26k).
+        assert!(
+            mesh > 15_000.0 && mesh < 45_000.0,
+            "mesh saturation {mesh} out of the paper's ballpark"
+        );
+        assert!(
+            ring > 15_000.0 && ring < 45_000.0,
+            "ring saturation {ring} out of the paper's ballpark"
+        );
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        // A 2-PE "chordal ring" degenerates; builder must reject stride 0
+        // via config validation.
+        let cfg = MachineConfig {
+            num_pes: 2,
+            topology: TopologyKind::ChordalRing { stride: 1 },
+            ..MachineConfig::default()
+        };
+        assert!(Topology::build(&cfg).is_err());
+    }
+
+    #[test]
+    fn nonsquare_mesh_still_connected() {
+        let cfg = MachineConfig::default()
+            .with_pes(12)
+            .with_topology(TopologyKind::Mesh);
+        let t = Topology::build(&cfg).unwrap();
+        assert_eq!(mesh_dims(12), (3, 4));
+        assert!(t.diameter() >= 1);
+    }
+}

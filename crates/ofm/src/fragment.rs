@@ -1,0 +1,295 @@
+//! A relation fragment: heap, secondary indexes, markings.
+
+use prisma_storage::{BTreeIndex, Cursor, HashIndex, Marking, Rid, TupleHeap};
+use prisma_types::{FragmentId, PrismaError, Result, Schema, Tuple};
+use std::collections::HashMap;
+
+/// Summary statistics the Global Data Handler's optimizer pulls from each
+/// fragment (cardinality and footprint feed the size-estimation rules of
+/// paper §2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FragmentStats {
+    /// Live tuples.
+    pub tuples: usize,
+    /// Payload bytes.
+    pub bytes: usize,
+}
+
+/// The storage state of one fragment, with index and marking maintenance
+/// on every mutation.
+#[derive(Debug, Default)]
+pub struct Fragment {
+    id: FragmentId,
+    schema: Schema,
+    heap: TupleHeap,
+    hash_indexes: Vec<HashIndex>,
+    btree_indexes: Vec<BTreeIndex>,
+    markings: HashMap<String, Marking>,
+}
+
+impl Fragment {
+    /// Empty fragment.
+    pub fn new(id: FragmentId, schema: Schema) -> Self {
+        Fragment {
+            id,
+            schema,
+            ..Fragment::default()
+        }
+    }
+
+    /// Fragment id.
+    pub fn id(&self) -> FragmentId {
+        self.id
+    }
+
+    /// Schema shared by all fragments of the relation.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Live tuple count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no live tuples.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Heap accessor (read-only).
+    pub fn heap(&self) -> &TupleHeap {
+        &self.heap
+    }
+
+    /// Stats snapshot.
+    pub fn stats(&self) -> FragmentStats {
+        FragmentStats {
+            tuples: self.heap.len(),
+            bytes: self.heap.byte_size(),
+        }
+    }
+
+    // ---- index management (the OFM's "various storage structures") ----
+
+    /// Add a hash index on `cols`, backfilled from existing tuples.
+    /// Returns its slot for [`Fragment::hash_index`].
+    pub fn add_hash_index(&mut self, cols: Vec<usize>) -> Result<usize> {
+        for &c in &cols {
+            if c >= self.schema.arity() {
+                return Err(PrismaError::ExprType(format!(
+                    "index column {c} out of range"
+                )));
+            }
+        }
+        let mut idx = HashIndex::new(cols);
+        for (rid, t) in self.heap.iter() {
+            idx.insert(t, rid);
+        }
+        self.hash_indexes.push(idx);
+        Ok(self.hash_indexes.len() - 1)
+    }
+
+    /// Add an ordered index on `cols`, backfilled.
+    pub fn add_btree_index(&mut self, cols: Vec<usize>) -> Result<usize> {
+        for &c in &cols {
+            if c >= self.schema.arity() {
+                return Err(PrismaError::ExprType(format!(
+                    "index column {c} out of range"
+                )));
+            }
+        }
+        let mut idx = BTreeIndex::new(cols);
+        for (rid, t) in self.heap.iter() {
+            idx.insert(t, rid);
+        }
+        self.btree_indexes.push(idx);
+        Ok(self.btree_indexes.len() - 1)
+    }
+
+    /// Hash indexes present.
+    pub fn hash_indexes(&self) -> &[HashIndex] {
+        &self.hash_indexes
+    }
+
+    /// Ordered indexes present.
+    pub fn btree_indexes(&self) -> &[BTreeIndex] {
+        &self.btree_indexes
+    }
+
+    /// Hash index by slot.
+    pub fn hash_index(&self, slot: usize) -> Option<&HashIndex> {
+        self.hash_indexes.get(slot)
+    }
+
+    /// Ordered index by slot.
+    pub fn btree_index(&self, slot: usize) -> Option<&BTreeIndex> {
+        self.btree_indexes.get(slot)
+    }
+
+    // ---- mutations (index + marking maintenance) ----
+
+    /// Insert after schema validation.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<Rid> {
+        self.schema.check_tuple(tuple.values())?;
+        let rid = self.heap.insert(tuple);
+        let t = self.heap.get(rid).expect("just inserted").clone();
+        for idx in &mut self.hash_indexes {
+            idx.insert(&t, rid);
+        }
+        for idx in &mut self.btree_indexes {
+            idx.insert(&t, rid);
+        }
+        Ok(rid)
+    }
+
+    /// Delete by Rid; maintains indexes and strips the Rid from every
+    /// marking (the paper's marking-maintenance duty).
+    pub fn delete(&mut self, rid: Rid) -> Option<Tuple> {
+        let t = self.heap.delete(rid)?;
+        for idx in &mut self.hash_indexes {
+            idx.remove(&t, rid);
+        }
+        for idx in &mut self.btree_indexes {
+            idx.remove(&t, rid);
+        }
+        for m in self.markings.values_mut() {
+            m.unmark(rid);
+        }
+        Some(t)
+    }
+
+    /// Replace the tuple at `rid` (validates, maintains indexes).
+    pub fn update(&mut self, rid: Rid, tuple: Tuple) -> Result<Option<Tuple>> {
+        self.schema.check_tuple(tuple.values())?;
+        let Some(old) = self.heap.update(rid, tuple.clone()) else {
+            return Ok(None);
+        };
+        for idx in &mut self.hash_indexes {
+            idx.remove(&old, rid);
+            idx.insert(&tuple, rid);
+        }
+        for idx in &mut self.btree_indexes {
+            idx.remove(&old, rid);
+            idx.insert(&tuple, rid);
+        }
+        Ok(Some(old))
+    }
+
+    /// Delete one live tuple equal to `value` (recovery's redo-delete).
+    pub fn delete_by_value(&mut self, value: &Tuple) -> Option<Rid> {
+        let rid = self
+            .heap
+            .iter()
+            .find(|(_, t)| *t == value)
+            .map(|(r, _)| r)?;
+        self.delete(rid);
+        Some(rid)
+    }
+
+    // ---- markings & cursors ----
+
+    /// Create or replace a named marking.
+    pub fn set_marking(&mut self, name: impl Into<String>, marking: Marking) {
+        self.markings.insert(name.into(), marking);
+    }
+
+    /// Fetch a marking.
+    pub fn marking(&self, name: &str) -> Option<&Marking> {
+        self.markings.get(name)
+    }
+
+    /// Drop a marking.
+    pub fn drop_marking(&mut self, name: &str) -> bool {
+        self.markings.remove(name).is_some()
+    }
+
+    /// Open a cursor over the whole fragment or over a marking.
+    pub fn open_cursor(&self, marking: Option<&str>) -> Result<Cursor> {
+        match marking {
+            None => Ok(Cursor::over_heap(&self.heap)),
+            Some(name) => self
+                .markings
+                .get(name)
+                .map(Cursor::over_marking)
+                .ok_or_else(|| PrismaError::Execution(format!("no marking named {name}"))),
+        }
+    }
+
+    /// All live tuples as a vector (snapshot).
+    pub fn all_tuples(&self) -> Vec<Tuple> {
+        self.heap.iter().map(|(_, t)| t.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prisma_types::{tuple, Column, DataType, Value};
+
+    fn frag() -> Fragment {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("name", DataType::Str),
+        ]);
+        Fragment::new(FragmentId(0), schema)
+    }
+
+    #[test]
+    fn indexes_maintained_across_mutations() {
+        let mut f = frag();
+        f.add_hash_index(vec![0]).unwrap();
+        f.add_btree_index(vec![0]).unwrap();
+        let r1 = f.insert(tuple![1, "a"]).unwrap();
+        let _r2 = f.insert(tuple![2, "b"]).unwrap();
+        assert_eq!(f.hash_index(0).unwrap().lookup_one(&Value::Int(1)), &[r1]);
+        f.update(r1, tuple![5, "a"]).unwrap();
+        assert!(f.hash_index(0).unwrap().lookup_one(&Value::Int(1)).is_empty());
+        assert_eq!(f.hash_index(0).unwrap().lookup_one(&Value::Int(5)), &[r1]);
+        f.delete(r1);
+        assert!(f.hash_index(0).unwrap().lookup_one(&Value::Int(5)).is_empty());
+        assert_eq!(f.btree_index(0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn backfill_on_index_creation() {
+        let mut f = frag();
+        f.insert(tuple![1, "a"]).unwrap();
+        f.insert(tuple![2, "b"]).unwrap();
+        let slot = f.add_hash_index(vec![1]).unwrap();
+        assert_eq!(f.hash_index(slot).unwrap().len(), 2);
+        assert!(f.add_hash_index(vec![7]).is_err());
+    }
+
+    #[test]
+    fn schema_enforced_on_insert_and_update() {
+        let mut f = frag();
+        assert!(f.insert(tuple!["not an int", 1]).is_err());
+        let r = f.insert(tuple![1, "a"]).unwrap();
+        assert!(f.update(r, tuple![1, 2]).is_err());
+    }
+
+    #[test]
+    fn markings_shrink_with_deletes() {
+        let mut f = frag();
+        let r1 = f.insert(tuple![1, "a"]).unwrap();
+        let r2 = f.insert(tuple![2, "b"]).unwrap();
+        f.set_marking("hot", Marking::from_rids([r1, r2]));
+        f.delete(r1);
+        assert_eq!(f.marking("hot").unwrap().len(), 1);
+        let mut cur = f.open_cursor(Some("hot")).unwrap();
+        assert_eq!(cur.next(f.heap()), Some(r2));
+        assert!(f.open_cursor(Some("cold")).is_err());
+        assert!(f.drop_marking("hot"));
+    }
+
+    #[test]
+    fn delete_by_value_removes_exactly_one() {
+        let mut f = frag();
+        f.insert(tuple![1, "dup"]).unwrap();
+        f.insert(tuple![1, "dup"]).unwrap();
+        assert!(f.delete_by_value(&tuple![1, "dup"]).is_some());
+        assert_eq!(f.len(), 1);
+        assert!(f.delete_by_value(&tuple![9, "nope"]).is_none());
+    }
+}

@@ -1,0 +1,698 @@
+//! The One-Fragment Manager.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use prisma_relalg::{eval, LogicalPlan, Relation, RelationProvider};
+use prisma_stable::{CheckpointStore, LogPayload, WriteAheadLog};
+use prisma_storage::expr::{CmpOp, ScalarExpr};
+use prisma_storage::Rid;
+use prisma_types::{FragmentId, PrismaError, Result, Schema, Tuple, TxnId, Value};
+
+use crate::fragment::{Fragment, FragmentStats};
+
+/// The OFM type, per the paper's *generative approach*: "Several OFM types
+/// are envisioned, each equipped with the right amount of tools. For
+/// example, OFMs needed for query processing only, do not require
+/// extensive crash recovery facilities."
+pub enum OfmKind {
+    /// Base-fragment OFM: WAL + checkpoints on a disk PE.
+    Persistent {
+        /// Shared write-ahead log (one per disk PE).
+        wal: Arc<WriteAheadLog>,
+        /// Shared checkpoint store.
+        checkpoints: Arc<CheckpointStore>,
+    },
+    /// Intermediate-result OFM: no recovery machinery at all.
+    Transient,
+}
+
+impl std::fmt::Debug for OfmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OfmKind::Persistent { .. } => f.write_str("Persistent"),
+            OfmKind::Transient => f.write_str("Transient"),
+        }
+    }
+}
+
+/// Which access path the local optimizer chose for a selection — exposed
+/// so tests and EXPLAIN output can verify index use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Full heap scan with a compiled predicate.
+    FullScan,
+    /// Hash-index point lookup on the given index slot.
+    HashLookup(usize),
+    /// B-tree range scan on the given index slot.
+    BTreeRange(usize),
+}
+
+#[derive(Debug)]
+enum UndoOp {
+    Inserted(Rid),
+    Deleted(Tuple),
+    Updated(Rid, Tuple),
+}
+
+/// A One-Fragment Manager: one fragment plus every local DBMS duty.
+pub struct Ofm {
+    name: String,
+    fragment: Fragment,
+    kind: OfmKind,
+    /// Per-transaction undo logs for local abort.
+    undo: HashMap<TxnId, Vec<UndoOp>>,
+    /// Transactions that voted yes in 2PC and await the decision.
+    prepared: HashMap<TxnId, ()>,
+}
+
+impl Ofm {
+    /// Build an empty OFM managing fragment `id` of relation `name`.
+    pub fn new(id: FragmentId, name: impl Into<String>, schema: Schema, kind: OfmKind) -> Self {
+        Ofm {
+            name: name.into(),
+            fragment: Fragment::new(id, schema),
+            kind,
+            undo: HashMap::new(),
+            prepared: HashMap::new(),
+        }
+    }
+
+    /// Relation name this fragment belongs to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Fragment id.
+    pub fn fragment_id(&self) -> FragmentId {
+        self.fragment.id()
+    }
+
+    /// Schema.
+    pub fn schema(&self) -> &Schema {
+        self.fragment.schema()
+    }
+
+    /// Whether this OFM carries recovery machinery.
+    pub fn is_persistent(&self) -> bool {
+        matches!(self.kind, OfmKind::Persistent { .. })
+    }
+
+    /// Storage statistics.
+    pub fn stats(&self) -> FragmentStats {
+        self.fragment.stats()
+    }
+
+    /// Direct fragment access (index creation, markings, cursors).
+    pub fn fragment_mut(&mut self) -> &mut Fragment {
+        &mut self.fragment
+    }
+
+    /// Direct fragment access (read).
+    pub fn fragment(&self) -> &Fragment {
+        &self.fragment
+    }
+
+    // ---- transactional mutations ----
+
+    fn log(&self, payload: &LogPayload) {
+        if let OfmKind::Persistent { wal, .. } = &self.kind {
+            wal.append(payload);
+        }
+    }
+
+    /// Insert under `txn` (undo-logged; WAL redo record appended).
+    pub fn insert(&mut self, txn: TxnId, tuple: Tuple) -> Result<Rid> {
+        let rid = self.fragment.insert(tuple.clone())?;
+        self.undo.entry(txn).or_default().push(UndoOp::Inserted(rid));
+        self.log(&LogPayload::Insert {
+            txn,
+            fragment: self.fragment.id(),
+            tuple,
+        });
+        Ok(rid)
+    }
+
+    /// Delete all tuples satisfying `predicate` under `txn`; returns count.
+    pub fn delete_where(&mut self, txn: TxnId, predicate: &ScalarExpr) -> Result<usize> {
+        predicate.check(self.fragment.schema())?;
+        let (_, candidates) = self.plan_selection(predicate);
+        let compiled = predicate.compile_predicate();
+        let rids: Vec<Rid> = candidates
+            .into_iter()
+            .filter(|&rid| self.fragment.heap().get(rid).is_some_and(|t| compiled(t)))
+            .collect();
+        let mut n = 0;
+        for rid in rids {
+            if let Some(t) = self.fragment.delete(rid) {
+                self.undo
+                    .entry(txn)
+                    .or_default()
+                    .push(UndoOp::Deleted(t.clone()));
+                self.log(&LogPayload::Delete {
+                    txn,
+                    fragment: self.fragment.id(),
+                    tuple: t,
+                });
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Update tuples satisfying `predicate`: each assignment sets column
+    /// `col` to the value of `expr` over the *old* tuple. Returns count.
+    pub fn update_where(
+        &mut self,
+        txn: TxnId,
+        predicate: &ScalarExpr,
+        assignments: &[(usize, ScalarExpr)],
+    ) -> Result<usize> {
+        predicate.check(self.fragment.schema())?;
+        for (col, e) in assignments {
+            if *col >= self.fragment.schema().arity() {
+                return Err(PrismaError::ExprType(format!(
+                    "assignment column {col} out of range"
+                )));
+            }
+            e.check(self.fragment.schema())?;
+        }
+        let (_, candidates) = self.plan_selection(predicate);
+        let pred = predicate.compile_predicate();
+        let compiled: Vec<(usize, prisma_storage::expr::CompiledExpr)> = assignments
+            .iter()
+            .map(|(c, e)| (*c, e.compile()))
+            .collect();
+        let mut n = 0;
+        for rid in candidates {
+            let Some(old) = self.fragment.heap().get(rid).cloned() else {
+                continue;
+            };
+            if !pred(&old) {
+                continue;
+            }
+            let mut values: Vec<Value> = old.values().to_vec();
+            for (col, f) in &compiled {
+                values[*col] = f(&old);
+            }
+            let new = Tuple::new(values);
+            self.fragment.update(rid, new.clone())?;
+            self.undo
+                .entry(txn)
+                .or_default()
+                .push(UndoOp::Updated(rid, old.clone()));
+            self.log(&LogPayload::Delete {
+                txn,
+                fragment: self.fragment.id(),
+                tuple: old,
+            });
+            self.log(&LogPayload::Insert {
+                txn,
+                fragment: self.fragment.id(),
+                tuple: new,
+            });
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    // ---- 2PC participant (persistent OFMs only need the disk work) ----
+
+    /// Phase 1: vote. Persistent OFMs force a `Prepared` record; transient
+    /// OFMs vote yes trivially. Returns simulated disk ns charged.
+    pub fn prepare(&mut self, txn: TxnId) -> Result<u64> {
+        let ns = if let OfmKind::Persistent { wal, .. } = &self.kind {
+            let (_, ns) = wal.append_durable(&LogPayload::Prepared { txn });
+            ns
+        } else {
+            0
+        };
+        self.prepared.insert(txn, ());
+        Ok(ns)
+    }
+
+    /// Phase 2: commit. Forces the `Commit` record for persistent OFMs and
+    /// discards the undo log. Returns simulated disk ns charged.
+    pub fn commit(&mut self, txn: TxnId) -> Result<u64> {
+        let ns = if let OfmKind::Persistent { wal, .. } = &self.kind {
+            let (_, ns) = wal.append_durable(&LogPayload::Commit { txn });
+            ns
+        } else {
+            0
+        };
+        self.prepared.remove(&txn);
+        self.undo.remove(&txn);
+        Ok(ns)
+    }
+
+    /// Abort: undo all of `txn`'s local effects in reverse order.
+    pub fn abort(&mut self, txn: TxnId) -> Result<()> {
+        self.prepared.remove(&txn);
+        if let Some(ops) = self.undo.remove(&txn) {
+            for op in ops.into_iter().rev() {
+                match op {
+                    UndoOp::Inserted(rid) => {
+                        self.fragment.delete(rid);
+                    }
+                    UndoOp::Deleted(t) => {
+                        self.fragment.insert(t)?;
+                    }
+                    UndoOp::Updated(rid, old) => {
+                        self.fragment.update(rid, old)?;
+                    }
+                }
+            }
+        }
+        self.log(&LogPayload::Abort { txn });
+        Ok(())
+    }
+
+    // ---- local query processing ----
+
+    /// The local query optimizer: inspect `predicate`'s indexable conjuncts
+    /// and choose an access path. Returns the chosen path and the candidate
+    /// Rids (for `FullScan`, all live Rids).
+    ///
+    /// Rules (in priority order, mirroring the knowledge-based flavor of
+    /// §2.4 at fragment scope):
+    /// 1. `col = literal` with a hash index on `col` → hash lookup;
+    /// 2. `col <cmp> literal` with a B-tree on `col` → range scan;
+    /// 3. otherwise → full scan.
+    pub fn plan_selection(&self, predicate: &ScalarExpr) -> (AccessPath, Vec<Rid>) {
+        let conjuncts = predicate.clone().split_conjunction();
+        // Rule 1: hash-index equality.
+        for c in &conjuncts {
+            if let Some((col, v)) = as_col_lit(c, CmpOp::Eq) {
+                for (slot, idx) in self.fragment.hash_indexes().iter().enumerate() {
+                    if idx.key_cols() == [col] {
+                        return (
+                            AccessPath::HashLookup(slot),
+                            idx.lookup_one(&v).to_vec(),
+                        );
+                    }
+                }
+            }
+        }
+        // Rule 2: B-tree range.
+        for c in &conjuncts {
+            if let ScalarExpr::Cmp(op, l, r) = c {
+                let (col, v, op) = match (l.as_ref(), r.as_ref()) {
+                    (ScalarExpr::Col(i), ScalarExpr::Lit(v)) => (*i, v.clone(), *op),
+                    (ScalarExpr::Lit(v), ScalarExpr::Col(i)) => (*i, v.clone(), op.flip()),
+                    _ => continue,
+                };
+                for (slot, idx) in self.fragment.btree_indexes().iter().enumerate() {
+                    if idx.key_cols() == [col] {
+                        let rids = match op {
+                            CmpOp::Eq => idx.lookup(&[v.clone()]).to_vec(),
+                            CmpOp::Lt => idx.range_one(None, Some((&v, false))),
+                            CmpOp::Le => idx.range_one(None, Some((&v, true))),
+                            CmpOp::Gt => idx.range_one(Some((&v, false)), None),
+                            CmpOp::Ge => idx.range_one(Some((&v, true)), None),
+                            CmpOp::Ne => continue,
+                        };
+                        return (AccessPath::BTreeRange(slot), rids);
+                    }
+                }
+            }
+        }
+        (AccessPath::FullScan, self.fragment.heap().rids())
+    }
+
+    /// Select tuples satisfying `predicate` (or all, for `None`), using
+    /// the local optimizer and the compiled-predicate fast path.
+    pub fn select(&self, predicate: Option<&ScalarExpr>) -> Result<Relation> {
+        let schema = self.fragment.schema().clone();
+        match predicate {
+            None => Ok(Relation::new(schema, self.fragment.all_tuples())),
+            Some(p) => {
+                p.check(&schema)?;
+                let (_, rids) = self.plan_selection(p);
+                let compiled = p.compile_predicate();
+                let mut out = Vec::new();
+                for rid in rids {
+                    if let Some(t) = self.fragment.heap().get(rid) {
+                        // The index narrowed candidates; the residual
+                        // predicate still applies in full.
+                        if compiled(t) {
+                            out.push(t.clone());
+                        }
+                    }
+                }
+                Ok(Relation::new(schema, out))
+            }
+        }
+    }
+
+    /// Execute a local subplan. Inside `plan`, `Scan(self.name())` reads
+    /// this fragment; `extra` supplies shipped-in build sides and other
+    /// intermediates by name.
+    pub fn execute(
+        &self,
+        plan: &LogicalPlan,
+        extra: &HashMap<String, Relation>,
+    ) -> Result<Relation> {
+        struct P<'a> {
+            ofm: &'a Ofm,
+            extra: &'a HashMap<String, Relation>,
+        }
+        impl RelationProvider for P<'_> {
+            fn relation(&self, name: &str) -> Result<Relation> {
+                if name == self.ofm.name {
+                    Ok(Relation::new(
+                        self.ofm.fragment.schema().clone(),
+                        self.ofm.fragment.all_tuples(),
+                    ))
+                } else {
+                    self.extra
+                        .get(name)
+                        .cloned()
+                        .ok_or_else(|| PrismaError::UnknownRelation(name.to_owned()))
+                }
+            }
+        }
+        eval(plan, &P { ofm: self, extra })
+    }
+
+    /// The paper's per-OFM transitive-closure operator applied to this
+    /// fragment (must be binary).
+    pub fn transitive_closure(&self) -> Result<Relation> {
+        prisma_relalg::eval::transitive_closure(Relation::new(
+            self.fragment.schema().clone(),
+            self.fragment.all_tuples(),
+        ))
+    }
+
+    /// Snapshot the fragment as a relation.
+    pub fn snapshot(&self) -> Relation {
+        Relation::new(self.fragment.schema().clone(), self.fragment.all_tuples())
+    }
+
+    // ---- checkpoint & recovery (persistent OFMs) ----
+
+    /// Write a checkpoint snapshot; returns simulated disk ns.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        let OfmKind::Persistent { wal, checkpoints } = &self.kind else {
+            return Err(PrismaError::Execution(
+                "transient OFM cannot checkpoint".into(),
+            ));
+        };
+        let lsn = wal.append(&LogPayload::Checkpoint {
+            fragment: self.fragment.id(),
+        });
+        let sync_ns = wal.sync();
+        let snap_ns = checkpoints.write(prisma_stable::checkpoint::Snapshot {
+            fragment: self.fragment.id(),
+            as_of_lsn: lsn,
+            tuples: self.fragment.all_tuples(),
+        });
+        Ok(sync_ns + snap_ns)
+    }
+
+    /// Rebuild a persistent OFM from stable storage after a crash:
+    /// latest checkpoint (if any) + redo of committed transactions'
+    /// records past the checkpoint LSN.
+    pub fn recover(
+        id: FragmentId,
+        name: impl Into<String>,
+        schema: Schema,
+        wal: Arc<WriteAheadLog>,
+        checkpoints: Arc<CheckpointStore>,
+    ) -> Result<Ofm> {
+        checkpoints.recover();
+        let mut ofm = Ofm::new(
+            id,
+            name,
+            schema,
+            OfmKind::Persistent {
+                wal: wal.clone(),
+                checkpoints: checkpoints.clone(),
+            },
+        );
+        let mut redo_after: Option<u64> = None;
+        if let Some(snap) = checkpoints.load(id) {
+            for t in snap.tuples {
+                ofm.fragment.insert(t)?;
+            }
+            redo_after = Some(snap.as_of_lsn);
+        }
+        let records = wal.read_durable();
+        let committed = WriteAheadLog::committed_txns(&records);
+        for rec in records {
+            if redo_after.is_some_and(|lsn| rec.lsn <= lsn) {
+                continue;
+            }
+            match rec.payload {
+                LogPayload::Insert { txn, fragment, tuple }
+                    if fragment == id && committed.contains(&txn) =>
+                {
+                    ofm.fragment.insert(tuple)?;
+                }
+                LogPayload::Delete { txn, fragment, tuple }
+                    if fragment == id && committed.contains(&txn) =>
+                {
+                    ofm.fragment.delete_by_value(&tuple);
+                }
+                _ => {}
+            }
+        }
+        Ok(ofm)
+    }
+}
+
+fn as_col_lit(e: &ScalarExpr, want: CmpOp) -> Option<(usize, Value)> {
+    if let ScalarExpr::Cmp(op, l, r) = e {
+        match (l.as_ref(), r.as_ref()) {
+            (ScalarExpr::Col(i), ScalarExpr::Lit(v)) if *op == want => {
+                return Some((*i, v.clone()))
+            }
+            (ScalarExpr::Lit(v), ScalarExpr::Col(i)) if op.flip() == want => {
+                return Some((*i, v.clone()))
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prisma_stable::{DiskProfile, SimulatedDisk, StableDevice};
+    use prisma_types::{tuple, Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("amount", DataType::Int),
+        ])
+    }
+
+    fn transient() -> Ofm {
+        Ofm::new(FragmentId(0), "acct", schema(), OfmKind::Transient)
+    }
+
+    fn persistent() -> (Ofm, Arc<WriteAheadLog>, Arc<CheckpointStore>) {
+        let wal_dev: Arc<dyn StableDevice> =
+            Arc::new(SimulatedDisk::new(DiskProfile::instant()));
+        let ck_dev: Arc<dyn StableDevice> =
+            Arc::new(SimulatedDisk::new(DiskProfile::instant()));
+        let wal = Arc::new(WriteAheadLog::new(wal_dev));
+        let ck = Arc::new(CheckpointStore::open(ck_dev));
+        let ofm = Ofm::new(
+            FragmentId(0),
+            "acct",
+            schema(),
+            OfmKind::Persistent {
+                wal: wal.clone(),
+                checkpoints: ck.clone(),
+            },
+        );
+        (ofm, wal, ck)
+    }
+
+    #[test]
+    fn abort_undoes_everything_in_reverse() {
+        let mut ofm = transient();
+        let txn = TxnId(1);
+        ofm.insert(txn, tuple![1, 100]).unwrap();
+        ofm.insert(TxnId(99), tuple![2, 200]).unwrap();
+        ofm.commit(TxnId(99)).unwrap();
+        ofm.update_where(
+            txn,
+            &ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::lit(2)),
+            &[(1, ScalarExpr::lit(999))],
+        )
+        .unwrap();
+        ofm.delete_where(txn, &ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::lit(2)))
+            .unwrap();
+        ofm.abort(txn).unwrap();
+        let snap = ofm.snapshot().canonicalized();
+        assert_eq!(snap.tuples(), &[tuple![2, 200]]);
+    }
+
+    #[test]
+    fn local_optimizer_picks_hash_then_btree_then_scan() {
+        let mut ofm = transient();
+        ofm.fragment_mut().add_hash_index(vec![0]).unwrap();
+        ofm.fragment_mut().add_btree_index(vec![1]).unwrap();
+        let txn = TxnId(1);
+        for i in 0..100 {
+            ofm.insert(txn, tuple![i, i * 10]).unwrap();
+        }
+        ofm.commit(txn).unwrap();
+        let (path, rids) =
+            ofm.plan_selection(&ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::lit(7)));
+        assert_eq!(path, AccessPath::HashLookup(0));
+        assert_eq!(rids.len(), 1);
+        let (path, rids) = ofm.plan_selection(&ScalarExpr::cmp(
+            CmpOp::Ge,
+            ScalarExpr::col(1),
+            ScalarExpr::lit(950),
+        ));
+        assert_eq!(path, AccessPath::BTreeRange(0));
+        assert_eq!(rids.len(), 5);
+        let (path, _) = ofm.plan_selection(&ScalarExpr::cmp(
+            CmpOp::Ne,
+            ScalarExpr::col(0),
+            ScalarExpr::lit(7),
+        ));
+        assert_eq!(path, AccessPath::FullScan);
+        // Reversed operand order still uses the index.
+        let (path, _) = ofm.plan_selection(&ScalarExpr::cmp(
+            CmpOp::Eq,
+            ScalarExpr::lit(7),
+            ScalarExpr::col(0),
+        ));
+        assert_eq!(path, AccessPath::HashLookup(0));
+    }
+
+    #[test]
+    fn select_with_index_matches_full_scan() {
+        let mut ofm = transient();
+        ofm.fragment_mut().add_btree_index(vec![1]).unwrap();
+        let txn = TxnId(1);
+        for i in 0..50 {
+            ofm.insert(txn, tuple![i, i % 7]).unwrap();
+        }
+        ofm.commit(txn).unwrap();
+        let pred = ScalarExpr::and(
+            ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(1), ScalarExpr::lit(3)),
+            ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(0), ScalarExpr::lit(10)),
+        );
+        let via_index = ofm.select(Some(&pred)).unwrap().canonicalized();
+        // Strip indexes: full scan reference.
+        let mut plain = transient();
+        for t in ofm.snapshot().tuples() {
+            plain.insert(txn, t.clone()).unwrap();
+        }
+        let via_scan = plain.select(Some(&pred)).unwrap().canonicalized();
+        assert_eq!(via_index, via_scan);
+        assert!(!via_index.is_empty());
+    }
+
+    #[test]
+    fn execute_local_plan_with_shipped_build_side() {
+        let mut ofm = transient();
+        let txn = TxnId(1);
+        for i in 0..10 {
+            ofm.insert(txn, tuple![i, i]).unwrap();
+        }
+        ofm.commit(txn).unwrap();
+        let build = Relation::new(
+            Schema::new(vec![Column::new("k", DataType::Int)]),
+            vec![tuple![3], tuple![5]],
+        );
+        let plan = LogicalPlan::scan("acct", ofm.schema().clone()).join(
+            LogicalPlan::scan("build", build.schema().clone()),
+            vec![(0, 0)],
+        );
+        let mut extra = HashMap::new();
+        extra.insert("build".to_owned(), build);
+        let out = ofm.execute(&plan, &extra).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn recovery_replays_committed_only() {
+        let (mut ofm, wal, ck) = persistent();
+        let t1 = TxnId(1);
+        let t2 = TxnId(2);
+        ofm.insert(t1, tuple![1, 100]).unwrap();
+        ofm.prepare(t1).unwrap();
+        ofm.commit(t1).unwrap();
+        ofm.insert(t2, tuple![2, 200]).unwrap();
+        // t2 never commits; crash now (lose nothing synced? records of t2
+        // were appended but commit record absent).
+        wal.sync();
+        wal.device().crash(None);
+        let rec = Ofm::recover(FragmentId(0), "acct", schema(), wal, ck).unwrap();
+        let snap = rec.snapshot().canonicalized();
+        assert_eq!(snap.tuples(), &[tuple![1, 100]]);
+    }
+
+    #[test]
+    fn recovery_with_checkpoint_and_suffix() {
+        let (mut ofm, wal, ck) = persistent();
+        let t1 = TxnId(1);
+        ofm.insert(t1, tuple![1, 100]).unwrap();
+        ofm.insert(t1, tuple![2, 200]).unwrap();
+        ofm.commit(t1).unwrap();
+        ofm.checkpoint().unwrap();
+        let t2 = TxnId(2);
+        ofm.delete_where(t2, &ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::lit(1)))
+            .unwrap();
+        ofm.insert(t2, tuple![3, 300]).unwrap();
+        ofm.commit(t2).unwrap();
+        wal.device().crash(None);
+        let rec = Ofm::recover(FragmentId(0), "acct", schema(), wal, ck).unwrap();
+        let snap = rec.snapshot().canonicalized();
+        assert_eq!(snap.tuples(), &[tuple![2, 200], tuple![3, 300]]);
+    }
+
+    #[test]
+    fn update_is_logged_as_delete_insert_for_recovery() {
+        let (mut ofm, wal, ck) = persistent();
+        let t1 = TxnId(1);
+        ofm.insert(t1, tuple![1, 100]).unwrap();
+        ofm.commit(t1).unwrap();
+        let t2 = TxnId(2);
+        ofm.update_where(
+            t2,
+            &ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::lit(1)),
+            &[(1, ScalarExpr::arith(
+                prisma_storage::expr::ArithOp::Add,
+                ScalarExpr::col(1),
+                ScalarExpr::lit(1),
+            ))],
+        )
+        .unwrap();
+        ofm.commit(t2).unwrap();
+        wal.device().crash(None);
+        let rec = Ofm::recover(FragmentId(0), "acct", schema(), wal, ck).unwrap();
+        assert_eq!(rec.snapshot().tuples(), &[tuple![1, 101]]);
+    }
+
+    #[test]
+    fn transient_ofm_cannot_checkpoint_and_preps_for_free() {
+        let mut ofm = transient();
+        assert!(ofm.checkpoint().is_err());
+        assert_eq!(ofm.prepare(TxnId(1)).unwrap(), 0);
+    }
+
+    #[test]
+    fn closure_operator_on_fragment() {
+        let edge_schema = Schema::new(vec![
+            Column::new("src", DataType::Int),
+            Column::new("dst", DataType::Int),
+        ]);
+        let mut ofm = Ofm::new(FragmentId(1), "edge", edge_schema, OfmKind::Transient);
+        let txn = TxnId(1);
+        for (a, b) in [(1, 2), (2, 3)] {
+            ofm.insert(txn, tuple![a, b]).unwrap();
+        }
+        ofm.commit(txn).unwrap();
+        let tc = ofm.transitive_closure().unwrap();
+        assert_eq!(tc.len(), 3);
+    }
+}

@@ -1,0 +1,188 @@
+//! Constant folding — the simplest logical-transformation rules.
+
+use prisma_relalg::LogicalPlan;
+use prisma_storage::expr::ScalarExpr;
+use prisma_types::{Tuple, Value};
+
+use crate::Trace;
+
+/// Fold constant subexpressions in every predicate/projection, remove
+/// `Select(TRUE)`, and collapse `Select(FALSE)` to an empty `Values`.
+pub fn fold_constants(plan: LogicalPlan, trace: &mut Trace) -> LogicalPlan {
+    plan.transform_up(&mut |node| match node {
+        LogicalPlan::Select { input, predicate } => {
+            let folded = fold_expr(&predicate);
+            match &folded {
+                ScalarExpr::Lit(Value::Bool(true)) => {
+                    trace.note("constant-fold", "removed Select(TRUE)");
+                    *input
+                }
+                ScalarExpr::Lit(Value::Bool(false)) | ScalarExpr::Lit(Value::Null) => {
+                    trace.note("constant-fold", "Select(FALSE) → empty");
+                    let schema = input.output_schema().unwrap_or_default();
+                    LogicalPlan::Values {
+                        schema,
+                        rows: vec![],
+                    }
+                }
+                _ => {
+                    if folded != predicate {
+                        trace.note("constant-fold", format!("simplified {predicate}"));
+                    }
+                    LogicalPlan::Select {
+                        input,
+                        predicate: folded,
+                    }
+                }
+            }
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input,
+            exprs: exprs.iter().map(fold_expr).collect(),
+            schema,
+        },
+        other => other,
+    })
+}
+
+/// Fold one scalar expression.
+pub fn fold_expr(e: &ScalarExpr) -> ScalarExpr {
+    match e {
+        ScalarExpr::Col(_) | ScalarExpr::Lit(_) => e.clone(),
+        ScalarExpr::Cmp(op, l, r) => {
+            let (l, r) = (fold_expr(l), fold_expr(r));
+            if let (ScalarExpr::Lit(a), ScalarExpr::Lit(b)) = (&l, &r) {
+                return match a.sql_cmp(b) {
+                    None => ScalarExpr::Lit(Value::Null),
+                    Some(ord) => ScalarExpr::Lit(Value::Bool(op.test(ord))),
+                };
+            }
+            ScalarExpr::cmp(*op, l, r)
+        }
+        ScalarExpr::Arith(op, l, r) => {
+            let (l, r) = (fold_expr(l), fold_expr(r));
+            if let (ScalarExpr::Lit(_), ScalarExpr::Lit(_)) = (&l, &r) {
+                let probe = ScalarExpr::arith(*op, l.clone(), r.clone());
+                if let Ok(v) = probe.eval(&Tuple::unit()) {
+                    return ScalarExpr::Lit(v);
+                }
+            }
+            ScalarExpr::arith(*op, l, r)
+        }
+        ScalarExpr::And(l, r) => {
+            let (l, r) = (fold_expr(l), fold_expr(r));
+            match (&l, &r) {
+                (ScalarExpr::Lit(Value::Bool(true)), _) => r,
+                (_, ScalarExpr::Lit(Value::Bool(true))) => l,
+                (ScalarExpr::Lit(Value::Bool(false)), _)
+                | (_, ScalarExpr::Lit(Value::Bool(false))) => {
+                    ScalarExpr::Lit(Value::Bool(false))
+                }
+                _ => ScalarExpr::and(l, r),
+            }
+        }
+        ScalarExpr::Or(l, r) => {
+            let (l, r) = (fold_expr(l), fold_expr(r));
+            match (&l, &r) {
+                (ScalarExpr::Lit(Value::Bool(false)), _) => r,
+                (_, ScalarExpr::Lit(Value::Bool(false))) => l,
+                (ScalarExpr::Lit(Value::Bool(true)), _)
+                | (_, ScalarExpr::Lit(Value::Bool(true))) => ScalarExpr::Lit(Value::Bool(true)),
+                _ => ScalarExpr::or(l, r),
+            }
+        }
+        ScalarExpr::Not(x) => {
+            let x = fold_expr(x);
+            match &x {
+                ScalarExpr::Lit(Value::Bool(b)) => ScalarExpr::Lit(Value::Bool(!b)),
+                ScalarExpr::Lit(Value::Null) => ScalarExpr::Lit(Value::Null),
+                ScalarExpr::Not(inner) => (**inner).clone(),
+                _ => ScalarExpr::Not(Box::new(x)),
+            }
+        }
+        ScalarExpr::IsNull(x) => {
+            let x = fold_expr(x);
+            match &x {
+                ScalarExpr::Lit(v) => ScalarExpr::Lit(Value::Bool(v.is_null())),
+                _ => ScalarExpr::IsNull(Box::new(x)),
+            }
+        }
+        ScalarExpr::Neg(x) => {
+            let x = fold_expr(x);
+            if let ScalarExpr::Lit(_) = &x {
+                let probe = ScalarExpr::Neg(Box::new(x.clone()));
+                if let Ok(v) = probe.eval(&Tuple::unit()) {
+                    return ScalarExpr::Lit(v);
+                }
+            }
+            ScalarExpr::Neg(Box::new(x))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prisma_storage::expr::{ArithOp, CmpOp};
+    use prisma_types::{Column, DataType, Schema};
+
+    fn scan() -> LogicalPlan {
+        LogicalPlan::scan(
+            "t",
+            Schema::new(vec![Column::new("a", DataType::Int)]),
+        )
+    }
+
+    #[test]
+    fn folds_literal_arithmetic_and_comparison() {
+        let e = ScalarExpr::cmp(
+            CmpOp::Gt,
+            ScalarExpr::arith(ArithOp::Add, ScalarExpr::lit(2), ScalarExpr::lit(3)),
+            ScalarExpr::lit(4),
+        );
+        assert_eq!(fold_expr(&e), ScalarExpr::lit(true));
+    }
+
+    #[test]
+    fn and_or_identities() {
+        let e = ScalarExpr::and(
+            ScalarExpr::lit(true),
+            ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col(0), ScalarExpr::lit(1)),
+        );
+        assert!(matches!(fold_expr(&e), ScalarExpr::Cmp(..)));
+        let e = ScalarExpr::or(
+            ScalarExpr::lit(true),
+            ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col(0), ScalarExpr::lit(1)),
+        );
+        assert_eq!(fold_expr(&e), ScalarExpr::lit(true));
+        let e = ScalarExpr::Not(Box::new(ScalarExpr::Not(Box::new(ScalarExpr::col(0)))));
+        assert_eq!(fold_expr(&e), ScalarExpr::col(0));
+    }
+
+    #[test]
+    fn select_true_removed_select_false_emptied() {
+        let mut trace = Trace::default();
+        let p = scan().select(ScalarExpr::lit(true));
+        let out = fold_constants(p, &mut trace);
+        assert!(matches!(out, LogicalPlan::Scan { .. }));
+        let mut trace = Trace::default();
+        let p = scan().select(ScalarExpr::cmp(
+            CmpOp::Lt,
+            ScalarExpr::lit(5),
+            ScalarExpr::lit(1),
+        ));
+        let out = fold_constants(p, &mut trace);
+        assert!(matches!(out, LogicalPlan::Values { ref rows, .. } if rows.is_empty()));
+    }
+
+    #[test]
+    fn division_by_zero_not_folded_to_panic() {
+        let e = ScalarExpr::arith(ArithOp::Div, ScalarExpr::lit(1), ScalarExpr::lit(0));
+        // Stays unfolded (runtime will error); folding must not panic.
+        assert!(matches!(fold_expr(&e), ScalarExpr::Arith(..)));
+    }
+}

@@ -1,0 +1,284 @@
+//! Column pruning: ship only the columns a query actually uses.
+//!
+//! On a shared-nothing machine, narrower intermediate results mean fewer
+//! 256-bit packets between PEs, so pruning is a *communication* rule as
+//! much as a memory one. The pass inserts projections below joins and
+//! keeps the root schema unchanged.
+
+use prisma_relalg::{JoinKind, LogicalPlan};
+use prisma_storage::expr::ScalarExpr;
+use prisma_types::Result;
+
+use crate::Trace;
+
+/// Prune unused columns below joins. The plan's output schema is
+/// preserved exactly.
+pub fn prune_columns(plan: LogicalPlan, trace: &mut Trace) -> Result<LogicalPlan> {
+    walk(plan, trace)
+}
+
+fn walk(plan: LogicalPlan, trace: &mut Trace) -> Result<LogicalPlan> {
+    Ok(match plan {
+        // The interesting site: Project over Join — compute which input
+        // columns the projection + join machinery need, and narrow each
+        // join side with a sub-projection.
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let input = walk(*input, trace)?;
+            if let LogicalPlan::Join {
+                left,
+                right,
+                kind: JoinKind::Inner,
+                on,
+                residual,
+            } = input
+            {
+                let lschema = left.output_schema()?;
+                let rschema = right.output_schema()?;
+                let larity = lschema.arity();
+                let total = larity + rschema.arity();
+                // Required input columns.
+                let mut needed = vec![false; total];
+                for e in &exprs {
+                    for c in e.columns() {
+                        if c < total {
+                            needed[c] = true;
+                        }
+                    }
+                }
+                for &(l, r) in &on {
+                    needed[l] = true;
+                    needed[larity + r] = true;
+                }
+                if let Some(res) = &residual {
+                    for c in res.columns() {
+                        if c < total {
+                            needed[c] = true;
+                        }
+                    }
+                }
+                let lkeep: Vec<usize> = (0..larity).filter(|&i| needed[i]).collect();
+                let rkeep: Vec<usize> =
+                    (larity..total).filter(|&i| needed[i]).map(|i| i - larity).collect();
+                if lkeep.len() == larity && rkeep.len() == rschema.arity() {
+                    // Nothing to prune.
+                    return Ok(LogicalPlan::Project {
+                        input: Box::new(LogicalPlan::Join {
+                            left,
+                            right,
+                            kind: JoinKind::Inner,
+                            on,
+                            residual,
+                        }),
+                        exprs,
+                        schema,
+                    });
+                }
+                trace.note(
+                    "prune-columns",
+                    format!(
+                        "join inputs narrowed {}→{} and {}→{} columns",
+                        larity,
+                        lkeep.len(),
+                        rschema.arity(),
+                        rkeep.len()
+                    ),
+                );
+                // Old ordinal → new ordinal maps.
+                let lmap: Vec<usize> = (0..larity)
+                    .map(|i| lkeep.iter().position(|&k| k == i).unwrap_or(usize::MAX))
+                    .collect();
+                let rmap: Vec<usize> = (0..rschema.arity())
+                    .map(|i| rkeep.iter().position(|&k| k == i).unwrap_or(usize::MAX))
+                    .collect();
+                let new_larity = lkeep.len();
+                let remap = |c: usize| -> usize {
+                    if c < larity {
+                        lmap[c]
+                    } else {
+                        new_larity + rmap[c - larity]
+                    }
+                };
+                let new_left = left.project_cols(&lkeep)?;
+                let new_right = right.project_cols(&rkeep)?;
+                let new_on: Vec<(usize, usize)> =
+                    on.iter().map(|&(l, r)| (lmap[l], rmap[r])).collect();
+                let new_residual = residual.map(|res| res.remap_columns(&remap));
+                let new_exprs: Vec<ScalarExpr> =
+                    exprs.iter().map(|e| e.remap_columns(&remap)).collect();
+                LogicalPlan::Project {
+                    input: Box::new(LogicalPlan::Join {
+                        left: Box::new(new_left),
+                        right: Box::new(new_right),
+                        kind: JoinKind::Inner,
+                        on: new_on,
+                        residual: new_residual,
+                    }),
+                    exprs: new_exprs,
+                    schema,
+                }
+            } else {
+                LogicalPlan::Project {
+                    input: Box::new(input),
+                    exprs,
+                    schema,
+                }
+            }
+        }
+        // Everything else: recurse structurally.
+        LogicalPlan::Select { input, predicate } => LogicalPlan::Select {
+            input: Box::new(walk(*input, trace)?),
+            predicate,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            residual,
+        } => LogicalPlan::Join {
+            left: Box::new(walk(*left, trace)?),
+            right: Box::new(walk(*right, trace)?),
+            kind,
+            on,
+            residual,
+        },
+        LogicalPlan::Union { left, right, all } => LogicalPlan::Union {
+            left: Box::new(walk(*left, trace)?),
+            right: Box::new(walk(*right, trace)?),
+            all,
+        },
+        LogicalPlan::Difference { left, right } => LogicalPlan::Difference {
+            left: Box::new(walk(*left, trace)?),
+            right: Box::new(walk(*right, trace)?),
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(walk(*input, trace)?),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(walk(*input, trace)?),
+            group_by,
+            aggs,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(walk(*input, trace)?),
+            keys,
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(walk(*input, trace)?),
+            n,
+        },
+        LogicalPlan::Closure { input } => LogicalPlan::Closure {
+            input: Box::new(walk(*input, trace)?),
+        },
+        LogicalPlan::Fixpoint { name, base, step } => LogicalPlan::Fixpoint {
+            name,
+            base: Box::new(walk(*base, trace)?),
+            step: Box::new(walk(*step, trace)?),
+        },
+        leaf => leaf,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prisma_relalg::{eval, Relation};
+    use prisma_types::{tuple, Column, DataType, Schema};
+    use std::collections::HashMap;
+
+    fn db() -> HashMap<String, Relation> {
+        let wide = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+            Column::new("c", DataType::Str),
+            Column::new("d", DataType::Str),
+        ]);
+        let narrow = Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("v", DataType::Str),
+        ]);
+        let mut db = HashMap::new();
+        db.insert(
+            "wide".to_owned(),
+            Relation::new(
+                wide,
+                (0..50)
+                    .map(|i| tuple![i, i % 5, format!("c{i}"), format!("d{i}")])
+                    .collect(),
+            ),
+        );
+        db.insert(
+            "narrow".to_owned(),
+            Relation::new(
+                narrow,
+                (0..5).map(|i| tuple![i, format!("v{i}")]).collect(),
+            ),
+        );
+        db
+    }
+
+    #[test]
+    fn join_inputs_are_narrowed() {
+        let db = db();
+        // SELECT wide.a, narrow.v FROM wide JOIN narrow ON wide.b = narrow.k
+        let join = LogicalPlan::scan("wide", db["wide"].schema().clone()).join(
+            LogicalPlan::scan("narrow", db["narrow"].schema().clone()),
+            vec![(1, 0)],
+        );
+        let plan = LogicalPlan::Project {
+            input: Box::new(join),
+            exprs: vec![ScalarExpr::Col(0), ScalarExpr::Col(5)],
+            schema: Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("v", DataType::Str),
+            ]),
+        };
+        let mut trace = Trace::default();
+        let pruned = prune_columns(plan.clone(), &mut trace).unwrap();
+        assert_eq!(trace.count_of("prune-columns"), 1);
+        let before = eval(&plan, &db).unwrap();
+        let after = eval(&pruned, &db).unwrap();
+        assert_eq!(before.schema(), after.schema());
+        assert_eq!(before.canonicalized(), after.canonicalized());
+        // The join inside now sees 2-column left input (a, b).
+        fn join_arities(p: &LogicalPlan) -> Option<(usize, usize)> {
+            match p {
+                LogicalPlan::Join { left, right, .. } => Some((
+                    left.output_schema().unwrap().arity(),
+                    right.output_schema().unwrap().arity(),
+                )),
+                _ => p.children().iter().find_map(|c| join_arities(c)),
+            }
+        }
+        let (l, r) = join_arities(&pruned).unwrap();
+        assert_eq!(l, 2, "left should keep only a and the key b");
+        assert_eq!(r, 2, "right keeps k (key) and v");
+        pruned.validate().unwrap();
+    }
+
+    #[test]
+    fn no_prune_when_all_columns_used() {
+        let db = db();
+        let join = LogicalPlan::scan("narrow", db["narrow"].schema().clone()).join(
+            LogicalPlan::scan("narrow", db["narrow"].schema().clone()),
+            vec![(0, 0)],
+        );
+        let plan = LogicalPlan::Project {
+            input: Box::new(join),
+            exprs: (0..4).map(ScalarExpr::Col).collect(),
+            schema: db["narrow"].schema().join(db["narrow"].schema()),
+        };
+        let mut trace = Trace::default();
+        let pruned = prune_columns(plan.clone(), &mut trace).unwrap();
+        assert_eq!(pruned, plan);
+        assert_eq!(trace.count_of("prune-columns"), 0);
+    }
+}

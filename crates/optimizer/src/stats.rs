@@ -1,0 +1,109 @@
+//! Relation statistics for size estimation.
+
+use std::collections::HashMap;
+
+use prisma_relalg::Relation;
+use prisma_storage::FastSet;
+use prisma_types::Value;
+
+/// Per-relation statistics kept by the data dictionary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableStats {
+    /// Total tuples across all fragments.
+    pub rows: u64,
+    /// Distinct values per column.
+    pub distinct: Vec<u64>,
+    /// Min value per column (None for empty/NULL-only columns).
+    pub min: Vec<Option<Value>>,
+    /// Max value per column.
+    pub max: Vec<Option<Value>>,
+}
+
+impl TableStats {
+    /// Exact statistics computed from a materialized relation (fragments
+    /// are small enough in main memory that exact stats are affordable —
+    /// one of the luxuries of the PRISMA design).
+    pub fn from_relation(rel: &Relation) -> TableStats {
+        let arity = rel.schema().arity();
+        let mut distinct_sets: Vec<FastSet<&Value>> = vec![FastSet::default(); arity];
+        let mut min: Vec<Option<Value>> = vec![None; arity];
+        let mut max: Vec<Option<Value>> = vec![None; arity];
+        for t in rel.tuples() {
+            for i in 0..arity {
+                let v = t.get(i);
+                if v.is_null() {
+                    continue;
+                }
+                distinct_sets[i].insert(v);
+                if min[i].as_ref().is_none_or(|m| v < m) {
+                    min[i] = Some(v.clone());
+                }
+                if max[i].as_ref().is_none_or(|m| v > m) {
+                    max[i] = Some(v.clone());
+                }
+            }
+        }
+        TableStats {
+            rows: rel.len() as u64,
+            distinct: distinct_sets.iter().map(|s| s.len() as u64).collect(),
+            min,
+            max,
+        }
+    }
+
+    /// Distinct count for a column (1 at minimum, so selectivity math
+    /// never divides by zero).
+    pub fn distinct_of(&self, col: usize) -> f64 {
+        self.distinct.get(col).copied().unwrap_or(1).max(1) as f64
+    }
+}
+
+/// Source of statistics, keyed by relation name.
+pub trait StatsSource {
+    /// Stats for a base relation, if known.
+    fn table_stats(&self, name: &str) -> Option<TableStats>;
+}
+
+impl StatsSource for HashMap<String, TableStats> {
+    fn table_stats(&self, name: &str) -> Option<TableStats> {
+        self.get(name).cloned()
+    }
+}
+
+/// A stats source that knows nothing (every estimate falls back to
+/// defaults) — used to test estimator robustness.
+pub struct NoStats;
+
+impl StatsSource for NoStats {
+    fn table_stats(&self, _name: &str) -> Option<TableStats> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prisma_types::{tuple, Column, DataType, Schema};
+
+    #[test]
+    fn exact_stats() {
+        let rel = Relation::new(
+            Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::nullable("b", DataType::Str),
+            ]),
+            vec![
+                tuple![1, "x"],
+                tuple![2, "x"],
+                prisma_types::Tuple::new(vec![Value::Int(2), Value::Null]),
+            ],
+        );
+        let s = TableStats::from_relation(&rel);
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.distinct, vec![2, 1]);
+        assert_eq!(s.min[0], Some(Value::Int(1)));
+        assert_eq!(s.max[0], Some(Value::Int(2)));
+        assert_eq!(s.min[1], Some(Value::from("x")));
+        assert_eq!(s.distinct_of(9), 1.0);
+    }
+}

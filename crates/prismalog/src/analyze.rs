@@ -1,0 +1,229 @@
+//! Static analysis: safety, arity consistency, dependency SCCs.
+
+use std::collections::{HashMap, HashSet};
+
+use prisma_types::{PrismaError, Result};
+
+use crate::ast::{Literal, Program, Rule};
+
+/// Check the **safety** (range restriction) condition: every variable in a
+/// rule head or in a comparison literal must occur in a positive body
+/// atom. Unsafe rules would denote infinite relations.
+pub fn check_safety(rule: &Rule) -> Result<()> {
+    let mut bound: HashSet<&str> = HashSet::new();
+    for atom in rule.body_atoms() {
+        for v in atom.vars() {
+            bound.insert(v);
+        }
+    }
+    for v in rule.head.vars() {
+        if !bound.contains(v) && !rule.body.is_empty() {
+            return Err(PrismaError::UnsafeRule(format!(
+                "head variable {v} of `{rule}` is not bound by a body atom"
+            )));
+        }
+        if rule.body.is_empty() {
+            return Err(PrismaError::UnsafeRule(format!(
+                "fact `{rule}` contains a variable"
+            )));
+        }
+    }
+    for lit in &rule.body {
+        if let Literal::Cmp(_, l, r) = lit {
+            for t in [l, r] {
+                if let Some(v) = t.as_var() {
+                    if !bound.contains(v) {
+                        return Err(PrismaError::UnsafeRule(format!(
+                            "comparison variable {v} of `{rule}` is not bound by a body atom"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check every rule of a program for safety and for consistent predicate
+/// arities (across heads, bodies and EDB uses).
+pub fn check_program(program: &Program) -> Result<()> {
+    let mut arities: HashMap<String, usize> = HashMap::new();
+    let mut note = |pred: &str, n: usize| -> Result<()> {
+        match arities.get(pred) {
+            Some(&m) if m != n => Err(PrismaError::UnsafeRule(format!(
+                "predicate {pred} used with arities {m} and {n}"
+            ))),
+            _ => {
+                arities.insert(pred.to_owned(), n);
+                Ok(())
+            }
+        }
+    };
+    for rule in &program.rules {
+        check_safety(rule)?;
+        note(&rule.head.pred, rule.head.args.len())?;
+        for atom in rule.body_atoms() {
+            note(&atom.pred, atom.args.len())?;
+        }
+    }
+    Ok(())
+}
+
+/// Strongly connected components of the predicate dependency graph, in
+/// **topological order** (dependencies before dependents). Predicates not
+/// defined in the program (EDB relations) are excluded.
+pub fn sccs(program: &Program) -> Vec<Vec<String>> {
+    let defined: HashSet<&str> = program
+        .rules
+        .iter()
+        .map(|r| r.head.pred.as_str())
+        .collect();
+    // Edges: head -> body predicate (for defined predicates only).
+    let mut nodes: Vec<&str> = defined.iter().copied().collect();
+    nodes.sort();
+    let index: HashMap<&str, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut adj = vec![Vec::new(); nodes.len()];
+    for rule in &program.rules {
+        let h = index[rule.head.pred.as_str()];
+        for atom in rule.body_atoms() {
+            if let Some(&b) = index.get(atom.pred.as_str()) {
+                if !adj[h].contains(&b) {
+                    adj[h].push(b);
+                }
+            }
+        }
+    }
+    // Tarjan's algorithm (iterative enough at these sizes to recurse).
+    struct T<'a> {
+        adj: &'a [Vec<usize>],
+        idx: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        counter: usize,
+        out: Vec<Vec<usize>>,
+    }
+    impl T<'_> {
+        fn visit(&mut self, v: usize) {
+            self.idx[v] = Some(self.counter);
+            self.low[v] = self.counter;
+            self.counter += 1;
+            self.stack.push(v);
+            self.on_stack[v] = true;
+            for i in 0..self.adj[v].len() {
+                let w = self.adj[v][i];
+                if self.idx[w].is_none() {
+                    self.visit(w);
+                    self.low[v] = self.low[v].min(self.low[w]);
+                } else if self.on_stack[w] {
+                    self.low[v] = self.low[v].min(self.idx[w].expect("visited"));
+                }
+            }
+            if Some(self.low[v]) == self.idx[v] {
+                let mut comp = Vec::new();
+                loop {
+                    let w = self.stack.pop().expect("non-empty");
+                    self.on_stack[w] = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                self.out.push(comp);
+            }
+        }
+    }
+    let mut t = T {
+        adj: &adj,
+        idx: vec![None; nodes.len()],
+        low: vec![0; nodes.len()],
+        on_stack: vec![false; nodes.len()],
+        stack: Vec::new(),
+        counter: 0,
+        out: Vec::new(),
+    };
+    for v in 0..nodes.len() {
+        if t.idx[v].is_none() {
+            t.visit(v);
+        }
+    }
+    // Tarjan emits SCCs in reverse topological order of the condensation
+    // when edges point head -> dependency; a component is emitted only
+    // after everything it depends on, so the emission order IS
+    // dependencies-first.
+    t.out
+        .into_iter()
+        .map(|comp| comp.into_iter().map(|i| nodes[i].to_owned()).collect())
+        .collect()
+}
+
+/// Is `pred` recursive (directly or through its SCC)?
+pub fn is_recursive(program: &Program, pred: &str) -> bool {
+    for comp in sccs(program) {
+        if comp.iter().any(|p| p == pred) {
+            if comp.len() > 1 {
+                return true;
+            }
+            // Self-loop?
+            return program.rules_for(pred).iter().any(|r| {
+                r.body_atoms().any(|a| a.pred == pred)
+            });
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn safety_violations() {
+        let p = parse_program("bad(X, Y) :- edge(X, X2).").unwrap();
+        assert!(check_program(&p).is_err());
+        let p = parse_program("bad(X) :- edge(X, Y), Z < 3.").unwrap();
+        assert!(check_program(&p).is_err());
+        let p = parse_program("fact(X).").unwrap();
+        assert!(check_program(&p).is_err());
+        let p = parse_program("good(X) :- edge(X, Y), Y < 3.").unwrap();
+        assert!(check_program(&p).is_ok());
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let p = parse_program("p(a). q(X) :- p(X, X).").unwrap();
+        assert!(check_program(&p).is_err());
+    }
+
+    #[test]
+    fn sccs_topological_and_recursion() {
+        let p = parse_program(
+            "a(X) :- base(X).
+             b(X) :- a(X).
+             c(X) :- b(X), c(X).
+             even(X) :- zero(X).
+             even(X) :- succ(X, Y), odd(Y).
+             odd(X) :- succ(X, Y), even(Y).",
+        )
+        .unwrap();
+        let comps = sccs(&p);
+        // a before b before c.
+        let pos = |name: &str| {
+            comps
+                .iter()
+                .position(|c| c.iter().any(|p| p == name))
+                .unwrap()
+        };
+        assert!(pos("a") < pos("b"));
+        assert!(pos("b") < pos("c"));
+        // even/odd are one mutual SCC.
+        let eo = &comps[pos("even")];
+        assert_eq!(eo.len(), 2);
+        assert!(is_recursive(&p, "even"));
+        assert!(is_recursive(&p, "odd"));
+        assert!(is_recursive(&p, "c"));
+        assert!(!is_recursive(&p, "a"));
+        assert!(!is_recursive(&p, "b"));
+    }
+}

@@ -1,0 +1,162 @@
+//! PRISMAlog abstract syntax: definite, function-free Horn clauses.
+
+use std::fmt;
+
+use prisma_storage::expr::CmpOp;
+use prisma_types::Value;
+
+/// A term: a variable or a constant (function-free, per the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// Variable (upper-case initial in the surface syntax).
+    Var(String),
+    /// Constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// The variable name, if a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(Value::Str(s)) => write!(f, "{s}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A predicate applied to terms: `ancestor(X, Y)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// Predicate name.
+    pub pred: String,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// All distinct variable names, in order of first occurrence.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for t in &self.args {
+            if let Some(v) = t.as_var() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A body literal: a positive atom or a comparison built-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Positive predicate atom.
+    Atom(Atom),
+    /// Comparison `left op right` between variables/constants.
+    Cmp(CmpOp, Term, Term),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Atom(a) => write!(f, "{a}"),
+            Literal::Cmp(op, l, r) => write!(f, "{l} {op} {r}"),
+        }
+    }
+}
+
+/// A Horn clause: `head :- body.` (facts have an empty body).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Head atom.
+    pub head: Atom,
+    /// Body literals (conjunction).
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// True for ground facts (empty body, all-constant head).
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty() && self.head.args.iter().all(|t| matches!(t, Term::Const(_)))
+    }
+
+    /// Positive body atoms.
+    pub fn body_atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter_map(|l| match l {
+            Literal::Atom(a) => Some(a),
+            Literal::Cmp(..) => None,
+        })
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A PRISMAlog program: rules and facts (queries are parsed separately).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// All clauses in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Names of all predicates defined by rules or facts in this program
+    /// (the IDB plus program-local facts).
+    pub fn defined_predicates(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.rules.iter().map(|r| r.head.pred.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Rules (including facts) whose head is `pred`.
+    pub fn rules_for(&self, pred: &str) -> Vec<&Rule> {
+        self.rules.iter().filter(|r| r.head.pred == pred).collect()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}

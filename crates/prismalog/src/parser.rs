@@ -1,0 +1,396 @@
+//! PRISMAlog parser (Prolog-like surface syntax).
+//!
+//! ```text
+//! parent(john, mary).
+//! ancestor(X, Y) :- parent(X, Y).
+//! ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).
+//! adult(X) :- person(X, Age), Age >= 18.
+//! ?- ancestor(john, Who).
+//! ```
+//!
+//! Lower-case initial = constant atom (stored as a string value);
+//! upper-case or `_` initial = variable; `%` starts a line comment.
+//! Comparison built-ins: `<  =<  <=  >  >=  =  \=  !=`.
+
+use prisma_storage::expr::CmpOp;
+use prisma_types::{PrismaError, Result, Value};
+
+use crate::ast::{Atom, Literal, Program, Rule, Term};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Name(String),   // lowercase-initial identifier
+    Var(String),    // uppercase/underscore-initial identifier
+    Int(i64),
+    Double(f64),
+    Str(String),
+    Punct(char),    // ( ) , .
+    Arrow,          // :-
+    Query,          // ?-
+    Op(CmpOp),
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '%' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' | ',' => {
+                toks.push(Tok::Punct(c));
+                i += 1;
+            }
+            '.' => {
+                // Disambiguate end-of-clause '.' from a float like `1.5`
+                // (handled in the number branch, so '.' here is always
+                // end-of-clause).
+                toks.push(Tok::Punct('.'));
+                i += 1;
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    toks.push(Tok::Arrow);
+                    i += 2;
+                } else {
+                    return Err(PrismaError::Parse("stray ':'".into()));
+                }
+            }
+            '?' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    toks.push(Tok::Query);
+                    i += 2;
+                } else {
+                    return Err(PrismaError::Parse("stray '?'".into()));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Op(CmpOp::Le));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Op(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Op(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Op(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'<') {
+                    toks.push(Tok::Op(CmpOp::Le));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Op(CmpOp::Eq));
+                    i += 1;
+                }
+            }
+            '\\' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Op(CmpOp::Ne));
+                    i += 2;
+                } else {
+                    return Err(PrismaError::Parse("stray '\\'".into()));
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Op(CmpOp::Ne));
+                    i += 2;
+                } else {
+                    return Err(PrismaError::Parse("stray '!'".into()));
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(PrismaError::Parse("unterminated quoted atom".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        i += 1;
+                        break;
+                    }
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                toks.push(Tok::Str(s));
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                    if !bytes.get(i).is_some_and(u8::is_ascii_digit) {
+                        return Err(PrismaError::Parse("stray '-'".into()));
+                    }
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    toks.push(Tok::Double(text.parse().map_err(|_| {
+                        PrismaError::Parse(format!("bad float {text}"))
+                    })?));
+                } else {
+                    toks.push(Tok::Int(text.parse().map_err(|_| {
+                        PrismaError::Parse(format!("bad int {text}"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                if c.is_ascii_uppercase() || c == '_' {
+                    toks.push(Tok::Var(word.to_owned()));
+                } else {
+                    toks.push(Tok::Name(word.to_owned()));
+                }
+            }
+            other => {
+                return Err(PrismaError::Parse(format!(
+                    "unexpected character '{other}' in PRISMAlog source"
+                )))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<()> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(PrismaError::Parse(format!(
+                "expected {what}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        match self.next() {
+            Some(Tok::Var(v)) => Ok(Term::Var(v)),
+            Some(Tok::Name(n)) => Ok(Term::Const(Value::Str(n))),
+            Some(Tok::Str(s)) => Ok(Term::Const(Value::Str(s))),
+            Some(Tok::Int(i)) => Ok(Term::Const(Value::Int(i))),
+            Some(Tok::Double(d)) => Ok(Term::Const(Value::Double(d))),
+            other => Err(PrismaError::Parse(format!("expected term, found {other:?}"))),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom> {
+        let pred = match self.next() {
+            Some(Tok::Name(n)) => n,
+            other => {
+                return Err(PrismaError::Parse(format!(
+                    "expected predicate name, found {other:?}"
+                )))
+            }
+        };
+        self.expect(&Tok::Punct('('), "'('")?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Tok::Punct(')')) {
+            loop {
+                args.push(self.term()?);
+                if self.peek() == Some(&Tok::Punct(',')) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::Punct(')'), "')'")?;
+        Ok(Atom { pred, args })
+    }
+
+    fn literal(&mut self) -> Result<Literal> {
+        // Comparison literal? It starts with a term followed by an op.
+        let is_cmp = matches!(
+            (self.peek(), self.toks.get(self.pos + 1)),
+            (
+                Some(Tok::Var(_) | Tok::Int(_) | Tok::Double(_) | Tok::Str(_)),
+                Some(Tok::Op(_))
+            )
+        ) || matches!(
+            (self.peek(), self.toks.get(self.pos + 1)),
+            (Some(Tok::Name(_)), Some(Tok::Op(_)))
+        );
+        if is_cmp {
+            let l = self.term()?;
+            let Some(Tok::Op(op)) = self.next() else {
+                return Err(PrismaError::Parse("expected comparison operator".into()));
+            };
+            let r = self.term()?;
+            return Ok(Literal::Cmp(op, l, r));
+        }
+        Ok(Literal::Atom(self.atom()?))
+    }
+
+    fn clause(&mut self) -> Result<Rule> {
+        let head = self.atom()?;
+        let mut body = Vec::new();
+        if self.peek() == Some(&Tok::Arrow) {
+            self.pos += 1;
+            loop {
+                body.push(self.literal()?);
+                if self.peek() == Some(&Tok::Punct(',')) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::Punct('.'), "'.' at end of clause")?;
+        Ok(Rule { head, body })
+    }
+}
+
+/// Parse a PRISMAlog program (facts and rules; no queries).
+pub fn parse_program(src: &str) -> Result<Program> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0 };
+    let mut rules = Vec::new();
+    while p.peek().is_some() {
+        if p.peek() == Some(&Tok::Query) {
+            return Err(PrismaError::Parse(
+                "queries (?-) belong in parse_query, not in the program".into(),
+            ));
+        }
+        rules.push(p.clause()?);
+    }
+    Ok(Program { rules })
+}
+
+/// Parse a query: `?- pred(args).` (the `?-` and `.` are optional).
+pub fn parse_query(src: &str) -> Result<Atom> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0 };
+    if p.peek() == Some(&Tok::Query) {
+        p.pos += 1;
+    }
+    let atom = p.atom()?;
+    if p.peek() == Some(&Tok::Punct('.')) {
+        p.pos += 1;
+    }
+    if p.peek().is_some() {
+        return Err(PrismaError::Parse("trailing input after query".into()));
+    }
+    Ok(atom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ancestor_program() {
+        let p = parse_program(
+            "% the classic
+             parent(john, mary).
+             parent(mary, sue).
+             ancestor(X, Y) :- parent(X, Y).
+             ancestor(X, Y) :- parent(X, Z), ancestor(Z, Y).",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 4);
+        assert!(p.rules[0].is_fact());
+        assert!(!p.rules[2].is_fact());
+        assert_eq!(p.defined_predicates(), vec!["ancestor", "parent"]);
+        assert_eq!(p.rules_for("ancestor").len(), 2);
+        // Round-trip through Display re-parses.
+        let again = parse_program(&p.to_string()).unwrap();
+        assert_eq!(p, again);
+    }
+
+    #[test]
+    fn comparisons_and_mixed_constants() {
+        let p = parse_program(
+            "tall(X) :- person(X, H), H >= 1.80.
+             not_bob(X) :- person(X, _H), X \\= bob.
+             cheap(X) :- price(X, P), P =< 10, P < 100.",
+        )
+        .unwrap();
+        let r = &p.rules[0];
+        assert!(matches!(r.body[1], Literal::Cmp(CmpOp::Ge, _, _)));
+        let r = &p.rules[2];
+        assert!(matches!(r.body[1], Literal::Cmp(CmpOp::Le, _, _)));
+    }
+
+    #[test]
+    fn query_forms() {
+        let q = parse_query("?- ancestor(john, X).").unwrap();
+        assert_eq!(q.pred, "ancestor");
+        assert_eq!(q.args.len(), 2);
+        let q2 = parse_query("ancestor(john, X)").unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn quoted_atoms_and_negatives() {
+        let p = parse_program("fact('Hello World', -5).").unwrap();
+        let Rule { head, .. } = &p.rules[0];
+        assert_eq!(head.args[0], Term::Const(Value::Str("Hello World".into())));
+        assert_eq!(head.args[1], Term::Const(Value::Int(-5)));
+    }
+
+    #[test]
+    fn zero_arity_predicates() {
+        let p = parse_program("go() :- ready().").unwrap();
+        assert_eq!(p.rules[0].head.args.len(), 0);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_program("broken(").is_err());
+        assert!(parse_program("missing_dot(x)").is_err());
+        assert!(parse_program("?- in_program(x).").is_err());
+        assert!(parse_query("two(x). extra(y).").is_err());
+        assert!(parse_program("p(X) :- q(X) r(X).").is_err());
+    }
+}

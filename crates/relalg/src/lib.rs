@@ -1,0 +1,25 @@
+//! # prisma-relalg
+//!
+//! The **extended relational algebra** that is PRISMA's common query
+//! currency (paper §2.3: "The semantics of PRISMAlog is defined in terms
+//! of extensions of the relational algebra"; §2.5: OFMs "support a
+//! transitive closure operator for dealing with recursive queries").
+//!
+//! * [`table::Relation`] — a materialized table (schema + tuples);
+//! * [`plan::LogicalPlan`] — the algebra tree produced by the SQL and
+//!   PRISMAlog front ends and rewritten by the optimizer, including the
+//!   recursive extensions [`plan::LogicalPlan::Closure`] and
+//!   [`plan::LogicalPlan::Fixpoint`];
+//! * [`eval`] — a reference evaluator used by the OFM for local subplans
+//!   and by tests as ground truth for the distributed executor;
+//! * [`agg`] — aggregate functions.
+
+pub mod agg;
+pub mod eval;
+pub mod plan;
+pub mod table;
+
+pub use agg::{AggExpr, AggFunc};
+pub use eval::{eval, EvalContext, RelationProvider};
+pub use plan::{JoinKind, LogicalPlan};
+pub use table::Relation;

@@ -1,0 +1,227 @@
+//! Materialized relations.
+
+use std::fmt;
+
+use prisma_storage::FastSet;
+use prisma_types::{Result, Schema, Tuple};
+
+/// A materialized table: a schema plus a bag of tuples.
+///
+/// `Relation` is the unit that flows between operators in the reference
+/// evaluator, between OFMs and the executor, and back to clients as query
+/// results.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Relation from parts. Tuples are *not* re-validated here; use
+    /// [`Relation::try_new`] at trust boundaries.
+    pub fn new(schema: Schema, tuples: Vec<Tuple>) -> Self {
+        Relation { schema, tuples }
+    }
+
+    /// Validating constructor: every tuple must satisfy the schema.
+    pub fn try_new(schema: Schema, tuples: Vec<Tuple>) -> Result<Self> {
+        for t in &tuples {
+            schema.check_tuple(t.values())?;
+        }
+        Ok(Relation { schema, tuples })
+    }
+
+    /// The schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The tuples, in insertion order.
+    #[inline]
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Append a tuple (no validation).
+    pub fn push(&mut self, t: Tuple) {
+        self.tuples.push(t);
+    }
+
+    /// Consume into tuples.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Consume into parts.
+    pub fn into_parts(self) -> (Schema, Vec<Tuple>) {
+        (self.schema, self.tuples)
+    }
+
+    /// Set-semantics deduplication, preserving first occurrence order.
+    pub fn distinct(mut self) -> Relation {
+        let mut seen: FastSet<Tuple> = FastSet::default();
+        self.tuples.retain(|t| seen.insert(t.clone()));
+        self
+    }
+
+    /// Total payload bytes (for memory ledgers and shipping costs).
+    pub fn byte_size(&self) -> usize {
+        self.tuples.iter().map(Tuple::byte_size).sum()
+    }
+
+    /// Wire size in bits when shipped between PEs.
+    pub fn wire_bits(&self) -> u64 {
+        self.tuples.iter().map(Tuple::wire_bits).sum()
+    }
+
+    /// Sort by the given `(column, ascending)` keys (stable).
+    pub fn sorted_by(mut self, keys: &[(usize, bool)]) -> Relation {
+        self.tuples.sort_by(|a, b| {
+            for &(col, asc) in keys {
+                let ord = a.get(col).total_cmp(b.get(col));
+                let ord = if asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self
+    }
+
+    /// A canonical form for comparing results regardless of tuple order:
+    /// all columns ascending.
+    pub fn canonicalized(self) -> Relation {
+        let keys: Vec<(usize, bool)> = (0..self.schema.arity()).map(|i| (i, true)).collect();
+        self.sorted_by(&keys)
+    }
+}
+
+impl fmt::Display for Relation {
+    /// Pretty-print as an ASCII table (used by examples and the REPL).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let headers: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let rows: Vec<Vec<String>> = self
+            .tuples
+            .iter()
+            .map(|t| {
+                t.values()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let s = v.to_string();
+                        if i < widths.len() {
+                            widths[i] = widths[i].max(s.len());
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        sep(f)?;
+        write!(f, "|")?;
+        for (h, w) in headers.iter().zip(&widths) {
+            write!(f, " {h:<w$} |")?;
+        }
+        writeln!(f)?;
+        sep(f)?;
+        for row in &rows {
+            write!(f, "|")?;
+            for (v, w) in row.iter().zip(&widths) {
+                write!(f, " {v:<w$} |")?;
+            }
+            writeln!(f)?;
+        }
+        sep(f)?;
+        write!(f, "{} tuple(s)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prisma_types::{tuple, Column, DataType};
+
+    fn rel() -> Relation {
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Str),
+        ]);
+        Relation::new(
+            schema,
+            vec![tuple![2, "x"], tuple![1, "y"], tuple![2, "x"]],
+        )
+    }
+
+    #[test]
+    fn distinct_preserves_first_occurrence() {
+        let d = rel().distinct();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.tuples()[0], tuple![2, "x"]);
+    }
+
+    #[test]
+    fn try_new_validates() {
+        let schema = Schema::new(vec![Column::new("a", DataType::Int)]);
+        assert!(Relation::try_new(schema.clone(), vec![tuple![1]]).is_ok());
+        assert!(Relation::try_new(schema, vec![tuple!["oops"]]).is_err());
+    }
+
+    #[test]
+    fn sorting() {
+        let s = rel().sorted_by(&[(0, true)]);
+        assert_eq!(s.tuples()[0], tuple![1, "y"]);
+        let d = rel().sorted_by(&[(0, false)]);
+        assert_eq!(d.tuples()[0].get(0).as_int(), Some(2));
+    }
+
+    #[test]
+    fn canonicalized_ignores_order() {
+        let a = rel().canonicalized();
+        let mut r = rel();
+        r.tuples.reverse();
+        let b = r.canonicalized();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let txt = rel().to_string();
+        assert!(txt.contains("| a | b   |") || txt.contains("| a |"), "{txt}");
+        assert!(txt.ends_with("3 tuple(s)"));
+    }
+}

@@ -1,0 +1,207 @@
+//! SQL abstract syntax.
+
+use prisma_storage::expr::{ArithOp, CmpOp};
+use prisma_types::{DataType, Value};
+
+/// A scalar expression as parsed (names unresolved).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, possibly qualified (`t.col`).
+    Column(String),
+    /// Literal.
+    Lit(Value),
+    /// Comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// `expr BETWEEN low AND high`.
+    Between(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Connectives.
+    And(Box<Expr>, Box<Expr>),
+    /// Or.
+    Or(Box<Expr>, Box<Expr>),
+    /// Not.
+    Not(Box<Expr>),
+    /// `expr IS NULL` / `expr IS NOT NULL` (bool = negated).
+    IsNull(Box<Expr>, bool),
+    /// Aggregate call (only legal in SELECT/HAVING).
+    Agg {
+        /// Function name, upper-cased (`COUNT`, `SUM`, ...).
+        func: String,
+        /// `COUNT(*)` has no argument.
+        arg: Option<Box<Expr>>,
+    },
+}
+
+/// One item in a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// Expression with optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A FROM-clause source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// Base relation with optional alias.
+    Table {
+        /// Relation name.
+        name: String,
+        /// Alias (defaults to the name).
+        alias: Option<String>,
+    },
+    /// `CLOSURE(relation)` — the PRISMA transitive-closure table function.
+    Closure {
+        /// Underlying binary relation.
+        name: String,
+        /// Alias (defaults to the name).
+        alias: Option<String>,
+    },
+}
+
+impl TableRef {
+    /// The effective alias.
+    pub fn alias(&self) -> &str {
+        match self {
+            TableRef::Table { name, alias } | TableRef::Closure { name, alias } => {
+                alias.as_deref().unwrap_or(name)
+            }
+        }
+    }
+}
+
+/// A `SELECT` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// DISTINCT flag.
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM sources (comma = cross join; JOIN ... ON folds its condition
+    /// into `predicate`).
+    pub from: Vec<TableRef>,
+    /// WHERE plus all JOIN ... ON conditions, conjoined.
+    pub predicate: Option<Expr>,
+    /// GROUP BY column names.
+    pub group_by: Vec<String>,
+    /// HAVING predicate (over the aggregate output).
+    pub having: Option<Expr>,
+}
+
+/// A full query: set-ops over selects, then ORDER BY / LIMIT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The body.
+    pub body: SetExpr,
+    /// ORDER BY `(column name, ascending)`.
+    pub order_by: Vec<(String, bool)>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+}
+
+/// Set-operation tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    /// A single SELECT.
+    Select(Box<Select>),
+    /// UNION / UNION ALL.
+    Union {
+        /// Left branch.
+        left: Box<SetExpr>,
+        /// Right branch.
+        right: Box<SetExpr>,
+        /// Keep duplicates.
+        all: bool,
+    },
+    /// EXCEPT (set difference).
+    Except {
+        /// Left branch.
+        left: Box<SetExpr>,
+        /// Right branch.
+        right: Box<SetExpr>,
+    },
+}
+
+/// A column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// NULLs admissible.
+    pub nullable: bool,
+}
+
+/// Fragmentation clause of CREATE TABLE — how the data-allocation manager
+/// splits the relation across OFMs (paper §2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentSpec {
+    /// Hash column (None = round robin).
+    pub column: Option<String>,
+    /// Number of fragments.
+    pub count: usize,
+}
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// CREATE TABLE, with optional `FRAGMENTED BY HASH(col) INTO n` /
+    /// `FRAGMENTED INTO n` clause.
+    CreateTable {
+        /// Relation name.
+        name: String,
+        /// Columns.
+        columns: Vec<ColumnDef>,
+        /// Fragmentation (None = single fragment).
+        fragments: Option<FragmentSpec>,
+    },
+    /// DROP TABLE.
+    DropTable {
+        /// Relation name.
+        name: String,
+    },
+    /// CREATE [HASH] INDEX ON table(column).
+    CreateIndex {
+        /// Relation name.
+        table: String,
+        /// Column name.
+        column: String,
+        /// Hash (true) or B-tree (false).
+        hash: bool,
+    },
+    /// INSERT INTO ... VALUES.
+    Insert {
+        /// Relation name.
+        table: String,
+        /// Rows of literal expressions.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// DELETE FROM ... [WHERE].
+    Delete {
+        /// Relation name.
+        table: String,
+        /// Predicate.
+        predicate: Option<Expr>,
+    },
+    /// UPDATE ... SET ... [WHERE].
+    Update {
+        /// Relation name.
+        table: String,
+        /// `SET col = expr` pairs.
+        sets: Vec<(String, Expr)>,
+        /// Predicate.
+        predicate: Option<Expr>,
+    },
+    /// A query.
+    Query(Query),
+}

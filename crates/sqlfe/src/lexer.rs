@@ -1,0 +1,201 @@
+//! SQL lexer.
+
+use prisma_types::{PrismaError, Result};
+
+/// SQL tokens. Keywords are case-insensitive and normalized to upper-case
+/// identifiers at parse time; the lexer keeps them as `Ident`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (original spelling preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Double(f64),
+    /// Single-quoted string literal (quotes stripped, '' unescaped).
+    Str(String),
+    /// `=`, `<>`, `!=`, `<`, `<=`, `>`, `>=`
+    Op(String),
+    /// `( ) , ; * .`
+    Punct(char),
+}
+
+impl Token {
+    /// The identifier payload, if this token is one.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Token::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        self.as_ident()
+            .is_some_and(|s| s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // -- line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' | ',' | ';' | '*' | '.' | '+' | '-' | '/' | '%' => {
+                tokens.push(Token::Punct(c));
+                i += 1;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(PrismaError::Parse("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '=' => {
+                tokens.push(Token::Op("=".into()));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Op("<=".into()));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Op("<>".into()));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op("<".into()));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Op(">=".into()));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op(">".into()));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Op("<>".into()));
+                    i += 2;
+                } else {
+                    return Err(PrismaError::Parse("stray '!'".into()));
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    tokens.push(Token::Double(text.parse().map_err(|_| {
+                        PrismaError::Parse(format!("bad float literal {text}"))
+                    })?));
+                } else {
+                    tokens.push(Token::Int(text.parse().map_err(|_| {
+                        PrismaError::Parse(format!("bad int literal {text}"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == 'Δ' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_owned()));
+            }
+            other => {
+                return Err(PrismaError::Parse(format!(
+                    "unexpected character '{other}' at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("SELECT a, b2 FROM t WHERE x >= 1.5 AND y <> 'it''s';").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert_eq!(toks[1], Token::Ident("a".into()));
+        assert!(toks.contains(&Token::Op(">=".into())));
+        assert!(toks.contains(&Token::Double(1.5)));
+        assert!(toks.contains(&Token::Str("it's".into())));
+        assert!(toks.contains(&Token::Punct(';')));
+    }
+
+    #[test]
+    fn comments_and_bang_equals() {
+        let toks = tokenize("a != b -- trailing comment\n c").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Op("<>".into()),
+                Token::Ident("b".into()),
+                Token::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a ? b").is_err());
+    }
+
+    #[test]
+    fn arithmetic_punct() {
+        let toks = tokenize("1+2*3-4/5%6").unwrap();
+        assert_eq!(toks.len(), 11);
+        assert_eq!(toks[1], Token::Punct('+'));
+    }
+}

@@ -1,0 +1,33 @@
+//! # prisma-sqlfe
+//!
+//! The SQL interface of the PRISMA database machine (paper §2.1: "it
+//! provides an SQL and a logic programming interface").
+//!
+//! A hand-written lexer + recursive-descent parser covering the subset a
+//! 1988 relational machine would expose — DDL with fragmentation clauses,
+//! DML, and SELECT with joins, aggregation, set operations and the
+//! PRISMA-specific `CLOSURE(relation)` table function that surfaces the
+//! OFM transitive-closure operator in SQL — plus a planner lowering the
+//! AST to `prisma-relalg` logical plans.
+//!
+//! The planner is deliberately *naive*: it emits cross joins + selections
+//! and leaves join-key extraction, pushdown and ordering to the
+//! knowledge-based optimizer (`prisma-optimizer`), mirroring the paper's
+//! split between parsers and the optimizer as separate GDH components
+//! (§2.2), and giving experiment E9 its before/after contrast.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+
+pub use ast::{ColumnDef, Expr, FragmentSpec, Query, SelectItem, Statement, TableRef};
+pub use lexer::{tokenize, Token};
+pub use parser::parse_statement;
+pub use planner::{plan, Catalog, PlannedStatement};
+
+/// Parse and plan a single SQL statement against a catalog.
+pub fn compile(sql: &str, catalog: &dyn Catalog) -> prisma_types::Result<PlannedStatement> {
+    let stmt = parse_statement(sql)?;
+    plan(&stmt, catalog)
+}

@@ -1,0 +1,745 @@
+//! Recursive-descent SQL parser.
+
+use prisma_storage::expr::{ArithOp, CmpOp};
+use prisma_types::{DataType, PrismaError, Result, Value};
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+
+/// Parse one SQL statement (a trailing `;` is tolerated).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_punct(';');
+    if !p.at_end() {
+        return Err(p.error("trailing input after statement"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: &str) -> PrismaError {
+        PrismaError::Parse(format!(
+            "{msg} (at token {} of {}: {:?})",
+            self.pos,
+            self.tokens.len(),
+            self.peek()
+        ))
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {kw}")))
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Token::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<()> {
+        if self.eat_punct(c) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{c}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected identifier"))
+            }
+        }
+    }
+
+    /// Possibly qualified name: `a` or `a.b`.
+    fn qualified_ident(&mut self) -> Result<String> {
+        let mut name = self.ident()?;
+        if self.eat_punct('.') {
+            let rest = self.ident()?;
+            name.push('.');
+            name.push_str(&rest);
+        }
+        Ok(name)
+    }
+
+    // ---------------- statements ----------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.peek_kw("select") {
+            return Ok(Statement::Query(self.query()?));
+        }
+        if self.eat_kw("create") {
+            if self.eat_kw("table") {
+                return self.create_table();
+            }
+            let hash = self.eat_kw("hash");
+            if !hash {
+                self.eat_kw("btree");
+            }
+            self.expect_kw("index")?;
+            self.expect_kw("on")?;
+            let table = self.ident()?;
+            self.expect_punct('(')?;
+            let column = self.ident()?;
+            self.expect_punct(')')?;
+            return Ok(Statement::CreateIndex {
+                table,
+                column,
+                hash,
+            });
+        }
+        if self.eat_kw("drop") {
+            self.expect_kw("table")?;
+            let name = self.ident()?;
+            return Ok(Statement::DropTable { name });
+        }
+        if self.eat_kw("insert") {
+            self.expect_kw("into")?;
+            let table = self.ident()?;
+            self.expect_kw("values")?;
+            let mut rows = Vec::new();
+            loop {
+                self.expect_punct('(')?;
+                let mut row = Vec::new();
+                if !self.eat_punct(')') {
+                    loop {
+                        row.push(self.expr()?);
+                        if !self.eat_punct(',') {
+                            break;
+                        }
+                    }
+                    self.expect_punct(')')?;
+                }
+                rows.push(row);
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            return Ok(Statement::Insert { table, rows });
+        }
+        if self.eat_kw("delete") {
+            self.expect_kw("from")?;
+            let table = self.ident()?;
+            let predicate = if self.eat_kw("where") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Delete { table, predicate });
+        }
+        if self.eat_kw("update") {
+            let table = self.ident()?;
+            self.expect_kw("set")?;
+            let mut sets = Vec::new();
+            loop {
+                let col = self.ident()?;
+                if self.next() != Some(Token::Op("=".into())) {
+                    return Err(self.error("expected '=' in SET"));
+                }
+                sets.push((col, self.expr()?));
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            let predicate = if self.eat_kw("where") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Update {
+                table,
+                sets,
+                predicate,
+            });
+        }
+        Err(self.error("expected a statement"))
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_punct('(')?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let dtype = self.data_type()?;
+            let nullable = if self.eat_kw("not") {
+                self.expect_kw("null")?;
+                false
+            } else {
+                self.eat_kw("null")
+            };
+            columns.push(ColumnDef {
+                name: col,
+                dtype,
+                nullable,
+            });
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        self.expect_punct(')')?;
+        // Optional: FRAGMENTED [BY HASH(col)] INTO n [FRAGMENTS]
+        let mut fragments = None;
+        if self.eat_kw("fragmented") {
+            let column = if self.eat_kw("by") {
+                self.expect_kw("hash")?;
+                self.expect_punct('(')?;
+                let c = self.ident()?;
+                self.expect_punct(')')?;
+                Some(c)
+            } else {
+                None
+            };
+            self.expect_kw("into")?;
+            let count = match self.next() {
+                Some(Token::Int(n)) if n > 0 => n as usize,
+                _ => return Err(self.error("expected a positive fragment count")),
+            };
+            self.eat_kw("fragments");
+            fragments = Some(FragmentSpec { column, count });
+        }
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            fragments,
+        })
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let t = self.ident()?;
+        let up = t.to_ascii_uppercase();
+        // VARCHAR(n) — length is parsed and ignored (all strings are
+        // variable length in main memory).
+        let dt = match up.as_str() {
+            "INT" | "INTEGER" | "BIGINT" => DataType::Int,
+            "DOUBLE" | "FLOAT" | "REAL" => DataType::Double,
+            "STRING" | "TEXT" | "VARCHAR" | "CHAR" => DataType::Str,
+            "BOOL" | "BOOLEAN" => DataType::Bool,
+            other => return Err(PrismaError::Parse(format!("unknown type {other}"))),
+        };
+        if self.eat_punct('(') {
+            match self.next() {
+                Some(Token::Int(_)) => {}
+                _ => return Err(self.error("expected length")),
+            }
+            self.expect_punct(')')?;
+        }
+        Ok(dt)
+    }
+
+    // ---------------- queries ----------------
+
+    /// query := set_expr [ORDER BY ...] [LIMIT n]
+    pub fn query(&mut self) -> Result<Query> {
+        let body = self.set_expr()?;
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let col = self.qualified_ident()?;
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                order_by.push((col, asc));
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                _ => return Err(self.error("expected LIMIT count")),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            body,
+            order_by,
+            limit,
+        })
+    }
+
+    fn set_expr(&mut self) -> Result<SetExpr> {
+        let mut left = SetExpr::Select(Box::new(self.select()?));
+        loop {
+            if self.eat_kw("union") {
+                let all = self.eat_kw("all");
+                let right = SetExpr::Select(Box::new(self.select()?));
+                left = SetExpr::Union {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    all,
+                };
+            } else if self.eat_kw("except") {
+                let right = SetExpr::Select(Box::new(self.select()?));
+                left = SetExpr::Except {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut items = Vec::new();
+        loop {
+            if self.eat_punct('*') {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        self.expect_kw("from")?;
+        let mut from = vec![self.table_ref()?];
+        let mut join_preds: Vec<Expr> = Vec::new();
+        loop {
+            if self.eat_punct(',') {
+                from.push(self.table_ref()?);
+            } else if self.eat_kw("join") || {
+                if self.peek_kw("inner") {
+                    self.eat_kw("inner");
+                    self.expect_kw("join")?;
+                    true
+                } else {
+                    false
+                }
+            } {
+                from.push(self.table_ref()?);
+                self.expect_kw("on")?;
+                join_preds.push(self.expr()?);
+            } else {
+                break;
+            }
+        }
+        let mut predicate = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        for jp in join_preds {
+            predicate = Some(match predicate {
+                None => jp,
+                Some(p) => Expr::And(Box::new(p), Box::new(jp)),
+            });
+        }
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.qualified_ident()?);
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            items,
+            from,
+            predicate,
+            group_by,
+            having,
+        })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        if self.eat_kw("closure") {
+            self.expect_punct('(')?;
+            let name = self.ident()?;
+            self.expect_punct(')')?;
+            let alias = self.maybe_alias()?;
+            return Ok(TableRef::Closure { name, alias });
+        }
+        let name = self.ident()?;
+        let alias = self.maybe_alias()?;
+        Ok(TableRef::Table { name, alias })
+    }
+
+    fn maybe_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_kw("as") {
+            return Ok(Some(self.ident()?));
+        }
+        // Bare alias: an identifier that is not a clause keyword.
+        const CLAUSES: &[&str] = &[
+            "where", "group", "having", "order", "limit", "union", "except", "join", "on",
+            "inner", "set",
+        ];
+        if let Some(Token::Ident(s)) = self.peek() {
+            if !CLAUSES.iter().any(|k| s.eq_ignore_ascii_case(k)) {
+                let s = s.clone();
+                self.pos += 1;
+                return Ok(Some(s));
+            }
+        }
+        Ok(None)
+    }
+
+    // ---------------- expressions ----------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let left = self.add_expr()?;
+        if let Some(Token::Op(op)) = self.peek() {
+            let op = match op.as_str() {
+                "=" => CmpOp::Eq,
+                "<>" => CmpOp::Ne,
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                _ => return Ok(left),
+            };
+            self.pos += 1;
+            let right = self.add_expr()?;
+            return Ok(Expr::Cmp(op, Box::new(left), Box::new(right)));
+        }
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull(Box::new(left), negated));
+        }
+        if self.eat_kw("between") {
+            let low = self.add_expr()?;
+            self.expect_kw("and")?;
+            let high = self.add_expr()?;
+            return Ok(Expr::Between(Box::new(left), Box::new(low), Box::new(high)));
+        }
+        Ok(left)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            if self.eat_punct('+') {
+                let r = self.mul_expr()?;
+                left = Expr::Arith(ArithOp::Add, Box::new(left), Box::new(r));
+            } else if self.eat_punct('-') {
+                let r = self.mul_expr()?;
+                left = Expr::Arith(ArithOp::Sub, Box::new(left), Box::new(r));
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            if self.eat_punct('*') {
+                let r = self.unary_expr()?;
+                left = Expr::Arith(ArithOp::Mul, Box::new(left), Box::new(r));
+            } else if self.eat_punct('/') {
+                let r = self.unary_expr()?;
+                left = Expr::Arith(ArithOp::Div, Box::new(left), Box::new(r));
+            } else if self.eat_punct('%') {
+                let r = self.unary_expr()?;
+                left = Expr::Arith(ArithOp::Rem, Box::new(left), Box::new(r));
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat_punct('-') {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Int(n)) => {
+                self.pos += 1;
+                Ok(Expr::Lit(Value::Int(n)))
+            }
+            Some(Token::Double(d)) => {
+                self.pos += 1;
+                Ok(Expr::Lit(Value::Double(d)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Lit(Value::Str(s)))
+            }
+            Some(Token::Punct('(')) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_punct(')')?;
+                Ok(e)
+            }
+            Some(Token::Ident(id)) => {
+                let up = id.to_ascii_uppercase();
+                match up.as_str() {
+                    "TRUE" => {
+                        self.pos += 1;
+                        return Ok(Expr::Lit(Value::Bool(true)));
+                    }
+                    "FALSE" => {
+                        self.pos += 1;
+                        return Ok(Expr::Lit(Value::Bool(false)));
+                    }
+                    "NULL" => {
+                        self.pos += 1;
+                        return Ok(Expr::Lit(Value::Null));
+                    }
+                    "COUNT" | "SUM" | "MIN" | "MAX" | "AVG" => {
+                        // Aggregate call?
+                        if self.tokens.get(self.pos + 1) == Some(&Token::Punct('(')) {
+                            self.pos += 2;
+                            if up == "COUNT" && self.eat_punct('*') {
+                                self.expect_punct(')')?;
+                                return Ok(Expr::Agg {
+                                    func: "COUNT*".into(),
+                                    arg: None,
+                                });
+                            }
+                            let arg = self.expr()?;
+                            self.expect_punct(')')?;
+                            return Ok(Expr::Agg {
+                                func: up,
+                                arg: Some(Box::new(arg)),
+                            });
+                        }
+                        self.pos += 1;
+                        Ok(Expr::Column(id))
+                    }
+                    _ => {
+                        self.pos += 1;
+                        if self.eat_punct('.') {
+                            let col = self.ident()?;
+                            Ok(Expr::Column(format!("{id}.{col}")))
+                        } else {
+                            Ok(Expr::Column(id))
+                        }
+                    }
+                }
+            }
+            _ => Err(self.error("expected expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table_with_fragmentation() {
+        let s = parse_statement(
+            "CREATE TABLE emp (id INT, name VARCHAR(20), sal DOUBLE NULL) \
+             FRAGMENTED BY HASH(id) INTO 8 FRAGMENTS;",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTable {
+                name,
+                columns,
+                fragments,
+            } => {
+                assert_eq!(name, "emp");
+                assert_eq!(columns.len(), 3);
+                assert!(!columns[0].nullable);
+                assert!(columns[2].nullable);
+                let f = fragments.unwrap();
+                assert_eq!(f.column.as_deref(), Some("id"));
+                assert_eq!(f.count, 8);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_with_everything() {
+        let s = parse_statement(
+            "SELECT DISTINCT e.dept, COUNT(*) AS n, AVG(e.sal) AS avg_sal \
+             FROM emp e JOIN dept d ON e.dept = d.id \
+             WHERE e.sal > 100 AND d.name <> 'hr' \
+             GROUP BY e.dept HAVING n > 2 \
+             ORDER BY avg_sal DESC LIMIT 10",
+        )
+        .unwrap();
+        let Statement::Query(q) = s else {
+            panic!("not a query")
+        };
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.order_by, vec![("avg_sal".to_owned(), false)]);
+        let SetExpr::Select(sel) = q.body else {
+            panic!("not a select")
+        };
+        assert!(sel.distinct);
+        assert_eq!(sel.items.len(), 3);
+        assert_eq!(sel.from.len(), 2);
+        assert_eq!(sel.group_by, vec!["e.dept".to_owned()]);
+        assert!(sel.having.is_some());
+        // JOIN ... ON folded into the predicate.
+        assert!(matches!(sel.predicate, Some(Expr::And(_, _))));
+    }
+
+    #[test]
+    fn union_and_except() {
+        let s = parse_statement("SELECT a FROM t UNION ALL SELECT a FROM u EXCEPT SELECT a FROM v")
+            .unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        assert!(matches!(q.body, SetExpr::Except { .. }));
+    }
+
+    #[test]
+    fn closure_table_function() {
+        let s = parse_statement("SELECT * FROM CLOSURE(reports_to) c WHERE c.src = 1").unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        let SetExpr::Select(sel) = q.body else { panic!() };
+        assert!(matches!(
+            &sel.from[0],
+            TableRef::Closure { name, .. } if name == "reports_to"
+        ));
+        assert_eq!(sel.from[0].alias(), "c");
+    }
+
+    #[test]
+    fn dml_statements() {
+        let s = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b')").unwrap();
+        assert!(matches!(s, Statement::Insert { ref rows, .. } if rows.len() == 2));
+        let s = parse_statement("DELETE FROM t WHERE x = 3").unwrap();
+        assert!(matches!(s, Statement::Delete { predicate: Some(_), .. }));
+        let s = parse_statement("UPDATE t SET a = a + 1, b = 'z' WHERE a < 5").unwrap();
+        assert!(matches!(s, Statement::Update { ref sets, .. } if sets.len() == 2));
+        let s = parse_statement("CREATE HASH INDEX ON t(a)").unwrap();
+        assert!(matches!(s, Statement::CreateIndex { hash: true, .. }));
+        let s = parse_statement("DROP TABLE t").unwrap();
+        assert!(matches!(s, Statement::DropTable { .. }));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let s = parse_statement("SELECT a FROM t WHERE a + 1 * 2 = 3 OR NOT b = 4 AND c < 5")
+            .unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        let SetExpr::Select(sel) = q.body else { panic!() };
+        // OR is outermost.
+        assert!(matches!(sel.predicate, Some(Expr::Or(_, _))));
+    }
+
+    #[test]
+    fn between_and_is_null() {
+        let s =
+            parse_statement("SELECT a FROM t WHERE a BETWEEN 1 AND 10 AND b IS NOT NULL").unwrap();
+        let Statement::Query(q) = s else { panic!() };
+        let SetExpr::Select(sel) = q.body else { panic!() };
+        let Some(Expr::And(l, r)) = sel.predicate else {
+            panic!()
+        };
+        assert!(matches!(*l, Expr::Between(..)));
+        assert!(matches!(*r, Expr::IsNull(_, true)));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_statement("SELECT FROM t").is_err());
+        assert!(parse_statement("SELECT a FROM").is_err());
+        assert!(parse_statement("BOGUS things").is_err());
+        assert!(parse_statement("SELECT a FROM t extra garbage ,").is_err());
+        assert!(parse_statement("CREATE TABLE t (a WIBBLE)").is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Binary encoding of values and tuples for the stable layer.
+//!
+//! The workspace's sanctioned dependencies include `bytes` but no serde
+//! *format* crate, so log records and checkpoints use this explicit,
+//! versionless little-endian format:
+//!
+//! ```text
+//! value  := tag:u8 payload
+//!   tag 0 = NULL        (no payload)
+//!   tag 1 = Bool        u8
+//!   tag 2 = Int         i64 LE
+//!   tag 3 = Double      f64 bits LE
+//!   tag 4 = Str         len:u32 LE + utf8 bytes
+//! tuple  := arity:u32 LE, then `arity` values
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use prisma_types::{PrismaError, Result, Tuple, Value};
+
+/// Append the encoding of `v` to `out`.
+pub fn encode_value(v: &Value, out: &mut BytesMut) {
+    match v {
+        Value::Null => out.put_u8(0),
+        Value::Bool(b) => {
+            out.put_u8(1);
+            out.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            out.put_u8(2);
+            out.put_i64_le(*i);
+        }
+        Value::Double(d) => {
+            out.put_u8(3);
+            out.put_u64_le(d.to_bits());
+        }
+        Value::Str(s) => {
+            out.put_u8(4);
+            out.put_u32_le(s.len() as u32);
+            out.put_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Decode one value from the front of `buf`.
+pub fn decode_value(buf: &mut Bytes) -> Result<Value> {
+    let corrupt = |m: &str| PrismaError::CorruptLog(m.to_owned());
+    if buf.remaining() < 1 {
+        return Err(corrupt("truncated value tag"));
+    }
+    match buf.get_u8() {
+        0 => Ok(Value::Null),
+        1 => {
+            if buf.remaining() < 1 {
+                return Err(corrupt("truncated bool"));
+            }
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        2 => {
+            if buf.remaining() < 8 {
+                return Err(corrupt("truncated int"));
+            }
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        3 => {
+            if buf.remaining() < 8 {
+                return Err(corrupt("truncated double"));
+            }
+            Ok(Value::Double(f64::from_bits(buf.get_u64_le())))
+        }
+        4 => {
+            if buf.remaining() < 4 {
+                return Err(corrupt("truncated string length"));
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return Err(corrupt("truncated string body"));
+            }
+            let bytes = buf.copy_to_bytes(len);
+            let s = std::str::from_utf8(&bytes)
+                .map_err(|_| corrupt("invalid utf8 in string value"))?;
+            Ok(Value::Str(s.to_owned()))
+        }
+        t => Err(corrupt(&format!("unknown value tag {t}"))),
+    }
+}
+
+/// Append the encoding of `t` to `out`.
+pub fn encode_tuple(t: &Tuple, out: &mut BytesMut) {
+    out.put_u32_le(t.arity() as u32);
+    for v in t.values() {
+        encode_value(v, out);
+    }
+}
+
+/// Decode one tuple from the front of `buf`.
+pub fn decode_tuple(buf: &mut Bytes) -> Result<Tuple> {
+    if buf.remaining() < 4 {
+        return Err(PrismaError::CorruptLog("truncated tuple arity".into()));
+    }
+    let arity = buf.get_u32_le() as usize;
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(decode_value(buf)?);
+    }
+    Ok(Tuple::new(values))
+}
+
+/// FNV-1a checksum of a byte slice, used to detect torn log records.
+pub fn checksum(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prisma_types::tuple;
+
+    fn roundtrip(t: &Tuple) -> Tuple {
+        let mut out = BytesMut::new();
+        encode_tuple(t, &mut out);
+        let mut buf = out.freeze();
+        decode_tuple(&mut buf).unwrap()
+    }
+
+    #[test]
+    fn tuple_roundtrip_all_types() {
+        let t = Tuple::new(vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::Double(3.5),
+            Value::Str("héllo".into()),
+        ]);
+        assert_eq!(roundtrip(&t), t);
+        assert_eq!(roundtrip(&Tuple::unit()), Tuple::unit());
+    }
+
+    #[test]
+    fn nan_survives_roundtrip() {
+        let t = tuple![f64::NAN];
+        let back = roundtrip(&t);
+        assert_eq!(back, t, "total order equality treats NaN as equal");
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let mut out = BytesMut::new();
+        encode_tuple(&tuple![1, "abc"], &mut out);
+        let full = out.freeze();
+        for cut in 0..full.len() {
+            let mut partial = full.slice(0..cut);
+            assert!(
+                decode_tuple(&mut partial).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut buf = Bytes::from_static(&[9u8]);
+        assert!(decode_value(&mut buf).is_err());
+    }
+
+    #[test]
+    fn checksum_detects_single_bit_flip() {
+        let data = b"the quick brown fox";
+        let c = checksum(data);
+        let mut flipped = data.to_vec();
+        flipped[3] ^= 1;
+        assert_ne!(c, checksum(&flipped));
+    }
+}

@@ -1,0 +1,31 @@
+//! # prisma-stable
+//!
+//! Stable storage and recovery for the PRISMA machine.
+//!
+//! Paper §3.2: "Apart from the local main-memory, some of the processing
+//! elements will also be connected to secondary storage (disk). Using
+//! these, the multi-computer system implements stable storage and
+//! automatic recovery upon system failures."
+//!
+//! The physical disks are a hardware gate, so this crate substitutes a
+//! **latency-modelled simulated disk** ([`device::SimulatedDisk`]): an
+//! in-memory byte store that charges seek + transfer time to a simulated
+//! clock, honours `sync` barriers, and supports **crash injection** that
+//! discards the unsynced tail (including torn final records). On top of it:
+//!
+//! * [`encoding`] — hand-rolled binary encoding of values/tuples (the
+//!   workspace's sanctioned crates include `bytes` but no serde *format*,
+//!   so the wire format is explicit here);
+//! * [`wal`] — a redo-only write-ahead log with checksummed records;
+//! * [`checkpoint`] — fragment snapshots that bound replay work;
+//! * recovery itself lives where the data lives: the OFM replays
+//!   `checkpoint + committed log suffix` (see `prisma-ofm`).
+
+pub mod checkpoint;
+pub mod device;
+pub mod encoding;
+pub mod wal;
+
+pub use checkpoint::CheckpointStore;
+pub use device::{DiskProfile, MemDevice, SimulatedDisk, StableDevice};
+pub use wal::{LogPayload, LogRecord, Lsn, WriteAheadLog};

@@ -1,0 +1,199 @@
+//! Markings and cursor maintenance (paper §2.5).
+//!
+//! A **marking** is a named, persistent subset of a fragment's tuples —
+//! PRISMA's mechanism for letting a multi-step query (or a transaction)
+//! pin an intermediate selection on the base fragment instead of copying
+//! it. A **cursor** is a stable iterator over a marking or over the whole
+//! fragment; the OFM maintains both across concurrent mutations: deleting
+//! a tuple removes it from every marking, and cursors never observe a
+//! deleted tuple.
+
+use crate::heap::{Rid, TupleHeap};
+use crate::FastSet;
+
+/// A named persistent subset of a fragment (a set of Rids).
+#[derive(Debug, Clone, Default)]
+pub struct Marking {
+    rids: FastSet<Rid>,
+}
+
+impl Marking {
+    /// Empty marking.
+    pub fn new() -> Self {
+        Marking::default()
+    }
+
+    /// Build from an iterator of Rids.
+    pub fn from_rids(rids: impl IntoIterator<Item = Rid>) -> Self {
+        Marking {
+            rids: rids.into_iter().collect(),
+        }
+    }
+
+    /// Add a Rid.
+    pub fn mark(&mut self, rid: Rid) {
+        self.rids.insert(rid);
+    }
+
+    /// Remove a Rid (e.g. when its tuple is deleted).
+    pub fn unmark(&mut self, rid: Rid) {
+        self.rids.remove(&rid);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, rid: Rid) -> bool {
+        self.rids.contains(&rid)
+    }
+
+    /// Number of marked tuples.
+    pub fn len(&self) -> usize {
+        self.rids.len()
+    }
+
+    /// True when nothing is marked.
+    pub fn is_empty(&self) -> bool {
+        self.rids.is_empty()
+    }
+
+    /// Set intersection — conjunctive refinement of two markings.
+    pub fn and(&self, other: &Marking) -> Marking {
+        Marking {
+            rids: self.rids.intersection(&other.rids).copied().collect(),
+        }
+    }
+
+    /// Set union — disjunctive combination.
+    pub fn or(&self, other: &Marking) -> Marking {
+        Marking {
+            rids: self.rids.union(&other.rids).copied().collect(),
+        }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn minus(&self, other: &Marking) -> Marking {
+        Marking {
+            rids: self.rids.difference(&other.rids).copied().collect(),
+        }
+    }
+
+    /// Rids in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = Rid> + '_ {
+        self.rids.iter().copied()
+    }
+
+    /// Rids sorted ascending (deterministic order for cursors and tests).
+    pub fn sorted_rids(&self) -> Vec<Rid> {
+        let mut v: Vec<Rid> = self.rids.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// A stable scan position over a snapshot of Rids.
+///
+/// The cursor validates each Rid against the heap at `next()` time, so
+/// tuples deleted after the cursor was opened are silently skipped rather
+/// than dangling — the OFM's "cursor maintenance" obligation.
+#[derive(Debug, Clone)]
+pub struct Cursor {
+    rids: Vec<Rid>,
+    pos: usize,
+}
+
+impl Cursor {
+    /// Cursor over the whole fragment (snapshot of current live Rids).
+    pub fn over_heap(heap: &TupleHeap) -> Self {
+        Cursor {
+            rids: heap.rids(),
+            pos: 0,
+        }
+    }
+
+    /// Cursor over a marking, in ascending Rid order.
+    pub fn over_marking(marking: &Marking) -> Self {
+        Cursor {
+            rids: marking.sorted_rids(),
+            pos: 0,
+        }
+    }
+
+    /// Next live tuple's Rid, skipping tuples deleted since the snapshot.
+    pub fn next(&mut self, heap: &TupleHeap) -> Option<Rid> {
+        while self.pos < self.rids.len() {
+            let rid = self.rids[self.pos];
+            self.pos += 1;
+            if heap.get(rid).is_some() {
+                return Some(rid);
+            }
+        }
+        None
+    }
+
+    /// Remaining snapshot length (upper bound on tuples still to come).
+    pub fn remaining(&self) -> usize {
+        self.rids.len() - self.pos
+    }
+
+    /// Rewind to the start of the snapshot.
+    pub fn rewind(&mut self) {
+        self.pos = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prisma_types::tuple;
+
+    #[test]
+    fn marking_set_algebra() {
+        let a = Marking::from_rids([Rid(1), Rid(2), Rid(3)]);
+        let b = Marking::from_rids([Rid(2), Rid(3), Rid(4)]);
+        assert_eq!(a.and(&b).sorted_rids(), vec![Rid(2), Rid(3)]);
+        assert_eq!(a.or(&b).len(), 4);
+        assert_eq!(a.minus(&b).sorted_rids(), vec![Rid(1)]);
+    }
+
+    #[test]
+    fn cursor_skips_concurrently_deleted_tuples() {
+        let mut heap = TupleHeap::new();
+        let rids: Vec<Rid> = (0..5).map(|i| heap.insert(tuple![i])).collect();
+        let mut cur = Cursor::over_heap(&heap);
+        assert_eq!(cur.next(&heap), Some(rids[0]));
+        // Delete a tuple the cursor has not reached yet.
+        heap.delete(rids[2]);
+        let seen: Vec<Rid> = std::iter::from_fn(|| cur.next(&heap)).collect();
+        assert_eq!(seen, vec![rids[1], rids[3], rids[4]]);
+    }
+
+    #[test]
+    fn cursor_over_marking_is_ordered_and_rewindable() {
+        let mut heap = TupleHeap::new();
+        let rids: Vec<Rid> = (0..4).map(|i| heap.insert(tuple![i])).collect();
+        let m = Marking::from_rids([rids[3], rids[1]]);
+        let mut cur = Cursor::over_marking(&m);
+        assert_eq!(cur.next(&heap), Some(rids[1]));
+        assert_eq!(cur.next(&heap), Some(rids[3]));
+        assert_eq!(cur.next(&heap), None);
+        cur.rewind();
+        assert_eq!(cur.remaining(), 2);
+        assert_eq!(cur.next(&heap), Some(rids[1]));
+    }
+
+    #[test]
+    fn unmark_on_delete_protocol() {
+        // The OFM deletes a tuple and unmarks it everywhere; a cursor over
+        // the marking then skips it even though the snapshot predates the
+        // delete.
+        let mut heap = TupleHeap::new();
+        let r0 = heap.insert(tuple![0]);
+        let r1 = heap.insert(tuple![1]);
+        let mut m = Marking::from_rids([r0, r1]);
+        let mut cur = Cursor::over_marking(&m);
+        heap.delete(r0);
+        m.unmark(r0);
+        assert_eq!(cur.next(&heap), Some(r1));
+        assert_eq!(cur.next(&heap), None);
+        assert_eq!(m.len(), 1);
+    }
+}

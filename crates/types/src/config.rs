@@ -1,0 +1,175 @@
+//! Machine configuration — the paper's §3.2 prototype parameters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{PrismaError, Result};
+
+/// Interconnect topology of the multi-computer.
+///
+/// The paper: "The topology of the interconnection network will be
+/// mesh-like or a variant of a chordal ring" (§3.2). Every PE has four
+/// communication links, which constrains the mesh to degree ≤ 4 and the
+/// chordal ring to ring + one chord pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// 2-D mesh of `rows × cols` PEs; interior nodes use all four links.
+    Mesh,
+    /// Ring plus chords of the given stride; degree 4 (two ring + two
+    /// chord links per PE).
+    ChordalRing {
+        /// Chord stride; each PE `i` additionally links to `i ± stride`.
+        stride: u32,
+    },
+    /// Every PE one hop from every other — an idealized upper bound used in
+    /// ablation benches, not buildable with 4 links.
+    FullyConnected,
+}
+
+/// Configuration of the simulated PRISMA machine.
+///
+/// Defaults reproduce the paper's prototype: 64 PEs, 16 MB of local memory
+/// each, four links of 10 Mbit/s, 256-bit packets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of processing elements (paper: 64).
+    pub num_pes: usize,
+    /// Local main memory per PE in bytes (paper: 16 MByte).
+    pub memory_per_pe: usize,
+    /// Link bandwidth in bits per second (paper: 10 Mbit/sec).
+    pub link_bandwidth_bps: u64,
+    /// Number of communication links per PE (paper: 4).
+    pub links_per_pe: usize,
+    /// Network packet size in bits (paper: 256).
+    pub packet_bits: u64,
+    /// Interconnect topology.
+    pub topology: TopologyKind,
+    /// Per-hop switching latency in nanoseconds added on top of the
+    /// store-and-forward transmission time.
+    pub hop_latency_ns: u64,
+    /// Which PEs own a disk for stable storage (paper §3.2: "some of the
+    /// processing elements will also be connected to secondary storage").
+    /// Expressed as a stride: PE `i` has a disk iff `i % disk_stride == 0`.
+    pub disk_stride: usize,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            num_pes: 64,
+            memory_per_pe: 16 * 1024 * 1024,
+            link_bandwidth_bps: 10_000_000,
+            links_per_pe: 4,
+            packet_bits: 256,
+            topology: TopologyKind::Mesh,
+            hop_latency_ns: 2_000,
+            disk_stride: 8,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The paper's 64-PE prototype with a mesh interconnect.
+    pub fn paper_prototype() -> Self {
+        MachineConfig::default()
+    }
+
+    /// A small machine for unit tests: 4 PEs, generous memory.
+    pub fn tiny() -> Self {
+        MachineConfig {
+            num_pes: 4,
+            topology: TopologyKind::ChordalRing { stride: 2 },
+            ..MachineConfig::default()
+        }
+    }
+
+    /// Builder-style override of the PE count.
+    pub fn with_pes(mut self, n: usize) -> Self {
+        self.num_pes = n;
+        self
+    }
+
+    /// Builder-style override of the topology.
+    pub fn with_topology(mut self, t: TopologyKind) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Builder-style override of the per-PE memory budget.
+    pub fn with_memory_per_pe(mut self, bytes: usize) -> Self {
+        self.memory_per_pe = bytes;
+        self
+    }
+
+    /// Seconds to push one packet through one link.
+    pub fn packet_tx_seconds(&self) -> f64 {
+        self.packet_bits as f64 / self.link_bandwidth_bps as f64
+    }
+
+    /// Validate internal consistency; called by the machine constructor.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_pes == 0 {
+            return Err(PrismaError::Config("num_pes must be > 0".into()));
+        }
+        if self.link_bandwidth_bps == 0 || self.packet_bits == 0 {
+            return Err(PrismaError::Config(
+                "bandwidth and packet size must be > 0".into(),
+            ));
+        }
+        if let TopologyKind::ChordalRing { stride } = self.topology {
+            if stride == 0 || stride as usize >= self.num_pes.max(1) {
+                return Err(PrismaError::Config(format!(
+                    "chord stride {stride} invalid for {} PEs",
+                    self.num_pes
+                )));
+            }
+        }
+        if self.disk_stride == 0 {
+            return Err(PrismaError::Config("disk_stride must be > 0".into()));
+        }
+        Ok(())
+    }
+
+    /// True when PE `i` owns a disk for stable storage.
+    pub fn pe_has_disk(&self, i: usize) -> bool {
+        i % self.disk_stride == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = MachineConfig::paper_prototype();
+        assert_eq!(c.num_pes, 64);
+        assert_eq!(c.memory_per_pe, 16 << 20);
+        assert_eq!(c.link_bandwidth_bps, 10_000_000);
+        assert_eq!(c.packet_bits, 256);
+        assert_eq!(c.links_per_pe, 4);
+        // 256 bits over 10 Mbit/s = 25.6 µs per packet per hop.
+        assert!((c.packet_tx_seconds() - 25.6e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        assert!(MachineConfig::default().validate().is_ok());
+        let mut c = MachineConfig::default();
+        c.num_pes = 0;
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::default();
+        c.topology = TopologyKind::ChordalRing { stride: 64 };
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::default();
+        c.disk_stride = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn disk_placement_follows_stride() {
+        let c = MachineConfig::paper_prototype();
+        assert!(c.pe_has_disk(0));
+        assert!(!c.pe_has_disk(1));
+        assert!(c.pe_has_disk(8));
+    }
+}

@@ -1,0 +1,86 @@
+//! Identifier newtypes used across the machine.
+//!
+//! Each subsystem names its entities with a dedicated newtype so that a
+//! processing-element number can never be confused with a fragment number
+//! in a message header.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize,
+            Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Raw numeric value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(v as u32)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A processing element of the multi-computer (paper §3.2; the
+    /// prototype has 64 of these).
+    PeId,
+    "pe"
+);
+id_type!(
+    /// A POOL-X process (dynamically created, explicitly allocated to a PE).
+    ProcessId,
+    "proc"
+);
+id_type!(
+    /// A relation fragment, managed by exactly one One-Fragment Manager.
+    FragmentId,
+    "frag"
+);
+id_type!(
+    /// A transaction coordinated by the Global Data Handler.
+    TxnId,
+    "txn"
+);
+id_type!(
+    /// A query instance; the GDH spawns fresh component instances per query
+    /// (paper §2.2).
+    QueryId,
+    "q"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(PeId(3).to_string(), "pe3");
+        assert_eq!(FragmentId::from(7usize).index(), 7);
+        assert_eq!(TxnId(9).to_string(), "txn9");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(PeId(2) < PeId(10));
+        assert_eq!(QueryId(5), QueryId(5));
+    }
+}

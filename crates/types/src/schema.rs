@@ -1,0 +1,334 @@
+//! Relation schemas.
+//!
+//! A PRISMA relation fragment is managed by exactly one One-Fragment
+//! Manager (paper §2.5); every fragment of a relation shares the relation's
+//! [`Schema`]. Schemas also flow through the query pipeline: the SQL and
+//! PRISMAlog front ends type-check against them and each algebra operator
+//! derives its output schema.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{PrismaError, Result};
+use crate::value::Value;
+
+/// Column data types supported by the machine's front ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Double,
+    /// Variable-length string.
+    Str,
+}
+
+impl DataType {
+    /// True when a value of type `other` may be stored in a column of type
+    /// `self` (identity, plus Int widening into Double).
+    pub fn accepts(self, other: DataType) -> bool {
+        self == other || (self == DataType::Double && other == DataType::Int)
+    }
+
+    /// True for Int/Double.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Double)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "BOOL",
+            DataType::Int => "INT",
+            DataType::Double => "DOUBLE",
+            DataType::Str => "STRING",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name; unqualified (`"a"`) or qualified (`"emp.a"`).
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// Whether NULL is admissible.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// Non-nullable column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+            nullable: false,
+        }
+    }
+
+    /// Nullable column.
+    pub fn nullable(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
+    }
+
+    /// The part of the name after the last `.`, i.e. without any relation
+    /// qualifier.
+    pub fn base_name(&self) -> &str {
+        self.name.rsplit('.').next().unwrap_or(&self.name)
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema from columns. Column names need not be unique (joins
+    /// can produce duplicates); [`Schema::resolve`] reports ambiguity.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// Empty schema (zero columns), the schema of a `VALUES ()` row or of a
+    /// boolean query result.
+    pub fn empty() -> Self {
+        Schema::default()
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Columns in order.
+    #[inline]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column at ordinal `i`.
+    pub fn column(&self, i: usize) -> Option<&Column> {
+        self.columns.get(i)
+    }
+
+    /// Resolve a (possibly qualified) column name to its ordinal.
+    ///
+    /// Resolution rules follow SQL: a qualified name matches only columns
+    /// with that exact qualified name; an unqualified name matches any
+    /// column whose base name equals it. Ambiguity and absence are errors.
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        let qualified = name.contains('.');
+        let mut found: Option<usize> = None;
+        for (i, c) in self.columns.iter().enumerate() {
+            let hit = if qualified {
+                c.name == name
+            } else {
+                c.base_name() == name
+            };
+            if hit {
+                if found.is_some() {
+                    return Err(PrismaError::AmbiguousColumn(name.to_owned()));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| PrismaError::UnknownColumn(name.to_owned()))
+    }
+
+    /// Concatenation of two schemas, with every column qualified by the
+    /// given relation aliases — the schema of `left JOIN right`.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Re-qualify every column as `alias.base_name`.
+    pub fn qualify(&self, alias: &str) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Column {
+                    name: format!("{alias}.{}", c.base_name()),
+                    dtype: c.dtype,
+                    nullable: c.nullable,
+                })
+                .collect(),
+        }
+    }
+
+    /// Drop all qualifiers.
+    pub fn unqualified(&self) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Column {
+                    name: c.base_name().to_owned(),
+                    dtype: c.dtype,
+                    nullable: c.nullable,
+                })
+                .collect(),
+        }
+    }
+
+    /// Schema containing the columns at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            columns: indices
+                .iter()
+                .filter_map(|&i| self.columns.get(i).cloned())
+                .collect(),
+        }
+    }
+
+    /// Validate that `values` is a legal tuple for this schema: arity,
+    /// types (with Int→Double widening) and nullability.
+    pub fn check_tuple(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.arity() {
+            return Err(PrismaError::ArityMismatch {
+                expected: self.arity(),
+                got: values.len(),
+            });
+        }
+        for (c, v) in self.columns.iter().zip(values) {
+            match v.data_type() {
+                None => {
+                    if !c.nullable {
+                        return Err(PrismaError::NullViolation(c.name.clone()));
+                    }
+                }
+                Some(dt) => {
+                    if !c.dtype.accepts(dt) {
+                        return Err(PrismaError::TypeMismatch {
+                            column: c.name.clone(),
+                            expected: c.dtype.to_string(),
+                            got: dt.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Two schemas are union-compatible when their column types agree
+    /// pairwise (names may differ).
+    pub fn union_compatible(&self, other: &Schema) -> bool {
+        self.arity() == other.arity()
+            && self
+                .columns
+                .iter()
+                .zip(other.columns.iter())
+                .all(|(a, b)| a.dtype == b.dtype)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+            if c.nullable {
+                write!(f, " NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emp() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("name", DataType::Str),
+            Column::nullable("salary", DataType::Double),
+        ])
+    }
+
+    #[test]
+    fn resolve_unqualified_and_qualified() {
+        let s = emp().qualify("emp");
+        assert_eq!(s.resolve("id").unwrap(), 0);
+        assert_eq!(s.resolve("emp.name").unwrap(), 1);
+        assert!(matches!(
+            s.resolve("bogus"),
+            Err(PrismaError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn resolve_reports_ambiguity() {
+        let s = emp().qualify("a").join(&emp().qualify("b"));
+        assert!(matches!(
+            s.resolve("id"),
+            Err(PrismaError::AmbiguousColumn(_))
+        ));
+        assert_eq!(s.resolve("b.id").unwrap(), 3);
+    }
+
+    #[test]
+    fn tuple_checking() {
+        let s = emp();
+        assert!(s
+            .check_tuple(&[Value::Int(1), "bob".into(), Value::Double(9.5)])
+            .is_ok());
+        // Int widens into Double column.
+        assert!(s
+            .check_tuple(&[Value::Int(1), "bob".into(), Value::Int(9)])
+            .is_ok());
+        // NULL allowed only in nullable column.
+        assert!(s
+            .check_tuple(&[Value::Int(1), "bob".into(), Value::Null])
+            .is_ok());
+        assert!(matches!(
+            s.check_tuple(&[Value::Null, "bob".into(), Value::Null]),
+            Err(PrismaError::NullViolation(_))
+        ));
+        assert!(matches!(
+            s.check_tuple(&[Value::Int(1), Value::Int(2), Value::Null]),
+            Err(PrismaError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            s.check_tuple(&[Value::Int(1)]),
+            Err(PrismaError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn projection_and_union_compat() {
+        let s = emp();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.column(0).unwrap().name, "salary");
+        assert_eq!(p.column(1).unwrap().name, "id");
+        assert!(s.union_compatible(&emp().qualify("x")));
+        assert!(!s.union_compatible(&p));
+    }
+
+    #[test]
+    fn display_roundtrip_smoke() {
+        let s = emp();
+        let txt = s.to_string();
+        assert!(txt.contains("salary DOUBLE NULL"), "{txt}");
+    }
+}

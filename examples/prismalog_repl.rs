@@ -1,0 +1,86 @@
+//! A tiny interactive shell for the PRISMA machine: SQL statements and
+//! PRISMAlog programs/queries against the same fragmented relations.
+//!
+//! ```sh
+//! cargo run --release --example prismalog_repl
+//! ```
+//!
+//! Commands:
+//! * any SQL statement ending in `;` — executed via the SQL front end;
+//! * `rule <clause>` — add a PRISMAlog rule to the session program;
+//! * `?- query(...)` — answer a PRISMAlog query with the session rules;
+//! * `rules` / `clear` — show or reset the session program;
+//! * `explain <query>;` — show optimizer output;
+//! * `quit`.
+
+use std::io::{BufRead, Write};
+
+use prisma::{PrismaMachine, QueryOutcome};
+
+fn main() -> prisma::Result<()> {
+    let db = PrismaMachine::builder().pes(16).build()?;
+    println!("PRISMA database machine — 16 PEs. Type `quit` to exit.");
+    println!("Pre-loading demo relation: parent(p, c)…");
+    db.sql("CREATE TABLE parent (p STRING, c STRING) FRAGMENTED BY HASH(p) INTO 4")?;
+    db.sql(
+        "INSERT INTO parent VALUES ('ann','bob'), ('bob','carol'), ('carol','dave'), \
+         ('ann','eve'), ('eve','frank')",
+    )?;
+
+    let mut program = String::new();
+    let stdin = std::io::stdin();
+    loop {
+        print!("prisma> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            "quit" | "exit" => break,
+            "rules" => {
+                println!("{}", if program.is_empty() { "(none)" } else { &program });
+                continue;
+            }
+            "clear" => {
+                program.clear();
+                continue;
+            }
+            _ => {}
+        }
+        let result = if let Some(rule) = line.strip_prefix("rule ") {
+            program.push_str(rule);
+            program.push('\n');
+            // Validate eagerly so mistakes surface immediately.
+            prisma::prismalog::parse_program(&program)
+                .map(|_| println!("ok ({} clauses)", program.lines().count()))
+                .map_err(|e| {
+                    // Roll the bad rule back.
+                    let keep: Vec<&str> = program.lines().collect();
+                    program = keep[..keep.len() - 1].join("\n");
+                    if !program.is_empty() {
+                        program.push('\n');
+                    }
+                    e
+                })
+        } else if line.starts_with("?-") {
+            db.prismalog(&program, line).map(|rows| println!("{rows}"))
+        } else if let Some(q) = line.strip_prefix("explain ") {
+            db.explain(q.trim_end_matches(';'))
+                .map(|plan| println!("{plan}"))
+        } else {
+            db.sql(line.trim_end_matches(';')).map(|out| match out {
+                QueryOutcome::Rows(r) => println!("{r}"),
+                QueryOutcome::Affected(n) => println!("{n} row(s) affected"),
+                QueryOutcome::Done => println!("ok"),
+            })
+        };
+        if let Err(e) = result {
+            println!("error: {e}");
+        }
+    }
+    db.shutdown();
+    Ok(())
+}

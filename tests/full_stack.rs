@@ -1,0 +1,194 @@
+//! Cross-crate integration tests: the distributed machine must agree with
+//! the single-node reference evaluator on every query, and the two front
+//! ends (SQL and PRISMAlog) must agree with each other.
+
+use std::collections::HashMap;
+
+use prisma::relalg::{eval, Relation};
+use prisma::sqlfe::{self, PlannedStatement};
+use prisma::workload::{graph_edges, values_clause, wisconsin_rows, GraphShape};
+use prisma::{PrismaMachine, Value};
+
+/// Load the same data into the distributed machine and into a local map,
+/// then check a battery of queries for agreement.
+#[test]
+fn distributed_execution_matches_reference_evaluator() {
+    let db = PrismaMachine::builder().pes(8).build().unwrap();
+    db.sql(
+        "CREATE TABLE wisc (unique1 INT, unique2 INT, two INT, ten INT, hundred INT, string4 STRING) \
+         FRAGMENTED BY HASH(unique1) INTO 4",
+    )
+    .unwrap();
+    let rows = wisconsin_rows(800, 9);
+    db.sql(&format!("INSERT INTO wisc VALUES {}", values_clause(&rows)))
+        .unwrap();
+    db.refresh_stats("wisc").unwrap();
+
+    let schema = prisma::workload::wisconsin_schema();
+    let mut reference: HashMap<String, Relation> = HashMap::new();
+    reference.insert("wisc".to_owned(), Relation::new(schema.clone(), rows));
+
+    let catalog: HashMap<String, prisma::Schema> =
+        [("wisc".to_owned(), schema)].into_iter().collect();
+
+    let queries = [
+        "SELECT unique2 FROM wisc WHERE unique1 < 50",
+        "SELECT two, ten, COUNT(*) AS n, SUM(hundred) AS s FROM wisc GROUP BY two, ten",
+        "SELECT COUNT(*) AS n, MIN(unique1) AS lo, MAX(unique1) AS hi FROM wisc",
+        "SELECT string4, COUNT(*) AS n FROM wisc WHERE ten BETWEEN 2 AND 5 GROUP BY string4",
+        "SELECT a.unique2 FROM wisc a, wisc b \
+         WHERE a.unique1 = b.unique2 AND b.ten = 3 AND a.two = 1",
+        "SELECT unique2 FROM wisc WHERE two = 0 EXCEPT SELECT unique2 FROM wisc WHERE ten = 4",
+        "SELECT DISTINCT hundred FROM wisc WHERE unique2 < 500",
+        "SELECT unique1 FROM wisc WHERE unique1 < 100 ORDER BY unique1 DESC LIMIT 7",
+    ];
+    for sql in queries {
+        let via_machine = db.query(sql).unwrap().canonicalized();
+        let stmt = sqlfe::parse_statement(sql).unwrap();
+        let PlannedStatement::Query(plan) = sqlfe::plan(&stmt, &catalog).unwrap() else {
+            panic!("{sql} is not a query")
+        };
+        let via_reference = eval(&plan, &reference).unwrap().canonicalized();
+        assert_eq!(
+            via_machine.tuples(),
+            via_reference.tuples(),
+            "machine and reference disagree on: {sql}"
+        );
+    }
+    db.shutdown();
+}
+
+#[test]
+fn sql_closure_and_prismalog_agree_on_reachability() {
+    let db = PrismaMachine::builder().pes(8).build().unwrap();
+    db.sql("CREATE TABLE edge (src INT, dst INT) FRAGMENTED BY HASH(src) INTO 4")
+        .unwrap();
+    let edges = graph_edges(GraphShape::Random { out_degree: 2 }, 60, 4);
+    db.sql(&format!("INSERT INTO edge VALUES {}", values_clause(&edges)))
+        .unwrap();
+
+    let via_sql = db
+        .query("SELECT c.dst FROM CLOSURE(edge) c WHERE c.src = 0")
+        .unwrap();
+    let via_rules = db
+        .prismalog(
+            "reach(X, Y) :- edge(X, Y).
+             reach(X, Y) :- edge(X, Z), reach(Z, Y).",
+            "?- reach(0, Y).",
+        )
+        .unwrap();
+    let mut a: Vec<i64> = via_sql
+        .tuples()
+        .iter()
+        .map(|t| t.get(0).as_int().unwrap())
+        .collect();
+    let mut b: Vec<i64> = via_rules
+        .tuples()
+        .iter()
+        .map(|t| t.get(0).as_int().unwrap())
+        .collect();
+    a.sort_unstable();
+    a.dedup();
+    b.sort_unstable();
+    assert_eq!(a, b, "SQL CLOSURE and PRISMAlog recursion must agree");
+    db.shutdown();
+}
+
+#[test]
+fn optimizer_ablations_agree_on_results() {
+    use prisma::optimizer::OptimizerConfig;
+    let mut db = PrismaMachine::builder().pes(8).build().unwrap();
+    db.sql("CREATE TABLE t (a INT, b INT) FRAGMENTED BY HASH(a) INTO 4")
+        .unwrap();
+    db.sql("CREATE TABLE u (b INT, c STRING) FRAGMENTED INTO 2")
+        .unwrap();
+    let trows: Vec<prisma::Tuple> = (0..500)
+        .map(|i| prisma::types::tuple![i, i % 20])
+        .collect();
+    db.sql(&format!("INSERT INTO t VALUES {}", values_clause(&trows)))
+        .unwrap();
+    let urows: Vec<prisma::Tuple> = (0..20)
+        .map(|i| prisma::types::tuple![i, format!("u{i}")])
+        .collect();
+    db.sql(&format!("INSERT INTO u VALUES {}", values_clause(&urows)))
+        .unwrap();
+
+    let sql = "SELECT t.a, u.c FROM t, u WHERE t.b = u.b AND t.a < 100 ORDER BY t.a";
+    let with_rules = db.query(sql).unwrap();
+    db.gdh_mut().set_optimizer_config(OptimizerConfig::disabled());
+    let without_rules = db.query(sql).unwrap();
+    assert_eq!(with_rules.tuples(), without_rules.tuples());
+    assert_eq!(with_rules.len(), 100);
+    db.shutdown();
+}
+
+#[test]
+fn money_conservation_under_concurrent_transfers() {
+    use std::sync::Arc;
+    let db = Arc::new(PrismaMachine::builder().pes(8).build().unwrap());
+    db.sql("CREATE TABLE acct (id INT, bal INT) FRAGMENTED BY HASH(id) INTO 4")
+        .unwrap();
+    let rows: Vec<prisma::Tuple> = (0..50).map(|i| prisma::types::tuple![i, 100]).collect();
+    db.sql(&format!("INSERT INTO acct VALUES {}", values_clause(&rows)))
+        .unwrap();
+    let mut handles = Vec::new();
+    for seed in 0..3u64 {
+        let db = db.clone();
+        handles.push(std::thread::spawn(move || {
+            for t in prisma::workload::transfer_stream(50, 30, seed) {
+                let txn = db.begin();
+                let ok = db
+                    .sql_in(
+                        txn,
+                        &format!(
+                            "UPDATE acct SET bal = bal - {} WHERE id = {}",
+                            t.amount, t.from
+                        ),
+                    )
+                    .and_then(|_| {
+                        db.sql_in(
+                            txn,
+                            &format!(
+                                "UPDATE acct SET bal = bal + {} WHERE id = {}",
+                                t.amount, t.to
+                            ),
+                        )
+                    })
+                    .is_ok();
+                if ok {
+                    db.commit(txn).unwrap();
+                } else {
+                    let _ = db.abort(txn);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = db.query("SELECT SUM(bal) AS t FROM acct").unwrap();
+    assert_eq!(total.tuples()[0].get(0), &Value::Int(5000));
+    db.shutdown();
+}
+
+#[test]
+fn durability_of_committed_work_after_machine_recovery() {
+    let db = PrismaMachine::builder().pes(8).build().unwrap();
+    db.sql("CREATE TABLE log_t (k INT, v INT) FRAGMENTED BY HASH(k) INTO 4")
+        .unwrap();
+    for i in 0..20 {
+        db.sql(&format!("INSERT INTO log_t VALUES ({i}, {})", i * 2))
+            .unwrap();
+    }
+    db.checkpoint("log_t").unwrap();
+    db.sql("UPDATE log_t SET v = 0 WHERE k < 5").unwrap();
+    db.sql("DELETE FROM log_t WHERE k = 19").unwrap();
+    db.recover("log_t").unwrap();
+    let rows = db
+        .query("SELECT COUNT(*) AS n, SUM(v) AS s FROM log_t")
+        .unwrap();
+    assert_eq!(rows.tuples()[0].get(0).as_int(), Some(19));
+    // sum = Σ(2i for i in 5..19) = 2*(5+..+18) = 2*161 = 322
+    assert_eq!(rows.tuples()[0].get(1).as_int(), Some(322));
+    db.shutdown();
+}
