@@ -2,10 +2,17 @@
 //!
 //! Claim: fragment-parallel query processing scales with the number of
 //! OFMs/PEs. Measures the same selection+aggregation query over a
-//! Wisconsin-style relation fragmented 1/2/4/8 ways.
+//! Wisconsin-style relation fragmented 1/2/4/8 ways, plus a single-node
+//! pipeline-vs-reference-evaluator comparison isolating the batch
+//! executor's win on the operator hot path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use prisma_core::workload::{values_clause, wisconsin_rows};
+use prisma_core::relalg::{eval, execute_physical, lower, LogicalPlan, Relation};
+use prisma_core::storage::expr::{CmpOp, ScalarExpr};
+use prisma_core::workload::{values_clause, wisconsin_rows, wisconsin_schema};
 use prisma_core::PrismaMachine;
 
 fn setup(fragments: usize, rows: usize) -> PrismaMachine {
@@ -22,6 +29,38 @@ fn setup(fragments: usize, rows: usize) -> PrismaMachine {
     }
     db.refresh_stats("wisc").unwrap();
     db
+}
+
+/// Batch pipeline vs. reference evaluator on one node: same plan, same
+/// data, no distribution — isolates the per-operator cost (zero-copy
+/// Arc scans + batched pipeline vs. materialize-everything evaluation).
+fn bench_pipeline_vs_eval(c: &mut Criterion) {
+    const ROWS: usize = 40_000;
+    let schema = wisconsin_schema();
+    let rel = Relation::new(schema.clone(), wisconsin_rows(ROWS, 7));
+    let eval_db: HashMap<String, Relation> =
+        [("wisc".to_owned(), rel.clone())].into_iter().collect();
+    let exec_db: HashMap<String, Arc<Relation>> =
+        [("wisc".to_owned(), Arc::new(rel))].into_iter().collect();
+    // σ(two = 1) then π(unique2): the shape every fragment subplan takes.
+    let plan = LogicalPlan::scan("wisc", schema)
+        .select(ScalarExpr::cmp(
+            CmpOp::Eq,
+            ScalarExpr::col(2),
+            ScalarExpr::lit(1),
+        ))
+        .project_cols(&[1])
+        .unwrap();
+    let physical = lower(&plan).unwrap();
+    let mut group = c.benchmark_group("e2_intra_query");
+    group.sample_size(10);
+    group.bench_function("select_project_40k/batch_pipeline", |b| {
+        b.iter(|| execute_physical(&physical, &exec_db).unwrap().len())
+    });
+    group.bench_function("select_project_40k/reference_eval", |b| {
+        b.iter(|| eval(&plan, &eval_db).unwrap().len())
+    });
+    group.finish();
 }
 
 fn bench(c: &mut Criterion) {
@@ -49,5 +88,5 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+criterion_group!(benches, bench_pipeline_vs_eval, bench);
 criterion_main!(benches);

@@ -27,8 +27,8 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for (name, shape, n) in shapes {
         let rel = graph(shape, n);
-        let semi = transitive_closure(rel.clone()).unwrap();
-        let naive = transitive_closure_naive(rel.clone()).unwrap();
+        let semi = transitive_closure(&rel).unwrap();
+        let naive = transitive_closure_naive(&rel).unwrap();
         assert_eq!(semi.len(), naive.len());
         eprintln!(
             "[E6:{name}] edges={} closure={} tuples",
@@ -36,10 +36,10 @@ fn bench(c: &mut Criterion) {
             semi.len()
         );
         group.bench_function(format!("ofm_seminaive_closure/{name}"), |b| {
-            b.iter(|| transitive_closure(rel.clone()).unwrap().len())
+            b.iter(|| transitive_closure(&rel).unwrap().len())
         });
         group.bench_function(format!("naive_iteration/{name}"), |b| {
-            b.iter(|| transitive_closure_naive(rel.clone()).unwrap().len())
+            b.iter(|| transitive_closure_naive(&rel).unwrap().len())
         });
     }
 

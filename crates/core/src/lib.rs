@@ -138,6 +138,15 @@ impl PrismaMachine {
         self.gdh.execute_sql(sql)?.rows()
     }
 
+    /// Execute a SQL query, returning rows plus the parallel executor's
+    /// metrics (fragment tasks, batches shipped, join strategies used).
+    pub fn query_with_metrics(
+        &self,
+        sql: &str,
+    ) -> Result<(Relation, prisma_gdh::exec::ExecMetrics)> {
+        self.gdh.query_sql_with_metrics(sql)
+    }
+
     /// Run a PRISMAlog program against the stored relations and answer the
     /// query atom.
     pub fn prismalog(&self, program: &str, query: &str) -> Result<Relation> {

@@ -37,10 +37,8 @@ impl RelationInfo {
     pub fn route(&self, values: &[Value]) -> usize {
         match self.frag_column {
             Some(col) => {
-                use std::hash::{BuildHasher, Hash, Hasher};
-                let mut h = prisma_storage::FnvBuild.build_hasher();
-                values[col].hash(&mut h);
-                (h.finish() as usize) % self.fragments.len()
+                use std::hash::BuildHasher;
+                (prisma_storage::FnvBuild.hash_one(&values[col]) as usize) % self.fragments.len()
             }
             // Round-robin by whole-row hash keeps routing deterministic
             // without dictionary mutation on every insert.

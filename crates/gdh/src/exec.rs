@@ -1,36 +1,45 @@
 //! The parallel executor: fragment-parallel query processing over the OFM
-//! actors (paper §2.2's intra-query parallelism).
+//! actors (paper §2.2's intra-query parallelism), running entirely on the
+//! physical batch pipeline — the reference evaluator is used only by
+//! tests as the semantics oracle.
 //!
 //! Strategy per operator:
 //!
 //! * a **pushable** subtree (Select/Project chains over one relation's
-//!   scan) runs on every fragment of that relation in parallel; results
-//!   are unioned at the coordinator;
-//! * an equi-**join** broadcasts the smaller (materialized) side to every
-//!   fragment of the pushable side and joins locally in parallel — the
-//!   classic shared-nothing broadcast join; if neither side is pushable
-//!   both are materialized and joined at the coordinator;
+//!   scan) is lowered to a physical subplan and shipped to every fragment
+//!   of that relation in parallel; per-fragment batch streams are unioned
+//!   at the coordinator;
+//! * an equi-**join** between two pushable sides whose cardinality
+//!   estimates are both large runs as a **hash-partitioned (grace) join**:
+//!   every fragment partitions its side by join-key hash, and bucket pairs
+//!   are joined in parallel across the fragment actors. Otherwise the
+//!   smaller (materialized) side is **broadcast** to every fragment of the
+//!   pushable side — the classic shared-nothing broadcast join. The choice
+//!   comes from the optimizer's cardinality estimates
+//!   ([`prisma_optimizer::PhysicalConfig`]);
 //! * a decomposable **aggregate** (COUNT/SUM/MIN/MAX) computes partials on
 //!   each fragment and merges them at the coordinator;
-//! * everything else evaluates at the coordinator over materialized
-//!   children (correct by construction: the reference evaluator is the
-//!   semantics);
+//! * everything else executes at the coordinator through the local batch
+//!   executor over materialized children;
 //! * subtrees reported by the optimizer's common-subexpression detection
-//!   are **memoized**: the second occurrence reuses the first result.
+//!   are **memoized** as `Arc<Relation>`: the second occurrence reuses the
+//!   first result without copying it.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
 
 use prisma_optimizer::cse::{detect_common_subexpressions, plan_key};
-use prisma_poolx::PoolRuntime;
-use prisma_relalg::{eval, AggExpr, AggFunc, JoinKind, LogicalPlan, Relation};
-use prisma_types::{PrismaError, Result, Schema};
+use prisma_optimizer::{lower_physical, PhysicalConfig, Trace};
+use prisma_poolx::{ExternalMailbox, PoolRuntime};
+use prisma_relalg::{
+    execute_physical, AggExpr, AggFunc, JoinKind, JoinStrategy, LogicalPlan, PhysicalPlan,
+    Relation,
+};
+use prisma_types::{PrismaError, Result, Schema, Tuple};
 
 use crate::dictionary::DataDictionary;
 use crate::message::GdhMsg;
-
-const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Per-query execution metrics (drives E2/E8 measurements).
 #[derive(Debug, Clone, Copy, Default)]
@@ -39,23 +48,49 @@ pub struct ExecMetrics {
     pub fragment_tasks: u64,
     /// Tuples returned by fragment actors to the coordinator.
     pub tuples_shipped: u64,
+    /// Batches returned by fragment actors to the coordinator.
+    pub batches_shipped: u64,
     /// Subtree results served from the CSE memo.
     pub memo_hits: u64,
+    /// Joins executed with the broadcast strategy.
+    pub broadcast_joins: u64,
+    /// Joins executed with the hash-partitioned (grace) strategy.
+    pub partitioned_joins: u64,
+    /// Repartition subplans shipped for grace joins.
+    pub repartition_tasks: u64,
 }
 
 /// The fragment-parallel executor.
 pub struct ParallelExecutor {
     runtime: Arc<PoolRuntime<GdhMsg>>,
     dictionary: Arc<DataDictionary>,
+    physical_config: PhysicalConfig,
+    reply_timeout: Duration,
 }
 
 impl ParallelExecutor {
-    /// Executor over a runtime and dictionary.
+    /// Executor over a runtime and dictionary. The reply timeout comes
+    /// from the machine configuration ([`prisma_types::MachineConfig::reply_timeout`]).
     pub fn new(runtime: Arc<PoolRuntime<GdhMsg>>, dictionary: Arc<DataDictionary>) -> Self {
+        let reply_timeout = dictionary.config().reply_timeout();
         ParallelExecutor {
             runtime,
             dictionary,
+            physical_config: PhysicalConfig::default(),
+            reply_timeout,
         }
+    }
+
+    /// The physical-lowering tunables this executor plans with (EXPLAIN
+    /// must lower with the same config execution uses).
+    pub fn physical_config(&self) -> PhysicalConfig {
+        self.physical_config
+    }
+
+    /// Override the physical-lowering tunables (e.g. the broadcast-vs-
+    /// partition threshold for the E2/E8 experiments).
+    pub fn set_physical_config(&mut self, config: PhysicalConfig) {
+        self.physical_config = config;
     }
 
     /// Execute a logical plan, returning the result and metrics.
@@ -64,10 +99,10 @@ impl ParallelExecutor {
             .into_iter()
             .map(|c| c.key)
             .collect();
-        let mut memo: HashMap<String, Relation> = HashMap::new();
+        let mut memo: HashMap<String, Arc<Relation>> = HashMap::new();
         let mut metrics = ExecMetrics::default();
         let rel = self.exec_node(plan, &cse_keys, &mut memo, &mut metrics)?;
-        Ok((rel, metrics))
+        Ok((Arc::unwrap_or_clone(rel), metrics))
     }
 
     /// Materialize a full base relation (used by the PRISMAlog evaluator
@@ -77,15 +112,22 @@ impl ParallelExecutor {
         let plan = LogicalPlan::scan(relation, info.schema.clone());
         let mut metrics = ExecMetrics::default();
         self.run_on_fragments(&plan, relation, &mut metrics)
+            .map(Arc::unwrap_or_clone)
+    }
+
+    /// Lower a (sub)plan for shipping or local execution.
+    fn lower(&self, plan: &LogicalPlan) -> Result<PhysicalPlan> {
+        let mut trace = Trace::default();
+        lower_physical(plan, &*self.dictionary, self.physical_config, &mut trace)
     }
 
     fn exec_node(
         &self,
         plan: &LogicalPlan,
         cse: &HashSet<String>,
-        memo: &mut HashMap<String, Relation>,
+        memo: &mut HashMap<String, Arc<Relation>>,
         metrics: &mut ExecMetrics,
-    ) -> Result<Relation> {
+    ) -> Result<Arc<Relation>> {
         let key = if cse.is_empty() {
             None
         } else {
@@ -95,13 +137,13 @@ impl ParallelExecutor {
         if let Some(k) = &key {
             if let Some(hit) = memo.get(k) {
                 metrics.memo_hits += 1;
-                return Ok(hit.clone());
+                return Ok(Arc::clone(hit));
             }
         }
 
         let result = self.exec_inner(plan, cse, memo, metrics)?;
         if let Some(k) = key {
-            memo.insert(k, result.clone());
+            memo.insert(k, Arc::clone(&result));
         }
         Ok(result)
     }
@@ -110,16 +152,15 @@ impl ParallelExecutor {
         &self,
         plan: &LogicalPlan,
         cse: &HashSet<String>,
-        memo: &mut HashMap<String, Relation>,
+        memo: &mut HashMap<String, Arc<Relation>>,
         metrics: &mut ExecMetrics,
-    ) -> Result<Relation> {
+    ) -> Result<Arc<Relation>> {
         // 1. Fragment-parallel pushable subtree.
         if let Some(relation) = pushable_relation(plan) {
             return self.run_on_fragments(plan, &relation, metrics);
         }
         match plan {
-            // 2. Joins: broadcast the materialized small side into the
-            //    fragments of a pushable side.
+            // 2. Joins between distributed inputs.
             LogicalPlan::Join {
                 left,
                 right,
@@ -127,7 +168,38 @@ impl ParallelExecutor {
                 on,
                 residual,
             } => {
+                // Both sides pushable and both estimated large: grace join.
+                // One lowering decides the strategy AND yields the
+                // shippable side plans (projections already fused).
+                if !on.is_empty() {
+                    if let (Some(lrel), Some(rrel)) =
+                        (pushable_relation(left), pushable_relation(right))
+                    {
+                        if let PhysicalPlan::HashJoin {
+                            left: phys_left,
+                            right: phys_right,
+                            on: phys_on,
+                            residual: phys_residual,
+                            strategy: JoinStrategy::Partitioned,
+                            ..
+                        } = self.lower(plan)?
+                        {
+                            return self.partitioned_join(
+                                *phys_left,
+                                &lrel,
+                                *phys_right,
+                                &rrel,
+                                &phys_on,
+                                phys_residual,
+                                metrics,
+                            );
+                        }
+                    }
+                }
+                // Broadcast the materialized small side into the fragments
+                // of a pushable side.
                 if let Some(rel) = pushable_relation(left) {
+                    metrics.broadcast_joins += 1;
                     let build = self.exec_node(right, cse, memo, metrics)?;
                     let build_schema = build.schema().clone();
                     let frag_plan = LogicalPlan::Join {
@@ -142,6 +214,7 @@ impl ParallelExecutor {
                     return self.run_on_fragments_with(&frag_plan, &rel, extra, metrics);
                 }
                 if let Some(rel) = pushable_relation(right) {
+                    metrics.broadcast_joins += 1;
                     let build = self.exec_node(left, cse, memo, metrics)?;
                     let build_schema = build.schema().clone();
                     let frag_plan = LogicalPlan::Join {
@@ -156,7 +229,7 @@ impl ParallelExecutor {
                     return self.run_on_fragments_with(&frag_plan, &rel, extra, metrics);
                 }
                 // Neither side pushable: coordinator-local join.
-                self.local_eval(plan, cse, memo, metrics)
+                self.local_exec(plan, cse, memo, metrics)
             }
             // 3. Decomposable aggregates: partial per fragment + merge.
             LogicalPlan::Aggregate {
@@ -171,12 +244,17 @@ impl ParallelExecutor {
                     aggs: aggs.clone(),
                 };
                 let partials = self.run_on_fragments(&partial_plan, &relation, metrics)?;
-                merge_partials(partials, group_by.len(), aggs, plan)
+                Ok(Arc::new(merge_partials(
+                    &partials,
+                    group_by.len(),
+                    aggs,
+                    plan,
+                )?))
             }
             // 4. Recursive operators need their fixpoint bindings intact:
-            //    materialize base relations and evaluate in one piece.
+            //    materialize base relations and execute in one piece.
             LogicalPlan::Closure { .. } | LogicalPlan::Fixpoint { .. } => {
-                self.local_eval(plan, cse, memo, metrics)
+                self.local_exec(plan, cse, memo, metrics)
             }
             // 5. Everything else: execute the children through the
             //    distributed machinery, then apply this one operator at
@@ -186,24 +264,178 @@ impl ParallelExecutor {
         }
     }
 
-    /// Execute each child distributed, splice the results in as literal
-    /// rows, and evaluate only this node locally.
+    /// Hash-partitioned (grace) join: each fragment of both relations
+    /// partitions its subplan output by join-key hash; bucket pairs are
+    /// then joined in parallel across the left relation's fragment actors.
+    #[allow(clippy::too_many_arguments)]
+    fn partitioned_join(
+        &self,
+        left: PhysicalPlan,
+        left_rel: &str,
+        right: PhysicalPlan,
+        right_rel: &str,
+        on: &[(usize, usize)],
+        residual: Option<prisma_storage::expr::ScalarExpr>,
+        metrics: &mut ExecMetrics,
+    ) -> Result<Arc<Relation>> {
+        metrics.partitioned_joins += 1;
+        let linfo = self.dictionary.relation(left_rel)?;
+        let rinfo = self.dictionary.relation(right_rel)?;
+        let parts = linfo.fragments.len().max(rinfo.fragments.len()).max(1);
+
+        let lkeys: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+        let rkeys: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+        let lschema = left.output_schema()?;
+        let rschema = right.output_schema()?;
+
+        // Phase 1: fan out both sides' repartition subplans before
+        // collecting either, so the two sides genuinely run in parallel.
+        let (lmailbox, lcount) = self.send_repartition(&left, &linfo, &lkeys, parts, metrics)?;
+        let (rmailbox, rcount) = self.send_repartition(&right, &rinfo, &rkeys, parts, metrics)?;
+        let lbuckets = self.collect_partitions(&lmailbox, lcount, parts, metrics)?;
+        let rbuckets = self.collect_partitions(&rmailbox, rcount, parts, metrics)?;
+
+        // Phase 2: join bucket pairs across the left relation's actors.
+        let join_schema = lschema.join(&rschema);
+        let site_plan = PhysicalPlan::HashJoin {
+            left: Box::new(PhysicalPlan::SeqScan {
+                relation: "__part_l".into(),
+                schema: lschema.clone(),
+                projection: None,
+            }),
+            right: Box::new(PhysicalPlan::SeqScan {
+                relation: "__part_r".into(),
+                schema: rschema.clone(),
+                projection: None,
+            }),
+            kind: JoinKind::Inner,
+            on: on.to_vec(),
+            residual,
+            strategy: JoinStrategy::Partitioned,
+        };
+        let mailbox = self.runtime.external_mailbox();
+        let mut outstanding = 0;
+        for (j, (lb, rb)) in lbuckets.into_iter().zip(rbuckets).enumerate() {
+            if lb.is_empty() || rb.is_empty() {
+                continue; // an empty side joins to nothing
+            }
+            let mut extra = HashMap::new();
+            extra.insert(
+                "__part_l".to_owned(),
+                Arc::new(Relation::new(lschema.clone(), lb)),
+            );
+            extra.insert(
+                "__part_r".to_owned(),
+                Arc::new(Relation::new(rschema.clone(), rb)),
+            );
+            let site = &linfo.fragments[j % linfo.fragments.len()];
+            self.runtime.send(
+                site.actor,
+                GdhMsg::RunSubplan {
+                    plan: Box::new(site_plan.clone()),
+                    extra,
+                    reply_to: mailbox.id,
+                    tag: j as u64,
+                },
+            )?;
+            metrics.fragment_tasks += 1;
+            outstanding += 1;
+        }
+        let mut out = Vec::new();
+        for _ in 0..outstanding {
+            match mailbox.recv_timeout(self.reply_timeout)? {
+                GdhMsg::SubplanResult { result, .. } => {
+                    for batch in result? {
+                        metrics.batches_shipped += 1;
+                        metrics.tuples_shipped += batch.len() as u64;
+                        out.extend(batch.into_tuples());
+                    }
+                }
+                other => {
+                    return Err(PrismaError::Execution(format!(
+                        "unexpected reply {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(Arc::new(Relation::new(join_schema, out)))
+    }
+
+    /// Ship one side's repartition subplan to every fragment of its
+    /// relation; replies arrive on the returned mailbox.
+    fn send_repartition(
+        &self,
+        physical: &PhysicalPlan,
+        info: &crate::dictionary::RelationInfo,
+        key_cols: &[usize],
+        parts: usize,
+        metrics: &mut ExecMetrics,
+    ) -> Result<(ExternalMailbox<GdhMsg>, usize)> {
+        let mailbox = self.runtime.external_mailbox();
+        for (i, frag) in info.fragments.iter().enumerate() {
+            self.runtime.send(
+                frag.actor,
+                GdhMsg::Repartition {
+                    plan: Box::new(physical.clone()),
+                    key_cols: key_cols.to_vec(),
+                    parts,
+                    reply_to: mailbox.id,
+                    tag: i as u64,
+                },
+            )?;
+            metrics.repartition_tasks += 1;
+        }
+        Ok((mailbox, info.fragments.len()))
+    }
+
+    /// Collect `count` repartition replies, merging per-fragment buckets
+    /// bucket-wise.
+    fn collect_partitions(
+        &self,
+        mailbox: &ExternalMailbox<GdhMsg>,
+        count: usize,
+        parts: usize,
+        metrics: &mut ExecMetrics,
+    ) -> Result<Vec<Vec<Tuple>>> {
+        let mut merged: Vec<Vec<Tuple>> = (0..parts).map(|_| Vec::new()).collect();
+        for _ in 0..count {
+            match mailbox.recv_timeout(self.reply_timeout)? {
+                GdhMsg::PartitionResult { result, .. } => {
+                    for (bucket, rows) in merged.iter_mut().zip(result?) {
+                        metrics.tuples_shipped += rows.len() as u64;
+                        bucket.extend(rows);
+                    }
+                }
+                other => {
+                    return Err(PrismaError::Execution(format!(
+                        "unexpected reply {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Execute each child distributed, splice the results in as
+    /// `Arc`-shared provider entries behind synthetic scan names, and run
+    /// only this node through the local batch executor (no copies of the
+    /// child results are made).
     fn exec_via_children(
         &self,
         plan: &LogicalPlan,
         cse: &HashSet<String>,
-        memo: &mut HashMap<String, Relation>,
+        memo: &mut HashMap<String, Arc<Relation>>,
         metrics: &mut ExecMetrics,
-    ) -> Result<Relation> {
-        let mut materialized = Vec::new();
-        for child in plan.children() {
+    ) -> Result<Arc<Relation>> {
+        let mut provider: HashMap<String, Arc<Relation>> = HashMap::new();
+        let mut spliced = Vec::new();
+        for (i, child) in plan.children().into_iter().enumerate() {
             let rel = self.exec_node(child, cse, memo, metrics)?;
-            materialized.push(LogicalPlan::Values {
-                schema: rel.schema().clone(),
-                rows: rel.into_tuples(),
-            });
+            let name = format!("__child{i}");
+            spliced.push(LogicalPlan::scan(&name, rel.schema().clone()));
+            provider.insert(name, rel);
         }
-        let mut it = materialized.into_iter();
+        let mut it = spliced.into_iter();
         let mut next = || it.next().expect("children arity matches");
         let rebuilt = match plan.clone() {
             LogicalPlan::Select { predicate, .. } => LogicalPlan::Select {
@@ -251,22 +483,20 @@ impl ParallelExecutor {
             },
             leaf => leaf,
         };
-        let provider: HashMap<String, Relation> = HashMap::new();
-        eval(&rebuilt, &provider)
+        Ok(Arc::new(execute_physical(&self.lower(&rebuilt)?, &provider)?))
     }
 
-    /// Evaluate `plan` at the coordinator, materializing each child via
-    /// the distributed machinery and splicing it in as literal rows.
-    fn local_eval(
+    /// Execute `plan` at the coordinator through the batch executor,
+    /// materializing each free base relation via the distributed machinery
+    /// into an `Arc`-shared provider (fixpoint bindings stay intact).
+    fn local_exec(
         &self,
         plan: &LogicalPlan,
         cse: &HashSet<String>,
-        memo: &mut HashMap<String, Relation>,
+        memo: &mut HashMap<String, Arc<Relation>>,
         metrics: &mut ExecMetrics,
-    ) -> Result<Relation> {
-        // Fixpoints need their Scan bindings intact; materialize only the
-        // *free* scans (base relations) into a provider map and evaluate.
-        let mut provider: HashMap<String, Relation> = HashMap::new();
+    ) -> Result<Arc<Relation>> {
+        let mut provider: HashMap<String, Arc<Relation>> = HashMap::new();
         for name in plan.scanned_relations() {
             if provider.contains_key(&name) {
                 continue;
@@ -276,7 +506,7 @@ impl ParallelExecutor {
             let rel = self.exec_node(&scan, cse, memo, metrics)?;
             provider.insert(name, rel);
         }
-        eval(plan, &provider)
+        Ok(Arc::new(execute_physical(&self.lower(plan)?, &provider)?))
     }
 
     fn run_on_fragments(
@@ -284,26 +514,28 @@ impl ParallelExecutor {
         plan: &LogicalPlan,
         relation: &str,
         metrics: &mut ExecMetrics,
-    ) -> Result<Relation> {
+    ) -> Result<Arc<Relation>> {
         self.run_on_fragments_with(plan, relation, HashMap::new(), metrics)
     }
 
-    /// Ship `plan` (+ `extra` relations) to every fragment actor of
-    /// `relation` and union the replies.
+    /// Lower `plan` and ship it (+ `extra` relations) to every fragment
+    /// actor of `relation`, unioning the replied batch streams.
     fn run_on_fragments_with(
         &self,
         plan: &LogicalPlan,
         relation: &str,
-        extra: HashMap<String, Relation>,
+        extra: HashMap<String, Arc<Relation>>,
         metrics: &mut ExecMetrics,
-    ) -> Result<Relation> {
+    ) -> Result<Arc<Relation>> {
         let info = self.dictionary.relation(relation)?;
+        let physical = self.lower(plan)?;
+        let schema = physical.output_schema()?;
         let mailbox = self.runtime.external_mailbox();
         for (i, frag) in info.fragments.iter().enumerate() {
             self.runtime.send(
                 frag.actor,
                 GdhMsg::RunSubplan {
-                    plan: Box::new(plan.clone()),
+                    plan: Box::new(physical.clone()),
                     extra: extra.clone(),
                     reply_to: mailbox.id,
                     tag: i as u64,
@@ -311,15 +543,14 @@ impl ParallelExecutor {
             )?;
             metrics.fragment_tasks += 1;
         }
-        let schema = plan.output_schema()?;
-        let mut out = Relation::empty(schema);
+        let mut out = Vec::new();
         for _ in 0..info.fragments.len() {
-            match mailbox.recv_timeout(REPLY_TIMEOUT)? {
+            match mailbox.recv_timeout(self.reply_timeout)? {
                 GdhMsg::SubplanResult { result, .. } => {
-                    let rel = result?;
-                    metrics.tuples_shipped += rel.len() as u64;
-                    for t in rel.into_tuples() {
-                        out.push(t);
+                    for batch in result? {
+                        metrics.batches_shipped += 1;
+                        metrics.tuples_shipped += batch.len() as u64;
+                        out.extend(batch.into_tuples());
                     }
                 }
                 other => {
@@ -329,12 +560,12 @@ impl ParallelExecutor {
                 }
             }
         }
-        Ok(out)
+        Ok(Arc::new(Relation::new(schema, out)))
     }
 }
 
-/// If `plan` is a Select/Project/Distinct-free chain over exactly one
-/// base-relation scan, return that relation's name.
+/// If `plan` is a Select/Project chain over exactly one base-relation
+/// scan, return that relation's name.
 ///
 /// Distinct is excluded (local dedup ≠ global dedup under bag semantics is
 /// fine, but a parent expecting set semantics must dedup globally — the
@@ -366,9 +597,10 @@ fn decomposable(aggs: &[AggExpr]) -> bool {
 }
 
 /// Merge per-fragment partial aggregates: COUNT→SUM, SUM→SUM, MIN→MIN,
-/// MAX→MAX, re-grouped on the same keys.
+/// MAX→MAX, re-grouped on the same keys (runs through the local batch
+/// executor).
 fn merge_partials(
-    partials: Relation,
+    partials: &Relation,
     num_group_cols: usize,
     aggs: &[AggExpr],
     original: &LogicalPlan,
@@ -387,16 +619,16 @@ fn merge_partials(
             AggExpr::new(func, num_group_cols + i, a.name.clone())
         })
         .collect();
-    let merge_plan = LogicalPlan::Aggregate {
-        input: Box::new(LogicalPlan::Values {
+    let merge_plan = PhysicalPlan::HashAggregate {
+        input: Box::new(PhysicalPlan::Values {
             schema: partials.schema().clone(),
             rows: partials.tuples().to_vec(),
         }),
         group_by: (0..num_group_cols).collect(),
         aggs: merge_aggs,
     };
-    let provider: HashMap<String, Relation> = HashMap::new();
-    let merged = eval(&merge_plan, &provider)?;
+    let provider: HashMap<String, Arc<Relation>> = HashMap::new();
+    let merged = execute_physical(&merge_plan, &provider)?;
     // COUNT over zero fragments of matching rows yields NULL from the SUM
     // merge for global (ungrouped) aggregates; coerce back to 0.
     if num_group_cols == 0 && merged.len() == 1 {

@@ -3,7 +3,6 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
 
 use prisma_multicomputer::{CostModel, Topology};
 use prisma_ofm::{Ofm, OfmKind};
@@ -24,8 +23,6 @@ use crate::exec::{ExecMetrics, ParallelExecutor};
 use crate::locks::{LockManager, LockMode};
 use crate::message::{GdhMsg, OfmActor};
 use crate::txn::TransactionManager;
-
-const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Result of executing one statement.
 #[derive(Debug, Clone)]
@@ -90,7 +87,8 @@ impl GlobalDataHandler {
         let dictionary = Arc::new(DataDictionary::new(config.clone(), disk_profile));
         let locks = Arc::new(LockManager::new());
         let coordinator_log = dictionary.stable_for(PeId(0)).wal;
-        let txns = TransactionManager::new(runtime.clone(), locks.clone(), coordinator_log);
+        let txns = TransactionManager::new(runtime.clone(), locks.clone(), coordinator_log)
+            .with_reply_timeout(config.reply_timeout());
         let executor = ParallelExecutor::new(runtime.clone(), dictionary.clone());
         Ok(GlobalDataHandler {
             config,
@@ -133,6 +131,12 @@ impl GlobalDataHandler {
     /// Override the optimizer configuration (E9 ablation).
     pub fn set_optimizer_config(&mut self, cfg: OptimizerConfig) {
         self.optimizer_config = cfg;
+    }
+
+    /// Override the physical-lowering tunables (broadcast-vs-partition
+    /// threshold); EXPLAIN and execution always share this config.
+    pub fn set_physical_config(&mut self, cfg: prisma_optimizer::PhysicalConfig) {
+        self.executor.set_physical_config(cfg);
     }
 
     /// Shut the machine down (drains actor mailboxes).
@@ -215,7 +219,7 @@ impl GlobalDataHandler {
             )?;
         }
         for _ in 0..info.fragments.len() {
-            match mailbox.recv_timeout(REPLY_TIMEOUT)? {
+            match mailbox.recv_timeout(self.config.reply_timeout())? {
                 GdhMsg::Ack { result, .. } => {
                     result?;
                 }
@@ -245,7 +249,7 @@ impl GlobalDataHandler {
         }
         let mut total = 0;
         for _ in 0..info.fragments.len() {
-            if let GdhMsg::Ack { result, .. } = mailbox.recv_timeout(REPLY_TIMEOUT)? {
+            if let GdhMsg::Ack { result, .. } = mailbox.recv_timeout(self.config.reply_timeout())? {
                 total += result?;
             }
         }
@@ -334,7 +338,7 @@ impl GlobalDataHandler {
         }
         let mut n = 0;
         for _ in 0..outstanding {
-            match mailbox.recv_timeout(REPLY_TIMEOUT)? {
+            match mailbox.recv_timeout(self.config.reply_timeout())? {
                 GdhMsg::DmlDone { result, .. } => n += result?,
                 other => {
                     return Err(PrismaError::Execution(format!(
@@ -371,7 +375,7 @@ impl GlobalDataHandler {
         }
         let mut n = 0;
         for _ in 0..info.fragments.len() {
-            match mailbox.recv_timeout(REPLY_TIMEOUT)? {
+            match mailbox.recv_timeout(self.config.reply_timeout())? {
                 GdhMsg::DmlDone { result, .. } => n += result?,
                 other => {
                     return Err(PrismaError::Execution(format!(
@@ -410,7 +414,7 @@ impl GlobalDataHandler {
         }
         let mut n = 0;
         for _ in 0..info.fragments.len() {
-            match mailbox.recv_timeout(REPLY_TIMEOUT)? {
+            match mailbox.recv_timeout(self.config.reply_timeout())? {
                 GdhMsg::DmlDone { result, .. } => n += result?,
                 other => {
                     return Err(PrismaError::Execution(format!(
@@ -446,6 +450,16 @@ impl GlobalDataHandler {
         let optimizer = Optimizer::new(&*self.dictionary).with_config(self.optimizer_config);
         let (optimized, _trace) = optimizer.optimize(plan)?;
         self.executor.execute(&optimized)
+    }
+
+    /// Compile and execute a SQL query, returning rows plus the parallel
+    /// executor's metrics (batch/repartition counters drive E2/E8).
+    pub fn query_sql_with_metrics(&self, sql: &str) -> Result<(Relation, ExecMetrics)> {
+        let planned = sqlfe::compile(sql, &*self.dictionary)?;
+        let PlannedStatement::Query(plan) = planned else {
+            return Err(PrismaError::Execution("expected a query".into()));
+        };
+        self.query(&plan)
     }
 
     /// Execute one SQL statement (auto-commit).
@@ -542,19 +556,29 @@ impl GlobalDataHandler {
         }
     }
 
-    /// EXPLAIN: the optimized plan plus the knowledge-base firing trace.
+    /// EXPLAIN: the optimized logical plan, the lowered physical plan
+    /// (with join-distribution and scan-projection choices), and the
+    /// knowledge-base firing trace.
     pub fn explain_sql(&self, sql: &str) -> Result<String> {
         let planned = sqlfe::compile(sql, &*self.dictionary)?;
         let PlannedStatement::Query(plan) = planned else {
             return Err(PrismaError::Execution("EXPLAIN expects a query".into()));
         };
         let optimizer = Optimizer::new(&*self.dictionary).with_config(self.optimizer_config);
-        let (optimized, trace) = optimizer.optimize(&plan)?;
+        let (optimized, mut trace) = optimizer.optimize(&plan)?;
+        let physical = prisma_optimizer::lower_physical(
+            &optimized,
+            &*self.dictionary,
+            self.executor.physical_config(),
+            &mut trace,
+        )?;
         let mut out = String::new();
         out.push_str("== unoptimized ==\n");
         out.push_str(&plan.to_string());
         out.push_str("== optimized ==\n");
         out.push_str(&optimized.to_string());
+        out.push_str("== physical ==\n");
+        out.push_str(&physical.to_string());
         out.push_str("== knowledge-base rule firings ==\n");
         for f in &trace.fired {
             out.push_str(f);

@@ -20,9 +20,10 @@
 //!   at relation granularity with wait-for-graph deadlock detection;
 //! * [`txn`] — the transaction manager: two-phase commit across the
 //!   persistent OFMs of all touched relations;
-//! * [`exec`] — the parallel executor: fragment-parallel subplans shipped
-//!   to OFM actors, partitioned/broadcast joins, partial aggregation, and
-//!   memoized common subexpressions;
+//! * [`exec`] — the parallel executor: lowered physical subplans shipped
+//!   to OFM actors as batch pipelines, broadcast and hash-partitioned
+//!   (grace) joins chosen by cardinality, partial aggregation, and
+//!   `Arc`-memoized common subexpressions;
 //! * [`gdh`] — the façade combining parsers, optimizer, executor and
 //!   transactions into `execute_sql` / `execute_prismalog`.
 
@@ -36,7 +37,7 @@ pub mod txn;
 
 pub use allocation::AllocationPolicy;
 pub use dictionary::{DataDictionary, FragmentHandle, RelationInfo};
-pub use exec::ParallelExecutor;
+pub use exec::{ExecMetrics, ParallelExecutor};
 pub use gdh::{GlobalDataHandler, QueryOutcome};
 pub use locks::{LockManager, LockMode};
 pub use message::GdhMsg;

@@ -6,33 +6,59 @@
 //! `tag` so a coordinator fanning out to many fragments can match replies.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use prisma_poolx::{Ctx, Process, WireMessage};
-use prisma_relalg::{LogicalPlan, Relation};
+use prisma_relalg::{Batch, PhysicalPlan, Relation};
 use prisma_storage::expr::ScalarExpr;
 use prisma_types::{ProcessId, Result, Tuple, TxnId};
 
 /// Messages of the PRISMA DBMS layer.
 #[derive(Debug)]
 pub enum GdhMsg {
-    /// Execute a local subplan; `Scan(<relation name>)` reads the OFM's
-    /// fragment, `extra` supplies shipped-in intermediates.
+    /// Execute a local physical subplan through the batch executor;
+    /// `SeqScan(<relation name>)` reads the OFM's fragment, `extra`
+    /// supplies shipped-in intermediates (`Arc`-shared, so a broadcast
+    /// build side is one allocation no matter how many fragments receive
+    /// it — the wire cost is still charged per message).
     RunSubplan {
-        /// The subplan.
-        plan: Box<LogicalPlan>,
+        /// The physical subplan.
+        plan: Box<PhysicalPlan>,
         /// Shipped-in relations by name (e.g. a broadcast build side).
-        extra: HashMap<String, Relation>,
+        extra: HashMap<String, Arc<Relation>>,
         /// Where to send the result.
         reply_to: ProcessId,
         /// Correlation tag.
         tag: u64,
     },
-    /// Reply to `RunSubplan`.
+    /// Reply to `RunSubplan`: the fragment's partial result as the raw
+    /// batch stream out of the executor.
     SubplanResult {
         /// Correlation tag.
         tag: u64,
-        /// The fragment's result (or the error).
-        result: Result<Relation>,
+        /// The fragment's batches (or the error).
+        result: Result<Vec<Batch>>,
+    },
+    /// Grace-join phase 1: run the subplan and hash-partition its output
+    /// on `key_cols` into `parts` buckets.
+    Repartition {
+        /// The physical subplan producing this side of the join.
+        plan: Box<PhysicalPlan>,
+        /// Join-key ordinals in the subplan's output.
+        key_cols: Vec<usize>,
+        /// Bucket count.
+        parts: usize,
+        /// Where to send the buckets.
+        reply_to: ProcessId,
+        /// Correlation tag.
+        tag: u64,
+    },
+    /// Reply to `Repartition`: one tuple bucket per partition.
+    PartitionResult {
+        /// Correlation tag.
+        tag: u64,
+        /// The buckets (or the error).
+        result: Result<Vec<Vec<Tuple>>>,
     },
     /// Insert rows under a transaction.
     Insert {
@@ -143,12 +169,29 @@ impl WireMessage for GdhMsg {
             // Result shipping dominates communication; control messages
             // are a single packet.
             GdhMsg::SubplanResult {
-                result: Ok(rel), ..
-            } => (rel.wire_bits() / 8) as usize + 32,
+                result: Ok(batches),
+                ..
+            } => {
+                32 + batches
+                    .iter()
+                    .map(|b| (b.wire_bits() / 8) as usize)
+                    .sum::<usize>()
+            }
             GdhMsg::RunSubplan { extra, .. } => {
                 64 + extra
                     .values()
                     .map(|r| (r.wire_bits() / 8) as usize)
+                    .sum::<usize>()
+            }
+            GdhMsg::Repartition { .. } => 64,
+            GdhMsg::PartitionResult {
+                result: Ok(buckets),
+                ..
+            } => {
+                32 + buckets
+                    .iter()
+                    .flatten()
+                    .map(|t| (t.wire_bits() / 8) as usize)
                     .sum::<usize>()
             }
             GdhMsg::Insert { rows, .. } => {
@@ -180,8 +223,23 @@ impl Process<GdhMsg> for OfmActor {
                 reply_to,
                 tag,
             } => {
-                let result = self.ofm.execute(&plan, &extra);
+                let result = self.ofm.execute_physical(&plan, &extra);
                 let _ = ctx.send(reply_to, GdhMsg::SubplanResult { tag, result });
+            }
+            GdhMsg::Repartition {
+                plan,
+                key_cols,
+                parts,
+                reply_to,
+                tag,
+            } => {
+                let result = self
+                    .ofm
+                    .execute_physical(&plan, &HashMap::new())
+                    .map(|batches| {
+                        prisma_relalg::exec::partition_batches(batches, &key_cols, parts)
+                    });
+                let _ = ctx.send(reply_to, GdhMsg::PartitionResult { tag, result });
             }
             GdhMsg::Insert {
                 txn,
@@ -258,6 +316,7 @@ impl Process<GdhMsg> for OfmActor {
             }
             // Replies arriving at an OFM are protocol errors; ignore.
             GdhMsg::SubplanResult { .. }
+            | GdhMsg::PartitionResult { .. }
             | GdhMsg::DmlDone { .. }
             | GdhMsg::Vote { .. }
             | GdhMsg::Ack { .. } => {}

@@ -19,9 +19,9 @@ use prisma_types::{PrismaError, ProcessId, Result, TxnId};
 use crate::locks::LockManager;
 use crate::message::GdhMsg;
 
-/// How long the coordinator waits for a participant vote/ack before
-/// presuming it dead (simulation safety net, not a tuning knob).
-const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+/// Fallback participant-reply timeout when none is configured (the GDH
+/// passes `MachineConfig::reply_timeout` through `with_reply_timeout`).
+const DEFAULT_REPLY_TIMEOUT: Duration = Duration::from_secs(30);
 
 #[derive(Debug, Default)]
 struct TxnState {
@@ -46,6 +46,7 @@ pub struct TransactionManager {
     coordinator_log: Arc<WriteAheadLog>,
     next: AtomicU32,
     active: Mutex<HashMap<TxnId, TxnState>>,
+    reply_timeout: Duration,
 }
 
 impl TransactionManager {
@@ -61,7 +62,14 @@ impl TransactionManager {
             coordinator_log,
             next: AtomicU32::new(1),
             active: Mutex::new(HashMap::new()),
+            reply_timeout: DEFAULT_REPLY_TIMEOUT,
         }
+    }
+
+    /// Override the participant-reply timeout (from the machine config).
+    pub fn with_reply_timeout(mut self, timeout: Duration) -> Self {
+        self.reply_timeout = timeout;
+        self
     }
 
     /// The lock manager (shared with the executor).
@@ -130,7 +138,7 @@ impl TransactionManager {
         }
         let mut all_yes = true;
         for _ in 0..participants.len() {
-            match mailbox.recv_timeout(REPLY_TIMEOUT)? {
+            match mailbox.recv_timeout(self.reply_timeout)? {
                 GdhMsg::Vote { result, .. } => {
                     metrics.messages += 1;
                     match result {
@@ -171,7 +179,7 @@ impl TransactionManager {
             metrics.messages += 1;
         }
         for _ in 0..participants.len() {
-            if let GdhMsg::Ack { result, .. } = mailbox.recv_timeout(REPLY_TIMEOUT)? {
+            if let GdhMsg::Ack { result, .. } = mailbox.recv_timeout(self.reply_timeout)? {
                 metrics.messages += 1;
                 if let Ok(ns) = result {
                     metrics.disk_ns += ns;
@@ -217,7 +225,7 @@ impl TransactionManager {
             }
         }
         for _ in 0..sent {
-            let _ = mailbox.recv_timeout(REPLY_TIMEOUT);
+            let _ = mailbox.recv_timeout(self.reply_timeout);
         }
         Ok(())
     }

@@ -126,7 +126,7 @@ impl Topology {
 /// Most-square factorization of `n` into `rows × cols` (rows ≤ cols).
 pub fn mesh_dims(n: usize) -> (usize, usize) {
     let mut rows = (n as f64).sqrt() as usize;
-    while rows > 1 && n % rows != 0 {
+    while rows > 1 && !n.is_multiple_of(rows) {
         rows -= 1;
     }
     (rows.max(1), n / rows.max(1))
@@ -159,11 +159,11 @@ fn chordal_ring_neighbors(n: usize, stride: usize) -> Result<Vec<Vec<PeId>>> {
         ));
     }
     let mut adj = vec![Vec::with_capacity(4); n];
-    for i in 0..n {
+    for (i, nbrs) in adj.iter_mut().enumerate() {
         let mut add = |j: usize| {
             let p = PeId::from(j);
-            if j != i && !adj[i].contains(&p) {
-                adj[i].push(p);
+            if j != i && !nbrs.contains(&p) {
+                nbrs.push(p);
             }
         };
         add((i + 1) % n);
@@ -200,7 +200,7 @@ fn routing_tables(n: usize, adj: &[Vec<PeId>]) -> Result<(Vec<PeId>, Vec<u32>)> 
                 }
             }
         }
-        if dist[row..row + n].iter().any(|&d| d == u32::MAX) {
+        if dist[row..row + n].contains(&u32::MAX) {
             return Err(PrismaError::Config(
                 "topology is not connected".to_owned(),
             ));

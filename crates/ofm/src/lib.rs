@@ -17,8 +17,8 @@
 //! * [`ofm::Ofm`] — the manager: local transactions with undo, WAL-backed
 //!   durability and 2PC participant duties for the *persistent* OFM type,
 //!   a local query optimizer choosing index vs. scan access paths, local
-//!   plan execution (including the transitive-closure operator), and
-//!   checkpoint/recovery;
+//!   physical-subplan execution through the batch pipeline (including the
+//!   transitive-closure operator), and checkpoint/recovery;
 //! * [`ofm::OfmKind`] — the paper's "generative approach": transient OFMs
 //!   for intermediate results carry no recovery machinery at all.
 

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use prisma_relalg::{eval, LogicalPlan, Relation, RelationProvider};
+use prisma_relalg::{Batch, LogicalPlan, PhysicalPlan, Relation, RelationProvider};
 use prisma_stable::{CheckpointStore, LogPayload, WriteAheadLog};
 use prisma_storage::expr::{CmpOp, ScalarExpr};
 use prisma_storage::Rid;
@@ -304,7 +304,7 @@ impl Ofm {
                 for (slot, idx) in self.fragment.btree_indexes().iter().enumerate() {
                     if idx.key_cols() == [col] {
                         let rids = match op {
-                            CmpOp::Eq => idx.lookup(&[v.clone()]).to_vec(),
+                            CmpOp::Eq => idx.lookup(std::slice::from_ref(&v)).to_vec(),
                             CmpOp::Lt => idx.range_one(None, Some((&v, false))),
                             CmpOp::Le => idx.range_one(None, Some((&v, true))),
                             CmpOp::Gt => idx.range_one(Some((&v, false)), None),
@@ -344,43 +344,64 @@ impl Ofm {
         }
     }
 
-    /// Execute a local subplan. Inside `plan`, `Scan(self.name())` reads
+    /// Execute a lowered physical subplan against this fragment through
+    /// the batch executor, returning the raw batch stream the actor ships
+    /// back to the coordinator. Inside `plan`, `Scan(self.name())` reads
     /// this fragment; `extra` supplies shipped-in build sides and other
-    /// intermediates by name.
+    /// intermediates by name (already `Arc`-shared, so broadcast sides are
+    /// never copied per fragment).
+    pub fn execute_physical(
+        &self,
+        plan: &PhysicalPlan,
+        extra: &HashMap<String, Arc<Relation>>,
+    ) -> Result<Vec<Batch>> {
+        struct P<'a> {
+            ofm: &'a Ofm,
+            extra: &'a HashMap<String, Arc<Relation>>,
+        }
+        impl RelationProvider for P<'_> {
+            fn relation(&self, name: &str) -> Result<Arc<Relation>> {
+                if name == self.ofm.name {
+                    Ok(Arc::new(self.ofm.snapshot()))
+                } else {
+                    self.extra
+                        .get(name)
+                        .map(Arc::clone)
+                        .ok_or_else(|| PrismaError::UnknownRelation(name.to_owned()))
+                }
+            }
+        }
+        prisma_relalg::execute_batches(plan, &P { ofm: self, extra })
+    }
+
+    /// Execute a local logical subplan: lower it and run the physical
+    /// batch pipeline (the reference evaluator is no longer on this path).
+    ///
+    /// Convenience for embedders and tests. Note it lowers with default
+    /// join strategies and deep-copies each `extra` relation into an
+    /// `Arc`; the actor hot path uses [`Ofm::execute_physical`] directly
+    /// with pre-shared extras.
     pub fn execute(
         &self,
         plan: &LogicalPlan,
         extra: &HashMap<String, Relation>,
     ) -> Result<Relation> {
-        struct P<'a> {
-            ofm: &'a Ofm,
-            extra: &'a HashMap<String, Relation>,
-        }
-        impl RelationProvider for P<'_> {
-            fn relation(&self, name: &str) -> Result<Relation> {
-                if name == self.ofm.name {
-                    Ok(Relation::new(
-                        self.ofm.fragment.schema().clone(),
-                        self.ofm.fragment.all_tuples(),
-                    ))
-                } else {
-                    self.extra
-                        .get(name)
-                        .cloned()
-                        .ok_or_else(|| PrismaError::UnknownRelation(name.to_owned()))
-                }
-            }
-        }
-        eval(plan, &P { ofm: self, extra })
+        let physical = prisma_relalg::lower(plan)?;
+        let shared: HashMap<String, Arc<Relation>> = extra
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::new(v.clone())))
+            .collect();
+        let batches = self.execute_physical(&physical, &shared)?;
+        Ok(prisma_relalg::exec::collect_batches(
+            physical.output_schema()?,
+            batches,
+        ))
     }
 
     /// The paper's per-OFM transitive-closure operator applied to this
     /// fragment (must be binary).
     pub fn transitive_closure(&self) -> Result<Relation> {
-        prisma_relalg::eval::transitive_closure(Relation::new(
-            self.fragment.schema().clone(),
-            self.fragment.all_tuples(),
-        ))
+        prisma_relalg::eval::transitive_closure(&self.snapshot())
     }
 
     /// Snapshot the fragment as a relation.

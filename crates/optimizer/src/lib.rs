@@ -18,9 +18,12 @@
 //! * **size estimation** — [`stats`] and [`cardinality`];
 //! * **common-subexpression detection** — [`cse`]; the distributed
 //!   executor memoizes detected duplicates so a shared subquery runs once;
-//! * **parallelism allocation** — the estimates exported here drive the
-//!   fragment-parallel scheduling and broadcast-vs-repartition choices in
-//!   `prisma-gdh` (the executor is where PEs are actually assigned).
+//! * **parallelism allocation** — the [`physical`] lowering pass turns
+//!   the optimized logical plan into a physical operator tree, choosing
+//!   broadcast vs. hash-partitioned join distribution from the
+//!   cardinality estimates and fusing projections into scans; the
+//!   fragment-parallel executor in `prisma-gdh` ships those physical
+//!   subplans to the PEs.
 //!
 //! Every rule firing is recorded in an explain [`Trace`], and each rule
 //! family can be disabled via [`OptimizerConfig`] — experiment E9 ablates
@@ -30,6 +33,7 @@ pub mod cardinality;
 pub mod cse;
 pub mod fold;
 pub mod join_order;
+pub mod physical;
 pub mod prune;
 pub mod pushdown;
 pub mod stats;
@@ -39,6 +43,7 @@ use prisma_types::Result;
 
 pub use cardinality::estimate_rows;
 pub use cse::detect_common_subexpressions;
+pub use physical::{lower_physical, PhysicalConfig};
 pub use stats::{StatsSource, TableStats};
 
 /// Which rule families run (all on by default; E9 toggles them).

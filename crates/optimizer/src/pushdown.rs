@@ -277,7 +277,7 @@ fn substitute(pred: &ScalarExpr, exprs: &[ScalarExpr]) -> ScalarExpr {
         ScalarExpr::Col(i) => exprs
             .get(*i)
             .cloned()
-            .unwrap_or_else(|| ScalarExpr::Col(*i)),
+            .unwrap_or(ScalarExpr::Col(*i)),
         ScalarExpr::Lit(v) => ScalarExpr::Lit(v.clone()),
         ScalarExpr::Cmp(op, l, r) => {
             ScalarExpr::cmp(*op, substitute(l, exprs), substitute(r, exprs))

@@ -225,7 +225,7 @@ pub fn answer_query(
     provider: &dyn RelationProvider,
 ) -> Result<Relation> {
     let rel = match idb.get(&query.pred) {
-        Some(r) => r.clone(),
+        Some(r) => std::sync::Arc::new(r.clone()),
         None => provider.relation(&query.pred)?,
     };
     if rel.schema().arity() != query.args.len() {

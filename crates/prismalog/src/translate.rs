@@ -113,7 +113,7 @@ struct Ctx<'a> {
 
 impl Ctx<'_> {
     fn is_defined(&self, pred: &str) -> bool {
-        self.program.rules_for(pred).first().is_some()
+        !self.program.rules_for(pred).is_empty()
     }
 
     fn scc_of(&self, pred: &str) -> Option<&[String]> {

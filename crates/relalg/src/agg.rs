@@ -123,12 +123,12 @@ impl Accumulator {
                 });
             }
             AggFunc::Min => {
-                if self.min.as_ref().map_or(true, |m| v < m) {
+                if self.min.as_ref().is_none_or(|m| v < m) {
                     self.min = Some(v.clone());
                 }
             }
             AggFunc::Max => {
-                if self.max.as_ref().map_or(true, |m| v > m) {
+                if self.max.as_ref().is_none_or(|m| v > m) {
                     self.max = Some(v.clone());
                 }
             }

@@ -1,37 +1,55 @@
 //! Reference evaluator for logical plans.
 //!
-//! This evaluator is the single-node semantics of the algebra: the OFM
-//! executes exactly these operators on its fragment, and the distributed
-//! executor in `prisma-gdh` must produce the same result as evaluating the
-//! plan here against the union of all fragments (tests enforce this).
+//! This evaluator is the single-node *semantics oracle* of the algebra:
+//! the batch executor in [`crate::exec`] — which the OFMs and the
+//! distributed executor in `prisma-gdh` actually run — must produce the
+//! same result as evaluating the plan here against the union of all
+//! fragments (tests enforce this). Keep it simple and obviously correct;
+//! performance work belongs in the physical pipeline.
 
 use prisma_storage::{FastMap, FastSet};
 use prisma_types::{PrismaError, Result, Tuple, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::agg::Accumulator;
 use crate::plan::{JoinKind, LogicalPlan};
 use crate::table::Relation;
 
 /// Source of named base relations.
+///
+/// Returns `Arc<Relation>` so providers backed by shared storage (OFM
+/// fragments, executor memos, fixpoint bindings) hand out references
+/// instead of deep-copying the relation on every lookup.
 pub trait RelationProvider {
     /// Materialize (or reference) the relation called `name`.
-    fn relation(&self, name: &str) -> Result<Relation>;
+    fn relation(&self, name: &str) -> Result<Arc<Relation>>;
 }
 
 impl RelationProvider for HashMap<String, Relation> {
-    fn relation(&self, name: &str) -> Result<Relation> {
+    fn relation(&self, name: &str) -> Result<Arc<Relation>> {
         self.get(name)
-            .cloned()
+            .map(|r| Arc::new(r.clone()))
+            .ok_or_else(|| PrismaError::UnknownRelation(name.to_owned()))
+    }
+}
+
+/// Zero-copy provider: maps that already hold `Arc`s share them directly.
+impl RelationProvider for HashMap<String, Arc<Relation>> {
+    fn relation(&self, name: &str) -> Result<Arc<Relation>> {
+        self.get(name)
+            .map(Arc::clone)
             .ok_or_else(|| PrismaError::UnknownRelation(name.to_owned()))
     }
 }
 
 /// Evaluation context: a provider plus transient bindings (fixpoint
-/// accumulators and deltas shadow base relations by name).
+/// accumulators and deltas shadow base relations by name). Bindings are
+/// `Arc`-shared, so binding the accumulator each iteration costs a
+/// refcount bump, not a copy of the accumulated relation.
 pub struct EvalContext<'a> {
     provider: &'a dyn RelationProvider,
-    bindings: HashMap<String, Relation>,
+    bindings: HashMap<String, Arc<Relation>>,
     /// Iteration guard for runaway fixpoints.
     max_fixpoint_iterations: usize,
 }
@@ -46,34 +64,49 @@ impl<'a> EvalContext<'a> {
         }
     }
 
-    fn lookup(&self, name: &str) -> Result<Relation> {
+    /// Resolve a scan name: fixpoint bindings shadow the provider. Shared
+    /// by this evaluator and the batch executor in [`crate::exec`], so the
+    /// shadowing contract cannot diverge between oracle and executor.
+    pub(crate) fn lookup(&self, name: &str) -> Result<Arc<Relation>> {
         if let Some(r) = self.bindings.get(name) {
-            Ok(r.clone())
+            Ok(Arc::clone(r))
         } else {
             self.provider.relation(name)
         }
+    }
+
+    pub(crate) fn bind(&mut self, name: String, rel: Arc<Relation>) {
+        self.bindings.insert(name, rel);
+    }
+
+    pub(crate) fn unbind(&mut self, name: &str) {
+        self.bindings.remove(name);
+    }
+
+    pub(crate) fn max_fixpoint_iterations(&self) -> usize {
+        self.max_fixpoint_iterations
     }
 }
 
 /// Evaluate `plan` against `provider`.
 pub fn eval(plan: &LogicalPlan, provider: &dyn RelationProvider) -> Result<Relation> {
     let mut ctx = EvalContext::new(provider);
-    eval_ctx(plan, &mut ctx)
+    let rel = eval_ctx(plan, &mut ctx)?;
+    Ok(Arc::unwrap_or_clone(rel))
 }
 
-fn eval_ctx(plan: &LogicalPlan, ctx: &mut EvalContext<'_>) -> Result<Relation> {
-    match plan {
-        LogicalPlan::Scan { relation, .. } => ctx.lookup(relation),
+fn eval_ctx(plan: &LogicalPlan, ctx: &mut EvalContext<'_>) -> Result<Arc<Relation>> {
+    Ok(match plan {
+        LogicalPlan::Scan { relation, .. } => ctx.lookup(relation)?,
         LogicalPlan::Values { schema, rows } => {
-            Ok(Relation::new(schema.clone(), rows.clone()))
+            Arc::new(Relation::new(schema.clone(), rows.clone()))
         }
         LogicalPlan::Select { input, predicate } => {
             let rel = eval_ctx(input, ctx)?;
             let pred = predicate.compile_predicate();
-            let (schema, tuples) = rel.into_parts();
-            Ok(Relation::new(
-                schema,
-                tuples.into_iter().filter(|t| pred(t)).collect(),
+            Arc::new(Relation::new(
+                rel.schema().clone(),
+                rel.tuples().iter().filter(|t| pred(t)).cloned().collect(),
             ))
         }
         LogicalPlan::Project { input, exprs, schema } => {
@@ -84,7 +117,7 @@ fn eval_ctx(plan: &LogicalPlan, ctx: &mut EvalContext<'_>) -> Result<Relation> {
                 .iter()
                 .map(|t| Tuple::new(compiled.iter().map(|f| f(t)).collect()))
                 .collect();
-            Ok(Relation::new(schema.clone(), tuples))
+            Arc::new(Relation::new(schema.clone(), tuples))
         }
         LogicalPlan::Join {
             left,
@@ -95,64 +128,72 @@ fn eval_ctx(plan: &LogicalPlan, ctx: &mut EvalContext<'_>) -> Result<Relation> {
         } => {
             let l = eval_ctx(left, ctx)?;
             let r = eval_ctx(right, ctx)?;
-            join(l, r, *kind, on, residual.as_ref(), plan)
+            Arc::new(join(&l, &r, *kind, on, residual.as_ref())?)
         }
         LogicalPlan::Union { left, right, all } => {
             let l = eval_ctx(left, ctx)?;
             let r = eval_ctx(right, ctx)?;
-            let (schema, mut tuples) = l.into_parts();
-            tuples.extend(r.into_tuples());
-            let rel = Relation::new(schema, tuples);
-            Ok(if *all { rel } else { rel.distinct() })
+            let mut tuples = l.tuples().to_vec();
+            tuples.extend(r.tuples().iter().cloned());
+            let rel = Relation::new(l.schema().clone(), tuples);
+            Arc::new(if *all { rel } else { rel.distinct() })
         }
         LogicalPlan::Difference { left, right } => {
             let l = eval_ctx(left, ctx)?;
             let r = eval_ctx(right, ctx)?;
-            let exclude: FastSet<Tuple> = r.into_tuples().into_iter().collect();
-            let (schema, tuples) = l.into_parts();
+            let exclude: FastSet<&Tuple> = r.tuples().iter().collect();
             let mut seen = FastSet::default();
-            Ok(Relation::new(
-                schema,
-                tuples
-                    .into_iter()
-                    .filter(|t| !exclude.contains(t) && seen.insert(t.clone()))
+            Arc::new(Relation::new(
+                l.schema().clone(),
+                l.tuples()
+                    .iter()
+                    .filter(|t| !exclude.contains(t) && seen.insert((*t).clone()))
+                    .cloned()
                     .collect(),
             ))
         }
-        LogicalPlan::Distinct { input } => Ok(eval_ctx(input, ctx)?.distinct()),
+        LogicalPlan::Distinct { input } => {
+            let rel = eval_ctx(input, ctx)?;
+            Arc::new(Relation::new(rel.schema().clone(), rel.tuples().to_vec()).distinct())
+        }
         LogicalPlan::Aggregate {
             input,
             group_by,
             aggs,
         } => {
             let rel = eval_ctx(input, ctx)?;
-            aggregate(rel, group_by, aggs, plan)
+            Arc::new(aggregate(&rel, group_by, aggs, plan)?)
         }
-        LogicalPlan::Sort { input, keys } => Ok(eval_ctx(input, ctx)?.sorted_by(keys)),
+        LogicalPlan::Sort { input, keys } => {
+            let rel = eval_ctx(input, ctx)?;
+            Arc::new(Relation::new(rel.schema().clone(), rel.tuples().to_vec()).sorted_by(keys))
+        }
         LogicalPlan::Limit { input, n } => {
             let rel = eval_ctx(input, ctx)?;
-            let (schema, mut tuples) = rel.into_parts();
-            tuples.truncate(*n);
-            Ok(Relation::new(schema, tuples))
+            Arc::new(Relation::new(
+                rel.schema().clone(),
+                rel.tuples().iter().take(*n).cloned().collect(),
+            ))
         }
         LogicalPlan::Closure { input } => {
             let rel = eval_ctx(input, ctx)?;
-            transitive_closure(rel)
+            Arc::new(transitive_closure(&rel)?)
         }
         LogicalPlan::Fixpoint { name, base, step } => {
-            let base_rel = eval_ctx(base, ctx)?.distinct();
-            fixpoint(name, base_rel, step, ctx)
+            let rel = eval_ctx(base, ctx)?;
+            let base_rel =
+                Relation::new(rel.schema().clone(), rel.tuples().to_vec()).distinct();
+            Arc::new(fixpoint(name, base_rel, step, ctx)?)
         }
-    }
+    })
 }
 
 fn join(
-    l: Relation,
-    r: Relation,
+    l: &Relation,
+    r: &Relation,
     kind: JoinKind,
     on: &[(usize, usize)],
     residual: Option<&prisma_storage::expr::ScalarExpr>,
-    _plan: &LogicalPlan,
 ) -> Result<Relation> {
     let out_schema = match kind {
         JoinKind::Inner => l.schema().join(r.schema()),
@@ -167,7 +208,7 @@ fn join(
             let mut matched = false;
             for rt in r.tuples() {
                 let joined = lt.concat(rt);
-                let ok = pred.as_ref().map_or(true, |p| p(&joined));
+                let ok = pred.as_ref().is_none_or(|p| p(&joined));
                 if ok {
                     matched = true;
                     if kind == JoinKind::Inner {
@@ -208,7 +249,7 @@ fn join(
         let mut matched = false;
         for rt in candidates {
             let joined = lt.concat(rt);
-            let ok = pred.as_ref().map_or(true, |p| p(&joined));
+            let ok = pred.as_ref().is_none_or(|p| p(&joined));
             if ok {
                 matched = true;
                 if kind == JoinKind::Inner {
@@ -228,7 +269,7 @@ fn join(
 }
 
 fn aggregate(
-    rel: Relation,
+    rel: &Relation,
     group_by: &[usize],
     aggs: &[crate::agg::AggExpr],
     plan: &LogicalPlan,
@@ -270,7 +311,7 @@ fn aggregate(
 }
 
 /// Semi-naive transitive closure of a binary relation — the OFM operator.
-pub fn transitive_closure(rel: Relation) -> Result<Relation> {
+pub fn transitive_closure(rel: &Relation) -> Result<Relation> {
     if rel.schema().arity() != 2 {
         return Err(PrismaError::Execution(format!(
             "closure over arity-{} relation",
@@ -317,7 +358,7 @@ pub fn transitive_closure(rel: Relation) -> Result<Relation> {
 
 /// Naive-iteration transitive closure (whole relation re-joined each round)
 /// — kept as the E6 ablation baseline.
-pub fn transitive_closure_naive(rel: Relation) -> Result<Relation> {
+pub fn transitive_closure_naive(rel: &Relation) -> Result<Relation> {
     if rel.schema().arity() != 2 {
         return Err(PrismaError::Execution(format!(
             "closure over arity-{} relation",
@@ -365,8 +406,9 @@ fn fixpoint(
     ctx: &mut EvalContext<'_>,
 ) -> Result<Relation> {
     let delta_name = format!("Δ{name}");
+    let schema = base.schema().clone();
     let mut all_set: FastSet<Tuple> = base.tuples().iter().cloned().collect();
-    let mut acc = base.clone();
+    let mut acc: Vec<Tuple> = base.tuples().to_vec();
     let mut delta = base;
     let mut iterations = 0;
     while !delta.is_empty() {
@@ -376,23 +418,24 @@ fn fixpoint(
                 "fixpoint {name} exceeded iteration limit"
             )));
         }
-        ctx.bindings.insert(name.to_owned(), acc.clone());
-        ctx.bindings.insert(delta_name.clone(), delta.clone());
+        ctx.bindings.insert(
+            name.to_owned(),
+            Arc::new(Relation::new(schema.clone(), acc.clone())),
+        );
+        ctx.bindings.insert(delta_name.clone(), Arc::new(delta));
         let produced = eval_ctx(step, ctx)?;
         let mut fresh = Vec::new();
-        for t in produced.into_tuples() {
+        for t in produced.tuples() {
             if all_set.insert(t.clone()) {
-                fresh.push(t);
+                fresh.push(t.clone());
             }
         }
-        delta = Relation::new(acc.schema().clone(), fresh);
-        for t in delta.tuples() {
-            acc.push(t.clone());
-        }
+        acc.extend(fresh.iter().cloned());
+        delta = Relation::new(schema.clone(), fresh);
     }
     ctx.bindings.remove(name);
     ctx.bindings.remove(&delta_name);
-    Ok(acc)
+    Ok(Relation::new(schema, acc))
 }
 
 #[cfg(test)]
@@ -456,6 +499,20 @@ mod tests {
         let out = eval(&plan, &db).unwrap();
         let ids: Vec<i64> = out.tuples().iter().map(|t| t.get(0).as_int().unwrap()).collect();
         assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn arc_provider_lookup_is_zero_copy() {
+        let db = db();
+        let shared: HashMap<String, Arc<Relation>> = db
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::new(v.clone())))
+            .collect();
+        let fetched = shared.relation("emp").unwrap();
+        assert!(Arc::ptr_eq(&fetched, &shared["emp"]));
+        // And the whole evaluator runs against the Arc map.
+        let plan = emp_scan(&db).project_cols(&[0]).unwrap();
+        assert_eq!(eval(&plan, &shared).unwrap().len(), 4);
     }
 
     #[test]
@@ -637,8 +694,8 @@ mod tests {
     #[test]
     fn naive_and_seminaive_closure_agree() {
         let db = db();
-        let semi = transitive_closure(db["edge"].clone()).unwrap().canonicalized();
-        let naive = transitive_closure_naive(db["edge"].clone())
+        let semi = transitive_closure(&db["edge"]).unwrap().canonicalized();
+        let naive = transitive_closure_naive(&db["edge"])
             .unwrap()
             .canonicalized();
         assert_eq!(semi, naive);

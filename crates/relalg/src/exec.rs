@@ -1,0 +1,986 @@
+//! Pull-based batch executor for physical plans.
+//!
+//! This is the hot execution path of the machine: the One-Fragment
+//! Managers run lowered [`PhysicalPlan`]s against their fragment through
+//! this executor, and the Global Data Handler uses it for coordinator-side
+//! operators. Tuples flow in [`Batch`]es of up to [`BATCH_SIZE`] rows
+//! pulled through an [`Operator`] tree:
+//!
+//! * scans over [`Arc<Relation>`]s emit **shared** batches — windows into
+//!   the source relation, no tuple is copied;
+//! * row-at-a-time `Tuple` clones inside operators are reference-count
+//!   bumps ([`Tuple`] is `Arc`-backed), so filter/project/join pipelines
+//!   never deep-copy payloads;
+//! * blocking operators (hash build sides, aggregation, sort, closure,
+//!   fixpoint) materialize only their own inputs; everything downstream
+//!   keeps streaming.
+//!
+//! The reference evaluator in [`crate::eval`] remains the semantics
+//! oracle: `execute_physical(lower(p), db)` must agree with `eval(p, db)`
+//! up to row order (property-tested in `tests/properties.rs`).
+
+use std::sync::Arc;
+
+use prisma_storage::expr::{CompiledExpr, CompiledPredicate};
+use prisma_storage::{FastMap, FastSet, FnvBuild};
+use prisma_types::{PrismaError, Result, Schema, Tuple, Value};
+
+use crate::agg::{Accumulator, AggExpr, AggFunc};
+use crate::eval::{transitive_closure, EvalContext, RelationProvider};
+use crate::physical::PhysicalPlan;
+use crate::plan::JoinKind;
+use crate::table::Relation;
+
+/// Target tuples per batch.
+pub const BATCH_SIZE: usize = 1024;
+
+/// A batch of tuples flowing between operators (and between machines).
+///
+/// `Shared` batches are zero-copy windows into an `Arc<Relation>`; `Owned`
+/// batches hold operator output. Either way, cloning a batch or extracting
+/// its tuples costs reference-count bumps, never payload copies.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    inner: BatchInner,
+}
+
+#[derive(Debug, Clone)]
+enum BatchInner {
+    Shared {
+        rel: Arc<Relation>,
+        start: usize,
+        end: usize,
+    },
+    Owned(Vec<Tuple>),
+}
+
+impl Batch {
+    /// Batch owning its rows.
+    pub fn owned(rows: Vec<Tuple>) -> Batch {
+        Batch {
+            inner: BatchInner::Owned(rows),
+        }
+    }
+
+    /// Zero-copy window `[start, end)` into a shared relation.
+    pub fn shared(rel: Arc<Relation>, start: usize, end: usize) -> Batch {
+        debug_assert!(start <= end && end <= rel.len());
+        Batch {
+            inner: BatchInner::Shared { rel, start, end },
+        }
+    }
+
+    /// The rows.
+    pub fn tuples(&self) -> &[Tuple] {
+        match &self.inner {
+            BatchInner::Shared { rel, start, end } => &rel.tuples()[*start..*end],
+            BatchInner::Owned(rows) => rows,
+        }
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            BatchInner::Shared { start, end, .. } => end - start,
+            BatchInner::Owned(rows) => rows.len(),
+        }
+    }
+
+    /// True when no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Wire size in bits when shipped between PEs.
+    pub fn wire_bits(&self) -> u64 {
+        self.tuples().iter().map(Tuple::wire_bits).sum()
+    }
+
+    /// Extract the rows (refcount bumps for shared batches).
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        match self.inner {
+            BatchInner::Shared { rel, start, end } => rel.tuples()[start..end].to_vec(),
+            BatchInner::Owned(rows) => rows,
+        }
+    }
+}
+
+/// Collect batches into a relation with the given schema.
+pub fn collect_batches(schema: Schema, batches: Vec<Batch>) -> Relation {
+    let mut tuples = Vec::with_capacity(batches.iter().map(Batch::len).sum());
+    for b in batches {
+        tuples.extend(b.into_tuples());
+    }
+    Relation::new(schema, tuples)
+}
+
+/// A pull-based physical operator: yields batches until exhausted.
+pub trait Operator {
+    /// Produce the next non-empty batch, or `None` when exhausted.
+    fn next_batch(&mut self) -> Result<Option<Batch>>;
+}
+
+type BoxOp = Box<dyn Operator>;
+
+/// Execute a physical plan to a materialized relation.
+pub fn execute_physical(plan: &PhysicalPlan, provider: &dyn RelationProvider) -> Result<Relation> {
+    let schema = plan.output_schema()?;
+    let batches = execute_batches(plan, provider)?;
+    Ok(collect_batches(schema, batches))
+}
+
+/// Execute a physical plan, returning the raw batch stream (what an OFM
+/// ships back to the coordinator).
+pub fn execute_batches(plan: &PhysicalPlan, provider: &dyn RelationProvider) -> Result<Vec<Batch>> {
+    let mut ctx = EvalContext::new(provider);
+    let mut op = open(plan, &mut ctx)?;
+    drain(op.as_mut())
+}
+
+fn drain(op: &mut dyn Operator) -> Result<Vec<Batch>> {
+    let mut out = Vec::new();
+    while let Some(b) = op.next_batch()? {
+        out.push(b);
+    }
+    Ok(out)
+}
+
+fn materialize(op: &mut dyn Operator, schema: Schema) -> Result<Relation> {
+    Ok(collect_batches(schema, drain(op)?))
+}
+
+/// Build the operator tree for `plan`. Scans resolve their source
+/// relation now (against the context's bindings and provider — the same
+/// [`EvalContext`] the oracle uses, so name shadowing cannot diverge);
+/// fixpoints evaluate eagerly because their bindings change per iteration.
+pub fn open(plan: &PhysicalPlan, ctx: &mut EvalContext<'_>) -> Result<BoxOp> {
+    Ok(match plan {
+        PhysicalPlan::SeqScan {
+            relation,
+            projection,
+            ..
+        } => Box::new(ScanOp {
+            rel: ctx.lookup(relation)?,
+            projection: projection.clone(),
+            pos: 0,
+        }),
+        PhysicalPlan::Values { schema, rows } => Box::new(ScanOp {
+            rel: Arc::new(Relation::new(schema.clone(), rows.clone())),
+            projection: None,
+            pos: 0,
+        }),
+        PhysicalPlan::Filter { input, predicate } => Box::new(FilterOp {
+            child: open(input, ctx)?,
+            pred: predicate.compile_predicate(),
+        }),
+        PhysicalPlan::Project { input, exprs, .. } => Box::new(ProjectOp {
+            child: open(input, ctx)?,
+            exprs: exprs.iter().map(|e| e.compile()).collect(),
+        }),
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            kind,
+            on,
+            residual,
+            ..
+        } => Box::new(HashJoinOp {
+            probe: open(left, ctx)?,
+            build: Some(open(right, ctx)?),
+            table: FastMap::default(),
+            lkeys: on.iter().map(|&(l, _)| l).collect(),
+            rkeys: on.iter().map(|&(_, r)| r).collect(),
+            kind: *kind,
+            residual: residual.as_ref().map(|p| p.compile_predicate()),
+        }),
+        PhysicalPlan::NestedLoopJoin {
+            left,
+            right,
+            kind,
+            residual,
+        } => Box::new(NestedLoopOp {
+            outer: open(left, ctx)?,
+            inner: Some(open(right, ctx)?),
+            inner_rows: Vec::new(),
+            kind: *kind,
+            residual: residual.as_ref().map(|p| p.compile_predicate()),
+        }),
+        PhysicalPlan::Union { left, right, all } => Box::new(UnionOp {
+            left: Some(open(left, ctx)?),
+            right: Some(open(right, ctx)?),
+            seen: if *all { None } else { Some(FastSet::default()) },
+        }),
+        PhysicalPlan::Difference { left, right } => Box::new(DifferenceOp {
+            left: open(left, ctx)?,
+            right: Some(open(right, ctx)?),
+            exclude: FastSet::default(),
+            seen: FastSet::default(),
+        }),
+        PhysicalPlan::Distinct { input } => Box::new(DistinctOp {
+            child: open(input, ctx)?,
+            seen: FastSet::default(),
+        }),
+        PhysicalPlan::HashAggregate {
+            input,
+            group_by,
+            aggs,
+        } => Box::new(HashAggOp {
+            child: Some(open(input, ctx)?),
+            schema: plan.output_schema()?,
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+            output: None,
+        }),
+        PhysicalPlan::Sort { input, keys } => Box::new(SortOp {
+            child: Some(open(input, ctx)?),
+            schema: input.output_schema()?,
+            keys: keys.clone(),
+            output: None,
+        }),
+        PhysicalPlan::Limit { input, n } => Box::new(LimitOp {
+            child: open(input, ctx)?,
+            remaining: *n,
+        }),
+        PhysicalPlan::Closure { input } => Box::new(ClosureOp {
+            child: Some(open(input, ctx)?),
+            schema: input.output_schema()?,
+            output: None,
+        }),
+        PhysicalPlan::Fixpoint { name, base, step } => {
+            // Bindings change every iteration, so the fixpoint runs
+            // eagerly here and streams its materialized result.
+            let rel = run_fixpoint(name, base, step, ctx)?;
+            Box::new(ScanOp {
+                rel: Arc::new(rel),
+                projection: None,
+                pos: 0,
+            })
+        }
+    })
+}
+
+fn run_fixpoint(
+    name: &str,
+    base: &PhysicalPlan,
+    step: &PhysicalPlan,
+    ctx: &mut EvalContext<'_>,
+) -> Result<Relation> {
+    let schema = base.output_schema()?;
+    let delta_name = format!("Δ{name}");
+    let mut base_op = open(base, ctx)?;
+    let base_rel = materialize(base_op.as_mut(), schema.clone())?.distinct();
+
+    let mut all_set: FastSet<Tuple> = base_rel.tuples().iter().cloned().collect();
+    let mut acc: Vec<Tuple> = base_rel.tuples().to_vec();
+    let mut delta: Vec<Tuple> = base_rel.into_tuples();
+    let mut iterations = 0;
+    while !delta.is_empty() {
+        iterations += 1;
+        if iterations > ctx.max_fixpoint_iterations() {
+            return Err(PrismaError::Execution(format!(
+                "fixpoint {name} exceeded iteration limit"
+            )));
+        }
+        ctx.bind(
+            name.to_owned(),
+            Arc::new(Relation::new(schema.clone(), acc.clone())),
+        );
+        ctx.bind(
+            delta_name.clone(),
+            Arc::new(Relation::new(schema.clone(), delta)),
+        );
+        let mut step_op = open(step, ctx)?;
+        let produced = materialize(step_op.as_mut(), schema.clone())?;
+        let mut fresh = Vec::new();
+        for t in produced.into_tuples() {
+            if all_set.insert(t.clone()) {
+                fresh.push(t);
+            }
+        }
+        acc.extend(fresh.iter().cloned());
+        delta = fresh;
+    }
+    ctx.unbind(name);
+    ctx.unbind(&delta_name);
+    Ok(Relation::new(schema, acc))
+}
+
+// ---------------- partitioning (grace-join support) ----------------
+
+/// Hash of a join key, shared by every site of a partitioned join so both
+/// sides agree on bucket placement.
+pub fn key_hash(key: &[Value]) -> u64 {
+    use std::hash::{BuildHasher, Hash, Hasher};
+    let mut h = FnvBuild.build_hasher();
+    for v in key {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Split batches into `parts` buckets by join-key hash. Rows with a NULL
+/// key component are dropped — SQL equi-joins never match NULL keys, so
+/// they cannot contribute to any bucket's join result.
+pub fn partition_batches(batches: Vec<Batch>, key_cols: &[usize], parts: usize) -> Vec<Vec<Tuple>> {
+    let mut buckets: Vec<Vec<Tuple>> = (0..parts).map(|_| Vec::new()).collect();
+    for batch in batches {
+        for t in batch.into_tuples() {
+            let key = t.key(key_cols);
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            let idx = (key_hash(&key) % parts as u64) as usize;
+            buckets[idx].push(t);
+        }
+    }
+    buckets
+}
+
+// ---------------- operators ----------------
+
+struct ScanOp {
+    rel: Arc<Relation>,
+    projection: Option<Vec<usize>>,
+    pos: usize,
+}
+
+impl Operator for ScanOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if self.pos >= self.rel.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let end = (start + BATCH_SIZE).min(self.rel.len());
+        self.pos = end;
+        Ok(Some(match &self.projection {
+            None => Batch::shared(Arc::clone(&self.rel), start, end),
+            Some(cols) => Batch::owned(
+                self.rel.tuples()[start..end]
+                    .iter()
+                    .map(|t| t.project(cols))
+                    .collect(),
+            ),
+        }))
+    }
+}
+
+struct FilterOp {
+    child: BoxOp,
+    pred: CompiledPredicate,
+}
+
+impl Operator for FilterOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        while let Some(batch) = self.child.next_batch()? {
+            let kept: Vec<Tuple> = batch
+                .tuples()
+                .iter()
+                .filter(|t| (self.pred)(t))
+                .cloned()
+                .collect();
+            if !kept.is_empty() {
+                return Ok(Some(Batch::owned(kept)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct ProjectOp {
+    child: BoxOp,
+    exprs: Vec<CompiledExpr>,
+}
+
+impl Operator for ProjectOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        match self.child.next_batch()? {
+            None => Ok(None),
+            Some(batch) => Ok(Some(Batch::owned(
+                batch
+                    .tuples()
+                    .iter()
+                    .map(|t| Tuple::new(self.exprs.iter().map(|f| f(t)).collect()))
+                    .collect(),
+            ))),
+        }
+    }
+}
+
+struct HashJoinOp {
+    probe: BoxOp,
+    build: Option<BoxOp>,
+    table: FastMap<Vec<Value>, Vec<Tuple>>,
+    lkeys: Vec<usize>,
+    rkeys: Vec<usize>,
+    kind: JoinKind,
+    residual: Option<CompiledPredicate>,
+}
+
+impl HashJoinOp {
+    fn build_table(&mut self) -> Result<()> {
+        let Some(mut build) = self.build.take() else {
+            return Ok(());
+        };
+        while let Some(batch) = build.next_batch()? {
+            for t in batch.tuples() {
+                let key = t.key(&self.rkeys);
+                // SQL equi-joins never match NULL keys.
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                self.table.entry(key).or_default().push(t.clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Operator for HashJoinOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        self.build_table()?;
+        while let Some(batch) = self.probe.next_batch()? {
+            let mut out = Vec::new();
+            for lt in batch.tuples() {
+                let key = lt.key(&self.lkeys);
+                let candidates = if key.iter().any(Value::is_null) {
+                    &[][..]
+                } else {
+                    self.table.get(&key).map(Vec::as_slice).unwrap_or(&[])
+                };
+                let mut matched = false;
+                for rt in candidates {
+                    let joined = lt.concat(rt);
+                    let ok = self.residual.as_ref().is_none_or(|p| p(&joined));
+                    if ok {
+                        matched = true;
+                        if self.kind == JoinKind::Inner {
+                            out.push(joined);
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                match self.kind {
+                    JoinKind::Semi if matched => out.push(lt.clone()),
+                    JoinKind::Anti if !matched => out.push(lt.clone()),
+                    _ => {}
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(Batch::owned(out)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct NestedLoopOp {
+    outer: BoxOp,
+    inner: Option<BoxOp>,
+    inner_rows: Vec<Tuple>,
+    kind: JoinKind,
+    residual: Option<CompiledPredicate>,
+}
+
+impl Operator for NestedLoopOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if let Some(mut inner) = self.inner.take() {
+            while let Some(batch) = inner.next_batch()? {
+                self.inner_rows.extend(batch.into_tuples());
+            }
+        }
+        while let Some(batch) = self.outer.next_batch()? {
+            let mut out = Vec::new();
+            for lt in batch.tuples() {
+                let mut matched = false;
+                for rt in &self.inner_rows {
+                    let joined = lt.concat(rt);
+                    let ok = self.residual.as_ref().is_none_or(|p| p(&joined));
+                    if ok {
+                        matched = true;
+                        if self.kind == JoinKind::Inner {
+                            out.push(joined);
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                match self.kind {
+                    JoinKind::Semi if matched => out.push(lt.clone()),
+                    JoinKind::Anti if !matched => out.push(lt.clone()),
+                    _ => {}
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(Batch::owned(out)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct UnionOp {
+    left: Option<BoxOp>,
+    right: Option<BoxOp>,
+    /// Some = set semantics (dedup across both inputs).
+    seen: Option<FastSet<Tuple>>,
+}
+
+impl UnionOp {
+    fn filtered(&mut self, batch: Batch) -> Option<Batch> {
+        match &mut self.seen {
+            None => Some(batch),
+            Some(seen) => {
+                let kept: Vec<Tuple> = batch
+                    .tuples()
+                    .iter()
+                    .filter(|t| seen.insert((*t).clone()))
+                    .cloned()
+                    .collect();
+                if kept.is_empty() {
+                    None
+                } else {
+                    Some(Batch::owned(kept))
+                }
+            }
+        }
+    }
+}
+
+impl Operator for UnionOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        while let Some(side) = self.left.as_mut().or(self.right.as_mut()) {
+            match side.next_batch()? {
+                Some(batch) => {
+                    if let Some(out) = self.filtered(batch) {
+                        return Ok(Some(out));
+                    }
+                }
+                None => {
+                    if self.left.is_some() {
+                        self.left = None;
+                    } else {
+                        self.right = None;
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct DifferenceOp {
+    left: BoxOp,
+    right: Option<BoxOp>,
+    exclude: FastSet<Tuple>,
+    seen: FastSet<Tuple>,
+}
+
+impl Operator for DifferenceOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if let Some(mut right) = self.right.take() {
+            while let Some(batch) = right.next_batch()? {
+                self.exclude.extend(batch.into_tuples());
+            }
+        }
+        while let Some(batch) = self.left.next_batch()? {
+            let kept: Vec<Tuple> = batch
+                .tuples()
+                .iter()
+                .filter(|t| !self.exclude.contains(*t) && self.seen.insert((*t).clone()))
+                .cloned()
+                .collect();
+            if !kept.is_empty() {
+                return Ok(Some(Batch::owned(kept)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct DistinctOp {
+    child: BoxOp,
+    seen: FastSet<Tuple>,
+}
+
+impl Operator for DistinctOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        while let Some(batch) = self.child.next_batch()? {
+            let kept: Vec<Tuple> = batch
+                .tuples()
+                .iter()
+                .filter(|t| self.seen.insert((*t).clone()))
+                .cloned()
+                .collect();
+            if !kept.is_empty() {
+                return Ok(Some(Batch::owned(kept)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct HashAggOp {
+    child: Option<BoxOp>,
+    schema: Schema,
+    group_by: Vec<usize>,
+    aggs: Vec<AggExpr>,
+    output: Option<ScanOp>,
+}
+
+impl HashAggOp {
+    fn run(&mut self) -> Result<Vec<Tuple>> {
+        let mut child = self.child.take().expect("aggregate runs once");
+        let mut groups: FastMap<Vec<Value>, Vec<Accumulator>> = FastMap::default();
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        while let Some(batch) = child.next_batch()? {
+            for t in batch.tuples() {
+                let key = t.key(&self.group_by);
+                let accs = groups.entry(key.clone()).or_insert_with(|| {
+                    order.push(key);
+                    self.aggs
+                        .iter()
+                        .map(|a| Accumulator::new(a.func))
+                        .collect()
+                });
+                for (acc, a) in accs.iter_mut().zip(&self.aggs) {
+                    let v = if a.func == AggFunc::CountStar {
+                        Value::Bool(true) // placeholder; COUNT(*) counts rows
+                    } else {
+                        t.get(a.col).clone()
+                    };
+                    acc.update(&v)?;
+                }
+            }
+        }
+        // Global aggregate over empty input still yields one row.
+        if self.group_by.is_empty() && groups.is_empty() {
+            let row: Vec<Value> = self
+                .aggs
+                .iter()
+                .map(|a| Accumulator::new(a.func).finish())
+                .collect();
+            return Ok(vec![Tuple::new(row)]);
+        }
+        let mut tuples = Vec::with_capacity(order.len());
+        for key in order {
+            let accs = &groups[&key];
+            let mut row = key;
+            row.extend(accs.iter().map(Accumulator::finish));
+            tuples.push(Tuple::new(row));
+        }
+        Ok(tuples)
+    }
+}
+
+impl Operator for HashAggOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if self.output.is_none() {
+            let rows = self.run()?;
+            self.output = Some(ScanOp {
+                rel: Arc::new(Relation::new(self.schema.clone(), rows)),
+                projection: None,
+                pos: 0,
+            });
+        }
+        self.output.as_mut().expect("set above").next_batch()
+    }
+}
+
+struct SortOp {
+    child: Option<BoxOp>,
+    schema: Schema,
+    keys: Vec<(usize, bool)>,
+    output: Option<ScanOp>,
+}
+
+impl Operator for SortOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if self.output.is_none() {
+            let mut child = self.child.take().expect("sort runs once");
+            let rel = materialize(child.as_mut(), self.schema.clone())?;
+            self.output = Some(ScanOp {
+                rel: Arc::new(rel.sorted_by(&self.keys)),
+                projection: None,
+                pos: 0,
+            });
+        }
+        self.output.as_mut().expect("set above").next_batch()
+    }
+}
+
+struct LimitOp {
+    child: BoxOp,
+    remaining: usize,
+}
+
+impl Operator for LimitOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.child.next_batch()? {
+            None => Ok(None),
+            Some(batch) => {
+                if batch.len() <= self.remaining {
+                    self.remaining -= batch.len();
+                    Ok(Some(batch))
+                } else {
+                    let head: Vec<Tuple> = batch.tuples()[..self.remaining].to_vec();
+                    self.remaining = 0;
+                    Ok(Some(Batch::owned(head)))
+                }
+            }
+        }
+    }
+}
+
+struct ClosureOp {
+    child: Option<BoxOp>,
+    schema: Schema,
+    output: Option<ScanOp>,
+}
+
+impl Operator for ClosureOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        if self.output.is_none() {
+            let mut child = self.child.take().expect("closure runs once");
+            let rel = materialize(child.as_mut(), self.schema.clone())?;
+            self.output = Some(ScanOp {
+                rel: Arc::new(transitive_closure(&rel)?),
+                projection: None,
+                pos: 0,
+            });
+        }
+        self.output.as_mut().expect("set above").next_batch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    use super::*;
+    use crate::eval::eval;
+    use crate::physical::lower;
+    use crate::plan::LogicalPlan;
+    use prisma_storage::expr::{CmpOp, ScalarExpr};
+    use prisma_types::{tuple, Column, DataType};
+
+    fn db() -> HashMap<String, Relation> {
+        let emp = Relation::new(
+            Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::new("dept", DataType::Int),
+                Column::new("salary", DataType::Double),
+            ]),
+            (0..3000_i64)
+                .map(|i| tuple![i, i % 7, (i % 100) as f64])
+                .collect(),
+        );
+        let dept = Relation::new(
+            Schema::new(vec![
+                Column::new("dept_id", DataType::Int),
+                Column::new("name", DataType::Str),
+            ]),
+            (0..5_i64).map(|i| tuple![i, format!("d{i}")]).collect(),
+        );
+        let edge = Relation::new(
+            Schema::new(vec![
+                Column::new("src", DataType::Int),
+                Column::new("dst", DataType::Int),
+            ]),
+            vec![tuple![1, 2], tuple![2, 3], tuple![3, 4], tuple![4, 2]],
+        );
+        let mut m = HashMap::new();
+        m.insert("emp".to_owned(), emp);
+        m.insert("dept".to_owned(), dept);
+        m.insert("edge".to_owned(), edge);
+        m
+    }
+
+    fn assert_agrees(plan: &LogicalPlan, db: &HashMap<String, Relation>) {
+        let phys = lower(plan).unwrap();
+        let via_exec = execute_physical(&phys, db).unwrap().canonicalized();
+        let via_eval = eval(plan, db).unwrap().canonicalized();
+        assert_eq!(via_exec.tuples(), via_eval.tuples(), "plan:\n{plan}");
+        assert_eq!(via_exec.schema().arity(), via_eval.schema().arity());
+    }
+
+    #[test]
+    fn scan_emits_shared_batches_of_bounded_size() {
+        let db = db();
+        let phys = lower(&LogicalPlan::scan("emp", db["emp"].schema().clone())).unwrap();
+        let batches = execute_batches(&phys, &db).unwrap();
+        assert_eq!(batches.len(), 3); // 3000 rows / 1024
+        assert!(batches.iter().all(|b| b.len() <= BATCH_SIZE));
+        assert!(matches!(batches[0].inner, BatchInner::Shared { .. }));
+        assert_eq!(batches.iter().map(Batch::len).sum::<usize>(), 3000);
+    }
+
+    #[test]
+    fn pipeline_matches_eval() {
+        let db = db();
+        let plan = LogicalPlan::scan("emp", db["emp"].schema().clone())
+            .select(ScalarExpr::cmp(
+                CmpOp::Lt,
+                ScalarExpr::col(2),
+                ScalarExpr::lit(50.0),
+            ))
+            .project_cols(&[0, 1])
+            .unwrap();
+        assert_agrees(&plan, &db);
+    }
+
+    #[test]
+    fn joins_match_eval() {
+        let db = db();
+        let inner = LogicalPlan::scan("emp", db["emp"].schema().clone())
+            .join(LogicalPlan::scan("dept", db["dept"].schema().clone()), vec![(1, 0)]);
+        assert_agrees(&inner, &db);
+        for kind in [JoinKind::Semi, JoinKind::Anti] {
+            let plan = LogicalPlan::Join {
+                left: Box::new(LogicalPlan::scan("emp", db["emp"].schema().clone())),
+                right: Box::new(LogicalPlan::scan("dept", db["dept"].schema().clone())),
+                kind,
+                on: vec![(1, 0)],
+                residual: None,
+            };
+            assert_agrees(&plan, &db);
+        }
+        // Theta join through the nested-loop operator.
+        let theta = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::scan("dept", db["dept"].schema().clone())),
+            right: Box::new(LogicalPlan::scan("dept", db["dept"].schema().clone())),
+            kind: JoinKind::Inner,
+            on: vec![],
+            residual: Some(ScalarExpr::cmp(
+                CmpOp::Lt,
+                ScalarExpr::col(0),
+                ScalarExpr::col(2),
+            )),
+        };
+        assert_agrees(&theta, &db);
+    }
+
+    #[test]
+    fn blocking_operators_match_eval() {
+        let db = db();
+        let agg = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::scan("emp", db["emp"].schema().clone())),
+            group_by: vec![1],
+            aggs: vec![
+                AggExpr::new(AggFunc::CountStar, 0, "n"),
+                AggExpr::new(AggFunc::Sum, 2, "s"),
+                AggExpr::new(AggFunc::Avg, 2, "a"),
+            ],
+        };
+        assert_agrees(&agg, &db);
+        let sorted = LogicalPlan::Limit {
+            input: Box::new(LogicalPlan::Sort {
+                input: Box::new(LogicalPlan::scan("emp", db["emp"].schema().clone())),
+                keys: vec![(1, true), (0, false)],
+            }),
+            n: 10,
+        };
+        assert_agrees(&sorted, &db);
+    }
+
+    #[test]
+    fn set_operators_match_eval() {
+        let db = db();
+        let a = LogicalPlan::scan("emp", db["emp"].schema().clone())
+            .project_cols(&[1])
+            .unwrap();
+        for all in [true, false] {
+            let u = LogicalPlan::Union {
+                left: Box::new(a.clone()),
+                right: Box::new(a.clone()),
+                all,
+            };
+            assert_agrees(&u, &db);
+        }
+        let diff = LogicalPlan::Difference {
+            left: Box::new(a.clone()),
+            right: Box::new(LogicalPlan::Values {
+                schema: a.output_schema().unwrap(),
+                rows: vec![tuple![0], tuple![3]],
+            }),
+        };
+        assert_agrees(&diff, &db);
+        let distinct = LogicalPlan::Distinct {
+            input: Box::new(a),
+        };
+        assert_agrees(&distinct, &db);
+    }
+
+    #[test]
+    fn recursion_matches_eval() {
+        let db = db();
+        let closure = LogicalPlan::Closure {
+            input: Box::new(LogicalPlan::scan("edge", db["edge"].schema().clone())),
+        };
+        assert_agrees(&closure, &db);
+        let edge_schema = db["edge"].schema().clone();
+        let fixpoint = LogicalPlan::Fixpoint {
+            name: "path".into(),
+            base: Box::new(LogicalPlan::scan("edge", edge_schema.clone())),
+            step: Box::new(
+                LogicalPlan::scan("Δpath", edge_schema.clone())
+                    .join(LogicalPlan::scan("edge", edge_schema), vec![(1, 0)])
+                    .project_cols(&[0, 3])
+                    .unwrap(),
+            ),
+        };
+        assert_agrees(&fixpoint, &db);
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input_yields_one_row() {
+        let db = db();
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(
+                LogicalPlan::scan("emp", db["emp"].schema().clone())
+                    .select(ScalarExpr::lit(false)),
+            ),
+            group_by: vec![],
+            aggs: vec![AggExpr::new(AggFunc::CountStar, 0, "n")],
+        };
+        assert_agrees(&plan, &db);
+    }
+
+    #[test]
+    fn partitioning_is_consistent_and_drops_nulls() {
+        let rel = Arc::new(Relation::new(
+            Schema::new(vec![Column::nullable("k", DataType::Int)]),
+            vec![tuple![1], tuple![2], Tuple::new(vec![Value::Null]), tuple![1]],
+        ));
+        let batches = vec![Batch::shared(rel, 0, 4)];
+        let parts = partition_batches(batches, &[0], 3);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 3, "NULL key dropped");
+        // Equal keys land in the same bucket.
+        let with_one: Vec<usize> = parts
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.iter().any(|t| t.get(0) == &Value::Int(1)))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(with_one.len(), 1);
+        assert_eq!(parts[with_one[0]].iter().filter(|t| t.get(0) == &Value::Int(1)).count(), 2);
+    }
+
+    #[test]
+    fn projection_fused_into_scan() {
+        let db = db();
+        let phys = PhysicalPlan::SeqScan {
+            relation: "emp".into(),
+            schema: db["emp"].schema().clone(),
+            projection: Some(vec![1, 0]),
+        };
+        let out = execute_physical(&phys, &db).unwrap();
+        assert_eq!(out.schema().arity(), 2);
+        assert_eq!(out.schema().column(0).unwrap().name, "dept");
+        assert_eq!(out.len(), 3000);
+    }
+}

@@ -10,16 +10,26 @@
 //!   PRISMAlog front ends and rewritten by the optimizer, including the
 //!   recursive extensions [`plan::LogicalPlan::Closure`] and
 //!   [`plan::LogicalPlan::Fixpoint`];
-//! * [`eval`] — a reference evaluator used by the OFM for local subplans
-//!   and by tests as ground truth for the distributed executor;
+//! * [`physical::PhysicalPlan`] — the physical operator tree lowered from
+//!   the logical plan: scans with fused projections, hash/nested-loop
+//!   joins with a broadcast-vs-partitioned distribution strategy;
+//! * [`exec`] — the pull-based batch executor that runs physical plans;
+//!   OFMs execute their local subplans through it, with zero-copy
+//!   [`exec::Batch`]es over `Arc`-shared relations;
+//! * [`eval`] — the reference evaluator, kept as the semantics oracle for
+//!   tests (the executor must agree with it on every plan);
 //! * [`agg`] — aggregate functions.
 
 pub mod agg;
 pub mod eval;
+pub mod exec;
+pub mod physical;
 pub mod plan;
 pub mod table;
 
 pub use agg::{AggExpr, AggFunc};
 pub use eval::{eval, EvalContext, RelationProvider};
+pub use exec::{execute_batches, execute_physical, Batch, Operator, BATCH_SIZE};
+pub use physical::{lower, lower_with, JoinStrategy, PhysicalPlan};
 pub use plan::{JoinKind, LogicalPlan};
 pub use table::Relation;

@@ -1,0 +1,569 @@
+//! Physical plans: the executable operator tree.
+//!
+//! A [`PhysicalPlan`] is lowered from a [`LogicalPlan`] and names the
+//! *algorithm* for each algebra node: scans carry fused projections,
+//! equi-joins become hash joins annotated with a distribution
+//! [`JoinStrategy`], theta joins become nested loops, and aggregation is
+//! explicitly hash-based. The tree is what the Global Data Handler ships
+//! to One-Fragment Managers (paper §2.2: subqueries are sent to the OFMs,
+//! which execute them against their fragment) and what the batch executor
+//! in [`crate::exec`] pulls tuples through.
+//!
+//! The lowering is strategy-parameterized: [`lower`] picks the default
+//! (broadcast) distribution for every join, while the optimizer's physical
+//! pass supplies a cardinality-driven chooser via [`lower_with`].
+
+use std::fmt;
+
+use prisma_storage::expr::ScalarExpr;
+use prisma_types::{PrismaError, Result, Schema, Tuple};
+
+use crate::agg::AggExpr;
+use crate::plan::{JoinKind, LogicalPlan};
+
+/// How a distributed join moves its inputs (paper §2.4's "applying
+/// parallelism" rule family). Local, single-fragment execution ignores
+/// the annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Materialize the small side once and send a copy to every fragment
+    /// of the large side.
+    Broadcast,
+    /// Hash-partition both sides on the join key and join bucket-by-bucket
+    /// (grace join) — chosen when both sides are large.
+    Partitioned,
+}
+
+impl fmt::Display for JoinStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JoinStrategy::Broadcast => "broadcast",
+            JoinStrategy::Partitioned => "partitioned",
+        })
+    }
+}
+
+/// The physical operator tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Scan a named base relation (or a fixpoint binding), optionally
+    /// projecting columns at the source so only needed attributes flow.
+    SeqScan {
+        /// Relation name.
+        relation: String,
+        /// Schema of the *stored* relation.
+        schema: Schema,
+        /// Columns to keep (None = all, in storage order).
+        projection: Option<Vec<usize>>,
+    },
+    /// Literal rows.
+    Values {
+        /// Row schema.
+        schema: Schema,
+        /// The rows.
+        rows: Vec<Tuple>,
+    },
+    /// σ with a compiled predicate.
+    Filter {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Predicate over the input schema.
+        predicate: ScalarExpr,
+    },
+    /// π over expressions.
+    Project {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// One expression per output column.
+        exprs: Vec<ScalarExpr>,
+        /// Output schema.
+        schema: Schema,
+    },
+    /// Equi-join: build a hash table on the right, probe with the left.
+    HashJoin {
+        /// Probe side.
+        left: Box<PhysicalPlan>,
+        /// Build side.
+        right: Box<PhysicalPlan>,
+        /// Join flavour.
+        kind: JoinKind,
+        /// Key pairs `(left ordinal, right ordinal)`; never empty.
+        on: Vec<(usize, usize)>,
+        /// Residual predicate over the concatenated schema.
+        residual: Option<ScalarExpr>,
+        /// Distribution strategy for the parallel executor.
+        strategy: JoinStrategy,
+    },
+    /// Theta join without equi-keys: materialize right, loop over left.
+    NestedLoopJoin {
+        /// Outer side.
+        left: Box<PhysicalPlan>,
+        /// Inner (materialized) side.
+        right: Box<PhysicalPlan>,
+        /// Join flavour.
+        kind: JoinKind,
+        /// Predicate over the concatenated schema (None = cross join).
+        residual: Option<ScalarExpr>,
+    },
+    /// Bag/set union.
+    Union {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Keep duplicates when true.
+        all: bool,
+    },
+    /// Set difference (deduplicating, like the algebra).
+    Difference {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input (builds the exclusion set).
+        right: Box<PhysicalPlan>,
+    },
+    /// Streaming duplicate elimination.
+    Distinct {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+    },
+    /// γ via a hash table keyed on the group columns.
+    HashAggregate {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Group-by ordinals (empty = one global group).
+        group_by: Vec<usize>,
+        /// Aggregates.
+        aggs: Vec<AggExpr>,
+    },
+    /// Materializing sort.
+    Sort {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// `(column, ascending)` keys.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Stop after `n` tuples.
+    Limit {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Row budget.
+        n: usize,
+    },
+    /// Semi-naive transitive closure (the OFM operator of §2.5).
+    Closure {
+        /// Binary input.
+        input: Box<PhysicalPlan>,
+    },
+    /// Semi-naive linear fixpoint; `Scan(name)`/`Scan(Δname)` inside
+    /// `step` read the accumulator/delta bindings.
+    Fixpoint {
+        /// Binding name.
+        name: String,
+        /// Base case.
+        base: Box<PhysicalPlan>,
+        /// Recursive step.
+        step: Box<PhysicalPlan>,
+    },
+}
+
+/// Chooses the distribution strategy for one lowered equi-join, given the
+/// logical join node (so implementations can consult cardinalities).
+pub type StrategyChooser<'a> = dyn FnMut(&LogicalPlan) -> JoinStrategy + 'a;
+
+/// Lower a logical plan with the default (broadcast) join strategy.
+pub fn lower(plan: &LogicalPlan) -> Result<PhysicalPlan> {
+    lower_with(plan, &mut |_| JoinStrategy::Broadcast)
+}
+
+/// Lower a logical plan, asking `choose` for each equi-join's strategy.
+pub fn lower_with(plan: &LogicalPlan, choose: &mut StrategyChooser<'_>) -> Result<PhysicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Scan { relation, schema } => PhysicalPlan::SeqScan {
+            relation: relation.clone(),
+            schema: schema.clone(),
+            projection: None,
+        },
+        LogicalPlan::Values { schema, rows } => PhysicalPlan::Values {
+            schema: schema.clone(),
+            rows: rows.clone(),
+        },
+        LogicalPlan::Select { input, predicate } => PhysicalPlan::Filter {
+            input: Box::new(lower_with(input, choose)?),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => PhysicalPlan::Project {
+            input: Box::new(lower_with(input, choose)?),
+            exprs: exprs.clone(),
+            schema: schema.clone(),
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            residual,
+        } => {
+            if on.is_empty() {
+                PhysicalPlan::NestedLoopJoin {
+                    left: Box::new(lower_with(left, choose)?),
+                    right: Box::new(lower_with(right, choose)?),
+                    kind: *kind,
+                    residual: residual.clone(),
+                }
+            } else {
+                let strategy = choose(plan);
+                PhysicalPlan::HashJoin {
+                    left: Box::new(lower_with(left, choose)?),
+                    right: Box::new(lower_with(right, choose)?),
+                    kind: *kind,
+                    on: on.clone(),
+                    residual: residual.clone(),
+                    strategy,
+                }
+            }
+        }
+        LogicalPlan::Union { left, right, all } => PhysicalPlan::Union {
+            left: Box::new(lower_with(left, choose)?),
+            right: Box::new(lower_with(right, choose)?),
+            all: *all,
+        },
+        LogicalPlan::Difference { left, right } => PhysicalPlan::Difference {
+            left: Box::new(lower_with(left, choose)?),
+            right: Box::new(lower_with(right, choose)?),
+        },
+        LogicalPlan::Distinct { input } => PhysicalPlan::Distinct {
+            input: Box::new(lower_with(input, choose)?),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => PhysicalPlan::HashAggregate {
+            input: Box::new(lower_with(input, choose)?),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        LogicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
+            input: Box::new(lower_with(input, choose)?),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { input, n } => PhysicalPlan::Limit {
+            input: Box::new(lower_with(input, choose)?),
+            n: *n,
+        },
+        LogicalPlan::Closure { input } => PhysicalPlan::Closure {
+            input: Box::new(lower_with(input, choose)?),
+        },
+        LogicalPlan::Fixpoint { name, base, step } => PhysicalPlan::Fixpoint {
+            name: name.clone(),
+            base: Box::new(lower_with(base, choose)?),
+            step: Box::new(lower_with(step, choose)?),
+        },
+    })
+}
+
+impl PhysicalPlan {
+    /// Output schema, derived structurally.
+    pub fn output_schema(&self) -> Result<Schema> {
+        Ok(match self {
+            PhysicalPlan::SeqScan {
+                schema, projection, ..
+            } => match projection {
+                None => schema.clone(),
+                Some(cols) => schema.project(cols),
+            },
+            PhysicalPlan::Values { schema, .. } => schema.clone(),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Closure { input } => input.output_schema()?,
+            PhysicalPlan::Project { schema, .. } => schema.clone(),
+            PhysicalPlan::HashJoin {
+                left, right, kind, ..
+            }
+            | PhysicalPlan::NestedLoopJoin {
+                left, right, kind, ..
+            } => match kind {
+                JoinKind::Inner => left.output_schema()?.join(&right.output_schema()?),
+                JoinKind::Semi | JoinKind::Anti => left.output_schema()?,
+            },
+            PhysicalPlan::Union { left, .. } | PhysicalPlan::Difference { left, .. } => {
+                left.output_schema()?
+            }
+            PhysicalPlan::HashAggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                // Delegate to the logical derivation to keep one source of
+                // truth for aggregate typing.
+                let logical = LogicalPlan::Aggregate {
+                    input: Box::new(LogicalPlan::Values {
+                        schema: input.output_schema()?,
+                        rows: vec![],
+                    }),
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                };
+                logical.output_schema()?
+            }
+            PhysicalPlan::Fixpoint { base, .. } => base.output_schema()?,
+        })
+    }
+
+    /// Immediate children.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::SeqScan { .. } | PhysicalPlan::Values { .. } => vec![],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Closure { input } => vec![input],
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::NestedLoopJoin { left, right, .. }
+            | PhysicalPlan::Union { left, right, .. }
+            | PhysicalPlan::Difference { left, right } => vec![left, right],
+            PhysicalPlan::Fixpoint { base, step, .. } => vec![base, step],
+        }
+    }
+
+    /// Validate ordinals and expression types against derived schemas.
+    pub fn validate(&self) -> Result<Schema> {
+        let schema = self.output_schema()?;
+        match self {
+            PhysicalPlan::SeqScan {
+                schema: base,
+                projection,
+                ..
+            } => {
+                if let Some(cols) = projection {
+                    for &c in cols {
+                        if c >= base.arity() {
+                            return Err(PrismaError::ExprType(format!(
+                                "scan projection column {c} out of range"
+                            )));
+                        }
+                    }
+                }
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                let in_schema = input.validate()?;
+                predicate.check(&in_schema)?;
+            }
+            PhysicalPlan::Project { input, exprs, .. } => {
+                let in_schema = input.validate()?;
+                for e in exprs {
+                    e.check(&in_schema)?;
+                }
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                on,
+                residual,
+                ..
+            } => {
+                let ls = left.validate()?;
+                let rs = right.validate()?;
+                for &(l, r) in on {
+                    if l >= ls.arity() || r >= rs.arity() {
+                        return Err(PrismaError::ExprType(format!(
+                            "join key ({l},{r}) out of range"
+                        )));
+                    }
+                }
+                if let Some(p) = residual {
+                    p.check(&ls.join(&rs))?;
+                }
+            }
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                residual,
+                ..
+            } => {
+                let ls = left.validate()?;
+                let rs = right.validate()?;
+                if let Some(p) = residual {
+                    p.check(&ls.join(&rs))?;
+                }
+            }
+            _ => {
+                for c in self.children() {
+                    c.validate()?;
+                }
+            }
+        }
+        Ok(schema)
+    }
+
+    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            PhysicalPlan::SeqScan {
+                relation,
+                projection,
+                ..
+            } => match projection {
+                None => writeln!(f, "{pad}SeqScan {relation}")?,
+                Some(cols) => writeln!(f, "{pad}SeqScan {relation} cols={cols:?}")?,
+            },
+            PhysicalPlan::Values { rows, .. } => {
+                writeln!(f, "{pad}Values [{} rows]", rows.len())?
+            }
+            PhysicalPlan::Filter { predicate, .. } => writeln!(f, "{pad}Filter {predicate}")?,
+            PhysicalPlan::Project { exprs, schema, .. } => {
+                let cols: Vec<String> = exprs
+                    .iter()
+                    .zip(schema.columns())
+                    .map(|(e, c)| format!("{e} AS {}", c.name))
+                    .collect();
+                writeln!(f, "{pad}Project {}", cols.join(", "))?;
+            }
+            PhysicalPlan::HashJoin {
+                kind,
+                on,
+                strategy,
+                residual,
+                ..
+            } => {
+                let keys: Vec<String> = on.iter().map(|(l, r)| format!("l#{l}=r#{r}")).collect();
+                write!(f, "{pad}Hash{kind} [{strategy}] on [{}]", keys.join(", "))?;
+                if let Some(p) = residual {
+                    write!(f, " filter {p}")?;
+                }
+                writeln!(f)?;
+            }
+            PhysicalPlan::NestedLoopJoin { kind, residual, .. } => {
+                write!(f, "{pad}NestedLoop{kind}")?;
+                if let Some(p) = residual {
+                    write!(f, " filter {p}")?;
+                }
+                writeln!(f)?;
+            }
+            PhysicalPlan::Union { all, .. } => {
+                writeln!(f, "{pad}Union{}", if *all { "All" } else { "" })?
+            }
+            PhysicalPlan::Difference { .. } => writeln!(f, "{pad}Difference")?,
+            PhysicalPlan::Distinct { .. } => writeln!(f, "{pad}Distinct")?,
+            PhysicalPlan::HashAggregate { group_by, aggs, .. } => {
+                let names: Vec<String> = aggs.iter().map(|a| format!("{}", a.func)).collect();
+                writeln!(
+                    f,
+                    "{pad}HashAggregate group={group_by:?} aggs=[{}]",
+                    names.join(", ")
+                )?;
+            }
+            PhysicalPlan::Sort { keys, .. } => writeln!(f, "{pad}Sort {keys:?}")?,
+            PhysicalPlan::Limit { n, .. } => writeln!(f, "{pad}Limit {n}")?,
+            PhysicalPlan::Closure { .. } => writeln!(f, "{pad}TransitiveClosure")?,
+            PhysicalPlan::Fixpoint { name, .. } => writeln!(f, "{pad}Fixpoint {name}")?,
+        }
+        for c in self.children() {
+            c.fmt_indent(f, indent + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prisma_storage::expr::CmpOp;
+    use prisma_types::{Column, DataType};
+
+    fn emp_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("dept", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn lowering_picks_algorithms() {
+        let plan = LogicalPlan::scan("emp", emp_schema())
+            .select(ScalarExpr::cmp(
+                CmpOp::Gt,
+                ScalarExpr::col(0),
+                ScalarExpr::lit(1),
+            ))
+            .join(LogicalPlan::scan("dept", emp_schema()), vec![(1, 0)]);
+        let phys = lower(&plan).unwrap();
+        assert!(matches!(
+            phys,
+            PhysicalPlan::HashJoin {
+                strategy: JoinStrategy::Broadcast,
+                ..
+            }
+        ));
+        phys.validate().unwrap();
+        let txt = phys.to_string();
+        assert!(txt.contains("HashJoin [broadcast]"), "{txt}");
+        assert!(txt.contains("SeqScan emp"), "{txt}");
+    }
+
+    #[test]
+    fn theta_join_lowers_to_nested_loop() {
+        let plan = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::scan("a", emp_schema())),
+            right: Box::new(LogicalPlan::scan("b", emp_schema())),
+            kind: JoinKind::Inner,
+            on: vec![],
+            residual: Some(ScalarExpr::cmp(
+                CmpOp::Lt,
+                ScalarExpr::col(0),
+                ScalarExpr::col(2),
+            )),
+        };
+        let phys = lower(&plan).unwrap();
+        assert!(matches!(phys, PhysicalPlan::NestedLoopJoin { .. }));
+        assert_eq!(phys.output_schema().unwrap().arity(), 4);
+    }
+
+    #[test]
+    fn chooser_controls_strategy() {
+        let plan = LogicalPlan::scan("a", emp_schema())
+            .join(LogicalPlan::scan("b", emp_schema()), vec![(0, 0)]);
+        let phys = lower_with(&plan, &mut |_| JoinStrategy::Partitioned).unwrap();
+        assert!(matches!(
+            phys,
+            PhysicalPlan::HashJoin {
+                strategy: JoinStrategy::Partitioned,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn scan_projection_narrows_schema() {
+        let scan = PhysicalPlan::SeqScan {
+            relation: "emp".into(),
+            schema: emp_schema(),
+            projection: Some(vec![1]),
+        };
+        let s = scan.output_schema().unwrap();
+        assert_eq!(s.arity(), 1);
+        assert_eq!(s.column(0).unwrap().name, "dept");
+        // Out-of-range projection is rejected.
+        let bad = PhysicalPlan::SeqScan {
+            relation: "emp".into(),
+            schema: emp_schema(),
+            projection: Some(vec![9]),
+        };
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! Offline stand-in for `bytes`: `Bytes`/`BytesMut` plus the `Buf`/`BufMut`
+//! method surface used by the stable-storage encoding.
+//!
+//! `Bytes` is a cheaply-cloneable view (`Arc<[u8]>` + range) and the `get_*`
+//! accessors consume from the front, exactly like the real crate. Only the
+//! little-endian accessors the WAL/checkpoint framing needs are provided.
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// Immutable, cheaply-cloneable byte buffer (a view into shared storage).
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Copy a slice into a fresh buffer.
+    pub fn copy_from_slice(src: &[u8]) -> Bytes {
+        let data: Arc<[u8]> = src.into();
+        let end = data.len();
+        Bytes { data, start: 0, end }
+    }
+
+    /// Wrap a static slice (copies here; the distinction is irrelevant for
+    /// the shim).
+    pub fn from_static(src: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(src)
+    }
+
+    /// Length of the remaining view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sub-view of the current view (indices relative to it).
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copy the remaining view out to a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        let s = self.start;
+        self.start += n;
+        &self.data[s..s + n]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let data: Arc<[u8]> = v.into();
+        let end = data.len();
+        Bytes { data, start: 0, end }
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Clone, Default)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+
+    /// Clear contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+/// Read-side accessor trait (front-consuming), mirroring `bytes::Buf`.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Read a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64;
+    /// Split off the next `len` bytes as an owned [`Bytes`].
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len());
+        self.start += n;
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = self.slice(0..len);
+        self.start += len;
+        out
+    }
+}
+
+/// Write-side accessor trait, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64);
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.vec.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.vec.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.vec.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.vec.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(7);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(42);
+        b.put_i64_le(-42);
+        b.put_slice(b"xy");
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 8 + 2);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 42);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(&*r.copy_to_bytes(2), b"xy");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn slice_is_relative_to_view() {
+        let b = Bytes::copy_from_slice(&[0, 1, 2, 3, 4]);
+        let mid = b.slice(1..4);
+        assert_eq!(&*mid, &[1, 2, 3]);
+        assert_eq!(&*mid.slice(1..2), &[2]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Offline stand-in for `criterion`: wall-clock micro-benchmark harness.
+//!
+//! Provides `Criterion`, `benchmark_group`, `bench_function`, `Bencher`,
+//! and the `criterion_group!`/`criterion_main!` macros. Each benchmark
+//! runs a short warm-up followed by `sample_size` timed samples and prints
+//! min/median/mean per iteration — enough to compare configurations, with
+//! no statistics machinery or report files.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Set the default sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.sample_size = n;
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Finish the group (formatting parity with criterion).
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to [`BenchmarkGroup::bench_function`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`: warm-up once, then `sample_size` timed runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        hint::black_box(routine()); // warm-up
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            eprintln!("bench {label}: no samples");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        eprintln!(
+            "bench {label}: min {:?}  median {:?}  mean {:?}  ({} samples)",
+            min,
+            median,
+            mean,
+            sorted.len()
+        );
+    }
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 4); // warm-up + 3 samples
+    }
+}

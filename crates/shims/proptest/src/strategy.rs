@@ -1,0 +1,345 @@
+//! Value-generation strategies and combinators.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for producing random values of one type.
+pub trait Strategy {
+    /// The produced type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build recursive structures: `recurse` receives a strategy for the
+    /// level below and returns the strategy for one level up; levels are
+    /// mixed so shallow values keep appearing. `_desired_size` and
+    /// `_expected_branch` are accepted for API compatibility.
+    fn prop_recursive<F, S2>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        S2: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut level = self.boxed();
+        for _ in 0..depth {
+            let deeper = recurse(level.clone()).boxed();
+            level = Union::new(vec![level, deeper]).boxed();
+        }
+        level
+    }
+
+    /// Type-erase into a clonable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(move |rng: &mut TestRng| self.generate(rng)),
+        }
+    }
+}
+
+/// Clonable type-erased strategy.
+pub struct BoxedStrategy<V> {
+    inner: Rc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.inner)(rng)
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among alternatives (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from boxed alternatives.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Produce one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bits() & 1 == 1
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.bits() as i64
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.bits()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.bits() as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.bits() as usize
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Raw bit patterns: exercises NaN, infinities and subnormals,
+        // which is exactly what total-order properties need.
+        f64::from_bits(rng.bits())
+    }
+}
+
+/// Strategy wrapper produced by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                debug_assert!(span <= usize::MAX as u128);
+                (self.start as i128 + rng.below(span as usize) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, i8, i16, i32, i64, usize);
+
+/// Simple pattern strategies for `&str`: supports `[lo-hi]{min,max}`
+/// character-class repetitions (e.g. `"[a-z]{0,12}"`), which is the only
+/// regex shape used in-tree. Anything else panics loudly.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi, min, max) = parse_class_repeat(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
+        let len = rng.below(max - min + 1) + min;
+        (0..len)
+            .map(|_| {
+                let span = (hi as u32 - lo as u32 + 1) as usize;
+                char::from_u32(lo as u32 + rng.below(span) as u32).expect("ascii range")
+            })
+            .collect()
+    }
+}
+
+fn parse_class_repeat(pattern: &str) -> Option<(char, char, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let mut chars = class.chars();
+    let (lo, dash, hi) = (chars.next()?, chars.next()?, chars.next()?);
+    if dash != '-' || chars.next().is_some() || lo > hi {
+        return None;
+    }
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = counts.split_once(',')?;
+    let (min, max) = (min.parse().ok()?, max.parse().ok()?);
+    if min > max {
+        return None;
+    }
+    Some((lo, hi, min, max))
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(99)
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (0i64..10).generate(&mut r);
+            assert!((0..10).contains(&v));
+            let (a, b) = ((0u8..3), (5i32..6)).generate(&mut r);
+            assert!(a < 3);
+            assert_eq!(b, 5);
+        }
+    }
+
+    #[test]
+    fn string_pattern() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z]{0,12}".generate(&mut r);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let mut r = rng();
+        let u = Union::new(vec![Just(1).boxed(), Just(2).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.generate(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn recursion_bottoms_out() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!((0..5).contains(v), "leaf out of range");
+                    0
+                }
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i64..5).prop_map(Tree::Leaf).prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(depth(&strat.generate(&mut r)) <= 3);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Test-runner plumbing: configuration, RNG, and case-failure reporting.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// How many random cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic per-test seed derived from the test name (FNV-1a), so
+/// every test explores a distinct but reproducible sequence.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// The generator handed to strategies.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeded construction.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn bits(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        let n = n as u64;
+        if n.is_power_of_two() {
+            return (self.bits() & (n - 1)) as usize;
+        }
+        let zone = u64::MAX - (u64::MAX % n) - 1;
+        loop {
+            let v = self.bits();
+            if v <= zone {
+                return (v % n) as usize;
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names (trait + derive-macro
+//! namespaces, as in the real crate) so `#[derive(Serialize, Deserialize)]`
+//! compiles without the registry. No serialization machinery is included;
+//! the stable layer uses its own explicit binary encoding.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods are used in-tree).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods are used
+/// in-tree).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline build.
+//!
+//! The workspace is built in environments without access to crates.io, so
+//! the real `serde_derive` is replaced by this stub. Nothing in the tree
+//! serializes through serde (the stable layer has its own explicit binary
+//! encoding), so the derives only need to parse — they emit no impls.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

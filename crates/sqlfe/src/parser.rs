@@ -574,15 +574,15 @@ impl Parser {
                 match up.as_str() {
                     "TRUE" => {
                         self.pos += 1;
-                        return Ok(Expr::Lit(Value::Bool(true)));
+                        Ok(Expr::Lit(Value::Bool(true)))
                     }
                     "FALSE" => {
                         self.pos += 1;
-                        return Ok(Expr::Lit(Value::Bool(false)));
+                        Ok(Expr::Lit(Value::Bool(false)))
                     }
                     "NULL" => {
                         self.pos += 1;
-                        return Ok(Expr::Lit(Value::Null));
+                        Ok(Expr::Lit(Value::Null))
                     }
                     "COUNT" | "SUM" | "MIN" | "MAX" | "AVG" => {
                         // Aggregate call?

@@ -129,7 +129,7 @@ pub fn plan(stmt: &Statement, catalog: &dyn Catalog) -> Result<PlannedStatement>
             for row in rows {
                 let values: Vec<Value> = row
                     .iter()
-                    .map(|e| const_eval(e))
+                    .map(const_eval)
                     .collect::<Result<_>>()?;
                 schema.check_tuple(&values)?;
                 tuples.push(Tuple::new(values));

@@ -1,5 +1,7 @@
 //! Machine configuration — the paper's §3.2 prototype parameters.
 
+use std::time::Duration;
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::{PrismaError, Result};
@@ -50,6 +52,9 @@ pub struct MachineConfig {
     /// processing elements will also be connected to secondary storage").
     /// Expressed as a stride: PE `i` has a disk iff `i % disk_stride == 0`.
     pub disk_stride: usize,
+    /// How long coordinators wait for a fragment/participant reply before
+    /// presuming it dead, in seconds (a simulation safety net).
+    pub reply_timeout_secs: u64,
 }
 
 impl Default for MachineConfig {
@@ -63,6 +68,7 @@ impl Default for MachineConfig {
             topology: TopologyKind::Mesh,
             hop_latency_ns: 2_000,
             disk_stride: 8,
+            reply_timeout_secs: 60,
         }
     }
 }
@@ -100,6 +106,17 @@ impl MachineConfig {
         self
     }
 
+    /// Builder-style override of the coordinator reply timeout.
+    pub fn with_reply_timeout_secs(mut self, secs: u64) -> Self {
+        self.reply_timeout_secs = secs;
+        self
+    }
+
+    /// The coordinator reply timeout as a [`Duration`].
+    pub fn reply_timeout(&self) -> Duration {
+        Duration::from_secs(self.reply_timeout_secs)
+    }
+
     /// Seconds to push one packet through one link.
     pub fn packet_tx_seconds(&self) -> f64 {
         self.packet_bits as f64 / self.link_bandwidth_bps as f64
@@ -126,12 +143,17 @@ impl MachineConfig {
         if self.disk_stride == 0 {
             return Err(PrismaError::Config("disk_stride must be > 0".into()));
         }
+        if self.reply_timeout_secs == 0 {
+            return Err(PrismaError::Config(
+                "reply_timeout_secs must be > 0".into(),
+            ));
+        }
         Ok(())
     }
 
     /// True when PE `i` owns a disk for stable storage.
     pub fn pe_has_disk(&self, i: usize) -> bool {
-        i % self.disk_stride == 0
+        i.is_multiple_of(self.disk_stride)
     }
 }
 
@@ -154,14 +176,34 @@ mod tests {
     #[test]
     fn validation_catches_bad_configs() {
         assert!(MachineConfig::default().validate().is_ok());
-        let mut c = MachineConfig::default();
-        c.num_pes = 0;
+        let c = MachineConfig {
+            num_pes: 0,
+            ..MachineConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = MachineConfig::default();
-        c.topology = TopologyKind::ChordalRing { stride: 64 };
+        let c = MachineConfig {
+            topology: TopologyKind::ChordalRing { stride: 64 },
+            ..MachineConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = MachineConfig::default();
-        c.disk_stride = 0;
+        let c = MachineConfig {
+            disk_stride: 0,
+            ..MachineConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn reply_timeout_is_configurable_and_validated() {
+        let c = MachineConfig::default();
+        assert_eq!(c.reply_timeout(), Duration::from_secs(60));
+        let c = c.with_reply_timeout_secs(5);
+        assert_eq!(c.reply_timeout(), Duration::from_secs(5));
+        assert!(c.validate().is_ok());
+        let c = MachineConfig {
+            reply_timeout_secs: 0,
+            ..MachineConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

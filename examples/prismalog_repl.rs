@@ -56,14 +56,13 @@ fn main() -> prisma::Result<()> {
             // Validate eagerly so mistakes surface immediately.
             prisma::prismalog::parse_program(&program)
                 .map(|_| println!("ok ({} clauses)", program.lines().count()))
-                .map_err(|e| {
+                .inspect_err(|_e| {
                     // Roll the bad rule back.
                     let keep: Vec<&str> = program.lines().collect();
                     program = keep[..keep.len() - 1].join("\n");
                     if !program.is_empty() {
                         program.push('\n');
                     }
-                    e
                 })
         } else if line.starts_with("?-") {
             db.prismalog(&program, line).map(|rows| println!("{rows}"))

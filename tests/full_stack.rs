@@ -58,6 +58,99 @@ fn distributed_execution_matches_reference_evaluator() {
     db.shutdown();
 }
 
+/// Two large relations (above the broadcast threshold) must take the
+/// hash-partitioned grace-join path and still agree with the reference
+/// evaluator; a small build side must stay on the broadcast path.
+#[test]
+fn partitioned_and_broadcast_joins_agree_with_reference() {
+    let db = PrismaMachine::builder().pes(8).build().unwrap();
+    db.sql("CREATE TABLE big_l (k INT, grp INT, v INT) FRAGMENTED BY HASH(k) INTO 4")
+        .unwrap();
+    db.sql("CREATE TABLE big_r (k INT, grp INT, v INT) FRAGMENTED BY HASH(grp) INTO 3")
+        .unwrap();
+    db.sql("CREATE TABLE tiny (k INT, label STRING) FRAGMENTED INTO 2")
+        .unwrap();
+    let lrows: Vec<prisma::Tuple> = (0..1500)
+        .map(|i| prisma::types::tuple![i, i % 40, i * 2])
+        .collect();
+    let rrows: Vec<prisma::Tuple> = (0..1300)
+        .map(|i| prisma::types::tuple![i, i % 40, i * 3])
+        .collect();
+    let trows: Vec<prisma::Tuple> = (0..30)
+        .map(|i| prisma::types::tuple![i, format!("t{i}")])
+        .collect();
+    db.sql(&format!("INSERT INTO big_l VALUES {}", values_clause(&lrows)))
+        .unwrap();
+    db.sql(&format!("INSERT INTO big_r VALUES {}", values_clause(&rrows)))
+        .unwrap();
+    db.sql(&format!("INSERT INTO tiny VALUES {}", values_clause(&trows)))
+        .unwrap();
+    for t in ["big_l", "big_r", "tiny"] {
+        db.refresh_stats(t).unwrap();
+    }
+
+    let mut reference: HashMap<String, Relation> = HashMap::new();
+    let lr_schema = prisma::Schema::new(vec![
+        prisma::types::Column::new("k", prisma::types::DataType::Int),
+        prisma::types::Column::new("grp", prisma::types::DataType::Int),
+        prisma::types::Column::new("v", prisma::types::DataType::Int),
+    ]);
+    let tiny_schema = prisma::Schema::new(vec![
+        prisma::types::Column::new("k", prisma::types::DataType::Int),
+        prisma::types::Column::new("label", prisma::types::DataType::Str),
+    ]);
+    reference.insert("big_l".into(), Relation::new(lr_schema.clone(), lrows));
+    reference.insert("big_r".into(), Relation::new(lr_schema.clone(), rrows));
+    reference.insert("tiny".into(), Relation::new(tiny_schema.clone(), trows));
+    let catalog: HashMap<String, prisma::Schema> = [
+        ("big_l".to_owned(), lr_schema.clone()),
+        ("big_r".to_owned(), lr_schema),
+        ("tiny".to_owned(), tiny_schema),
+    ]
+    .into_iter()
+    .collect();
+
+    let check = |sql: &str| -> prisma::gdh::exec::ExecMetrics {
+        let (rows, metrics) = db.query_with_metrics(sql).unwrap();
+        let stmt = sqlfe::parse_statement(sql).unwrap();
+        let PlannedStatement::Query(plan) = sqlfe::plan(&stmt, &catalog).unwrap() else {
+            panic!("{sql} is not a query")
+        };
+        let via_reference = eval(&plan, &reference).unwrap().canonicalized();
+        assert_eq!(
+            rows.canonicalized().tuples(),
+            via_reference.tuples(),
+            "machine and reference disagree on: {sql}"
+        );
+        metrics
+    };
+
+    // Both sides large: grace join.
+    let m = check("SELECT l.v, r.v FROM big_l l, big_r r WHERE l.k = r.k");
+    assert!(m.partitioned_joins >= 1, "expected a grace join: {m:?}");
+    assert_eq!(m.repartition_tasks, 7, "4 left + 3 right fragments: {m:?}");
+    assert!(m.batches_shipped > 0, "{m:?}");
+
+    // Residual predicates survive the partitioned path.
+    let m = check(
+        "SELECT l.k FROM big_l l, big_r r WHERE l.k = r.k AND l.v < r.v",
+    );
+    assert!(m.partitioned_joins >= 1, "{m:?}");
+
+    // Small build side: broadcast.
+    let m = check("SELECT l.v, t.label FROM big_l l, tiny t WHERE l.grp = t.k");
+    assert!(m.broadcast_joins >= 1, "expected broadcast: {m:?}");
+    assert_eq!(m.partitioned_joins, 0, "{m:?}");
+
+    // Decomposable aggregate over the grace join output.
+    let m = check(
+        "SELECT l.grp, COUNT(*) AS n, SUM(r.v) AS s FROM big_l l, big_r r \
+         WHERE l.k = r.k GROUP BY l.grp",
+    );
+    assert!(m.partitioned_joins >= 1, "{m:?}");
+    db.shutdown();
+}
+
 #[test]
 fn sql_closure_and_prismalog_agree_on_reachability() {
     let db = PrismaMachine::builder().pes(8).build().unwrap();

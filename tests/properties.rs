@@ -1,15 +1,18 @@
 //! Property-based tests over the core invariants.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use proptest::prelude::*;
 
 use prisma::relalg::eval::{transitive_closure, transitive_closure_naive};
-use prisma::relalg::{eval, LogicalPlan, Relation};
+use prisma::relalg::{eval, execute_physical, lower, AggExpr, AggFunc, LogicalPlan, Relation};
 use prisma::stable::encoding;
 use prisma::storage::expr::{ArithOp, CmpOp, ScalarExpr};
 use prisma::storage::{Marking, Rid};
 use prisma::types::{tuple, Column, DataType, Schema, Tuple, Value};
+use prisma::workload::values_clause;
+use prisma::PrismaMachine;
 
 // ---------- strategies ----------
 
@@ -79,6 +82,127 @@ fn int3_schema() -> Schema {
         Column::new("b", DataType::Int),
         Column::new("c", DataType::Int),
     ])
+}
+
+// ---------- randomized plans for executor-vs-oracle properties ----------
+
+/// One encoded plan-building step; the interpreter clamps every parameter
+/// against the current arity, so any byte triple yields a valid plan.
+type PlanOp = (u8, u8, u8);
+
+fn arb_plan_ops(max_ops: usize) -> impl Strategy<Value = Vec<PlanOp>> {
+    prop::collection::vec((0u8..7, 0u8..255, 0u8..255), 0..=max_ops)
+}
+
+/// Interpret encoded ops into a valid plan over `l`/`r` (3 int columns).
+/// Joins always key the right side on its unique first column so output
+/// sizes stay bounded by the left side; limits only ever follow a total
+/// sort, so results are deterministic up to row order.
+fn build_plan(ops: &[PlanOp], lschema: &Schema, rschema: &Schema) -> LogicalPlan {
+    let mut plan = LogicalPlan::scan("l", lschema.clone());
+    for &(op, p1, p2) in ops {
+        let arity = plan.output_schema().expect("valid by construction").arity();
+        let c1 = p1 as usize % arity;
+        let c2 = p2 as usize % arity;
+        plan = match op {
+            0 => {
+                let cmp = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
+                    [p2 as usize % 6];
+                plan.select(ScalarExpr::cmp(
+                    cmp,
+                    ScalarExpr::col(c1),
+                    ScalarExpr::lit(p2 as i64 - 127),
+                ))
+            }
+            1 => plan.project_cols(&[c1, c2]).expect("ordinals clamped"),
+            2 => plan.join(LogicalPlan::scan("r", rschema.clone()), vec![(c1, 0)]),
+            3 => LogicalPlan::Union {
+                left: Box::new(plan.clone()),
+                right: Box::new(plan),
+                all: p1 % 2 == 0,
+            },
+            4 => {
+                let aggs = if p2 % 4 == 0 {
+                    // Non-decomposable: merges at the coordinator.
+                    vec![
+                        AggExpr::new(AggFunc::CountStar, 0, "n"),
+                        AggExpr::new(AggFunc::Avg, c2, "avg"),
+                    ]
+                } else {
+                    // Decomposable: per-fragment partials + merge.
+                    vec![
+                        AggExpr::new(AggFunc::CountStar, 0, "n"),
+                        AggExpr::new(AggFunc::Sum, c2, "s"),
+                        AggExpr::new(AggFunc::Min, c2, "mn"),
+                        AggExpr::new(AggFunc::Max, c2, "mx"),
+                    ]
+                };
+                LogicalPlan::Aggregate {
+                    input: Box::new(plan),
+                    group_by: vec![c1],
+                    aggs,
+                }
+            }
+            5 => LogicalPlan::Distinct {
+                input: Box::new(plan),
+            },
+            _ => {
+                let keys: Vec<(usize, bool)> = (0..arity).map(|i| (i, true)).collect();
+                LogicalPlan::Limit {
+                    input: Box::new(LogicalPlan::Sort {
+                        input: Box::new(plan),
+                        keys,
+                    }),
+                    n: 1 + p1 as usize % 40,
+                }
+            }
+        };
+    }
+    plan
+}
+
+/// The distributed machine the randomized-plan property queries; built
+/// once (same rows as [`machine_reference`]), with `l` large enough that
+/// scan-scan joins cross the broadcast threshold and take the
+/// hash-partitioned path while filtered/aggregated sides broadcast.
+fn shared_machine() -> &'static Arc<PrismaMachine> {
+    static MACHINE: OnceLock<Arc<PrismaMachine>> = OnceLock::new();
+    MACHINE.get_or_init(|| {
+        let db = PrismaMachine::builder().pes(8).build().unwrap();
+        db.sql("CREATE TABLE l (a INT, b INT, c INT) FRAGMENTED BY HASH(a) INTO 4")
+            .unwrap();
+        db.sql("CREATE TABLE r (a INT, b INT, c INT) FRAGMENTED BY HASH(b) INTO 3")
+            .unwrap();
+        let (lrows, rrows) = machine_rows();
+        for chunk in lrows.chunks(500) {
+            db.sql(&format!("INSERT INTO l VALUES {}", values_clause(chunk)))
+                .unwrap();
+        }
+        for chunk in rrows.chunks(500) {
+            db.sql(&format!("INSERT INTO r VALUES {}", values_clause(chunk)))
+                .unwrap();
+        }
+        db.refresh_stats("l").unwrap();
+        db.refresh_stats("r").unwrap();
+        Arc::new(db)
+    })
+}
+
+fn machine_rows() -> (Vec<Tuple>, Vec<Tuple>) {
+    let l = (0..1200i64).map(|i| tuple![i, i % 37, (i * 7) % 50]).collect();
+    let r = (0..1100i64).map(|i| tuple![i, i % 37, (i * 11) % 50]).collect();
+    (l, r)
+}
+
+fn machine_reference() -> &'static HashMap<String, Relation> {
+    static REFERENCE: OnceLock<HashMap<String, Relation>> = OnceLock::new();
+    REFERENCE.get_or_init(|| {
+        let (lrows, rrows) = machine_rows();
+        let mut m = HashMap::new();
+        m.insert("l".to_owned(), Relation::new(int3_schema(), lrows));
+        m.insert("r".to_owned(), Relation::new(int3_schema(), rrows));
+        m
+    })
 }
 
 proptest! {
@@ -189,10 +313,10 @@ proptest! {
             schema,
             edges.into_iter().map(|(a, b)| tuple![a, b]).collect(),
         ).distinct();
-        let semi = transitive_closure(rel.clone()).unwrap().canonicalized();
-        let naive = transitive_closure_naive(rel).unwrap().canonicalized();
+        let semi = transitive_closure(&rel).unwrap().canonicalized();
+        let naive = transitive_closure_naive(&rel).unwrap().canonicalized();
         prop_assert_eq!(semi.tuples(), naive.tuples());
-        let twice = transitive_closure(semi.clone()).unwrap().canonicalized();
+        let twice = transitive_closure(&semi).unwrap().canonicalized();
         prop_assert_eq!(twice.tuples(), semi.tuples());
     }
 
@@ -221,6 +345,61 @@ proptest! {
         let all_ok = rows.iter().all(|t| schema.check_tuple(t.values()).is_ok());
         let built = Relation::try_new(schema, rows);
         prop_assert_eq!(all_ok, built.is_ok());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // The pull-based batch executor agrees with the reference evaluator
+    // on arbitrary plans over arbitrary data (up to row order).
+    #[test]
+    fn batch_executor_matches_reference_evaluator(
+        ops in arb_plan_ops(6),
+        lrows in prop::collection::vec((-30i64..30, -30i64..30, -30i64..30), 0..25),
+        rrows in prop::collection::vec((-30i64..30, -30i64..30, -30i64..30), 0..20),
+    ) {
+        let schema = int3_schema();
+        let mut db: HashMap<String, Relation> = HashMap::new();
+        db.insert(
+            "l".into(),
+            Relation::new(schema.clone(), lrows.into_iter().map(|(a, b, c)| tuple![a, b, c]).collect()),
+        );
+        db.insert(
+            "r".into(),
+            Relation::new(schema.clone(), rrows.into_iter().map(|(a, b, c)| tuple![a, b, c]).collect()),
+        );
+        let plan = build_plan(&ops, &schema, &schema);
+        let physical = lower(&plan).unwrap();
+        let via_exec = execute_physical(&physical, &db).unwrap().canonicalized();
+        let via_eval = eval(&plan, &db).unwrap().canonicalized();
+        prop_assert_eq!(via_exec.tuples(), via_eval.tuples(), "plan:\n{}", plan);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // The distributed machine — physical subplans shipped to fragments,
+    // broadcast AND hash-partitioned joins (the scans are sized across
+    // the broadcast threshold), decomposable-aggregate merges, CSE memo
+    // hits from the union arm — agrees with the reference evaluator on
+    // randomized plans.
+    #[test]
+    fn distributed_batch_pipeline_matches_reference_evaluator(
+        ops in arb_plan_ops(5),
+    ) {
+        let db = shared_machine();
+        let plan = build_plan(&ops, &int3_schema(), &int3_schema());
+        let (rows, _metrics) = db.gdh().query(&plan).unwrap();
+        let via_machine = rows.canonicalized();
+        let via_reference = eval(&plan, machine_reference()).unwrap().canonicalized();
+        prop_assert_eq!(
+            via_machine.tuples(),
+            via_reference.tuples(),
+            "machine and reference disagree on:\n{}",
+            plan
+        );
     }
 }
 
