@@ -1,15 +1,33 @@
-//! E5 — compiled expression routines vs interpretation (paper §2.5).
+//! E5 — compiled expression routines vs interpretation (paper §2.5), and
+//! the vectorized column-at-a-time kernels layered on top of them.
 //!
 //! "Each OFM is equipped with an expression compiler to generate routines
 //! dynamically … it avoids the otherwise excessive interpretation overhead
 //! incurred by a query expression interpreter." Measures the same
-//! predicates over 100k tuples via the tree-walking interpreter and the
-//! closure compiler, at three predicate complexities.
+//! predicates over ≥100k tuples via the tree-walking interpreter, the
+//! closure compiler, and the vectorized kernels, and records the
+//! scalar-vs-vectorized trajectory in `BENCH_e5.json` at the repo root.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `E5_ROWS`    — row count (default 100000)
+//! * `E5_ITERS`   — timed samples per measurement (default 30)
+//! * `E5_SMOKE=1` — run only the scalar-vs-vectorized comparison, skip
+//!   the criterion groups (CI's bench-smoke step)
+//! * `E5_ENFORCE=1` — exit non-zero if the vectorized Int-filter path is
+//!   not faster than the per-tuple compiled path
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{black_box, Criterion};
 use prisma_core::storage::expr::{ArithOp, CmpOp, ScalarExpr};
-use prisma_core::types::Tuple;
+use prisma_core::types::{ColumnVec, SelVec, Tuple};
 use prisma_core::workload::wisconsin_rows;
+
+/// Column chunks of the batch pipeline's size, built once (column-at-a-
+/// time engines store columnar; pivot cost is measured by E2, not here).
+const CHUNK: usize = 1024;
 
 fn predicates() -> Vec<(&'static str, ScalarExpr)> {
     vec![
@@ -53,11 +71,146 @@ fn predicates() -> Vec<(&'static str, ScalarExpr)> {
     ]
 }
 
-fn bench(c: &mut Criterion) {
-    let rows: Vec<Tuple> = wisconsin_rows(100_000, 3);
+/// Chunked columnar view of the rows (what a scan's batches pivot to).
+fn to_chunks(rows: &[Tuple]) -> Vec<Vec<Arc<ColumnVec>>> {
+    rows.chunks(CHUNK).map(ColumnVec::pivot).collect()
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Median wall-clock ns of `iters` runs of `f` (one warm-up first).
+fn time_ns(iters: usize, mut f: impl FnMut() -> usize) -> (u64, usize) {
+    let check = black_box(f());
+    let mut samples: Vec<u64> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    (samples[samples.len() / 2], check)
+}
+
+struct Comparison {
+    name: &'static str,
+    scalar_ns: u64,
+    vectorized_ns: u64,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns as f64 / self.vectorized_ns.max(1) as f64
+    }
+}
+
+/// The headline E5 comparison: per-tuple `CompiledExpr` routines vs the
+/// vectorized kernels, on an Int filter and an arithmetic projection.
+fn compare_scalar_vs_vectorized(
+    rows: &[Tuple],
+    chunks: &[Vec<Arc<ColumnVec>>],
+    iters: usize,
+) -> Vec<Comparison> {
+    let sels: Vec<SelVec> = chunks
+        .iter()
+        .map(|c| SelVec::all(c.first().map_or(0, |col| col.len())))
+        .collect();
+    let mut out = Vec::new();
+
+    // --- Int filter: unique1 < n/2 ---
+    let pred = ScalarExpr::cmp(
+        CmpOp::Lt,
+        ScalarExpr::col(0),
+        ScalarExpr::lit((rows.len() / 2) as i64),
+    );
+    let scalar = pred.compile_predicate();
+    let (scalar_ns, n_scalar) =
+        time_ns(iters, || rows.iter().filter(|t| scalar(t)).count());
+    let mut vpred = pred.compile_vec_predicate();
+    let mut sel_buf: Vec<u32> = Vec::new();
+    let (vector_ns, n_vector) = time_ns(iters, || {
+        let mut kept = 0;
+        for (cols, sel) in chunks.iter().zip(&sels) {
+            vpred.select(cols, sel, &mut sel_buf);
+            kept += sel_buf.len();
+        }
+        kept
+    });
+    assert_eq!(n_scalar, n_vector, "filter paths disagree");
+    out.push(Comparison {
+        name: "int_filter",
+        scalar_ns,
+        vectorized_ns: vector_ns,
+    });
+
+    // --- Arithmetic projection: unique1 * 3 + unique2 ---
+    let proj = ScalarExpr::arith(
+        ArithOp::Add,
+        ScalarExpr::arith(ArithOp::Mul, ScalarExpr::col(0), ScalarExpr::lit(3)),
+        ScalarExpr::col(1),
+    );
+    let scalar = proj.compile();
+    let (scalar_ns, _) = time_ns(iters, || {
+        rows.iter()
+            .map(|t| black_box(scalar(t)))
+            .filter(|v| !v.is_null())
+            .count()
+    });
+    let vproj = proj.compile_vec();
+    let (vector_ns, _) = time_ns(iters, || {
+        let mut n = 0;
+        for (cols, sel) in chunks.iter().zip(&sels) {
+            n += black_box(vproj.eval(cols, sel)).len();
+        }
+        n
+    });
+    out.push(Comparison {
+        name: "arith_project",
+        scalar_ns,
+        vectorized_ns: vector_ns,
+    });
+    out
+}
+
+fn write_json(path: &std::path::Path, rows: usize, iters: usize, comps: &[Comparison]) {
+    let benches: Vec<String> = comps
+        .iter()
+        .map(|c| {
+            format!(
+                "    \"{}\": {{\"scalar_ns\": {}, \"vectorized_ns\": {}, \"speedup\": {:.2}}}",
+                c.name,
+                c.scalar_ns,
+                c.vectorized_ns,
+                c.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"e5_compiled_expr\",\n  \"rows\": {rows},\n  \"iters\": {iters},\n  \"benches\": {{\n{}\n  }}\n}}\n",
+        benches.join(",\n")
+    );
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("[E5] could not write {}: {e}", path.display());
+    } else {
+        eprintln!("[E5] wrote {}", path.display());
+    }
+}
+
+/// The original criterion groups: interpreter vs compiler vs vectorized
+/// at three predicate complexities, plus compile cost.
+fn criterion_groups(c: &mut Criterion, rows: &[Tuple], chunks: &[Vec<Arc<ColumnVec>>]) {
+    let sels: Vec<SelVec> = chunks
+        .iter()
+        .map(|ch| SelVec::all(ch.first().map_or(0, |col| col.len())))
+        .collect();
     let mut group = c.benchmark_group("e5_compiled_expr");
     for (name, pred) in predicates() {
-        // Sanity: both paths agree.
+        // Sanity: all three paths agree.
         let compiled = pred.compile_predicate();
         let n_interp = rows
             .iter()
@@ -65,6 +218,17 @@ fn bench(c: &mut Criterion) {
             .count();
         let n_comp = rows.iter().filter(|t| compiled(t)).count();
         assert_eq!(n_interp, n_comp);
+        let mut vpred = pred.compile_vec_predicate();
+        let mut buf = Vec::new();
+        let n_vec: usize = chunks
+            .iter()
+            .zip(&sels)
+            .map(|(cols, sel)| {
+                vpred.select(cols, sel, &mut buf);
+                buf.len()
+            })
+            .sum();
+        assert_eq!(n_interp, n_vec);
         eprintln!("[E5:{name}] selects {n_comp} of {} tuples", rows.len());
 
         group.bench_function(format!("interpreted/{name}"), |b| {
@@ -78,6 +242,18 @@ fn bench(c: &mut Criterion) {
             let f = pred.compile_predicate();
             b.iter(|| rows.iter().filter(|t| f(t)).count())
         });
+        group.bench_function(format!("vectorized/{name}"), |b| {
+            let mut f = pred.compile_vec_predicate();
+            let mut buf = Vec::new();
+            b.iter(|| {
+                let mut kept = 0;
+                for (cols, sel) in chunks.iter().zip(&sels) {
+                    f.select(cols, sel, &mut buf);
+                    kept += buf.len();
+                }
+                kept
+            })
+        });
         group.bench_function(format!("compile_cost/{name}"), |b| {
             b.iter(|| pred.compile_predicate())
         });
@@ -85,5 +261,42 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    let n = env_usize("E5_ROWS", 100_000);
+    let iters = env_usize("E5_ITERS", 30);
+    let smoke = std::env::var("E5_SMOKE").is_ok_and(|v| v == "1");
+    let enforce = std::env::var("E5_ENFORCE").is_ok_and(|v| v == "1");
+
+    let rows: Vec<Tuple> = wisconsin_rows(n, 3);
+    let chunks = to_chunks(&rows);
+
+    let comps = compare_scalar_vs_vectorized(&rows, &chunks, iters);
+    for c in &comps {
+        eprintln!(
+            "[E5:{}] scalar {} ns  vectorized {} ns  speedup {:.2}x",
+            c.name,
+            c.scalar_ns,
+            c.vectorized_ns,
+            c.speedup()
+        );
+    }
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_e5.json");
+    write_json(&root, n, iters, &comps);
+
+    if enforce {
+        let filter = comps
+            .iter()
+            .find(|c| c.name == "int_filter")
+            .expect("int_filter always measured");
+        assert!(
+            filter.vectorized_ns < filter.scalar_ns,
+            "vectorized Int filter regressed: {} ns vs scalar {} ns",
+            filter.vectorized_ns,
+            filter.scalar_ns
+        );
+    }
+    if smoke {
+        return;
+    }
+    criterion_groups(&mut Criterion::default(), &rows, &chunks);
+}

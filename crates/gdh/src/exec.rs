@@ -24,6 +24,13 @@
 //! * subtrees reported by the optimizer's common-subexpression detection
 //!   are **memoized** as `Arc<Relation>`: the second occurrence reuses the
 //!   first result without copying it.
+//!
+//! Inside a fragment, Filter/Project run vectorized over columnar
+//! batches ([`prisma_relalg::exec`]'s row/column duality); the wire
+//! format between PEs stays row-oriented — OFMs pivot columnar batches
+//! back to rows before shipping ([`prisma_ofm::Ofm::execute_physical`]),
+//! so `SubplanResult` messages, the ledger's per-batch `wire_bits`
+//! metering, and everything coordinator-side are unchanged.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;

@@ -350,6 +350,12 @@ impl Ofm {
     /// this fragment; `extra` supplies shipped-in build sides and other
     /// intermediates by name (already `Arc`-shared, so broadcast sides are
     /// never copied per fragment).
+    ///
+    /// The executor may produce columnar batches (vectorized
+    /// filter/project output); the wire format between PEs stays
+    /// row-oriented, so batches are pivoted back to rows here, at the
+    /// shipping boundary — the coordinator and the ledger never see the
+    /// columnar form.
     pub fn execute_physical(
         &self,
         plan: &PhysicalPlan,
@@ -371,7 +377,8 @@ impl Ofm {
                 }
             }
         }
-        prisma_relalg::execute_batches(plan, &P { ofm: self, extra })
+        let batches = prisma_relalg::execute_batches(plan, &P { ofm: self, extra })?;
+        Ok(batches.into_iter().map(Batch::into_rows).collect())
     }
 
     /// Execute a local logical subplan: lower it and run the physical

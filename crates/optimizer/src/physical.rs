@@ -71,7 +71,45 @@ pub fn lower_physical(
         trace.note("physical-join-strategy", note);
     }
     let physical = fuse_projections(physical, trace);
+    note_vectorized(&physical, trace);
     Ok(physical)
+}
+
+/// Record in the EXPLAIN trace which operators will evaluate their
+/// expressions through the vectorized (column-at-a-time) kernels: every
+/// Filter predicate and every non-fused Project in the physical plan.
+fn note_vectorized(plan: &PhysicalPlan, trace: &mut Trace) {
+    match plan {
+        PhysicalPlan::Filter { input, predicate } => {
+            trace.note("physical-vectorized-eval", format!("filter {predicate}"));
+            note_vectorized(input, trace);
+        }
+        PhysicalPlan::Project { input, exprs, .. } => {
+            let shown: Vec<String> = exprs.iter().map(ToString::to_string).collect();
+            trace.note(
+                "physical-vectorized-eval",
+                format!("project [{}]", shown.join(", ")),
+            );
+            note_vectorized(input, trace);
+        }
+        PhysicalPlan::HashJoin { left, right, .. }
+        | PhysicalPlan::NestedLoopJoin { left, right, .. }
+        | PhysicalPlan::Union { left, right, .. }
+        | PhysicalPlan::Difference { left, right } => {
+            note_vectorized(left, trace);
+            note_vectorized(right, trace);
+        }
+        PhysicalPlan::Distinct { input }
+        | PhysicalPlan::HashAggregate { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Limit { input, .. }
+        | PhysicalPlan::Closure { input } => note_vectorized(input, trace),
+        PhysicalPlan::Fixpoint { base, step, .. } => {
+            note_vectorized(base, trace);
+            note_vectorized(step, trace);
+        }
+        PhysicalPlan::SeqScan { .. } | PhysicalPlan::Values { .. } => {}
+    }
 }
 
 /// Fold `Project [Col…] → SeqScan` pairs into projecting scans. Only
@@ -265,6 +303,36 @@ mod tests {
         assert_eq!(trace.count_of("physical-scan-projection"), 1);
         // The fused scan's schema matches the logical projection exactly.
         assert_eq!(phys.output_schema().unwrap(), plan.output_schema().unwrap());
+    }
+
+    #[test]
+    fn explain_notes_vectorized_filter_and_project() {
+        use prisma_storage::expr::CmpOp;
+        let s = stats();
+        let plan = LogicalPlan::scan("big", schema2())
+            .select(ScalarExpr::cmp(
+                CmpOp::Gt,
+                ScalarExpr::col(0),
+                ScalarExpr::lit(5),
+            ))
+            .project_cols(&[1])
+            .unwrap();
+        let mut trace = Trace::default();
+        lower_physical(&plan, &s, PhysicalConfig::default(), &mut trace).unwrap();
+        // Both the filter predicate and the projection above it (not
+        // adjacent to the scan, so not fused) evaluate vectorized.
+        assert_eq!(trace.count_of("physical-vectorized-eval"), 2);
+        assert!(trace
+            .fired
+            .iter()
+            .any(|f| f.contains("physical-vectorized-eval: filter")));
+
+        // A pure column projection directly above the scan is fused away
+        // and leaves no vectorized-eval note.
+        let fused = LogicalPlan::scan("big", schema2()).project_cols(&[1]).unwrap();
+        let mut trace = Trace::default();
+        lower_physical(&fused, &s, PhysicalConfig::default(), &mut trace).unwrap();
+        assert_eq!(trace.count_of("physical-vectorized-eval"), 0);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use prisma_types::{DataType, PrismaError, Result, Schema, Tuple, Value};
+use prisma_types::{ColumnVec, DataType, PrismaError, Result, Schema, SelVec, Tuple, Value};
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -457,6 +457,43 @@ impl ScalarExpr {
         let f = self.compile();
         Arc::new(move |t| matches!(f(t), Value::Bool(true)))
     }
+
+    // ---------- the vectorized compiler (column-at-a-time) ----------
+
+    /// Compile to a column-at-a-time kernel tree. Where [`compile`]
+    /// produces one closure invoked per tuple, the vectorized form
+    /// dispatches on operand *column* types once per batch and then runs
+    /// typed loops over `&[i64]` / `&[f64]` payloads — no per-row virtual
+    /// call and no per-row [`Value`] construction on the numeric paths.
+    /// Mixed-type and string operands fall back to element-wise `Value`
+    /// semantics, so results always agree with [`ScalarExpr::compile`]
+    /// (NULL propagation identical to [`ScalarExpr::eval`]; arithmetic
+    /// faults degrade to NULL exactly like the scalar compiler).
+    ///
+    /// [`compile`]: ScalarExpr::compile
+    pub fn compile_vec(&self) -> CompiledVecExpr {
+        CompiledVecExpr {
+            node: VecNode::from_expr(self),
+        }
+    }
+
+    /// Compile to a vectorized filter that refines a [`SelVec`] instead of
+    /// producing rows (unknown rejects, as in SQL). Conjunctions are
+    /// factored so each factor narrows the previous selection; the common
+    /// `col <op> lit` / `col <op> col` factors run fused typed loops that
+    /// touch nothing but the referenced column.
+    pub fn compile_vec_predicate(&self) -> CompiledVecPredicate {
+        let factors = self
+            .clone()
+            .split_conjunction()
+            .iter()
+            .map(PredFactor::from_expr)
+            .collect();
+        CompiledVecPredicate {
+            factors,
+            tmp: Vec::new(),
+        }
+    }
 }
 
 fn compile_cmp(op: CmpOp, l: &ScalarExpr, r: &ScalarExpr) -> CompiledExpr {
@@ -494,6 +531,611 @@ fn kleene_or(a: Value, b: Value) -> Value {
         (Some(true), _) | (_, Some(true)) => Value::Bool(true),
         (Some(false), Some(false)) => Value::Bool(false),
         _ => Value::Null,
+    }
+}
+
+// =================== vectorized kernels ===================
+
+/// A compiled vectorized expression: batch columns + selection in,
+/// *compacted* result column out (`len == sel.count()`, rows in selection
+/// order). Shareable across threads like [`CompiledExpr`].
+#[derive(Debug, Clone)]
+pub struct CompiledVecExpr {
+    node: VecNode,
+}
+
+impl CompiledVecExpr {
+    /// Evaluate over the selected rows of a batch's columns.
+    pub fn eval(&self, cols: &[Arc<ColumnVec>], sel: &SelVec) -> Arc<ColumnVec> {
+        self.node.eval(cols, SelView::from(sel))
+    }
+}
+
+/// A compiled vectorized filter. Owns scratch buffers (reused across
+/// batches) for chaining conjunction factors, hence `&mut self`.
+#[derive(Debug)]
+pub struct CompiledVecPredicate {
+    factors: Vec<PredFactor>,
+    /// Ping-pong buffer for multi-factor conjunctions; retains capacity
+    /// across [`select`](Self::select) calls.
+    tmp: Vec<u32>,
+}
+
+impl CompiledVecPredicate {
+    /// Append to `out` (cleared first) the row indices within `sel` that
+    /// satisfy the predicate, in ascending order. NULL/unknown rejects.
+    pub fn select(&mut self, cols: &[Arc<ColumnVec>], sel: &SelVec, out: &mut Vec<u32>) {
+        out.clear();
+        let mut first = true;
+        for f in &self.factors {
+            if first {
+                f.filter(cols, SelView::from(sel), out);
+                first = false;
+            } else {
+                self.tmp.clear();
+                f.filter(cols, SelView::Idx(out), &mut self.tmp);
+                std::mem::swap(out, &mut self.tmp);
+            }
+            if out.is_empty() {
+                return;
+            }
+        }
+    }
+}
+
+/// Borrowed view of a selection (so factors can chain through index
+/// buffers without building `SelVec`s).
+#[derive(Clone, Copy)]
+enum SelView<'a> {
+    All(usize),
+    Idx(&'a [u32]),
+}
+
+impl<'a> SelView<'a> {
+    fn from(sel: &'a SelVec) -> SelView<'a> {
+        match sel.indices() {
+            None => SelView::All(sel.len()),
+            Some(idx) => SelView::Idx(idx),
+        }
+    }
+
+    fn count(&self) -> usize {
+        match self {
+            SelView::All(n) => *n,
+            SelView::Idx(ix) => ix.len(),
+        }
+    }
+
+    /// Iterate `(position, row index)` pairs.
+    fn enumerated(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let view = *self;
+        (0..self.count()).map(move |p| match view {
+            SelView::All(_) => (p, p),
+            SelView::Idx(ix) => (p, ix[p] as usize),
+        })
+    }
+}
+
+/// The kernel tree behind [`CompiledVecExpr`]. Binary nodes evaluate both
+/// children to compacted columns and combine them with a typed loop; a
+/// `Col` leaf under a full selection is a refcount bump, never a copy.
+#[derive(Debug, Clone)]
+enum VecNode {
+    Col(usize),
+    Lit(Value),
+    Cmp(CmpOp, Box<VecNode>, Box<VecNode>),
+    Arith(ArithOp, Box<VecNode>, Box<VecNode>),
+    And(Box<VecNode>, Box<VecNode>),
+    Or(Box<VecNode>, Box<VecNode>),
+    Not(Box<VecNode>),
+    IsNull(Box<VecNode>),
+    Neg(Box<VecNode>),
+}
+
+impl VecNode {
+    fn from_expr(e: &ScalarExpr) -> VecNode {
+        match e {
+            ScalarExpr::Col(i) => VecNode::Col(*i),
+            ScalarExpr::Lit(v) => VecNode::Lit(v.clone()),
+            ScalarExpr::Cmp(op, l, r) => {
+                VecNode::Cmp(*op, Box::new(Self::from_expr(l)), Box::new(Self::from_expr(r)))
+            }
+            ScalarExpr::Arith(op, l, r) => {
+                VecNode::Arith(*op, Box::new(Self::from_expr(l)), Box::new(Self::from_expr(r)))
+            }
+            ScalarExpr::And(l, r) => {
+                VecNode::And(Box::new(Self::from_expr(l)), Box::new(Self::from_expr(r)))
+            }
+            ScalarExpr::Or(l, r) => {
+                VecNode::Or(Box::new(Self::from_expr(l)), Box::new(Self::from_expr(r)))
+            }
+            ScalarExpr::Not(x) => VecNode::Not(Box::new(Self::from_expr(x))),
+            ScalarExpr::IsNull(x) => VecNode::IsNull(Box::new(Self::from_expr(x))),
+            ScalarExpr::Neg(x) => VecNode::Neg(Box::new(Self::from_expr(x))),
+        }
+    }
+
+    fn eval(&self, cols: &[Arc<ColumnVec>], sel: SelView<'_>) -> Arc<ColumnVec> {
+        match self {
+            VecNode::Col(i) => match sel {
+                SelView::All(_) => Arc::clone(&cols[*i]),
+                SelView::Idx(ix) => Arc::new(cols[*i].gather(ix)),
+            },
+            VecNode::Lit(v) => Arc::new(const_column(v, sel.count())),
+            VecNode::Cmp(op, l, r) => {
+                let (a, b) = (l.eval(cols, sel), r.eval(cols, sel));
+                Arc::new(cmp_columns(*op, &a, &b))
+            }
+            VecNode::Arith(op, l, r) => {
+                let (a, b) = (l.eval(cols, sel), r.eval(cols, sel));
+                Arc::new(arith_columns(*op, &a, &b))
+            }
+            VecNode::And(l, r) => {
+                let (a, b) = (l.eval(cols, sel), r.eval(cols, sel));
+                Arc::new(kleene_columns(&a, &b, kleene_and))
+            }
+            VecNode::Or(l, r) => {
+                let (a, b) = (l.eval(cols, sel), r.eval(cols, sel));
+                Arc::new(kleene_columns(&a, &b, kleene_or))
+            }
+            VecNode::Not(x) => Arc::new(not_column(&x.eval(cols, sel))),
+            VecNode::IsNull(x) => Arc::new(is_null_column(&x.eval(cols, sel))),
+            VecNode::Neg(x) => Arc::new(neg_column(&x.eval(cols, sel))),
+        }
+    }
+}
+
+/// One conjunction factor of a vectorized predicate.
+#[derive(Debug)]
+enum PredFactor {
+    /// `col <op> lit` — fused typed loop, no intermediate column.
+    CmpColLit(CmpOp, usize, Value),
+    /// `col <op> col` — fused typed loop, no intermediate column.
+    CmpColCol(CmpOp, usize, usize),
+    /// Anything else: evaluate to a boolean column, keep where true.
+    General(VecNode),
+}
+
+impl PredFactor {
+    fn from_expr(e: &ScalarExpr) -> PredFactor {
+        if let ScalarExpr::Cmp(op, l, r) = e {
+            match (l.as_ref(), r.as_ref()) {
+                (ScalarExpr::Col(i), ScalarExpr::Lit(v)) if !v.is_null() => {
+                    return PredFactor::CmpColLit(*op, *i, v.clone());
+                }
+                (ScalarExpr::Lit(v), ScalarExpr::Col(i)) if !v.is_null() => {
+                    return PredFactor::CmpColLit(op.flip(), *i, v.clone());
+                }
+                (ScalarExpr::Col(i), ScalarExpr::Col(j)) => {
+                    return PredFactor::CmpColCol(*op, *i, *j);
+                }
+                _ => {}
+            }
+        }
+        PredFactor::General(VecNode::from_expr(e))
+    }
+
+    fn filter(&self, cols: &[Arc<ColumnVec>], sel: SelView<'_>, out: &mut Vec<u32>) {
+        match self {
+            PredFactor::CmpColLit(op, i, v) => cmp_col_lit_filter(*op, &cols[*i], v, sel, out),
+            PredFactor::CmpColCol(op, i, j) => {
+                cmp_col_col_filter(*op, &cols[*i], &cols[*j], sel, out)
+            }
+            PredFactor::General(node) => {
+                let col = node.eval(cols, sel);
+                for (p, idx) in sel.enumerated() {
+                    if bool_at(&col, p) == Some(true) {
+                        out.push(idx as u32);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---- fused filter loops ----
+
+/// Run `test` over the selection, appending passing row indices. Rows
+/// under a set bit of either null mask are rejected (SQL: unknown filters
+/// out). The index is written unconditionally and the cursor advanced by
+/// the test outcome — branchless, so selectivity near 50% does not stall
+/// the branch predictor.
+#[inline]
+fn push_matching(
+    sel: SelView<'_>,
+    an: Option<&[bool]>,
+    bn: Option<&[bool]>,
+    out: &mut Vec<u32>,
+    test: impl Fn(usize) -> bool,
+) {
+    let keep = |i: usize| {
+        !an.is_some_and(|n| n[i]) && !bn.is_some_and(|n| n[i]) && test(i)
+    };
+    let base = out.len();
+    let mut k = base;
+    match sel {
+        SelView::All(n) => {
+            out.resize(base + n, 0);
+            for i in 0..n {
+                out[k] = i as u32;
+                k += keep(i) as usize;
+            }
+        }
+        SelView::Idx(ix) => {
+            out.resize(base + ix.len(), 0);
+            for &i in ix {
+                out[k] = i;
+                k += keep(i as usize) as usize;
+            }
+        }
+    }
+    out.truncate(k);
+}
+
+fn cmp_col_lit_filter(
+    op: CmpOp,
+    col: &ColumnVec,
+    lit: &Value,
+    sel: SelView<'_>,
+    out: &mut Vec<u32>,
+) {
+    use ColumnVec as C;
+    match (col, lit) {
+        (C::Int { data, nulls }, Value::Int(k)) => {
+            let k = *k;
+            let nn = nulls.as_deref();
+            // The op dispatch is lifted out of the loop: each arm
+            // monomorphizes to a straight-line integer compare.
+            match op {
+                CmpOp::Eq => push_matching(sel, nn, None, out, |i| data[i] == k),
+                CmpOp::Ne => push_matching(sel, nn, None, out, |i| data[i] != k),
+                CmpOp::Lt => push_matching(sel, nn, None, out, |i| data[i] < k),
+                CmpOp::Le => push_matching(sel, nn, None, out, |i| data[i] <= k),
+                CmpOp::Gt => push_matching(sel, nn, None, out, |i| data[i] > k),
+                CmpOp::Ge => push_matching(sel, nn, None, out, |i| data[i] >= k),
+            }
+        }
+        (C::Int { data, nulls }, Value::Double(k)) => {
+            let k = *k;
+            push_matching(sel, nulls.as_deref(), None, out, |i| {
+                op.test((data[i] as f64).total_cmp(&k))
+            });
+        }
+        (C::Double { data, nulls }, Value::Int(k)) => {
+            let k = *k as f64;
+            push_matching(sel, nulls.as_deref(), None, out, |i| {
+                op.test(data[i].total_cmp(&k))
+            });
+        }
+        (C::Double { data, nulls }, Value::Double(k)) => {
+            let k = *k;
+            push_matching(sel, nulls.as_deref(), None, out, |i| {
+                op.test(data[i].total_cmp(&k))
+            });
+        }
+        (C::Str { data, nulls }, Value::Str(k)) => {
+            push_matching(sel, nulls.as_deref(), None, out, |i| {
+                op.test(data[i].as_str().cmp(k.as_str()))
+            });
+        }
+        (C::Bool { data, nulls }, Value::Bool(k)) => {
+            push_matching(sel, nulls.as_deref(), None, out, |i| op.test(data[i].cmp(k)));
+        }
+        // Mixed column or cross-type literal: total-order semantics via
+        // Value, matching the scalar fast path's `sql_cmp`.
+        _ => push_matching(sel, None, None, out, |i| {
+            col.value_at(i).sql_cmp(lit).map(|o| op.test(o)).unwrap_or(false)
+        }),
+    }
+}
+
+fn cmp_col_col_filter(
+    op: CmpOp,
+    a: &ColumnVec,
+    b: &ColumnVec,
+    sel: SelView<'_>,
+    out: &mut Vec<u32>,
+) {
+    use ColumnVec as C;
+    match (a, b) {
+        (C::Int { data: ad, nulls: an }, C::Int { data: bd, nulls: bn }) => {
+            let (an, bn) = (an.as_deref(), bn.as_deref());
+            match op {
+                CmpOp::Eq => push_matching(sel, an, bn, out, |i| ad[i] == bd[i]),
+                CmpOp::Ne => push_matching(sel, an, bn, out, |i| ad[i] != bd[i]),
+                CmpOp::Lt => push_matching(sel, an, bn, out, |i| ad[i] < bd[i]),
+                CmpOp::Le => push_matching(sel, an, bn, out, |i| ad[i] <= bd[i]),
+                CmpOp::Gt => push_matching(sel, an, bn, out, |i| ad[i] > bd[i]),
+                CmpOp::Ge => push_matching(sel, an, bn, out, |i| ad[i] >= bd[i]),
+            }
+        }
+        (C::Int { data: ad, nulls: an }, C::Double { data: bd, nulls: bn }) => {
+            push_matching(sel, an.as_deref(), bn.as_deref(), out, |i| {
+                op.test((ad[i] as f64).total_cmp(&bd[i]))
+            });
+        }
+        (C::Double { data: ad, nulls: an }, C::Int { data: bd, nulls: bn }) => {
+            push_matching(sel, an.as_deref(), bn.as_deref(), out, |i| {
+                op.test(ad[i].total_cmp(&(bd[i] as f64)))
+            });
+        }
+        (C::Double { data: ad, nulls: an }, C::Double { data: bd, nulls: bn }) => {
+            push_matching(sel, an.as_deref(), bn.as_deref(), out, |i| {
+                op.test(ad[i].total_cmp(&bd[i]))
+            });
+        }
+        (C::Str { data: ad, nulls: an }, C::Str { data: bd, nulls: bn }) => {
+            push_matching(sel, an.as_deref(), bn.as_deref(), out, |i| {
+                op.test(ad[i].cmp(&bd[i]))
+            });
+        }
+        (C::Bool { data: ad, nulls: an }, C::Bool { data: bd, nulls: bn }) => {
+            push_matching(sel, an.as_deref(), bn.as_deref(), out, |i| {
+                op.test(ad[i].cmp(&bd[i]))
+            });
+        }
+        _ => push_matching(sel, None, None, out, |i| {
+            a.value_at(i)
+                .sql_cmp(&b.value_at(i))
+                .map(|o| op.test(o))
+                .unwrap_or(false)
+        }),
+    }
+}
+
+// ---- column combinators (general expression path) ----
+
+/// Constant column of `n` copies of `v`.
+fn const_column(v: &Value, n: usize) -> ColumnVec {
+    match v {
+        Value::Int(i) => ColumnVec::Int {
+            data: vec![*i; n],
+            nulls: None,
+        },
+        Value::Double(d) => ColumnVec::Double {
+            data: vec![*d; n],
+            nulls: None,
+        },
+        Value::Bool(b) => ColumnVec::Bool {
+            data: vec![*b; n],
+            nulls: None,
+        },
+        Value::Str(s) => ColumnVec::Str {
+            data: vec![s.clone(); n],
+            nulls: None,
+        },
+        Value::Null => ColumnVec::Mixed(vec![Value::Null; n]),
+    }
+}
+
+fn null_mask_of(col: &ColumnVec) -> Option<Vec<bool>> {
+    match col {
+        ColumnVec::Int { nulls, .. }
+        | ColumnVec::Double { nulls, .. }
+        | ColumnVec::Bool { nulls, .. }
+        | ColumnVec::Str { nulls, .. } => nulls.clone(),
+        ColumnVec::Mixed(v) => {
+            let mask: Vec<bool> = v.iter().map(Value::is_null).collect();
+            mask.iter().any(|&b| b).then_some(mask)
+        }
+    }
+}
+
+/// Union of two optional null masks.
+fn union_nulls(a: Option<Vec<bool>>, b: Option<Vec<bool>>) -> Option<Vec<bool>> {
+    match (a, b) {
+        (None, m) | (m, None) => m,
+        (Some(mut x), Some(y)) => {
+            for (xi, yi) in x.iter_mut().zip(&y) {
+                *xi |= yi;
+            }
+            Some(x)
+        }
+    }
+}
+
+/// Mark row `i` NULL, materializing the mask on first use.
+#[inline]
+fn set_null(nulls: &mut Option<Vec<bool>>, n: usize, i: usize) {
+    nulls.get_or_insert_with(|| vec![false; n])[i] = true;
+}
+
+/// Boolean payload of row `i`, `None` for NULL or non-boolean (the same
+/// tri-state `Value::as_bool` gives the scalar Kleene combinators).
+#[inline]
+fn bool_at(col: &ColumnVec, i: usize) -> Option<bool> {
+    match col {
+        ColumnVec::Bool { data, nulls } => {
+            if nulls.as_ref().is_some_and(|ns| ns[i]) {
+                None
+            } else {
+                Some(data[i])
+            }
+        }
+        ColumnVec::Mixed(v) => v[i].as_bool(),
+        _ => None,
+    }
+}
+
+/// Typed comparison of two equal-length compacted columns.
+fn cmp_columns(op: CmpOp, a: &ColumnVec, b: &ColumnVec) -> ColumnVec {
+    use ColumnVec as C;
+    let n = a.len();
+    debug_assert_eq!(n, b.len());
+    let mut data = vec![false; n];
+    let mut nulls = union_nulls(null_mask_of(a), null_mask_of(b));
+    macro_rules! loop_cmp {
+        ($ad:ident, $bd:ident, $cmp:expr) => {
+            for i in 0..n {
+                data[i] = op.test($cmp(&$ad[i], &$bd[i]));
+            }
+        };
+    }
+    match (a, b) {
+        (C::Int { data: ad, .. }, C::Int { data: bd, .. }) => {
+            loop_cmp!(ad, bd, |x: &i64, y: &i64| x.cmp(y));
+        }
+        (C::Int { data: ad, .. }, C::Double { data: bd, .. }) => {
+            loop_cmp!(ad, bd, |x: &i64, y: &f64| (*x as f64).total_cmp(y));
+        }
+        (C::Double { data: ad, .. }, C::Int { data: bd, .. }) => {
+            loop_cmp!(ad, bd, |x: &f64, y: &i64| x.total_cmp(&(*y as f64)));
+        }
+        (C::Double { data: ad, .. }, C::Double { data: bd, .. }) => {
+            loop_cmp!(ad, bd, |x: &f64, y: &f64| x.total_cmp(y));
+        }
+        (C::Str { data: ad, .. }, C::Str { data: bd, .. }) => {
+            loop_cmp!(ad, bd, |x: &String, y: &String| x.cmp(y));
+        }
+        (C::Bool { data: ad, .. }, C::Bool { data: bd, .. }) => {
+            loop_cmp!(ad, bd, |x: &bool, y: &bool| x.cmp(y));
+        }
+        _ => {
+            for (i, slot) in data.iter_mut().enumerate() {
+                match a.value_at(i).sql_cmp(&b.value_at(i)) {
+                    Some(o) => *slot = op.test(o),
+                    None => set_null(&mut nulls, n, i),
+                }
+            }
+        }
+    }
+    ColumnVec::Bool { data, nulls }
+}
+
+/// Typed arithmetic over two equal-length compacted columns. Faults
+/// (overflow, integer division by zero, non-numeric operands) degrade to
+/// NULL, matching the scalar compiler.
+fn arith_columns(op: ArithOp, a: &ColumnVec, b: &ColumnVec) -> ColumnVec {
+    use ColumnVec as C;
+    let n = a.len();
+    debug_assert_eq!(n, b.len());
+    match (a, b) {
+        (C::Int { data: ad, .. }, C::Int { data: bd, .. }) => {
+            let mut nulls = union_nulls(null_mask_of(a), null_mask_of(b));
+            let mut data = vec![0i64; n];
+            for i in 0..n {
+                let r = match op {
+                    ArithOp::Add => ad[i].checked_add(bd[i]),
+                    ArithOp::Sub => ad[i].checked_sub(bd[i]),
+                    ArithOp::Mul => ad[i].checked_mul(bd[i]),
+                    ArithOp::Div => ad[i].checked_div(bd[i]),
+                    ArithOp::Rem => ad[i].checked_rem(bd[i]),
+                };
+                match r {
+                    Some(v) => data[i] = v,
+                    None => set_null(&mut nulls, n, i),
+                }
+            }
+            C::Int { data, nulls }
+        }
+        // Mixed Int/Double numerics widen to f64, as in `Value`'s
+        // arithmetic; Rem stays integer-only and yields NULL here.
+        (
+            C::Int { .. } | C::Double { .. },
+            C::Int { .. } | C::Double { .. },
+        ) if op != ArithOp::Rem => {
+            let nulls = union_nulls(null_mask_of(a), null_mask_of(b));
+            let mut data = vec![0f64; n];
+            let at = |c: &ColumnVec, i: usize| match c {
+                C::Int { data, .. } => data[i] as f64,
+                C::Double { data, .. } => data[i],
+                _ => unreachable!("guarded by match"),
+            };
+            for (i, slot) in data.iter_mut().enumerate() {
+                let (x, y) = (at(a, i), at(b, i));
+                *slot = match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => x / y,
+                    ArithOp::Rem => unreachable!("guarded by match"),
+                };
+            }
+            C::Double { data, nulls }
+        }
+        _ => {
+            // Scalar fallback: element-wise Value arithmetic.
+            let vals: Vec<Value> = (0..n)
+                .map(|i| {
+                    let (x, y) = (a.value_at(i), b.value_at(i));
+                    if x.is_null() || y.is_null() {
+                        Value::Null
+                    } else {
+                        apply_arith(op, &x, &y).unwrap_or(Value::Null)
+                    }
+                })
+                .collect();
+            C::Mixed(vals)
+        }
+    }
+}
+
+/// Element-wise Kleene connective through the same tri-state combinators
+/// the scalar paths use.
+fn kleene_columns(a: &ColumnVec, b: &ColumnVec, f: fn(Value, Value) -> Value) -> ColumnVec {
+    let n = a.len();
+    let mut data = vec![false; n];
+    let mut nulls = None;
+    for (i, slot) in data.iter_mut().enumerate() {
+        let x = bool_at(a, i).map(Value::Bool).unwrap_or(Value::Null);
+        let y = bool_at(b, i).map(Value::Bool).unwrap_or(Value::Null);
+        match f(x, y) {
+            Value::Bool(v) => *slot = v,
+            _ => set_null(&mut nulls, n, i),
+        }
+    }
+    ColumnVec::Bool { data, nulls }
+}
+
+fn not_column(a: &ColumnVec) -> ColumnVec {
+    let n = a.len();
+    let mut data = vec![false; n];
+    let mut nulls = None;
+    for (i, slot) in data.iter_mut().enumerate() {
+        match bool_at(a, i) {
+            Some(v) => *slot = !v,
+            None => set_null(&mut nulls, n, i),
+        }
+    }
+    ColumnVec::Bool { data, nulls }
+}
+
+fn is_null_column(a: &ColumnVec) -> ColumnVec {
+    let n = a.len();
+    ColumnVec::Bool {
+        data: (0..n).map(|i| a.is_null_at(i)).collect(),
+        nulls: None,
+    }
+}
+
+fn neg_column(a: &ColumnVec) -> ColumnVec {
+    use ColumnVec as C;
+    let n = a.len();
+    match a {
+        C::Int { data: ad, nulls } => {
+            let mut nulls = nulls.clone();
+            let mut data = vec![0i64; n];
+            for i in 0..n {
+                match ad[i].checked_neg() {
+                    Some(v) => data[i] = v,
+                    None => set_null(&mut nulls, n, i),
+                }
+            }
+            C::Int { data, nulls }
+        }
+        C::Double { data, nulls } => C::Double {
+            data: data.iter().map(|d| -d).collect(),
+            nulls: nulls.clone(),
+        },
+        _ => C::Mixed(
+            (0..n)
+                .map(|i| match a.value_at(i) {
+                    Value::Int(v) => v.checked_neg().map(Value::Int).unwrap_or(Value::Null),
+                    Value::Double(d) => Value::Double(-d),
+                    _ => Value::Null,
+                })
+                .collect(),
+        ),
     }
 }
 
@@ -644,6 +1286,124 @@ mod tests {
             ScalarExpr::conjunction(vec![]),
             ScalarExpr::lit(true)
         );
+    }
+
+    // ---- vectorized kernels ----
+
+    /// Columns for a small batch over `schema()`-shaped rows (a Int,
+    /// b Double, s Str, n nullable Int).
+    fn batch_columns() -> (Vec<Arc<ColumnVec>>, Vec<Tuple>) {
+        let rows: Vec<Tuple> = vec![
+            tuple![10, 2.5, "hi"].concat(&Tuple::new(vec![Value::Null])),
+            tuple![3, -1.0, "zz"].concat(&tuple![7]),
+            tuple![-4, 0.0, "hi"].concat(&tuple![0]),
+            tuple![i64::MAX, 9.25, "aa"].concat(&Tuple::new(vec![Value::Null])),
+        ];
+        let cols = (0..4)
+            .map(|c| Arc::new(ColumnVec::from_values(rows.iter().map(move |t| t.get(c)))))
+            .collect();
+        (cols, rows)
+    }
+
+    fn vec_exprs() -> Vec<ScalarExpr> {
+        vec![
+            ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(0), ScalarExpr::lit(5)),
+            ScalarExpr::cmp(CmpOp::Le, ScalarExpr::col(1), ScalarExpr::col(0)),
+            ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col(2), ScalarExpr::lit("hi")),
+            ScalarExpr::cmp(CmpOp::Ne, ScalarExpr::col(3), ScalarExpr::lit(7)),
+            ScalarExpr::arith(
+                ArithOp::Add,
+                ScalarExpr::arith(ArithOp::Mul, ScalarExpr::col(0), ScalarExpr::lit(3)),
+                ScalarExpr::col(3),
+            ),
+            ScalarExpr::arith(ArithOp::Mul, ScalarExpr::col(0), ScalarExpr::col(1)),
+            ScalarExpr::arith(ArithOp::Div, ScalarExpr::col(0), ScalarExpr::lit(0)),
+            ScalarExpr::and(
+                ScalarExpr::cmp(CmpOp::Ge, ScalarExpr::col(0), ScalarExpr::lit(0)),
+                ScalarExpr::or(
+                    ScalarExpr::IsNull(Box::new(ScalarExpr::col(3))),
+                    ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(1), ScalarExpr::lit(3.0)),
+                ),
+            ),
+            ScalarExpr::Not(Box::new(ScalarExpr::cmp(
+                CmpOp::Eq,
+                ScalarExpr::col(3),
+                ScalarExpr::lit(7),
+            ))),
+            ScalarExpr::Neg(Box::new(ScalarExpr::col(0))),
+            // Type surprise: arithmetic over a string column degrades to
+            // NULL in both compiled paths.
+            ScalarExpr::arith(ArithOp::Add, ScalarExpr::col(2), ScalarExpr::lit(1)),
+        ]
+    }
+
+    #[test]
+    fn vectorized_expr_matches_scalar_compiler() {
+        let (cols, rows) = batch_columns();
+        for e in vec_exprs() {
+            let scalar = e.compile();
+            let vec = e.compile_vec();
+            for sel in [SelVec::all(rows.len()), SelVec::from_indices(rows.len(), vec![1, 3])] {
+                let out = vec.eval(&cols, &sel);
+                assert_eq!(out.len(), sel.count());
+                for (p, idx) in sel.iter().enumerate() {
+                    assert_eq!(
+                        out.value_at(p),
+                        scalar(&rows[idx]),
+                        "disagreement on {e} at row {idx}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vectorized_predicate_matches_scalar_predicate() {
+        let (cols, rows) = batch_columns();
+        let preds = vec![
+            ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(0), ScalarExpr::lit(5)),
+            ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::lit(0.5), ScalarExpr::col(1)),
+            ScalarExpr::cmp(CmpOp::Le, ScalarExpr::col(0), ScalarExpr::col(3)),
+            ScalarExpr::conjunction(vec![
+                ScalarExpr::cmp(CmpOp::Ge, ScalarExpr::col(0), ScalarExpr::lit(-10)),
+                ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col(2), ScalarExpr::lit("hi")),
+                ScalarExpr::cmp(CmpOp::Ne, ScalarExpr::col(3), ScalarExpr::lit(0)),
+            ]),
+            ScalarExpr::or(
+                ScalarExpr::IsNull(Box::new(ScalarExpr::col(3))),
+                ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(1), ScalarExpr::lit(100)),
+            ),
+        ];
+        let mut out = Vec::new();
+        for p in preds {
+            let scalar = p.compile_predicate();
+            let mut vp = p.compile_vec_predicate();
+            vp.select(&cols, &SelVec::all(rows.len()), &mut out);
+            let expected: Vec<u32> = rows
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| scalar(t))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(out, expected, "predicate {p}");
+            // Selection refinement only ever narrows.
+            let narrow = SelVec::from_indices(rows.len(), vec![0, 2]);
+            vp.select(&cols, &narrow, &mut out);
+            assert!(out.iter().all(|i| [0, 2].contains(i)), "predicate {p}");
+        }
+    }
+
+    #[test]
+    fn vectorized_predicate_on_empty_batch() {
+        let cols: Vec<Arc<ColumnVec>> = vec![Arc::new(ColumnVec::Int {
+            data: vec![],
+            nulls: None,
+        })];
+        let mut vp = ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(0), ScalarExpr::lit(5))
+            .compile_vec_predicate();
+        let mut out = vec![9];
+        vp.select(&cols, &SelVec::all(0), &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub mod heap;
 
 pub use btree_index::BTreeIndex;
 pub use cursor::{Cursor, Marking};
-pub use expr::{ArithOp, CmpOp, CompiledExpr, CompiledPredicate, ScalarExpr};
+pub use expr::{
+    ArithOp, CmpOp, CompiledExpr, CompiledPredicate, CompiledVecExpr, CompiledVecPredicate,
+    ScalarExpr,
+};
 pub use hash_index::HashIndex;
 pub use heap::{Rid, TupleHeap};
 

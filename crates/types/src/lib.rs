@@ -12,6 +12,7 @@
 //! (`prisma-multicomputer`, `prisma-storage`, ...) and the DBMS crates can
 //! share vocabulary without depending on each other.
 
+pub mod column;
 pub mod config;
 pub mod error;
 pub mod ids;
@@ -19,6 +20,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use column::{ColumnVec, SelVec};
 pub use config::{MachineConfig, TopologyKind};
 pub use error::{PrismaError, Result};
 pub use ids::{FragmentId, PeId, ProcessId, QueryId, TxnId};
