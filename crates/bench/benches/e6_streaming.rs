@@ -1,0 +1,138 @@
+//! E6 — streamed batch shipping vs materialized result shipping.
+//!
+//! PRISMA's parallelism comes from fragments executing concurrently on
+//! separate PEs (paper §2.2); streamed batch shipping extends that
+//! concurrency across the exchange itself: OFMs ship every produced batch
+//! as its own `BatchChunk`, so the coordinator merges early batches while
+//! fragments are still scanning. This experiment measures what the
+//! overlap buys on a multi-fragment scan: the coordinator's
+//! **time-to-first-batch** (`ExecMetrics::first_batch_micros`) and the
+//! full-result latency, streamed vs the materialized baseline
+//! (`set_streaming(false)`: same messages, but each OFM drains its
+//! subplan before the first ship). Records the trajectory in
+//! `BENCH_e6.json` at the repo root.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `E6_ROWS`    — total row count across fragments (default 100000)
+//! * `E6_FRAGS`   — fragment count (default 4)
+//! * `E6_ITERS`   — timed samples per measurement (default 15)
+//! * `E6_SMOKE=1` — skip nothing extra today; reserved for CI parity
+//! * `E6_ENFORCE=1` — exit non-zero unless the streamed path reaches its
+//!   first batch sooner than the materialized path
+
+use prisma_core::types::tuple;
+use prisma_core::PrismaMachine;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Median of the samples produced by `iters` runs of `f`.
+fn median_of(iters: usize, mut f: impl FnMut() -> (u64, u64)) -> (u64, u64) {
+    let _warmup = f();
+    let mut ttfb: Vec<u64> = Vec::with_capacity(iters);
+    let mut full: Vec<u64> = Vec::with_capacity(iters);
+    for _ in 0..iters.max(1) {
+        let (t, fu) = f();
+        ttfb.push(t);
+        full.push(fu);
+    }
+    ttfb.sort_unstable();
+    full.sort_unstable();
+    (ttfb[ttfb.len() / 2], full[full.len() / 2])
+}
+
+struct Measured {
+    ttfb_us: u64,
+    full_us: u64,
+}
+
+fn measure(db: &PrismaMachine, sql: &str, iters: usize) -> Measured {
+    let (ttfb_us, full_us) = median_of(iters, || {
+        let (_rows, m) = db.query_with_metrics(sql).unwrap();
+        assert!(m.first_batch_micros > 0, "no fragment batch arrived: {m:?}");
+        (m.first_batch_micros, m.full_result_micros)
+    });
+    Measured { ttfb_us, full_us }
+}
+
+fn write_json(
+    path: &std::path::Path,
+    rows: usize,
+    frags: usize,
+    iters: usize,
+    streamed: &Measured,
+    materialized: &Measured,
+) {
+    let speedup = materialized.ttfb_us as f64 / streamed.ttfb_us.max(1) as f64;
+    let json = format!(
+        "{{\n  \"experiment\": \"e6_stream_shipping\",\n  \"rows\": {rows},\n  \"fragments\": {frags},\n  \"iters\": {iters},\n  \"benches\": {{\n    \"time_to_first_batch_us\": {{\"streamed\": {}, \"materialized\": {}, \"speedup\": {speedup:.2}}},\n    \"full_result_us\": {{\"streamed\": {}, \"materialized\": {}}}\n  }}\n}}\n",
+        streamed.ttfb_us, materialized.ttfb_us, streamed.full_us, materialized.full_us,
+    );
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("[E6-stream] could not write {}: {e}", path.display());
+    } else {
+        eprintln!("[E6-stream] wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let rows = env_usize("E6_ROWS", 100_000);
+    let frags = env_usize("E6_FRAGS", 4);
+    let iters = env_usize("E6_ITERS", 15);
+    let enforce = std::env::var("E6_ENFORCE").is_ok_and(|v| v == "1");
+
+    let mut db = PrismaMachine::builder().pes(8).build().unwrap();
+    db.sql(&format!(
+        "CREATE TABLE t (a INT, b INT) FRAGMENTED BY HASH(a) INTO {frags}"
+    ))
+    .unwrap();
+    let txn = db.begin();
+    let data: Vec<prisma_core::Tuple> =
+        (0..rows as i64).map(|i| tuple![i, i % 97]).collect();
+    for chunk in data.chunks(5000) {
+        db.gdh().insert(txn, "t", chunk.to_vec()).unwrap();
+    }
+    db.commit(txn).unwrap();
+    db.refresh_stats("t").unwrap();
+
+    // A selective-but-wide scan: every fragment produces a multi-batch
+    // stream, so the coordinator has real merging to overlap with.
+    let sql = "SELECT a, b FROM t WHERE b < 90";
+
+    let streamed = measure(&db, sql, iters);
+    db.gdh_mut().set_streaming(false);
+    let materialized = measure(&db, sql, iters);
+    db.gdh_mut().set_streaming(true);
+
+    eprintln!(
+        "[E6-stream:streamed]     first batch after {} µs, full result after {} µs",
+        streamed.ttfb_us, streamed.full_us
+    );
+    eprintln!(
+        "[E6-stream:materialized] first batch after {} µs, full result after {} µs",
+        materialized.ttfb_us, materialized.full_us
+    );
+    eprintln!(
+        "[E6-stream] coordinator time-to-first-batch: {:.2}x sooner streamed",
+        materialized.ttfb_us as f64 / streamed.ttfb_us.max(1) as f64
+    );
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_e6.json");
+    write_json(&root, rows, frags, iters, &streamed, &materialized);
+
+    if enforce {
+        assert!(
+            streamed.ttfb_us < materialized.ttfb_us,
+            "streaming lost its pipelining advantage: first batch after {} µs streamed \
+             vs {} µs materialized",
+            streamed.ttfb_us,
+            materialized.ttfb_us
+        );
+    }
+    db.shutdown();
+}

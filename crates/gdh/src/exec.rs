@@ -25,30 +25,71 @@
 //!   are **memoized** as `Arc<Relation>`: the second occurrence reuses the
 //!   first result without copying it.
 //!
+//! ## Pipelined exchanges
+//!
+//! Fragment replies are **streamed**: each OFM ships every produced batch
+//! as its own [`GdhMsg::BatchChunk`] and ends the stream with a
+//! [`GdhMsg::StreamEnd`], so the coordinator's merge overlaps fragment
+//! scans (the time to the first merged batch is measured in
+//! [`ExecMetrics::first_batch_micros`]). Union sinks append tuples as
+//! chunks arrive; broadcast-join build sides assemble the same way before
+//! shipping; partial-aggregate merges feed every arriving batch straight
+//! into the merge accumulators; and grace-join repartitioning forwards
+//! buckets per produced batch ([`GdhMsg::PartitionChunk`]). Chunk order
+//! within one stream is restored by
+//! [`prisma_multicomputer::StreamReassembly`], which also powers the
+//! in-flight-stream gauge; a lost or slow fragment surfaces as a timeout
+//! naming the query, the missing fragments, and the time waited.
+//!
 //! Inside a fragment, Filter/Project run vectorized over columnar
 //! batches ([`prisma_relalg::exec`]'s row/column duality); the wire
 //! format between PEs stays row-oriented — OFMs pivot columnar batches
-//! back to rows before shipping ([`prisma_ofm::Ofm::execute_physical`]),
-//! so `SubplanResult` messages, the ledger's per-batch `wire_bits`
-//! metering, and everything coordinator-side are unchanged.
+//! back to rows before shipping, so `BatchChunk` messages, the ledger's
+//! per-batch `wire_bits` metering, and everything coordinator-side see
+//! only rows.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use prisma_multicomputer::StreamReassembly;
 use prisma_optimizer::cse::{detect_common_subexpressions, plan_key};
 use prisma_optimizer::{lower_physical, PhysicalConfig, Trace};
 use prisma_poolx::{ExternalMailbox, PoolRuntime};
+use prisma_relalg::agg::Accumulator;
 use prisma_relalg::{
-    execute_physical, AggExpr, AggFunc, JoinKind, JoinStrategy, LogicalPlan, PhysicalPlan,
+    execute_physical, AggExpr, AggFunc, Batch, JoinKind, JoinStrategy, LogicalPlan, PhysicalPlan,
     Relation,
 };
-use prisma_types::{PrismaError, Result, Schema, Tuple};
+use prisma_types::{FragmentId, PrismaError, QueryId, Result, Schema, Tuple, Value};
 
 use crate::dictionary::DataDictionary;
 use crate::message::GdhMsg;
 
-/// Per-query execution metrics (drives E2/E8 measurements).
+/// One fan-out's reply streams: each stream's correlation tag paired with
+/// the fragment owing it (named in timeout/error messages).
+type StreamSet = Vec<(u64, FragmentId)>;
+
+/// A decoded reply-stream message: the two chunk kinds share one receive
+/// loop ([`ParallelExecutor::receive_streams`]), differing only in the
+/// chunk payload.
+enum StreamMsg<T> {
+    Chunk {
+        query_id: QueryId,
+        tag: u64,
+        seq: u64,
+        payload: T,
+    },
+    End {
+        query_id: QueryId,
+        tag: u64,
+        seq_count: u64,
+        result: Result<crate::message::StreamStats>,
+    },
+}
+
+/// Per-query execution metrics (drives E2/E6/E8 measurements).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecMetrics {
     /// Subplans shipped to fragment actors.
@@ -65,6 +106,26 @@ pub struct ExecMetrics {
     pub partitioned_joins: u64,
     /// Repartition subplans shipped for grace joins.
     pub repartition_tasks: u64,
+    /// Microseconds from query start until the first streamed batch
+    /// reached the coordinator (0 when no fragment batch was shipped).
+    /// With streaming on this is far below [`ExecMetrics::full_result_micros`]
+    /// on scans big enough to span several batches — the pipelining win.
+    pub first_batch_micros: u64,
+    /// Microseconds from query start until the full result was merged.
+    pub full_result_micros: u64,
+    /// High-water mark of reply streams concurrently in flight (streams
+    /// opened by a fan-out and not yet terminated by their `StreamEnd`).
+    pub max_in_flight_streams: u64,
+}
+
+/// Per-query execution state threaded through the recursive walk: the
+/// query's identity (stamped on every protocol message), its start time
+/// (first-batch latency is measured against it), and the metrics being
+/// accumulated.
+struct QueryCtx {
+    query_id: QueryId,
+    started: Instant,
+    metrics: ExecMetrics,
 }
 
 /// The fragment-parallel executor.
@@ -73,6 +134,11 @@ pub struct ParallelExecutor {
     dictionary: Arc<DataDictionary>,
     physical_config: PhysicalConfig,
     reply_timeout: Duration,
+    /// Ship batches as they are produced (default). Off = the
+    /// materialized baseline: OFMs drain their subplan before the first
+    /// ship (same messages, no overlap) — kept for the E6 experiment.
+    streaming: bool,
+    next_query: AtomicU32,
 }
 
 impl ParallelExecutor {
@@ -85,6 +151,8 @@ impl ParallelExecutor {
             dictionary,
             physical_config: PhysicalConfig::default(),
             reply_timeout,
+            streaming: true,
+            next_query: AtomicU32::new(0),
         }
     }
 
@@ -100,6 +168,26 @@ impl ParallelExecutor {
         self.physical_config = config;
     }
 
+    /// Toggle streamed batch shipping. `false` selects the materialized
+    /// baseline (OFMs run their subplan to completion before shipping) —
+    /// only the E6 experiment and tests should ever want that.
+    pub fn set_streaming(&mut self, streaming: bool) {
+        self.streaming = streaming;
+    }
+
+    /// Whether fragment replies stream per batch.
+    pub fn streaming(&self) -> bool {
+        self.streaming
+    }
+
+    fn fresh_query(&self) -> QueryCtx {
+        QueryCtx {
+            query_id: QueryId(self.next_query.fetch_add(1, Ordering::Relaxed)),
+            started: Instant::now(),
+            metrics: ExecMetrics::default(),
+        }
+    }
+
     /// Execute a logical plan, returning the result and metrics.
     pub fn execute(&self, plan: &LogicalPlan) -> Result<(Relation, ExecMetrics)> {
         let cse_keys: HashSet<String> = detect_common_subexpressions(plan)
@@ -107,9 +195,10 @@ impl ParallelExecutor {
             .map(|c| c.key)
             .collect();
         let mut memo: HashMap<String, Arc<Relation>> = HashMap::new();
-        let mut metrics = ExecMetrics::default();
-        let rel = self.exec_node(plan, &cse_keys, &mut memo, &mut metrics)?;
-        Ok((Arc::unwrap_or_clone(rel), metrics))
+        let mut q = self.fresh_query();
+        let rel = self.exec_node(plan, &cse_keys, &mut memo, &mut q)?;
+        q.metrics.full_result_micros = q.started.elapsed().as_micros().max(1) as u64;
+        Ok((Arc::unwrap_or_clone(rel), q.metrics))
     }
 
     /// Materialize a full base relation (used by the PRISMAlog evaluator
@@ -117,8 +206,8 @@ impl ParallelExecutor {
     pub fn materialize(&self, relation: &str) -> Result<Relation> {
         let info = self.dictionary.relation(relation)?;
         let plan = LogicalPlan::scan(relation, info.schema.clone());
-        let mut metrics = ExecMetrics::default();
-        self.run_on_fragments(&plan, relation, &mut metrics)
+        let mut q = self.fresh_query();
+        self.run_on_fragments(&plan, relation, &mut q)
             .map(Arc::unwrap_or_clone)
     }
 
@@ -133,7 +222,7 @@ impl ParallelExecutor {
         plan: &LogicalPlan,
         cse: &HashSet<String>,
         memo: &mut HashMap<String, Arc<Relation>>,
-        metrics: &mut ExecMetrics,
+        q: &mut QueryCtx,
     ) -> Result<Arc<Relation>> {
         let key = if cse.is_empty() {
             None
@@ -143,12 +232,12 @@ impl ParallelExecutor {
         };
         if let Some(k) = &key {
             if let Some(hit) = memo.get(k) {
-                metrics.memo_hits += 1;
+                q.metrics.memo_hits += 1;
                 return Ok(Arc::clone(hit));
             }
         }
 
-        let result = self.exec_inner(plan, cse, memo, metrics)?;
+        let result = self.exec_inner(plan, cse, memo, q)?;
         if let Some(k) = key {
             memo.insert(k, Arc::clone(&result));
         }
@@ -160,11 +249,11 @@ impl ParallelExecutor {
         plan: &LogicalPlan,
         cse: &HashSet<String>,
         memo: &mut HashMap<String, Arc<Relation>>,
-        metrics: &mut ExecMetrics,
+        q: &mut QueryCtx,
     ) -> Result<Arc<Relation>> {
         // 1. Fragment-parallel pushable subtree.
         if let Some(relation) = pushable_relation(plan) {
-            return self.run_on_fragments(plan, &relation, metrics);
+            return self.run_on_fragments(plan, &relation, q);
         }
         match plan {
             // 2. Joins between distributed inputs.
@@ -198,16 +287,17 @@ impl ParallelExecutor {
                                 &rrel,
                                 &phys_on,
                                 phys_residual,
-                                metrics,
+                                q,
                             );
                         }
                     }
                 }
                 // Broadcast the materialized small side into the fragments
-                // of a pushable side.
+                // of a pushable side. The build side itself assembles from
+                // streamed chunks when it is fragment-resident.
                 if let Some(rel) = pushable_relation(left) {
-                    metrics.broadcast_joins += 1;
-                    let build = self.exec_node(right, cse, memo, metrics)?;
+                    q.metrics.broadcast_joins += 1;
+                    let build = self.exec_node(right, cse, memo, q)?;
                     let build_schema = build.schema().clone();
                     let frag_plan = LogicalPlan::Join {
                         left: left.clone(),
@@ -218,11 +308,11 @@ impl ParallelExecutor {
                     };
                     let mut extra = HashMap::new();
                     extra.insert("__build".to_owned(), build);
-                    return self.run_on_fragments_with(&frag_plan, &rel, extra, metrics);
+                    return self.run_on_fragments_with(&frag_plan, &rel, extra, q);
                 }
                 if let Some(rel) = pushable_relation(right) {
-                    metrics.broadcast_joins += 1;
-                    let build = self.exec_node(left, cse, memo, metrics)?;
+                    q.metrics.broadcast_joins += 1;
+                    let build = self.exec_node(left, cse, memo, q)?;
                     let build_schema = build.schema().clone();
                     let frag_plan = LogicalPlan::Join {
                         left: Box::new(LogicalPlan::scan("__build", build_schema)),
@@ -233,12 +323,13 @@ impl ParallelExecutor {
                     };
                     let mut extra = HashMap::new();
                     extra.insert("__build".to_owned(), build);
-                    return self.run_on_fragments_with(&frag_plan, &rel, extra, metrics);
+                    return self.run_on_fragments_with(&frag_plan, &rel, extra, q);
                 }
                 // Neither side pushable: coordinator-local join.
-                self.local_exec(plan, cse, memo, metrics)
+                self.local_exec(plan, cse, memo, q)
             }
-            // 3. Decomposable aggregates: partial per fragment + merge.
+            // 3. Decomposable aggregates: partial per fragment, merged
+            //    incrementally as partial batches arrive.
             LogicalPlan::Aggregate {
                 input,
                 group_by,
@@ -250,30 +341,33 @@ impl ParallelExecutor {
                     group_by: group_by.clone(),
                     aggs: aggs.clone(),
                 };
-                let partials = self.run_on_fragments(&partial_plan, &relation, metrics)?;
-                Ok(Arc::new(merge_partials(
-                    &partials,
-                    group_by.len(),
-                    aggs,
-                    plan,
-                )?))
+                let mut merger = PartialMerger::new(group_by.len(), aggs);
+                self.stream_fragments(
+                    &partial_plan,
+                    &relation,
+                    HashMap::new(),
+                    q,
+                    &mut |batch| merger.consume(&batch),
+                )?;
+                Ok(Arc::new(merger.finish(plan, aggs)?))
             }
             // 4. Recursive operators need their fixpoint bindings intact:
             //    materialize base relations and execute in one piece.
             LogicalPlan::Closure { .. } | LogicalPlan::Fixpoint { .. } => {
-                self.local_exec(plan, cse, memo, metrics)
+                self.local_exec(plan, cse, memo, q)
             }
             // 5. Everything else: execute the children through the
             //    distributed machinery, then apply this one operator at
             //    the coordinator (so a Project above a fragment-parallel
             //    Aggregate does not de-parallelize the aggregate).
-            _ => self.exec_via_children(plan, cse, memo, metrics),
+            _ => self.exec_via_children(plan, cse, memo, q),
         }
     }
 
     /// Hash-partitioned (grace) join: each fragment of both relations
-    /// partitions its subplan output by join-key hash; bucket pairs are
-    /// then joined in parallel across the left relation's fragment actors.
+    /// partitions its subplan output by join-key hash, forwarding buckets
+    /// per produced batch; bucket pairs are then joined in parallel
+    /// across the left relation's fragment actors.
     #[allow(clippy::too_many_arguments)]
     fn partitioned_join(
         &self,
@@ -283,9 +377,9 @@ impl ParallelExecutor {
         right_rel: &str,
         on: &[(usize, usize)],
         residual: Option<prisma_storage::expr::ScalarExpr>,
-        metrics: &mut ExecMetrics,
+        q: &mut QueryCtx,
     ) -> Result<Arc<Relation>> {
-        metrics.partitioned_joins += 1;
+        q.metrics.partitioned_joins += 1;
         let linfo = self.dictionary.relation(left_rel)?;
         let rinfo = self.dictionary.relation(right_rel)?;
         let parts = linfo.fragments.len().max(rinfo.fragments.len()).max(1);
@@ -297,10 +391,13 @@ impl ParallelExecutor {
 
         // Phase 1: fan out both sides' repartition subplans before
         // collecting either, so the two sides genuinely run in parallel.
-        let (lmailbox, lcount) = self.send_repartition(&left, &linfo, &lkeys, parts, metrics)?;
-        let (rmailbox, rcount) = self.send_repartition(&right, &rinfo, &rkeys, parts, metrics)?;
-        let lbuckets = self.collect_partitions(&lmailbox, lcount, parts, metrics)?;
-        let rbuckets = self.collect_partitions(&rmailbox, rcount, parts, metrics)?;
+        let (lmailbox, lstreams) = self.send_repartition(&left, &linfo, &lkeys, parts, q)?;
+        let (rmailbox, rstreams) = self.send_repartition(&right, &rinfo, &rkeys, parts, q)?;
+        // While the left side's buckets are merged, the right side's
+        // streams are still in flight — count them in the gauge.
+        let lbuckets =
+            self.collect_partitions(&lmailbox, &lstreams, parts, rstreams.len() as u64, q)?;
+        let rbuckets = self.collect_partitions(&rmailbox, &rstreams, parts, 0, q)?;
 
         // Phase 2: join bucket pairs across the left relation's actors.
         let join_schema = lschema.join(&rschema);
@@ -321,7 +418,7 @@ impl ParallelExecutor {
             strategy: JoinStrategy::Partitioned,
         };
         let mailbox = self.runtime.external_mailbox();
-        let mut outstanding = 0;
+        let mut streams: StreamSet = Vec::new();
         for (j, (lb, rb)) in lbuckets.into_iter().zip(rbuckets).enumerate() {
             if lb.is_empty() || rb.is_empty() {
                 continue; // an empty side joins to nothing
@@ -339,88 +436,275 @@ impl ParallelExecutor {
             self.runtime.send(
                 site.actor,
                 GdhMsg::RunSubplan {
+                    query_id: q.query_id,
                     plan: Box::new(site_plan.clone()),
                     extra,
                     reply_to: mailbox.id,
                     tag: j as u64,
+                    stream: self.streaming,
                 },
             )?;
-            metrics.fragment_tasks += 1;
-            outstanding += 1;
+            q.metrics.fragment_tasks += 1;
+            streams.push((j as u64, site.id));
         }
         let mut out = Vec::new();
-        for _ in 0..outstanding {
-            match mailbox.recv_timeout(self.reply_timeout)? {
-                GdhMsg::SubplanResult { result, .. } => {
-                    for batch in result? {
-                        metrics.batches_shipped += 1;
-                        metrics.tuples_shipped += batch.len() as u64;
-                        out.extend(batch.into_tuples());
-                    }
-                }
-                other => {
-                    return Err(PrismaError::Execution(format!(
-                        "unexpected reply {other:?}"
-                    )))
-                }
-            }
-        }
+        self.merge_batch_streams(&mailbox, &streams, 0, q, &mut |batch| {
+            out.extend(batch.into_tuples());
+            Ok(())
+        })?;
         Ok(Arc::new(Relation::new(join_schema, out)))
     }
 
     /// Ship one side's repartition subplan to every fragment of its
-    /// relation; replies arrive on the returned mailbox.
+    /// relation; bucket chunks arrive on the returned mailbox, one
+    /// stream per `(tag, fragment)` pair.
     fn send_repartition(
         &self,
         physical: &PhysicalPlan,
         info: &crate::dictionary::RelationInfo,
         key_cols: &[usize],
         parts: usize,
-        metrics: &mut ExecMetrics,
-    ) -> Result<(ExternalMailbox<GdhMsg>, usize)> {
+        q: &mut QueryCtx,
+    ) -> Result<(ExternalMailbox<GdhMsg>, StreamSet)> {
         let mailbox = self.runtime.external_mailbox();
+        let mut streams = Vec::with_capacity(info.fragments.len());
         for (i, frag) in info.fragments.iter().enumerate() {
             self.runtime.send(
                 frag.actor,
                 GdhMsg::Repartition {
+                    query_id: q.query_id,
                     plan: Box::new(physical.clone()),
                     key_cols: key_cols.to_vec(),
                     parts,
                     reply_to: mailbox.id,
                     tag: i as u64,
+                    stream: self.streaming,
                 },
             )?;
-            metrics.repartition_tasks += 1;
+            q.metrics.repartition_tasks += 1;
+            streams.push((i as u64, frag.id));
         }
-        Ok((mailbox, info.fragments.len()))
+        Ok((mailbox, streams))
     }
 
-    /// Collect `count` repartition replies, merging per-fragment buckets
-    /// bucket-wise.
+    /// Merge the repartition bucket streams, bucket-wise, as chunks
+    /// arrive (each chunk is one produced batch's buckets).
     fn collect_partitions(
         &self,
         mailbox: &ExternalMailbox<GdhMsg>,
-        count: usize,
+        streams: &[(u64, FragmentId)],
         parts: usize,
-        metrics: &mut ExecMetrics,
+        extra_in_flight: u64,
+        q: &mut QueryCtx,
     ) -> Result<Vec<Vec<Tuple>>> {
         let mut merged: Vec<Vec<Tuple>> = (0..parts).map(|_| Vec::new()).collect();
-        for _ in 0..count {
-            match mailbox.recv_timeout(self.reply_timeout)? {
-                GdhMsg::PartitionResult { result, .. } => {
-                    for (bucket, rows) in merged.iter_mut().zip(result?) {
-                        metrics.tuples_shipped += rows.len() as u64;
-                        bucket.extend(rows);
+        self.receive_streams(
+            mailbox,
+            streams,
+            extra_in_flight,
+            q,
+            |msg| match msg {
+                GdhMsg::PartitionChunk {
+                    query_id,
+                    tag,
+                    seq,
+                    buckets,
+                } => Ok(StreamMsg::Chunk {
+                    query_id,
+                    tag,
+                    seq,
+                    payload: buckets,
+                }),
+                other => Err(other),
+            },
+            &mut |metrics, chunk: Vec<Vec<Tuple>>| {
+                let mut rows_in_chunk = 0;
+                for (bucket, rows) in merged.iter_mut().zip(chunk) {
+                    rows_in_chunk += rows.len() as u64;
+                    bucket.extend(rows);
+                }
+                metrics.tuples_shipped += rows_in_chunk;
+                Ok(rows_in_chunk)
+            },
+        )?;
+        Ok(merged)
+    }
+
+    /// Receive one fan-out's batch streams, feeding every batch to `sink`
+    /// the moment its in-stream predecessors have arrived.
+    fn merge_batch_streams(
+        &self,
+        mailbox: &ExternalMailbox<GdhMsg>,
+        streams: &[(u64, FragmentId)],
+        extra_in_flight: u64,
+        q: &mut QueryCtx,
+        sink: &mut dyn FnMut(Batch) -> Result<()>,
+    ) -> Result<()> {
+        self.receive_streams(
+            mailbox,
+            streams,
+            extra_in_flight,
+            q,
+            |msg| match msg {
+                GdhMsg::BatchChunk {
+                    query_id,
+                    tag,
+                    seq,
+                    batch,
+                } => Ok(StreamMsg::Chunk {
+                    query_id,
+                    tag,
+                    seq,
+                    payload: batch,
+                }),
+                other => Err(other),
+            },
+            &mut |metrics, batch: Batch| {
+                let rows = batch.len() as u64;
+                metrics.batches_shipped += 1;
+                metrics.tuples_shipped += rows;
+                sink(batch)?;
+                Ok(rows)
+            },
+        )
+    }
+
+    /// The shared receive loop under both chunk kinds: decode each
+    /// mailbox message (`StreamEnd` is common to both protocols and is
+    /// decoded here; `decode` maps only the chunk variant), restore
+    /// per-stream order through [`StreamReassembly`], and hand released
+    /// chunks to `on_chunk` (which returns the row count it consumed).
+    /// Stamps the query's first-batch latency on the first arriving chunk
+    /// of either kind; returns once every stream has delivered its
+    /// `StreamEnd`, after cross-checking each stream's advertised row
+    /// count against the rows actually released. A timeout names the
+    /// query, the fragments still owing chunks, and the time waited; a
+    /// fragment-local error fails the query naming the query and fragment.
+    fn receive_streams<T>(
+        &self,
+        mailbox: &ExternalMailbox<GdhMsg>,
+        streams: &[(u64, FragmentId)],
+        extra_in_flight: u64,
+        q: &mut QueryCtx,
+        decode: impl Fn(GdhMsg) -> std::result::Result<StreamMsg<T>, GdhMsg>,
+        on_chunk: &mut dyn FnMut(&mut ExecMetrics, T) -> Result<u64>,
+    ) -> Result<()> {
+        let mut reassembly: StreamReassembly<T> =
+            StreamReassembly::expecting(streams.iter().map(|&(t, _)| t));
+        q.metrics.max_in_flight_streams = q
+            .metrics
+            .max_in_flight_streams
+            .max(streams.len() as u64 + extra_in_flight);
+        let waited = Instant::now();
+        let mut released: Vec<T> = Vec::new();
+        let mut rows_released: HashMap<u64, u64> = HashMap::new();
+        let mut rows_advertised: HashMap<u64, u64> = HashMap::new();
+        while !reassembly.all_complete() {
+            let msg = match mailbox.recv_timeout(self.reply_timeout) {
+                Ok(m) => m,
+                Err(_) => return Err(self.stream_timeout(q, waited, &reassembly, streams)),
+            };
+            let decoded = match msg {
+                GdhMsg::StreamEnd {
+                    query_id,
+                    tag,
+                    seq_count,
+                    result,
+                } => StreamMsg::End {
+                    query_id,
+                    tag,
+                    seq_count,
+                    result,
+                },
+                other => match decode(other) {
+                    Ok(chunk) => chunk,
+                    Err(unexpected) => {
+                        return Err(PrismaError::Execution(format!(
+                            "{}: unexpected reply {unexpected:?}",
+                            q.query_id
+                        )))
+                    }
+                },
+            };
+            match decoded {
+                StreamMsg::Chunk {
+                    query_id,
+                    tag,
+                    seq,
+                    payload,
+                } if query_id == q.query_id => {
+                    if q.metrics.first_batch_micros == 0 {
+                        q.metrics.first_batch_micros =
+                            q.started.elapsed().as_micros().max(1) as u64;
+                    }
+                    released.clear();
+                    reassembly.accept(tag, seq, payload, &mut released)?;
+                    for chunk in released.drain(..) {
+                        *rows_released.entry(tag).or_default() +=
+                            on_chunk(&mut q.metrics, chunk)?;
                     }
                 }
-                other => {
+                StreamMsg::End {
+                    query_id,
+                    tag,
+                    seq_count,
+                    result,
+                } if query_id == q.query_id => match result {
+                    Ok(stats) => {
+                        rows_advertised.insert(tag, stats.rows);
+                        reassembly.finish(tag, seq_count)?;
+                    }
+                    Err(e) => return Err(fragment_failure(q.query_id, streams, tag, &e)),
+                },
+                StreamMsg::Chunk { query_id, .. } | StreamMsg::End { query_id, .. } => {
                     return Err(PrismaError::Execution(format!(
-                        "unexpected reply {other:?}"
+                        "{}: reply for foreign {query_id} on this query's mailbox",
+                        q.query_id
                     )))
                 }
             }
         }
-        Ok(merged)
+        // Every stream completed: the rows each fragment said it shipped
+        // must be the rows that came out of reassembly.
+        for &(tag, frag) in streams {
+            let advertised = rows_advertised.get(&tag).copied().unwrap_or(0);
+            let released = rows_released.get(&tag).copied().unwrap_or(0);
+            if advertised != released {
+                return Err(PrismaError::Execution(format!(
+                    "{}: {frag} advertised {advertised} row(s) but {released} arrived",
+                    q.query_id
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The timeout error for a fan-out with incomplete streams: names the
+    /// query, how long the coordinator waited, and which fragments still
+    /// owe chunks or their end-of-stream marker.
+    fn stream_timeout<T>(
+        &self,
+        q: &QueryCtx,
+        waited: Instant,
+        reassembly: &StreamReassembly<T>,
+        streams: &[(u64, FragmentId)],
+    ) -> PrismaError {
+        let open = reassembly.open_streams();
+        let missing: Vec<String> = open
+            .iter()
+            .map(|t| match streams.iter().find(|(tag, _)| tag == t) {
+                Some((_, frag)) => format!("{frag} (stream {t})"),
+                None => format!("stream {t}"),
+            })
+            .collect();
+        PrismaError::Execution(format!(
+            "{}: reply timeout after {:.3}s — {} of {} fragment stream(s) incomplete: [{}]",
+            q.query_id,
+            waited.elapsed().as_secs_f64(),
+            open.len(),
+            streams.len(),
+            missing.join(", ")
+        ))
     }
 
     /// Execute each child distributed, splice the results in as
@@ -432,12 +716,12 @@ impl ParallelExecutor {
         plan: &LogicalPlan,
         cse: &HashSet<String>,
         memo: &mut HashMap<String, Arc<Relation>>,
-        metrics: &mut ExecMetrics,
+        q: &mut QueryCtx,
     ) -> Result<Arc<Relation>> {
         let mut provider: HashMap<String, Arc<Relation>> = HashMap::new();
         let mut spliced = Vec::new();
         for (i, child) in plan.children().into_iter().enumerate() {
-            let rel = self.exec_node(child, cse, memo, metrics)?;
+            let rel = self.exec_node(child, cse, memo, q)?;
             let name = format!("__child{i}");
             spliced.push(LogicalPlan::scan(&name, rel.schema().clone()));
             provider.insert(name, rel);
@@ -501,7 +785,7 @@ impl ParallelExecutor {
         plan: &LogicalPlan,
         cse: &HashSet<String>,
         memo: &mut HashMap<String, Arc<Relation>>,
-        metrics: &mut ExecMetrics,
+        q: &mut QueryCtx,
     ) -> Result<Arc<Relation>> {
         let mut provider: HashMap<String, Arc<Relation>> = HashMap::new();
         for name in plan.scanned_relations() {
@@ -510,7 +794,7 @@ impl ParallelExecutor {
             }
             let info = self.dictionary.relation(&name)?;
             let scan = LogicalPlan::scan(&name, info.schema.clone());
-            let rel = self.exec_node(&scan, cse, memo, metrics)?;
+            let rel = self.exec_node(&scan, cse, memo, q)?;
             provider.insert(name, rel);
         }
         Ok(Arc::new(execute_physical(&self.lower(plan)?, &provider)?))
@@ -520,55 +804,89 @@ impl ParallelExecutor {
         &self,
         plan: &LogicalPlan,
         relation: &str,
-        metrics: &mut ExecMetrics,
+        q: &mut QueryCtx,
     ) -> Result<Arc<Relation>> {
-        self.run_on_fragments_with(plan, relation, HashMap::new(), metrics)
+        self.run_on_fragments_with(plan, relation, HashMap::new(), q)
     }
 
-    /// Lower `plan` and ship it (+ `extra` relations) to every fragment
-    /// actor of `relation`, unioning the replied batch streams.
+    /// Lower `plan`, ship it (+ `extra` relations) to every fragment
+    /// actor of `relation`, and union the reply streams into a relation —
+    /// tuples are appended as chunks arrive, while other fragments are
+    /// still scanning.
     fn run_on_fragments_with(
         &self,
         plan: &LogicalPlan,
         relation: &str,
         extra: HashMap<String, Arc<Relation>>,
-        metrics: &mut ExecMetrics,
+        q: &mut QueryCtx,
     ) -> Result<Arc<Relation>> {
-        let info = self.dictionary.relation(relation)?;
         let physical = self.lower(plan)?;
         let schema = physical.output_schema()?;
+        let mut out: Vec<Tuple> = Vec::new();
+        self.ship_to_fragments(&physical, relation, extra, q, &mut |batch| {
+            out.extend(batch.into_tuples());
+            Ok(())
+        })?;
+        Ok(Arc::new(Relation::new(schema, out)))
+    }
+
+    /// Lower `plan` and stream every fragment's reply batches into `sink`
+    /// (incremental consumers: partial-aggregate merge, union sinks).
+    fn stream_fragments(
+        &self,
+        plan: &LogicalPlan,
+        relation: &str,
+        extra: HashMap<String, Arc<Relation>>,
+        q: &mut QueryCtx,
+        sink: &mut dyn FnMut(Batch) -> Result<()>,
+    ) -> Result<()> {
+        let physical = self.lower(plan)?;
+        self.ship_to_fragments(&physical, relation, extra, q, sink)
+    }
+
+    fn ship_to_fragments(
+        &self,
+        physical: &PhysicalPlan,
+        relation: &str,
+        extra: HashMap<String, Arc<Relation>>,
+        q: &mut QueryCtx,
+        sink: &mut dyn FnMut(Batch) -> Result<()>,
+    ) -> Result<()> {
+        let info = self.dictionary.relation(relation)?;
         let mailbox = self.runtime.external_mailbox();
+        let mut streams = Vec::with_capacity(info.fragments.len());
         for (i, frag) in info.fragments.iter().enumerate() {
             self.runtime.send(
                 frag.actor,
                 GdhMsg::RunSubplan {
+                    query_id: q.query_id,
                     plan: Box::new(physical.clone()),
                     extra: extra.clone(),
                     reply_to: mailbox.id,
                     tag: i as u64,
+                    stream: self.streaming,
                 },
             )?;
-            metrics.fragment_tasks += 1;
+            q.metrics.fragment_tasks += 1;
+            streams.push((i as u64, frag.id));
         }
-        let mut out = Vec::new();
-        for _ in 0..info.fragments.len() {
-            match mailbox.recv_timeout(self.reply_timeout)? {
-                GdhMsg::SubplanResult { result, .. } => {
-                    for batch in result? {
-                        metrics.batches_shipped += 1;
-                        metrics.tuples_shipped += batch.len() as u64;
-                        out.extend(batch.into_tuples());
-                    }
-                }
-                other => {
-                    return Err(PrismaError::Execution(format!(
-                        "unexpected reply {other:?}"
-                    )))
-                }
-            }
-        }
-        Ok(Arc::new(Relation::new(schema, out)))
+        self.merge_batch_streams(&mailbox, &streams, 0, q, sink)
     }
+}
+
+/// The error for a stream cut short by a fragment-local failure: names
+/// the query and fragment, keeps the underlying error's message.
+fn fragment_failure(
+    query_id: QueryId,
+    streams: &[(u64, FragmentId)],
+    tag: u64,
+    e: &PrismaError,
+) -> PrismaError {
+    let who = match streams.iter().find(|(t, _)| *t == tag) {
+        Some((_, frag)) => format!("{frag}"),
+        None => format!("stream {tag}"),
+    };
+    PrismaError::Execution(format!("{query_id}: {who} stream failed: {e}"))
 }
 
 /// If `plan` is a Select/Project chain over exactly one base-relation
@@ -603,63 +921,99 @@ fn decomposable(aggs: &[AggExpr]) -> bool {
     })
 }
 
-/// Merge per-fragment partial aggregates: COUNT→SUM, SUM→SUM, MIN→MIN,
-/// MAX→MAX, re-grouped on the same keys (runs through the local batch
-/// executor).
-fn merge_partials(
-    partials: &Relation,
-    num_group_cols: usize,
-    aggs: &[AggExpr],
-    original: &LogicalPlan,
-) -> Result<Relation> {
-    let final_schema = original.output_schema()?;
-    let merge_aggs: Vec<AggExpr> = aggs
-        .iter()
-        .enumerate()
-        .map(|(i, a)| {
-            let func = match a.func {
+/// Incremental merge of per-fragment partial aggregates: COUNT→SUM,
+/// SUM→SUM, MIN→MIN, MAX→MAX, re-grouped on the same keys. Partial
+/// batches feed the merge accumulators the moment they arrive — no
+/// materialized partials relation exists at any point.
+struct PartialMerger {
+    group_cols: Vec<usize>,
+    merge_funcs: Vec<AggFunc>,
+    groups: HashMap<Vec<Value>, Vec<Accumulator>>,
+    /// First-seen order of group keys (stable output like the batch
+    /// executor's hash aggregate).
+    order: Vec<Vec<Value>>,
+}
+
+impl PartialMerger {
+    fn new(num_group_cols: usize, aggs: &[AggExpr]) -> Self {
+        let merge_funcs = aggs
+            .iter()
+            .map(|a| match a.func {
                 AggFunc::CountStar | AggFunc::Count | AggFunc::Sum => AggFunc::Sum,
                 AggFunc::Min => AggFunc::Min,
                 AggFunc::Max => AggFunc::Max,
                 AggFunc::Avg => unreachable!("guarded by decomposable()"),
-            };
-            AggExpr::new(func, num_group_cols + i, a.name.clone())
-        })
-        .collect();
-    let merge_plan = PhysicalPlan::HashAggregate {
-        input: Box::new(PhysicalPlan::Values {
-            schema: partials.schema().clone(),
-            rows: partials.tuples().to_vec(),
-        }),
-        group_by: (0..num_group_cols).collect(),
-        aggs: merge_aggs,
-    };
-    let provider: HashMap<String, Arc<Relation>> = HashMap::new();
-    let merged = execute_physical(&merge_plan, &provider)?;
-    // COUNT over zero fragments of matching rows yields NULL from the SUM
-    // merge for global (ungrouped) aggregates; coerce back to 0.
-    if num_group_cols == 0 && merged.len() == 1 {
-        let row = &merged.tuples()[0];
-        let fixed: Vec<prisma_types::Value> = row
-            .values()
-            .iter()
-            .zip(aggs)
-            .map(|(v, a)| {
-                if v.is_null()
-                    && matches!(a.func, AggFunc::Count | AggFunc::CountStar)
-                {
-                    prisma_types::Value::Int(0)
-                } else {
-                    v.clone()
-                }
             })
             .collect();
-        return Ok(Relation::new(
-            final_schema,
-            vec![prisma_types::Tuple::new(fixed)],
-        ));
+        PartialMerger {
+            group_cols: (0..num_group_cols).collect(),
+            merge_funcs,
+            groups: HashMap::new(),
+            order: Vec::new(),
+        }
     }
-    Ok(Relation::new(final_schema, merged.into_tuples()))
+
+    /// Fold one arriving partial batch into the merge accumulators.
+    fn consume(&mut self, batch: &Batch) -> Result<()> {
+        let PartialMerger {
+            group_cols,
+            merge_funcs,
+            groups,
+            order,
+        } = self;
+        for row in 0..batch.len() {
+            let key = batch.key_at(row, group_cols);
+            let accs = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                merge_funcs.iter().map(|&f| Accumulator::new(f)).collect()
+            });
+            for (i, acc) in accs.iter_mut().enumerate() {
+                acc.update(&batch.value_at(row, group_cols.len() + i))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Finish the merge into the original aggregate's output relation.
+    fn finish(self, original: &LogicalPlan, aggs: &[AggExpr]) -> Result<Relation> {
+        let final_schema = original.output_schema()?;
+        let num_group_cols = self.group_cols.len();
+        // A global (ungrouped) aggregate always yields one row, even over
+        // zero fragment partials; and COUNT over zero matching rows must
+        // be 0, not the NULL a SUM-merge of nothing produces.
+        if num_group_cols == 0 {
+            let row: Vec<Value> = match self.order.first() {
+                Some(key) => self.groups[key].iter().map(Accumulator::finish).collect(),
+                None => self
+                    .merge_funcs
+                    .iter()
+                    .map(|&f| Accumulator::new(f).finish())
+                    .collect(),
+            };
+            let fixed: Vec<Value> = row
+                .into_iter()
+                .zip(aggs)
+                .map(|(v, a)| {
+                    if v.is_null()
+                        && matches!(a.func, AggFunc::Count | AggFunc::CountStar)
+                    {
+                        Value::Int(0)
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            return Ok(Relation::new(final_schema, vec![Tuple::new(fixed)]));
+        }
+        let mut tuples = Vec::with_capacity(self.order.len());
+        for key in &self.order {
+            let accs = &self.groups[key];
+            let mut row = key.clone();
+            row.extend(accs.iter().map(Accumulator::finish));
+            tuples.push(Tuple::new(row));
+        }
+        Ok(Relation::new(final_schema, tuples))
+    }
 }
 
 /// Schema helper re-exported for the facade.
@@ -673,4 +1027,144 @@ fn _assert_send() {
     fn is_send<T: Send>() {}
     is_send::<GdhMsg>();
     is_send::<Schema>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::{FragmentHandle, RelationInfo};
+    use crate::message::OfmActor;
+    use prisma_multicomputer::CostModel;
+    use prisma_ofm::{Ofm, OfmKind};
+    use prisma_poolx::{Ctx, Process, TrafficLedger};
+    use prisma_stable::DiskProfile;
+    use prisma_types::{tuple, Column, DataType, MachineConfig, PeId, TxnId};
+
+    fn test_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+        ])
+    }
+
+    fn rig(
+        reply_timeout_secs: u64,
+    ) -> (Arc<PoolRuntime<GdhMsg>>, Arc<DataDictionary>) {
+        let cfg = MachineConfig::paper_prototype()
+            .with_pes(2)
+            .with_reply_timeout_secs(reply_timeout_secs);
+        let ledger = Arc::new(TrafficLedger::new(CostModel::new(&cfg).unwrap()));
+        let runtime = PoolRuntime::start(2, ledger);
+        let dict = Arc::new(DataDictionary::new(cfg, DiskProfile::instant()));
+        (runtime, dict)
+    }
+
+    fn loaded_ofm(id: u32, rows: std::ops::Range<i64>) -> Ofm {
+        let mut ofm = Ofm::new(FragmentId(id), "t", test_schema(), OfmKind::Transient);
+        let txn = TxnId(1);
+        for i in rows {
+            ofm.insert(txn, tuple![i, i % 5]).unwrap();
+        }
+        ofm.commit(txn).unwrap();
+        ofm
+    }
+
+    /// An actor that swallows every request — a fragment that hangs.
+    struct SilentActor;
+    impl Process<GdhMsg> for SilentActor {
+        fn handle(&mut self, _msg: GdhMsg, _ctx: &mut Ctx<'_, GdhMsg>) {}
+    }
+
+    #[test]
+    fn slow_fragment_timeout_names_query_fragment_and_elapsed() {
+        let (runtime, dict) = rig(1);
+        let a0 = runtime
+            .spawn(PeId(0), Box::new(OfmActor::new(loaded_ofm(0, 0..10))))
+            .unwrap();
+        let a1 = runtime.spawn(PeId(1), Box::new(SilentActor)).unwrap();
+        dict.register(
+            "t",
+            RelationInfo {
+                schema: test_schema(),
+                frag_column: None,
+                fragments: vec![
+                    FragmentHandle { id: FragmentId(0), pe: PeId(0), actor: a0 },
+                    FragmentHandle { id: FragmentId(7), pe: PeId(1), actor: a1 },
+                ],
+            },
+        )
+        .unwrap();
+        let exec = ParallelExecutor::new(runtime.clone(), dict.clone());
+        let err = exec
+            .execute(&LogicalPlan::scan("t", test_schema()))
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("q0"), "query id missing: {msg}");
+        assert!(msg.contains("frag7"), "hung fragment not named: {msg}");
+        assert!(!msg.contains("frag0"), "healthy fragment blamed: {msg}");
+        assert!(msg.contains("reply timeout after"), "no elapsed time: {msg}");
+        assert!(msg.contains("1 of 2 fragment stream(s)"), "{msg}");
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn streamed_and_materialized_paths_agree_and_meter_identically() {
+        let (runtime, dict) = rig(30);
+        // 3000 rows per fragment → 3 batches each: real multi-chunk streams.
+        let a0 = runtime
+            .spawn(PeId(0), Box::new(OfmActor::new(loaded_ofm(0, 0..3000))))
+            .unwrap();
+        let a1 = runtime
+            .spawn(PeId(1), Box::new(OfmActor::new(loaded_ofm(1, 3000..6000))))
+            .unwrap();
+        dict.register(
+            "t",
+            RelationInfo {
+                schema: test_schema(),
+                frag_column: None,
+                fragments: vec![
+                    FragmentHandle { id: FragmentId(0), pe: PeId(0), actor: a0 },
+                    FragmentHandle { id: FragmentId(1), pe: PeId(1), actor: a1 },
+                ],
+            },
+        )
+        .unwrap();
+        let plan = LogicalPlan::scan("t", test_schema());
+        let mut exec = ParallelExecutor::new(runtime.clone(), dict.clone());
+
+        let (streamed, m) = exec.execute(&plan).unwrap();
+        assert_eq!(streamed.len(), 6000);
+        assert_eq!(m.tuples_shipped, 6000);
+        assert_eq!(m.batches_shipped, 6, "3 batches per fragment: {m:?}");
+        assert!(m.first_batch_micros > 0, "{m:?}");
+        assert!(
+            m.first_batch_micros <= m.full_result_micros,
+            "first batch cannot arrive after the full result: {m:?}"
+        );
+        assert_eq!(m.max_in_flight_streams, 2, "{m:?}");
+
+        exec.set_streaming(false);
+        let (materialized, m2) = exec.execute(&plan).unwrap();
+        assert_eq!(
+            streamed.canonicalized().tuples(),
+            materialized.canonicalized().tuples()
+        );
+        assert_eq!(m2.batches_shipped, 6);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn fragment_failure_error_names_query_and_fragment() {
+        let streams: StreamSet = vec![(0, FragmentId(3))];
+        let e = fragment_failure(
+            QueryId(9),
+            &streams,
+            0,
+            &PrismaError::UnknownRelation("ghost".into()),
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("q9"), "{msg}");
+        assert!(msg.contains("frag3"), "{msg}");
+        assert!(msg.contains("ghost"), "{msg}");
+    }
 }

@@ -139,6 +139,19 @@ impl GlobalDataHandler {
         self.executor.set_physical_config(cfg);
     }
 
+    /// Toggle streamed batch shipping on the parallel executor. `false`
+    /// selects the materialized baseline — OFMs run their subplan to
+    /// completion before the first ship — kept only so the E6 experiment
+    /// can measure what the overlap buys.
+    pub fn set_streaming(&mut self, streaming: bool) {
+        self.executor.set_streaming(streaming);
+    }
+
+    /// Whether fragment replies currently stream per batch.
+    pub fn executor_streaming(&self) -> bool {
+        self.executor.streaming()
+    }
+
     /// Shut the machine down (drains actor mailboxes).
     pub fn shutdown(&self) {
         self.runtime.shutdown();

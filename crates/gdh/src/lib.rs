@@ -11,7 +11,10 @@
 //! > manager."
 //!
 //! * [`message`] — the message protocol between the GDH and the OFM
-//!   actors living on poolx PEs (message passing only, §3.1);
+//!   actors living on poolx PEs (message passing only, §3.1). Query
+//!   results ship as **batch streams**: one `BatchChunk` per produced
+//!   batch plus a terminal `StreamEnd`, so the coordinator merges while
+//!   fragments still scan;
 //! * [`dictionary`] — the data dictionary: relations, fragmentation
 //!   schemes, fragment→PE placement, statistics;
 //! * [`allocation`] — the data-allocation manager's placement policies
@@ -21,9 +24,11 @@
 //! * [`txn`] — the transaction manager: two-phase commit across the
 //!   persistent OFMs of all touched relations;
 //! * [`exec`] — the parallel executor: lowered physical subplans shipped
-//!   to OFM actors as batch pipelines, broadcast and hash-partitioned
-//!   (grace) joins chosen by cardinality, partial aggregation, and
-//!   `Arc`-memoized common subexpressions;
+//!   to OFM actors as batch pipelines, incoming streams merged
+//!   incrementally (out-of-order chunks reassembled per stream, partial
+//!   aggregates folded as batches arrive, grace-join buckets forwarded
+//!   per batch), broadcast and hash-partitioned (grace) joins chosen by
+//!   cardinality, and `Arc`-memoized common subexpressions;
 //! * [`gdh`] — the façade combining parsers, optimizer, executor and
 //!   transactions into `execute_sql` / `execute_prismalog`.
 

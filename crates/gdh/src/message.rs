@@ -4,6 +4,22 @@
 //! message to the OFM's actor on its PE (no shared memory, paper §3.1);
 //! results come back to the requester's mailbox. Each request carries a
 //! `tag` so a coordinator fanning out to many fragments can match replies.
+//!
+//! ## Streamed result shipping
+//!
+//! Query results do **not** come back as one reply. A [`GdhMsg::RunSubplan`]
+//! opens a *batch stream*: the OFM ships every produced batch as its own
+//! [`GdhMsg::BatchChunk`] (sequence-numbered per stream) the moment the
+//! executor yields it, and terminates the stream with a
+//! [`GdhMsg::StreamEnd`] carrying the chunk count and per-stream stats —
+//! so the coordinator merges early batches while the fragment is still
+//! scanning (pipelined parallelism across PEs, the paper's intra-query
+//! parallelism applied to the exchange itself). Grace-join repartitioning
+//! streams the same way: each produced batch is hash-partitioned on the
+//! spot and shipped as a [`GdhMsg::PartitionChunk`]. The coordinator
+//! reassembles per-stream order with
+//! [`prisma_multicomputer::StreamReassembly`]; errors and timeouts are
+//! reported per stream with the owning query and fragment named.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -11,54 +27,94 @@ use std::sync::Arc;
 use prisma_poolx::{Ctx, Process, WireMessage};
 use prisma_relalg::{Batch, PhysicalPlan, Relation};
 use prisma_storage::expr::ScalarExpr;
-use prisma_types::{ProcessId, Result, Tuple, TxnId};
+use prisma_types::{ProcessId, QueryId, Result, Tuple, TxnId};
+
+/// Per-stream summary carried by the terminal [`GdhMsg::StreamEnd`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Rows shipped on this stream.
+    pub rows: u64,
+}
 
 /// Messages of the PRISMA DBMS layer.
 #[derive(Debug)]
 pub enum GdhMsg {
-    /// Execute a local physical subplan through the batch executor;
+    /// Execute a local physical subplan through the batch executor and
+    /// stream the result back as `BatchChunk`s + a terminal `StreamEnd`;
     /// `SeqScan(<relation name>)` reads the OFM's fragment, `extra`
     /// supplies shipped-in intermediates (`Arc`-shared, so a broadcast
     /// build side is one allocation no matter how many fragments receive
     /// it — the wire cost is still charged per message).
     RunSubplan {
+        /// The query this stream belongs to.
+        query_id: QueryId,
         /// The physical subplan.
         plan: Box<PhysicalPlan>,
         /// Shipped-in relations by name (e.g. a broadcast build side).
         extra: HashMap<String, Arc<Relation>>,
-        /// Where to send the result.
+        /// Where to send the result stream.
         reply_to: ProcessId,
-        /// Correlation tag.
+        /// Correlation tag (one stream per tag).
         tag: u64,
+        /// Ship each batch as it is produced (true, the pipelined path)
+        /// or run the subplan to completion before the first ship (the
+        /// materialized baseline the E6 experiment compares against).
+        stream: bool,
     },
-    /// Reply to `RunSubplan`: the fragment's partial result as the raw
-    /// batch stream out of the executor.
-    SubplanResult {
-        /// Correlation tag.
+    /// One batch of a `RunSubplan` reply stream.
+    BatchChunk {
+        /// The owning query.
+        query_id: QueryId,
+        /// Correlation tag of the stream.
         tag: u64,
-        /// The fragment's batches (or the error).
-        result: Result<Vec<Batch>>,
+        /// Position in the stream (0-based; consumers reassemble order).
+        seq: u64,
+        /// The batch, in row-oriented wire form.
+        batch: Batch,
     },
     /// Grace-join phase 1: run the subplan and hash-partition its output
-    /// on `key_cols` into `parts` buckets.
+    /// on `key_cols` into `parts` buckets, streaming each produced
+    /// batch's buckets as a `PartitionChunk`.
     Repartition {
+        /// The query this stream belongs to.
+        query_id: QueryId,
         /// The physical subplan producing this side of the join.
         plan: Box<PhysicalPlan>,
         /// Join-key ordinals in the subplan's output.
         key_cols: Vec<usize>,
         /// Bucket count.
         parts: usize,
-        /// Where to send the buckets.
+        /// Where to send the bucket stream.
         reply_to: ProcessId,
-        /// Correlation tag.
+        /// Correlation tag (one stream per tag).
         tag: u64,
+        /// Per-batch bucket shipping (true) or materialize-then-ship.
+        stream: bool,
     },
-    /// Reply to `Repartition`: one tuple bucket per partition.
-    PartitionResult {
-        /// Correlation tag.
+    /// One batch's worth of buckets from a `Repartition` reply stream.
+    PartitionChunk {
+        /// The owning query.
+        query_id: QueryId,
+        /// Correlation tag of the stream.
         tag: u64,
-        /// The buckets (or the error).
-        result: Result<Vec<Vec<Tuple>>>,
+        /// Position in the stream (0-based).
+        seq: u64,
+        /// One (possibly empty) tuple bucket per partition.
+        buckets: Vec<Vec<Tuple>>,
+    },
+    /// Terminal message of a `RunSubplan`/`Repartition` reply stream:
+    /// how many chunks the stream comprised (so a coordinator can detect
+    /// chunks still in flight even when this marker overtakes them) and
+    /// the fragment's stats — or the fragment-local error.
+    StreamEnd {
+        /// The owning query.
+        query_id: QueryId,
+        /// Correlation tag of the stream.
+        tag: u64,
+        /// Chunks shipped before this marker.
+        seq_count: u64,
+        /// Per-stream stats, or the error that cut the stream short.
+        result: Result<StreamStats>,
     },
     /// Insert rows under a transaction.
     Insert {
@@ -168,15 +224,7 @@ impl WireMessage for GdhMsg {
         match self {
             // Result shipping dominates communication; control messages
             // are a single packet.
-            GdhMsg::SubplanResult {
-                result: Ok(batches),
-                ..
-            } => {
-                32 + batches
-                    .iter()
-                    .map(|b| (b.wire_bits() / 8) as usize)
-                    .sum::<usize>()
-            }
+            GdhMsg::BatchChunk { batch, .. } => 32 + (batch.wire_bits() / 8) as usize,
             GdhMsg::RunSubplan { extra, .. } => {
                 64 + extra
                     .values()
@@ -184,10 +232,7 @@ impl WireMessage for GdhMsg {
                     .sum::<usize>()
             }
             GdhMsg::Repartition { .. } => 64,
-            GdhMsg::PartitionResult {
-                result: Ok(buckets),
-                ..
-            } => {
+            GdhMsg::PartitionChunk { buckets, .. } => {
                 32 + buckets
                     .iter()
                     .flatten()
@@ -214,32 +259,153 @@ impl OfmActor {
     }
 }
 
+impl OfmActor {
+    /// Run `plan` and ship its output as a chunk stream: one message per
+    /// produced batch (mapped through `to_chunk`, which also reports how
+    /// many rows the chunk carries — repartition chunks drop NULL-key
+    /// rows, so the shipped count can differ from the produced count),
+    /// then the terminal `StreamEnd` advertising the chunk count and the
+    /// total rows shipped (the coordinator cross-checks both). With
+    /// `stream = false` the subplan is drained fully before the first
+    /// ship — the materialized baseline.
+    ///
+    /// Each `next_batch()`/`send` alternation is the pipelining seam:
+    /// the send crosses the interconnect while this actor keeps scanning,
+    /// so the coordinator's merge overlaps fragment execution.
+    #[allow(clippy::too_many_arguments)]
+    fn ship_stream(
+        &self,
+        plan: &PhysicalPlan,
+        extra: &HashMap<String, Arc<Relation>>,
+        reply_to: ProcessId,
+        query_id: QueryId,
+        tag: u64,
+        stream: bool,
+        ctx: &mut Ctx<'_, GdhMsg>,
+        mut to_chunk: impl FnMut(u64, Batch) -> (u64, GdhMsg),
+    ) {
+        let end = |result, seq_count| GdhMsg::StreamEnd {
+            query_id,
+            tag,
+            seq_count,
+            result,
+        };
+        let mut source = match self.ofm.open_physical(plan, extra) {
+            Ok(s) => s,
+            Err(e) => {
+                let _ = ctx.send(reply_to, end(Err(e), 0));
+                return;
+            }
+        };
+        let mut held = Vec::new(); // materialized mode parks chunks here
+        let mut seq = 0u64;
+        let mut rows = 0u64;
+        loop {
+            match source.next_batch() {
+                Ok(Some(batch)) => {
+                    let (chunk_rows, msg) = to_chunk(seq, batch.into_rows());
+                    rows += chunk_rows;
+                    if stream {
+                        if ctx.send(reply_to, msg).is_err() {
+                            return; // requester is gone; abandon the stream
+                        }
+                    } else {
+                        held.push(msg);
+                    }
+                    seq += 1;
+                }
+                Ok(None) => {
+                    for msg in held {
+                        if ctx.send(reply_to, msg).is_err() {
+                            return;
+                        }
+                    }
+                    let _ = ctx.send(reply_to, end(Ok(StreamStats { rows }), seq));
+                    return;
+                }
+                Err(e) => {
+                    // Chunks already shipped stay valid; the error ends
+                    // the stream (materialized mode ships nothing).
+                    let shipped = if stream { seq } else { 0 };
+                    let _ = ctx.send(reply_to, end(Err(e), shipped));
+                    return;
+                }
+            }
+        }
+    }
+}
+
 impl Process<GdhMsg> for OfmActor {
     fn handle(&mut self, msg: GdhMsg, ctx: &mut Ctx<'_, GdhMsg>) {
         match msg {
             GdhMsg::RunSubplan {
+                query_id,
                 plan,
                 extra,
                 reply_to,
                 tag,
+                stream,
             } => {
-                let result = self.ofm.execute_physical(&plan, &extra);
-                let _ = ctx.send(reply_to, GdhMsg::SubplanResult { tag, result });
+                self.ship_stream(
+                    &plan,
+                    &extra,
+                    reply_to,
+                    query_id,
+                    tag,
+                    stream,
+                    ctx,
+                    |seq, batch| {
+                        let rows = batch.len() as u64;
+                        (
+                            rows,
+                            GdhMsg::BatchChunk {
+                                query_id,
+                                tag,
+                                seq,
+                                batch,
+                            },
+                        )
+                    },
+                );
             }
             GdhMsg::Repartition {
+                query_id,
                 plan,
                 key_cols,
                 parts,
                 reply_to,
                 tag,
+                stream,
             } => {
-                let result = self
-                    .ofm
-                    .execute_physical(&plan, &HashMap::new())
-                    .map(|batches| {
-                        prisma_relalg::exec::partition_batches(batches, &key_cols, parts)
-                    });
-                let _ = ctx.send(reply_to, GdhMsg::PartitionResult { tag, result });
+                // Buckets ship per produced batch: partition each batch
+                // on the spot instead of materializing the whole side.
+                self.ship_stream(
+                    &plan,
+                    &HashMap::new(),
+                    reply_to,
+                    query_id,
+                    tag,
+                    stream,
+                    ctx,
+                    |seq, batch| {
+                        let buckets = prisma_relalg::exec::partition_batches(
+                            vec![batch],
+                            &key_cols,
+                            parts,
+                        );
+                        // NULL-key rows were dropped: advertise what ships.
+                        let rows = buckets.iter().map(|b| b.len() as u64).sum();
+                        (
+                            rows,
+                            GdhMsg::PartitionChunk {
+                                query_id,
+                                tag,
+                                seq,
+                                buckets,
+                            },
+                        )
+                    },
+                );
             }
             GdhMsg::Insert {
                 txn,
@@ -315,8 +481,9 @@ impl Process<GdhMsg> for OfmActor {
                 let _ = ctx.send(reply_to, GdhMsg::Ack { tag, result });
             }
             // Replies arriving at an OFM are protocol errors; ignore.
-            GdhMsg::SubplanResult { .. }
-            | GdhMsg::PartitionResult { .. }
+            GdhMsg::BatchChunk { .. }
+            | GdhMsg::PartitionChunk { .. }
+            | GdhMsg::StreamEnd { .. }
             | GdhMsg::DmlDone { .. }
             | GdhMsg::Vote { .. }
             | GdhMsg::Ack { .. } => {}

@@ -15,13 +15,17 @@
 //! 1. the **E1 network experiment** drives [`NetworkSim`] directly with
 //!    synthetic traffic patterns and measures saturation throughput;
 //! 2. the **DBMS layers** (`prisma-poolx`, `prisma-gdh`) use [`CostModel`]
-//!    to charge communication costs for data shipped between PEs and
-//!    [`Topology`] to reason about placement locality.
+//!    to charge communication costs for data shipped between PEs,
+//!    [`Topology`] to reason about placement locality, and
+//!    [`StreamReassembly`] to restore per-stream chunk order when query
+//!    results arrive as interleaved batch streams (streamed batch
+//!    shipping).
 
 pub mod cost;
 pub mod pe;
 pub mod sim;
 pub mod stats;
+pub mod stream;
 pub mod topology;
 pub mod traffic;
 
@@ -29,5 +33,6 @@ pub use cost::CostModel;
 pub use pe::PeMemory;
 pub use sim::{NetworkSim, Packet, SimTime};
 pub use stats::NetworkStats;
+pub use stream::StreamReassembly;
 pub use topology::Topology;
 pub use traffic::TrafficPattern;

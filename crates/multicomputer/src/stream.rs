@@ -1,0 +1,217 @@
+//! Per-stream ordering and reassembly for chunked transfers.
+//!
+//! The interconnect delivers 256-bit packets; the DBMS layers above it
+//! ship query results as *streams* of chunks (one message per batch,
+//! terminated by an end-of-stream marker carrying the chunk count). A
+//! coordinator fanning out one subplan to many fragments receives all of
+//! those streams interleaved on a single mailbox, and nothing in the
+//! transport guarantees that chunk `seq = 3` of a stream arrives after
+//! `seq = 2` — a rerouted packet train, or a future fragment→fragment
+//! relay, may reorder them.
+//!
+//! [`StreamReassembly`] is the transport-side answer: it accepts chunks
+//! tagged `(stream, seq)` in any arrival order, buffers ahead-of-order
+//! chunks, and releases each stream's chunks strictly in `seq` order. A
+//! stream is *complete* once its end marker has been seen **and** every
+//! `seq` below the advertised count has been released — an end marker
+//! overtaking its last chunks parks the stream as ending rather than
+//! closing it early. Duplicate or out-of-range sequence numbers are
+//! protocol errors, not silent drops.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use prisma_types::{PrismaError, Result};
+
+/// Reassembly state for one chunk stream.
+#[derive(Debug)]
+struct StreamState<T> {
+    /// Next sequence number owed to the consumer.
+    next_seq: u64,
+    /// Chunks that arrived ahead of order, keyed by sequence.
+    pending: BTreeMap<u64, T>,
+    /// Advertised chunk count, once the end marker arrived.
+    seq_count: Option<u64>,
+}
+
+impl<T> StreamState<T> {
+    fn new() -> Self {
+        StreamState {
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            seq_count: None,
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.seq_count == Some(self.next_seq) && self.pending.is_empty()
+    }
+}
+
+/// Reassembles a fixed set of chunk streams arriving interleaved and
+/// possibly out of order on one mailbox.
+///
+/// `T` is the chunk payload (a tuple batch, a bucket set, …); streams are
+/// identified by the caller's correlation tag.
+#[derive(Debug)]
+pub struct StreamReassembly<T> {
+    streams: HashMap<u64, StreamState<T>>,
+    completed: usize,
+}
+
+impl<T> StreamReassembly<T> {
+    /// Track `tags` as the expected streams (one per fragment fan-out).
+    pub fn expecting(tags: impl IntoIterator<Item = u64>) -> Self {
+        StreamReassembly {
+            streams: tags.into_iter().map(|t| (t, StreamState::new())).collect(),
+            completed: 0,
+        }
+    }
+
+    fn state(&mut self, tag: u64) -> Result<&mut StreamState<T>> {
+        self.streams.get_mut(&tag).ok_or_else(|| {
+            PrismaError::Execution(format!("chunk for unknown stream {tag}"))
+        })
+    }
+
+    /// Accept chunk `seq` of stream `tag`, appending any chunks this
+    /// releases (in sequence order) to `out`. Duplicates and sequence
+    /// numbers at or beyond an advertised end are protocol errors.
+    pub fn accept(&mut self, tag: u64, seq: u64, chunk: T, out: &mut Vec<T>) -> Result<()> {
+        let state = self.state(tag)?;
+        if state.seq_count.is_some_and(|n| seq >= n) {
+            return Err(PrismaError::Execution(format!(
+                "stream {tag}: chunk {seq} past advertised end {:?}",
+                state.seq_count
+            )));
+        }
+        if seq < state.next_seq || state.pending.contains_key(&seq) {
+            return Err(PrismaError::Execution(format!(
+                "stream {tag}: duplicate chunk {seq}"
+            )));
+        }
+        state.pending.insert(seq, chunk);
+        while let Some(chunk) = state.pending.remove(&state.next_seq) {
+            state.next_seq += 1;
+            out.push(chunk);
+        }
+        self.note_progress(tag);
+        Ok(())
+    }
+
+    /// Accept stream `tag`'s end marker advertising `seq_count` chunks.
+    /// The stream stays open until every chunk below the count has been
+    /// released; a count smaller than what already arrived is a protocol
+    /// error.
+    pub fn finish(&mut self, tag: u64, seq_count: u64) -> Result<()> {
+        let state = self.state(tag)?;
+        if state.seq_count.is_some() {
+            return Err(PrismaError::Execution(format!(
+                "stream {tag}: duplicate end-of-stream"
+            )));
+        }
+        let seen = state.pending.keys().next_back().map_or(state.next_seq, |k| k + 1);
+        if seq_count < seen {
+            return Err(PrismaError::Execution(format!(
+                "stream {tag}: end advertises {seq_count} chunks but {seen} arrived"
+            )));
+        }
+        state.seq_count = Some(seq_count);
+        self.note_progress(tag);
+        Ok(())
+    }
+
+    fn note_progress(&mut self, tag: u64) {
+        if self.streams[&tag].is_complete() {
+            self.streams.remove(&tag);
+            self.completed += 1;
+        }
+    }
+
+    /// True once every expected stream has delivered all its chunks and
+    /// its end marker.
+    pub fn all_complete(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Streams completed so far.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Tags of streams still owed chunks or an end marker (sorted — the
+    /// coordinator names these in timeout errors).
+    pub fn open_streams(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.streams.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_delivery_releases_immediately() {
+        let mut r: StreamReassembly<u32> = StreamReassembly::expecting([0, 1]);
+        let mut out = Vec::new();
+        r.accept(0, 0, 10, &mut out).unwrap();
+        r.accept(1, 0, 20, &mut out).unwrap();
+        r.accept(0, 1, 11, &mut out).unwrap();
+        assert_eq!(out, vec![10, 20, 11]);
+        assert!(!r.all_complete());
+        r.finish(0, 2).unwrap();
+        r.finish(1, 1).unwrap();
+        assert!(r.all_complete());
+        assert_eq!(r.completed(), 2);
+    }
+
+    #[test]
+    fn out_of_order_chunks_are_buffered_and_released_in_seq_order() {
+        let mut r: StreamReassembly<u32> = StreamReassembly::expecting([7]);
+        let mut out = Vec::new();
+        r.accept(7, 2, 2, &mut out).unwrap();
+        r.accept(7, 1, 1, &mut out).unwrap();
+        assert!(out.is_empty(), "nothing released before seq 0");
+        r.accept(7, 0, 0, &mut out).unwrap();
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn end_marker_overtaking_chunks_keeps_stream_open() {
+        let mut r: StreamReassembly<u32> = StreamReassembly::expecting([3]);
+        let mut out = Vec::new();
+        r.finish(3, 2).unwrap();
+        assert!(!r.all_complete());
+        assert_eq!(r.open_streams(), vec![3]);
+        r.accept(3, 1, 1, &mut out).unwrap();
+        r.accept(3, 0, 0, &mut out).unwrap();
+        assert_eq!(out, vec![0, 1]);
+        assert!(r.all_complete());
+    }
+
+    #[test]
+    fn protocol_violations_are_errors() {
+        let mut r: StreamReassembly<u32> = StreamReassembly::expecting([0]);
+        let mut out = Vec::new();
+        r.accept(0, 0, 0, &mut out).unwrap();
+        assert!(r.accept(0, 0, 0, &mut out).is_err(), "duplicate seq");
+        assert!(r.accept(9, 0, 0, &mut out).is_err(), "unknown stream");
+        r.finish(0, 3).unwrap();
+        assert!(r.accept(0, 5, 5, &mut out).is_err(), "past advertised end");
+        assert!(r.finish(0, 3).is_err(), "duplicate end");
+        // Empty stream completes on the marker alone.
+        let mut r: StreamReassembly<u32> = StreamReassembly::expecting([1]);
+        r.finish(1, 0).unwrap();
+        assert!(r.all_complete());
+    }
+
+    #[test]
+    fn undercounting_end_marker_is_an_error() {
+        let mut r: StreamReassembly<u32> = StreamReassembly::expecting([0]);
+        let mut out = Vec::new();
+        r.accept(0, 4, 4, &mut out).unwrap();
+        assert!(r.finish(0, 2).is_err());
+    }
+}

@@ -18,7 +18,9 @@
 //!   durability and 2PC participant duties for the *persistent* OFM type,
 //!   a local query optimizer choosing index vs. scan access paths, local
 //!   physical-subplan execution through the batch pipeline (including the
-//!   transitive-closure operator), and checkpoint/recovery;
+//!   transitive-closure operator) — opened as a resumable batch stream
+//!   ([`ofm::Ofm::open_physical`]) so the actor ships each produced batch
+//!   while the scan continues — and checkpoint/recovery;
 //! * [`ofm::OfmKind`] — the paper's "generative approach": transient OFMs
 //!   for intermediate results carry no recovery machinery at all.
 

@@ -344,23 +344,26 @@ impl Ofm {
         }
     }
 
-    /// Execute a lowered physical subplan against this fragment through
-    /// the batch executor, returning the raw batch stream the actor ships
-    /// back to the coordinator. Inside `plan`, `Scan(self.name())` reads
-    /// this fragment; `extra` supplies shipped-in build sides and other
-    /// intermediates by name (already `Arc`-shared, so broadcast sides are
-    /// never copied per fragment).
+    /// Open a lowered physical subplan against this fragment as a
+    /// resumable [`prisma_relalg::BatchStream`] — the seam the streaming
+    /// wire protocol pulls through: the OFM actor alternates
+    /// [`prisma_relalg::BatchStream::next_batch`] with shipping the
+    /// batch, so the coordinator merges early batches while
+    /// this fragment is still scanning. Inside `plan`, `Scan(self.name())`
+    /// reads this fragment; `extra` supplies shipped-in build sides and
+    /// other intermediates by name (already `Arc`-shared, so broadcast
+    /// sides are never copied per fragment).
     ///
-    /// The executor may produce columnar batches (vectorized
-    /// filter/project output); the wire format between PEs stays
-    /// row-oriented, so batches are pivoted back to rows here, at the
-    /// shipping boundary — the coordinator and the ledger never see the
-    /// columnar form.
-    pub fn execute_physical(
+    /// Scans snapshot the fragment at open time, so the stream stays
+    /// consistent however long shipping takes. Batches still come out in
+    /// whatever physical form the executor produced — callers shipping
+    /// across PEs pivot with [`Batch::into_rows`] at the wire boundary
+    /// (the coordinator and the ledger never see the columnar form).
+    pub fn open_physical(
         &self,
         plan: &PhysicalPlan,
         extra: &HashMap<String, Arc<Relation>>,
-    ) -> Result<Vec<Batch>> {
+    ) -> Result<prisma_relalg::BatchStream> {
         struct P<'a> {
             ofm: &'a Ofm,
             extra: &'a HashMap<String, Arc<Relation>>,
@@ -377,7 +380,19 @@ impl Ofm {
                 }
             }
         }
-        let batches = prisma_relalg::execute_batches(plan, &P { ofm: self, extra })?;
+        prisma_relalg::open_batches(plan, &P { ofm: self, extra })
+    }
+
+    /// Execute a lowered physical subplan to completion, returning every
+    /// batch at once (the materialized path; the actor hot path streams
+    /// through [`Ofm::open_physical`] instead). Batches are pivoted to the
+    /// row-oriented wire form.
+    pub fn execute_physical(
+        &self,
+        plan: &PhysicalPlan,
+        extra: &HashMap<String, Arc<Relation>>,
+    ) -> Result<Vec<Batch>> {
+        let batches = self.open_physical(plan, extra)?.drain()?;
         Ok(batches.into_iter().map(Batch::into_rows).collect())
     }
 

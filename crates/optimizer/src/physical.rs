@@ -72,7 +72,62 @@ pub fn lower_physical(
     }
     let physical = fuse_projections(physical, trace);
     note_vectorized(&physical, trace);
+    note_exchanges(&physical, trace);
     Ok(physical)
+}
+
+/// Record in the EXPLAIN trace how each exchange (fragment→coordinator
+/// data movement) ships its data. Base-relation scans and grace-join
+/// repartitioning **stream** — one `BatchChunk`/`PartitionChunk` message
+/// per produced batch, merged while fragments still scan — while a
+/// broadcast join's build side is the one remaining **materialized**
+/// exchange (it must be complete before it is copied to every fragment).
+fn note_exchanges(plan: &PhysicalPlan, trace: &mut Trace) {
+    match plan {
+        PhysicalPlan::SeqScan { relation, .. } if !relation.starts_with("__") => {
+            trace.note(
+                "physical-exchange",
+                format!("scan {relation}: streams batches fragment→coordinator"),
+            );
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            strategy,
+            ..
+        } => {
+            match strategy {
+                JoinStrategy::Partitioned => trace.note(
+                    "physical-exchange",
+                    "partitioned join: both sides stream buckets per-batch".to_owned(),
+                ),
+                JoinStrategy::Broadcast => trace.note(
+                    "physical-exchange",
+                    "broadcast join: build side materialized, probe side streams".to_owned(),
+                ),
+            }
+            note_exchanges(left, trace);
+            note_exchanges(right, trace);
+        }
+        PhysicalPlan::NestedLoopJoin { left, right, .. }
+        | PhysicalPlan::Union { left, right, .. }
+        | PhysicalPlan::Difference { left, right } => {
+            note_exchanges(left, trace);
+            note_exchanges(right, trace);
+        }
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Distinct { input }
+        | PhysicalPlan::HashAggregate { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Limit { input, .. }
+        | PhysicalPlan::Closure { input } => note_exchanges(input, trace),
+        PhysicalPlan::Fixpoint { base, step, .. } => {
+            note_exchanges(base, trace);
+            note_exchanges(step, trace);
+        }
+        PhysicalPlan::SeqScan { .. } | PhysicalPlan::Values { .. } => {}
+    }
 }
 
 /// Record in the EXPLAIN trace which operators will evaluate their
@@ -333,6 +388,36 @@ mod tests {
         let mut trace = Trace::default();
         lower_physical(&fused, &s, PhysicalConfig::default(), &mut trace).unwrap();
         assert_eq!(trace.count_of("physical-vectorized-eval"), 0);
+    }
+
+    #[test]
+    fn explain_notes_streaming_exchanges() {
+        let s = stats();
+        // Broadcast join: both scans stream; the build side is the one
+        // materialized exchange.
+        let small_join = LogicalPlan::scan("big", schema2())
+            .join(LogicalPlan::scan("small", schema2()), vec![(1, 0)]);
+        let mut trace = Trace::default();
+        lower_physical(&small_join, &s, PhysicalConfig::default(), &mut trace).unwrap();
+        assert_eq!(trace.count_of("physical-exchange"), 3, "{:?}", trace.fired);
+        assert!(trace
+            .fired
+            .iter()
+            .any(|f| f.contains("broadcast join: build side materialized")));
+        assert!(trace
+            .fired
+            .iter()
+            .any(|f| f.contains("scan big: streams batches")));
+
+        // Partitioned join: buckets stream per-batch.
+        let big_join = LogicalPlan::scan("big", schema2())
+            .join(LogicalPlan::scan("huge", schema2()), vec![(0, 0)]);
+        let mut trace = Trace::default();
+        lower_physical(&big_join, &s, PhysicalConfig::default(), &mut trace).unwrap();
+        assert!(trace
+            .fired
+            .iter()
+            .any(|f| f.contains("partitioned join: both sides stream buckets per-batch")));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -56,10 +56,21 @@ impl<M: WireMessage> RuntimeInner<M> {
     fn route(&self, from: PeId, to: ProcessId, msg: M) -> Result<()> {
         // External mailboxes first. They live on the coordinator PE (the
         // GDH's own processing element), so replies from remote OFMs are
-        // real interconnect traffic and are metered as such.
-        if let Some(tx) = self.externals.lock().get(&to) {
-            self.ledger.record(from, COORDINATOR_PE, msg.wire_bytes());
-            let _ = tx.send(msg);
+        // real interconnect traffic and are metered as such. A dropped
+        // mailbox unregisters itself, so senders fail fast instead of
+        // streaming into a void (and nothing phantom is metered) — an OFM
+        // mid-stream after a coordinator timeout abandons the rest of its
+        // result on the first failed send.
+        let external = self.externals.lock().get(&to).cloned();
+        if let Some(tx) = external {
+            let bytes = msg.wire_bytes();
+            if tx.send(msg).is_err() {
+                return Err(PrismaError::ProcessUnreachable(format!(
+                    "{to} mailbox was dropped"
+                )));
+            }
+            // Metered only when actually delivered.
+            self.ledger.record(from, COORDINATOR_PE, bytes);
             return Ok(());
         }
         let Some(&pe) = self.placement.lock().get(&to) else {
@@ -123,13 +134,19 @@ impl<M: WireMessage> Ctx<'_, M> {
 
 /// Receiving end for a non-process client (e.g. the machine facade blocks
 /// here for query results).
-pub struct ExternalMailbox<M> {
+///
+/// Dropping the mailbox unregisters its address: later sends to it fail
+/// with `ProcessUnreachable` instead of accumulating into a void, which
+/// is how an OFM streaming a result learns the coordinator gave up (e.g.
+/// after a reply timeout) and abandons the rest of the stream.
+pub struct ExternalMailbox<M: WireMessage> {
     /// Address processes reply to.
     pub id: ProcessId,
     rx: Receiver<M>,
+    inner: Weak<RuntimeInner<M>>,
 }
 
-impl<M> ExternalMailbox<M> {
+impl<M: WireMessage> ExternalMailbox<M> {
     /// Blocking receive.
     pub fn recv(&self) -> Result<M> {
         self.rx
@@ -147,6 +164,14 @@ impl<M> ExternalMailbox<M> {
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<M> {
         self.rx.try_recv().ok()
+    }
+}
+
+impl<M: WireMessage> Drop for ExternalMailbox<M> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.upgrade() {
+            inner.externals.lock().remove(&self.id);
+        }
     }
 }
 
@@ -208,12 +233,17 @@ impl<M: WireMessage> PoolRuntime<M> {
         self.inner.route(COORDINATOR_PE, to, msg)
     }
 
-    /// Register an external mailbox; processes can `send` to its id.
+    /// Register an external mailbox; processes can `send` to its id until
+    /// the mailbox is dropped.
     pub fn external_mailbox(&self) -> ExternalMailbox<M> {
         let id = self.inner.alloc_pid();
         let (tx, rx) = unbounded();
         self.inner.externals.lock().insert(id, tx);
-        ExternalMailbox { id, rx }
+        ExternalMailbox {
+            id,
+            rx,
+            inner: Arc::downgrade(&self.inner),
+        }
     }
 
     /// Where a process lives (None once killed).
@@ -496,6 +526,24 @@ mod tests {
             },
         );
         assert!(res.is_err());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn dropped_mailbox_unregisters_and_fails_senders_fast() {
+        let rt = runtime(2);
+        let mb = rt.external_mailbox();
+        let id = mb.id;
+        // Live mailbox: sends are delivered and metered.
+        rt.send(id, Msg::Done).unwrap();
+        assert!(mb.recv_timeout(Duration::from_secs(5)).is_ok());
+        rt.ledger().reset();
+        drop(mb);
+        // Dropped mailbox: the address is gone, senders error instead of
+        // streaming into a void, and nothing phantom is metered.
+        let res = rt.send(id, Msg::Done);
+        assert!(res.is_err(), "send to dropped mailbox must fail");
+        assert_eq!(rt.ledger().remote_messages(), 0);
         rt.shutdown();
     }
 

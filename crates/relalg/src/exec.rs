@@ -46,7 +46,7 @@
 //! tradeoff is documented on [`ColumnVec`]; numeric hot paths dominate
 //! the fragment workloads this executor targets.)
 //!
-//! The reference evaluator in [`crate::eval`] remains the semantics
+//! The reference evaluator in [`mod@crate::eval`] remains the semantics
 //! oracle: `execute_physical(lower(p), db)` must agree with `eval(p, db)`
 //! up to row order (property-tested in `tests/properties.rs`).
 
@@ -303,11 +303,55 @@ pub fn execute_physical(plan: &PhysicalPlan, provider: &dyn RelationProvider) ->
 }
 
 /// Execute a physical plan, returning the raw batch stream (what an OFM
-/// ships back to the coordinator).
+/// ships back to the coordinator — all at once; the streaming wire path
+/// pulls batches one at a time through [`open_batches`] instead).
 pub fn execute_batches(plan: &PhysicalPlan, provider: &dyn RelationProvider) -> Result<Vec<Batch>> {
+    open_batches(plan, provider)?.drain()
+}
+
+/// A resumable batch source: the pull pipeline of an opened physical plan
+/// exposed as an iterator-style adapter.
+///
+/// This is the seam the streaming wire protocol hangs off: an OFM opens
+/// its subplan once, then alternates [`BatchStream::next_batch`] with
+/// shipping the produced batch, so the coordinator merges early batches
+/// while the fragment is still scanning. Scans resolve their relations at
+/// `open` time, so the stream owns its operator tree outright (no borrow
+/// of the provider survives) and can be suspended between batches for as
+/// long as the consumer likes.
+pub struct BatchStream {
+    op: BoxOp,
+}
+
+impl BatchStream {
+    /// Pull the next non-empty batch, or `None` once exhausted (the
+    /// [`Operator`] contract, without the trait object).
+    pub fn next_batch(&mut self) -> Result<Option<Batch>> {
+        self.op.next_batch()
+    }
+
+    /// Run the stream to exhaustion (the one-shot materialized path).
+    pub fn drain(mut self) -> Result<Vec<Batch>> {
+        drain(self.op.as_mut())
+    }
+}
+
+impl std::fmt::Debug for BatchStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchStream").finish_non_exhaustive()
+    }
+}
+
+/// Open a physical plan as a resumable [`BatchStream`]. The provider is
+/// only consulted during opening (scan resolution); the returned stream
+/// is self-contained.
+pub fn open_batches(
+    plan: &PhysicalPlan,
+    provider: &dyn RelationProvider,
+) -> Result<BatchStream> {
     let mut ctx = EvalContext::new(provider);
-    let mut op = open(plan, &mut ctx)?;
-    drain(op.as_mut())
+    let op = open(plan, &mut ctx)?;
+    Ok(BatchStream { op })
 }
 
 fn drain(op: &mut dyn Operator) -> Result<Vec<Batch>> {

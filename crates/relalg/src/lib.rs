@@ -15,8 +15,10 @@
 //!   joins with a broadcast-vs-partitioned distribution strategy;
 //! * [`exec`] — the pull-based batch executor that runs physical plans;
 //!   OFMs execute their local subplans through it, with zero-copy
-//!   [`exec::Batch`]es over `Arc`-shared relations;
-//! * [`eval`] — the reference evaluator, kept as the semantics oracle for
+//!   [`exec::Batch`]es over `Arc`-shared relations, and expose the pull
+//!   pipeline to the wire as a resumable [`exec::BatchStream`] (the seam
+//!   streamed batch shipping pulls through);
+//! * [`mod@eval`] — the reference evaluator, kept as the semantics oracle for
 //!   tests (the executor must agree with it on every plan);
 //! * [`agg`] — aggregate functions.
 
@@ -29,7 +31,9 @@ pub mod table;
 
 pub use agg::{AggExpr, AggFunc};
 pub use eval::{eval, EvalContext, RelationProvider};
-pub use exec::{execute_batches, execute_physical, Batch, Operator, BATCH_SIZE};
+pub use exec::{
+    execute_batches, execute_physical, open_batches, Batch, BatchStream, Operator, BATCH_SIZE,
+};
 pub use physical::{lower, lower_with, JoinStrategy, PhysicalPlan};
 pub use plan::{JoinKind, LogicalPlan};
 pub use table::Relation;

@@ -170,7 +170,7 @@ pub enum Statement {
         /// Relation name.
         name: String,
     },
-    /// CREATE [HASH] INDEX ON table(column).
+    /// CREATE \[HASH\] INDEX ON table(column).
     CreateIndex {
         /// Relation name.
         table: String,
@@ -186,14 +186,14 @@ pub enum Statement {
         /// Rows of literal expressions.
         rows: Vec<Vec<Expr>>,
     },
-    /// DELETE FROM ... [WHERE].
+    /// DELETE FROM ... \[WHERE\].
     Delete {
         /// Relation name.
         table: String,
         /// Predicate.
         predicate: Option<Expr>,
     },
-    /// UPDATE ... SET ... [WHERE].
+    /// UPDATE ... SET ... \[WHERE\].
     Update {
         /// Relation name.
         table: String,

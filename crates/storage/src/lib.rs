@@ -6,8 +6,8 @@
 //! * [`hash_index::HashIndex`] and [`btree_index::BTreeIndex`] — the
 //!   "(various) storage structures" an OFM is generated with;
 //! * [`cursor`] — the paper's "markings and cursor maintenance";
-//! * [`expr`] — the per-OFM **expression compiler** that "generate[s]
-//!   routines dynamically … avoid[ing] the otherwise excessive
+//! * [`expr`] — the per-OFM **expression compiler** that "generate\[s\]
+//!   routines dynamically … avoid\[ing\] the otherwise excessive
 //!   interpretation overhead incurred by a query expression interpreter".
 //!
 //! Everything here is strictly node-local: distribution lives in

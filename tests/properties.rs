@@ -477,6 +477,96 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Streamed batch shipping: however BatchChunk arrivals interleave
+    // across fragments — and however chunks *within* one fragment's
+    // stream are reordered, end markers overtaking chunks included —
+    // reassembly releases every stream's chunks in sequence order and
+    // the merged result matches the reference evaluator's answer for
+    // the unfragmented relation.
+    #[test]
+    fn shuffled_stream_delivery_matches_eval_oracle(
+        frag_sizes in prop::collection::vec(0usize..700, 2..5),
+        chunk_rows in 37usize..300,
+        keys in prop::collection::vec(any::<u64>(), 80),
+    ) {
+        use prisma::multicomputer::StreamReassembly;
+        use prisma::relalg::Batch;
+
+        enum Ev {
+            Chunk(u64, u64, Batch),
+            End(u64, u64),
+        }
+
+        let schema = int3_schema();
+        let mut all_rows: Vec<Tuple> = Vec::new();
+        let mut events: Vec<Ev> = Vec::new();
+        for (tag, &n) in frag_sizes.iter().enumerate() {
+            let rows: Vec<Tuple> = (0..n as i64)
+                .map(|i| tuple![tag as i64, i, i % 7])
+                .collect();
+            all_rows.extend(rows.iter().cloned());
+            let chunks: Vec<Batch> = rows
+                .chunks(chunk_rows)
+                .map(|c| Batch::owned(c.to_vec()))
+                .collect();
+            events.push(Ev::End(tag as u64, chunks.len() as u64));
+            for (seq, b) in chunks.into_iter().enumerate() {
+                events.push(Ev::Chunk(tag as u64, seq as u64, b));
+            }
+        }
+        // Deterministic shuffle driven by the generated keys: every
+        // arrival order across (and within) streams is fair game.
+        let mut keyed: Vec<(u64, Ev)> = events
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let k = keys[i % keys.len()] ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (k, e)
+            })
+            .collect();
+        keyed.sort_by_key(|(k, _)| *k);
+
+        let mut reassembly: StreamReassembly<Batch> =
+            StreamReassembly::expecting(0..frag_sizes.len() as u64);
+        let mut per_stream: Vec<Vec<Tuple>> = vec![Vec::new(); frag_sizes.len()];
+        let mut released: Vec<Batch> = Vec::new();
+        for (_, ev) in keyed {
+            match ev {
+                Ev::Chunk(tag, seq, batch) => {
+                    released.clear();
+                    reassembly.accept(tag, seq, batch, &mut released).unwrap();
+                    for b in released.drain(..) {
+                        per_stream[tag as usize].extend(b.into_tuples());
+                    }
+                }
+                Ev::End(tag, count) => reassembly.finish(tag, count).unwrap(),
+            }
+        }
+        prop_assert!(reassembly.all_complete());
+
+        // In-stream order is restored exactly (column 1 counts 0..n).
+        for (tag, rows) in per_stream.iter().enumerate() {
+            prop_assert_eq!(rows.len(), frag_sizes[tag]);
+            for (i, t) in rows.iter().enumerate() {
+                prop_assert_eq!(t.get(1), &Value::Int(i as i64));
+            }
+        }
+
+        // The merged union matches the oracle over the whole relation.
+        let mut db: HashMap<String, Relation> = HashMap::new();
+        db.insert("t".into(), Relation::new(schema.clone(), all_rows));
+        let oracle = eval(&LogicalPlan::scan("t", schema.clone()), &db)
+            .unwrap()
+            .canonicalized();
+        let merged: Vec<Tuple> = per_stream.into_iter().flatten().collect();
+        let merged = Relation::new(schema, merged).canonicalized();
+        prop_assert_eq!(merged.tuples(), oracle.tuples());
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     // The distributed machine — physical subplans shipped to fragments,
