@@ -1,0 +1,198 @@
+//! E7 — direct fragment→fragment shuffle vs coordinator-relayed buckets.
+//!
+//! PRISMA's design point: the coordinator orchestrates a partitioned
+//! (grace) join but never relays tuples — each fragment ships every hash
+//! bucket straight to the phase-2 site that owns it. This experiment
+//! measures what that buys on a two-sided partitioned join: the bytes
+//! transiting the coordinator PE (ledger `pe_bytes(COORDINATOR_PE)`),
+//! the executor's own relay metering (`ExecMetrics::relayed_bits`, which
+//! must drop to 0 — orchestration messages only — with direct shuffle),
+//! the directly-shuffled volume (`shuffled_direct_bits` /
+//! `relay_bits_saved`), and the join latency. The baseline is the same
+//! join with `set_streaming(false)`: buckets stream to the coordinator
+//! as `PartitionChunk`s and are re-shipped to the sites.
+//! Records the trajectory in `BENCH_e7.json` at the repo root.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `E7_LROWS`   — left relation rows (default 40000)
+//! * `E7_RROWS`   — right relation rows (default 30000)
+//! * `E7_LFRAGS`  — left fragment count (default 4)
+//! * `E7_RFRAGS`  — right fragment count (default 3)
+//! * `E7_ITERS`   — timed samples per measurement (default 9)
+//! * `E7_ENFORCE=1` — exit non-zero unless direct shuffle relays zero
+//!   bucket bits through the coordinator and moves fewer coordinator
+//!   bytes than the relay baseline
+
+use prisma_core::poolx::COORDINATOR_PE;
+use prisma_core::types::tuple;
+use prisma_core::PrismaMachine;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Clone, Copy, Default)]
+struct Measured {
+    /// Remote bytes the coordinator PE sent during the join.
+    coord_sent_bytes: u64,
+    /// Remote bytes the coordinator PE received during the join.
+    coord_recv_bytes: u64,
+    /// Bucket payload bits the coordinator relayed (executor metering).
+    relayed_bits: u64,
+    /// Bits moved fragment→fragment by the direct shuffle.
+    shuffled_direct_bits: u64,
+    /// Coordinator bits the direct shuffle avoided (2× the direct hop).
+    relay_bits_saved: u64,
+    /// Full join latency, µs.
+    latency_us: u64,
+}
+
+fn measure(db: &PrismaMachine, sql: &str, iters: usize) -> Measured {
+    let run = || {
+        db.gdh().ledger().reset();
+        let (rows, m) = db.query_with_metrics(sql).unwrap();
+        assert!(!rows.is_empty(), "join produced nothing");
+        let (sent, recv) = db.gdh().ledger().pe_bytes(COORDINATOR_PE);
+        Measured {
+            coord_sent_bytes: sent,
+            coord_recv_bytes: recv,
+            relayed_bits: m.relayed_bits,
+            shuffled_direct_bits: m.shuffled_direct_bits,
+            relay_bits_saved: m.relay_bits_saved,
+            latency_us: m.full_result_micros,
+        }
+    };
+    let _warmup = run();
+    let mut samples: Vec<Measured> = (0..iters.max(1)).map(|_| run()).collect();
+    samples.sort_unstable_by_key(|s| s.latency_us);
+    let median = samples[samples.len() / 2];
+    // Byte counters are deterministic per plan; latency is the median.
+    Measured {
+        latency_us: median.latency_us,
+        ..samples[0]
+    }
+}
+
+fn write_json(
+    path: &std::path::Path,
+    lrows: usize,
+    rrows: usize,
+    iters: usize,
+    direct: &Measured,
+    relayed: &Measured,
+) {
+    let coord_total = |m: &Measured| m.coord_sent_bytes + m.coord_recv_bytes;
+    let reduction = coord_total(relayed) as f64 / coord_total(direct).max(1) as f64;
+    let json = format!(
+        "{{\n  \"experiment\": \"e7_shuffle\",\n  \"left_rows\": {lrows},\n  \"right_rows\": {rrows},\n  \"iters\": {iters},\n  \"benches\": {{\n    \"coordinator_bytes\": {{\"direct\": {}, \"relayed\": {}, \"reduction\": {reduction:.2}}},\n    \"relayed_bucket_bits\": {{\"direct\": {}, \"relayed\": {}}},\n    \"shuffled_direct_bits\": {},\n    \"relay_bits_saved\": {},\n    \"join_latency_us\": {{\"direct\": {}, \"relayed\": {}}}\n  }}\n}}\n",
+        coord_total(direct),
+        coord_total(relayed),
+        direct.relayed_bits,
+        relayed.relayed_bits,
+        direct.shuffled_direct_bits,
+        direct.relay_bits_saved,
+        direct.latency_us,
+        relayed.latency_us,
+    );
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("[E7-shuffle] could not write {}: {e}", path.display());
+    } else {
+        eprintln!("[E7-shuffle] wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let lrows = env_usize("E7_LROWS", 40_000);
+    let rrows = env_usize("E7_RROWS", 30_000);
+    let lfrags = env_usize("E7_LFRAGS", 4);
+    let rfrags = env_usize("E7_RFRAGS", 3);
+    let iters = env_usize("E7_ITERS", 9);
+    let enforce = std::env::var("E7_ENFORCE").is_ok_and(|v| v == "1");
+
+    let mut db = PrismaMachine::builder().pes(8).build().unwrap();
+    db.sql(&format!(
+        "CREATE TABLE big_l (k INT, v INT) FRAGMENTED BY HASH(k) INTO {lfrags}"
+    ))
+    .unwrap();
+    db.sql(&format!(
+        "CREATE TABLE big_r (k INT, v INT) FRAGMENTED BY HASH(v) INTO {rfrags}"
+    ))
+    .unwrap();
+    let txn = db.begin();
+    for chunk in (0..lrows as i64)
+        .map(|i| tuple![i, i % 97])
+        .collect::<Vec<_>>()
+        .chunks(5000)
+    {
+        db.gdh().insert(txn, "big_l", chunk.to_vec()).unwrap();
+    }
+    for chunk in (0..rrows as i64)
+        .map(|i| tuple![i, i % 89])
+        .collect::<Vec<_>>()
+        .chunks(5000)
+    {
+        db.gdh().insert(txn, "big_r", chunk.to_vec()).unwrap();
+    }
+    db.commit(txn).unwrap();
+    db.refresh_stats("big_l").unwrap();
+    db.refresh_stats("big_r").unwrap();
+
+    // Both sides far above the broadcast threshold: the optimizer picks
+    // the hash-partitioned (grace) strategy and emits a shuffle
+    // placement map.
+    let sql = "SELECT l.v, r.v FROM big_l l, big_r r WHERE l.k = r.k";
+
+    let direct = measure(&db, sql, iters);
+    assert!(
+        direct.shuffled_direct_bits > 0,
+        "join did not take the partitioned path"
+    );
+    db.gdh_mut().set_streaming(false);
+    let relayed = measure(&db, sql, iters);
+    db.gdh_mut().set_streaming(true);
+
+    eprintln!(
+        "[E7-shuffle:direct]  coordinator {} B sent / {} B recv, {} bucket bits relayed, \
+         {} bits shuffled fragment→fragment, join in {} µs",
+        direct.coord_sent_bytes,
+        direct.coord_recv_bytes,
+        direct.relayed_bits,
+        direct.shuffled_direct_bits,
+        direct.latency_us
+    );
+    eprintln!(
+        "[E7-shuffle:relayed] coordinator {} B sent / {} B recv, {} bucket bits relayed, \
+         join in {} µs",
+        relayed.coord_sent_bytes, relayed.coord_recv_bytes, relayed.relayed_bits, relayed.latency_us
+    );
+    let coord_total = |m: &Measured| m.coord_sent_bytes + m.coord_recv_bytes;
+    eprintln!(
+        "[E7-shuffle] coordinator traffic: {:.2}x less with direct shuffle",
+        coord_total(&relayed) as f64 / coord_total(&direct).max(1) as f64
+    );
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_e7.json");
+    write_json(&root, lrows, rrows, iters, &direct, &relayed);
+
+    if enforce {
+        assert_eq!(
+            direct.relayed_bits, 0,
+            "direct shuffle relayed bucket payload through the coordinator"
+        );
+        assert!(
+            relayed.relayed_bits > 0,
+            "baseline relayed nothing — the comparison is vacuous"
+        );
+        assert!(
+            coord_total(&direct) < coord_total(&relayed),
+            "direct shuffle did not reduce coordinator traffic: {} vs {} bytes",
+            coord_total(&direct),
+            coord_total(&relayed)
+        );
+    }
+    db.shutdown();
+}

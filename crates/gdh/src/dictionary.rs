@@ -194,6 +194,11 @@ impl DataDictionary {
 }
 
 impl StatsSource for DataDictionary {
+    fn fragmentation(&self, name: &str) -> Option<Vec<FragmentId>> {
+        let rels = self.relations.read();
+        Some(rels.get(name)?.fragments.iter().map(|f| f.id).collect())
+    }
+
     fn table_stats(&self, name: &str) -> Option<TableStats> {
         if let Some(s) = self.stats.read().get(name) {
             return Some(s.clone());

@@ -11,11 +11,15 @@
 //!   at the coordinator;
 //! * an equi-**join** between two pushable sides whose cardinality
 //!   estimates are both large runs as a **hash-partitioned (grace) join**:
-//!   every fragment partitions its side by join-key hash, and bucket pairs
-//!   are joined in parallel across the fragment actors. Otherwise the
-//!   smaller (materialized) side is **broadcast** to every fragment of the
-//!   pushable side — the classic shared-nothing broadcast join. The choice
-//!   comes from the optimizer's cardinality estimates
+//!   every fragment partitions its side by join-key hash and streams each
+//!   bucket **directly at the phase-2 site actor owning it** (the
+//!   optimizer's shuffle placement map names the site per bucket); the
+//!   sites reassemble the peer streams, join their buckets locally, and
+//!   stream results back — the coordinator ships plans, awaits the
+//!   per-site reply streams, and merges, but never relays a tuple.
+//!   Otherwise the smaller (materialized) side is **broadcast** to every
+//!   fragment of the pushable side — the classic shared-nothing broadcast
+//!   join. The choice comes from the optimizer's cardinality estimates
 //!   ([`prisma_optimizer::PhysicalConfig`]);
 //! * a decomposable **aggregate** (COUNT/SUM/MIN/MAX) computes partials on
 //!   each fragment and merges them at the coordinator;
@@ -34,12 +38,20 @@
 //! [`ExecMetrics::first_batch_micros`]). Union sinks append tuples as
 //! chunks arrive; broadcast-join build sides assemble the same way before
 //! shipping; partial-aggregate merges feed every arriving batch straight
-//! into the merge accumulators; and grace-join repartitioning forwards
-//! buckets per produced batch ([`GdhMsg::PartitionChunk`]). Chunk order
-//! within one stream is restored by
+//! into the merge accumulators; and grace-join buckets ship per produced
+//! batch **fragment→fragment** ([`GdhMsg::ShuffleChunk`]) while the
+//! coordinator only sees the sites' join-result streams
+//! ([`ExecMetrics::shuffled_direct_bits`] meters the direct hop;
+//! [`ExecMetrics::relayed_bits`] stays 0). The old coordinator-relay
+//! form ([`GdhMsg::PartitionChunk`] in, re-shipped buckets out) survives
+//! behind `set_streaming(false)` as the E7 baseline. Chunk order within
+//! one stream is restored by
 //! [`prisma_multicomputer::StreamReassembly`], which also powers the
 //! in-flight-stream gauge; a lost or slow fragment surfaces as a timeout
-//! naming the query, the missing fragments, and the time waited.
+//! naming the query, the missing fragments, and the time waited. Reply
+//! waits run against a **deadline carried across the receive loop** —
+//! one reply timeout bounds the whole fan-out, so a slow-trickling
+//! stream cannot stall N×timeout before erroring.
 //!
 //! Inside a fragment, Filter/Project run vectorized over columnar
 //! batches ([`prisma_relalg::exec`]'s row/column duality); the wire
@@ -58,14 +70,15 @@ use prisma_optimizer::cse::{detect_common_subexpressions, plan_key};
 use prisma_optimizer::{lower_physical, PhysicalConfig, Trace};
 use prisma_poolx::{ExternalMailbox, PoolRuntime};
 use prisma_relalg::agg::Accumulator;
+use prisma_ofm::{SHUFFLE_LEFT, SHUFFLE_RIGHT};
 use prisma_relalg::{
     execute_physical, AggExpr, AggFunc, Batch, JoinKind, JoinStrategy, LogicalPlan, PhysicalPlan,
-    Relation,
+    Relation, ShufflePlacement,
 };
 use prisma_types::{FragmentId, PrismaError, QueryId, Result, Schema, Tuple, Value};
 
 use crate::dictionary::DataDictionary;
-use crate::message::GdhMsg;
+use crate::message::{GdhMsg, ShuffleSide};
 
 /// One fan-out's reply streams: each stream's correlation tag paired with
 /// the fragment owing it (named in timeout/error messages).
@@ -116,6 +129,23 @@ pub struct ExecMetrics {
     /// High-water mark of reply streams concurrently in flight (streams
     /// opened by a fan-out and not yet terminated by their `StreamEnd`).
     pub max_in_flight_streams: u64,
+    /// Bits grace-join buckets moved **directly fragment→fragment** (the
+    /// shuffle hop the coordinator never sees), as reported by the
+    /// phase-2 sites.
+    pub shuffled_direct_bits: u64,
+    /// Bits the coordinator no longer moves thanks to the direct
+    /// shuffle: every directly-shuffled bit used to cross
+    /// fragment→coordinator once, and the bits of **two-sided** buckets
+    /// crossed back out in the re-ship (the relay skips one-sided
+    /// buckets) — computed per site, so it equals what the relay
+    /// baseline's [`ExecMetrics::relayed_bits`] would meter for the
+    /// same data, skew included.
+    pub relay_bits_saved: u64,
+    /// Bits of grace-join bucket payload the coordinator relayed
+    /// (received as `PartitionChunk`s plus re-shipped to the phase-2
+    /// sites) — nonzero only on the `stream: false` baseline; the direct
+    /// shuffle keeps it at 0 (orchestration messages only).
+    pub relayed_bits: u64,
 }
 
 /// Per-query execution state threaded through the recursive walk: the
@@ -126,6 +156,16 @@ struct QueryCtx {
     query_id: QueryId,
     started: Instant,
     metrics: ExecMetrics,
+    /// Next shuffle-exchange id (one per partitioned join of the query).
+    next_exchange: u32,
+}
+
+impl QueryCtx {
+    fn fresh_exchange(&mut self) -> u32 {
+        let e = self.next_exchange;
+        self.next_exchange += 1;
+        e
+    }
 }
 
 /// The fragment-parallel executor.
@@ -185,6 +225,7 @@ impl ParallelExecutor {
             query_id: QueryId(self.next_query.fetch_add(1, Ordering::Relaxed)),
             started: Instant::now(),
             metrics: ExecMetrics::default(),
+            next_exchange: 0,
         }
     }
 
@@ -277,6 +318,7 @@ impl ParallelExecutor {
                             on: phys_on,
                             residual: phys_residual,
                             strategy: JoinStrategy::Partitioned,
+                            placement,
                             ..
                         } = self.lower(plan)?
                         {
@@ -287,6 +329,7 @@ impl ParallelExecutor {
                                 &rrel,
                                 &phys_on,
                                 phys_residual,
+                                placement,
                                 q,
                             );
                         }
@@ -364,10 +407,14 @@ impl ParallelExecutor {
         }
     }
 
-    /// Hash-partitioned (grace) join: each fragment of both relations
-    /// partitions its subplan output by join-key hash, forwarding buckets
-    /// per produced batch; bucket pairs are then joined in parallel
-    /// across the left relation's fragment actors.
+    /// Hash-partitioned (grace) join. With streaming on (the default),
+    /// buckets shuffle **directly fragment→fragment**: the coordinator
+    /// installs one phase-2 join task per site named in the shuffle
+    /// placement map, both sides' fragments address their bucket streams
+    /// straight at those sites, and the coordinator merges only the
+    /// sites' join-result streams. The `stream: false` baseline keeps
+    /// the historical coordinator relay (buckets in, buckets re-shipped)
+    /// for the E7 comparison.
     #[allow(clippy::too_many_arguments)]
     fn partitioned_join(
         &self,
@@ -377,62 +424,206 @@ impl ParallelExecutor {
         right_rel: &str,
         on: &[(usize, usize)],
         residual: Option<prisma_storage::expr::ScalarExpr>,
+        placement: Option<ShufflePlacement>,
         q: &mut QueryCtx,
     ) -> Result<Arc<Relation>> {
         q.metrics.partitioned_joins += 1;
         let linfo = self.dictionary.relation(left_rel)?;
         let rinfo = self.dictionary.relation(right_rel)?;
-        let parts = linfo.fragments.len().max(rinfo.fragments.len()).max(1);
+        // The optimizer's placement map, or the default it would emit
+        // (plans lowered without fragmentation knowledge).
+        let placement = placement.unwrap_or_else(|| {
+            let lfrags: Vec<FragmentId> = linfo.fragments.iter().map(|f| f.id).collect();
+            ShufflePlacement::round_robin(
+                linfo.fragments.len().max(rinfo.fragments.len()).max(1),
+                &lfrags,
+            )
+        });
 
         let lkeys: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
         let rkeys: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
         let lschema = left.output_schema()?;
         let rschema = right.output_schema()?;
+        let join_schema = lschema.join(&rschema);
+        let site_plan = |lname: &str, rname: &str| PhysicalPlan::HashJoin {
+            left: Box::new(PhysicalPlan::SeqScan {
+                relation: lname.into(),
+                schema: lschema.clone(),
+                projection: None,
+            }),
+            right: Box::new(PhysicalPlan::SeqScan {
+                relation: rname.into(),
+                schema: rschema.clone(),
+                projection: None,
+            }),
+            kind: JoinKind::Inner,
+            on: on.to_vec(),
+            residual: residual.clone(),
+            strategy: JoinStrategy::Partitioned,
+            placement: None,
+        };
 
+        if !self.streaming {
+            return self.relayed_grace_join(
+                &left, &linfo, &right, &rinfo, &lkeys, &rkeys, &placement, &lschema,
+                &rschema, join_schema, &site_plan("__part_l", "__part_r"), q,
+            );
+        }
+
+        // ---- direct fragment→fragment shuffle ----
+        let exchange = q.fresh_exchange();
+        // Resolve each bucket's site fragment to one this relation
+        // actually has; a placement naming a stale fragment (plan cached
+        // across a re-fragmentation) falls back to round-robin. The
+        // resolved map's `by_site` grouping then drives both the task
+        // installs and the per-bucket chunk addressing.
+        let handle_of = |fid: FragmentId, j: usize| {
+            linfo
+                .fragments
+                .iter()
+                .find(|f| f.id == fid)
+                .unwrap_or(&linfo.fragments[j % linfo.fragments.len()])
+        };
+        let resolved = ShufflePlacement {
+            parts: placement.parts,
+            sites: placement
+                .sites
+                .iter()
+                .enumerate()
+                .map(|(j, &fid)| handle_of(fid, j).id)
+                .collect(),
+        };
+        let site_actors: Vec<prisma_types::ProcessId> = resolved
+            .sites
+            .iter()
+            .enumerate()
+            .map(|(j, &fid)| handle_of(fid, j).actor)
+            .collect();
+        let sites: Vec<(&crate::dictionary::FragmentHandle, Vec<usize>)> = resolved
+            .by_site()
+            .into_iter()
+            .map(|(fid, buckets)| {
+                let j = buckets[0];
+                (handle_of(fid, j), buckets)
+            })
+            .collect();
+        let left_streams: Vec<u64> = (0..linfo.fragments.len() as u64).collect();
+        let lbase = linfo.fragments.len() as u64;
+        let right_streams: Vec<u64> =
+            (0..rinfo.fragments.len() as u64).map(|i| lbase + i).collect();
+
+        // Install every site's phase-2 task first: the runtime's FIFO
+        // channels then guarantee the spec reaches each site before any
+        // peer chunk sent on its behalf.
+        let mailbox = self.runtime.external_mailbox();
+        let plan = site_plan(SHUFFLE_LEFT, SHUFFLE_RIGHT);
+        let mut streams: StreamSet = Vec::new();
+        for (sidx, (handle, buckets)) in sites.iter().enumerate() {
+            self.runtime.send(
+                handle.actor,
+                GdhMsg::ShuffleJoin {
+                    query_id: q.query_id,
+                    exchange,
+                    plan: Box::new(plan.clone()),
+                    lschema: lschema.clone(),
+                    rschema: rschema.clone(),
+                    buckets: buckets.clone(),
+                    left_streams: left_streams.clone(),
+                    right_streams: right_streams.clone(),
+                    reply_to: mailbox.id,
+                    tag: sidx as u64,
+                    stream: true,
+                },
+            )?;
+            q.metrics.fragment_tasks += 1;
+            streams.push((sidx as u64, handle.id));
+        }
+        // Phase 1: both sides' sources, each addressing the sites
+        // directly. Fan everything out before collecting anything.
+        for (side, physical, info, keys, base) in [
+            (ShuffleSide::Left, &left, &linfo, &lkeys, 0u64),
+            (ShuffleSide::Right, &right, &rinfo, &rkeys, lbase),
+        ] {
+            for (i, frag) in info.fragments.iter().enumerate() {
+                self.runtime.send(
+                    frag.actor,
+                    GdhMsg::ShuffleSubplan {
+                        query_id: q.query_id,
+                        exchange,
+                        plan: Box::new(physical.clone()),
+                        key_cols: keys.clone(),
+                        sites: site_actors.clone(),
+                        side,
+                        tag: base + i as u64,
+                    },
+                )?;
+                q.metrics.repartition_tasks += 1;
+            }
+        }
+        // The coordinator's only data-path work left: merge the sites'
+        // join-result streams (the shuffle streams themselves are in
+        // flight fragment→fragment, one per (source, site) pair — count
+        // them in the gauge).
+        let in_flight_shuffles =
+            ((left_streams.len() + right_streams.len()) * sites.len()) as u64;
+        let mut out = Vec::new();
+        self.merge_batch_streams(&mailbox, &streams, in_flight_shuffles, q, &mut |batch| {
+            out.extend(batch.into_tuples());
+            Ok(())
+        })?;
+        Ok(Arc::new(Relation::new(join_schema, out)))
+    }
+
+    /// The historical coordinator-relay grace join (the `stream: false`
+    /// baseline E7 measures against): every fragment streams its buckets
+    /// to the coordinator, which merges them and re-ships bucket pairs
+    /// to the phase-2 sites. [`ExecMetrics::relayed_bits`] meters the
+    /// payload crossing the coordinator both ways.
+    #[allow(clippy::too_many_arguments)]
+    fn relayed_grace_join(
+        &self,
+        left: &PhysicalPlan,
+        linfo: &crate::dictionary::RelationInfo,
+        right: &PhysicalPlan,
+        rinfo: &crate::dictionary::RelationInfo,
+        lkeys: &[usize],
+        rkeys: &[usize],
+        placement: &ShufflePlacement,
+        lschema: &Schema,
+        rschema: &Schema,
+        join_schema: Schema,
+        site_plan: &PhysicalPlan,
+        q: &mut QueryCtx,
+    ) -> Result<Arc<Relation>> {
+        let parts = placement.parts;
         // Phase 1: fan out both sides' repartition subplans before
         // collecting either, so the two sides genuinely run in parallel.
-        let (lmailbox, lstreams) = self.send_repartition(&left, &linfo, &lkeys, parts, q)?;
-        let (rmailbox, rstreams) = self.send_repartition(&right, &rinfo, &rkeys, parts, q)?;
+        let (lmailbox, lstreams) = self.send_repartition(left, linfo, lkeys, parts, q)?;
+        let (rmailbox, rstreams) = self.send_repartition(right, rinfo, rkeys, parts, q)?;
         // While the left side's buckets are merged, the right side's
         // streams are still in flight — count them in the gauge.
         let lbuckets =
             self.collect_partitions(&lmailbox, &lstreams, parts, rstreams.len() as u64, q)?;
         let rbuckets = self.collect_partitions(&rmailbox, &rstreams, parts, 0, q)?;
 
-        // Phase 2: join bucket pairs across the left relation's actors.
-        let join_schema = lschema.join(&rschema);
-        let site_plan = PhysicalPlan::HashJoin {
-            left: Box::new(PhysicalPlan::SeqScan {
-                relation: "__part_l".into(),
-                schema: lschema.clone(),
-                projection: None,
-            }),
-            right: Box::new(PhysicalPlan::SeqScan {
-                relation: "__part_r".into(),
-                schema: rschema.clone(),
-                projection: None,
-            }),
-            kind: JoinKind::Inner,
-            on: on.to_vec(),
-            residual,
-            strategy: JoinStrategy::Partitioned,
-        };
+        // Phase 2: re-ship bucket pairs to the placement's site actors.
         let mailbox = self.runtime.external_mailbox();
         let mut streams: StreamSet = Vec::new();
         for (j, (lb, rb)) in lbuckets.into_iter().zip(rbuckets).enumerate() {
             if lb.is_empty() || rb.is_empty() {
                 continue; // an empty side joins to nothing
             }
+            let lrel = Relation::new(lschema.clone(), lb);
+            let rrel = Relation::new(rschema.clone(), rb);
+            q.metrics.relayed_bits += lrel.wire_bits() + rrel.wire_bits();
             let mut extra = HashMap::new();
-            extra.insert(
-                "__part_l".to_owned(),
-                Arc::new(Relation::new(lschema.clone(), lb)),
-            );
-            extra.insert(
-                "__part_r".to_owned(),
-                Arc::new(Relation::new(rschema.clone(), rb)),
-            );
-            let site = &linfo.fragments[j % linfo.fragments.len()];
+            extra.insert("__part_l".to_owned(), Arc::new(lrel));
+            extra.insert("__part_r".to_owned(), Arc::new(rrel));
+            let site = linfo
+                .fragments
+                .iter()
+                .find(|f| f.id == placement.sites[j])
+                .unwrap_or(&linfo.fragments[j % linfo.fragments.len()]);
             self.runtime.send(
                 site.actor,
                 GdhMsg::RunSubplan {
@@ -515,12 +706,14 @@ impl ParallelExecutor {
                     seq,
                     payload: buckets,
                 }),
-                other => Err(other),
+                other => Err(Box::new(other)),
             },
             &mut |metrics, chunk: Vec<Vec<Tuple>>| {
                 let mut rows_in_chunk = 0;
                 for (bucket, rows) in merged.iter_mut().zip(chunk) {
                     rows_in_chunk += rows.len() as u64;
+                    metrics.relayed_bits +=
+                        rows.iter().map(Tuple::wire_bits).sum::<u64>();
                     bucket.extend(rows);
                 }
                 metrics.tuples_shipped += rows_in_chunk;
@@ -557,7 +750,7 @@ impl ParallelExecutor {
                     seq,
                     payload: batch,
                 }),
-                other => Err(other),
+                other => Err(Box::new(other)),
             },
             &mut |metrics, batch: Batch| {
                 let rows = batch.len() as u64;
@@ -586,7 +779,7 @@ impl ParallelExecutor {
         streams: &[(u64, FragmentId)],
         extra_in_flight: u64,
         q: &mut QueryCtx,
-        decode: impl Fn(GdhMsg) -> std::result::Result<StreamMsg<T>, GdhMsg>,
+        decode: impl Fn(GdhMsg) -> std::result::Result<StreamMsg<T>, Box<GdhMsg>>,
         on_chunk: &mut dyn FnMut(&mut ExecMetrics, T) -> Result<u64>,
     ) -> Result<()> {
         let mut reassembly: StreamReassembly<T> =
@@ -596,11 +789,17 @@ impl ParallelExecutor {
             .max_in_flight_streams
             .max(streams.len() as u64 + extra_in_flight);
         let waited = Instant::now();
+        // One reply timeout bounds the whole fan-out: the deadline is
+        // carried across the loop, so each received message narrows the
+        // remaining wait instead of resetting the clock (a slow-trickling
+        // stream used to stall N×timeout before erroring).
+        let deadline = waited + self.reply_timeout;
         let mut released: Vec<T> = Vec::new();
         let mut rows_released: HashMap<u64, u64> = HashMap::new();
         let mut rows_advertised: HashMap<u64, u64> = HashMap::new();
         while !reassembly.all_complete() {
-            let msg = match mailbox.recv_timeout(self.reply_timeout) {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let msg = match mailbox.recv_timeout(remaining) {
                 Ok(m) => m,
                 Err(_) => return Err(self.stream_timeout(q, waited, &reassembly, streams)),
             };
@@ -652,6 +851,8 @@ impl ParallelExecutor {
                 } if query_id == q.query_id => match result {
                     Ok(stats) => {
                         rows_advertised.insert(tag, stats.rows);
+                        q.metrics.shuffled_direct_bits += stats.shuffled_bits;
+                        q.metrics.relay_bits_saved += stats.relay_saved_bits;
                         reassembly.finish(tag, seq_count)?;
                     }
                     Err(e) => return Err(fragment_failure(q.query_id, streams, tag, &e)),
@@ -1060,13 +1261,57 @@ mod tests {
     }
 
     fn loaded_ofm(id: u32, rows: std::ops::Range<i64>) -> Ofm {
-        let mut ofm = Ofm::new(FragmentId(id), "t", test_schema(), OfmKind::Transient);
+        loaded_ofm_named(id, "t", rows)
+    }
+
+    fn loaded_ofm_named(id: u32, relation: &str, rows: std::ops::Range<i64>) -> Ofm {
+        let mut ofm = Ofm::new(FragmentId(id), relation, test_schema(), OfmKind::Transient);
         let txn = TxnId(1);
         for i in rows {
             ofm.insert(txn, tuple![i, i % 5]).unwrap();
         }
         ofm.commit(txn).unwrap();
         ofm
+    }
+
+    /// Register `relation` over `frag_rows.len()` fragments (one OFM actor
+    /// per row range, round-robin over the PEs).
+    fn register_fragmented(
+        runtime: &Arc<PoolRuntime<GdhMsg>>,
+        dict: &Arc<DataDictionary>,
+        relation: &str,
+        first_id: u32,
+        frag_rows: &[std::ops::Range<i64>],
+    ) {
+        let pes = runtime.num_pes();
+        let fragments = frag_rows
+            .iter()
+            .enumerate()
+            .map(|(i, rows)| {
+                let id = first_id + i as u32;
+                let pe = PeId::from(i % pes);
+                let actor = runtime
+                    .spawn(
+                        pe,
+                        Box::new(OfmActor::new(loaded_ofm_named(id, relation, rows.clone()))),
+                    )
+                    .unwrap();
+                FragmentHandle {
+                    id: FragmentId(id),
+                    pe,
+                    actor,
+                }
+            })
+            .collect();
+        dict.register(
+            relation,
+            RelationInfo {
+                schema: test_schema(),
+                frag_column: None,
+                fragments,
+            },
+        )
+        .unwrap();
     }
 
     /// An actor that swallows every request — a fragment that hangs.
@@ -1150,6 +1395,123 @@ mod tests {
             materialized.canonicalized().tuples()
         );
         assert_eq!(m2.batches_shipped, 6);
+        runtime.shutdown();
+    }
+
+    /// Force every equi-join onto the grace path (estimates without
+    /// stats default to 1000 rows per side, above a 0-row broadcast cap).
+    fn grace_config(shuffle_parts: Option<usize>) -> prisma_optimizer::PhysicalConfig {
+        prisma_optimizer::PhysicalConfig {
+            broadcast_max_rows: 0.0,
+            shuffle_parts,
+        }
+    }
+
+    fn join_plan() -> LogicalPlan {
+        LogicalPlan::scan("l", test_schema())
+            .join(LogicalPlan::scan("r", test_schema()), vec![(0, 0)])
+    }
+
+    #[test]
+    fn direct_shuffle_agrees_with_coordinator_relay_and_meters_the_hop() {
+        let (runtime, dict) = rig(30);
+        // 2 left fragments host the phase-2 sites; 2 right fragments.
+        register_fragmented(&runtime, &dict, "l", 0, &[0..1500, 1500..3000]);
+        register_fragmented(&runtime, &dict, "r", 10, &[0..1100, 1100..2200]);
+        let mut exec = ParallelExecutor::new(runtime.clone(), dict.clone());
+        exec.set_physical_config(grace_config(None));
+
+        let (direct, md) = exec.execute(&join_plan()).unwrap();
+        assert_eq!(md.partitioned_joins, 1, "{md:?}");
+        assert_eq!(md.repartition_tasks, 4, "2 left + 2 right sources: {md:?}");
+        assert!(
+            md.shuffled_direct_bits > 0,
+            "no fragment→fragment bits metered: {md:?}"
+        );
+        assert_eq!(
+            md.relay_bits_saved,
+            2 * md.shuffled_direct_bits,
+            "every direct bit used to cross the coordinator twice: {md:?}"
+        );
+        assert_eq!(
+            md.relayed_bits, 0,
+            "direct shuffle must not relay buckets through the coordinator: {md:?}"
+        );
+
+        exec.set_streaming(false);
+        let (relayed, mr) = exec.execute(&join_plan()).unwrap();
+        // 2200 joined rows exist (keys 0..2200 intersect), so the result
+        // is non-trivial.
+        assert_eq!(direct.len(), 2200);
+        assert_eq!(
+            direct.canonicalized().tuples(),
+            relayed.canonicalized().tuples(),
+            "direct and relayed grace joins must agree"
+        );
+        assert_eq!(mr.shuffled_direct_bits, 0, "{mr:?}");
+        assert!(mr.relayed_bits > 0, "the baseline relays buckets: {mr:?}");
+        // The relay moves the same payload through the coordinator that
+        // the direct path moves fragment→fragment (both count the bucket
+        // rows entering + leaving the coordinator vs one direct hop).
+        assert_eq!(mr.relayed_bits, md.relay_bits_saved, "{mr:?} vs {md:?}");
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn relay_savings_stay_exact_under_one_sided_buckets() {
+        // Disjoint key sets: every bucket holds rows from (at most) one
+        // side, which the relay baseline receives but never re-ships
+        // (`lb.is_empty() || rb.is_empty()` skips the pair). The
+        // per-site accounting must agree with the baseline's relayed
+        // bits exactly — not the naive 2× of everything shuffled.
+        let (runtime, dict) = rig(30);
+        register_fragmented(&runtime, &dict, "l", 0, &[0..3, 3..6]);
+        register_fragmented(&runtime, &dict, "r", 10, &[100..103, 103..106]);
+        let mut exec = ParallelExecutor::new(runtime.clone(), dict.clone());
+        exec.set_physical_config(grace_config(Some(8)));
+
+        let (direct, md) = exec.execute(&join_plan()).unwrap();
+        assert!(direct.is_empty(), "disjoint keys join to nothing");
+        assert!(md.shuffled_direct_bits > 0, "{md:?}");
+        assert!(
+            md.relay_bits_saved < 2 * md.shuffled_direct_bits,
+            "one-sided buckets must not be double-counted: {md:?}"
+        );
+        assert!(
+            md.relay_bits_saved >= md.shuffled_direct_bits,
+            "everything shuffled crossed the coordinator at least once: {md:?}"
+        );
+
+        exec.set_streaming(false);
+        let (_, mr) = exec.execute(&join_plan()).unwrap();
+        assert_eq!(
+            mr.relayed_bits, md.relay_bits_saved,
+            "savings must equal what the baseline actually relays: {mr:?} vs {md:?}"
+        );
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn direct_shuffle_survives_bucket_count_fragment_count_mismatches() {
+        let (runtime, dict) = rig(30);
+        // Mismatched fragment counts: 2 left sites, 1 right source.
+        register_fragmented(&runtime, &dict, "l", 0, &[0..900, 900..1800]);
+        register_fragmented(&runtime, &dict, "r", 10, std::slice::from_ref(&(0..1300)));
+        let mut exec = ParallelExecutor::new(runtime.clone(), dict.clone());
+
+        // More buckets than fragments, fewer buckets than fragments, and
+        // the default — all must agree.
+        let mut results = Vec::new();
+        for parts in [Some(7), Some(1), None] {
+            exec.set_physical_config(grace_config(parts));
+            let (rows, m) = exec.execute(&join_plan()).unwrap();
+            assert_eq!(m.partitioned_joins, 1, "parts={parts:?}: {m:?}");
+            assert_eq!(m.relayed_bits, 0, "parts={parts:?}: {m:?}");
+            assert_eq!(rows.len(), 1300, "parts={parts:?}");
+            results.push(rows.canonicalized());
+        }
+        assert_eq!(results[0].tuples(), results[1].tuples());
+        assert_eq!(results[1].tuples(), results[2].tuples());
         runtime.shutdown();
     }
 

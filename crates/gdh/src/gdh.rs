@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use prisma_multicomputer::{CostModel, Topology};
 use prisma_ofm::{Ofm, OfmKind};
@@ -55,6 +56,18 @@ impl QueryOutcome {
             ))),
         }
     }
+}
+
+/// Receive one reply against a **deadline shared by the whole fan-out**:
+/// each reply narrows the remaining wait instead of resetting the clock,
+/// so N outstanding replies are bounded by one reply timeout total — a
+/// slow-trickling participant can no longer stall N×timeout before the
+/// error surfaces.
+fn recv_by(
+    mailbox: &prisma_poolx::ExternalMailbox<GdhMsg>,
+    deadline: Instant,
+) -> Result<GdhMsg> {
+    mailbox.recv_timeout(deadline.saturating_duration_since(Instant::now()))
 }
 
 /// The GDH: the supervisor of the PRISMA DBMS (paper §2.2).
@@ -231,8 +244,9 @@ impl GlobalDataHandler {
                 },
             )?;
         }
+        let deadline = Instant::now() + self.config.reply_timeout();
         for _ in 0..info.fragments.len() {
-            match mailbox.recv_timeout(self.config.reply_timeout())? {
+            match recv_by(&mailbox, deadline)? {
                 GdhMsg::Ack { result, .. } => {
                     result?;
                 }
@@ -261,8 +275,9 @@ impl GlobalDataHandler {
             )?;
         }
         let mut total = 0;
+        let deadline = Instant::now() + self.config.reply_timeout();
         for _ in 0..info.fragments.len() {
-            if let GdhMsg::Ack { result, .. } = mailbox.recv_timeout(self.config.reply_timeout())? {
+            if let GdhMsg::Ack { result, .. } = recv_by(&mailbox, deadline)? {
                 total += result?;
             }
         }
@@ -350,8 +365,9 @@ impl GlobalDataHandler {
             outstanding += 1;
         }
         let mut n = 0;
+        let deadline = Instant::now() + self.config.reply_timeout();
         for _ in 0..outstanding {
-            match mailbox.recv_timeout(self.config.reply_timeout())? {
+            match recv_by(&mailbox, deadline)? {
                 GdhMsg::DmlDone { result, .. } => n += result?,
                 other => {
                     return Err(PrismaError::Execution(format!(
@@ -387,8 +403,9 @@ impl GlobalDataHandler {
             )?;
         }
         let mut n = 0;
+        let deadline = Instant::now() + self.config.reply_timeout();
         for _ in 0..info.fragments.len() {
-            match mailbox.recv_timeout(self.config.reply_timeout())? {
+            match recv_by(&mailbox, deadline)? {
                 GdhMsg::DmlDone { result, .. } => n += result?,
                 other => {
                     return Err(PrismaError::Execution(format!(
@@ -426,8 +443,9 @@ impl GlobalDataHandler {
             )?;
         }
         let mut n = 0;
+        let deadline = Instant::now() + self.config.reply_timeout();
         for _ in 0..info.fragments.len() {
-            match mailbox.recv_timeout(self.config.reply_timeout())? {
+            match recv_by(&mailbox, deadline)? {
                 GdhMsg::DmlDone { result, .. } => n += result?,
                 other => {
                     return Err(PrismaError::Execution(format!(

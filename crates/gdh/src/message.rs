@@ -20,20 +20,63 @@
 //! reassembles per-stream order with
 //! [`prisma_multicomputer::StreamReassembly`]; errors and timeouts are
 //! reported per stream with the owning query and fragment named.
+//!
+//! ## Direct fragment→fragment shuffle (grace joins)
+//!
+//! With streaming on, grace-join buckets never touch the coordinator:
+//! the coordinator installs one [`GdhMsg::ShuffleJoin`] task per phase-2
+//! site (a fragment actor of the probe relation, chosen by the
+//! optimizer's shuffle placement map) and sends both sides'
+//! [`GdhMsg::ShuffleSubplan`]s. Each source fragment hash-partitions
+//! every produced batch and addresses bucket `j`'s rows **straight at
+//! the site owning bucket `j`** as a [`GdhMsg::ShuffleChunk`] — one
+//! sequence-numbered stream per `(source, site)` pair, each terminated
+//! by a per-site [`GdhMsg::ShuffleEnd`]. The receiving OFM actor
+//! reassembles the peer streams with the same
+//! [`prisma_multicomputer::StreamReassembly`] the coordinator uses,
+//! runs the bucket join locally once every stream completed, and
+//! streams the join result to the coordinator as an ordinary
+//! `BatchChunk`/`StreamEnd` reply whose stats carry the
+//! fragment→fragment bits received ([`StreamStats::shuffled_bits`]).
+//! The coordinator-relay path survives behind `stream: false` as the
+//! measured baseline (E7).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use prisma_multicomputer::StreamReassembly;
+use prisma_ofm::shuffle_extras;
 use prisma_poolx::{Ctx, Process, WireMessage};
 use prisma_relalg::{Batch, PhysicalPlan, Relation};
 use prisma_storage::expr::ScalarExpr;
-use prisma_types::{ProcessId, QueryId, Result, Tuple, TxnId};
+use prisma_types::{PrismaError, ProcessId, QueryId, Result, Schema, Tuple, TxnId};
 
 /// Per-stream summary carried by the terminal [`GdhMsg::StreamEnd`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StreamStats {
     /// Rows shipped on this stream.
     pub rows: u64,
+    /// Bits this reply's producer received fragment→fragment over the
+    /// direct shuffle (0 for ordinary subplan streams) — what the
+    /// coordinator folds into `ExecMetrics::shuffled_direct_bits`.
+    pub shuffled_bits: u64,
+    /// Coordinator bits the direct shuffle avoided for this site's
+    /// buckets: every received bit would have crossed to the
+    /// coordinator once, and the bits of **two-sided** buckets would
+    /// have been re-shipped back out (the relay skips one-sided
+    /// buckets, which join to nothing) — so this is `shuffled_bits +
+    /// Σ(two-sided bucket bits)`, matching the relay baseline's
+    /// `relayed_bits` exactly.
+    pub relay_saved_bits: u64,
+}
+
+/// Which side of a partitioned join a shuffle stream feeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShuffleSide {
+    /// The probe side (`__shuffle_l`).
+    Left,
+    /// The build side (`__shuffle_r`).
+    Right,
 }
 
 /// Messages of the PRISMA DBMS layer.
@@ -115,6 +158,96 @@ pub enum GdhMsg {
         seq_count: u64,
         /// Per-stream stats, or the error that cut the stream short.
         result: Result<StreamStats>,
+    },
+    /// Grace-join phase 1 with **direct shuffle**: run the subplan,
+    /// hash-partition every produced batch on `key_cols` into
+    /// `sites.len()` buckets, and ship bucket `j`'s rows straight to
+    /// `sites[j]` — the phase-2 site actor — as `ShuffleChunk`s. The
+    /// coordinator orchestrates but never relays tuples. One stream per
+    /// `(this source, site)` pair; each ends with a per-site
+    /// `ShuffleEnd`.
+    ShuffleSubplan {
+        /// The query this shuffle belongs to.
+        query_id: QueryId,
+        /// Exchange id: one per partitioned join of the query, so chunk
+        /// routing survives several shuffles per query.
+        exchange: u32,
+        /// The physical subplan producing this side of the join.
+        plan: Box<PhysicalPlan>,
+        /// Join-key ordinals in the subplan's output.
+        key_cols: Vec<usize>,
+        /// Phase-2 site actor per bucket (`sites.len()` = bucket count).
+        sites: Vec<ProcessId>,
+        /// Which side of the join this source feeds.
+        side: ShuffleSide,
+        /// Source stream tag (unique per side across the fan-out).
+        tag: u64,
+    },
+    /// One produced batch's bucket rows for one site, shipped
+    /// fragment→fragment (never through the coordinator).
+    ShuffleChunk {
+        /// The owning query.
+        query_id: QueryId,
+        /// The owning exchange.
+        exchange: u32,
+        /// Join side of the source stream.
+        side: ShuffleSide,
+        /// Source stream tag.
+        tag: u64,
+        /// Position in the `(source, site)` stream (0-based; each site
+        /// reassembles its own sequence).
+        seq: u64,
+        /// `(bucket, rows)` pairs owned by the receiving site.
+        buckets: Vec<(usize, Vec<Tuple>)>,
+    },
+    /// Terminal marker of one `(source, site)` shuffle stream: the chunk
+    /// count this site was sent and the rows shipped to it — or the
+    /// source-local error, which the site forwards to the coordinator
+    /// through its reply stream.
+    ShuffleEnd {
+        /// The owning query.
+        query_id: QueryId,
+        /// The owning exchange.
+        exchange: u32,
+        /// Join side of the source stream.
+        side: ShuffleSide,
+        /// Source stream tag.
+        tag: u64,
+        /// Chunks shipped to this site before the marker.
+        seq_count: u64,
+        /// Rows shipped to this site, or the error cutting the side off.
+        result: Result<StreamStats>,
+    },
+    /// Install a grace-join phase-2 task at a site actor: collect the
+    /// addressed bucket streams from every source fragment of both
+    /// sides, then run `plan` (a hash join over the collected
+    /// `__shuffle_l`/`__shuffle_r` buckets) locally and stream the
+    /// result to `reply_to` as an ordinary `BatchChunk`/`StreamEnd`
+    /// reply.
+    ShuffleJoin {
+        /// The owning query.
+        query_id: QueryId,
+        /// The owning exchange.
+        exchange: u32,
+        /// The site-local join over the collected buckets.
+        plan: Box<PhysicalPlan>,
+        /// Schema of the left (probe) bucket rows.
+        lschema: Schema,
+        /// Schema of the right (build) bucket rows.
+        rschema: Schema,
+        /// Buckets this site owns (chunks for any other bucket are a
+        /// protocol error).
+        buckets: Vec<usize>,
+        /// Expected left-side source stream tags.
+        left_streams: Vec<u64>,
+        /// Expected right-side source stream tags.
+        right_streams: Vec<u64>,
+        /// Where to stream the join result.
+        reply_to: ProcessId,
+        /// Correlation tag of the reply stream.
+        tag: u64,
+        /// Ship the join result per batch (true) or materialized.
+        stream: bool,
     },
     /// Insert rows under a transaction.
     Insert {
@@ -239,6 +372,14 @@ impl WireMessage for GdhMsg {
                     .map(|t| (t.wire_bits() / 8) as usize)
                     .sum::<usize>()
             }
+            GdhMsg::ShuffleSubplan { .. } | GdhMsg::ShuffleJoin { .. } => 64,
+            GdhMsg::ShuffleChunk { buckets, .. } => {
+                32 + buckets
+                    .iter()
+                    .flat_map(|(_, rows)| rows)
+                    .map(|t| (t.wire_bits() / 8) as usize)
+                    .sum::<usize>()
+            }
             GdhMsg::Insert { rows, .. } => {
                 32 + rows.iter().map(|t| (t.wire_bits() / 8) as usize).sum::<usize>()
             }
@@ -247,15 +388,119 @@ impl WireMessage for GdhMsg {
     }
 }
 
-/// The OFM actor: owns a One-Fragment Manager and serves the protocol.
+/// Chunk payload of one `(source, site)` shuffle stream: the receiving
+/// site's `(bucket, rows)` pairs from one produced batch.
+type ShufflePayload = Vec<(usize, Vec<Tuple>)>;
+
+/// One join side's peer streams reassembling at a phase-2 site.
+struct ShuffleSideState {
+    reassembly: StreamReassembly<ShufflePayload>,
+    /// Rows released from reassembly per source stream.
+    released: HashMap<u64, u64>,
+    /// Rows each source advertised in its per-site `ShuffleEnd`.
+    advertised: HashMap<u64, u64>,
+    /// The collected bucket rows (bucket identity is irrelevant once
+    /// ownership is checked — the site joins all its buckets in one
+    /// build).
+    rows: Vec<Tuple>,
+}
+
+impl ShuffleSideState {
+    fn expecting(tags: &[u64]) -> ShuffleSideState {
+        ShuffleSideState {
+            reassembly: StreamReassembly::expecting(tags.iter().copied()),
+            released: HashMap::new(),
+            advertised: HashMap::new(),
+            rows: Vec::new(),
+        }
+    }
+}
+
+/// A phase-2 shuffle-join task installed at a site actor.
+struct ShuffleTask {
+    plan: Box<PhysicalPlan>,
+    lschema: Schema,
+    rschema: Schema,
+    /// Buckets this site owns — a chunk naming any other bucket is a
+    /// protocol error.
+    owned: HashSet<usize>,
+    reply_to: ProcessId,
+    tag: u64,
+    stream: bool,
+    left: ShuffleSideState,
+    right: ShuffleSideState,
+    /// Bits received fragment→fragment, reported to the coordinator in
+    /// the reply's [`StreamStats::shuffled_bits`].
+    shuffled_bits: u64,
+    /// Received bits per `(bucket, side)` — at completion, buckets with
+    /// both sides non-empty are the ones the relay baseline would have
+    /// re-shipped ([`StreamStats::relay_saved_bits`]).
+    bucket_bits: HashMap<usize, [u64; 2]>,
+}
+
+impl ShuffleTask {
+    fn side_mut(&mut self, side: ShuffleSide) -> &mut ShuffleSideState {
+        match side {
+            ShuffleSide::Left => &mut self.left,
+            ShuffleSide::Right => &mut self.right,
+        }
+    }
+
+    fn all_streams_complete(&self) -> bool {
+        self.left.reassembly.all_complete() && self.right.reassembly.all_complete()
+    }
+}
+
+/// Per-exchange shuffle state at a site actor.
+enum ShuffleState {
+    /// Peer traffic that raced ahead of the `ShuffleJoin` spec (the
+    /// runtime's FIFO channels make this rare; buffered verbatim and
+    /// replayed once the spec lands).
+    Pending(Vec<GdhMsg>),
+    /// The installed task, accumulating peer streams.
+    Active(Box<ShuffleTask>),
+}
+
+/// The OFM actor: owns a One-Fragment Manager and serves the protocol —
+/// including the phase-2 **shuffle receiver** role: collecting addressed
+/// grace-join bucket streams from peer fragments and joining them
+/// locally.
 pub struct OfmActor {
     ofm: prisma_ofm::Ofm,
+    /// In-flight shuffle-join tasks, keyed by `(query, exchange)`.
+    shuffles: HashMap<(QueryId, u32), ShuffleState>,
+    /// Recently finished (completed or torn down) shuffles: late peer
+    /// traffic for these is dropped instead of accumulating as a
+    /// pending buffer that no spec will ever claim. Bounded FIFO.
+    finished: HashSet<(QueryId, u32)>,
+    finished_order: std::collections::VecDeque<(QueryId, u32)>,
 }
+
+/// How many finished-shuffle tombstones an OFM actor remembers (late
+/// traffic outlives its exchange by at most a few mailbox rounds, so a
+/// small window suffices).
+const FINISHED_SHUFFLES_REMEMBERED: usize = 256;
 
 impl OfmActor {
     /// Wrap an OFM as an actor.
     pub fn new(ofm: prisma_ofm::Ofm) -> Self {
-        OfmActor { ofm }
+        OfmActor {
+            ofm,
+            shuffles: HashMap::new(),
+            finished: HashSet::new(),
+            finished_order: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn note_shuffle_finished(&mut self, key: (QueryId, u32)) {
+        if self.finished.insert(key) {
+            self.finished_order.push_back(key);
+            if self.finished_order.len() > FINISHED_SHUFFLES_REMEMBERED {
+                if let Some(old) = self.finished_order.pop_front() {
+                    self.finished.remove(&old);
+                }
+            }
+        }
     }
 }
 
@@ -281,6 +526,7 @@ impl OfmActor {
         query_id: QueryId,
         tag: u64,
         stream: bool,
+        base_stats: StreamStats,
         ctx: &mut Ctx<'_, GdhMsg>,
         mut to_chunk: impl FnMut(u64, Batch) -> (u64, GdhMsg),
     ) {
@@ -320,7 +566,16 @@ impl OfmActor {
                             return;
                         }
                     }
-                    let _ = ctx.send(reply_to, end(Ok(StreamStats { rows }), seq));
+                    let _ = ctx.send(
+                        reply_to,
+                        end(
+                            Ok(StreamStats {
+                                rows,
+                                ..base_stats
+                            }),
+                            seq,
+                        ),
+                    );
                     return;
                 }
                 Err(e) => {
@@ -332,6 +587,402 @@ impl OfmActor {
                 }
             }
         }
+    }
+}
+
+impl OfmActor {
+    /// Grace-join phase 1, direct form: run this fragment's side subplan
+    /// and address every produced batch's buckets straight at the
+    /// phase-2 site actors. One sequence-numbered stream per distinct
+    /// site, each closed by a per-site [`GdhMsg::ShuffleEnd`] carrying
+    /// the rows that site was shipped (sites cross-check on arrival). A
+    /// subplan error ends every site's stream with the error — the sites
+    /// forward it to the coordinator, so failures travel the data path.
+    #[allow(clippy::too_many_arguments)]
+    fn run_shuffle_source(
+        &self,
+        query_id: QueryId,
+        exchange: u32,
+        plan: &PhysicalPlan,
+        key_cols: &[usize],
+        sites: &[ProcessId],
+        side: ShuffleSide,
+        tag: u64,
+        ctx: &mut Ctx<'_, GdhMsg>,
+    ) {
+        struct SiteSlot {
+            site: ProcessId,
+            seq: u64,
+            rows: u64,
+        }
+        // Distinct sites in first-bucket order; bucket j routes to
+        // slot_of[sites[j]].
+        let mut slots: Vec<SiteSlot> = Vec::new();
+        let mut slot_of: HashMap<ProcessId, usize> = HashMap::new();
+        for &site in sites {
+            slot_of.entry(site).or_insert_with(|| {
+                slots.push(SiteSlot {
+                    site,
+                    seq: 0,
+                    rows: 0,
+                });
+                slots.len() - 1
+            });
+        }
+        let fail_all = |slots: &[SiteSlot], e: PrismaError, ctx: &mut Ctx<'_, GdhMsg>| {
+            for slot in slots {
+                let _ = ctx.send(
+                    slot.site,
+                    GdhMsg::ShuffleEnd {
+                        query_id,
+                        exchange,
+                        side,
+                        tag,
+                        seq_count: slot.seq,
+                        result: Err(e.clone()),
+                    },
+                );
+            }
+        };
+        let mut source = match self.ofm.open_physical(plan, &HashMap::new()) {
+            Ok(s) => s,
+            Err(e) => {
+                fail_all(&slots, e, ctx);
+                return;
+            }
+        };
+        loop {
+            match source.next_batch() {
+                Ok(Some(batch)) => {
+                    // Partition this batch on the spot; the wire stays
+                    // row-oriented, exactly like the relay protocol.
+                    let buckets = prisma_relalg::exec::partition_batches(
+                        vec![batch.into_rows()],
+                        key_cols,
+                        sites.len(),
+                    );
+                    let mut per_slot: Vec<ShufflePayload> = (0..slots.len())
+                        .map(|_| Vec::new())
+                        .collect();
+                    for (j, rows) in buckets.into_iter().enumerate() {
+                        if !rows.is_empty() {
+                            per_slot[slot_of[&sites[j]]].push((j, rows));
+                        }
+                    }
+                    let mut dead: Option<ProcessId> = None;
+                    for (idx, payload) in per_slot.into_iter().enumerate() {
+                        if payload.is_empty() {
+                            continue;
+                        }
+                        let rows: u64 =
+                            payload.iter().map(|(_, r)| r.len() as u64).sum();
+                        let slot = &mut slots[idx];
+                        let msg = GdhMsg::ShuffleChunk {
+                            query_id,
+                            exchange,
+                            side,
+                            tag,
+                            seq: slot.seq,
+                            buckets: payload,
+                        };
+                        if ctx.send(slot.site, msg).is_err() {
+                            dead = Some(slot.site);
+                            break;
+                        }
+                        slot.seq += 1;
+                        slot.rows += rows;
+                    }
+                    if let Some(site) = dead {
+                        // One site is gone: end every surviving site's
+                        // stream with the error, so the query fails fast
+                        // through the data path instead of timing out.
+                        fail_all(
+                            &slots,
+                            PrismaError::Execution(format!(
+                                "{query_id}: shuffle site {site} unreachable"
+                            )),
+                            ctx,
+                        );
+                        return;
+                    }
+                }
+                Ok(None) => {
+                    for slot in &slots {
+                        let _ = ctx.send(
+                            slot.site,
+                            GdhMsg::ShuffleEnd {
+                                query_id,
+                                exchange,
+                                side,
+                                tag,
+                                seq_count: slot.seq,
+                                result: Ok(StreamStats {
+                                    rows: slot.rows,
+                                    ..StreamStats::default()
+                                }),
+                            },
+                        );
+                    }
+                    return;
+                }
+                Err(e) => {
+                    fail_all(&slots, e, ctx);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Install a phase-2 shuffle-join task, replaying any peer traffic
+    /// that raced ahead of the spec.
+    #[allow(clippy::too_many_arguments)]
+    fn install_shuffle_join(
+        &mut self,
+        query_id: QueryId,
+        exchange: u32,
+        plan: Box<PhysicalPlan>,
+        lschema: Schema,
+        rschema: Schema,
+        buckets: Vec<usize>,
+        left_streams: &[u64],
+        right_streams: &[u64],
+        reply_to: ProcessId,
+        tag: u64,
+        stream: bool,
+        ctx: &mut Ctx<'_, GdhMsg>,
+    ) {
+        let key = (query_id, exchange);
+        let pending = match self.shuffles.remove(&key) {
+            Some(ShuffleState::Pending(buf)) => buf,
+            Some(active @ ShuffleState::Active(_)) => {
+                // Duplicate spec: keep the installed task, fail the new
+                // requester (protocol error).
+                self.shuffles.insert(key, active);
+                let _ = ctx.send(
+                    reply_to,
+                    GdhMsg::StreamEnd {
+                        query_id,
+                        tag,
+                        seq_count: 0,
+                        result: Err(PrismaError::Execution(format!(
+                            "{query_id}: duplicate shuffle-join spec for exchange {exchange}"
+                        ))),
+                    },
+                );
+                return;
+            }
+            None => Vec::new(),
+        };
+        let task = Box::new(ShuffleTask {
+            plan,
+            lschema,
+            rschema,
+            owned: buckets.into_iter().collect(),
+            reply_to,
+            tag,
+            stream,
+            left: ShuffleSideState::expecting(left_streams),
+            right: ShuffleSideState::expecting(right_streams),
+            shuffled_bits: 0,
+            bucket_bits: HashMap::new(),
+        });
+        self.shuffles.insert(key, ShuffleState::Active(task));
+        for msg in pending {
+            self.advance_shuffle(key, msg, ctx);
+        }
+        self.maybe_finish_shuffle(key, ctx);
+    }
+
+    /// Route one piece of peer shuffle traffic: buffer it when the spec
+    /// has not landed yet, otherwise feed the task.
+    fn on_shuffle_traffic(&mut self, msg: GdhMsg, ctx: &mut Ctx<'_, GdhMsg>) {
+        let key = match &msg {
+            GdhMsg::ShuffleChunk {
+                query_id, exchange, ..
+            }
+            | GdhMsg::ShuffleEnd {
+                query_id, exchange, ..
+            } => (*query_id, *exchange),
+            _ => return,
+        };
+        if self.finished.contains(&key) {
+            return; // straggler for a completed/torn-down shuffle
+        }
+        match self.shuffles.get_mut(&key) {
+            None => {
+                self.shuffles
+                    .insert(key, ShuffleState::Pending(vec![msg]));
+            }
+            Some(ShuffleState::Pending(buf)) => buf.push(msg),
+            Some(ShuffleState::Active(_)) => {
+                self.advance_shuffle(key, msg, ctx);
+                self.maybe_finish_shuffle(key, ctx);
+            }
+        }
+    }
+
+    /// Feed one message to the installed task; a protocol error tears
+    /// the task down and travels to the coordinator as the reply
+    /// stream's error.
+    fn advance_shuffle(
+        &mut self,
+        key: (QueryId, u32),
+        msg: GdhMsg,
+        ctx: &mut Ctx<'_, GdhMsg>,
+    ) {
+        let Some(ShuffleState::Active(task)) = self.shuffles.get_mut(&key) else {
+            return;
+        };
+        if let Err(e) = Self::apply_shuffle_msg(task, msg) {
+            let reply_to = task.reply_to;
+            let tag = task.tag;
+            self.shuffles.remove(&key);
+            self.note_shuffle_finished(key);
+            let _ = ctx.send(
+                reply_to,
+                GdhMsg::StreamEnd {
+                    query_id: key.0,
+                    tag,
+                    seq_count: 0,
+                    result: Err(e),
+                },
+            );
+        }
+    }
+
+    fn apply_shuffle_msg(task: &mut ShuffleTask, msg: GdhMsg) -> Result<()> {
+        match msg {
+            GdhMsg::ShuffleChunk {
+                side,
+                tag,
+                seq,
+                buckets,
+                ..
+            } => {
+                for (bucket, _) in &buckets {
+                    if !task.owned.contains(bucket) {
+                        return Err(PrismaError::Execution(format!(
+                            "shuffle stream {tag}: chunk for bucket {bucket} this site does not own"
+                        )));
+                    }
+                }
+                let side_idx = (side == ShuffleSide::Right) as usize;
+                for (bucket, rows) in &buckets {
+                    let bits: u64 = rows.iter().map(Tuple::wire_bits).sum();
+                    task.shuffled_bits += bits;
+                    task.bucket_bits.entry(*bucket).or_default()[side_idx] += bits;
+                }
+                let state = task.side_mut(side);
+                let mut released: Vec<ShufflePayload> = Vec::new();
+                state.reassembly.accept(tag, seq, buckets, &mut released)?;
+                for payload in released {
+                    let n: u64 = payload.iter().map(|(_, r)| r.len() as u64).sum();
+                    *state.released.entry(tag).or_default() += n;
+                    for (_, rows) in payload {
+                        state.rows.extend(rows);
+                    }
+                }
+                Ok(())
+            }
+            GdhMsg::ShuffleEnd {
+                side,
+                tag,
+                seq_count,
+                result,
+                ..
+            } => {
+                let stats = result?; // a source-side error fails the site
+                let state = task.side_mut(side);
+                state.advertised.insert(tag, stats.rows);
+                state.reassembly.finish(tag, seq_count)
+            }
+            other => Err(PrismaError::Execution(format!(
+                "unexpected shuffle message {other:?}"
+            ))),
+        }
+    }
+
+    /// Once every peer stream of both sides completed: cross-check the
+    /// advertised row counts, run the bucket join locally, and stream
+    /// the result to the coordinator.
+    fn maybe_finish_shuffle(&mut self, key: (QueryId, u32), ctx: &mut Ctx<'_, GdhMsg>) {
+        let complete = matches!(
+            self.shuffles.get(&key),
+            Some(ShuffleState::Active(task)) if task.all_streams_complete()
+        );
+        if !complete {
+            return;
+        }
+        let Some(ShuffleState::Active(task)) = self.shuffles.remove(&key) else {
+            return;
+        };
+        self.note_shuffle_finished(key);
+        let task = *task;
+        let query_id = key.0;
+        for state in [&task.left, &task.right] {
+            for (tag, advertised) in &state.advertised {
+                // Rows a source said it shipped here must be the rows
+                // that came out of reassembly — note the per-site count,
+                // not the source's total (each site gets a slice).
+                let released = state.released.get(tag).copied().unwrap_or(0);
+                if *advertised != released {
+                    let _ = ctx.send(
+                        task.reply_to,
+                        GdhMsg::StreamEnd {
+                            query_id,
+                            tag: task.tag,
+                            seq_count: 0,
+                            result: Err(PrismaError::Execution(format!(
+                                "{query_id}: shuffle stream {tag} advertised {advertised} rows but {released} arrived"
+                            ))),
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+        // What the relay baseline would have moved through the
+        // coordinator for these buckets: everything crosses in once;
+        // only two-sided buckets are re-shipped out (one-sided buckets
+        // join to nothing and the relay skips them).
+        let reshipped: u64 = task
+            .bucket_bits
+            .values()
+            .filter(|b| b[0] > 0 && b[1] > 0)
+            .map(|b| b[0] + b[1])
+            .sum();
+        let stats = StreamStats {
+            rows: 0, // filled by ship_stream
+            shuffled_bits: task.shuffled_bits,
+            relay_saved_bits: task.shuffled_bits + reshipped,
+        };
+        let extra = shuffle_extras(
+            Relation::new(task.lschema.clone(), task.left.rows),
+            Relation::new(task.rschema.clone(), task.right.rows),
+        );
+        let tag = task.tag;
+        self.ship_stream(
+            &task.plan,
+            &extra,
+            task.reply_to,
+            query_id,
+            tag,
+            task.stream,
+            stats,
+            ctx,
+            |seq, batch| {
+                let rows = batch.len() as u64;
+                (
+                    rows,
+                    GdhMsg::BatchChunk {
+                        query_id,
+                        tag,
+                        seq,
+                        batch,
+                    },
+                )
+            },
+        );
     }
 }
 
@@ -353,6 +1004,7 @@ impl Process<GdhMsg> for OfmActor {
                     query_id,
                     tag,
                     stream,
+                    StreamStats::default(),
                     ctx,
                     |seq, batch| {
                         let rows = batch.len() as u64;
@@ -367,6 +1019,50 @@ impl Process<GdhMsg> for OfmActor {
                         )
                     },
                 );
+            }
+            GdhMsg::ShuffleSubplan {
+                query_id,
+                exchange,
+                plan,
+                key_cols,
+                sites,
+                side,
+                tag,
+            } => {
+                self.run_shuffle_source(
+                    query_id, exchange, &plan, &key_cols, &sites, side, tag, ctx,
+                );
+            }
+            GdhMsg::ShuffleJoin {
+                query_id,
+                exchange,
+                plan,
+                lschema,
+                rschema,
+                buckets,
+                left_streams,
+                right_streams,
+                reply_to,
+                tag,
+                stream,
+            } => {
+                self.install_shuffle_join(
+                    query_id,
+                    exchange,
+                    plan,
+                    lschema,
+                    rschema,
+                    buckets,
+                    &left_streams,
+                    &right_streams,
+                    reply_to,
+                    tag,
+                    stream,
+                    ctx,
+                );
+            }
+            msg @ (GdhMsg::ShuffleChunk { .. } | GdhMsg::ShuffleEnd { .. }) => {
+                self.on_shuffle_traffic(msg, ctx);
             }
             GdhMsg::Repartition {
                 query_id,
@@ -386,6 +1082,7 @@ impl Process<GdhMsg> for OfmActor {
                     query_id,
                     tag,
                     stream,
+                    StreamStats::default(),
                     ctx,
                     |seq, batch| {
                         let buckets = prisma_relalg::exec::partition_batches(

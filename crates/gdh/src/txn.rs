@@ -9,7 +9,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use prisma_poolx::PoolRuntime;
@@ -137,8 +137,11 @@ impl TransactionManager {
             metrics.messages += 1;
         }
         let mut all_yes = true;
+        // One deadline bounds the whole vote collection (each reply
+        // narrows the remaining wait; see the same fix in gdh.rs).
+        let deadline = Instant::now() + self.reply_timeout;
         for _ in 0..participants.len() {
-            match mailbox.recv_timeout(self.reply_timeout)? {
+            match mailbox.recv_timeout(deadline.saturating_duration_since(Instant::now()))? {
                 GdhMsg::Vote { result, .. } => {
                     metrics.messages += 1;
                     match result {
@@ -178,8 +181,11 @@ impl TransactionManager {
             )?;
             metrics.messages += 1;
         }
+        let deadline = Instant::now() + self.reply_timeout;
         for _ in 0..participants.len() {
-            if let GdhMsg::Ack { result, .. } = mailbox.recv_timeout(self.reply_timeout)? {
+            if let GdhMsg::Ack { result, .. } =
+                mailbox.recv_timeout(deadline.saturating_duration_since(Instant::now()))?
+            {
                 metrics.messages += 1;
                 if let Ok(ns) = result {
                     metrics.disk_ns += ns;
@@ -224,8 +230,9 @@ impl TransactionManager {
                 sent += 1;
             }
         }
+        let deadline = Instant::now() + self.reply_timeout;
         for _ in 0..sent {
-            let _ = mailbox.recv_timeout(self.reply_timeout);
+            let _ = mailbox.recv_timeout(deadline.saturating_duration_since(Instant::now()));
         }
         Ok(())
     }

@@ -16,10 +16,14 @@
 //! `seq` below the advertised count has been released — an end marker
 //! overtaking its last chunks parks the stream as ending rather than
 //! closing it early. Duplicate or out-of-range sequence numbers are
-//! protocol errors, not silent drops.
+//! protocol errors, not silent drops — including traffic for a stream
+//! that already completed: a second end marker (or a straggler chunk)
+//! after completion is reported as the duplicate it is, never confused
+//! with an unknown stream and never silently accepted.
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::collections::HashSet;
 
 use prisma_types::{PrismaError, Result};
 
@@ -56,7 +60,9 @@ impl<T> StreamState<T> {
 #[derive(Debug)]
 pub struct StreamReassembly<T> {
     streams: HashMap<u64, StreamState<T>>,
-    completed: usize,
+    /// Tags whose streams already completed — kept so late traffic for a
+    /// finished stream is reported as a duplicate, not "unknown stream".
+    done: HashSet<u64>,
 }
 
 impl<T> StreamReassembly<T> {
@@ -64,13 +70,18 @@ impl<T> StreamReassembly<T> {
     pub fn expecting(tags: impl IntoIterator<Item = u64>) -> Self {
         StreamReassembly {
             streams: tags.into_iter().map(|t| (t, StreamState::new())).collect(),
-            completed: 0,
+            done: HashSet::new(),
         }
     }
 
-    fn state(&mut self, tag: u64) -> Result<&mut StreamState<T>> {
+    fn state(&mut self, tag: u64, what: &str) -> Result<&mut StreamState<T>> {
+        if self.done.contains(&tag) {
+            return Err(PrismaError::Execution(format!(
+                "stream {tag}: {what} after stream completed"
+            )));
+        }
         self.streams.get_mut(&tag).ok_or_else(|| {
-            PrismaError::Execution(format!("chunk for unknown stream {tag}"))
+            PrismaError::Execution(format!("{what} for unknown stream {tag}"))
         })
     }
 
@@ -78,7 +89,7 @@ impl<T> StreamReassembly<T> {
     /// releases (in sequence order) to `out`. Duplicates and sequence
     /// numbers at or beyond an advertised end are protocol errors.
     pub fn accept(&mut self, tag: u64, seq: u64, chunk: T, out: &mut Vec<T>) -> Result<()> {
-        let state = self.state(tag)?;
+        let state = self.state(tag, "chunk")?;
         if state.seq_count.is_some_and(|n| seq >= n) {
             return Err(PrismaError::Execution(format!(
                 "stream {tag}: chunk {seq} past advertised end {:?}",
@@ -102,9 +113,10 @@ impl<T> StreamReassembly<T> {
     /// Accept stream `tag`'s end marker advertising `seq_count` chunks.
     /// The stream stays open until every chunk below the count has been
     /// released; a count smaller than what already arrived is a protocol
-    /// error.
+    /// error, and so is a second end marker — whether the stream is still
+    /// open or already completed.
     pub fn finish(&mut self, tag: u64, seq_count: u64) -> Result<()> {
-        let state = self.state(tag)?;
+        let state = self.state(tag, "end-of-stream")?;
         if state.seq_count.is_some() {
             return Err(PrismaError::Execution(format!(
                 "stream {tag}: duplicate end-of-stream"
@@ -124,7 +136,7 @@ impl<T> StreamReassembly<T> {
     fn note_progress(&mut self, tag: u64) {
         if self.streams[&tag].is_complete() {
             self.streams.remove(&tag);
-            self.completed += 1;
+            self.done.insert(tag);
         }
     }
 
@@ -136,7 +148,7 @@ impl<T> StreamReassembly<T> {
 
     /// Streams completed so far.
     pub fn completed(&self) -> usize {
-        self.completed
+        self.done.len()
     }
 
     /// Tags of streams still owed chunks or an end marker (sorted — the
@@ -205,6 +217,37 @@ mod tests {
         let mut r: StreamReassembly<u32> = StreamReassembly::expecting([1]);
         r.finish(1, 0).unwrap();
         assert!(r.all_complete());
+    }
+
+    #[test]
+    fn traffic_for_a_completed_stream_is_a_protocol_error() {
+        // Regression: a duplicate StreamEnd for a tag that already
+        // completed used to surface as a confusing "unknown stream"
+        // (completed streams were dropped from the map); it must be a
+        // duplicate-end protocol error, and straggler chunks after
+        // completion must be duplicates too.
+        let mut r: StreamReassembly<u32> = StreamReassembly::expecting([0, 1]);
+        let mut out = Vec::new();
+        r.accept(0, 0, 0, &mut out).unwrap();
+        r.finish(0, 1).unwrap();
+        assert_eq!(r.completed(), 1, "stream 0 is complete");
+        let err = r.finish(0, 1).unwrap_err().to_string();
+        assert!(
+            err.contains("stream 0") && err.contains("after stream completed"),
+            "duplicate end for a completed stream mis-reported: {err}"
+        );
+        let err = r.accept(0, 0, 9, &mut out).unwrap_err().to_string();
+        assert!(
+            err.contains("after stream completed"),
+            "straggler chunk for a completed stream mis-reported: {err}"
+        );
+        // A genuinely unknown stream still says so.
+        let err = r.finish(42, 0).unwrap_err().to_string();
+        assert!(err.contains("unknown stream 42"), "{err}");
+        // The still-open stream is unaffected by the rejected traffic.
+        r.finish(1, 0).unwrap();
+        assert!(r.all_complete());
+        assert_eq!(r.completed(), 2);
     }
 
     #[test]

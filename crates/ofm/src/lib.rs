@@ -28,4 +28,4 @@ pub mod fragment;
 pub mod ofm;
 
 pub use fragment::{Fragment, FragmentStats};
-pub use ofm::{AccessPath, Ofm, OfmKind};
+pub use ofm::{shuffle_extras, AccessPath, Ofm, OfmKind, SHUFFLE_LEFT, SHUFFLE_RIGHT};

@@ -11,6 +11,26 @@ use prisma_types::{FragmentId, PrismaError, Result, Schema, Tuple, TxnId, Value}
 
 use crate::fragment::{Fragment, FragmentStats};
 
+/// Scan name the phase-2 shuffle-join plan binds the collected left
+/// (probe) buckets to.
+pub const SHUFFLE_LEFT: &str = "__shuffle_l";
+
+/// Scan name the phase-2 shuffle-join plan binds the collected right
+/// (build) buckets to.
+pub const SHUFFLE_RIGHT: &str = "__shuffle_r";
+
+/// Provider bindings for a site-local shuffle join: the reassembled
+/// bucket rows of both sides under the agreed scan names, ready for
+/// [`Ofm::open_physical`]. One place owns the naming convention shared
+/// by the coordinator (which builds the site plan) and the site actor
+/// (which runs it).
+pub fn shuffle_extras(left: Relation, right: Relation) -> HashMap<String, Arc<Relation>> {
+    HashMap::from([
+        (SHUFFLE_LEFT.to_owned(), Arc::new(left)),
+        (SHUFFLE_RIGHT.to_owned(), Arc::new(right)),
+    ])
+}
+
 /// The OFM type, per the paper's *generative approach*: "Several OFM types
 /// are envisioned, each equipped with the right amount of tools. For
 /// example, OFMs needed for query processing only, do not require

@@ -16,7 +16,7 @@
 //!
 //! Every choice is recorded in the explain [`Trace`].
 
-use prisma_relalg::{lower_with, JoinStrategy, LogicalPlan, PhysicalPlan};
+use prisma_relalg::{lower_with, JoinStrategy, LogicalPlan, PhysicalPlan, ShufflePlacement};
 use prisma_storage::expr::ScalarExpr;
 use prisma_types::Result;
 
@@ -30,6 +30,10 @@ pub struct PhysicalConfig {
     /// Broadcast a join side when its estimated row count is at most
     /// this; otherwise partition both sides.
     pub broadcast_max_rows: f64,
+    /// Bucket count for partitioned-join shuffles (None = one bucket per
+    /// fragment of the larger side). Exposed so experiments and tests
+    /// can force bucket-count/fragment-count mismatches.
+    pub shuffle_parts: Option<usize>,
 }
 
 impl Default for PhysicalConfig {
@@ -39,6 +43,7 @@ impl Default for PhysicalConfig {
             // that, repartitioning moves each tuple once instead of
             // |fragments| times.
             broadcast_max_rows: 1024.0,
+            shuffle_parts: None,
         }
     }
 }
@@ -71,9 +76,177 @@ pub fn lower_physical(
         trace.note("physical-join-strategy", note);
     }
     let physical = fuse_projections(physical, trace);
+    let physical = place_shuffles(physical, stats, config, trace);
     note_vectorized(&physical, trace);
     note_exchanges(&physical, trace);
     Ok(physical)
+}
+
+/// The base relation a shippable join side scans, when the side is a
+/// single-relation operator chain (the only shape the parallel executor
+/// runs as a grace join).
+fn scanned_base_relation(plan: &PhysicalPlan) -> Option<&str> {
+    match plan {
+        PhysicalPlan::SeqScan { relation, .. } => {
+            (!relation.starts_with("__") && !relation.starts_with('Δ'))
+                .then_some(relation.as_str())
+        }
+        PhysicalPlan::Filter { input, .. } | PhysicalPlan::Project { input, .. } => {
+            scanned_base_relation(input)
+        }
+        _ => None,
+    }
+}
+
+/// Emit the shuffle placement map for every partitioned join whose sides
+/// scan known-fragmented base relations: bucket `j` of both sides is
+/// joined at a fragment of the **left** (probe) relation, chosen
+/// round-robin, so phase-1 streams address their chunks straight at the
+/// phase-2 site actors instead of relaying through the coordinator.
+/// Bucket count defaults to the larger side's fragment count
+/// ([`PhysicalConfig::shuffle_parts`] overrides).
+fn place_shuffles(
+    plan: PhysicalPlan,
+    stats: &dyn StatsSource,
+    config: PhysicalConfig,
+    trace: &mut Trace,
+) -> PhysicalPlan {
+    match plan {
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            kind,
+            on,
+            residual,
+            strategy: JoinStrategy::Partitioned,
+            placement: None,
+        } => {
+            let left = Box::new(place_shuffles(*left, stats, config, trace));
+            let right = Box::new(place_shuffles(*right, stats, config, trace));
+            let placement = match (
+                scanned_base_relation(&left).and_then(|r| stats.fragmentation(r)),
+                scanned_base_relation(&right).and_then(|r| stats.fragmentation(r)),
+            ) {
+                (Some(lfrags), Some(rfrags)) if !lfrags.is_empty() => {
+                    let parts = config
+                        .shuffle_parts
+                        .unwrap_or_else(|| lfrags.len().max(rfrags.len()))
+                        .max(1);
+                    let p = ShufflePlacement::round_robin(parts, &lfrags);
+                    trace.note(
+                        "physical-shuffle-placement",
+                        format!(
+                            "{} bucket(s) over {} site(s) of {}",
+                            p.parts,
+                            lfrags.len().min(p.parts),
+                            scanned_base_relation(&left).expect("checked above"),
+                        ),
+                    );
+                    Some(p)
+                }
+                _ => None,
+            };
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                kind,
+                on,
+                residual,
+                strategy: JoinStrategy::Partitioned,
+                placement,
+            }
+        }
+        other => map_children(other, &mut |c| place_shuffles(c, stats, config, trace)),
+    }
+}
+
+/// Rebuild one node with `f` applied to each child (structure-preserving
+/// recursion helper for physical-plan passes).
+fn map_children(
+    plan: PhysicalPlan,
+    f: &mut impl FnMut(PhysicalPlan) -> PhysicalPlan,
+) -> PhysicalPlan {
+    match plan {
+        PhysicalPlan::Filter { input, predicate } => PhysicalPlan::Filter {
+            input: Box::new(f(*input)),
+            predicate,
+        },
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => PhysicalPlan::Project {
+            input: Box::new(f(*input)),
+            exprs,
+            schema,
+        },
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            kind,
+            on,
+            residual,
+            strategy,
+            placement,
+        } => PhysicalPlan::HashJoin {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            kind,
+            on,
+            residual,
+            strategy,
+            placement,
+        },
+        PhysicalPlan::NestedLoopJoin {
+            left,
+            right,
+            kind,
+            residual,
+        } => PhysicalPlan::NestedLoopJoin {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            kind,
+            residual,
+        },
+        PhysicalPlan::Union { left, right, all } => PhysicalPlan::Union {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            all,
+        },
+        PhysicalPlan::Difference { left, right } => PhysicalPlan::Difference {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+        },
+        PhysicalPlan::Distinct { input } => PhysicalPlan::Distinct {
+            input: Box::new(f(*input)),
+        },
+        PhysicalPlan::HashAggregate {
+            input,
+            group_by,
+            aggs,
+        } => PhysicalPlan::HashAggregate {
+            input: Box::new(f(*input)),
+            group_by,
+            aggs,
+        },
+        PhysicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
+            input: Box::new(f(*input)),
+            keys,
+        },
+        PhysicalPlan::Limit { input, n } => PhysicalPlan::Limit {
+            input: Box::new(f(*input)),
+            n,
+        },
+        PhysicalPlan::Closure { input } => PhysicalPlan::Closure {
+            input: Box::new(f(*input)),
+        },
+        PhysicalPlan::Fixpoint { name, base, step } => PhysicalPlan::Fixpoint {
+            name,
+            base: Box::new(f(*base)),
+            step: Box::new(f(*step)),
+        },
+        leaf @ (PhysicalPlan::SeqScan { .. } | PhysicalPlan::Values { .. }) => leaf,
+    }
 }
 
 /// Record in the EXPLAIN trace how each exchange (fragment→coordinator
@@ -99,7 +272,9 @@ fn note_exchanges(plan: &PhysicalPlan, trace: &mut Trace) {
             match strategy {
                 JoinStrategy::Partitioned => trace.note(
                     "physical-exchange",
-                    "partitioned join: both sides stream buckets per-batch".to_owned(),
+                    "partitioned join: both sides stream buckets per-batch, \
+                     addressed fragment→fragment at the phase-2 sites"
+                        .to_owned(),
                 ),
                 JoinStrategy::Broadcast => trace.note(
                     "physical-exchange",
@@ -223,6 +398,7 @@ fn fuse_projections(plan: PhysicalPlan, trace: &mut Trace) -> PhysicalPlan {
             on,
             residual,
             strategy,
+            placement,
         } => PhysicalPlan::HashJoin {
             left: Box::new(fuse_projections(*left, trace)),
             right: Box::new(fuse_projections(*right, trace)),
@@ -230,6 +406,7 @@ fn fuse_projections(plan: PhysicalPlan, trace: &mut Trace) -> PhysicalPlan {
             on,
             residual,
             strategy,
+            placement,
         },
         PhysicalPlan::NestedLoopJoin {
             left,
@@ -418,6 +595,87 @@ mod tests {
             .fired
             .iter()
             .any(|f| f.contains("partitioned join: both sides stream buckets per-batch")));
+    }
+
+    /// Stats source that also knows fragmentation (what the GDH data
+    /// dictionary provides at run time).
+    struct Fragged(HashMap<String, TableStats>, HashMap<String, Vec<prisma_types::FragmentId>>);
+
+    impl StatsSource for Fragged {
+        fn table_stats(&self, name: &str) -> Option<TableStats> {
+            self.0.get(name).cloned()
+        }
+        fn fragmentation(&self, name: &str) -> Option<Vec<prisma_types::FragmentId>> {
+            self.1.get(name).cloned()
+        }
+    }
+
+    #[test]
+    fn partitioned_join_gets_a_shuffle_placement_map() {
+        use prisma_types::FragmentId;
+        let frags: HashMap<String, Vec<FragmentId>> = [
+            ("big".to_owned(), vec![FragmentId(0), FragmentId(1)]),
+            ("huge".to_owned(), (2..5).map(FragmentId).collect()),
+        ]
+        .into_iter()
+        .collect();
+        let s = Fragged(stats(), frags);
+        let join = LogicalPlan::scan("big", schema2())
+            .join(LogicalPlan::scan("huge", schema2()), vec![(0, 0)]);
+        let mut trace = Trace::default();
+        let phys = lower_physical(&join, &s, PhysicalConfig::default(), &mut trace).unwrap();
+        let PhysicalPlan::HashJoin {
+            placement: Some(p), ..
+        } = &phys
+        else {
+            panic!("no placement: {phys}");
+        };
+        // Buckets = the larger side's fragment count; every site is a
+        // fragment of the left (probe) relation, round-robin.
+        assert_eq!(p.parts, 3);
+        assert_eq!(p.sites, vec![FragmentId(0), FragmentId(1), FragmentId(0)]);
+        assert_eq!(p.by_site().len(), 2);
+        assert_eq!(trace.count_of("physical-shuffle-placement"), 1);
+        assert!(phys.to_string().contains("shuffle 3×buckets→2 site(s)"), "{phys}");
+
+        // The bucket count is overridable — including past the fragment
+        // count (the mismatch edge the executor must survive).
+        let s = Fragged(
+            stats(),
+            [
+                ("big".to_owned(), vec![FragmentId(0), FragmentId(1)]),
+                ("huge".to_owned(), (2..5).map(FragmentId).collect()),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let cfg = PhysicalConfig {
+            shuffle_parts: Some(7),
+            ..PhysicalConfig::default()
+        };
+        let mut trace = Trace::default();
+        let phys = lower_physical(&join, &s, cfg, &mut trace).unwrap();
+        let PhysicalPlan::HashJoin {
+            placement: Some(p), ..
+        } = &phys
+        else {
+            panic!("no placement: {phys}");
+        };
+        assert_eq!(p.parts, 7);
+        assert_eq!(p.sites.len(), 7);
+
+        // Without fragmentation knowledge the map is omitted (the
+        // executor derives a default).
+        let mut trace = Trace::default();
+        let phys =
+            lower_physical(&join, &stats(), PhysicalConfig::default(), &mut trace).unwrap();
+        assert!(matches!(
+            phys,
+            PhysicalPlan::HashJoin {
+                placement: None,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -62,6 +62,15 @@ impl TableStats {
 pub trait StatsSource {
     /// Stats for a base relation, if known.
     fn table_stats(&self, name: &str) -> Option<TableStats>;
+
+    /// Fragment ids of a base relation in partition order — the
+    /// placement input the physical pass uses to emit shuffle placement
+    /// maps for partitioned joins. `None` (the default) means the
+    /// fragmentation is unknown and the executor derives a placement at
+    /// run time.
+    fn fragmentation(&self, _name: &str) -> Option<Vec<prisma_types::FragmentId>> {
+        None
+    }
 }
 
 impl StatsSource for HashMap<String, TableStats> {

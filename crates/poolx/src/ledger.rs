@@ -25,6 +25,10 @@ struct LedgerInner {
     byte_hops: u64,
     est_transfer_ns: f64,
     per_pe_sent: Vec<u64>,
+    /// Remote payload bytes sent per source PE.
+    per_pe_sent_bytes: Vec<u64>,
+    /// Remote payload bytes received per destination PE.
+    per_pe_recv_bytes: Vec<u64>,
 }
 
 impl TrafficLedger {
@@ -35,6 +39,8 @@ impl TrafficLedger {
             cost,
             inner: Mutex::new(LedgerInner {
                 per_pe_sent: vec![0; n],
+                per_pe_sent_bytes: vec![0; n],
+                per_pe_recv_bytes: vec![0; n],
                 ..LedgerInner::default()
             }),
         }
@@ -57,6 +63,12 @@ impl TrafficLedger {
         }
         inner.remote_messages += 1;
         inner.remote_bytes += bytes as u64;
+        if let Some(slot) = inner.per_pe_sent_bytes.get_mut(src.index()) {
+            *slot += bytes as u64;
+        }
+        if let Some(slot) = inner.per_pe_recv_bytes.get_mut(dst.index()) {
+            *slot += bytes as u64;
+        }
         inner.byte_hops += self.cost.byte_hops(src, dst, bytes as u64);
         inner.est_transfer_ns += self.cost.transfer_ns(src, dst, bytes as u64);
     }
@@ -91,12 +103,25 @@ impl TrafficLedger {
         self.inner.lock().per_pe_sent.clone()
     }
 
+    /// Remote payload bytes one PE sent and received — `(sent, recv)`.
+    /// `pe_bytes(COORDINATOR_PE)` is the E7 experiment's measure of how
+    /// much data transits the coordinator.
+    pub fn pe_bytes(&self, pe: PeId) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (
+            inner.per_pe_sent_bytes.get(pe.index()).copied().unwrap_or(0),
+            inner.per_pe_recv_bytes.get(pe.index()).copied().unwrap_or(0),
+        )
+    }
+
     /// Zero all counters.
     pub fn reset(&self) {
         let mut inner = self.inner.lock();
         let n = inner.per_pe_sent.len();
         *inner = LedgerInner {
             per_pe_sent: vec![0; n],
+            per_pe_sent_bytes: vec![0; n],
+            per_pe_recv_bytes: vec![0; n],
             ..LedgerInner::default()
         };
     }
@@ -130,7 +155,10 @@ mod tests {
         assert_eq!(l.byte_hops(), 100 + 1400);
         assert!(l.est_transfer_ns() > 0.0);
         assert_eq!(l.per_pe_sent()[0], 2);
+        assert_eq!(l.pe_bytes(PeId(0)), (200, 0));
+        assert_eq!(l.pe_bytes(PeId(63)), (0, 100));
         l.reset();
         assert_eq!(l.remote_messages(), 0);
+        assert_eq!(l.pe_bytes(PeId(0)), (0, 0));
     }
 }

@@ -27,4 +27,4 @@ pub mod ledger;
 pub mod runtime;
 
 pub use ledger::TrafficLedger;
-pub use runtime::{Ctx, ExternalMailbox, PoolRuntime, Process, WireMessage};
+pub use runtime::{Ctx, ExternalMailbox, PoolRuntime, Process, WireMessage, COORDINATOR_PE};

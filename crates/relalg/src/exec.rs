@@ -27,24 +27,26 @@
 //!   expressions evaluate column-at-a-time through the vectorized
 //!   kernels in [`prisma_storage::expr`].
 //!
-//! Pivoting between the forms is **lazy** and follows two rules:
+//! Pivoting between the forms is **lazy in both directions and lazy per
+//! column**:
 //!
-//! 1. *Rows → columns* happens the first time an operator asks for
-//!    [`Batch::to_columns`] (Filter/Project do). The pivot decomposes
-//!    every attribute into a typed vector once per batch; the original
-//!    tuple vector is kept alongside, so pivoting *back* to rows only
-//!    bumps refcounts instead of re-assembling tuples.
+//! 1. *Rows → columns* happens per attribute, the first time a kernel
+//!    references that attribute ([`prisma_types::LazyColumns::col`]).
+//!    [`Batch::to_columns`] itself pivots nothing: it wraps the rows in
+//!    a [`prisma_types::LazyColumns`], and a filter on `a < 5` over a
+//!    batch with a fat `Str` column never deep-copies the strings —
+//!    unreferenced columns are never built. The original tuple vector is
+//!    kept alongside, so pivoting *back* to rows only bumps refcounts
+//!    instead of re-assembling tuples.
 //! 2. *Columns → rows* happens at materialization points — blocking
 //!    operators, [`collect_batches`], join output, and the OFM wire
 //!    boundary ([`Batch::into_rows`]) — and is cached per batch, so
 //!    repeated [`Batch::tuples`] calls pivot at most once.
 //!
 //! A Filter over a columnar batch is pure selection refinement: the
-//! output batch shares the input's columns untouched and only the
+//! output batch shares the input's column set untouched and only the
 //! selection vector changes, so filtering allocates no per-tuple memory
-//! at all. (Pivoting a `Str` column still deep-copies the strings — the
-//! tradeoff is documented on [`ColumnVec`]; numeric hot paths dominate
-//! the fragment workloads this executor targets.)
+//! at all.
 //!
 //! The reference evaluator in [`mod@crate::eval`] remains the semantics
 //! oracle: `execute_physical(lower(p), db)` must agree with `eval(p, db)`
@@ -54,7 +56,7 @@ use std::sync::{Arc, OnceLock};
 
 use prisma_storage::expr::{CompiledPredicate, CompiledVecExpr, CompiledVecPredicate};
 use prisma_storage::{FastMap, FastSet, FnvBuild};
-use prisma_types::{ColumnVec, PrismaError, Result, Schema, SelVec, Tuple, Value};
+use prisma_types::{ColumnVec, LazyColumns, PrismaError, Result, Schema, SelVec, Tuple, Value};
 
 use crate::agg::{Accumulator, AggExpr, AggFunc};
 use crate::eval::{transitive_closure, EvalContext, RelationProvider};
@@ -65,10 +67,10 @@ use crate::table::Relation;
 /// Target tuples per batch.
 pub const BATCH_SIZE: usize = 1024;
 
-/// The shared column set of a columnar batch: one `Arc`d [`ColumnVec`]
-/// per attribute, the whole set `Arc`d again so a filtered batch shares
-/// it with its input.
-pub type SharedColumns = Arc<Vec<Arc<ColumnVec>>>;
+/// The shared column set of a columnar batch: a lazily-pivoting
+/// [`LazyColumns`], `Arc`d so a filtered batch shares it (and every
+/// column it ever materializes) with its input.
+pub type SharedColumns = Arc<LazyColumns>;
 
 /// A batch of tuples flowing between operators (and between machines).
 ///
@@ -94,15 +96,14 @@ enum BatchInner {
     },
     Owned(Vec<Tuple>),
     Columns {
-        /// One typed vector per attribute, each of the batch's *full*
-        /// (pre-selection) length; shared untouched through filters.
+        /// The per-attribute lazily-pivoting column set, each column of
+        /// the batch's *full* (pre-selection) length; shared untouched
+        /// through filters. When the set was built from rows, it retains
+        /// them, so pivoting back gathers refcounted tuples instead of
+        /// re-assembling them from column values.
         cols: SharedColumns,
         /// The live rows of `cols`.
         sel: SelVec,
-        /// The full-length row form this batch was pivoted from, when it
-        /// exists — pivoting back then gathers refcounted tuples instead
-        /// of re-assembling them from column values.
-        src_rows: Option<Arc<Vec<Tuple>>>,
         /// Lazily materialized selected rows (shared across clones).
         rows: Arc<OnceLock<Vec<Tuple>>>,
     },
@@ -127,14 +128,13 @@ impl Batch {
         Batch::from_inner(BatchInner::Shared { rel, start, end })
     }
 
-    /// Columnar batch: `sel` selects the live rows of `cols` (every
-    /// column must have length `sel.len()`).
+    /// Columnar batch over materialized columns: `sel` selects the live
+    /// rows of `cols` (every column must have length `sel.len()`).
     pub fn columns(cols: Vec<Arc<ColumnVec>>, sel: SelVec) -> Batch {
         debug_assert!(cols.iter().all(|c| c.len() == sel.len()));
         Batch::from_inner(BatchInner::Columns {
-            cols: Arc::new(cols),
+            cols: Arc::new(LazyColumns::from_cols(cols)),
             sel,
-            src_rows: None,
             rows: Arc::new(OnceLock::new()),
         })
     }
@@ -144,12 +144,9 @@ impl Batch {
         match &self.inner {
             BatchInner::Shared { rel, start, end } => &rel.tuples()[*start..*end],
             BatchInner::Owned(rows) => rows,
-            BatchInner::Columns {
-                cols,
-                sel,
-                src_rows,
-                rows,
-            } => rows.get_or_init(|| pivot_to_rows(cols, sel, src_rows.as_deref())),
+            BatchInner::Columns { cols, sel, rows } => {
+                rows.get_or_init(|| pivot_to_rows(cols, sel))
+            }
         }
     }
 
@@ -180,18 +177,11 @@ impl Batch {
         match self.inner {
             BatchInner::Shared { rel, start, end } => rel.tuples()[start..end].to_vec(),
             BatchInner::Owned(rows) => rows,
-            BatchInner::Columns {
-                cols,
-                sel,
-                src_rows,
-                rows,
-            } => match Arc::try_unwrap(rows) {
+            BatchInner::Columns { cols, sel, rows } => match Arc::try_unwrap(rows) {
                 Ok(cell) => cell
                     .into_inner()
-                    .unwrap_or_else(|| pivot_to_rows(&cols, &sel, src_rows.as_deref())),
-                Err(shared) => shared
-                    .get_or_init(|| pivot_to_rows(&cols, &sel, src_rows.as_deref()))
-                    .clone(),
+                    .unwrap_or_else(|| pivot_to_rows(&cols, &sel)),
+                Err(shared) => shared.get_or_init(|| pivot_to_rows(&cols, &sel)).clone(),
             },
         }
     }
@@ -210,45 +200,41 @@ impl Batch {
         }
     }
 
-    /// The columnar form: shared column vectors plus the live-row
-    /// selection. Row-oriented batches pivot here (once per call — callers
-    /// hold on to the result); columnar batches hand out their columns
-    /// for free.
-    pub fn to_columns(&self) -> (SharedColumns, SelVec, Option<Arc<Vec<Tuple>>>) {
+    /// The columnar form: the shared (lazily-pivoting) column set plus
+    /// the live-row selection. Row-oriented batches wrap their rows here
+    /// without pivoting anything — each attribute pivots on first kernel
+    /// reference; columnar batches hand out their set for free.
+    pub fn to_columns(&self) -> (SharedColumns, SelVec) {
         match &self.inner {
-            BatchInner::Columns { cols, sel, src_rows, .. } => {
-                (Arc::clone(cols), sel.clone(), src_rows.clone())
-            }
+            BatchInner::Columns { cols, sel, .. } => (Arc::clone(cols), sel.clone()),
             _ => {
                 let rows = self.tuples();
-                let cols = ColumnVec::pivot(rows);
-                let src: Vec<Tuple> = rows.to_vec();
-                (Arc::new(cols), SelVec::all(src.len()), Some(Arc::new(src)))
+                let n = rows.len();
+                (
+                    Arc::new(LazyColumns::from_rows(Arc::new(rows.to_vec()))),
+                    SelVec::all(n),
+                )
             }
         }
     }
 
-    /// Columnar batch over already-shared columns (Filter's output: same
-    /// columns, refined selection).
-    fn columns_shared(
-        cols: SharedColumns,
-        sel: SelVec,
-        src_rows: Option<Arc<Vec<Tuple>>>,
-    ) -> Batch {
+    /// Columnar batch over an already-shared column set (Filter's output:
+    /// same columns, refined selection).
+    fn columns_shared(cols: SharedColumns, sel: SelVec) -> Batch {
         Batch::from_inner(BatchInner::Columns {
             cols,
             sel,
-            src_rows,
             rows: Arc::new(OnceLock::new()),
         })
     }
 
     /// Value of attribute `col` in the `row`-th live row, served from the
-    /// columnar form when present (no tuple is materialized).
+    /// columnar form when present (no tuple is materialized, and a point
+    /// read never forces a column pivot).
     #[inline]
     pub fn value_at(&self, row: usize, col: usize) -> Value {
         match &self.inner {
-            BatchInner::Columns { cols, sel, .. } => cols[col].value_at(sel.nth(row)),
+            BatchInner::Columns { cols, sel, .. } => cols.value_at(sel.nth(row), col),
             _ => self.tuples()[row].get(col).clone(),
         }
     }
@@ -261,19 +247,18 @@ impl Batch {
     }
 }
 
-/// Materialize the selected rows of a columnar batch. When the source row
-/// form survives, gather refcounted tuples; otherwise assemble tuples
-/// from column values.
-fn pivot_to_rows(
-    cols: &[Arc<ColumnVec>],
-    sel: &SelVec,
-    src_rows: Option<&Vec<Tuple>>,
-) -> Vec<Tuple> {
-    match src_rows {
+/// Materialize the selected rows of a columnar batch. When the column
+/// set retains its source row form, gather refcounted tuples; otherwise
+/// assemble tuples from column values (all columns are materialized in
+/// that case — operator output never drops its columns).
+fn pivot_to_rows(cols: &LazyColumns, sel: &SelVec) -> Vec<Tuple> {
+    match cols.src_rows() {
         Some(rows) => sel.iter().map(|idx| rows[idx].clone()).collect(),
         None => sel
             .iter()
-            .map(|idx| Tuple::new(cols.iter().map(|c| c.value_at(idx)).collect()))
+            .map(|idx| {
+                Tuple::new((0..cols.arity()).map(|c| cols.col(c).value_at(idx)).collect())
+            })
             .collect(),
     }
 }
@@ -600,7 +585,7 @@ impl Operator for FilterOp {
             if batch.is_empty() {
                 continue;
             }
-            let (cols, sel, src_rows) = batch.to_columns();
+            let (cols, sel) = batch.to_columns();
             self.pred.select(&cols, &sel, &mut self.sel_buf);
             if self.sel_buf.is_empty() {
                 continue;
@@ -610,7 +595,7 @@ impl Operator for FilterOp {
             } else {
                 SelVec::from_indices(sel.len(), self.sel_buf.clone())
             };
-            return Ok(Some(Batch::columns_shared(cols, kept, src_rows)));
+            return Ok(Some(Batch::columns_shared(cols, kept)));
         }
         Ok(None)
     }
@@ -634,7 +619,7 @@ impl Operator for ProjectOp {
             if batch.is_empty() {
                 continue;
             }
-            let (cols, sel, _) = batch.to_columns();
+            let (cols, sel) = batch.to_columns();
             let out: Vec<Arc<ColumnVec>> =
                 self.exprs.iter().map(|e| e.eval(&cols, &sel)).collect();
             return Ok(Some(Batch::columns(out, SelVec::all(sel.count()))));
@@ -1236,9 +1221,17 @@ mod tests {
             let BatchInner::Columns { cols, sel, .. } = &b.inner else {
                 panic!("filter output should be columnar");
             };
-            // Selection refines; columns keep the full pre-filter length.
+            // Selection refines; materialized columns keep the full
+            // pre-filter length, and only the predicate's column (0) was
+            // ever pivoted.
             assert!(sel.count() <= sel.len());
-            assert!(cols.iter().all(|c| c.len() == sel.len()));
+            assert!(cols.is_materialized(0), "predicate column not pivoted");
+            assert_eq!(
+                cols.materialized_count(),
+                1,
+                "filter pivoted columns its predicate never references"
+            );
+            assert_eq!(cols.col(0).len(), sel.len());
         }
         // Pivot back to rows agrees with the oracle.
         let rel = collect_batches(phys.output_schema().unwrap(), batches);
@@ -1253,11 +1246,12 @@ mod tests {
     fn batch_pivot_roundtrip_and_wire_bits_cache() {
         let rows = vec![tuple![1, 2.5, "a"], tuple![2, -0.5, "bb"]];
         let b = Batch::owned(rows.clone());
-        let (cols, sel, src) = b.to_columns();
-        assert_eq!(cols.len(), 3);
+        let (cols, sel) = b.to_columns();
+        assert_eq!(cols.arity(), 3);
         assert!(sel.is_all());
-        assert!(src.is_some());
-        let col_batch = Batch::columns_shared(cols, SelVec::from_indices(2, vec![1]), src);
+        assert!(cols.src_rows().is_some());
+        assert_eq!(cols.materialized_count(), 0, "to_columns pivots nothing");
+        let col_batch = Batch::columns_shared(cols, SelVec::from_indices(2, vec![1]));
         assert_eq!(col_batch.len(), 1);
         assert_eq!(col_batch.tuples(), &rows[1..]);
         // wire_bits of the pivoted batch equals the row computation, and

@@ -34,6 +34,6 @@ pub use eval::{eval, EvalContext, RelationProvider};
 pub use exec::{
     execute_batches, execute_physical, open_batches, Batch, BatchStream, Operator, BATCH_SIZE,
 };
-pub use physical::{lower, lower_with, JoinStrategy, PhysicalPlan};
+pub use physical::{lower, lower_with, JoinStrategy, PhysicalPlan, ShufflePlacement};
 pub use plan::{JoinKind, LogicalPlan};
 pub use table::Relation;

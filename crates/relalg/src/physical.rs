@@ -16,7 +16,7 @@
 use std::fmt;
 
 use prisma_storage::expr::ScalarExpr;
-use prisma_types::{PrismaError, Result, Schema, Tuple};
+use prisma_types::{FragmentId, PrismaError, Result, Schema, Tuple};
 
 use crate::agg::AggExpr;
 use crate::plan::{JoinKind, LogicalPlan};
@@ -40,6 +40,54 @@ impl fmt::Display for JoinStrategy {
             JoinStrategy::Broadcast => "broadcast",
             JoinStrategy::Partitioned => "partitioned",
         })
+    }
+}
+
+/// Where each hash bucket of a partitioned (grace) join is joined: the
+/// optimizer's **shuffle placement map**, naming the phase-2 site
+/// fragment per bucket so phase-1 repartition streams can be addressed
+/// fragment→fragment — the coordinator orchestrates but never relays
+/// tuples (paper §2.2: subqueries run where the data is).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShufflePlacement {
+    /// Bucket count both sides hash into.
+    pub parts: usize,
+    /// Owning (phase-2 site) fragment per bucket; length `parts`.
+    pub sites: Vec<FragmentId>,
+}
+
+impl ShufflePlacement {
+    /// Round-robin buckets over the site fragments (the default layout:
+    /// every site joins ⌈parts/sites⌉ buckets).
+    pub fn round_robin(parts: usize, site_fragments: &[FragmentId]) -> ShufflePlacement {
+        assert!(!site_fragments.is_empty(), "a shuffle needs at least one site");
+        ShufflePlacement {
+            parts,
+            sites: (0..parts)
+                .map(|j| site_fragments[j % site_fragments.len()])
+                .collect(),
+        }
+    }
+
+    /// The distinct sites in first-bucket order, each with the buckets it
+    /// owns.
+    pub fn by_site(&self) -> Vec<(FragmentId, Vec<usize>)> {
+        let mut order: Vec<FragmentId> = Vec::new();
+        let mut buckets: std::collections::HashMap<FragmentId, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (j, &site) in self.sites.iter().enumerate() {
+            if !buckets.contains_key(&site) {
+                order.push(site);
+            }
+            buckets.entry(site).or_default().push(j);
+        }
+        order
+            .into_iter()
+            .map(|s| {
+                let b = buckets.remove(&s).expect("collected above");
+                (s, b)
+            })
+            .collect()
     }
 }
 
@@ -93,6 +141,10 @@ pub enum PhysicalPlan {
         residual: Option<ScalarExpr>,
         /// Distribution strategy for the parallel executor.
         strategy: JoinStrategy,
+        /// For `Partitioned` joins: the optimizer's bucket→site map
+        /// driving the direct fragment→fragment shuffle (None = let the
+        /// executor derive a default placement).
+        placement: Option<ShufflePlacement>,
     },
     /// Theta join without equi-keys: materialize right, loop over left.
     NestedLoopJoin {
@@ -223,6 +275,7 @@ pub fn lower_with(plan: &LogicalPlan, choose: &mut StrategyChooser<'_>) -> Resul
                     on: on.clone(),
                     residual: residual.clone(),
                     strategy,
+                    placement: None,
                 }
             }
         }
@@ -433,10 +486,15 @@ impl PhysicalPlan {
                 on,
                 strategy,
                 residual,
+                placement,
                 ..
             } => {
                 let keys: Vec<String> = on.iter().map(|(l, r)| format!("l#{l}=r#{r}")).collect();
                 write!(f, "{pad}Hash{kind} [{strategy}] on [{}]", keys.join(", "))?;
+                if let Some(p) = placement {
+                    let sites: std::collections::HashSet<_> = p.sites.iter().collect();
+                    write!(f, " shuffle {}×buckets→{} site(s)", p.parts, sites.len())?;
+                }
                 if let Some(p) = residual {
                     write!(f, " filter {p}")?;
                 }

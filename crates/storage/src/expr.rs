@@ -15,7 +15,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use prisma_types::{ColumnVec, DataType, PrismaError, Result, Schema, SelVec, Tuple, Value};
+use prisma_types::{ColumnVec, DataType, LazyColumns, PrismaError, Result, Schema, SelVec, Tuple, Value};
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -545,8 +545,10 @@ pub struct CompiledVecExpr {
 }
 
 impl CompiledVecExpr {
-    /// Evaluate over the selected rows of a batch's columns.
-    pub fn eval(&self, cols: &[Arc<ColumnVec>], sel: &SelVec) -> Arc<ColumnVec> {
+    /// Evaluate over the selected rows of a batch's columns. Only the
+    /// columns the kernel tree references are ever materialized — the
+    /// lazy set pivots per column on first access.
+    pub fn eval(&self, cols: &LazyColumns, sel: &SelVec) -> Arc<ColumnVec> {
         self.node.eval(cols, SelView::from(sel))
     }
 }
@@ -564,7 +566,7 @@ pub struct CompiledVecPredicate {
 impl CompiledVecPredicate {
     /// Append to `out` (cleared first) the row indices within `sel` that
     /// satisfy the predicate, in ascending order. NULL/unknown rejects.
-    pub fn select(&mut self, cols: &[Arc<ColumnVec>], sel: &SelVec, out: &mut Vec<u32>) {
+    pub fn select(&mut self, cols: &LazyColumns, sel: &SelVec, out: &mut Vec<u32>) {
         out.clear();
         let mut first = true;
         for f in &self.factors {
@@ -655,11 +657,11 @@ impl VecNode {
         }
     }
 
-    fn eval(&self, cols: &[Arc<ColumnVec>], sel: SelView<'_>) -> Arc<ColumnVec> {
+    fn eval(&self, cols: &LazyColumns, sel: SelView<'_>) -> Arc<ColumnVec> {
         match self {
             VecNode::Col(i) => match sel {
-                SelView::All(_) => Arc::clone(&cols[*i]),
-                SelView::Idx(ix) => Arc::new(cols[*i].gather(ix)),
+                SelView::All(_) => Arc::clone(cols.col(*i)),
+                SelView::Idx(ix) => Arc::new(cols.col(*i).gather(ix)),
             },
             VecNode::Lit(v) => Arc::new(const_column(v, sel.count())),
             VecNode::Cmp(op, l, r) => {
@@ -715,11 +717,11 @@ impl PredFactor {
         PredFactor::General(VecNode::from_expr(e))
     }
 
-    fn filter(&self, cols: &[Arc<ColumnVec>], sel: SelView<'_>, out: &mut Vec<u32>) {
+    fn filter(&self, cols: &LazyColumns, sel: SelView<'_>, out: &mut Vec<u32>) {
         match self {
-            PredFactor::CmpColLit(op, i, v) => cmp_col_lit_filter(*op, &cols[*i], v, sel, out),
+            PredFactor::CmpColLit(op, i, v) => cmp_col_lit_filter(*op, cols.col(*i), v, sel, out),
             PredFactor::CmpColCol(op, i, j) => {
-                cmp_col_col_filter(*op, &cols[*i], &cols[*j], sel, out)
+                cmp_col_col_filter(*op, cols.col(*i), cols.col(*j), sel, out)
             }
             PredFactor::General(node) => {
                 let col = node.eval(cols, sel);
@@ -1292,17 +1294,14 @@ mod tests {
 
     /// Columns for a small batch over `schema()`-shaped rows (a Int,
     /// b Double, s Str, n nullable Int).
-    fn batch_columns() -> (Vec<Arc<ColumnVec>>, Vec<Tuple>) {
+    fn batch_columns() -> (LazyColumns, Vec<Tuple>) {
         let rows: Vec<Tuple> = vec![
             tuple![10, 2.5, "hi"].concat(&Tuple::new(vec![Value::Null])),
             tuple![3, -1.0, "zz"].concat(&tuple![7]),
             tuple![-4, 0.0, "hi"].concat(&tuple![0]),
             tuple![i64::MAX, 9.25, "aa"].concat(&Tuple::new(vec![Value::Null])),
         ];
-        let cols = (0..4)
-            .map(|c| Arc::new(ColumnVec::from_values(rows.iter().map(move |t| t.get(c)))))
-            .collect();
-        (cols, rows)
+        (LazyColumns::from_rows(Arc::new(rows.clone())), rows)
     }
 
     fn vec_exprs() -> Vec<ScalarExpr> {
@@ -1395,10 +1394,10 @@ mod tests {
 
     #[test]
     fn vectorized_predicate_on_empty_batch() {
-        let cols: Vec<Arc<ColumnVec>> = vec![Arc::new(ColumnVec::Int {
+        let cols = LazyColumns::from_cols(vec![Arc::new(ColumnVec::Int {
             data: vec![],
             nulls: None,
-        })];
+        })]);
         let mut vp = ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(0), ScalarExpr::lit(5))
             .compile_vec_predicate();
         let mut out = vec![9];

@@ -235,15 +235,19 @@ impl ColumnVec {
     }
 
     /// Pivot rows into one column per attribute (arity taken from the
-    /// first row) — the executor's, benches' and tests' shared
-    /// rows→columns conversion.
+    /// first row) — the benches' and tests' eager rows→columns
+    /// conversion. The executor pivots lazily per referenced column
+    /// through [`LazyColumns`] instead.
     pub fn pivot(rows: &[crate::tuple::Tuple]) -> Vec<std::sync::Arc<ColumnVec>> {
         let arity = rows.first().map_or(0, crate::tuple::Tuple::arity);
         (0..arity)
-            .map(|c| {
-                std::sync::Arc::new(ColumnVec::from_values(rows.iter().map(|t| t.get(c))))
-            })
+            .map(|c| std::sync::Arc::new(ColumnVec::pivot_one(rows, c)))
             .collect()
+    }
+
+    /// Pivot exactly one attribute of `rows` into a column.
+    pub fn pivot_one(rows: &[crate::tuple::Tuple], col: usize) -> ColumnVec {
+        ColumnVec::from_values(rows.iter().map(|t| t.get(col)))
     }
 
     /// New column holding the rows at `indices`, in that order (the
@@ -277,6 +281,104 @@ impl ColumnVec {
             },
             ColumnVec::Mixed(v) => ColumnVec::Mixed(take(v, indices)),
         }
+    }
+}
+
+/// The column set of a batch, pivoted **lazily per attribute**.
+///
+/// Pivoting a row batch decomposes tuples into typed [`ColumnVec`]s —
+/// which deep-copies `Str` payloads. A filter on `a < 5` over a batch
+/// with a fat string column must not pay for pivoting the strings, so
+/// the column set keeps the source rows and materializes each column the
+/// first time a kernel references it ([`LazyColumns::col`]). Columns a
+/// query never touches are never built.
+///
+/// Two constructions, one invariant:
+///
+/// * [`LazyColumns::from_rows`] — nothing pivoted yet, every column
+///   materializes on demand from the retained rows;
+/// * [`LazyColumns::from_cols`] — all columns pre-materialized (operator
+///   output such as a projection), no source rows.
+///
+/// When `src_rows` is `None`, every column slot is pre-filled — so
+/// [`LazyColumns::col`] always has a source to build from.
+#[derive(Debug)]
+pub struct LazyColumns {
+    /// Full-length row form the columns pivot from (and that consumers
+    /// gather refcounted tuples back out of).
+    src_rows: Option<std::sync::Arc<Vec<crate::tuple::Tuple>>>,
+    cols: Vec<std::sync::OnceLock<std::sync::Arc<ColumnVec>>>,
+}
+
+impl LazyColumns {
+    /// Column set over retained rows; no column is pivoted until first
+    /// referenced. Arity comes from the first row (0 for an empty batch).
+    pub fn from_rows(rows: std::sync::Arc<Vec<crate::tuple::Tuple>>) -> LazyColumns {
+        let arity = rows.first().map_or(0, crate::tuple::Tuple::arity);
+        LazyColumns {
+            src_rows: Some(rows),
+            cols: (0..arity).map(|_| std::sync::OnceLock::new()).collect(),
+        }
+    }
+
+    /// Column set from already-materialized columns (operator output).
+    pub fn from_cols(cols: Vec<std::sync::Arc<ColumnVec>>) -> LazyColumns {
+        LazyColumns {
+            src_rows: None,
+            cols: cols
+                .into_iter()
+                .map(|c| {
+                    let cell = std::sync::OnceLock::new();
+                    cell.set(c).expect("fresh cell");
+                    cell
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The retained full-length row form, when this set was built from
+    /// rows.
+    pub fn src_rows(&self) -> Option<&std::sync::Arc<Vec<crate::tuple::Tuple>>> {
+        self.src_rows.as_ref()
+    }
+
+    /// Attribute `i` as a column, pivoting it on first access (and only
+    /// it — sibling attributes stay un-pivoted).
+    pub fn col(&self, i: usize) -> &std::sync::Arc<ColumnVec> {
+        self.cols[i].get_or_init(|| {
+            let rows = self
+                .src_rows
+                .as_ref()
+                .expect("no src_rows implies every column is pre-filled");
+            std::sync::Arc::new(ColumnVec::pivot_one(rows, i))
+        })
+    }
+
+    /// Value of attribute `col` at (full-length) row index `idx`, read
+    /// from the materialized column when one exists and from the source
+    /// rows otherwise — a point read never forces a column pivot.
+    pub fn value_at(&self, idx: usize, col: usize) -> Value {
+        if let Some(c) = self.cols[col].get() {
+            return c.value_at(idx);
+        }
+        let rows = self.src_rows.as_ref().expect("unmaterialized implies rows");
+        rows[idx].get(col).clone()
+    }
+
+    /// Whether attribute `i` has been pivoted (observability for tests
+    /// asserting pivot laziness).
+    pub fn is_materialized(&self, i: usize) -> bool {
+        self.cols[i].get().is_some()
+    }
+
+    /// How many attributes have been pivoted so far.
+    pub fn materialized_count(&self) -> usize {
+        (0..self.arity()).filter(|&i| self.is_materialized(i)).count()
     }
 }
 
@@ -408,6 +510,35 @@ mod tests {
         assert_eq!(g.value_at(1), Value::Int(10));
         // No NULL survives the gather, so the mask is dropped entirely.
         assert!(matches!(g, ColumnVec::Int { nulls: None, .. }));
+    }
+
+    #[test]
+    fn lazy_columns_pivot_per_referenced_column_only() {
+        use crate::tuple::Tuple;
+        let rows: Vec<Tuple> = (0..4)
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::Str(format!("s{i}"))]))
+            .collect();
+        let lazy = LazyColumns::from_rows(std::sync::Arc::new(rows));
+        assert_eq!(lazy.arity(), 2);
+        assert_eq!(lazy.materialized_count(), 0, "nothing pivots up front");
+        // Point reads come from the rows without pivoting the column.
+        assert_eq!(lazy.value_at(3, 1), Value::Str("s3".into()));
+        assert_eq!(lazy.materialized_count(), 0);
+        // Referencing column 0 pivots it — and only it: the Str column's
+        // payloads are never deep-copied.
+        assert!(matches!(&**lazy.col(0), ColumnVec::Int { .. }));
+        assert!(lazy.is_materialized(0));
+        assert!(!lazy.is_materialized(1), "unreferenced Str column pivoted");
+        // A materialized column serves point reads from the column form.
+        assert_eq!(lazy.value_at(2, 0), Value::Int(2));
+
+        // from_cols is fully materialized and needs no rows.
+        let pre = LazyColumns::from_cols(vec![std::sync::Arc::new(
+            ColumnVec::from_values([Value::Int(7)].iter()),
+        )]);
+        assert!(pre.src_rows().is_none());
+        assert_eq!(pre.materialized_count(), 1);
+        assert_eq!(pre.col(0).value_at(0), Value::Int(7));
     }
 
     #[test]

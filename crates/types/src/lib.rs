@@ -20,7 +20,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use column::{ColumnVec, SelVec};
+pub use column::{ColumnVec, LazyColumns, SelVec};
 pub use config::{MachineConfig, TopologyKind};
 pub use error::{PrismaError, Result};
 pub use ids::{FragmentId, PeId, ProcessId, QueryId, TxnId};

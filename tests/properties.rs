@@ -10,7 +10,7 @@ use prisma::relalg::{eval, execute_physical, lower, AggExpr, AggFunc, LogicalPla
 use prisma::stable::encoding;
 use prisma::storage::expr::{ArithOp, CmpOp, ScalarExpr};
 use prisma::storage::{Marking, Rid};
-use prisma::types::{tuple, Column, ColumnVec, DataType, Schema, SelVec, Tuple, Value};
+use prisma::types::{tuple, Column, ColumnVec, DataType, LazyColumns, Schema, SelVec, Tuple, Value};
 use prisma::workload::values_clause;
 use prisma::PrismaMachine;
 
@@ -171,16 +171,18 @@ fn arb_mixed_predicate() -> impl Strategy<Value = ScalarExpr> {
     })
 }
 
-/// Pivot rows into one `ColumnVec` per attribute (the executor's own
-/// conversion — `ColumnVec::pivot` — so kernels are tested over exactly
-/// the columns the pipeline would build). For the empty batch, where
-/// arity is unknowable from the rows, three empty columns stand in so
-/// kernels still see every ordinal they reference.
-fn pivot_columns(rows: &[Tuple]) -> Vec<Arc<ColumnVec>> {
+/// Wrap rows in the executor's own lazily-pivoting column set
+/// (`LazyColumns`), so kernels are tested over exactly the columns the
+/// pipeline would build. For the empty batch, where arity is unknowable
+/// from the rows, three empty columns stand in so kernels still see
+/// every ordinal they reference.
+fn pivot_columns(rows: &[Tuple]) -> LazyColumns {
     if rows.is_empty() {
-        return (0..3).map(|_| Arc::new(ColumnVec::Mixed(Vec::new()))).collect();
+        return LazyColumns::from_cols(
+            (0..3).map(|_| Arc::new(ColumnVec::Mixed(Vec::new()))).collect(),
+        );
     }
-    ColumnVec::pivot(rows)
+    LazyColumns::from_rows(Arc::new(rows.to_vec()))
 }
 
 // ---------- randomized plans for executor-vs-oracle properties ----------
@@ -562,6 +564,241 @@ proptest! {
             .canonicalized();
         let merged: Vec<Tuple> = per_stream.into_iter().flatten().collect();
         let merged = Relation::new(schema, merged).canonicalized();
+        prop_assert_eq!(merged.tuples(), oracle.tuples());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    // Direct fragment→fragment shuffle: a grace join whose buckets are
+    // addressed straight at the phase-2 site actors (never relayed
+    // through the coordinator) matches the reference evaluator for the
+    // unfragmented relations — across mismatched fragment counts (3
+    // left, 2 right), bucket counts below/at/above the fragment count,
+    // and whatever chunk arrival order the multi-threaded runtime
+    // produces. The coordinator must relay zero bucket bits.
+    #[test]
+    fn direct_shuffle_grace_join_matches_eval_oracle(
+        lrows in prop::collection::vec((-25i64..25, -25i64..25, -25i64..25), 0..120),
+        rrows in prop::collection::vec((-25i64..25, -25i64..25, -25i64..25), 0..100),
+        parts in prop_oneof![Just(None), (1usize..9).prop_map(Some)],
+        key in 0usize..3,
+    ) {
+        use prisma::optimizer::PhysicalConfig;
+
+        let schema = int3_schema();
+        let to_rel = |rows: &[(i64, i64, i64)]| {
+            Relation::new(
+                schema.clone(),
+                rows.iter().map(|&(a, b, c)| tuple![a, b, c]).collect(),
+            )
+        };
+        let mut db = PrismaMachine::builder().pes(4).build().unwrap();
+        db.sql("CREATE TABLE l (a INT, b INT, c INT) FRAGMENTED BY HASH(a) INTO 3")
+            .unwrap();
+        db.sql("CREATE TABLE r (a INT, b INT, c INT) FRAGMENTED BY HASH(c) INTO 2")
+            .unwrap();
+        for (name, rows) in [("l", &lrows), ("r", &rrows)] {
+            let rel = to_rel(rows);
+            if !rel.is_empty() {
+                db.sql(&format!(
+                    "INSERT INTO {name} VALUES {}",
+                    values_clause(rel.tuples())
+                ))
+                .unwrap();
+            }
+        }
+        // Broadcast cap 0 forces the partitioned (grace) path for every
+        // equi-join; streaming stays on, so buckets shuffle directly.
+        db.gdh_mut().set_physical_config(PhysicalConfig {
+            broadcast_max_rows: 0.0,
+            shuffle_parts: parts,
+        });
+
+        let plan = LogicalPlan::scan("l", schema.clone())
+            .join(LogicalPlan::scan("r", schema.clone()), vec![(key, key)]);
+        let (rows, metrics) = db.gdh().query(&plan).unwrap();
+        prop_assert_eq!(metrics.partitioned_joins, 1, "not a grace join: {:?}", metrics);
+        prop_assert_eq!(
+            metrics.relayed_bits, 0,
+            "direct shuffle relayed buckets through the coordinator: {:?}",
+            metrics
+        );
+
+        let mut reference: HashMap<String, Relation> = HashMap::new();
+        reference.insert("l".into(), to_rel(&lrows));
+        reference.insert("r".into(), to_rel(&rrows));
+        let oracle = eval(&plan, &reference).unwrap().canonicalized();
+        let got = rows.canonicalized();
+        prop_assert_eq!(
+            got.tuples(),
+            oracle.tuples(),
+            "direct shuffle disagrees with the oracle (parts={:?}, key={})",
+            parts,
+            key
+        );
+        db.shutdown();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // The shuffle wire protocol itself, deterministically shuffled: per
+    // (source, site) bucket streams delivered in arbitrary order —
+    // chunks reordered within streams, end markers overtaking chunks,
+    // sites interleaved — reassemble into exactly the bucket contents
+    // the oracle join expects, whatever the bucket→site placement.
+    #[test]
+    fn shuffled_bucket_stream_delivery_matches_eval_join_oracle(
+        lrows in prop::collection::vec((-15i64..15, -15i64..15), 0..160),
+        rrows in prop::collection::vec((-15i64..15, -15i64..15), 0..140),
+        parts in 1usize..7,
+        n_sites in 1usize..4,
+        chunk_rows in 7usize..40,
+        keys in prop::collection::vec(any::<u64>(), 64),
+    ) {
+        use prisma::multicomputer::StreamReassembly;
+        use prisma::relalg::exec::partition_batches;
+        use prisma::relalg::Batch;
+
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+        ]);
+        let to_rel = |rows: &[(i64, i64)]| {
+            Relation::new(
+                schema.clone(),
+                rows.iter().map(|&(a, b)| tuple![a, b]).collect(),
+            )
+        };
+        // Placement: bucket j is owned by site j % n_sites. Two source
+        // fragments per side.
+        let site_of = |bucket: usize| bucket % n_sites;
+        let lsrc: Vec<Vec<Tuple>> = {
+            let rel = to_rel(&lrows);
+            let mid = rel.len() / 2;
+            vec![rel.tuples()[..mid].to_vec(), rel.tuples()[mid..].to_vec()]
+        };
+        let rsrc: Vec<Vec<Tuple>> = {
+            let rel = to_rel(&rrows);
+            let mid = rel.len() / 3;
+            vec![rel.tuples()[..mid].to_vec(), rel.tuples()[mid..].to_vec()]
+        };
+
+        // Build every (side, source, site) stream: sources partition each
+        // produced "batch" and group bucket slices per owning site, with
+        // per-site sequence numbers — exactly the ShuffleChunk shape.
+        type Payload = Vec<(usize, Vec<Tuple>)>;
+        enum Ev {
+            Chunk { site: usize, side: usize, tag: u64, seq: u64, payload: Payload },
+            End { site: usize, side: usize, tag: u64, seq_count: u64 },
+        }
+        let mut events: Vec<Ev> = Vec::new();
+        for (side, sources) in [&lsrc, &rsrc].into_iter().enumerate() {
+            for (tag, rows) in sources.iter().enumerate() {
+                let mut seqs = vec![0u64; n_sites];
+                for batch_rows in rows.chunks(chunk_rows.max(1)) {
+                    let buckets = partition_batches(
+                        vec![Batch::owned(batch_rows.to_vec())],
+                        &[0],
+                        parts,
+                    );
+                    let mut per_site: Vec<Payload> = vec![Vec::new(); n_sites];
+                    for (j, bucket_rows) in buckets.into_iter().enumerate() {
+                        if !bucket_rows.is_empty() {
+                            per_site[site_of(j)].push((j, bucket_rows));
+                        }
+                    }
+                    for (site, payload) in per_site.into_iter().enumerate() {
+                        if payload.is_empty() {
+                            continue;
+                        }
+                        events.push(Ev::Chunk {
+                            site,
+                            side,
+                            tag: tag as u64,
+                            seq: seqs[site],
+                            payload,
+                        });
+                        seqs[site] += 1;
+                    }
+                }
+                for (site, &seq_count) in seqs.iter().enumerate() {
+                    events.push(Ev::End {
+                        site,
+                        side,
+                        tag: tag as u64,
+                        seq_count,
+                    });
+                }
+            }
+        }
+        // Deterministic shuffle over every stream of every site.
+        let mut keyed: Vec<(u64, Ev)> = events
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let k = keys[i % keys.len()] ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (k, e)
+            })
+            .collect();
+        keyed.sort_by_key(|(k, _)| *k);
+
+        // Each site reassembles its two sides' peer streams.
+        let mut sites: Vec<[StreamReassembly<Payload>; 2]> = (0..n_sites)
+            .map(|_| {
+                [
+                    StreamReassembly::expecting(0..lsrc.len() as u64),
+                    StreamReassembly::expecting(0..rsrc.len() as u64),
+                ]
+            })
+            .collect();
+        let mut collected: Vec<[Vec<Tuple>; 2]> =
+            (0..n_sites).map(|_| [Vec::new(), Vec::new()]).collect();
+        let mut released: Vec<Payload> = Vec::new();
+        for (_, ev) in keyed {
+            match ev {
+                Ev::Chunk { site, side, tag, seq, payload } => {
+                    released.clear();
+                    sites[site][side].accept(tag, seq, payload, &mut released).unwrap();
+                    for payload in released.drain(..) {
+                        for (bucket, rows) in payload {
+                            prop_assert_eq!(site_of(bucket), site, "chunk at wrong site");
+                            collected[site][side].extend(rows);
+                        }
+                    }
+                }
+                Ev::End { site, side, tag, seq_count } => {
+                    sites[site][side].finish(tag, seq_count).unwrap();
+                }
+            }
+        }
+        for site in &sites {
+            prop_assert!(site[0].all_complete() && site[1].all_complete());
+        }
+
+        // Per-site local joins over the collected buckets, merged, must
+        // equal the oracle join of the unfragmented relations.
+        let join = |l: &Relation, r: &Relation| -> Relation {
+            let plan = LogicalPlan::scan("l", schema.clone())
+                .join(LogicalPlan::scan("r", schema.clone()), vec![(0, 0)]);
+            let mut db: HashMap<String, Relation> = HashMap::new();
+            db.insert("l".into(), l.clone());
+            db.insert("r".into(), r.clone());
+            execute_physical(&lower(&plan).unwrap(), &db).unwrap()
+        };
+        let mut merged: Vec<Tuple> = Vec::new();
+        for [l, r] in collected {
+            merged.extend(
+                join(&Relation::new(schema.clone(), l), &Relation::new(schema.clone(), r))
+                    .into_tuples(),
+            );
+        }
+        let join_schema = schema.join(&schema);
+        let merged = Relation::new(join_schema, merged).canonicalized();
+        let oracle = join(&to_rel(&lrows), &to_rel(&rrows)).canonicalized();
         prop_assert_eq!(merged.tuples(), oracle.tuples());
     }
 }
