@@ -1,4 +1,18 @@
 //! The data dictionary: relations, fragmentation, placement, statistics.
+//!
+//! ## Statistics lifecycle
+//!
+//! Per-fragment statistics are cached here, keyed `(relation, fragment)`
+//! and stamped with the relation's **mutation epoch** at caching time.
+//! Every DML batch bumps the epoch ([`DataDictionary::note_mutation`]),
+//! so freshness is a pure epoch comparison: a relation's stats are
+//! *fresh* when every current fragment reported at the current epoch,
+//! *stale* when reports exist but predate the last mutation (or cover
+//! only some fragments), *absent* when nothing was ever collected.
+//! The table-level [`TableStats`] view the estimator consumes is derived
+//! by merging the cached fragment reports (plus the row delta of
+//! mutations since the last refresh); stale stats still beat defaults,
+//! and EXPLAIN names the freshness of whatever fed each decision.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -7,7 +21,8 @@ use parking_lot::RwLock;
 use prisma_optimizer::{StatsSource, TableStats};
 use prisma_stable::{CheckpointStore, DiskProfile, SimulatedDisk, StableDevice, WriteAheadLog};
 use prisma_types::{
-    FragmentId, MachineConfig, PeId, PrismaError, ProcessId, Result, Schema, Value,
+    FragmentId, FragmentStatistics, MachineConfig, PeId, PrismaError, ProcessId, Result,
+    Schema, StatsFreshness, Value,
 };
 
 /// One fragment's placement: which PE it lives on and the actor serving it.
@@ -69,11 +84,58 @@ pub struct StableServices {
     pub checkpoints: Arc<CheckpointStore>,
 }
 
+/// One fragment's cached statistics report plus the relation mutation
+/// epoch it was taken at.
+#[derive(Debug, Clone)]
+struct CachedFragmentStats {
+    stats: FragmentStatistics,
+    as_of_epoch: u64,
+}
+
+/// Mutation bookkeeping for one relation: the staleness epoch and the
+/// net row deltas since the last stats refresh (so merged row estimates
+/// stay usable between refreshes).
+#[derive(Debug, Clone, Default)]
+struct MutationState {
+    epoch: u64,
+    /// Bumped on every event that changes what `merged_table_stats`
+    /// would compute (mutations AND arriving reports) — the version key
+    /// that keeps the merged-stats cache from resurrecting a result
+    /// computed before a concurrent invalidation.
+    gen: u64,
+    /// Net row delta per fragment since **that fragment's** last report
+    /// — reset fragment-by-fragment as reports arrive, so a partial
+    /// refresh never double-counts a delta a fresh report already
+    /// includes.
+    pending_by_fragment: HashMap<FragmentId, i64>,
+    /// Delta not attributable to a fragment (relation-level
+    /// [`DataDictionary::note_mutation`]); resets only when every
+    /// fragment has re-reported at the current epoch.
+    pending_unattributed: i64,
+}
+
+impl MutationState {
+    fn pending_total(&self) -> i64 {
+        self.pending_unattributed + self.pending_by_fragment.values().sum::<i64>()
+    }
+}
+
 /// The GDH data dictionary.
 pub struct DataDictionary {
     config: MachineConfig,
     relations: RwLock<HashMap<String, RelationInfo>>,
     stats: RwLock<HashMap<String, TableStats>>,
+    /// Per-(relation, fragment) statistics reports from the OFMs.
+    fragment_stats: RwLock<HashMap<String, HashMap<FragmentId, CachedFragmentStats>>>,
+    /// Per-relation mutation epoch + row delta since the last refresh.
+    mutations: RwLock<HashMap<String, MutationState>>,
+    /// Memoized merge of the cached fragment reports — planning calls
+    /// `table_stats` many times per query, and re-merging histograms on
+    /// each would dominate. Entries are keyed by the relation's
+    /// [`MutationState::gen`] at compute time: any report or mutation
+    /// bumps the gen, so a stale entry (including one racing in after
+    /// an invalidation) simply never matches again.
+    merged_cache: RwLock<HashMap<String, (u64, TableStats)>>,
     stable: HashMap<usize, StableServices>,
     next_fragment: RwLock<u32>,
 }
@@ -102,6 +164,9 @@ impl DataDictionary {
             config,
             relations: RwLock::new(HashMap::new()),
             stats: RwLock::new(HashMap::new()),
+            fragment_stats: RwLock::new(HashMap::new()),
+            mutations: RwLock::new(HashMap::new()),
+            merged_cache: RwLock::new(HashMap::new()),
             stable,
             next_fragment: RwLock::new(0),
         }
@@ -146,6 +211,9 @@ impl DataDictionary {
     /// Remove a relation, returning its entry.
     pub fn unregister(&self, name: &str) -> Result<RelationInfo> {
         self.stats.write().remove(name);
+        self.fragment_stats.write().remove(name);
+        self.mutations.write().remove(name);
+        self.merged_cache.write().remove(name);
         self.relations
             .write()
             .remove(name)
@@ -179,17 +247,160 @@ impl DataDictionary {
         counts
     }
 
-    /// Install exact statistics (called by the GDH after loads).
+    /// Install a table-level summary directly (legacy/bulk path; the
+    /// statistics lifecycle normally flows through
+    /// [`DataDictionary::put_fragment_stats`]).
     pub fn put_stats(&self, name: &str, stats: TableStats) {
         self.stats.write().insert(name.to_owned(), stats);
     }
 
-    /// Adjust the row count after DML (keeps estimates usable between
-    /// full refreshes).
-    pub fn bump_rows(&self, name: &str, delta: i64) {
-        if let Some(s) = self.stats.write().get_mut(name) {
-            s.rows = (s.rows as i64 + delta).max(0) as u64;
+    /// The relation's current mutation epoch (0 until the first DML).
+    pub fn mutation_epoch(&self, name: &str) -> u64 {
+        self.mutations.read().get(name).map_or(0, |m| m.epoch)
+    }
+
+    /// Record a DML batch whose row delta cannot be attributed to
+    /// specific fragments: bumps the staleness epoch (cached fragment
+    /// stats for `name` are stale from here on) and accumulates the
+    /// delta so merged row estimates stay usable between refreshes.
+    pub fn note_mutation(&self, name: &str, row_delta: i64) {
+        let mut m = self.mutations.write();
+        let state = m.entry(name.to_owned()).or_default();
+        state.epoch += 1;
+        state.gen += 1;
+        state.pending_unattributed += row_delta;
+        drop(m);
+        self.adjust_legacy_rows(name, row_delta);
+    }
+
+    /// Record a DML batch with per-fragment row deltas (the DML fan-out
+    /// knows exactly which fragment absorbed how many rows). Preferred
+    /// over [`DataDictionary::note_mutation`]: a later report from one
+    /// fragment clears only **its** delta, so a partial refresh never
+    /// double-counts rows a fresh report already includes.
+    pub fn note_mutation_by_fragment(&self, name: &str, deltas: &[(FragmentId, i64)]) {
+        // A batch that changed nothing (e.g. a DELETE matching no rows)
+        // leaves every cached report exact — don't stale them.
+        if deltas.iter().all(|&(_, d)| d == 0) {
+            return;
         }
+        let mut m = self.mutations.write();
+        let state = m.entry(name.to_owned()).or_default();
+        state.epoch += 1;
+        state.gen += 1;
+        for &(frag, d) in deltas {
+            if d != 0 {
+                *state.pending_by_fragment.entry(frag).or_default() += d;
+            }
+        }
+        drop(m);
+        self.adjust_legacy_rows(name, deltas.iter().map(|&(_, d)| d).sum());
+    }
+
+    /// The single definition of "fully reported": every current
+    /// fragment of `name` has a cached report stamped at `epoch`. Both
+    /// the pending-delta reset and EXPLAIN's freshness label must agree
+    /// on this rule.
+    fn all_reported_at(
+        &self,
+        name: &str,
+        per_rel: &HashMap<FragmentId, CachedFragmentStats>,
+        epoch: u64,
+    ) -> bool {
+        self.relations.read().get(name).is_some_and(|info| {
+            info.fragments
+                .iter()
+                .all(|f| per_rel.get(&f.id).is_some_and(|c| c.as_of_epoch == epoch))
+        })
+    }
+
+    /// Keep any legacy table-level summary row-adjusted too.
+    fn adjust_legacy_rows(&self, name: &str, row_delta: i64) {
+        if let Some(s) = self.stats.write().get_mut(name) {
+            s.rows = (s.rows as i64 + row_delta).max(0) as u64;
+        }
+    }
+
+    /// Cache one fragment's statistics report at the current mutation
+    /// epoch. The report subsumes the fragment's own pending delta
+    /// immediately; the unattributed delta resets once every current
+    /// fragment has reported at this epoch (the relation is fresh again).
+    pub fn put_fragment_stats(&self, name: &str, fragment: FragmentId, stats: FragmentStatistics) {
+        let epoch = self.mutation_epoch(name);
+        let mut cache = self.fragment_stats.write();
+        let per_rel = cache.entry(name.to_owned()).or_default();
+        per_rel.insert(
+            fragment,
+            CachedFragmentStats {
+                stats,
+                as_of_epoch: epoch,
+            },
+        );
+        let all_fresh = self.all_reported_at(name, per_rel, epoch);
+        drop(cache);
+        let mut m = self.mutations.write();
+        let state = m.entry(name.to_owned()).or_default();
+        state.gen += 1; // a new report changes what the merge computes
+        // Re-validate the epoch under the lock: a mutation that raced
+        // in after the report was stamped recorded deltas the report
+        // does NOT include — those must survive (the stats are stale
+        // either way; leaving the delta keeps the merged row count
+        // honest).
+        if state.epoch == epoch {
+            state.pending_by_fragment.remove(&fragment);
+            if all_fresh {
+                state.pending_unattributed = 0;
+            }
+        }
+    }
+
+    /// Merge the cached fragment reports into the table-level view, with
+    /// the pending mutation delta applied to the row count. `None` when
+    /// no fragment of `name` ever reported. Memoized per relation —
+    /// every report and mutation invalidates — because planning one
+    /// query consults `table_stats` many times (per-operator estimates,
+    /// skew checks, placement weights).
+    fn merged_table_stats(&self, name: &str) -> Option<TableStats> {
+        // Snapshot the generation FIRST: the computed merge is tagged
+        // with it, so a mutation racing in mid-compute makes this entry
+        // a guaranteed miss instead of a poisoned cache.
+        let gen = self.mutations.read().get(name).map_or(0, |m| m.gen);
+        if let Some((cached_gen, hit)) = self.merged_cache.read().get(name) {
+            if *cached_gen == gen {
+                return Some(hit.clone());
+            }
+        }
+        let cache = self.fragment_stats.read();
+        let per_rel = cache.get(name)?;
+        if per_rel.is_empty() {
+            return None;
+        }
+        let info = self.relations.read().get(name).cloned();
+        // Partition order keeps the merge deterministic.
+        let parts: Vec<FragmentStatistics> = match &info {
+            Some(info) => info
+                .fragments
+                .iter()
+                .filter_map(|f| per_rel.get(&f.id).map(|c| c.stats.clone()))
+                .collect(),
+            None => per_rel.values().map(|c| c.stats.clone()).collect(),
+        };
+        if parts.is_empty() {
+            return None;
+        }
+        let mut merged =
+            TableStats::from_fragments(&parts, info.as_ref().and_then(|i| i.frag_column));
+        let pending = self
+            .mutations
+            .read()
+            .get(name)
+            .map_or(0, MutationState::pending_total);
+        merged.rows = (merged.rows as i64 + pending).max(0) as u64;
+        drop(cache);
+        self.merged_cache
+            .write()
+            .insert(name.to_owned(), (gen, merged.clone()));
+        Some(merged)
     }
 }
 
@@ -200,10 +411,14 @@ impl StatsSource for DataDictionary {
     }
 
     fn table_stats(&self, name: &str) -> Option<TableStats> {
+        // Fragment reports (even stale ones) beat the legacy summary,
+        // which beats the arity-aware default.
+        if let Some(merged) = self.merged_table_stats(name) {
+            return Some(merged);
+        }
         if let Some(s) = self.stats.read().get(name) {
             return Some(s.clone());
         }
-        // Fall back to an arity-aware default so the estimator stays sane.
         let rels = self.relations.read();
         let info = rels.get(name)?;
         let arity = info.schema.arity();
@@ -212,7 +427,40 @@ impl StatsSource for DataDictionary {
             distinct: vec![100; arity],
             min: vec![None; arity],
             max: vec![None; arity],
+            ..TableStats::default()
         })
+    }
+
+    fn fragment_stats(&self, name: &str) -> Option<Vec<(FragmentId, FragmentStatistics)>> {
+        let cache = self.fragment_stats.read();
+        let per_rel = cache.get(name)?;
+        let info = self.relations.read().get(name)?.clone();
+        // Partition order, skipping fragments that never reported.
+        let out: Vec<(FragmentId, FragmentStatistics)> = info
+            .fragments
+            .iter()
+            .filter_map(|f| per_rel.get(&f.id).map(|c| (f.id, c.stats.clone())))
+            .collect();
+        (!out.is_empty()).then_some(out)
+    }
+
+    fn stats_freshness(&self, name: &str) -> StatsFreshness {
+        let epoch = self.mutation_epoch(name);
+        let cache = self.fragment_stats.read();
+        if let Some(per_rel) = cache.get(name) {
+            if !per_rel.is_empty() {
+                return if self.all_reported_at(name, per_rel, epoch) {
+                    StatsFreshness::Fresh
+                } else {
+                    StatsFreshness::Stale
+                };
+            }
+        }
+        if self.stats.read().contains_key(name) {
+            StatsFreshness::Stale // a summary exists but its provenance is unknown
+        } else {
+            StatsFreshness::Absent
+        }
     }
 }
 
@@ -304,10 +552,96 @@ mod tests {
                 distinct: vec![5, 5],
                 min: vec![None, None],
                 max: vec![None, None],
+                ..TableStats::default()
             },
         );
-        d.bump_rows("t", 3);
+        d.note_mutation("t", 3);
         assert_eq!(d.table_stats("t").unwrap().rows, 8);
+    }
+
+    #[test]
+    fn fragment_stats_cache_merge_and_freshness() {
+        use prisma_types::{ColumnStats, FragmentStatistics};
+        let d = dict();
+        d.register("t", info(2, Some(0))).unwrap();
+        assert_eq!(d.stats_freshness("t"), prisma_types::StatsFreshness::Absent);
+
+        let frag = |rows: u64, lo: i64, hi: i64| FragmentStatistics {
+            rows,
+            bytes: rows * 16,
+            columns: vec![
+                ColumnStats {
+                    distinct: rows,
+                    min: Some(Value::Int(lo)),
+                    max: Some(Value::Int(hi)),
+                    ..ColumnStats::default()
+                },
+                ColumnStats::default(),
+            ],
+        };
+        // One of two fragments reported: usable but stale.
+        d.put_fragment_stats("t", FragmentId(0), frag(10, 0, 9));
+        assert_eq!(d.stats_freshness("t"), prisma_types::StatsFreshness::Stale);
+        assert_eq!(d.table_stats("t").unwrap().rows, 10);
+
+        // Both reported at the current epoch: fresh, merged.
+        d.put_fragment_stats("t", FragmentId(1), frag(20, 10, 29));
+        assert_eq!(d.stats_freshness("t"), prisma_types::StatsFreshness::Fresh);
+        let merged = d.table_stats("t").unwrap();
+        assert_eq!(merged.rows, 30);
+        assert_eq!(merged.min[0], Some(Value::Int(0)));
+        assert_eq!(merged.max[0], Some(Value::Int(29)));
+        // Column 0 is the hash-fragmentation column: distinct sums.
+        assert_eq!(merged.distinct[0], 30);
+        assert_eq!(d.fragment_stats("t").unwrap().len(), 2);
+
+        // DML bumps the epoch: stats go stale, merged rows track the
+        // pending delta until the next refresh.
+        d.note_mutation("t", 5);
+        assert_eq!(d.stats_freshness("t"), prisma_types::StatsFreshness::Stale);
+        assert_eq!(d.table_stats("t").unwrap().rows, 35);
+
+        // Re-reporting both fragments at the new epoch subsumes the
+        // delta and restores freshness.
+        d.put_fragment_stats("t", FragmentId(0), frag(15, 0, 14));
+        d.put_fragment_stats("t", FragmentId(1), frag(20, 10, 29));
+        assert_eq!(d.stats_freshness("t"), prisma_types::StatsFreshness::Fresh);
+        assert_eq!(d.table_stats("t").unwrap().rows, 35);
+    }
+
+    #[test]
+    fn partial_refresh_does_not_double_count_pending_rows() {
+        use prisma_types::{ColumnStats, FragmentStatistics};
+        let d = dict();
+        d.register("t", info(2, None)).unwrap();
+        let frag = |rows: u64| FragmentStatistics {
+            rows,
+            bytes: rows * 16,
+            columns: vec![ColumnStats::default(), ColumnStats::default()],
+        };
+        d.put_fragment_stats("t", FragmentId(0), frag(10));
+        d.put_fragment_stats("t", FragmentId(1), frag(10));
+        assert_eq!(d.table_stats("t").unwrap().rows, 20);
+
+        // 5 rows into fragment 0; its re-report (15 rows) subsumes the
+        // delta even though fragment 1 never re-reported — the merged
+        // count must be 25, not 30.
+        d.note_mutation_by_fragment("t", &[(FragmentId(0), 5)]);
+        assert_eq!(d.table_stats("t").unwrap().rows, 25);
+        d.put_fragment_stats("t", FragmentId(0), frag(15));
+        assert_eq!(d.table_stats("t").unwrap().rows, 25);
+        assert_eq!(d.stats_freshness("t"), prisma_types::StatsFreshness::Stale);
+
+        // Fragment 1's re-report completes the refresh: fresh, exact.
+        d.put_fragment_stats("t", FragmentId(1), frag(10));
+        assert_eq!(d.stats_freshness("t"), prisma_types::StatsFreshness::Fresh);
+        assert_eq!(d.table_stats("t").unwrap().rows, 25);
+
+        // A DML batch that changed nothing leaves the reports exact —
+        // freshness must not flip.
+        d.note_mutation_by_fragment("t", &[(FragmentId(0), 0), (FragmentId(1), 0)]);
+        assert_eq!(d.stats_freshness("t"), prisma_types::StatsFreshness::Fresh);
+        assert_eq!(d.table_stats("t").unwrap().rows, 25);
     }
 
     #[test]

@@ -133,6 +133,12 @@ pub struct ExecMetrics {
     /// shuffle hop the coordinator never sees), as reported by the
     /// phase-2 sites.
     pub shuffled_direct_bits: u64,
+    /// The largest single phase-2 site's share of
+    /// [`ExecMetrics::shuffled_direct_bits`] — the shuffle-balance
+    /// signal: a skewed join key concentrates this on one site, and the
+    /// skew-aware placement exists to push it back down (E8 measures
+    /// exactly this).
+    pub max_site_shuffled_bits: u64,
     /// Bits the coordinator no longer moves thanks to the direct
     /// shuffle: every directly-shuffled bit used to cross
     /// fragment→coordinator once, and the bits of **two-sided** buckets
@@ -252,9 +258,12 @@ impl ParallelExecutor {
             .map(Arc::unwrap_or_clone)
     }
 
-    /// Lower a (sub)plan for shipping or local execution.
+    /// Lower a (sub)plan for shipping or local execution. The trace is
+    /// a sink: nobody reads firings on the execution path, and the
+    /// EXPLAIN annotation walks would re-estimate every subtree per
+    /// query for nothing.
     fn lower(&self, plan: &LogicalPlan) -> Result<PhysicalPlan> {
-        let mut trace = Trace::default();
+        let mut trace = Trace::sink();
         lower_physical(plan, &*self.dictionary, self.physical_config, &mut trace)
     }
 
@@ -852,6 +861,8 @@ impl ParallelExecutor {
                     Ok(stats) => {
                         rows_advertised.insert(tag, stats.rows);
                         q.metrics.shuffled_direct_bits += stats.shuffled_bits;
+                        q.metrics.max_site_shuffled_bits =
+                            q.metrics.max_site_shuffled_bits.max(stats.shuffled_bits);
                         q.metrics.relay_bits_saved += stats.relay_saved_bits;
                         reassembly.finish(tag, seq_count)?;
                     }
@@ -1404,6 +1415,7 @@ mod tests {
         prisma_optimizer::PhysicalConfig {
             broadcast_max_rows: 0.0,
             shuffle_parts,
+            ..prisma_optimizer::PhysicalConfig::default()
         }
     }
 

@@ -5,9 +5,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
+use parking_lot::Mutex;
 use prisma_multicomputer::{CostModel, Topology};
 use prisma_ofm::{Ofm, OfmKind};
-use prisma_optimizer::{Optimizer, OptimizerConfig, TableStats};
+use prisma_optimizer::{Optimizer, OptimizerConfig, StatsSource};
 use prisma_poolx::{PoolRuntime, TrafficLedger};
 use prisma_prismalog as plog;
 use prisma_relalg::{LogicalPlan, Relation};
@@ -58,6 +59,16 @@ impl QueryOutcome {
     }
 }
 
+/// One transaction's staged statistics effect on a relation, applied to
+/// the dictionary only at commit (dropped on abort — rolled-back DML
+/// must never skew row estimates or stale freshness).
+enum StagedDml {
+    /// Per-fragment row deltas (INSERT/DELETE).
+    PerFragment(Vec<(prisma_types::FragmentId, i64)>),
+    /// Values changed, row count didn't (UPDATE): epoch bump only.
+    EpochOnly,
+}
+
 /// Receive one reply against a **deadline shared by the whole fan-out**:
 /// each reply narrows the remaining wait instead of resetting the clock,
 /// so N outstanding replies are bounded by one reply timeout total — a
@@ -81,6 +92,9 @@ pub struct GlobalDataHandler {
     topology: Topology,
     allocation: AllocationPolicy,
     optimizer_config: OptimizerConfig,
+    /// Statistics effects of in-flight transactions, keyed by txn —
+    /// flushed to the dictionary at commit, discarded at abort.
+    staged_stats: Mutex<HashMap<TxnId, Vec<(String, StagedDml)>>>,
 }
 
 impl GlobalDataHandler {
@@ -113,6 +127,7 @@ impl GlobalDataHandler {
             topology,
             allocation,
             optimizer_config: OptimizerConfig::default(),
+            staged_stats: Mutex::new(HashMap::new()),
         })
     }
 
@@ -325,14 +340,50 @@ impl GlobalDataHandler {
         self.txns.begin()
     }
 
-    /// Commit an explicit transaction (2PC).
+    /// Commit an explicit transaction (2PC). The transaction's staged
+    /// statistics effects reach the dictionary only now — estimates
+    /// never see uncommitted work.
     pub fn commit(&self, txn: TxnId) -> Result<()> {
-        self.txns.commit(txn).map(|_| ())
+        let result = self.txns.commit(txn).map(|_| ());
+        self.settle_staged_stats(txn, result.is_ok());
+        result
     }
 
-    /// Abort an explicit transaction.
+    /// Abort an explicit transaction. Its staged statistics effects are
+    /// discarded — the fragments rolled back, so the cached reports are
+    /// still exact.
     pub fn abort(&self, txn: TxnId) -> Result<()> {
-        self.txns.abort(txn)
+        let result = self.txns.abort(txn);
+        self.settle_staged_stats(txn, false);
+        result
+    }
+
+    /// Stage one DML batch's statistics effect under its transaction.
+    fn stage_dml(&self, txn: TxnId, table: &str, dml: StagedDml) {
+        self.staged_stats
+            .lock()
+            .entry(txn)
+            .or_default()
+            .push((table.to_owned(), dml));
+    }
+
+    /// Apply (commit) or drop (abort) a transaction's staged statistics
+    /// effects.
+    fn settle_staged_stats(&self, txn: TxnId, committed: bool) {
+        let Some(staged) = self.staged_stats.lock().remove(&txn) else {
+            return;
+        };
+        if !committed {
+            return;
+        }
+        for (table, dml) in staged {
+            match dml {
+                StagedDml::PerFragment(deltas) => {
+                    self.dictionary.note_mutation_by_fragment(&table, &deltas);
+                }
+                StagedDml::EpochOnly => self.dictionary.note_mutation(&table, 0),
+            }
+        }
     }
 
     /// Insert rows under `txn` (routes each row to its fragment).
@@ -365,10 +416,18 @@ impl GlobalDataHandler {
             outstanding += 1;
         }
         let mut n = 0;
+        let mut deltas: Vec<(prisma_types::FragmentId, i64)> = Vec::new();
         let deadline = Instant::now() + self.config.reply_timeout();
         for _ in 0..outstanding {
             match recv_by(&mailbox, deadline)? {
-                GdhMsg::DmlDone { result, .. } => n += result?,
+                GdhMsg::DmlDone { tag, result } => {
+                    let k = result?;
+                    n += k;
+                    let frag = info.fragments.get(tag as usize).ok_or_else(|| {
+                        PrismaError::Execution(format!("DML reply with unknown tag {tag}"))
+                    })?;
+                    deltas.push((frag.id, k as i64));
+                }
                 other => {
                     return Err(PrismaError::Execution(format!(
                         "unexpected reply {other:?}"
@@ -376,7 +435,7 @@ impl GlobalDataHandler {
                 }
             }
         }
-        self.dictionary.bump_rows(table, n as i64);
+        self.stage_dml(txn, table, StagedDml::PerFragment(deltas));
         Ok(n)
     }
 
@@ -403,10 +462,18 @@ impl GlobalDataHandler {
             )?;
         }
         let mut n = 0;
+        let mut deltas: Vec<(prisma_types::FragmentId, i64)> = Vec::new();
         let deadline = Instant::now() + self.config.reply_timeout();
         for _ in 0..info.fragments.len() {
             match recv_by(&mailbox, deadline)? {
-                GdhMsg::DmlDone { result, .. } => n += result?,
+                GdhMsg::DmlDone { tag, result } => {
+                    let k = result?;
+                    n += k;
+                    let frag = info.fragments.get(tag as usize).ok_or_else(|| {
+                        PrismaError::Execution(format!("DML reply with unknown tag {tag}"))
+                    })?;
+                    deltas.push((frag.id, -(k as i64)));
+                }
                 other => {
                     return Err(PrismaError::Execution(format!(
                         "unexpected reply {other:?}"
@@ -414,7 +481,7 @@ impl GlobalDataHandler {
                 }
             }
         }
-        self.dictionary.bump_rows(table, -(n as i64));
+        self.stage_dml(txn, table, StagedDml::PerFragment(deltas));
         Ok(n)
     }
 
@@ -453,6 +520,12 @@ impl GlobalDataHandler {
                     )))
                 }
             }
+        }
+        if n > 0 {
+            // Values changed (row count didn't): stats go stale at
+            // commit, but an UPDATE matching nothing leaves every
+            // report exact.
+            self.stage_dml(txn, table, StagedDml::EpochOnly);
         }
         Ok(n)
     }
@@ -577,11 +650,11 @@ impl GlobalDataHandler {
         let txn = self.txns.begin();
         match f(txn) {
             Ok(v) => {
-                self.txns.commit(txn)?;
+                self.commit(txn)?;
                 Ok(v)
             }
             Err(e) => {
-                let _ = self.txns.abort(txn);
+                let _ = self.abort(txn);
                 Err(e)
             }
         }
@@ -591,6 +664,13 @@ impl GlobalDataHandler {
     /// (with join-distribution and scan-projection choices), and the
     /// knowledge-base firing trace.
     pub fn explain_sql(&self, sql: &str) -> Result<String> {
+        self.explain_inner(sql).map(|(_, out)| out)
+    }
+
+    /// Shared EXPLAIN body: compile + optimize + lower **once**,
+    /// returning the optimized plan alongside the rendered output so
+    /// EXPLAIN ANALYZE analyzes exactly the plan it prints.
+    fn explain_inner(&self, sql: &str) -> Result<(LogicalPlan, String)> {
         let planned = sqlfe::compile(sql, &*self.dictionary)?;
         let PlannedStatement::Query(plan) = planned else {
             return Err(PrismaError::Execution("EXPLAIN expects a query".into()));
@@ -615,7 +695,7 @@ impl GlobalDataHandler {
             out.push_str(f);
             out.push('\n');
         }
-        Ok(out)
+        Ok((optimized, out))
     }
 
     /// Execute a PRISMAlog query: translate to algebra when possible
@@ -652,17 +732,186 @@ impl GlobalDataHandler {
         }
     }
 
-    /// Recompute exact statistics for a relation (a data-dictionary duty;
-    /// the optimizer's size estimation reads them).
+    /// Refresh a relation's statistics from its fragments: fan a
+    /// [`GdhMsg::CollectStats`] out to every OFM actor and cache the
+    /// [`GdhMsg::StatsReport`] replies in the dictionary, stamped with
+    /// the relation's current mutation epoch. Each fragment computes its
+    /// own summary from incrementally-maintained sketches — only the
+    /// bounded reports cross the interconnect, never the data (the old
+    /// path materialized the whole relation at the coordinator and
+    /// rescanned it).
+    ///
+    /// Known limitation: reports reflect the **live** fragment state,
+    /// including visible-but-undecided writes of transactions still in
+    /// flight — refreshing concurrently with an open write transaction
+    /// can capture rows that later roll back (or double-count a delta
+    /// the commit then applies). Statistics are estimates and the next
+    /// refresh corrects them; run refreshes outside open write
+    /// transactions when exactness matters.
     pub fn refresh_stats(&self, table: &str) -> Result<()> {
-        let rel = self.executor.materialize(table)?;
-        self.dictionary
-            .put_stats(table, TableStats::from_relation(&rel));
+        let info = self.dictionary.relation(table)?;
+        let mailbox = self.runtime.external_mailbox();
+        for (i, frag) in info.fragments.iter().enumerate() {
+            self.runtime.send(
+                frag.actor,
+                GdhMsg::CollectStats {
+                    reply_to: mailbox.id,
+                    tag: i as u64,
+                },
+            )?;
+        }
+        let deadline = Instant::now() + self.config.reply_timeout();
+        for _ in 0..info.fragments.len() {
+            match recv_by(&mailbox, deadline)? {
+                GdhMsg::StatsReport {
+                    fragment, stats, ..
+                } => {
+                    self.dictionary.put_fragment_stats(table, fragment, *stats);
+                }
+                other => {
+                    return Err(PrismaError::Execution(format!(
+                        "unexpected reply {other:?}"
+                    )))
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// EXPLAIN ANALYZE: everything [`GlobalDataHandler::explain_sql`]
+    /// prints, plus each operator's **estimated vs. actual** cardinality.
+    /// Actuals come from evaluating every subtree against a snapshot of
+    /// the scanned relations through the reference evaluator — a debug
+    /// path, priced accordingly.
+    pub fn explain_analyze_sql(&self, sql: &str) -> Result<String> {
+        let (optimized, mut out) = self.explain_inner(sql)?;
+        let mut db: HashMap<String, Relation> = HashMap::new();
+        for name in optimized.scanned_relations() {
+            if !db.contains_key(&name) {
+                db.insert(name.clone(), self.executor.materialize(&name)?);
+            }
+        }
+        out.push_str("== estimated vs actual ==\n");
+        let mut lines: Vec<String> = Vec::new();
+        analyze_node(&optimized, 0, &self.dictionary, &mut db, &mut lines)?;
+        for line in lines {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        Ok(out)
     }
 
     /// Snapshot a relation (all fragments unioned) — test/debug helper.
     pub fn snapshot(&self, table: &str) -> Result<Relation> {
         self.executor.materialize(table)
     }
+}
+
+/// EXPLAIN ANALYZE's estimated-vs-actual walk: every operator is
+/// evaluated **exactly once** — children materialize first (bottom-up),
+/// then the parent runs over the spliced child results behind synthetic
+/// scan names, so a deep plan costs one evaluation per node instead of
+/// one per node per ancestor. Recursive operators (Closure/Fixpoint)
+/// evaluate whole so their fixpoint bindings stay intact; their children
+/// are not annotated. Returns the node's materialized result for the
+/// caller (its parent) to splice.
+fn analyze_node(
+    node: &LogicalPlan,
+    depth: usize,
+    dict: &DataDictionary,
+    db: &mut HashMap<String, Relation>,
+    lines: &mut Vec<String>,
+) -> Result<Relation> {
+    let est = prisma_optimizer::estimate_rows(node, dict);
+    let label = prisma_optimizer::op_label(node);
+    let freshness = match node {
+        LogicalPlan::Scan { relation, .. } => {
+            format!(" [stats {}]", StatsSource::stats_freshness(dict, relation))
+        }
+        _ => String::new(),
+    };
+    // Reserve this node's line so parents print above their children.
+    let slot = lines.len();
+    lines.push(String::new());
+    let actual = match node {
+        LogicalPlan::Scan { .. }
+        | LogicalPlan::Values { .. }
+        | LogicalPlan::Closure { .. }
+        | LogicalPlan::Fixpoint { .. } => prisma_relalg::eval(node, db)?,
+        _ => {
+            let mut spliced = Vec::new();
+            for (i, child) in node.children().into_iter().enumerate() {
+                let rel = analyze_node(child, depth + 1, dict, db, lines)?;
+                let name = format!("__analyze{depth}_{i}");
+                spliced.push(LogicalPlan::scan(&name, rel.schema().clone()));
+                db.insert(name, rel);
+            }
+            let names: Vec<String> = spliced
+                .iter()
+                .map(|s| match s {
+                    LogicalPlan::Scan { relation, .. } => relation.clone(),
+                    _ => unreachable!("spliced children are scans"),
+                })
+                .collect();
+            let mut it = spliced.into_iter();
+            let mut next = || it.next().expect("children arity matches");
+            let rebuilt = match node.clone() {
+                LogicalPlan::Select { predicate, .. } => LogicalPlan::Select {
+                    input: Box::new(next()),
+                    predicate,
+                },
+                LogicalPlan::Project { exprs, schema, .. } => LogicalPlan::Project {
+                    input: Box::new(next()),
+                    exprs,
+                    schema,
+                },
+                LogicalPlan::Join {
+                    kind, on, residual, ..
+                } => LogicalPlan::Join {
+                    left: Box::new(next()),
+                    right: Box::new(next()),
+                    kind,
+                    on,
+                    residual,
+                },
+                LogicalPlan::Union { all, .. } => LogicalPlan::Union {
+                    left: Box::new(next()),
+                    right: Box::new(next()),
+                    all,
+                },
+                LogicalPlan::Difference { .. } => LogicalPlan::Difference {
+                    left: Box::new(next()),
+                    right: Box::new(next()),
+                },
+                LogicalPlan::Distinct { .. } => LogicalPlan::Distinct {
+                    input: Box::new(next()),
+                },
+                LogicalPlan::Aggregate { group_by, aggs, .. } => LogicalPlan::Aggregate {
+                    input: Box::new(next()),
+                    group_by,
+                    aggs,
+                },
+                LogicalPlan::Sort { keys, .. } => LogicalPlan::Sort {
+                    input: Box::new(next()),
+                    keys,
+                },
+                LogicalPlan::Limit { n, .. } => LogicalPlan::Limit {
+                    input: Box::new(next()),
+                    n,
+                },
+                leaf => leaf,
+            };
+            let rel = prisma_relalg::eval(&rebuilt, db)?;
+            for name in names {
+                db.remove(&name);
+            }
+            rel
+        }
+    };
+    lines[slot] = format!(
+        "{}{label}: est {est:.0} actual {}{freshness}",
+        "  ".repeat(depth),
+        actual.len(),
+    );
+    Ok(actual)
 }

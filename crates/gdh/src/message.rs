@@ -49,7 +49,10 @@ use prisma_ofm::shuffle_extras;
 use prisma_poolx::{Ctx, Process, WireMessage};
 use prisma_relalg::{Batch, PhysicalPlan, Relation};
 use prisma_storage::expr::ScalarExpr;
-use prisma_types::{PrismaError, ProcessId, QueryId, Result, Schema, Tuple, TxnId};
+use prisma_types::{
+    FragmentId, FragmentStatistics, PrismaError, ProcessId, QueryId, Result, Schema, Tuple,
+    TxnId,
+};
 
 /// Per-stream summary carried by the terminal [`GdhMsg::StreamEnd`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -350,6 +353,29 @@ pub enum GdhMsg {
         /// Correlation tag.
         tag: u64,
     },
+    /// Ask the OFM for its fragment's statistics snapshot — the pull
+    /// side of the statistics lifecycle: the GDH fans this out on
+    /// `refresh_stats` and the dictionary caches the replies per
+    /// `(relation, fragment)` with a staleness epoch. Only the summary
+    /// travels; the data never leaves the fragment.
+    CollectStats {
+        /// Reply address.
+        reply_to: ProcessId,
+        /// Correlation tag.
+        tag: u64,
+    },
+    /// Reply to [`GdhMsg::CollectStats`]: the fragment's per-column
+    /// statistics (row count, distinct/min/max, equi-depth histograms,
+    /// most-common values), computed from the OFM's incrementally
+    /// maintained sketches.
+    StatsReport {
+        /// Correlation tag.
+        tag: u64,
+        /// The reporting fragment.
+        fragment: FragmentId,
+        /// The statistics snapshot.
+        stats: Box<FragmentStatistics>,
+    },
 }
 
 impl WireMessage for GdhMsg {
@@ -383,6 +409,9 @@ impl WireMessage for GdhMsg {
             GdhMsg::Insert { rows, .. } => {
                 32 + rows.iter().map(|t| (t.wire_bits() / 8) as usize).sum::<usize>()
             }
+            // A stats report ships bounded summaries (histogram buckets
+            // + most-common values), never tuples.
+            GdhMsg::StatsReport { stats, .. } => stats.wire_bytes(),
             _ => 32,
         }
     }
@@ -1177,13 +1206,24 @@ impl Process<GdhMsg> for OfmActor {
                 let result = self.ofm.checkpoint();
                 let _ = ctx.send(reply_to, GdhMsg::Ack { tag, result });
             }
+            GdhMsg::CollectStats { reply_to, tag } => {
+                let _ = ctx.send(
+                    reply_to,
+                    GdhMsg::StatsReport {
+                        tag,
+                        fragment: self.ofm.fragment_id(),
+                        stats: Box::new(self.ofm.statistics()),
+                    },
+                );
+            }
             // Replies arriving at an OFM are protocol errors; ignore.
             GdhMsg::BatchChunk { .. }
             | GdhMsg::PartitionChunk { .. }
             | GdhMsg::StreamEnd { .. }
             | GdhMsg::DmlDone { .. }
             | GdhMsg::Vote { .. }
-            | GdhMsg::Ack { .. } => {}
+            | GdhMsg::Ack { .. }
+            | GdhMsg::StatsReport { .. } => {}
         }
     }
 }

@@ -376,3 +376,134 @@ fn errors_are_clean_not_panics() {
     gdh.execute_sql("INSERT INTO t VALUES (1)").unwrap();
     gdh.shutdown();
 }
+
+#[test]
+fn stats_report_round_trip_through_dictionary() {
+    use prisma_optimizer::StatsSource;
+    use prisma_types::{StatsFreshness, Value};
+
+    let gdh = machine(8);
+    gdh.execute_sql("CREATE TABLE t (k INT, v INT) FRAGMENTED BY HASH(k) INTO 4")
+        .unwrap();
+    let mut values = String::new();
+    for i in 0..500 {
+        if i > 0 {
+            values.push(',');
+        }
+        // k uniform 0..500; v skewed: 7 half the time.
+        values.push_str(&format!("({i}, {})", if i % 2 == 0 { 7 } else { i }));
+    }
+    gdh.execute_sql(&format!("INSERT INTO t VALUES {values}"))
+        .unwrap();
+
+    // Before any refresh: nothing collected.
+    assert_eq!(gdh.dictionary().stats_freshness("t"), StatsFreshness::Absent);
+
+    // CollectStats → StatsReport → dictionary cache.
+    gdh.refresh_stats("t").unwrap();
+    assert_eq!(gdh.dictionary().stats_freshness("t"), StatsFreshness::Fresh);
+    let frags = gdh.dictionary().fragment_stats("t").unwrap();
+    assert_eq!(frags.len(), 4, "every fragment reports");
+    assert_eq!(frags.iter().map(|(_, s)| s.rows).sum::<u64>(), 500);
+    for (_, s) in &frags {
+        assert_eq!(s.columns.len(), 2);
+        assert!(s.columns[0].histogram.is_some(), "histograms travel");
+    }
+
+    // The merged table-level view the estimator consumes.
+    let ts = StatsSource::table_stats(&**gdh.dictionary(), "t").unwrap();
+    assert_eq!(ts.rows, 500);
+    assert_eq!(ts.min[0], Some(Value::Int(0)));
+    assert_eq!(ts.max[0], Some(Value::Int(499)));
+    assert!(ts.hist_of(0).is_some());
+    // The skewed column's heavy hitter survives the MCV merge.
+    // 7 appears for every even i (250×) plus i = 7 itself.
+    assert_eq!(ts.mcv_of(1).first().unwrap().0, Value::Int(7));
+    assert_eq!(ts.mcv_of(1).first().unwrap().1, 251);
+
+    // DML bumps the epoch: stale until the next refresh, with the row
+    // delta tracked meanwhile.
+    gdh.execute_sql("INSERT INTO t VALUES (1000, 1000)").unwrap();
+    assert_eq!(gdh.dictionary().stats_freshness("t"), StatsFreshness::Stale);
+    assert_eq!(
+        StatsSource::table_stats(&**gdh.dictionary(), "t").unwrap().rows,
+        501
+    );
+    gdh.refresh_stats("t").unwrap();
+    assert_eq!(gdh.dictionary().stats_freshness("t"), StatsFreshness::Fresh);
+    assert_eq!(
+        StatsSource::table_stats(&**gdh.dictionary(), "t").unwrap().rows,
+        501
+    );
+
+    // DML that changes nothing leaves the reports exact — no staling.
+    gdh.execute_sql("DELETE FROM t WHERE k = -42").unwrap();
+    gdh.execute_sql("UPDATE t SET v = 0 WHERE k = -42").unwrap();
+    assert_eq!(gdh.dictionary().stats_freshness("t"), StatsFreshness::Fresh);
+    // A value-changing UPDATE (row count unchanged) does stale them.
+    gdh.execute_sql("UPDATE t SET v = 1 WHERE k = 1").unwrap();
+    assert_eq!(gdh.dictionary().stats_freshness("t"), StatsFreshness::Stale);
+
+    // An aborted transaction's DML never reaches the dictionary: the
+    // fragments rolled back, so the reports stay exact and row
+    // estimates must not count the phantom rows.
+    gdh.refresh_stats("t").unwrap();
+    let before = StatsSource::table_stats(&**gdh.dictionary(), "t")
+        .unwrap()
+        .rows;
+    let txn = gdh.begin();
+    gdh.execute_sql_in(txn, "INSERT INTO t VALUES (9001, 1), (9002, 2)")
+        .unwrap();
+    gdh.abort(txn).unwrap();
+    assert_eq!(gdh.dictionary().stats_freshness("t"), StatsFreshness::Fresh);
+    assert_eq!(
+        StatsSource::table_stats(&**gdh.dictionary(), "t").unwrap().rows,
+        before
+    );
+    // The same DML committed does land.
+    let txn = gdh.begin();
+    gdh.execute_sql_in(txn, "INSERT INTO t VALUES (9001, 1), (9002, 2)")
+        .unwrap();
+    gdh.commit(txn).unwrap();
+    assert_eq!(gdh.dictionary().stats_freshness("t"), StatsFreshness::Stale);
+    assert_eq!(
+        StatsSource::table_stats(&**gdh.dictionary(), "t").unwrap().rows,
+        before + 2
+    );
+    gdh.shutdown();
+}
+
+#[test]
+fn explain_names_cardinalities_and_stats_freshness() {
+    let gdh = machine(8);
+    setup_emp(&gdh);
+    let out = gdh
+        .explain_sql("SELECT e.id FROM emp e, dept d WHERE e.dept = d.id AND e.sal > 150.0")
+        .unwrap();
+    assert!(
+        out.contains("stats-source: emp: fresh"),
+        "missing emp freshness:\n{out}"
+    );
+    assert!(
+        out.contains("stats-source: dept: fresh"),
+        "missing dept freshness:\n{out}"
+    );
+    assert!(
+        out.contains("physical-cardinality: Scan(emp): est 100 row(s)"),
+        "missing scan estimate:\n{out}"
+    );
+
+    // EXPLAIN ANALYZE adds per-operator actuals.
+    let out = gdh
+        .explain_analyze_sql("SELECT id FROM emp WHERE sal > 150.0")
+        .unwrap();
+    assert!(out.contains("== estimated vs actual =="), "{out}");
+    assert!(out.contains("actual 49"), "49 rows satisfy sal>150:\n{out}");
+    assert!(out.contains("[stats fresh]"), "{out}");
+
+    // A never-profiled relation is called out as absent.
+    gdh.execute_sql("CREATE TABLE ghostly (a INT)").unwrap();
+    let out = gdh.explain_sql("SELECT a FROM ghostly").unwrap();
+    assert!(out.contains("stats-source: ghostly: absent"), "{out}");
+    gdh.shutdown();
+}

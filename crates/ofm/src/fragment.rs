@@ -1,8 +1,14 @@
-//! A relation fragment: heap, secondary indexes, markings.
+//! A relation fragment: heap, secondary indexes, markings, and the
+//! incrementally-maintained per-column statistics sketches behind
+//! [`Fragment::statistics`].
 
 use prisma_storage::{BTreeIndex, Cursor, HashIndex, Marking, Rid, TupleHeap};
-use prisma_types::{FragmentId, PrismaError, Result, Schema, Tuple};
-use std::collections::HashMap;
+use prisma_types::stats::{HISTOGRAM_BUCKETS, MOST_COMMON_VALUES};
+use prisma_types::{
+    ColumnStats, FragmentId, FragmentStatistics, Histogram, PrismaError, Result, Schema, Tuple,
+    Value,
+};
+use std::collections::{BTreeMap, HashMap};
 
 /// Summary statistics the Global Data Handler's optimizer pulls from each
 /// fragment (cardinality and footprint feed the size-estimation rules of
@@ -15,8 +21,8 @@ pub struct FragmentStats {
     pub bytes: usize,
 }
 
-/// The storage state of one fragment, with index and marking maintenance
-/// on every mutation.
+/// The storage state of one fragment, with index, marking and statistics
+/// maintenance on every mutation.
 #[derive(Debug, Default)]
 pub struct Fragment {
     id: FragmentId,
@@ -25,15 +31,54 @@ pub struct Fragment {
     hash_indexes: Vec<HashIndex>,
     btree_indexes: Vec<BTreeIndex>,
     markings: HashMap<String, Marking>,
+    /// Per-column ordered value→count multiset, maintained on every
+    /// insert/delete/update. Exact and cheap for a main-memory fragment;
+    /// [`Fragment::statistics`] snapshots it into histograms without
+    /// rescanning the heap.
+    sketches: Vec<BTreeMap<Value, u64>>,
+    /// NULL rows per column (NULLs never enter the sketches).
+    null_counts: Vec<u64>,
 }
 
 impl Fragment {
     /// Empty fragment.
     pub fn new(id: FragmentId, schema: Schema) -> Self {
+        let arity = schema.arity();
         Fragment {
             id,
             schema,
+            sketches: vec![BTreeMap::new(); arity],
+            null_counts: vec![0; arity],
             ..Fragment::default()
+        }
+    }
+
+    /// Record a tuple's values in the statistics sketches. Values are
+    /// cloned only on first occurrence — repeat values (the common case
+    /// on low-cardinality columns) just bump the existing counter.
+    fn sketch_add(&mut self, tuple: &Tuple) {
+        for (i, v) in tuple.values().iter().enumerate() {
+            if v.is_null() {
+                self.null_counts[i] += 1;
+            } else if let Some(c) = self.sketches[i].get_mut(v) {
+                *c += 1;
+            } else {
+                self.sketches[i].insert(v.clone(), 1);
+            }
+        }
+    }
+
+    /// Remove a tuple's values from the statistics sketches.
+    fn sketch_remove(&mut self, tuple: &Tuple) {
+        for (i, v) in tuple.values().iter().enumerate() {
+            if v.is_null() {
+                self.null_counts[i] = self.null_counts[i].saturating_sub(1);
+            } else if let Some(c) = self.sketches[i].get_mut(v) {
+                *c -= 1;
+                if *c == 0 {
+                    self.sketches[i].remove(v);
+                }
+            }
         }
     }
 
@@ -67,6 +112,51 @@ impl Fragment {
         FragmentStats {
             tuples: self.heap.len(),
             bytes: self.heap.byte_size(),
+        }
+    }
+
+    /// Full statistics snapshot: row/byte counts plus per-column
+    /// distinct/min/max, NULL counts, equi-depth histograms and
+    /// most-common values — built from the incrementally-maintained
+    /// sketches in O(distinct values), never by rescanning the heap.
+    /// This is the payload of the GDH's `StatsReport` message.
+    pub fn statistics(&self) -> FragmentStatistics {
+        let columns = self
+            .sketches
+            .iter()
+            .zip(&self.null_counts)
+            .map(|(sketch, &nulls)| {
+                // Select the top values over borrows — only the few
+                // survivors are cloned (a unique-key Str column would
+                // otherwise clone every distinct value per report).
+                let mut by_count: Vec<(&Value, u64)> =
+                    sketch.iter().map(|(v, &c)| (v, c)).collect();
+                let cmp = |a: &(&Value, u64), b: &(&Value, u64)| {
+                    b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0))
+                };
+                if by_count.len() > MOST_COMMON_VALUES {
+                    by_count.select_nth_unstable_by(MOST_COMMON_VALUES, cmp);
+                    by_count.truncate(MOST_COMMON_VALUES);
+                }
+                by_count.sort_by(cmp);
+                let most_common: Vec<(Value, u64)> = by_count
+                    .into_iter()
+                    .map(|(v, c)| (v.clone(), c))
+                    .collect();
+                ColumnStats {
+                    distinct: sketch.len() as u64,
+                    nulls,
+                    min: sketch.keys().next().cloned(),
+                    max: sketch.keys().next_back().cloned(),
+                    histogram: Histogram::equi_depth(sketch.iter(), HISTOGRAM_BUCKETS),
+                    most_common,
+                }
+            })
+            .collect();
+        FragmentStatistics {
+            rows: self.heap.len() as u64,
+            bytes: self.heap.byte_size() as u64,
+            columns,
         }
     }
 
@@ -140,6 +230,7 @@ impl Fragment {
         for idx in &mut self.btree_indexes {
             idx.insert(&t, rid);
         }
+        self.sketch_add(&t);
         Ok(rid)
     }
 
@@ -156,6 +247,7 @@ impl Fragment {
         for m in self.markings.values_mut() {
             m.unmark(rid);
         }
+        self.sketch_remove(&t);
         Some(t)
     }
 
@@ -173,6 +265,8 @@ impl Fragment {
             idx.remove(&old, rid);
             idx.insert(&tuple, rid);
         }
+        self.sketch_remove(&old);
+        self.sketch_add(&tuple);
         Ok(Some(old))
     }
 
@@ -281,6 +375,45 @@ mod tests {
         assert_eq!(cur.next(f.heap()), Some(r2));
         assert!(f.open_cursor(Some("cold")).is_err());
         assert!(f.drop_marking("hot"));
+    }
+
+    #[test]
+    fn statistics_track_mutations_incrementally() {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::nullable("name", DataType::Str),
+        ]);
+        let mut f = Fragment::new(FragmentId(0), schema);
+        let r1 = f.insert(tuple![1, "a"]).unwrap();
+        f.insert(tuple![2, "b"]).unwrap();
+        f.insert(tuple![2, "b"]).unwrap();
+        f.insert(prisma_types::Tuple::new(vec![Value::Int(3), Value::Null]))
+            .unwrap();
+        let s = f.statistics();
+        assert_eq!(s.rows, 4);
+        assert_eq!(s.columns[0].distinct, 3);
+        assert_eq!(s.columns[0].min, Some(Value::Int(1)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(3)));
+        assert_eq!(s.columns[1].nulls, 1);
+        assert_eq!(s.columns[1].distinct, 2);
+        assert_eq!(s.columns[1].most_common[0], (Value::from("b"), 2));
+        assert_eq!(s.columns[0].histogram.as_ref().unwrap().rows(), 4);
+
+        // Deletes and updates keep the sketches exact.
+        f.delete(r1);
+        let r2 = f
+            .heap()
+            .iter()
+            .find(|(_, t)| t.get(0) == &Value::Int(3))
+            .map(|(r, _)| r)
+            .unwrap();
+        f.update(r2, tuple![9, "z"]).unwrap();
+        let s = f.statistics();
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.columns[0].min, Some(Value::Int(2)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(9)));
+        assert_eq!(s.columns[1].nulls, 0);
+        assert_eq!(s.columns[0].histogram.as_ref().unwrap().rows(), 3);
     }
 
     #[test]

@@ -123,6 +123,13 @@ impl Ofm {
         self.fragment.stats()
     }
 
+    /// Full per-column statistics snapshot (the `StatsReport` payload) —
+    /// computed from the fragment's incrementally-maintained sketches,
+    /// exactly where the data lives.
+    pub fn statistics(&self) -> prisma_types::FragmentStatistics {
+        self.fragment.statistics()
+    }
+
     /// Direct fragment access (index creation, markings, cursors).
     pub fn fragment_mut(&mut self) -> &mut Fragment {
         &mut self.fragment

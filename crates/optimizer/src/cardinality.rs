@@ -1,7 +1,16 @@
 //! Intermediate-result size estimation (paper §2.4's second rule family).
+//!
+//! Comparison selectivities are **histogram-backed** when the scanned
+//! relation was profiled through the per-fragment statistics pipeline:
+//! equality consults the most-common values first (exact for heavy
+//! hitters) and falls back to the containing histogram bucket; range
+//! predicates integrate the histogram mass below/above the literal
+//! instead of assuming the uniform 1/3 default. Relations without
+//! histograms keep the classic uniform heuristics.
 
 use prisma_relalg::{JoinKind, LogicalPlan};
 use prisma_storage::expr::{CmpOp, ScalarExpr};
+use prisma_types::Value;
 
 use crate::stats::{StatsSource, TableStats};
 
@@ -150,21 +159,109 @@ pub fn predicate_selectivity(
         }
         ScalarExpr::Not(e) => 1.0 - predicate_selectivity(e, input, stats),
         ScalarExpr::Cmp(op, l, r) => {
-            let col = match (l.as_ref(), r.as_ref()) {
-                (ScalarExpr::Col(i), ScalarExpr::Lit(_))
-                | (ScalarExpr::Lit(_), ScalarExpr::Col(i)) => Some(*i),
+            // `col <op> literal` in either orientation; the operator
+            // flips with the operands.
+            let col_lit = match (l.as_ref(), r.as_ref()) {
+                (ScalarExpr::Col(i), ScalarExpr::Lit(v)) => Some((*i, v, *op)),
+                (ScalarExpr::Lit(v), ScalarExpr::Col(i)) => Some((*i, v, op.flip())),
                 _ => None,
             };
-            match (op, col) {
-                (CmpOp::Eq, Some(i)) => 1.0 / column_distinct(input, i, stats).max(1.0),
-                (CmpOp::Ne, Some(i)) => 1.0 - 1.0 / column_distinct(input, i, stats).max(1.0),
-                (CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge, _) => RANGE_SEL,
+            match col_lit {
+                Some((i, v, CmpOp::Eq)) => eq_selectivity(input, i, v, stats),
+                Some((i, v, CmpOp::Ne)) => 1.0 - eq_selectivity(input, i, v, stats),
+                Some((i, v, op @ (CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge))) => {
+                    range_selectivity(input, i, v, op, stats).unwrap_or(RANGE_SEL)
+                }
+                None if matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge) => {
+                    RANGE_SEL
+                }
                 _ => DEFAULT_SEL,
             }
         }
         ScalarExpr::IsNull(_) => 0.1,
         _ => DEFAULT_SEL,
     }
+}
+
+/// Trace `plan`'s output column `col` back to a base-relation column:
+/// `Some((relation, column))` when the column flows unchanged through
+/// Select/Project/Join operators from a scan — the shape under which
+/// table-level histograms and most-common values describe the column's
+/// distribution.
+pub(crate) fn base_column(plan: &LogicalPlan, col: usize) -> Option<(&str, usize)> {
+    match plan {
+        LogicalPlan::Scan { relation, .. } => Some((relation, col)),
+        LogicalPlan::Select { input, .. } => base_column(input, col),
+        LogicalPlan::Project { input, exprs, .. } => match exprs.get(col) {
+            Some(ScalarExpr::Col(i)) => base_column(input, *i),
+            _ => None,
+        },
+        LogicalPlan::Join { left, right, .. } => {
+            let larity = left.output_schema().map(|s| s.arity()).ok()?;
+            if col < larity {
+                base_column(left, col)
+            } else {
+                base_column(right, col - larity)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Table-level stats of the base relation behind `plan`'s column `col`,
+/// plus the base column ordinal.
+fn base_column_stats(
+    plan: &LogicalPlan,
+    col: usize,
+    stats: &dyn StatsSource,
+) -> Option<(TableStats, usize)> {
+    let (rel, base_col) = base_column(plan, col)?;
+    Some((stats.table_stats(rel)?, base_col))
+}
+
+/// Selectivity of `col = v`: exact from the most-common values when `v`
+/// is one of them, histogram-bucket estimate otherwise, uniform
+/// 1/distinct fallback without a histogram. A literal **outside** every
+/// histogram bucket also falls back to 1/distinct rather than 0 — the
+/// histogram may simply predate the value (stale stats under an
+/// append-heavy workload), and a zero estimate would poison every
+/// upstream join estimate.
+fn eq_selectivity(input: &LogicalPlan, col: usize, v: &Value, stats: &dyn StatsSource) -> f64 {
+    if let Some((ts, base_col)) = base_column_stats(input, col, stats) {
+        if ts.rows > 0 {
+            if let Some((_, count)) = ts.mcv_of(base_col).iter().find(|(mv, _)| mv == v) {
+                return (*count as f64 / ts.rows as f64).clamp(0.0, 1.0);
+            }
+            if let Some(sel) = ts.hist_of(base_col).and_then(|h| h.selectivity_eq(v)) {
+                // Not a known heavy hitter: the containing bucket's
+                // average-value mass.
+                return sel.clamp(0.0, 1.0);
+            }
+        }
+    }
+    1.0 / column_distinct(input, col, stats).max(1.0)
+}
+
+/// Histogram-integrated selectivity of a range comparison; `None` when
+/// no histogram describes the column (caller falls back to the uniform
+/// [`RANGE_SEL`]).
+fn range_selectivity(
+    input: &LogicalPlan,
+    col: usize,
+    v: &Value,
+    op: CmpOp,
+    stats: &dyn StatsSource,
+) -> Option<f64> {
+    let (ts, base_col) = base_column_stats(input, col, stats)?;
+    let h = ts.hist_of(base_col)?;
+    let sel = match op {
+        CmpOp::Lt => h.fraction_below(v, false),
+        CmpOp::Le => h.fraction_below(v, true),
+        CmpOp::Gt => 1.0 - h.fraction_below(v, true),
+        CmpOp::Ge => 1.0 - h.fraction_below(v, false),
+        _ => return None,
+    };
+    Some(sel.clamp(0.0, 1.0))
 }
 
 /// Convenience: full stats for a scan, if available.
@@ -199,6 +296,7 @@ mod tests {
                 distinct: vec![1000, 10],
                 min: vec![None, None],
                 max: vec![None, None],
+                ..TableStats::default()
             },
         );
         m.insert(
@@ -208,6 +306,7 @@ mod tests {
                 distinct: vec![100, 100],
                 min: vec![None, None],
                 max: vec![None, None],
+                ..TableStats::default()
             },
         );
         m
@@ -250,6 +349,34 @@ mod tests {
         ));
         let est = estimate_rows(&sel, &NoStats);
         assert!(est > 0.0 && est < DEFAULT_ROWS);
+    }
+
+    #[test]
+    fn eq_outside_histogram_falls_back_to_distinct_not_zero() {
+        use prisma_types::Histogram;
+        // Histogram covers 0..=99; the probe literal 500 postdates it
+        // (e.g. appended after the last refresh). The estimate must fall
+        // back to 1/distinct, never to 0 (which would poison joins).
+        let counts: std::collections::BTreeMap<prisma_types::Value, u64> =
+            (0..100).map(|i| (prisma_types::Value::Int(i), 1)).collect();
+        let mut ts = TableStats {
+            rows: 100,
+            distinct: vec![100, 10],
+            min: vec![None, None],
+            max: vec![None, None],
+            ..TableStats::default()
+        };
+        ts.hist = vec![Histogram::equi_depth(counts.iter(), 8), None];
+        let mut s = HashMap::new();
+        s.insert("t".to_owned(), ts);
+        let probe = LogicalPlan::scan("t", schema2())
+            .select(ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::lit(500)));
+        let est = estimate_rows(&probe, &s);
+        assert!((est - 1.0).abs() < 1e-9, "1/distinct fallback: {est}");
+        // An in-range literal still uses the histogram.
+        let probe = LogicalPlan::scan("t", schema2())
+            .select(ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::lit(50)));
+        assert!(estimate_rows(&probe, &s) > 0.0);
     }
 
     #[test]

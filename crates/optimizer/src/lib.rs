@@ -43,7 +43,7 @@ use prisma_types::Result;
 
 pub use cardinality::estimate_rows;
 pub use cse::detect_common_subexpressions;
-pub use physical::{lower_physical, PhysicalConfig};
+pub use physical::{lower_physical, op_label, PhysicalConfig};
 pub use stats::{StatsSource, TableStats};
 
 /// Which rule families run (all on by default; E9 toggles them).
@@ -83,15 +83,42 @@ impl OptimizerConfig {
 }
 
 /// Explain trace: which rules fired, and the estimates that drove them.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Trace {
     /// Human-readable rule firings in order.
     pub fired: Vec<String>,
+    enabled: bool,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace {
+            fired: Vec::new(),
+            enabled: true,
+        }
+    }
 }
 
 impl Trace {
+    /// A trace that records nothing — for hot paths (the executor
+    /// lowers every shipped subplan) where nobody reads the firings and
+    /// the per-operator cardinality walk would be pure overhead.
+    pub fn sink() -> Trace {
+        Trace {
+            fired: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether this trace records firings (false for [`Trace::sink`]).
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
     pub(crate) fn note(&mut self, rule: &str, detail: impl std::fmt::Display) {
-        self.fired.push(format!("{rule}: {detail}"));
+        if self.enabled {
+            self.fired.push(format!("{rule}: {detail}"));
+        }
     }
 
     /// Number of firings of a given rule family (prefix match).

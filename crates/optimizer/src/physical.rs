@@ -9,20 +9,41 @@
 //!    its estimated cardinality is at most
 //!    [`PhysicalConfig::broadcast_max_rows`], otherwise hash-partition
 //!    both sides (grace join). Estimates come from the size-estimation
-//!    rule family in [`crate::cardinality`].
+//!    rule family in [`crate::cardinality`]. The threshold is
+//!    **skew-adjusted**: a heavily-repeated join key concentrates one
+//!    hash bucket, so partitioning buys less balance than the uniform
+//!    model assumes — the broadcast cutoff is raised in proportion to the
+//!    heaviest key's share of the rows (known from the per-fragment
+//!    most-common-value statistics).
 //! 2. **Projection fusion** — a pure column projection directly above a
 //!    scan is folded into the scan, so fragments ship only the columns
 //!    the query needs (fewer 256-bit packets on the interconnect).
+//! 3. **Shuffle placement** — each partitioned join's buckets are
+//!    assigned to phase-2 site fragments. With per-fragment statistics
+//!    available, buckets are **weight-balanced**: the most-common join
+//!    keys of both sides are mapped through the executor's own bucket
+//!    hash to estimate per-bucket row weight, and buckets go greedily to
+//!    the least-loaded site (initial load = the site fragment's own
+//!    resident rows). Without statistics — or with
+//!    [`PhysicalConfig::skew_aware_placement`] off — placement falls back
+//!    to round-robin over the probe side's fragments.
 //!
-//! Every choice is recorded in the explain [`Trace`].
+//! Every choice is recorded in the explain [`Trace`], along with
+//! per-operator cardinality estimates and the freshness
+//! (fresh/stale/absent) of the statistics each decision consumed.
 
 use prisma_relalg::{lower_with, JoinStrategy, LogicalPlan, PhysicalPlan, ShufflePlacement};
 use prisma_storage::expr::ScalarExpr;
-use prisma_types::Result;
+use prisma_types::{FragmentId, Result};
 
-use crate::cardinality::estimate_rows;
+use crate::cardinality::{base_column, estimate_rows};
 use crate::stats::StatsSource;
 use crate::Trace;
+
+/// How strongly join-key skew raises the broadcast cutoff: the effective
+/// threshold is `broadcast_max_rows * (1 + SKEW_BROADCAST_BOOST * f)`
+/// where `f` is the heaviest key's fraction of its side's rows.
+const SKEW_BROADCAST_BOOST: f64 = 4.0;
 
 /// Tunables for the physical lowering.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +55,11 @@ pub struct PhysicalConfig {
     /// fragment of the larger side). Exposed so experiments and tests
     /// can force bucket-count/fragment-count mismatches.
     pub shuffle_parts: Option<usize>,
+    /// Weight-balance shuffle buckets over sites using the join key's
+    /// most-common values and per-fragment loads (true, the default).
+    /// `false` keeps the probe-side round-robin placement — the E8
+    /// baseline.
+    pub skew_aware_placement: bool,
 }
 
 impl Default for PhysicalConfig {
@@ -44,6 +70,7 @@ impl Default for PhysicalConfig {
             // |fragments| times.
             broadcast_max_rows: 1024.0,
             shuffle_parts: None,
+            skew_aware_placement: true,
         }
     }
 }
@@ -58,28 +85,146 @@ pub fn lower_physical(
     trace: &mut Trace,
 ) -> Result<PhysicalPlan> {
     let mut strategy_notes: Vec<String> = Vec::new();
+    let mut skew_notes: Vec<String> = Vec::new();
     let physical = lower_with(plan, &mut |join| {
         let LogicalPlan::Join { left, right, .. } = join else {
             return JoinStrategy::Broadcast;
         };
         let l = estimate_rows(left, stats);
         let r = estimate_rows(right, stats);
-        let strategy = if l.min(r) <= config.broadcast_max_rows {
+        // A repeated join key concentrates one hash bucket, so a grace
+        // join's balance benefit shrinks with skew — raise the broadcast
+        // cutoff in proportion to the heaviest key's row share.
+        let skew = join_key_skew(join, stats);
+        let threshold = config.broadcast_max_rows * (1.0 + SKEW_BROADCAST_BOOST * skew);
+        let strategy = if l.min(r) <= threshold {
             JoinStrategy::Broadcast
         } else {
             JoinStrategy::Partitioned
         };
+        if skew > 0.0 && l.min(r) > config.broadcast_max_rows && l.min(r) <= threshold {
+            skew_notes.push(format!(
+                "heaviest join key holds {:.0}% of its side's rows; broadcast \
+                 threshold raised {:.0} → {threshold:.0}",
+                skew * 100.0,
+                config.broadcast_max_rows,
+            ));
+        }
         strategy_notes.push(format!("{strategy} (est left={l:.0}, right={r:.0})"));
         strategy
     })?;
     for note in strategy_notes {
         trace.note("physical-join-strategy", note);
     }
+    for note in skew_notes {
+        trace.note("physical-join-skew", note);
+    }
     let physical = fuse_projections(physical, trace);
     let physical = place_shuffles(physical, stats, config, trace);
-    note_vectorized(&physical, trace);
-    note_exchanges(&physical, trace);
+    if trace.enabled() {
+        // The annotation walks exist for EXPLAIN's reader; the
+        // executor's per-query lowering passes a sink trace and skips
+        // them (note_cardinalities re-estimates every subtree — O(n²)
+        // in plan size — which is fine for a debug surface, not for the
+        // hot path).
+        note_vectorized(&physical, trace);
+        note_exchanges(&physical, trace);
+        note_stats_sources(plan, stats, trace);
+        note_cardinalities(plan, stats, trace);
+    }
     Ok(physical)
+}
+
+/// The heaviest join-key value's share of its side's rows, over every
+/// key pair of the join (0 when no side's key column has most-common
+/// value statistics). Both sides matter: either one's heavy hitter
+/// concentrates the same hash bucket.
+fn join_key_skew(join: &LogicalPlan, stats: &dyn StatsSource) -> f64 {
+    let LogicalPlan::Join {
+        left, right, on, ..
+    } = join
+    else {
+        return 0.0;
+    };
+    let mut skew = 0.0f64;
+    for &(lc, rc) in on {
+        for (side, col) in [(&**left, lc), (&**right, rc)] {
+            let Some((rel, base)) = base_column(side, col) else {
+                continue;
+            };
+            let Some(ts) = stats.table_stats(rel) else {
+                continue;
+            };
+            if ts.rows > 0 {
+                if let Some((_, c)) = ts.mcv_of(base).first() {
+                    skew = skew.max(*c as f64 / ts.rows as f64);
+                }
+            }
+        }
+    }
+    skew.clamp(0.0, 1.0)
+}
+
+/// Record the statistics provenance of every base relation the plan
+/// scans: freshness (fresh/stale/absent) and how many columns carry
+/// histograms — so EXPLAIN names the stats that fed each decision.
+fn note_stats_sources(plan: &LogicalPlan, stats: &dyn StatsSource, trace: &mut Trace) {
+    let mut seen = std::collections::BTreeSet::new();
+    for rel in plan.scanned_relations() {
+        if rel.starts_with("__") || rel.starts_with('Δ') || !seen.insert(rel.clone()) {
+            continue;
+        }
+        let freshness = stats.stats_freshness(&rel);
+        let detail = match stats.table_stats(&rel) {
+            Some(ts) => {
+                let with_hist = ts.hist.iter().filter(|h| h.is_some()).count();
+                format!(
+                    "{rel}: {freshness} ({} row(s), {with_hist}/{} column histogram(s))",
+                    ts.rows,
+                    ts.hist.len().max(ts.distinct.len()),
+                )
+            }
+            None => format!("{rel}: {freshness} (estimates run on defaults)"),
+        };
+        trace.note("stats-source", detail);
+    }
+}
+
+/// Record the estimated output cardinality of every operator, bottom-up
+/// — the `est=` half of EXPLAIN's estimated-vs-actual view (EXPLAIN
+/// ANALYZE fills in the actuals).
+fn note_cardinalities(plan: &LogicalPlan, stats: &dyn StatsSource, trace: &mut Trace) {
+    for child in plan.children() {
+        note_cardinalities(child, stats, trace);
+    }
+    trace.note(
+        "physical-cardinality",
+        format!(
+            "{}: est {:.0} row(s)",
+            op_label(plan),
+            estimate_rows(plan, stats)
+        ),
+    );
+}
+
+/// Short operator label for cardinality notes (also used by EXPLAIN
+/// ANALYZE's estimated-vs-actual section).
+pub fn op_label(plan: &LogicalPlan) -> String {
+    match plan {
+        LogicalPlan::Scan { relation, .. } => format!("Scan({relation})"),
+        LogicalPlan::Values { .. } => "Values".into(),
+        LogicalPlan::Select { .. } => "Select".into(),
+        LogicalPlan::Project { .. } => "Project".into(),
+        LogicalPlan::Join { kind, .. } => format!("Join[{kind:?}]"),
+        LogicalPlan::Union { .. } => "Union".into(),
+        LogicalPlan::Difference { .. } => "Difference".into(),
+        LogicalPlan::Distinct { .. } => "Distinct".into(),
+        LogicalPlan::Aggregate { .. } => "Aggregate".into(),
+        LogicalPlan::Sort { .. } => "Sort".into(),
+        LogicalPlan::Limit { .. } => "Limit".into(),
+        LogicalPlan::Closure { .. } => "Closure".into(),
+        LogicalPlan::Fixpoint { name, .. } => format!("Fixpoint({name})"),
+    }
 }
 
 /// The base relation a shippable join side scans, when the side is a
@@ -132,16 +277,39 @@ fn place_shuffles(
                         .shuffle_parts
                         .unwrap_or_else(|| lfrags.len().max(rfrags.len()))
                         .max(1);
-                    let p = ShufflePlacement::round_robin(parts, &lfrags);
-                    trace.note(
-                        "physical-shuffle-placement",
-                        format!(
-                            "{} bucket(s) over {} site(s) of {}",
-                            p.parts,
-                            lfrags.len().min(p.parts),
-                            scanned_base_relation(&left).expect("checked above"),
-                        ),
-                    );
+                    let lrel = scanned_base_relation(&left).expect("checked above");
+                    let weighted = if config.skew_aware_placement {
+                        weighted_placement(&left, &right, &on, parts, &lfrags, lrel, stats)
+                    } else {
+                        None
+                    };
+                    let p = match weighted {
+                        Some((p, max_bucket, max_site)) => {
+                            trace.note(
+                                "physical-shuffle-placement",
+                                format!(
+                                    "{} bucket(s) skew-weighted over {} site(s) of {lrel} \
+                                     (max bucket est {max_bucket:.0} row(s), max site est \
+                                     {max_site:.0})",
+                                    p.parts,
+                                    lfrags.len().min(p.parts),
+                                ),
+                            );
+                            p
+                        }
+                        None => {
+                            let p = ShufflePlacement::round_robin(parts, &lfrags);
+                            trace.note(
+                                "physical-shuffle-placement",
+                                format!(
+                                    "{} bucket(s) over {} site(s) of {lrel}",
+                                    p.parts,
+                                    lfrags.len().min(p.parts),
+                                ),
+                            );
+                            p
+                        }
+                    };
                     Some(p)
                 }
                 _ => None,
@@ -158,6 +326,127 @@ fn place_shuffles(
         }
         other => map_children(other, &mut |c| place_shuffles(c, stats, config, trace)),
     }
+}
+
+/// Trace a physical side plan's output column back to its base-relation
+/// column through Filter/Project/projecting-scan chains — the shapes the
+/// parallel executor ships as grace-join sides.
+fn physical_base_column(plan: &PhysicalPlan, col: usize) -> Option<(&str, usize)> {
+    match plan {
+        PhysicalPlan::SeqScan {
+            relation,
+            projection,
+            ..
+        } => {
+            let base = match projection {
+                Some(cols) => *cols.get(col)?,
+                None => col,
+            };
+            (!relation.starts_with("__") && !relation.starts_with('Δ'))
+                .then_some((relation.as_str(), base))
+        }
+        PhysicalPlan::Filter { input, .. } => physical_base_column(input, col),
+        PhysicalPlan::Project { input, exprs, .. } => match exprs.get(col)? {
+            ScalarExpr::Col(i) => physical_base_column(input, *i),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Weight-balanced shuffle placement: estimate each bucket's row weight
+/// from both sides' most-common join-key values (mapped through the
+/// executor's own [`prisma_relalg::exec::key_hash`] bucketing, so the
+/// estimate and the runtime agree on where each value lands) plus a
+/// uniform share for the remaining rows, then assign buckets greedily —
+/// heaviest first — to the least-loaded probe-side fragment, seeding
+/// each site's load with its resident rows (the per-PE load signal).
+///
+/// Returns `None` — and the caller falls back to round-robin — when the
+/// join key is multi-column (per-column MCVs cannot predict the joint
+/// hash) or when neither side's key column has most-common-value
+/// statistics (the weights would be flat and the greedy pass would
+/// reproduce round-robin anyway).
+fn weighted_placement(
+    left: &PhysicalPlan,
+    right: &PhysicalPlan,
+    on: &[(usize, usize)],
+    parts: usize,
+    lfrags: &[FragmentId],
+    lrel: &str,
+    stats: &dyn StatsSource,
+) -> Option<(ShufflePlacement, f64, f64)> {
+    let &[(lc, rc)] = on else {
+        return None;
+    };
+    let mut weights = vec![0.0f64; parts];
+    let mut any_mcv = false;
+    for (side, col) in [(left, lc), (right, rc)] {
+        let Some((rel, base)) = physical_base_column(side, col) else {
+            continue;
+        };
+        let Some(ts) = stats.table_stats(rel) else {
+            continue;
+        };
+        let mcv = ts.mcv_of(base);
+        if mcv.is_empty() {
+            for w in weights.iter_mut() {
+                *w += ts.rows as f64 / parts as f64;
+            }
+            continue;
+        }
+        any_mcv = true;
+        let mcv_rows: u64 = mcv.iter().map(|&(_, c)| c).sum();
+        let rest = ts.rows.saturating_sub(mcv_rows) as f64 / parts as f64;
+        for w in weights.iter_mut() {
+            *w += rest;
+        }
+        for (v, c) in mcv {
+            let j = (prisma_relalg::exec::key_hash(std::slice::from_ref(v))
+                % parts as u64) as usize;
+            weights[j] += *c as f64;
+        }
+    }
+    if !any_mcv {
+        return None;
+    }
+    // Seed each site with its resident rows, so a fragment already
+    // holding more data attracts fewer buckets.
+    let mut loads: Vec<f64> = match stats.fragment_stats(lrel) {
+        Some(fs) => lfrags
+            .iter()
+            .map(|fid| {
+                fs.iter()
+                    .find(|(id, _)| id == fid)
+                    .map_or(0.0, |(_, s)| s.rows as f64)
+            })
+            .collect(),
+        None => vec![0.0; lfrags.len()],
+    };
+    let mut order: Vec<usize> = (0..parts).collect();
+    order.sort_by(|&a, &b| {
+        weights[b]
+            .partial_cmp(&weights[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut sites = vec![lfrags[0]; parts];
+    for j in order {
+        let (s, _) = loads
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                a.1.partial_cmp(b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            })
+            .expect("at least one site");
+        sites[j] = lfrags[s];
+        loads[s] += weights[j];
+    }
+    let max_bucket = weights.iter().copied().fold(0.0f64, f64::max);
+    let max_site = loads.iter().copied().fold(0.0f64, f64::max);
+    Some((ShufflePlacement { parts, sites }, max_bucket, max_site))
 }
 
 /// Rebuild one node with `f` applied to each child (structure-preserving
@@ -484,6 +773,7 @@ mod tests {
                     distinct: vec![rows, rows / 10],
                     min: vec![None, None],
                     max: vec![None, None],
+                    ..TableStats::default()
                 },
             );
         }
@@ -676,6 +966,202 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    /// Stats source with fragmentation, per-fragment statistics and MCVs
+    /// — everything the dictionary provides at run time.
+    struct FullStats {
+        tables: HashMap<String, TableStats>,
+        frags: HashMap<String, Vec<prisma_types::FragmentId>>,
+        frag_stats: HashMap<String, Vec<(prisma_types::FragmentId, prisma_types::FragmentStatistics)>>,
+    }
+
+    impl StatsSource for FullStats {
+        fn table_stats(&self, name: &str) -> Option<TableStats> {
+            self.tables.get(name).cloned()
+        }
+        fn fragmentation(&self, name: &str) -> Option<Vec<prisma_types::FragmentId>> {
+            self.frags.get(name).cloned()
+        }
+        fn fragment_stats(
+            &self,
+            name: &str,
+        ) -> Option<Vec<(prisma_types::FragmentId, prisma_types::FragmentStatistics)>> {
+            self.frag_stats.get(name).cloned()
+        }
+        fn stats_freshness(&self, name: &str) -> prisma_types::StatsFreshness {
+            if self.tables.contains_key(name) {
+                prisma_types::StatsFreshness::Fresh
+            } else {
+                prisma_types::StatsFreshness::Absent
+            }
+        }
+    }
+
+    #[test]
+    fn skew_weighted_placement_spreads_heavy_buckets() {
+        use prisma_types::{FragmentId, Value};
+        // One join-key value carries most of both sides' rows; its
+        // bucket outweighs everything else combined, so the weighted
+        // pass must give its site no other bucket (round-robin would
+        // stack 3 more on it).
+        let mut tables = stats();
+        let heavy = Value::Int(7);
+        tables.get_mut("big").unwrap().mcv =
+            vec![vec![(heavy.clone(), 60_000)], Vec::new()];
+        tables.get_mut("huge").unwrap().mcv =
+            vec![vec![(heavy.clone(), 20_000)], Vec::new()];
+        let frags: HashMap<String, Vec<FragmentId>> = [
+            ("big".to_owned(), vec![FragmentId(0), FragmentId(1)]),
+            ("huge".to_owned(), vec![FragmentId(2), FragmentId(3)]),
+        ]
+        .into_iter()
+        .collect();
+        let s = FullStats {
+            tables,
+            frags,
+            frag_stats: HashMap::new(),
+        };
+        let join = LogicalPlan::scan("big", schema2())
+            .join(LogicalPlan::scan("huge", schema2()), vec![(0, 0)]);
+        let cfg = PhysicalConfig {
+            shuffle_parts: Some(8),
+            ..PhysicalConfig::default()
+        };
+        let mut trace = Trace::default();
+        let phys = lower_physical(&join, &s, cfg, &mut trace).unwrap();
+        let PhysicalPlan::HashJoin {
+            placement: Some(p), ..
+        } = &phys
+        else {
+            panic!("no placement: {phys}");
+        };
+        assert_eq!(p.parts, 8);
+        assert_eq!(trace.count_of("physical-shuffle-placement"), 1);
+        assert!(
+            trace.fired.iter().any(|f| f.contains("skew-weighted")),
+            "{:?}",
+            trace.fired
+        );
+        // The heavy value's bucket must sit alone on its site: every
+        // other bucket goes to the other fragment.
+        let heavy_bucket =
+            (prisma_relalg::exec::key_hash(std::slice::from_ref(&heavy)) % 8) as usize;
+        let heavy_site = p.sites[heavy_bucket];
+        let colocated = p
+            .sites
+            .iter()
+            .enumerate()
+            .filter(|&(j, &s)| j != heavy_bucket && s == heavy_site)
+            .count();
+        assert_eq!(colocated, 0, "heavy bucket shares its site: {:?}", p.sites);
+
+        // The baseline flag restores probe-side round-robin.
+        let cfg = PhysicalConfig {
+            shuffle_parts: Some(8),
+            skew_aware_placement: false,
+            ..PhysicalConfig::default()
+        };
+        let mut trace = Trace::default();
+        let phys = lower_physical(&join, &s, cfg, &mut trace).unwrap();
+        let PhysicalPlan::HashJoin {
+            placement: Some(p), ..
+        } = &phys
+        else {
+            panic!("no placement: {phys}");
+        };
+        assert_eq!(
+            p.sites,
+            ShufflePlacement::round_robin(8, &[prisma_types::FragmentId(0), prisma_types::FragmentId(1)]).sites
+        );
+        assert!(!trace.fired.iter().any(|f| f.contains("skew-weighted")));
+    }
+
+    #[test]
+    fn key_skew_raises_the_broadcast_threshold() {
+        use prisma_types::Value;
+        // Both sides estimated above the base threshold (2000 > 1024),
+        // but the join key's heaviest value holds half the big side's
+        // rows: threshold × (1 + 4·0.5) = 3× → broadcast after all.
+        let mut tables = HashMap::new();
+        tables.insert(
+            "l".to_owned(),
+            TableStats {
+                rows: 2_000,
+                distinct: vec![2_000, 10],
+                min: vec![None, None],
+                max: vec![None, None],
+                ..TableStats::default()
+            },
+        );
+        let mut rstats = TableStats {
+            rows: 40_000,
+            distinct: vec![100, 10],
+            min: vec![None, None],
+            max: vec![None, None],
+            ..TableStats::default()
+        };
+        rstats.mcv = vec![vec![(Value::Int(1), 20_000)], Vec::new()];
+        tables.insert("r".to_owned(), rstats);
+        let join = LogicalPlan::scan("l", schema2())
+            .join(LogicalPlan::scan("r", schema2()), vec![(0, 0)]);
+        let mut trace = Trace::default();
+        let phys =
+            lower_physical(&join, &tables, PhysicalConfig::default(), &mut trace).unwrap();
+        assert!(
+            matches!(
+                phys,
+                PhysicalPlan::HashJoin {
+                    strategy: JoinStrategy::Broadcast,
+                    ..
+                }
+            ),
+            "{phys}"
+        );
+        assert_eq!(trace.count_of("physical-join-skew"), 1, "{:?}", trace.fired);
+
+        // Without the skew the same sizes partition.
+        let mut tables2 = tables.clone();
+        tables2.get_mut("r").unwrap().mcv = Vec::new();
+        let mut trace = Trace::default();
+        let phys =
+            lower_physical(&join, &tables2, PhysicalConfig::default(), &mut trace).unwrap();
+        assert!(matches!(
+            phys,
+            PhysicalPlan::HashJoin {
+                strategy: JoinStrategy::Partitioned,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn explain_notes_cardinalities_and_stats_sources() {
+        use prisma_storage::expr::CmpOp;
+        let s = stats();
+        let plan = LogicalPlan::scan("big", schema2())
+            .select(ScalarExpr::cmp(
+                CmpOp::Gt,
+                ScalarExpr::col(0),
+                ScalarExpr::lit(5),
+            ))
+            .join(LogicalPlan::scan("mystery", schema2()), vec![(0, 0)]);
+        let mut trace = Trace::default();
+        lower_physical(&plan, &s, PhysicalConfig::default(), &mut trace).unwrap();
+        // One cardinality note per operator: 2 scans + select + join.
+        assert_eq!(trace.count_of("physical-cardinality"), 4, "{:?}", trace.fired);
+        assert!(trace
+            .fired
+            .iter()
+            .any(|f| f.contains("Scan(big): est 100000 row(s)")));
+        // Both relations' stats provenance is named; the unknown one is
+        // absent.
+        assert_eq!(trace.count_of("stats-source"), 2);
+        assert!(trace.fired.iter().any(|f| f.contains("big: fresh")));
+        assert!(trace
+            .fired
+            .iter()
+            .any(|f| f.contains("mystery: absent")));
     }
 
     #[test]

@@ -1,10 +1,21 @@
 //! Relation statistics for size estimation.
+//!
+//! [`TableStats`] is the table-level summary the estimator consumes. It
+//! is **derived**: the source of truth is the per-fragment
+//! [`FragmentStatistics`] each One-Fragment Manager maintains where the
+//! data lives (shipped to the dictionary via the GDH's `StatsReport`
+//! message). [`TableStats::from_fragments`] performs the merge —
+//! histograms, most-common values, distinct counts — so existing
+//! cardinality code keeps a single table-level view while skew-aware
+//! passes read the raw per-fragment reports through
+//! [`StatsSource::fragment_stats`].
 
 use std::collections::HashMap;
 
 use prisma_relalg::Relation;
 use prisma_storage::FastSet;
-use prisma_types::Value;
+use prisma_types::stats::{HISTOGRAM_BUCKETS, MOST_COMMON_VALUES};
+use prisma_types::{FragmentId, FragmentStatistics, Histogram, StatsFreshness, Value};
 
 /// Per-relation statistics kept by the data dictionary.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -17,17 +28,24 @@ pub struct TableStats {
     pub min: Vec<Option<Value>>,
     /// Max value per column.
     pub max: Vec<Option<Value>>,
+    /// Merged equi-depth histogram per column (empty/None when the
+    /// relation was never profiled through the fragment-stats pipeline).
+    pub hist: Vec<Option<Histogram>>,
+    /// Most-common values per column, heaviest first — the skew signal
+    /// the physical lowering consumes.
+    pub mcv: Vec<Vec<(Value, u64)>>,
 }
 
 impl TableStats {
     /// Exact statistics computed from a materialized relation (fragments
     /// are small enough in main memory that exact stats are affordable —
-    /// one of the luxuries of the PRISMA design).
+    /// one of the luxuries of the PRISMA design). No histograms: those
+    /// come from the per-fragment pipeline.
     pub fn from_relation(rel: &Relation) -> TableStats {
         let arity = rel.schema().arity();
         let mut distinct_sets: Vec<FastSet<&Value>> = vec![FastSet::default(); arity];
-        let mut min: Vec<Option<Value>> = vec![None; arity];
-        let mut max: Vec<Option<Value>> = vec![None; arity];
+        let mut min: Vec<Option<&Value>> = vec![None; arity];
+        let mut max: Vec<Option<&Value>> = vec![None; arity];
         for t in rel.tuples() {
             for i in 0..arity {
                 let v = t.get(i);
@@ -35,26 +53,95 @@ impl TableStats {
                     continue;
                 }
                 distinct_sets[i].insert(v);
-                if min[i].as_ref().is_none_or(|m| v < m) {
-                    min[i] = Some(v.clone());
+                // Track candidates by reference; the clone happens once,
+                // at the end — not on every replacement in the hot loop.
+                if min[i].is_none_or(|m| v < m) {
+                    min[i] = Some(v);
                 }
-                if max[i].as_ref().is_none_or(|m| v > m) {
-                    max[i] = Some(v.clone());
+                if max[i].is_none_or(|m| v > m) {
+                    max[i] = Some(v);
                 }
             }
         }
         TableStats {
             rows: rel.len() as u64,
             distinct: distinct_sets.iter().map(|s| s.len() as u64).collect(),
-            min,
-            max,
+            min: min.into_iter().map(|v| v.cloned()).collect(),
+            max: max.into_iter().map(|v| v.cloned()).collect(),
+            hist: vec![None; arity],
+            mcv: vec![Vec::new(); arity],
         }
     }
 
+    /// Merge per-fragment statistics into the table-level summary.
+    ///
+    /// * rows/NULLs sum; min/max take the extremes;
+    /// * distinct counts **sum** for the hash-fragmentation column (its
+    ///   values are disjoint across fragments by construction) and take
+    ///   the per-fragment **maximum** elsewhere, capped by the merged
+    ///   row count;
+    /// * histograms merge via [`Histogram::merge`]; most-common values
+    ///   sum per value and keep the heaviest.
+    pub fn from_fragments(parts: &[FragmentStatistics], frag_column: Option<usize>) -> TableStats {
+        let arity = parts.iter().map(|p| p.columns.len()).max().unwrap_or(0);
+        let rows: u64 = parts.iter().map(|p| p.rows).sum();
+        let mut stats = TableStats {
+            rows,
+            distinct: vec![0; arity],
+            min: vec![None; arity],
+            max: vec![None; arity],
+            hist: vec![None; arity],
+            mcv: vec![Vec::new(); arity],
+        };
+        for col in 0..arity {
+            let cols: Vec<_> = parts.iter().filter_map(|p| p.columns.get(col)).collect();
+            let distinct = if frag_column == Some(col) {
+                cols.iter().map(|c| c.distinct).sum::<u64>()
+            } else {
+                cols.iter().map(|c| c.distinct).max().unwrap_or(0)
+            };
+            stats.distinct[col] = distinct.min(rows.max(1));
+            stats.min[col] = cols.iter().filter_map(|c| c.min.clone()).min();
+            stats.max[col] = cols.iter().filter_map(|c| c.max.clone()).max();
+            stats.hist[col] = Histogram::merge(
+                cols.iter().filter_map(|c| c.histogram.as_ref()),
+                HISTOGRAM_BUCKETS,
+            );
+            let mut merged: HashMap<Value, u64> = HashMap::new();
+            for c in &cols {
+                for (v, n) in &c.most_common {
+                    *merged.entry(v.clone()).or_default() += n;
+                }
+            }
+            let mut mcv: Vec<(Value, u64)> = merged.into_iter().collect();
+            mcv.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            mcv.truncate(MOST_COMMON_VALUES);
+            stats.mcv[col] = mcv;
+        }
+        stats
+    }
+
     /// Distinct count for a column (1 at minimum, so selectivity math
-    /// never divides by zero).
+    /// never divides by zero). An out-of-range column is planner/schema
+    /// drift — caught loudly in debug builds instead of silently
+    /// producing nonsense selectivities.
     pub fn distinct_of(&self, col: usize) -> f64 {
+        debug_assert!(
+            col < self.distinct.len(),
+            "distinct_of({col}) out of range for arity {} — planner/schema drift",
+            self.distinct.len()
+        );
         self.distinct.get(col).copied().unwrap_or(1).max(1) as f64
+    }
+
+    /// Merged histogram for a column, if one was ever collected.
+    pub fn hist_of(&self, col: usize) -> Option<&Histogram> {
+        self.hist.get(col).and_then(|h| h.as_ref())
+    }
+
+    /// Most-common values for a column (empty when never profiled).
+    pub fn mcv_of(&self, col: usize) -> &[(Value, u64)] {
+        self.mcv.get(col).map(Vec::as_slice).unwrap_or(&[])
     }
 }
 
@@ -62,6 +149,20 @@ impl TableStats {
 pub trait StatsSource {
     /// Stats for a base relation, if known.
     fn table_stats(&self, name: &str) -> Option<TableStats>;
+
+    /// Per-fragment statistics in partition order, when the source keeps
+    /// them (the GDH data dictionary does). `None` (the default) means
+    /// only the merged table-level view exists.
+    fn fragment_stats(&self, _name: &str) -> Option<Vec<(FragmentId, FragmentStatistics)>> {
+        None
+    }
+
+    /// How trustworthy the stats behind [`StatsSource::table_stats`] are
+    /// — surfaced in EXPLAIN so every decision names the stats that fed
+    /// it.
+    fn stats_freshness(&self, _name: &str) -> StatsFreshness {
+        StatsFreshness::Absent
+    }
 
     /// Fragment ids of a base relation in partition order — the
     /// placement input the physical pass uses to emit shuffle placement
@@ -76,6 +177,14 @@ pub trait StatsSource {
 impl StatsSource for HashMap<String, TableStats> {
     fn table_stats(&self, name: &str) -> Option<TableStats> {
         self.get(name).cloned()
+    }
+
+    fn stats_freshness(&self, name: &str) -> StatsFreshness {
+        if self.contains_key(name) {
+            StatsFreshness::Fresh
+        } else {
+            StatsFreshness::Absent
+        }
     }
 }
 
@@ -92,7 +201,7 @@ impl StatsSource for NoStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use prisma_types::{tuple, Column, DataType, Schema};
+    use prisma_types::{tuple, Column, ColumnStats, DataType, Schema};
 
     #[test]
     fn exact_stats() {
@@ -113,6 +222,61 @@ mod tests {
         assert_eq!(s.min[0], Some(Value::Int(1)));
         assert_eq!(s.max[0], Some(Value::Int(2)));
         assert_eq!(s.min[1], Some(Value::from("x")));
-        assert_eq!(s.distinct_of(9), 1.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "planner/schema drift")]
+    fn distinct_of_out_of_range_asserts_in_debug() {
+        let s = TableStats {
+            rows: 1,
+            distinct: vec![1],
+            ..TableStats::default()
+        };
+        let _ = s.distinct_of(9);
+    }
+
+    fn frag_stats(values: &[i64]) -> FragmentStatistics {
+        let mut counts: std::collections::BTreeMap<Value, u64> =
+            std::collections::BTreeMap::new();
+        for &v in values {
+            *counts.entry(Value::Int(v)).or_default() += 1;
+        }
+        let mut most_common: Vec<(Value, u64)> =
+            counts.iter().map(|(v, &c)| (v.clone(), c)).collect();
+        most_common.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        most_common.truncate(MOST_COMMON_VALUES);
+        FragmentStatistics {
+            rows: values.len() as u64,
+            bytes: values.len() as u64 * 8,
+            columns: vec![ColumnStats {
+                distinct: counts.len() as u64,
+                nulls: 0,
+                min: counts.keys().next().cloned(),
+                max: counts.keys().next_back().cloned(),
+                histogram: Histogram::equi_depth(counts.iter(), HISTOGRAM_BUCKETS),
+                most_common,
+            }],
+        }
+    }
+
+    #[test]
+    fn fragment_merge_sums_rows_and_merges_columns() {
+        let a = frag_stats(&[1, 2, 3, 3]);
+        let b = frag_stats(&[3, 4, 5]);
+        let merged = TableStats::from_fragments(&[a, b], None);
+        assert_eq!(merged.rows, 7);
+        assert_eq!(merged.min[0], Some(Value::Int(1)));
+        assert_eq!(merged.max[0], Some(Value::Int(5)));
+        // Non-fragmentation column: distinct is the per-fragment max.
+        assert_eq!(merged.distinct[0], 3);
+        assert_eq!(merged.hist_of(0).unwrap().rows(), 7);
+        // Value 3 appears 3× across fragments; the merged MCVs sum it.
+        assert_eq!(merged.mcv_of(0)[0], (Value::Int(3), 3));
+
+        // Hash-fragmentation column: values are disjoint, distinct sums
+        // (capped by rows).
+        let merged = TableStats::from_fragments(&[frag_stats(&[1, 2]), frag_stats(&[3, 4])], Some(0));
+        assert_eq!(merged.distinct[0], 4);
     }
 }

@@ -17,6 +17,7 @@ pub mod config;
 pub mod error;
 pub mod ids;
 pub mod schema;
+pub mod stats;
 pub mod tuple;
 pub mod value;
 
@@ -25,5 +26,6 @@ pub use config::{MachineConfig, TopologyKind};
 pub use error::{PrismaError, Result};
 pub use ids::{FragmentId, PeId, ProcessId, QueryId, TxnId};
 pub use schema::{Column, DataType, Schema};
+pub use stats::{ColumnStats, FragmentStatistics, Histogram, StatsFreshness};
 pub use tuple::Tuple;
 pub use value::Value;

@@ -1,0 +1,384 @@
+//! Per-fragment statistics: the summaries a One-Fragment Manager computes
+//! **where the data lives** and ships to the Global Data Handler's data
+//! dictionary (PRISMA's one-fragment-one-manager design makes exact
+//! per-fragment statistics cheap — the fragment is main-memory resident
+//! and every mutation already passes through its manager).
+//!
+//! The types here are deliberately low in the crate graph: the OFM layer
+//! *produces* [`FragmentStatistics`], the GDH dictionary *caches* them per
+//! `(relation, fragment)` with a staleness epoch, and the optimizer
+//! *consumes* them — merged into table-level summaries for cardinality
+//! estimation and raw for skew-aware shuffle placement.
+
+use crate::value::Value;
+
+/// Default bucket budget for equi-depth histograms (per column).
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// How many most-common values a column summary carries. Heavy hitters
+/// drive skew detection: the optimizer maps each one to its shuffle
+/// bucket to estimate per-bucket weight.
+pub const MOST_COMMON_VALUES: usize = 16;
+
+/// One equi-depth bucket: the rows whose column value `v` satisfies
+/// `lo <= v <= hi`. Every distinct value belongs to exactly one bucket,
+/// so a heavy hitter shows up as a (near-)single-value bucket carrying
+/// far more than the equi-depth target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramBucket {
+    /// Smallest value in the bucket.
+    pub lo: Value,
+    /// Largest value in the bucket (inclusive).
+    pub hi: Value,
+    /// Non-NULL rows in the bucket.
+    pub rows: u64,
+    /// Distinct values in the bucket (≥ 1).
+    pub distinct: u64,
+}
+
+/// An equi-depth histogram over one column's non-NULL values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Histogram {
+    /// Buckets in ascending value order.
+    pub buckets: Vec<HistogramBucket>,
+}
+
+impl Histogram {
+    /// Build an equi-depth histogram from `(value, count)` pairs in
+    /// ascending value order (e.g. a `BTreeMap` iteration). Each distinct
+    /// value lands in exactly one bucket; buckets close once they reach
+    /// the depth target `total / max_buckets`. Returns `None` for an
+    /// empty input.
+    pub fn equi_depth<'a>(
+        sorted: impl IntoIterator<Item = (&'a Value, &'a u64)>,
+        max_buckets: usize,
+    ) -> Option<Histogram> {
+        let pairs: Vec<(&Value, u64)> = sorted.into_iter().map(|(v, c)| (v, *c)).collect();
+        let total: u64 = pairs.iter().map(|&(_, c)| c).sum();
+        if total == 0 {
+            return None;
+        }
+        let target = total.div_ceil(max_buckets.max(1) as u64);
+        let mut buckets = Vec::new();
+        let mut cur: Option<HistogramBucket> = None;
+        for (v, c) in pairs {
+            match cur.as_mut() {
+                // A value carrying a whole bucket's worth of rows gets
+                // its own bucket — heavy hitters must not hide behind
+                // their neighbours (their isolation is what makes skew
+                // visible to the planner).
+                Some(b) if b.rows < target && c < target => {
+                    b.hi = v.clone();
+                    b.rows += c;
+                    b.distinct += 1;
+                }
+                _ => {
+                    if let Some(b) = cur.take() {
+                        buckets.push(b);
+                    }
+                    cur = Some(HistogramBucket {
+                        lo: v.clone(),
+                        hi: v.clone(),
+                        rows: c,
+                        distinct: 1,
+                    });
+                }
+            }
+        }
+        if let Some(b) = cur {
+            buckets.push(b);
+        }
+        // Heavy-hitter isolation can leave underfull neighbours behind,
+        // overshooting the bucket budget; merge the lightest adjacent
+        // pairs back until the budget holds (the summary stays bounded —
+        // wire cost and memory are charged per bucket).
+        while buckets.len() > max_buckets.max(1) {
+            let i = (0..buckets.len() - 1)
+                .min_by_key(|&i| buckets[i].rows + buckets[i + 1].rows)
+                .expect("len > 1");
+            let right = buckets.remove(i + 1);
+            let left = &mut buckets[i];
+            left.hi = right.hi;
+            left.rows += right.rows;
+            left.distinct += right.distinct;
+        }
+        Some(Histogram { buckets })
+    }
+
+    /// Total non-NULL rows covered.
+    pub fn rows(&self) -> u64 {
+        self.buckets.iter().map(|b| b.rows).sum()
+    }
+
+    /// The heaviest bucket's row count (0 for an empty histogram) — the
+    /// estimator's error bound: every selectivity estimate derived from
+    /// this histogram is within one bucket's mass of the truth.
+    pub fn max_bucket_rows(&self) -> u64 {
+        self.buckets.iter().map(|b| b.rows).max().unwrap_or(0)
+    }
+
+    /// Estimated fraction of rows with value `< v` (or `<= v` when
+    /// `inclusive`). Buckets fully below contribute whole; the bucket
+    /// containing `v` contributes a linear interpolation when its bounds
+    /// are numeric (half its mass otherwise) — so the estimate is off by
+    /// at most the containing bucket's mass.
+    pub fn fraction_below(&self, v: &Value, inclusive: bool) -> f64 {
+        let total = self.rows();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut below = 0.0f64;
+        for b in &self.buckets {
+            if *v > b.hi || (inclusive && *v == b.hi) {
+                below += b.rows as f64;
+            } else if *v >= b.lo {
+                // `v` falls inside this bucket: interpolate.
+                let frac = match (b.lo.as_double(), b.hi.as_double(), v.as_double()) {
+                    (Some(lo), Some(hi), Some(x)) if hi > lo => {
+                        ((x - lo) / (hi - lo)).clamp(0.0, 1.0)
+                    }
+                    _ => 0.5,
+                };
+                below += b.rows as f64 * frac;
+                break;
+            } else {
+                break; // buckets are sorted; nothing further contributes
+            }
+        }
+        (below / total as f64).clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of `column = v`: the containing bucket's
+    /// rows spread uniformly over its distinct values. `None` when `v`
+    /// lies outside every bucket (selectivity 0 as far as the histogram
+    /// knows).
+    pub fn selectivity_eq(&self, v: &Value) -> Option<f64> {
+        let total = self.rows();
+        if total == 0 {
+            return None;
+        }
+        let b = self
+            .buckets
+            .iter()
+            .find(|b| *v >= b.lo && *v <= b.hi)?;
+        Some((b.rows as f64 / b.distinct.max(1) as f64) / total as f64)
+    }
+
+    /// Merge fragment histograms into one table-level equi-depth
+    /// histogram. Each source bucket is re-emitted as a handful of
+    /// synthetic `(value, count)` points (exact for single-value buckets,
+    /// spread between `lo` and `hi` otherwise), the points are combined
+    /// into one ordered multiset, and an equi-depth histogram is rebuilt
+    /// over it — an approximation, but one whose bucket masses still
+    /// bound the estimation error.
+    pub fn merge<'a>(
+        parts: impl IntoIterator<Item = &'a Histogram>,
+        max_buckets: usize,
+    ) -> Option<Histogram> {
+        use std::collections::BTreeMap;
+        let mut points: BTreeMap<Value, u64> = BTreeMap::new();
+        for h in parts {
+            for b in &h.buckets {
+                if b.distinct <= 1 || b.lo == b.hi {
+                    *points.entry(b.lo.clone()).or_default() += b.rows;
+                    continue;
+                }
+                match (b.lo.as_double(), b.hi.as_double()) {
+                    (Some(lo), Some(hi)) if hi > lo => {
+                        let k = b.distinct.min(4);
+                        let share = b.rows / k;
+                        let extra = b.rows - share * k;
+                        for i in 0..k {
+                            let x = lo + (hi - lo) * i as f64 / (k - 1).max(1) as f64;
+                            let v = if b.lo.as_int().is_some() && b.hi.as_int().is_some() {
+                                Value::Int(x.round() as i64)
+                            } else {
+                                Value::Double(x)
+                            };
+                            *points.entry(v).or_default() +=
+                                share + if i == 0 { extra } else { 0 };
+                        }
+                    }
+                    _ => {
+                        let half = b.rows / 2;
+                        *points.entry(b.lo.clone()).or_default() += b.rows - half;
+                        *points.entry(b.hi.clone()).or_default() += half;
+                    }
+                }
+            }
+        }
+        Histogram::equi_depth(points.iter(), max_buckets)
+    }
+}
+
+/// Per-column summary of one fragment.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ColumnStats {
+    /// Distinct non-NULL values.
+    pub distinct: u64,
+    /// NULL rows.
+    pub nulls: u64,
+    /// Smallest non-NULL value.
+    pub min: Option<Value>,
+    /// Largest non-NULL value.
+    pub max: Option<Value>,
+    /// Equi-depth histogram over the non-NULL values.
+    pub histogram: Option<Histogram>,
+    /// The most common values with their counts, heaviest first (at most
+    /// [`MOST_COMMON_VALUES`]) — the skew signal.
+    pub most_common: Vec<(Value, u64)>,
+}
+
+/// Everything one fragment reports about itself: the payload of the
+/// GDH's `StatsReport` protocol message.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FragmentStatistics {
+    /// Live tuples.
+    pub rows: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Per-column summaries, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl FragmentStatistics {
+    /// Approximate wire footprint of this report (the ledger charges the
+    /// summary, never the data — that is the whole point).
+    pub fn wire_bytes(&self) -> usize {
+        32 + self
+            .columns
+            .iter()
+            .map(|c| {
+                48 + c
+                    .histogram
+                    .as_ref()
+                    .map_or(0, |h| h.buckets.len() * 24)
+                    + c.most_common.len() * 16
+            })
+            .sum::<usize>()
+    }
+}
+
+/// How trustworthy a relation's cached statistics are, relative to the
+/// dictionary's mutation epoch — surfaced in EXPLAIN so every planning
+/// decision names the stats that fed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFreshness {
+    /// Every fragment reported at the relation's current mutation epoch.
+    Fresh,
+    /// Statistics exist but predate the latest mutations (or cover only
+    /// some fragments).
+    Stale,
+    /// No statistics were ever collected; estimates run on defaults.
+    Absent,
+}
+
+impl std::fmt::Display for StatsFreshness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsFreshness::Fresh => f.write_str("fresh"),
+            StatsFreshness::Stale => f.write_str("stale"),
+            StatsFreshness::Absent => f.write_str("absent"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn hist_of(counts: &[(i64, u64)], buckets: usize) -> Histogram {
+        let m: BTreeMap<Value, u64> =
+            counts.iter().map(|&(v, c)| (Value::Int(v), c)).collect();
+        Histogram::equi_depth(m.iter(), buckets).unwrap()
+    }
+
+    #[test]
+    fn equi_depth_buckets_balance_uniform_data() {
+        let h = hist_of(&(0..64).map(|i| (i, 2)).collect::<Vec<_>>(), 32);
+        assert_eq!(h.rows(), 128);
+        assert_eq!(h.buckets.len(), 32);
+        assert!(h.buckets.iter().all(|b| b.rows == 4 && b.distinct == 2));
+    }
+
+    #[test]
+    fn heavy_hitter_isolates_into_its_own_bucket() {
+        let mut counts: Vec<(i64, u64)> = (0..31).map(|i| (i, 1)).collect();
+        counts.push((31, 100));
+        let h = hist_of(&counts, 8);
+        // The target depth (131/8 ≈ 17) closes the heavy value's bucket
+        // right after it; its mass is visible in max_bucket_rows.
+        assert!(h.max_bucket_rows() >= 100);
+        let eq = h.selectivity_eq(&Value::Int(31)).unwrap();
+        assert!(eq > 0.5, "heavy hitter selectivity {eq}");
+    }
+
+    #[test]
+    fn bucket_budget_holds_under_alternating_heavy_values() {
+        // Light/heavy alternation makes naive heavy-hitter isolation
+        // emit ~2 buckets per heavy value; the budget must still hold.
+        let counts: Vec<(i64, u64)> = (0..64)
+            .map(|i| (i, if i % 2 == 0 { 1 } else { 50 }))
+            .collect();
+        let h = hist_of(&counts, 8);
+        assert!(h.buckets.len() <= 8, "{} buckets", h.buckets.len());
+        assert_eq!(h.rows(), 32 + 32 * 50);
+    }
+
+    #[test]
+    fn fraction_below_tracks_truth_within_a_bucket() {
+        let counts: Vec<(i64, u64)> = (0..100).map(|i| (i, 1)).collect();
+        let h = hist_of(&counts, 10);
+        let bound = h.max_bucket_rows() as f64 / h.rows() as f64;
+        for v in [0i64, 17, 50, 83, 99] {
+            let truth = v as f64 / 100.0; // fraction strictly below v
+            let est = h.fraction_below(&Value::Int(v), false);
+            assert!(
+                (est - truth).abs() <= bound + 1e-9,
+                "v={v}: est {est} truth {truth} bound {bound}"
+            );
+        }
+        assert_eq!(h.fraction_below(&Value::Int(-5), false), 0.0);
+        assert_eq!(h.fraction_below(&Value::Int(1000), true), 1.0);
+    }
+
+    #[test]
+    fn eq_selectivity_is_none_outside_range() {
+        let h = hist_of(&[(10, 5), (20, 5)], 4);
+        assert!(h.selectivity_eq(&Value::Int(99)).is_none());
+        let s = h.selectivity_eq(&Value::Int(10)).unwrap();
+        assert!(s > 0.0 && s <= 1.0);
+    }
+
+    #[test]
+    fn merge_preserves_total_mass_and_bounds() {
+        let a = hist_of(&(0..50).map(|i| (i, 2)).collect::<Vec<_>>(), 8);
+        let b = hist_of(&(25..75).map(|i| (i, 4)).collect::<Vec<_>>(), 8);
+        let m = Histogram::merge([&a, &b], HISTOGRAM_BUCKETS).unwrap();
+        assert_eq!(m.rows(), a.rows() + b.rows());
+        assert!(m.buckets.first().unwrap().lo >= Value::Int(0));
+        assert!(m.buckets.last().unwrap().hi <= Value::Int(74));
+        // The merged median should sit around 40 (b's mass dominates).
+        let mid = m.fraction_below(&Value::Int(40), false);
+        assert!((0.25..=0.75).contains(&mid), "median fraction {mid}");
+    }
+
+    #[test]
+    fn string_buckets_use_half_bucket_interpolation() {
+        let m: BTreeMap<Value, u64> = [("a", 10u64), ("b", 10), ("c", 10), ("d", 10)]
+            .into_iter()
+            .map(|(s, c)| (Value::from(s), c))
+            .collect();
+        let h = Histogram::equi_depth(m.iter(), 2).unwrap();
+        let f = h.fraction_below(&Value::from("b"), false);
+        assert!(f > 0.0 && f < 1.0);
+    }
+
+    #[test]
+    fn freshness_displays() {
+        assert_eq!(StatsFreshness::Fresh.to_string(), "fresh");
+        assert_eq!(StatsFreshness::Stale.to_string(), "stale");
+        assert_eq!(StatsFreshness::Absent.to_string(), "absent");
+    }
+}

@@ -614,6 +614,7 @@ proptest! {
         db.gdh_mut().set_physical_config(PhysicalConfig {
             broadcast_max_rows: 0.0,
             shuffle_parts: parts,
+            ..PhysicalConfig::default()
         });
 
         let plan = LogicalPlan::scan("l", schema.clone())
@@ -930,4 +931,75 @@ proptest! {
 
 fn bytes_mut() -> bytes::BytesMut {
     bytes::BytesMut::new()
+}
+
+// ---------- per-fragment statistics: histogram estimation bounds ----------
+
+proptest! {
+    /// An equi-depth histogram's range-selectivity estimate is within
+    /// one bucket's mass of the true selectivity — for any value
+    /// multiset (including heavy skew from the small domain) and any
+    /// probe point.
+    #[test]
+    fn histogram_range_selectivity_within_one_bucket_mass(
+        values in prop::collection::vec(-40i64..40, 1..400),
+        probe in -60i64..60,
+        buckets in 2usize..33,
+    ) {
+        use prisma::types::Histogram;
+        let mut counts: std::collections::BTreeMap<Value, u64> =
+            std::collections::BTreeMap::new();
+        for &v in &values {
+            *counts.entry(Value::Int(v)).or_default() += 1;
+        }
+        let h = Histogram::equi_depth(counts.iter(), buckets).unwrap();
+        prop_assert_eq!(h.rows(), values.len() as u64, "mass is conserved");
+        let total = values.len() as f64;
+        let bound = h.max_bucket_rows() as f64 / total;
+        for inclusive in [false, true] {
+            let truth = values
+                .iter()
+                .filter(|&&v| if inclusive { v <= probe } else { v < probe })
+                .count() as f64
+                / total;
+            let est = h.fraction_below(&Value::Int(probe), inclusive);
+            prop_assert!(
+                (est - truth).abs() <= bound + 1e-9,
+                "inclusive={inclusive}: est {est} truth {truth} bound {bound}"
+            );
+        }
+    }
+
+    /// Equality selectivity from the histogram is within one bucket's
+    /// mass of the truth, and exact (not merely bounded) for any value
+    /// the most-common-value list carries.
+    #[test]
+    fn histogram_eq_selectivity_within_one_bucket_mass(
+        values in prop::collection::vec(-20i64..20, 1..300),
+        probe in -25i64..25,
+    ) {
+        use prisma::types::Histogram;
+        let mut counts: std::collections::BTreeMap<Value, u64> =
+            std::collections::BTreeMap::new();
+        for &v in &values {
+            *counts.entry(Value::Int(v)).or_default() += 1;
+        }
+        let h = Histogram::equi_depth(counts.iter(), 8).unwrap();
+        let total = values.len() as f64;
+        let bound = h.max_bucket_rows() as f64 / total;
+        let truth = values.iter().filter(|&&v| v == probe).count() as f64 / total;
+        let est = h.selectivity_eq(&Value::Int(probe)).unwrap_or(0.0);
+        prop_assert!(
+            (est - truth).abs() <= bound + 1e-9,
+            "est {est} truth {truth} bound {bound}"
+        );
+        // MCV hits are exact.
+        let mut mcv: Vec<(Value, u64)> = counts.iter().map(|(v, &c)| (v.clone(), c)).collect();
+        mcv.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        if let Some((v, c)) = mcv.first() {
+            if *v == Value::Int(probe) {
+                prop_assert!((truth - *c as f64 / total).abs() < 1e-12);
+            }
+        }
+    }
 }
