@@ -124,7 +124,7 @@ impl MutationState {
 pub struct DataDictionary {
     config: MachineConfig,
     relations: RwLock<HashMap<String, RelationInfo>>,
-    stats: RwLock<HashMap<String, TableStats>>,
+    stats: RwLock<HashMap<String, Arc<TableStats>>>,
     /// Per-(relation, fragment) statistics reports from the OFMs.
     fragment_stats: RwLock<HashMap<String, HashMap<FragmentId, CachedFragmentStats>>>,
     /// Per-relation mutation epoch + row delta since the last refresh.
@@ -134,8 +134,12 @@ pub struct DataDictionary {
     /// each would dominate. Entries are keyed by the relation's
     /// [`MutationState::gen`] at compute time: any report or mutation
     /// bumps the gen, so a stale entry (including one racing in after
-    /// an invalidation) simply never matches again.
-    merged_cache: RwLock<HashMap<String, (u64, TableStats)>>,
+    /// an invalidation) simply never matches again. The value is an
+    /// `Arc` because a hit is handed to the caller as-is — one query
+    /// consults `table_stats` dozens of times, and deep-cloning the
+    /// merged histograms and MCV lists on every hit dominated the
+    /// planning cost of placement-heavy workloads (E8).
+    merged_cache: RwLock<HashMap<String, (u64, Arc<TableStats>)>>,
     stable: HashMap<usize, StableServices>,
     next_fragment: RwLock<u32>,
 }
@@ -251,7 +255,7 @@ impl DataDictionary {
     /// statistics lifecycle normally flows through
     /// [`DataDictionary::put_fragment_stats`]).
     pub fn put_stats(&self, name: &str, stats: TableStats) {
-        self.stats.write().insert(name.to_owned(), stats);
+        self.stats.write().insert(name.to_owned(), Arc::new(stats));
     }
 
     /// The relation's current mutation epoch (0 until the first DML).
@@ -317,7 +321,8 @@ impl DataDictionary {
     /// Keep any legacy table-level summary row-adjusted too.
     fn adjust_legacy_rows(&self, name: &str, row_delta: i64) {
         if let Some(s) = self.stats.write().get_mut(name) {
-            s.rows = (s.rows as i64 + row_delta).max(0) as u64;
+            // Copy-on-write: estimators may still hold the old Arc.
+            Arc::make_mut(s).rows = (s.rows as i64 + row_delta).max(0) as u64;
         }
     }
 
@@ -360,14 +365,15 @@ impl DataDictionary {
     /// every report and mutation invalidates — because planning one
     /// query consults `table_stats` many times (per-operator estimates,
     /// skew checks, placement weights).
-    fn merged_table_stats(&self, name: &str) -> Option<TableStats> {
+    fn merged_table_stats(&self, name: &str) -> Option<Arc<TableStats>> {
         // Snapshot the generation FIRST: the computed merge is tagged
         // with it, so a mutation racing in mid-compute makes this entry
         // a guaranteed miss instead of a poisoned cache.
         let gen = self.mutations.read().get(name).map_or(0, |m| m.gen);
         if let Some((cached_gen, hit)) = self.merged_cache.read().get(name) {
             if *cached_gen == gen {
-                return Some(hit.clone());
+                // A cache hit is a pointer bump, not a histogram clone.
+                return Some(Arc::clone(hit));
             }
         }
         let cache = self.fragment_stats.read();
@@ -397,9 +403,10 @@ impl DataDictionary {
             .map_or(0, MutationState::pending_total);
         merged.rows = (merged.rows as i64 + pending).max(0) as u64;
         drop(cache);
+        let merged = Arc::new(merged);
         self.merged_cache
             .write()
-            .insert(name.to_owned(), (gen, merged.clone()));
+            .insert(name.to_owned(), (gen, Arc::clone(&merged)));
         Some(merged)
     }
 }
@@ -410,25 +417,25 @@ impl StatsSource for DataDictionary {
         Some(rels.get(name)?.fragments.iter().map(|f| f.id).collect())
     }
 
-    fn table_stats(&self, name: &str) -> Option<TableStats> {
+    fn table_stats(&self, name: &str) -> Option<Arc<TableStats>> {
         // Fragment reports (even stale ones) beat the legacy summary,
         // which beats the arity-aware default.
         if let Some(merged) = self.merged_table_stats(name) {
             return Some(merged);
         }
         if let Some(s) = self.stats.read().get(name) {
-            return Some(s.clone());
+            return Some(Arc::clone(s));
         }
         let rels = self.relations.read();
         let info = rels.get(name)?;
         let arity = info.schema.arity();
-        Some(TableStats {
+        Some(Arc::new(TableStats {
             rows: 1000,
             distinct: vec![100; arity],
             min: vec![None; arity],
             max: vec![None; arity],
             ..TableStats::default()
-        })
+        }))
     }
 
     fn fragment_stats(&self, name: &str) -> Option<Vec<(FragmentId, FragmentStatistics)>> {
@@ -440,6 +447,20 @@ impl StatsSource for DataDictionary {
             .fragments
             .iter()
             .filter_map(|f| per_rel.get(&f.id).map(|c| (f.id, c.stats.clone())))
+            .collect();
+        (!out.is_empty()).then_some(out)
+    }
+
+    fn fragment_rows(&self, name: &str) -> Option<Vec<(FragmentId, u64)>> {
+        // The placement pass calls this per partitioned join per query:
+        // read just the row counts, never clone the full reports.
+        let cache = self.fragment_stats.read();
+        let per_rel = cache.get(name)?;
+        let info = self.relations.read().get(name)?.clone();
+        let out: Vec<(FragmentId, u64)> = info
+            .fragments
+            .iter()
+            .filter_map(|f| per_rel.get(&f.id).map(|c| (f.id, c.stats.rows)))
             .collect();
         (!out.is_empty()).then_some(out)
     }

@@ -152,6 +152,19 @@ pub struct ExecMetrics {
     /// sites) — nonzero only on the `stream: false` baseline; the direct
     /// shuffle keeps it at 0 (orchestration messages only).
     pub relayed_bits: u64,
+    /// Compute workers per PE (1 = the serial baseline, no pools). A
+    /// configuration echo, not a measurement — see
+    /// [`prisma_types::MachineConfig::effective_ofm_workers`].
+    pub pool_workers: u64,
+    /// Morsels executed on the PEs' worker pools during this query
+    /// (scan/filter/project pipeline morsels, join build chunks, probe
+    /// splits, aggregate partials). Read PE-side from shared pool
+    /// counters, never shipped — the wire protocol is unchanged.
+    pub pool_morsels: u64,
+    /// Morsels a pool worker stole from a sibling during this query —
+    /// the work-stealing balance signal (0 under even load is fine; 0
+    /// under skew means stealing is broken).
+    pub pool_steals: u64,
 }
 
 /// Per-query execution state threaded through the recursive walk: the
@@ -185,6 +198,11 @@ pub struct ParallelExecutor {
     /// ship (same messages, no overlap) — kept for the E6 experiment.
     streaming: bool,
     next_query: AtomicU32,
+    /// The machine's per-PE worker pools, when morsel parallelism is on.
+    /// Coordinator-side handle used only to snapshot counters around a
+    /// query ([`ExecMetrics::pool_morsels`]); the pools themselves are
+    /// driven by the OFM actors.
+    pools: Option<Arc<prisma_poolx::PoolSet>>,
 }
 
 impl ParallelExecutor {
@@ -199,7 +217,15 @@ impl ParallelExecutor {
             reply_timeout,
             streaming: true,
             next_query: AtomicU32::new(0),
+            pools: None,
         }
+    }
+
+    /// Attach the machine's per-PE worker pools so per-query metrics can
+    /// report morsel/steal counts.
+    pub fn with_pools(mut self, pools: Arc<prisma_poolx::PoolSet>) -> Self {
+        self.pools = Some(pools);
+        self
     }
 
     /// The physical-lowering tunables this executor plans with (EXPLAIN
@@ -243,8 +269,20 @@ impl ParallelExecutor {
             .collect();
         let mut memo: HashMap<String, Arc<Relation>> = HashMap::new();
         let mut q = self.fresh_query();
+        // Pool counters are cumulative per machine; the delta across the
+        // query is this query's share (queries on one coordinator run
+        // one at a time).
+        let pools_before = self.pools.as_ref().map(|p| p.total_stats());
         let rel = self.exec_node(plan, &cse_keys, &mut memo, &mut q)?;
         q.metrics.full_result_micros = q.started.elapsed().as_micros().max(1) as u64;
+        if let (Some(pools), Some(before)) = (&self.pools, pools_before) {
+            let after = pools.total_stats();
+            q.metrics.pool_workers = pools.workers_per_pe().max(1) as u64;
+            q.metrics.pool_morsels = after.morsels - before.morsels;
+            q.metrics.pool_steals = after.steals - before.steals;
+        } else {
+            q.metrics.pool_workers = 1;
+        }
         Ok((Arc::unwrap_or_clone(rel), q.metrics))
     }
 

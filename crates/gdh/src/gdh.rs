@@ -95,6 +95,11 @@ pub struct GlobalDataHandler {
     /// Statistics effects of in-flight transactions, keyed by txn —
     /// flushed to the dictionary at commit, discarded at abort.
     staged_stats: Mutex<HashMap<TxnId, Vec<(String, StagedDml)>>>,
+    /// Per-PE compute worker pools for morsel-driven intra-fragment
+    /// parallelism, sized by [`MachineConfig::effective_ofm_workers`].
+    /// Shared-memory only: pool counters reach `ExecMetrics` through
+    /// coordinator-side reads of this set, never through the wire.
+    pools: Arc<prisma_poolx::PoolSet>,
 }
 
 impl GlobalDataHandler {
@@ -116,7 +121,9 @@ impl GlobalDataHandler {
         let coordinator_log = dictionary.stable_for(PeId(0)).wal;
         let txns = TransactionManager::new(runtime.clone(), locks.clone(), coordinator_log)
             .with_reply_timeout(config.reply_timeout());
-        let executor = ParallelExecutor::new(runtime.clone(), dictionary.clone());
+        let pools = prisma_poolx::PoolSet::new(config.effective_ofm_workers());
+        let executor = ParallelExecutor::new(runtime.clone(), dictionary.clone())
+            .with_pools(pools.clone());
         Ok(GlobalDataHandler {
             config,
             runtime,
@@ -128,6 +135,7 @@ impl GlobalDataHandler {
             allocation,
             optimizer_config: OptimizerConfig::default(),
             staged_stats: Mutex::new(HashMap::new()),
+            pools,
         })
     }
 
@@ -154,6 +162,12 @@ impl GlobalDataHandler {
     /// Communication ledger of the underlying runtime.
     pub fn ledger(&self) -> &Arc<TrafficLedger> {
         self.runtime.ledger()
+    }
+
+    /// The per-PE compute worker pools (morsel parallelism); benches
+    /// read busy/steal counters from here.
+    pub fn pools(&self) -> &Arc<prisma_poolx::PoolSet> {
+        &self.pools
     }
 
     /// Override the optimizer configuration (E9 ablation).
@@ -213,7 +227,7 @@ impl GlobalDataHandler {
         for pe in pes {
             let id = self.dictionary.alloc_fragment_id();
             let stable = self.dictionary.stable_for(pe);
-            let ofm = Ofm::new(
+            let mut ofm = Ofm::new(
                 id,
                 name,
                 schema.clone(),
@@ -222,6 +236,9 @@ impl GlobalDataHandler {
                     checkpoints: stable.checkpoints,
                 },
             );
+            if let Some(pool) = self.pools.pool_for(pe.0 as usize) {
+                ofm.attach_pool(pool);
+            }
             let actor = self.runtime.spawn(pe, Box::new(OfmActor::new(ofm)))?;
             fragments.push(FragmentHandle { id, pe, actor });
         }
@@ -307,13 +324,16 @@ impl GlobalDataHandler {
         let mut new_fragments = Vec::with_capacity(info.fragments.len());
         for frag in &info.fragments {
             let stable = self.dictionary.stable_for(frag.pe);
-            let ofm = Ofm::recover(
+            let mut ofm = Ofm::recover(
                 frag.id,
                 name,
                 info.schema.clone(),
                 stable.wal,
                 stable.checkpoints,
             )?;
+            if let Some(pool) = self.pools.pool_for(frag.pe.0 as usize) {
+                ofm.attach_pool(pool);
+            }
             let actor = self.runtime.spawn(frag.pe, Box::new(OfmActor::new(ofm)))?;
             new_fragments.push(FragmentHandle {
                 id: frag.id,

@@ -84,6 +84,11 @@ pub struct Ofm {
     undo: HashMap<TxnId, Vec<UndoOp>>,
     /// Transactions that voted yes in 2PC and await the decision.
     prepared: HashMap<TxnId, ()>,
+    /// The owning PE's compute worker pool for morsel-parallel plan
+    /// execution; `None` runs the serial baseline. Attached by the GDH
+    /// at spawn time ([`Ofm::attach_pool`]) — the pool lives beside the
+    /// actor, never on the wire.
+    pool: Option<Arc<prisma_poolx::WorkerPool>>,
 }
 
 impl Ofm {
@@ -95,7 +100,15 @@ impl Ofm {
             kind,
             undo: HashMap::new(),
             prepared: HashMap::new(),
+            pool: None,
         }
+    }
+
+    /// Attach the PE's compute worker pool: every physical plan this OFM
+    /// opens from now on runs its scans, join builds/probes, and
+    /// aggregate folds morsel-parallel on it.
+    pub fn attach_pool(&mut self, pool: Arc<prisma_poolx::WorkerPool>) {
+        self.pool = Some(pool);
     }
 
     /// Relation name this fragment belongs to.
@@ -407,7 +420,7 @@ impl Ofm {
                 }
             }
         }
-        prisma_relalg::open_batches(plan, &P { ofm: self, extra })
+        prisma_relalg::open_batches_pooled(plan, &P { ofm: self, extra }, self.pool.clone())
     }
 
     /// Execute a lowered physical subplan to completion, returning every

@@ -214,7 +214,7 @@ fn base_column_stats(
     plan: &LogicalPlan,
     col: usize,
     stats: &dyn StatsSource,
-) -> Option<(TableStats, usize)> {
+) -> Option<(std::sync::Arc<TableStats>, usize)> {
     let (rel, base_col) = base_column(plan, col)?;
     Some((stats.table_stats(rel)?, base_col))
 }
@@ -265,7 +265,7 @@ fn range_selectivity(
 }
 
 /// Convenience: full stats for a scan, if available.
-pub fn scan_stats(plan: &LogicalPlan, stats: &dyn StatsSource) -> Option<TableStats> {
+pub fn scan_stats(plan: &LogicalPlan, stats: &dyn StatsSource) -> Option<std::sync::Arc<TableStats>> {
     if let LogicalPlan::Scan { relation, .. } = plan {
         stats.table_stats(relation)
     } else {

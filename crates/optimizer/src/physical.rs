@@ -411,14 +411,17 @@ fn weighted_placement(
         return None;
     }
     // Seed each site with its resident rows, so a fragment already
-    // holding more data attracts fewer buckets.
-    let mut loads: Vec<f64> = match stats.fragment_stats(lrel) {
+    // holding more data attracts fewer buckets. `fragment_rows` (not
+    // `fragment_stats`): only the counts matter here, and this runs per
+    // partitioned join per query — cloning every fragment's histograms
+    // and MCV lists for one u64 apiece was measurable in E8.
+    let mut loads: Vec<f64> = match stats.fragment_rows(lrel) {
         Some(fs) => lfrags
             .iter()
             .map(|fid| {
                 fs.iter()
                     .find(|(id, _)| id == fid)
-                    .map_or(0.0, |(_, s)| s.rows as f64)
+                    .map_or(0.0, |&(_, rows)| rows as f64)
             })
             .collect(),
         None => vec![0.0; lfrags.len()],
@@ -892,8 +895,8 @@ mod tests {
     struct Fragged(HashMap<String, TableStats>, HashMap<String, Vec<prisma_types::FragmentId>>);
 
     impl StatsSource for Fragged {
-        fn table_stats(&self, name: &str) -> Option<TableStats> {
-            self.0.get(name).cloned()
+        fn table_stats(&self, name: &str) -> Option<std::sync::Arc<TableStats>> {
+            self.0.get(name).map(|s| std::sync::Arc::new(s.clone()))
         }
         fn fragmentation(&self, name: &str) -> Option<Vec<prisma_types::FragmentId>> {
             self.1.get(name).cloned()
@@ -977,8 +980,8 @@ mod tests {
     }
 
     impl StatsSource for FullStats {
-        fn table_stats(&self, name: &str) -> Option<TableStats> {
-            self.tables.get(name).cloned()
+        fn table_stats(&self, name: &str) -> Option<std::sync::Arc<TableStats>> {
+            self.tables.get(name).map(|s| std::sync::Arc::new(s.clone()))
         }
         fn fragmentation(&self, name: &str) -> Option<Vec<prisma_types::FragmentId>> {
             self.frags.get(name).cloned()

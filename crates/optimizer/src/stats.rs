@@ -11,6 +11,7 @@
 //! [`StatsSource::fragment_stats`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use prisma_relalg::Relation;
 use prisma_storage::FastSet;
@@ -147,14 +148,32 @@ impl TableStats {
 
 /// Source of statistics, keyed by relation name.
 pub trait StatsSource {
-    /// Stats for a base relation, if known.
-    fn table_stats(&self, name: &str) -> Option<TableStats>;
+    /// Stats for a base relation, if known. Returned behind an `Arc` so
+    /// sources with a cache (the GDH data dictionary) hand out a shared
+    /// reference instead of deep-cloning histograms and MCV lists on
+    /// every estimator call — planning one query consults this many
+    /// times (per-operator estimates, skew checks, placement weights).
+    fn table_stats(&self, name: &str) -> Option<Arc<TableStats>>;
 
     /// Per-fragment statistics in partition order, when the source keeps
     /// them (the GDH data dictionary does). `None` (the default) means
     /// only the merged table-level view exists.
     fn fragment_stats(&self, _name: &str) -> Option<Vec<(FragmentId, FragmentStatistics)>> {
         None
+    }
+
+    /// Per-fragment row counts in partition order — the only field the
+    /// placement pass needs per query. The default derives it from
+    /// [`StatsSource::fragment_stats`]; sources holding full reports
+    /// (the dictionary) override it to skip cloning histograms and MCVs
+    /// on the planning hot path.
+    fn fragment_rows(&self, name: &str) -> Option<Vec<(FragmentId, u64)>> {
+        Some(
+            self.fragment_stats(name)?
+                .into_iter()
+                .map(|(id, s)| (id, s.rows))
+                .collect(),
+        )
     }
 
     /// How trustworthy the stats behind [`StatsSource::table_stats`] are
@@ -175,7 +194,24 @@ pub trait StatsSource {
 }
 
 impl StatsSource for HashMap<String, TableStats> {
-    fn table_stats(&self, name: &str) -> Option<TableStats> {
+    // Convenience impl for tests and ad-hoc sources: the per-call
+    // `Arc::new(clone)` is fine off the planning hot path. Wrap the
+    // values in `Arc` up front (the impl below) to avoid it.
+    fn table_stats(&self, name: &str) -> Option<Arc<TableStats>> {
+        self.get(name).map(|s| Arc::new(s.clone()))
+    }
+
+    fn stats_freshness(&self, name: &str) -> StatsFreshness {
+        if self.contains_key(name) {
+            StatsFreshness::Fresh
+        } else {
+            StatsFreshness::Absent
+        }
+    }
+}
+
+impl StatsSource for HashMap<String, Arc<TableStats>> {
+    fn table_stats(&self, name: &str) -> Option<Arc<TableStats>> {
         self.get(name).cloned()
     }
 
@@ -193,7 +229,7 @@ impl StatsSource for HashMap<String, TableStats> {
 pub struct NoStats;
 
 impl StatsSource for NoStats {
-    fn table_stats(&self, _name: &str) -> Option<TableStats> {
+    fn table_stats(&self, _name: &str) -> Option<Arc<TableStats>> {
         None
     }
 }

@@ -25,6 +25,8 @@
 
 pub mod ledger;
 pub mod runtime;
+pub mod workers;
 
 pub use ledger::TrafficLedger;
 pub use runtime::{Ctx, ExternalMailbox, PoolRuntime, Process, WireMessage, COORDINATOR_PE};
+pub use workers::{Job, PoolSet, PoolStats, WorkerPool};

@@ -1,0 +1,474 @@
+//! Per-PE compute worker pools for morsel-driven intra-fragment
+//! parallelism.
+//!
+//! The paper pins one POOL-X process per PE; PR 6 keeps that actor model
+//! for everything *between* PEs and adds HyPer-style morsel parallelism
+//! *inside* a PE: a fragment's scan/build/fold work is cut into
+//! fixed-size morsels and dispatched to a small pool of compute workers
+//! that share work-stealing deques. The pool never touches the wire —
+//! all cross-PE communication still flows through [`crate::PoolRuntime`]
+//! messages, so the streaming protocol and the traffic ledger are
+//! unaffected.
+//!
+//! Scheduling shape (per pool):
+//!
+//! * each worker owns a **mailbox** ([`crossbeam::deque::Injector`])
+//!   that [`WorkerPool::run`] scatters jobs into round-robin, and a
+//!   private **LIFO deque** ([`crossbeam::deque::Worker`]) it drains
+//!   the mailbox into;
+//! * an idle worker pops its own deque first (cache-warm), then steals —
+//!   a sibling's mailbox, then a sibling's deque, FIFO from the cold end
+//!   — so a straggler's backlog is rebalanced automatically;
+//! * `run` blocks until every job of the call has finished, which is
+//!   what lets jobs borrow from the caller's stack (scoped execution).
+//!
+//! Every worker keeps cumulative counters (morsels executed, successful
+//! steals, busy nanoseconds) that the GDH executor snapshots into
+//! `ExecMetrics` and the `e9_parallel` bench uses to compute scaling.
+
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+
+/// A unit of work: one morsel's worth of compute.
+pub type Job<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+type StaticJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion state of one `run` call.
+struct BatchState {
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+struct Task {
+    job: StaticJob,
+    batch: Arc<BatchState>,
+}
+
+/// Cumulative counters for one pool (or one pool's worker).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Morsels (jobs) executed since the pool started.
+    pub morsels: u64,
+    /// Jobs taken from another worker's mailbox or deque.
+    pub steals: u64,
+    /// Per-worker busy time in nanoseconds, index = worker id. The max
+    /// entry is the pool's critical path; the sum is total work done.
+    pub busy_nanos: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Total busy nanoseconds across all workers.
+    pub fn busy_total(&self) -> u64 {
+        self.busy_nanos.iter().sum()
+    }
+
+    /// The slowest worker's busy nanoseconds — the pool's critical path.
+    pub fn busy_max(&self) -> u64 {
+        self.busy_nanos.iter().copied().max().unwrap_or(0)
+    }
+}
+
+struct PoolShared {
+    mailboxes: Vec<Injector<Task>>,
+    stealers: Vec<Stealer<Task>>,
+    epoch: Mutex<u64>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    morsels: AtomicU64,
+    steals: AtomicU64,
+    busy_nanos: Vec<AtomicU64>,
+}
+
+impl PoolShared {
+    /// Grab one queued task, preferring sibling `me`'s neighbours'
+    /// backlogs; counts cross-worker takes as steals.
+    fn steal_for(&self, me: usize) -> Option<Task> {
+        let n = self.mailboxes.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            if let Steal::Success(t) = self.mailboxes[victim].steal() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+            if let Steal::Success(t) = self.stealers[victim].steal() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// A pool of compute workers for one PE. Created via [`WorkerPool::new`];
+/// dropping the pool shuts the workers down and joins them.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    next_rr: AtomicUsize,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `workers` compute threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Arc<WorkerPool> {
+        let workers = workers.max(1);
+        let locals: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+        let shared = Arc::new(PoolShared {
+            mailboxes: (0..workers).map(|_| Injector::new()).collect(),
+            stealers: locals.iter().map(|w| w.stealer()).collect(),
+            epoch: Mutex::new(0),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            morsels: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            busy_nanos: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let threads = locals
+            .into_iter()
+            .enumerate()
+            .map(|(id, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ofm-worker-{id}"))
+                    .spawn(move || worker_loop(id, local, shared))
+                    .expect("spawn ofm worker")
+            })
+            .collect();
+        Arc::new(WorkerPool {
+            shared,
+            threads: Mutex::new(threads),
+            next_rr: AtomicUsize::new(0),
+        })
+    }
+
+    /// Worker thread count.
+    pub fn workers(&self) -> usize {
+        self.shared.mailboxes.len()
+    }
+
+    /// Execute `jobs` on the pool and block until all of them finish.
+    ///
+    /// Jobs may borrow from the caller's stack: the call does not return
+    /// until every job has run, so the borrows outlive all uses. If a job
+    /// panics, the remaining jobs still drain and the panic is re-raised
+    /// here on the caller's thread.
+    pub fn run<'scope>(&self, jobs: Vec<Job<'scope>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let batch = Arc::new(BatchState {
+            remaining: AtomicUsize::new(jobs.len()),
+            lock: Mutex::new(()),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        // SAFETY: the jobs are erased to 'static only so they can sit in
+        // the shared queues; this function blocks below until
+        // `batch.remaining` hits zero, i.e. until every job has finished
+        // executing, so no borrow they capture is used after it expires.
+        let jobs: Vec<StaticJob> = unsafe { std::mem::transmute(jobs) };
+        let n = self.workers();
+        let rr0 = self.next_rr.fetch_add(jobs.len(), Ordering::Relaxed);
+        for (i, job) in jobs.into_iter().enumerate() {
+            let task = Task {
+                job,
+                batch: Arc::clone(&batch),
+            };
+            self.shared.mailboxes[(rr0 + i) % n].push(task);
+        }
+        {
+            let mut epoch = self.shared.epoch.lock();
+            *epoch += 1;
+            self.shared.wake.notify_all();
+        }
+        let mut guard = batch.lock.lock();
+        while batch.remaining.load(Ordering::Acquire) > 0 {
+            batch.done.wait(&mut guard);
+        }
+        drop(guard);
+        if batch.panicked.load(Ordering::Acquire) {
+            panic!("a morsel job panicked on an ofm worker");
+        }
+    }
+
+    /// Snapshot of the pool's cumulative counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.workers(),
+            morsels: self.shared.morsels.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            busy_nanos: self
+                .shared
+                .busy_nanos
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let mut epoch = self.shared.epoch.lock();
+            *epoch += 1;
+            self.shared.wake.notify_all();
+        }
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker_loop(id: usize, local: Worker<Task>, shared: Arc<PoolShared>) {
+    loop {
+        // Remember the wake epoch *before* scanning the queues so a
+        // submission racing with the scan is never missed: it bumps the
+        // epoch, and the wait below notices.
+        let seen = *shared.epoch.lock();
+        let mut progressed = false;
+        loop {
+            // Drain own mailbox into the private deque, then work LIFO.
+            while let Steal::Success(t) = shared.mailboxes[id].steal() {
+                local.push(t);
+            }
+            let task = local.pop().or_else(|| shared.steal_for(id));
+            match task {
+                Some(task) => {
+                    progressed = true;
+                    run_task(id, task, &shared);
+                }
+                None => break,
+            }
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if !progressed {
+            let mut epoch = shared.epoch.lock();
+            while *epoch == seen && !shared.shutdown.load(Ordering::Acquire) {
+                shared.wake.wait(&mut epoch);
+            }
+        }
+    }
+}
+
+fn run_task(id: usize, task: Task, shared: &PoolShared) {
+    let started = Instant::now();
+    let outcome = panic::catch_unwind(AssertUnwindSafe(task.job));
+    let elapsed = started.elapsed().as_nanos() as u64;
+    shared.busy_nanos[id].fetch_add(elapsed, Ordering::Relaxed);
+    shared.morsels.fetch_add(1, Ordering::Relaxed);
+    if outcome.is_err() {
+        task.batch.panicked.store(true, Ordering::Release);
+    }
+    if task.batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let _guard = task.batch.lock.lock();
+        task.batch.done.notify_all();
+    }
+}
+
+/// Lazily-created [`WorkerPool`]s keyed by PE, shared by the GDH and all
+/// OFM actors of one machine. With `workers_per_pe <= 1` no pools are
+/// ever created and every execution path stays on the serial baseline.
+pub struct PoolSet {
+    workers_per_pe: usize,
+    pools: Mutex<HashMap<usize, Arc<WorkerPool>>>,
+}
+
+impl PoolSet {
+    /// A pool set handing out `workers_per_pe`-wide pools.
+    pub fn new(workers_per_pe: usize) -> Arc<PoolSet> {
+        Arc::new(PoolSet {
+            workers_per_pe,
+            pools: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Configured worker width (1 = serial, no pools).
+    pub fn workers_per_pe(&self) -> usize {
+        self.workers_per_pe
+    }
+
+    /// The pool for PE `pe`, creating it on first use. `None` when the
+    /// configured width is ≤ 1 — callers then run serially in-line.
+    pub fn pool_for(&self, pe: usize) -> Option<Arc<WorkerPool>> {
+        if self.workers_per_pe <= 1 {
+            return None;
+        }
+        let mut pools = self.pools.lock();
+        Some(Arc::clone(
+            pools
+                .entry(pe)
+                .or_insert_with(|| WorkerPool::new(self.workers_per_pe)),
+        ))
+    }
+
+    /// Aggregate counters over every pool created so far. `workers` is
+    /// the configured per-PE width; `busy_nanos` sums worker-by-worker
+    /// across PEs (index = worker id within its PE's pool).
+    pub fn total_stats(&self) -> PoolStats {
+        let pools = self.pools.lock();
+        let mut total = PoolStats {
+            workers: if self.workers_per_pe > 1 {
+                self.workers_per_pe
+            } else {
+                0
+            },
+            ..PoolStats::default()
+        };
+        for pool in pools.values() {
+            let s = pool.stats();
+            total.morsels += s.morsels;
+            total.steals += s.steals;
+            if total.busy_nanos.len() < s.busy_nanos.len() {
+                total.busy_nanos.resize(s.busy_nanos.len(), 0);
+            }
+            for (slot, v) in total.busy_nanos.iter_mut().zip(s.busy_nanos) {
+                *slot += v;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Job> = (0..257)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as Job
+            })
+            .collect();
+        pool.run(jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+        let stats = pool.stats();
+        assert_eq!(stats.morsels, 257);
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.busy_nanos.len(), 4);
+    }
+
+    #[test]
+    fn jobs_borrow_from_the_caller_stack() {
+        let pool = WorkerPool::new(2);
+        let input = [1u64, 2, 3, 4, 5];
+        let slots: Vec<AtomicU64> = input.iter().map(|_| AtomicU64::new(0)).collect();
+        let jobs: Vec<Job> = input
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let slots = &slots;
+                Box::new(move || {
+                    slots[i].store(v * 10, Ordering::Relaxed);
+                }) as Job
+            })
+            .collect();
+        pool.run(jobs);
+        let out: Vec<u64> = slots.iter().map(|s| s.load(Ordering::Relaxed)).collect();
+        assert_eq!(out, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn sequential_runs_reuse_the_pool() {
+        let pool = WorkerPool::new(3);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..10 {
+            let jobs: Vec<Job> = (0..8)
+                .map(|_| {
+                    Box::new(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }) as Job
+                })
+                .collect();
+            pool.run(jobs);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 80);
+        assert_eq!(pool.stats().morsels, 80);
+    }
+
+    #[test]
+    fn stragglers_get_robbed() {
+        // Round-robin puts the even-indexed jobs in worker 0's mailbox,
+        // and LIFO draining makes the *last* of them (index 8) the first
+        // one worker 0 executes. Making that job long pins worker 0 for
+        // 60ms with four short jobs still in its deque — worker 1 must
+        // steal them or run() would take ~64ms serial on worker 0 alone.
+        let pool = WorkerPool::new(2);
+        let started = Instant::now();
+        let jobs: Vec<Job> = (0..10)
+            .map(|i| {
+                Box::new(move || {
+                    let ms = if i == 8 { 60 } else { 1 };
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }) as Job
+            })
+            .collect();
+        pool.run(jobs);
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_secs(10),
+            "pool wedged: {elapsed:?}"
+        );
+        assert!(pool.stats().steals > 0, "expected at least one steal");
+    }
+
+    #[test]
+    fn empty_run_is_a_noop() {
+        let pool = WorkerPool::new(2);
+        pool.run(Vec::new());
+        assert_eq!(pool.stats().morsels, 0);
+    }
+
+    #[test]
+    fn job_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(2);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![Box::new(|| panic!("boom")) as Job]);
+        }));
+        assert!(result.is_err());
+        // The pool survives a panicking job.
+        let counter = AtomicUsize::new(0);
+        pool.run(vec![Box::new(|| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }) as Job]);
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_set_is_lazy_and_serial_when_narrow() {
+        let serial = PoolSet::new(1);
+        assert!(serial.pool_for(0).is_none());
+        assert_eq!(serial.total_stats().morsels, 0);
+
+        let set = PoolSet::new(2);
+        let a = set.pool_for(3).unwrap();
+        let b = set.pool_for(3).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        a.run(vec![Box::new(|| {}) as Job]);
+        set.pool_for(5)
+            .unwrap()
+            .run(vec![Box::new(|| {}) as Job, Box::new(|| {}) as Job]);
+        let total = set.total_stats();
+        assert_eq!(total.morsels, 3);
+        assert_eq!(total.workers, 2);
+    }
+}

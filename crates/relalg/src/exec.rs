@@ -54,12 +54,14 @@
 
 use std::sync::{Arc, OnceLock};
 
+use prisma_poolx::WorkerPool;
 use prisma_storage::expr::{CompiledPredicate, CompiledVecExpr, CompiledVecPredicate};
 use prisma_storage::{FastMap, FastSet, FnvBuild};
 use prisma_types::{ColumnVec, LazyColumns, PrismaError, Result, Schema, SelVec, Tuple, Value};
 
-use crate::agg::{Accumulator, AggExpr, AggFunc};
+use crate::agg::{Accumulator, AggExpr};
 use crate::eval::{transitive_closure, EvalContext, RelationProvider};
+use crate::morsel::{self, JoinTable, ParPipelineOp, Stage};
 use crate::physical::PhysicalPlan;
 use crate::plan::JoinKind;
 use crate::table::Relation;
@@ -220,7 +222,7 @@ impl Batch {
 
     /// Columnar batch over an already-shared column set (Filter's output:
     /// same columns, refined selection).
-    fn columns_shared(cols: SharedColumns, sel: SelVec) -> Batch {
+    pub(crate) fn columns_shared(cols: SharedColumns, sel: SelVec) -> Batch {
         Batch::from_inner(BatchInner::Columns {
             cols,
             sel,
@@ -334,8 +336,24 @@ pub fn open_batches(
     plan: &PhysicalPlan,
     provider: &dyn RelationProvider,
 ) -> Result<BatchStream> {
+    open_batches_pooled(plan, provider, None)
+}
+
+/// [`open_batches`] with morsel-driven intra-fragment parallelism: when a
+/// [`WorkerPool`] is supplied, compute-heavy spans of the operator tree
+/// (scan→filter→project pipelines, hash-join builds and probes, hash
+/// aggregation) dispatch [`BATCH_SIZE`]-row morsels to the pool's
+/// work-stealing workers. Output batches are *identical* to the serial
+/// path — same batches in the same order (see [`mod@crate::morsel`]) —
+/// so the stream's consumers (including the wire protocol) cannot tell
+/// the difference except by the clock.
+pub fn open_batches_pooled(
+    plan: &PhysicalPlan,
+    provider: &dyn RelationProvider,
+    pool: Option<Arc<WorkerPool>>,
+) -> Result<BatchStream> {
     let mut ctx = EvalContext::new(provider);
-    let op = open(plan, &mut ctx)?;
+    let op = open_with(plan, &mut ctx, pool.as_ref())?;
     Ok(BatchStream { op })
 }
 
@@ -356,6 +374,21 @@ fn materialize(op: &mut dyn Operator, schema: Schema) -> Result<Relation> {
 /// [`EvalContext`] the oracle uses, so name shadowing cannot diverge);
 /// fixpoints evaluate eagerly because their bindings change per iteration.
 pub fn open(plan: &PhysicalPlan, ctx: &mut EvalContext<'_>) -> Result<BoxOp> {
+    open_with(plan, ctx, None)
+}
+
+/// [`open`] with an optional worker pool; the pool threads through every
+/// recursive child so each parallelizable span of the tree can use it.
+pub(crate) fn open_with(
+    plan: &PhysicalPlan,
+    ctx: &mut EvalContext<'_>,
+    pool: Option<&Arc<WorkerPool>>,
+) -> Result<BoxOp> {
+    if let Some(pool) = pool {
+        if let Some(op) = try_open_pipeline(plan, ctx, pool)? {
+            return Ok(op);
+        }
+    }
     Ok(match plan {
         PhysicalPlan::SeqScan {
             relation,
@@ -372,12 +405,12 @@ pub fn open(plan: &PhysicalPlan, ctx: &mut EvalContext<'_>) -> Result<BoxOp> {
             pos: 0,
         }),
         PhysicalPlan::Filter { input, predicate } => Box::new(FilterOp {
-            child: open(input, ctx)?,
+            child: open_with(input, ctx, pool)?,
             pred: predicate.compile_vec_predicate(),
             sel_buf: Vec::new(),
         }),
         PhysicalPlan::Project { input, exprs, .. } => Box::new(ProjectOp {
-            child: open(input, ctx)?,
+            child: open_with(input, ctx, pool)?,
             exprs: exprs.iter().map(|e| e.compile_vec()).collect(),
         }),
         PhysicalPlan::HashJoin {
@@ -388,13 +421,14 @@ pub fn open(plan: &PhysicalPlan, ctx: &mut EvalContext<'_>) -> Result<BoxOp> {
             residual,
             ..
         } => Box::new(HashJoinOp {
-            probe: open(left, ctx)?,
-            build: Some(open(right, ctx)?),
-            table: FastMap::default(),
+            probe: open_with(left, ctx, pool)?,
+            build: Some(open_with(right, ctx, pool)?),
+            table: JoinTable::default(),
             lkeys: on.iter().map(|&(l, _)| l).collect(),
             rkeys: on.iter().map(|&(_, r)| r).collect(),
             kind: *kind,
             residual: residual.as_ref().map(|p| p.compile_predicate()),
+            pool: pool.map(Arc::clone),
         }),
         PhysicalPlan::NestedLoopJoin {
             left,
@@ -402,25 +436,25 @@ pub fn open(plan: &PhysicalPlan, ctx: &mut EvalContext<'_>) -> Result<BoxOp> {
             kind,
             residual,
         } => Box::new(NestedLoopOp {
-            outer: open(left, ctx)?,
-            inner: Some(open(right, ctx)?),
+            outer: open_with(left, ctx, pool)?,
+            inner: Some(open_with(right, ctx, pool)?),
             inner_rows: Vec::new(),
             kind: *kind,
             residual: residual.as_ref().map(|p| p.compile_predicate()),
         }),
         PhysicalPlan::Union { left, right, all } => Box::new(UnionOp {
-            left: Some(open(left, ctx)?),
-            right: Some(open(right, ctx)?),
+            left: Some(open_with(left, ctx, pool)?),
+            right: Some(open_with(right, ctx, pool)?),
             seen: if *all { None } else { Some(FastSet::default()) },
         }),
         PhysicalPlan::Difference { left, right } => Box::new(DifferenceOp {
-            left: open(left, ctx)?,
-            right: Some(open(right, ctx)?),
+            left: open_with(left, ctx, pool)?,
+            right: Some(open_with(right, ctx, pool)?),
             exclude: FastSet::default(),
             seen: FastSet::default(),
         }),
         PhysicalPlan::Distinct { input } => Box::new(DistinctOp {
-            child: open(input, ctx)?,
+            child: open_with(input, ctx, pool)?,
             seen: FastSet::default(),
         }),
         PhysicalPlan::HashAggregate {
@@ -428,31 +462,32 @@ pub fn open(plan: &PhysicalPlan, ctx: &mut EvalContext<'_>) -> Result<BoxOp> {
             group_by,
             aggs,
         } => Box::new(HashAggOp {
-            child: Some(open(input, ctx)?),
+            child: Some(open_with(input, ctx, pool)?),
             schema: plan.output_schema()?,
             group_by: group_by.clone(),
             aggs: aggs.clone(),
             output: None,
+            pool: pool.map(Arc::clone),
         }),
         PhysicalPlan::Sort { input, keys } => Box::new(SortOp {
-            child: Some(open(input, ctx)?),
+            child: Some(open_with(input, ctx, pool)?),
             schema: input.output_schema()?,
             keys: keys.clone(),
             output: None,
         }),
         PhysicalPlan::Limit { input, n } => Box::new(LimitOp {
-            child: open(input, ctx)?,
+            child: open_with(input, ctx, pool)?,
             remaining: *n,
         }),
         PhysicalPlan::Closure { input } => Box::new(ClosureOp {
-            child: Some(open(input, ctx)?),
+            child: Some(open_with(input, ctx, pool)?),
             schema: input.output_schema()?,
             output: None,
         }),
         PhysicalPlan::Fixpoint { name, base, step } => {
             // Bindings change every iteration, so the fixpoint runs
             // eagerly here and streams its materialized result.
-            let rel = run_fixpoint(name, base, step, ctx)?;
+            let rel = run_fixpoint(name, base, step, ctx, pool)?;
             Box::new(ScanOp {
                 rel: Arc::new(rel),
                 projection: None,
@@ -462,15 +497,74 @@ pub fn open(plan: &PhysicalPlan, ctx: &mut EvalContext<'_>) -> Result<BoxOp> {
     })
 }
 
+/// Recognize a scan-rooted pipeline fragment — `(Filter|Project)*` over
+/// `SeqScan`/`Values` — and open it as a single morsel-parallel operator
+/// when the source is big enough to be worth it. Returns `None` (caller
+/// falls back to the serial operator chain) otherwise.
+fn try_open_pipeline(
+    plan: &PhysicalPlan,
+    ctx: &mut EvalContext<'_>,
+    pool: &Arc<WorkerPool>,
+) -> Result<Option<BoxOp>> {
+    let mut stages_rev: Vec<Stage> = Vec::new();
+    let mut cur = plan;
+    loop {
+        match cur {
+            PhysicalPlan::Filter { input, predicate } => {
+                stages_rev.push(Stage::Filter(predicate.compile_vec_predicate()));
+                cur = input;
+            }
+            PhysicalPlan::Project { input, exprs, .. } => {
+                stages_rev.push(Stage::Project(
+                    exprs.iter().map(|e| e.compile_vec()).collect(),
+                ));
+                cur = input;
+            }
+            PhysicalPlan::SeqScan {
+                relation,
+                projection,
+                ..
+            } => {
+                let rel = ctx.lookup(relation)?;
+                let stages: Vec<Stage> = stages_rev.into_iter().rev().collect();
+                if !ParPipelineOp::eligible(rel.len(), &stages, projection) {
+                    return Ok(None);
+                }
+                return Ok(Some(Box::new(ParPipelineOp::new(
+                    rel,
+                    projection.clone(),
+                    stages,
+                    Arc::clone(pool),
+                ))));
+            }
+            PhysicalPlan::Values { schema, rows } => {
+                let stages: Vec<Stage> = stages_rev.into_iter().rev().collect();
+                if !ParPipelineOp::eligible(rows.len(), &stages, &None) {
+                    return Ok(None);
+                }
+                let rel = Arc::new(Relation::new(schema.clone(), rows.clone()));
+                return Ok(Some(Box::new(ParPipelineOp::new(
+                    rel,
+                    None,
+                    stages,
+                    Arc::clone(pool),
+                ))));
+            }
+            _ => return Ok(None),
+        }
+    }
+}
+
 fn run_fixpoint(
     name: &str,
     base: &PhysicalPlan,
     step: &PhysicalPlan,
     ctx: &mut EvalContext<'_>,
+    pool: Option<&Arc<WorkerPool>>,
 ) -> Result<Relation> {
     let schema = base.output_schema()?;
     let delta_name = format!("Δ{name}");
-    let mut base_op = open(base, ctx)?;
+    let mut base_op = open_with(base, ctx, pool)?;
     let base_rel = materialize(base_op.as_mut(), schema.clone())?.distinct();
 
     let mut all_set: FastSet<Tuple> = base_rel.tuples().iter().cloned().collect();
@@ -492,7 +586,7 @@ fn run_fixpoint(
             delta_name.clone(),
             Arc::new(Relation::new(schema.clone(), delta)),
         );
-        let mut step_op = open(step, ctx)?;
+        let mut step_op = open_with(step, ctx, pool)?;
         let produced = materialize(step_op.as_mut(), schema.clone())?;
         let mut fresh = Vec::new();
         for t in produced.into_tuples() {
@@ -631,11 +725,16 @@ impl Operator for ProjectOp {
 struct HashJoinOp {
     probe: BoxOp,
     build: Option<BoxOp>,
-    table: FastMap<Vec<Value>, Vec<Tuple>>,
+    table: JoinTable,
     lkeys: Vec<usize>,
     rkeys: Vec<usize>,
     kind: JoinKind,
     residual: Option<CompiledPredicate>,
+    /// Morsel-parallel build and probe when attached; candidate and
+    /// output orders match the serial path exactly (contiguous-chunk
+    /// partial builds merged in chunk order, probe morsels concatenated
+    /// in row order).
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl HashJoinOp {
@@ -643,64 +742,96 @@ impl HashJoinOp {
         let Some(mut build) = self.build.take() else {
             return Ok(());
         };
-        while let Some(batch) = build.next_batch()? {
-            // Key extraction reads the columnar form when the child
-            // produced one; the stored row still comes from the (cached)
-            // row pivot, since probe output concatenates whole tuples.
-            for row in 0..batch.len() {
-                let key = batch.key_at(row, &self.rkeys);
-                // SQL equi-joins never match NULL keys.
-                if key.iter().any(Value::is_null) {
-                    continue;
+        match &self.pool {
+            Some(pool) => {
+                let batches = drain(build.as_mut())?;
+                self.table = morsel::parallel_build(pool, &batches, &self.rkeys);
+            }
+            None => {
+                while let Some(batch) = build.next_batch()? {
+                    // Key extraction reads the columnar form when the
+                    // child produced one; the stored row still comes
+                    // from the (cached) row pivot, since probe output
+                    // concatenates whole tuples.
+                    morsel::insert_build_batch(&mut self.table, &batch, &self.rkeys);
                 }
-                self.table
-                    .entry(key)
-                    .or_default()
-                    .push(batch.tuples()[row].clone());
             }
         }
         Ok(())
     }
 }
 
+/// Probe rows `[start, end)` of one batch against the build table — the
+/// row-at-a-time kernel shared by the serial probe loop and the morsel
+/// splits of the parallel one.
+pub(crate) fn probe_range(
+    table: &JoinTable,
+    lkeys: &[usize],
+    kind: JoinKind,
+    residual: Option<&CompiledPredicate>,
+    batch: &Batch,
+    start: usize,
+    end: usize,
+) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for row in start..end {
+        // Columnar key extraction: a probe batch whose keys all miss
+        // never pivots back to rows at all.
+        let key = batch.key_at(row, lkeys);
+        let candidates = if key.iter().any(Value::is_null) {
+            &[][..]
+        } else {
+            table.get(&key).map(Vec::as_slice).unwrap_or(&[])
+        };
+        let mut matched = false;
+        if !candidates.is_empty() {
+            // Materialized lazily so an all-miss probe batch never
+            // pivots back to rows.
+            let lt = &batch.tuples()[row];
+            for rt in candidates {
+                let joined = lt.concat(rt);
+                let ok = residual.is_none_or(|p| p(&joined));
+                if ok {
+                    matched = true;
+                    if kind == JoinKind::Inner {
+                        out.push(joined);
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        match kind {
+            JoinKind::Semi if matched => out.push(batch.tuples()[row].clone()),
+            JoinKind::Anti if !matched => out.push(batch.tuples()[row].clone()),
+            _ => {}
+        }
+    }
+    out
+}
+
 impl Operator for HashJoinOp {
     fn next_batch(&mut self) -> Result<Option<Batch>> {
         self.build_table()?;
         while let Some(batch) = self.probe.next_batch()? {
-            let mut out = Vec::new();
-            for row in 0..batch.len() {
-                // Columnar key extraction: a probe batch whose keys all
-                // miss never pivots back to rows at all.
-                let key = batch.key_at(row, &self.lkeys);
-                let candidates = if key.iter().any(Value::is_null) {
-                    &[][..]
-                } else {
-                    self.table.get(&key).map(Vec::as_slice).unwrap_or(&[])
-                };
-                let mut matched = false;
-                if !candidates.is_empty() {
-                    // Materialized lazily so an all-miss probe batch
-                    // never pivots back to rows.
-                    let lt = &batch.tuples()[row];
-                    for rt in candidates {
-                        let joined = lt.concat(rt);
-                        let ok = self.residual.as_ref().is_none_or(|p| p(&joined));
-                        if ok {
-                            matched = true;
-                            if self.kind == JoinKind::Inner {
-                                out.push(joined);
-                            } else {
-                                break;
-                            }
-                        }
-                    }
+            let out = match &self.pool {
+                Some(pool) => {
+                    let (table, lkeys, kind) = (&self.table, &self.lkeys[..], self.kind);
+                    let residual = self.residual.as_ref();
+                    morsel::parallel_probe(pool, &batch, |b, s, e| {
+                        probe_range(table, lkeys, kind, residual, b, s, e)
+                    })
                 }
-                match self.kind {
-                    JoinKind::Semi if matched => out.push(batch.tuples()[row].clone()),
-                    JoinKind::Anti if !matched => out.push(batch.tuples()[row].clone()),
-                    _ => {}
-                }
-            }
+                None => probe_range(
+                    &self.table,
+                    &self.lkeys,
+                    self.kind,
+                    self.residual.as_ref(),
+                    &batch,
+                    0,
+                    batch.len(),
+                ),
+            };
             if !out.is_empty() {
                 return Ok(Some(Batch::owned(out)));
             }
@@ -861,36 +992,37 @@ struct HashAggOp {
     group_by: Vec<usize>,
     aggs: Vec<AggExpr>,
     output: Option<ScanOp>,
+    /// Morsel-parallel partial aggregation when attached; partials merge
+    /// in chunk order, so group order and float rounding match serial.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl HashAggOp {
     fn run(&mut self) -> Result<Vec<Tuple>> {
         let mut child = self.child.take().expect("aggregate runs once");
-        let mut groups: FastMap<Vec<Value>, Vec<Accumulator>> = FastMap::default();
-        let mut order: Vec<Vec<Value>> = Vec::new();
-        while let Some(batch) = child.next_batch()? {
-            // Grouping consumes the columnar form directly: group keys
-            // and aggregate inputs are read from the column vectors, so
-            // a filtered/projected input never pivots back to tuples.
-            for row in 0..batch.len() {
-                let key = batch.key_at(row, &self.group_by);
-                let accs = groups.entry(key.clone()).or_insert_with(|| {
-                    order.push(key);
-                    self.aggs
-                        .iter()
-                        .map(|a| Accumulator::new(a.func))
-                        .collect()
-                });
-                for (acc, a) in accs.iter_mut().zip(&self.aggs) {
-                    let v = if a.func == AggFunc::CountStar {
-                        Value::Bool(true) // placeholder; COUNT(*) counts rows
-                    } else {
-                        batch.value_at(row, a.col)
-                    };
-                    acc.update(&v)?;
-                }
+        // Grouping consumes the columnar form directly: group keys and
+        // aggregate inputs are read from the column vectors, so a
+        // filtered/projected input never pivots back to tuples.
+        let (groups, order) = match &self.pool {
+            Some(pool) => {
+                let batches = drain(child.as_mut())?;
+                morsel::parallel_aggregate(pool, &batches, &self.group_by, &self.aggs)?
             }
-        }
+            None => {
+                let mut groups: FastMap<Vec<Value>, Vec<Accumulator>> = FastMap::default();
+                let mut order: Vec<Vec<Value>> = Vec::new();
+                while let Some(batch) = child.next_batch()? {
+                    morsel::update_agg_batch(
+                        &mut groups,
+                        &mut order,
+                        &batch,
+                        &self.group_by,
+                        &self.aggs,
+                    )?;
+                }
+                (groups, order)
+            }
+        };
         // Global aggregate over empty input still yields one row.
         if self.group_by.is_empty() && groups.is_empty() {
             let row: Vec<Value> = self
@@ -999,6 +1131,7 @@ mod tests {
     use std::collections::HashMap;
 
     use super::*;
+    use crate::agg::AggFunc;
     use crate::eval::eval;
     use crate::physical::lower;
     use crate::plan::LogicalPlan;
@@ -1288,6 +1421,60 @@ mod tests {
             ]),
         };
         assert_agrees(&plan, &db);
+    }
+
+    #[test]
+    fn pooled_execution_is_bit_identical_to_serial() {
+        let db = db();
+        let emp = || LogicalPlan::scan("emp", db["emp"].schema().clone());
+        let dept = || LogicalPlan::scan("dept", db["dept"].schema().clone());
+        let plans = vec![
+            // Scan→filter→project pipeline (ParPipelineOp).
+            emp()
+                .select(ScalarExpr::cmp(
+                    CmpOp::Lt,
+                    ScalarExpr::col(2),
+                    ScalarExpr::lit(50.0),
+                ))
+                .project_cols(&[0, 1])
+                .unwrap(),
+            // Hash join: parallel build + probe.
+            emp().join(dept(), vec![(1, 0)]),
+            // Aggregate: parallel partials folded at the breaker.
+            LogicalPlan::Aggregate {
+                input: Box::new(emp()),
+                group_by: vec![1],
+                aggs: vec![
+                    AggExpr::new(AggFunc::CountStar, 0, "n"),
+                    AggExpr::new(AggFunc::Sum, 2, "s"),
+                    AggExpr::new(AggFunc::Avg, 2, "a"),
+                ],
+            },
+        ];
+        for plan in &plans {
+            let phys = lower(plan).unwrap();
+            let serial: Vec<Tuple> = open_batches(&phys, &db)
+                .unwrap()
+                .drain()
+                .unwrap()
+                .into_iter()
+                .flat_map(Batch::into_tuples)
+                .collect();
+            for workers in [2usize, 4] {
+                let pool = prisma_poolx::WorkerPool::new(workers);
+                let pooled: Vec<Tuple> =
+                    open_batches_pooled(&phys, &db, Some(Arc::clone(&pool)))
+                        .unwrap()
+                        .drain()
+                        .unwrap()
+                        .into_iter()
+                        .flat_map(Batch::into_tuples)
+                        .collect();
+                // Not just set-equal: same rows in the same order.
+                assert_eq!(pooled, serial, "workers={workers} plan:\n{plan}");
+                assert!(pool.stats().morsels > 0, "pool unused at {workers} workers");
+            }
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@
 pub mod agg;
 pub mod eval;
 pub mod exec;
+pub mod morsel;
 pub mod physical;
 pub mod plan;
 pub mod table;
@@ -32,7 +33,8 @@ pub mod table;
 pub use agg::{AggExpr, AggFunc};
 pub use eval::{eval, EvalContext, RelationProvider};
 pub use exec::{
-    execute_batches, execute_physical, open_batches, Batch, BatchStream, Operator, BATCH_SIZE,
+    execute_batches, execute_physical, open_batches, open_batches_pooled, Batch, BatchStream,
+    Operator, BATCH_SIZE,
 };
 pub use physical::{lower, lower_with, JoinStrategy, PhysicalPlan, ShufflePlacement};
 pub use plan::{JoinKind, LogicalPlan};

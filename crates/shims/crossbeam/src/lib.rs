@@ -1,9 +1,16 @@
-//! Offline stand-in for `crossbeam`: an MPMC unbounded channel.
+//! Offline stand-in for `crossbeam`: an MPMC unbounded channel plus the
+//! work-stealing deque family.
 //!
-//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used
-//! in-tree (the POOL-X runtime's per-PE mailboxes and external client
-//! mailboxes). Senders and receivers are clonable and `Sync`, matching
-//! the real crate; disconnection is tracked by endpoint refcounts.
+//! Two modules are used in-tree:
+//!
+//! * [`channel`] — the POOL-X runtime's per-PE mailboxes and external
+//!   client mailboxes. Senders and receivers are clonable and `Sync`,
+//!   matching the real crate; disconnection is tracked by endpoint
+//!   refcounts.
+//! * [`deque`] — the morsel worker pool's work-stealing queues, matching
+//!   the `crossbeam-deque` API subset (`Worker`/`Stealer`/`Injector` and
+//!   the `Steal` result enum) so a later swap to the real crate is a
+//!   drop-in: owner pops LIFO, stealers take FIFO from the other end.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -258,6 +265,306 @@ pub mod channel {
             let t = std::thread::spawn(move || tx.send(41).unwrap());
             assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(41));
             t.join().unwrap();
+        }
+    }
+}
+
+pub mod deque {
+    //! Work-stealing deques with the `crossbeam-deque` API shape.
+    //!
+    //! The real crate is lock-free (Chase-Lev); this shim trades that for
+    //! a mutex per queue, which preserves every observable ordering
+    //! property the pool relies on — the owner works **LIFO** off the hot
+    //! end (cache-warm morsels first), stealers take **FIFO** from the
+    //! cold end (the largest remaining chunk of sequential work), and the
+    //! [`Injector`] is a FIFO shared by everyone.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt, matching `crossbeam_deque::Steal`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observably empty.
+        Empty,
+        /// One task was taken.
+        Success(T),
+        /// The attempt lost a race and may be retried (the mutex shim
+        /// never produces this, but callers written against the real
+        /// crate must handle it, so the variant exists).
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// True when the queue was observably empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The owner end of a work-stealing deque. Only the owning worker
+    /// pushes and pops (LIFO); [`Stealer`]s clone freely and take from
+    /// the opposite end.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// New deque whose owner pops in LIFO order (the only flavour the
+        /// pool uses; `new_fifo` exists in the real crate).
+        pub fn new_lifo() -> Worker<T> {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Push a task onto the owner's (hot) end.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Pop from the owner's end — the most recently pushed task.
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.queue).pop_back()
+        }
+
+        /// A stealer handle for other workers.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Queued task count.
+        pub fn len(&self) -> usize {
+            lock(&self.queue).len()
+        }
+    }
+
+    /// A thief's handle to another worker's deque: takes the **oldest**
+    /// task (FIFO end), so a thief steals the start of a sequential run
+    /// while the owner keeps working its cache-warm tail.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Try to take one task from the cold end.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when the deque is observably empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A FIFO queue every worker can push to and steal from — the entry
+    /// point for tasks submitted from outside the pool.
+    pub struct Injector<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Empty injector.
+        pub fn new() -> Injector<T> {
+            Injector {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Enqueue a task at the tail.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Take the oldest queued task.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Queued task count.
+        pub fn len(&self) -> usize {
+            lock(&self.queue).len()
+        }
+    }
+
+    impl<T> Clone for Injector<T> {
+        fn clone(&self) -> Self {
+            Injector {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn owner_pops_lifo() {
+            let w = Worker::new_lifo();
+            for i in 0..4 {
+                w.push(i);
+            }
+            assert_eq!(w.len(), 4);
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(w.pop(), Some(2));
+            w.push(9);
+            assert_eq!(w.pop(), Some(9));
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(w.pop(), Some(0));
+            assert_eq!(w.pop(), None);
+            assert!(w.is_empty());
+        }
+
+        #[test]
+        fn stealer_takes_fifo_from_the_cold_end() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            for i in 0..4 {
+                w.push(i);
+            }
+            // Thief gets the oldest task while the owner keeps the
+            // newest — opposite ends, never the same task.
+            assert_eq!(s.steal(), Steal::Success(0));
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(s.steal(), Steal::Success(1));
+            assert_eq!(w.pop(), Some(2));
+            assert!(s.steal().is_empty());
+        }
+
+        #[test]
+        fn racing_stealers_take_each_task_exactly_once() {
+            let w = Worker::new_lifo();
+            const N: usize = 10_000;
+            for i in 0..N {
+                w.push(i);
+            }
+            let taken = Arc::new(AtomicUsize::new(0));
+            let sum = Arc::new(AtomicUsize::new(0));
+            let threads: Vec<_> = (0..4)
+                .map(|_| {
+                    let s = w.stealer();
+                    let taken = Arc::clone(&taken);
+                    let sum = Arc::clone(&sum);
+                    std::thread::spawn(move || loop {
+                        match s.steal() {
+                            Steal::Success(v) => {
+                                taken.fetch_add(1, Ordering::Relaxed);
+                                sum.fetch_add(v, Ordering::Relaxed);
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => continue,
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            // Every task stolen exactly once: count and checksum match.
+            assert_eq!(taken.load(Ordering::Relaxed), N);
+            assert_eq!(sum.load(Ordering::Relaxed), N * (N - 1) / 2);
+            assert!(w.is_empty());
+        }
+
+        #[test]
+        fn owner_and_stealers_race_without_loss_or_duplication() {
+            let w = Worker::new_lifo();
+            const N: usize = 10_000;
+            for i in 0..N {
+                w.push(i);
+            }
+            let stolen = Arc::new(AtomicUsize::new(0));
+            let thieves: Vec<_> = (0..2)
+                .map(|_| {
+                    let s = w.stealer();
+                    let stolen = Arc::clone(&stolen);
+                    std::thread::spawn(move || loop {
+                        match s.steal() {
+                            Steal::Success(_) => {
+                                stolen.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => continue,
+                        }
+                    })
+                })
+                .collect();
+            let mut popped = 0usize;
+            while w.pop().is_some() {
+                popped += 1;
+            }
+            for t in thieves {
+                t.join().unwrap();
+            }
+            assert_eq!(popped + stolen.load(Ordering::Relaxed), N);
+        }
+
+        #[test]
+        fn injector_is_fair_fifo_across_consumers() {
+            let inj = Injector::new();
+            for i in 0..6 {
+                inj.push(i);
+            }
+            // Alternating consumers observe global FIFO order: nobody
+            // can starve the queue of its oldest entry.
+            let a = inj.clone();
+            let b = inj.clone();
+            let mut seen = Vec::new();
+            for round in 0..3 {
+                let side = if round % 2 == 0 { &a } else { &b };
+                seen.push(side.steal().success().unwrap());
+                seen.push(inj.steal().success().unwrap());
+            }
+            assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+            assert!(inj.steal().is_empty());
+            assert_eq!(inj.len(), 0);
         }
     }
 }

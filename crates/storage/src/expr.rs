@@ -554,13 +554,24 @@ impl CompiledVecExpr {
 }
 
 /// A compiled vectorized filter. Owns scratch buffers (reused across
-/// batches) for chaining conjunction factors, hence `&mut self`.
+/// batches) for chaining conjunction factors, hence `&mut self`. A clone
+/// shares the factor tree logically (fresh empty scratch), which is how
+/// the morsel-parallel executor hands each worker its own instance.
 #[derive(Debug)]
 pub struct CompiledVecPredicate {
     factors: Vec<PredFactor>,
     /// Ping-pong buffer for multi-factor conjunctions; retains capacity
     /// across [`select`](Self::select) calls.
     tmp: Vec<u32>,
+}
+
+impl Clone for CompiledVecPredicate {
+    fn clone(&self) -> Self {
+        CompiledVecPredicate {
+            factors: self.factors.clone(),
+            tmp: Vec::new(),
+        }
+    }
 }
 
 impl CompiledVecPredicate {
@@ -688,7 +699,7 @@ impl VecNode {
 }
 
 /// One conjunction factor of a vectorized predicate.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum PredFactor {
     /// `col <op> lit` — fused typed loop, no intermediate column.
     CmpColLit(CmpOp, usize, Value),

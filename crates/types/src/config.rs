@@ -55,6 +55,13 @@ pub struct MachineConfig {
     /// How long coordinators wait for a fragment/participant reply before
     /// presuming it dead, in seconds (a simulation safety net).
     pub reply_timeout_secs: u64,
+    /// Compute workers per PE for morsel-driven intra-fragment
+    /// parallelism. `0` (the default) resolves at boot: the `OFM_WORKERS`
+    /// environment variable if set, else the host's available
+    /// parallelism. `1` restores the serial per-PE baseline. Absent from
+    /// older serialized configs, hence the serde default.
+    #[serde(default)]
+    pub ofm_workers: usize,
 }
 
 impl Default for MachineConfig {
@@ -69,6 +76,7 @@ impl Default for MachineConfig {
             hop_latency_ns: 2_000,
             disk_stride: 8,
             reply_timeout_secs: 60,
+            ofm_workers: 0,
         }
     }
 }
@@ -110,6 +118,35 @@ impl MachineConfig {
     pub fn with_reply_timeout_secs(mut self, secs: u64) -> Self {
         self.reply_timeout_secs = secs;
         self
+    }
+
+    /// Builder-style override of the per-PE compute worker count
+    /// (`0` = auto-detect at boot, `1` = serial baseline).
+    pub fn with_ofm_workers(mut self, n: usize) -> Self {
+        self.ofm_workers = n;
+        self
+    }
+
+    /// Resolve [`ofm_workers`](Self::ofm_workers) to a concrete count.
+    ///
+    /// Precedence: an explicit non-zero config value wins; otherwise the
+    /// `OFM_WORKERS` environment variable (CI runs the suite under
+    /// `OFM_WORKERS=4`); otherwise the host's available parallelism.
+    /// Never returns 0.
+    pub fn effective_ofm_workers(&self) -> usize {
+        if self.ofm_workers > 0 {
+            return self.ofm_workers;
+        }
+        if let Ok(v) = std::env::var("OFM_WORKERS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 
     /// The coordinator reply timeout as a [`Duration`].
@@ -205,6 +242,19 @@ mod tests {
             ..MachineConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ofm_workers_resolution() {
+        // Explicit non-zero config beats everything.
+        let c = MachineConfig::default().with_ofm_workers(3);
+        assert_eq!(c.effective_ofm_workers(), 3);
+        // Auto (0) resolves to something positive.
+        let c = MachineConfig::default();
+        assert_eq!(c.ofm_workers, 0);
+        assert!(c.effective_ofm_workers() >= 1);
+        // The serial baseline stays expressible.
+        assert_eq!(MachineConfig::tiny().with_ofm_workers(1).effective_ofm_workers(), 1);
     }
 
     #[test]

@@ -929,6 +929,140 @@ proptest! {
     }
 }
 
+// ---------- morsel-driven parallel execution vs the oracle ----------
+
+/// Tile `seed` rows until the relation spans several morsels, shifting
+/// the first column per copy so join keys stay near-unique (bounding
+/// join fan-out). Morsel-parallel pipelines only engage above one
+/// `BATCH_SIZE` worth of rows, so un-tiled proptest-sized inputs would
+/// silently test the serial fallback instead.
+fn tile_rows(seed: &[(i64, i64, i64)], target: usize) -> Vec<Tuple> {
+    if seed.is_empty() {
+        return Vec::new();
+    }
+    let copies = target.div_ceil(seed.len());
+    let mut rows = Vec::with_capacity(copies * seed.len());
+    for copy in 0..copies {
+        for &(a, b, c) in seed {
+            rows.push(tuple![a + copy as i64 * 61, b, c]);
+        }
+    }
+    rows
+}
+
+/// Flatten a (possibly pooled) batch stream into its exact tuple
+/// sequence — order preserved, so two runs can be compared bit-for-bit.
+fn run_pooled(
+    physical: &prisma::relalg::PhysicalPlan,
+    db: &HashMap<String, Relation>,
+    pool: Option<Arc<prisma::poolx::WorkerPool>>,
+) -> Vec<Tuple> {
+    prisma::relalg::open_batches_pooled(physical, db, pool)
+        .unwrap()
+        .drain()
+        .unwrap()
+        .into_iter()
+        .flat_map(prisma::relalg::Batch::into_tuples)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Morsel-parallel execution is **deterministic and bit-identical to
+    // serial** on arbitrary plans over morsel-spanning data: the same
+    // tuples in the same order at 1, 2 and 4 workers, twice at each
+    // width (steal interleavings differ between runs), and the result
+    // agrees with the reference evaluator. Covers parallel pipelines,
+    // partial hash-join builds merged at the breaker, parallel probes,
+    // and partial-aggregate merge ordering; empty relations exercise
+    // the zero-morsel edge.
+    #[test]
+    fn pooled_execution_deterministic_and_matches_oracle(
+        ops in arb_plan_ops(4),
+        lseed in prop::collection::vec((-30i64..30, -30i64..30, -30i64..30), 0..20),
+        rseed in prop::collection::vec((-30i64..30, -30i64..30, -30i64..30), 0..12),
+    ) {
+        let schema = int3_schema();
+        let mut db: HashMap<String, Relation> = HashMap::new();
+        db.insert("l".into(), Relation::new(schema.clone(), tile_rows(&lseed, 1600)));
+        db.insert("r".into(), Relation::new(schema.clone(), tile_rows(&rseed, 520)));
+        let plan = build_plan(&ops, &schema, &schema);
+        let physical = lower(&plan).unwrap();
+
+        let serial = run_pooled(&physical, &db, None);
+        for workers in [1usize, 2, 4] {
+            let pool = prisma::poolx::WorkerPool::new(workers);
+            for round in 0..2 {
+                let pooled = run_pooled(&physical, &db, Some(Arc::clone(&pool)));
+                prop_assert_eq!(
+                    &pooled, &serial,
+                    "workers={} round={} plan:\n{}", workers, round, plan
+                );
+            }
+        }
+
+        let got = Relation::new(plan.output_schema().unwrap(), serial).canonicalized();
+        let oracle = eval(&plan, &db).unwrap().canonicalized();
+        prop_assert_eq!(got.tuples(), oracle.tuples(), "plan:\n{}", plan);
+    }
+
+    // Same pinning over NULL-heavy nullable mixed-type data: filters,
+    // projections and grouped aggregates whose partials are folded at
+    // the pipeline breaker must not let worker count change NULL
+    // handling or merge order. (An oracle-side arithmetic fault skips
+    // the oracle half, as in the other compiled-path properties.)
+    #[test]
+    fn pooled_execution_handles_nulls_like_serial(
+        pred in arb_mixed_predicate(),
+        e1 in arb_mixed_expr(),
+        seed in arb_mixed_rows(24),
+    ) {
+        let schema = mixed_schema();
+        // Repeat the seed verbatim: duplicate group keys across morsel
+        // chunks are exactly what stresses partial-aggregate merging.
+        let copies = if seed.is_empty() { 0 } else { 1500_usize.div_ceil(seed.len()) };
+        let rows: Vec<Tuple> = std::iter::repeat_n(seed.iter().cloned(), copies).flatten().collect();
+        let mut db: HashMap<String, Relation> = HashMap::new();
+        db.insert("m".into(), Relation::new(schema.clone(), rows));
+
+        let filtered = LogicalPlan::scan("m", schema.clone()).select(pred);
+        let project = LogicalPlan::Project {
+            input: Box::new(filtered.clone()),
+            exprs: vec![e1.clone(), ScalarExpr::col(1)],
+            schema: Schema::new(vec![
+                Column::nullable("x", e1.check(&schema).unwrap_or(DataType::Int)),
+                Column::nullable("b", DataType::Double),
+            ]),
+        };
+        let aggregate = LogicalPlan::Aggregate {
+            input: Box::new(filtered.clone()),
+            group_by: vec![0],
+            aggs: vec![
+                AggExpr::new(AggFunc::CountStar, 0, "n"),
+                AggExpr::new(AggFunc::Sum, 2, "s"),
+                AggExpr::new(AggFunc::Avg, 1, "avg"),
+                AggExpr::new(AggFunc::Min, 1, "mn"),
+                AggExpr::new(AggFunc::Max, 1, "mx"),
+            ],
+        };
+        for plan in [filtered, project, aggregate] {
+            let physical = lower(&plan).unwrap();
+            let serial = run_pooled(&physical, &db, None);
+            for workers in [2usize, 4] {
+                let pool = prisma::poolx::WorkerPool::new(workers);
+                let pooled = run_pooled(&physical, &db, Some(Arc::clone(&pool)));
+                prop_assert_eq!(&pooled, &serial, "workers={} plan:\n{}", workers, plan);
+            }
+            if let Ok(oracle) = eval(&plan, &db) {
+                let got = Relation::new(plan.output_schema().unwrap(), serial).canonicalized();
+                let oracle = oracle.canonicalized();
+                prop_assert_eq!(got.tuples(), oracle.tuples(), "plan:\n{}", plan);
+            }
+        }
+    }
+}
+
 fn bytes_mut() -> bytes::BytesMut {
     bytes::BytesMut::new()
 }
