@@ -29,8 +29,10 @@
 //! expression compiler ([`storage`]), stable storage ([`stable`]), algebra
 //! ([`relalg`]), One-Fragment Managers ([`ofm`]), SQL and PRISMAlog front
 //! ends ([`sqlfe`], [`prismalog`]), the knowledge-based optimizer
-//! ([`optimizer`]) and the Global Data Handler ([`gdh`]).
+//! ([`optimizer`]), the Global Data Handler ([`gdh`]) and the
+//! deterministic fault-injection layer ([`faultx`]).
 
+pub use prisma_faultx as faultx;
 pub use prisma_gdh as gdh;
 pub use prisma_multicomputer as multicomputer;
 pub use prisma_ofm as ofm;

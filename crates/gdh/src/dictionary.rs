@@ -26,6 +26,13 @@ use prisma_types::{
 };
 
 /// One fragment's placement: which PE it lives on and the actor serving it.
+///
+/// Replicated fragments additionally carry a backup replica on a
+/// *distinct* PE (the dictionary's placement rule — primary and backup
+/// never share a PE, or one crash would take both) and a placement
+/// `epoch` that [`DataDictionary::fail_over_fragment`] bumps on every
+/// failover, so streams opened against a dead primary are recognizably
+/// stale.
 #[derive(Debug, Clone)]
 pub struct FragmentHandle {
     /// Fragment id (unique machine-wide).
@@ -34,6 +41,35 @@ pub struct FragmentHandle {
     pub pe: PeId,
     /// The OFM actor's address.
     pub actor: ProcessId,
+    /// Backup replica placement (PE + actor), `None` when unreplicated.
+    pub backup: Option<(PeId, ProcessId)>,
+    /// Placement epoch; 0 at creation, +1 per failover.
+    pub epoch: u32,
+}
+
+impl FragmentHandle {
+    /// An unreplicated handle at epoch 0.
+    pub fn new(id: FragmentId, pe: PeId, actor: ProcessId) -> Self {
+        FragmentHandle {
+            id,
+            pe,
+            actor,
+            backup: None,
+            epoch: 0,
+        }
+    }
+
+    /// Attach a backup replica. Panics if the backup shares the primary's
+    /// PE — that placement defeats replication by construction.
+    pub fn with_backup(mut self, pe: PeId, actor: ProcessId) -> Self {
+        assert_ne!(
+            pe, self.pe,
+            "backup replica of {} must live on a distinct PE",
+            self.id
+        );
+        self.backup = Some((pe, actor));
+        self
+    }
 }
 
 /// Dictionary entry for one relation.
@@ -48,9 +84,15 @@ pub struct RelationInfo {
 }
 
 impl RelationInfo {
-    /// Which fragment a row belongs to.
-    pub fn route(&self, values: &[Value]) -> usize {
-        match self.frag_column {
+    /// Which fragment a row belongs to. Errors on a fragment-less
+    /// relation instead of hitting the `% 0` panic the modulo would be.
+    pub fn route(&self, values: &[Value]) -> Result<usize> {
+        if self.fragments.is_empty() {
+            return Err(PrismaError::Execution(
+                "cannot route tuple: relation has no fragments".to_owned(),
+            ));
+        }
+        Ok(match self.frag_column {
             Some(col) => {
                 use std::hash::BuildHasher;
                 (prisma_storage::FnvBuild.hash_one(&values[col]) as usize) % self.fragments.len()
@@ -65,7 +107,7 @@ impl RelationInfo {
                 }
                 (h.finish() as usize) % self.fragments.len()
             }
-        }
+        })
     }
 
     /// PEs hosting this relation's fragments.
@@ -238,6 +280,43 @@ impl DataDictionary {
         let mut v: Vec<String> = self.relations.read().keys().cloned().collect();
         v.sort();
         v
+    }
+
+    /// Fail a fragment over to its backup replica: the backup becomes the
+    /// primary, the placement epoch bumps (so streams opened against the
+    /// dead primary are recognizably stale), and the handle is left
+    /// unreplicated until a new backup is provisioned. Returns the
+    /// post-failover handle.
+    ///
+    /// Errors when the fragment is unknown or has no surviving replica —
+    /// the caller's query dies with that error instead of retrying
+    /// forever against nothing.
+    pub fn fail_over_fragment(&self, id: FragmentId) -> Result<FragmentHandle> {
+        let mut rels = self.relations.write();
+        for info in rels.values_mut() {
+            if let Some(f) = info.fragments.iter_mut().find(|f| f.id == id) {
+                let (pe, actor) = f.backup.take().ok_or_else(|| {
+                    PrismaError::MachineFault(format!(
+                        "{id}: primary on {} lost and no backup replica survives",
+                        f.pe
+                    ))
+                })?;
+                f.pe = pe;
+                f.actor = actor;
+                f.epoch += 1;
+                return Ok(f.clone());
+            }
+        }
+        Err(PrismaError::NoSuchFragment(id))
+    }
+
+    /// The current handle of a fragment, wherever it lives.
+    pub fn fragment_handle(&self, id: FragmentId) -> Option<FragmentHandle> {
+        let rels = self.relations.read();
+        rels.values()
+            .flat_map(|info| info.fragments.iter())
+            .find(|f| f.id == id)
+            .cloned()
     }
 
     /// Current fragment count per PE — the load signal for allocation.
@@ -514,10 +593,8 @@ mod tests {
             ]),
             frag_column,
             fragments: (0..frags)
-                .map(|i| FragmentHandle {
-                    id: FragmentId(i as u32),
-                    pe: PeId::from(i),
-                    actor: ProcessId(i as u32),
+                .map(|i| {
+                    FragmentHandle::new(FragmentId(i as u32), PeId::from(i), ProcessId(i as u32))
                 })
                 .collect(),
         }
@@ -542,11 +619,66 @@ mod tests {
         let mut seen = vec![0usize; 4];
         for i in 0..100 {
             let row = tuple![i, "x"];
-            let f = info.route(row.values());
-            assert_eq!(f, info.route(row.values()));
+            let f = info.route(row.values()).unwrap();
+            assert_eq!(f, info.route(row.values()).unwrap());
             seen[f] += 1;
         }
         assert!(seen.iter().all(|&c| c > 10), "skewed routing: {seen:?}");
+    }
+
+    #[test]
+    fn routing_into_zero_fragments_errors_instead_of_panicking() {
+        // Regression: both routing arms used to end in `% fragments.len()`,
+        // a modulo-by-zero panic for a fragment-less relation.
+        let empty = info(0, Some(0));
+        let row = tuple![1, "x"];
+        assert!(matches!(
+            empty.route(row.values()),
+            Err(PrismaError::Execution(m)) if m.contains("no fragments")
+        ));
+        let empty_rr = info(0, None);
+        assert!(empty_rr.route(row.values()).is_err());
+    }
+
+    #[test]
+    fn failover_flips_to_backup_and_bumps_epoch() {
+        let d = dict();
+        let mut i = info(2, Some(0));
+        i.fragments[0] = FragmentHandle::new(FragmentId(0), PeId(0), ProcessId(0))
+            .with_backup(PeId(3), ProcessId(30));
+        d.register("t", i).unwrap();
+
+        let flipped = d.fail_over_fragment(FragmentId(0)).unwrap();
+        assert_eq!(flipped.pe, PeId(3));
+        assert_eq!(flipped.actor, ProcessId(30));
+        assert_eq!(flipped.epoch, 1);
+        assert!(flipped.backup.is_none(), "backup was consumed");
+        // The dictionary view reflects the flip.
+        let after = d.relation("t").unwrap();
+        assert_eq!(after.fragments[0].pe, PeId(3));
+        assert_eq!(after.fragments[0].epoch, 1);
+
+        // A second failure of the same fragment has nowhere to go.
+        assert!(matches!(
+            d.fail_over_fragment(FragmentId(0)),
+            Err(PrismaError::MachineFault(m)) if m.contains("no backup")
+        ));
+        // Unreplicated fragments fail over with the same clear error.
+        assert!(d.fail_over_fragment(FragmentId(1)).is_err());
+        // Unknown fragments are named.
+        assert!(matches!(
+            d.fail_over_fragment(FragmentId(99)),
+            Err(PrismaError::NoSuchFragment(_))
+        ));
+        assert_eq!(d.fragment_handle(FragmentId(0)).unwrap().pe, PeId(3));
+        assert!(d.fragment_handle(FragmentId(99)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct PE")]
+    fn backup_on_the_primary_pe_is_rejected() {
+        let _ = FragmentHandle::new(FragmentId(0), PeId(1), ProcessId(0))
+            .with_backup(PeId(1), ProcessId(1));
     }
 
     #[test]

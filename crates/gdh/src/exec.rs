@@ -165,6 +165,33 @@ pub struct ExecMetrics {
     /// the work-stealing balance signal (0 under even load is fine; 0
     /// under skew means stealing is broken).
     pub pool_steals: u64,
+    /// Fragments whose primary died mid-query: the dictionary promoted
+    /// the backup replica and the fragment's work was re-issued against
+    /// it (E10's recovery signal — 0 on a fault-free run).
+    pub failovers: u64,
+    /// Reply streams re-requested after a mid-query fault: every
+    /// [`ExecMetrics::failovers`] promotion plus re-issues to a living
+    /// but starved fragment (a dropped or lost chunk). The re-requested
+    /// fraction of total streams is E10's recovery-cost measure.
+    pub streams_rerequested: u64,
+}
+
+/// A fan-out's recovery policy, armed on the paths that can survive a
+/// mid-query PE loss (subplan fan-outs and the direct-shuffle grace
+/// join). When the reply deadline fires, [`ParallelExecutor::receive_streams`]
+/// retires each still-open stream, promotes its fragment's backup
+/// replica if the primary's PE is dead (the dictionary flips the handle
+/// and bumps its epoch), and calls `reissue` to ship the lost work at
+/// the surviving handle under a fresh correlation tag — completed
+/// streams are kept, so only the lost fragment's share is recomputed.
+struct Failover<'a> {
+    /// Re-issue one lost stream's work: `(handle, old_tag, new_tag)` —
+    /// the handle to address (promoted to the backup when the primary
+    /// is dead), the retired tag, and the tag the replacement stream
+    /// must reply under.
+    reissue: &'a mut dyn FnMut(&crate::dictionary::FragmentHandle, u64, u64) -> Result<()>,
+    /// Recovery rounds left before a timeout is terminal.
+    rounds: u32,
 }
 
 /// Per-query execution state threaded through the recursive walk: the
@@ -203,6 +230,12 @@ pub struct ParallelExecutor {
     /// query ([`ExecMetrics::pool_morsels`]); the pools themselves are
     /// driven by the OFM actors.
     pools: Option<Arc<prisma_poolx::PoolSet>>,
+    /// The machine's fault injector, doubling as the failure detector:
+    /// a reply timeout consults [`prisma_faultx::FaultInjector::is_dead`]
+    /// to decide between promoting a fragment's backup replica (PE
+    /// dead) and re-asking the living primary (stream starved by a
+    /// lost chunk).
+    faults: Arc<prisma_faultx::FaultInjector>,
 }
 
 impl ParallelExecutor {
@@ -218,7 +251,14 @@ impl ParallelExecutor {
             streaming: true,
             next_query: AtomicU32::new(0),
             pools: None,
+            faults: prisma_faultx::global().clone(),
         }
+    }
+
+    /// Use a scripted fault injector as this executor's failure
+    /// detector (the GDH threads its machine-wide injector through).
+    pub fn set_fault_injector(&mut self, faults: Arc<prisma_faultx::FaultInjector>) {
+        self.faults = faults;
     }
 
     /// Attach the machine's per-PE worker pools so per-query metrics can
@@ -602,6 +642,7 @@ impl ParallelExecutor {
                         sites: site_actors.clone(),
                         side,
                         tag: base + i as u64,
+                        restrict_to: None,
                     },
                 )?;
                 q.metrics.repartition_tasks += 1;
@@ -613,11 +654,103 @@ impl ParallelExecutor {
         // them in the gauge).
         let in_flight_shuffles =
             ((left_streams.len() + right_streams.len()) * sites.len()) as u64;
-        let mut out = Vec::new();
-        self.merge_batch_streams(&mailbox, &streams, in_flight_shuffles, q, &mut |batch| {
-            out.extend(batch.into_tuples());
+        // Failover for a lost phase-2 site: re-install its join task at
+        // the surviving handle under a fresh exchange id (the high half
+        // keyed by recovery round, so a half-fed exchange at a starved
+        // site never collides), and re-run both sides' sources with the
+        // shuffle **restricted to that one site** — bucket boundaries
+        // are unchanged because the site vector keeps every slot, only
+        // the lost site's slots are flipped to the replacement actor.
+        // Sources are looked up fresh from the dictionary each time: a
+        // source whose own PE died is failed over to its backup replica
+        // here, before it is re-asked to shuffle.
+        let qid = q.query_id;
+        let reply_to = mailbox.id;
+        let sites_ref = &sites;
+        // Backup promotions performed on *source* fragments inside the
+        // re-issue (the coordinator only watches site streams, so a dead
+        // source surfaces here, not in the receive loop's own check).
+        let source_failovers = std::cell::Cell::new(0u64);
+        let mut reissue = |handle: &crate::dictionary::FragmentHandle,
+                           old_tag: u64,
+                           new_tag: u64|
+         -> Result<()> {
+            let sidx = (old_tag & 0xffff_ffff) as usize;
+            let retry_exchange = exchange | (((new_tag >> 32) as u32) << 16);
+            self.runtime.send(
+                handle.actor,
+                GdhMsg::ShuffleJoin {
+                    query_id: qid,
+                    exchange: retry_exchange,
+                    plan: Box::new(plan.clone()),
+                    lschema: lschema.clone(),
+                    rschema: rschema.clone(),
+                    buckets: sites_ref[sidx].1.clone(),
+                    left_streams: left_streams.clone(),
+                    right_streams: right_streams.clone(),
+                    reply_to,
+                    tag: new_tag,
+                    stream: true,
+                },
+            )?;
+            let new_site_actors: Vec<prisma_types::ProcessId> = resolved
+                .sites
+                .iter()
+                .enumerate()
+                .map(|(j, &fid)| {
+                    if fid == handle.id {
+                        handle.actor
+                    } else {
+                        site_actors[j]
+                    }
+                })
+                .collect();
+            for (side, rel, physical, keys, base) in [
+                (ShuffleSide::Left, left_rel, &left, &lkeys, 0u64),
+                (ShuffleSide::Right, right_rel, &right, &rkeys, lbase),
+            ] {
+                let info = self.dictionary.relation(rel)?;
+                for (i, frag) in info.fragments.iter().enumerate() {
+                    let src = if self.faults.is_dead(frag.pe) {
+                        source_failovers.set(source_failovers.get() + 1);
+                        self.dictionary.fail_over_fragment(frag.id)?
+                    } else {
+                        frag.clone()
+                    };
+                    self.runtime.send(
+                        src.actor,
+                        GdhMsg::ShuffleSubplan {
+                            query_id: qid,
+                            exchange: retry_exchange,
+                            plan: Box::new(physical.clone()),
+                            key_cols: keys.to_vec(),
+                            sites: new_site_actors.clone(),
+                            side,
+                            tag: base + i as u64,
+                            restrict_to: Some(handle.actor),
+                        },
+                    )?;
+                }
+            }
             Ok(())
-        })?;
+        };
+        let failover = Failover {
+            reissue: &mut reissue,
+            rounds: 2,
+        };
+        let mut out = Vec::new();
+        self.merge_batch_streams(
+            &mailbox,
+            streams,
+            in_flight_shuffles,
+            q,
+            Some(failover),
+            &mut |batch| {
+                out.extend(batch.into_tuples());
+                Ok(())
+            },
+        )?;
+        q.metrics.failovers += source_failovers.get();
         Ok(Arc::new(Relation::new(join_schema, out)))
     }
 
@@ -686,7 +819,7 @@ impl ParallelExecutor {
             streams.push((j as u64, site.id));
         }
         let mut out = Vec::new();
-        self.merge_batch_streams(&mailbox, &streams, 0, q, &mut |batch| {
+        self.merge_batch_streams(&mailbox, streams, 0, q, None, &mut |batch| {
             out.extend(batch.into_tuples());
             Ok(())
         })?;
@@ -738,9 +871,10 @@ impl ParallelExecutor {
         let mut merged: Vec<Vec<Tuple>> = (0..parts).map(|_| Vec::new()).collect();
         self.receive_streams(
             mailbox,
-            streams,
+            streams.to_vec(),
             extra_in_flight,
             q,
+            None,
             |msg| match msg {
                 GdhMsg::PartitionChunk {
                     query_id,
@@ -775,9 +909,10 @@ impl ParallelExecutor {
     fn merge_batch_streams(
         &self,
         mailbox: &ExternalMailbox<GdhMsg>,
-        streams: &[(u64, FragmentId)],
+        streams: StreamSet,
         extra_in_flight: u64,
         q: &mut QueryCtx,
+        failover: Option<Failover<'_>>,
         sink: &mut dyn FnMut(Batch) -> Result<()>,
     ) -> Result<()> {
         self.receive_streams(
@@ -785,6 +920,7 @@ impl ParallelExecutor {
             streams,
             extra_in_flight,
             q,
+            failover,
             |msg| match msg {
                 GdhMsg::BatchChunk {
                     query_id,
@@ -820,12 +956,25 @@ impl ParallelExecutor {
     /// count against the rows actually released. A timeout names the
     /// query, the fragments still owing chunks, and the time waited; a
     /// fragment-local error fails the query naming the query and fragment.
+    ///
+    /// With a [`Failover`] armed, a timeout is survivable instead: each
+    /// still-open stream is retired (late chunks from the old attempt
+    /// are silently dropped by the reassembly), its fragment's backup
+    /// replica is promoted when the primary's PE is dead, and the
+    /// stream is re-requested under a fresh tag — then the deadline
+    /// resets and the merge resumes. Because a re-issued stream replays
+    /// from scratch, released chunks are **staged per stream** and only
+    /// fed to `on_chunk` once their stream completes, so a replaced
+    /// stream's partial delivery never double-counts; the merged result
+    /// is bit-identical to a fault-free run.
+    #[allow(clippy::too_many_arguments)]
     fn receive_streams<T>(
         &self,
         mailbox: &ExternalMailbox<GdhMsg>,
-        streams: &[(u64, FragmentId)],
+        mut streams: StreamSet,
         extra_in_flight: u64,
         q: &mut QueryCtx,
+        mut failover: Option<Failover<'_>>,
         decode: impl Fn(GdhMsg) -> std::result::Result<StreamMsg<T>, Box<GdhMsg>>,
         on_chunk: &mut dyn FnMut(&mut ExecMetrics, T) -> Result<u64>,
     ) -> Result<()> {
@@ -839,8 +988,15 @@ impl ParallelExecutor {
         // One reply timeout bounds the whole fan-out: the deadline is
         // carried across the loop, so each received message narrows the
         // remaining wait instead of resetting the clock (a slow-trickling
-        // stream used to stall N×timeout before erroring).
-        let deadline = waited + self.reply_timeout;
+        // stream used to stall N×timeout before erroring). A failover
+        // round is the only thing that re-arms it.
+        let mut deadline = waited + self.reply_timeout;
+        // Recovery-round stamp: round r re-requests stream `t` as tag
+        // `(t & 0xffff_ffff) | (r << 32)` — unique against every earlier
+        // attempt, and the low half keeps the original fan-out index.
+        let mut round: u64 = 0;
+        let staging = failover.is_some();
+        let mut staged: HashMap<u64, Vec<T>> = HashMap::new();
         let mut released: Vec<T> = Vec::new();
         let mut rows_released: HashMap<u64, u64> = HashMap::new();
         let mut rows_advertised: HashMap<u64, u64> = HashMap::new();
@@ -848,7 +1004,50 @@ impl ParallelExecutor {
             let remaining = deadline.saturating_duration_since(Instant::now());
             let msg = match mailbox.recv_timeout(remaining) {
                 Ok(m) => m,
-                Err(_) => return Err(self.stream_timeout(q, waited, &reassembly, streams)),
+                Err(_) => {
+                    let Some(f) = failover.as_mut().filter(|f| f.rounds > 0) else {
+                        return Err(self.stream_timeout(q, waited, &reassembly, &streams));
+                    };
+                    f.rounds -= 1;
+                    round += 1;
+                    for tag in reassembly.open_streams() {
+                        let pos = streams
+                            .iter()
+                            .position(|&(t, _)| t == tag)
+                            .expect("every expected stream is tracked");
+                        let frag = streams[pos].1;
+                        let handle = self
+                            .dictionary
+                            .fragment_handle(frag)
+                            .ok_or(PrismaError::NoSuchFragment(frag))?;
+                        // Promote the backup replica only when the
+                        // primary's PE is actually dead; a living but
+                        // starved fragment (dropped chunk, starved
+                        // phase-2 site) is simply re-asked.
+                        let handle = if self.faults.is_dead(handle.pe) {
+                            q.metrics.failovers += 1;
+                            self.dictionary.fail_over_fragment(frag).map_err(|e| {
+                                PrismaError::MachineFault(format!(
+                                    "{}: cannot recover {frag}: {e}",
+                                    q.query_id
+                                ))
+                            })?
+                        } else {
+                            handle
+                        };
+                        let new_tag = (tag & 0xffff_ffff) | (round << 32);
+                        reassembly.retire(tag);
+                        reassembly.expect(new_tag);
+                        staged.remove(&tag);
+                        rows_released.remove(&tag);
+                        rows_advertised.remove(&tag);
+                        streams[pos].0 = new_tag;
+                        (f.reissue)(&handle, tag, new_tag)?;
+                        q.metrics.streams_rerequested += 1;
+                    }
+                    deadline = Instant::now() + self.reply_timeout;
+                    continue;
+                }
             };
             let decoded = match msg {
                 GdhMsg::StreamEnd {
@@ -886,8 +1085,12 @@ impl ParallelExecutor {
                     released.clear();
                     reassembly.accept(tag, seq, payload, &mut released)?;
                     for chunk in released.drain(..) {
-                        *rows_released.entry(tag).or_default() +=
-                            on_chunk(&mut q.metrics, chunk)?;
+                        if staging {
+                            staged.entry(tag).or_default().push(chunk);
+                        } else {
+                            *rows_released.entry(tag).or_default() +=
+                                on_chunk(&mut q.metrics, chunk)?;
+                        }
                     }
                 }
                 StreamMsg::End {
@@ -895,17 +1098,35 @@ impl ParallelExecutor {
                     tag,
                     seq_count,
                     result,
-                } if query_id == q.query_id => match result {
-                    Ok(stats) => {
-                        rows_advertised.insert(tag, stats.rows);
-                        q.metrics.shuffled_direct_bits += stats.shuffled_bits;
-                        q.metrics.max_site_shuffled_bits =
-                            q.metrics.max_site_shuffled_bits.max(stats.shuffled_bits);
-                        q.metrics.relay_bits_saved += stats.relay_saved_bits;
-                        reassembly.finish(tag, seq_count)?;
+                } if query_id == q.query_id => {
+                    // A straggler end from a retired attempt (the dead
+                    // primary limping on, or a delayed duplicate) must
+                    // not fail or pollute the replacement stream.
+                    if reassembly.is_retired(tag) {
+                        continue;
                     }
-                    Err(e) => return Err(fragment_failure(q.query_id, streams, tag, &e)),
-                },
+                    match result {
+                        Ok(stats) => {
+                            rows_advertised.insert(tag, stats.rows);
+                            q.metrics.shuffled_direct_bits += stats.shuffled_bits;
+                            q.metrics.max_site_shuffled_bits =
+                                q.metrics.max_site_shuffled_bits.max(stats.shuffled_bits);
+                            q.metrics.relay_bits_saved += stats.relay_saved_bits;
+                            reassembly.finish(tag, seq_count)?;
+                            // Flush the stream's staged chunks only once
+                            // it is genuinely complete — a lost chunk
+                            // leaves it open (the end marker advertises
+                            // more seqs than arrived) for failover.
+                            if staging && !reassembly.open_streams().contains(&tag) {
+                                for chunk in staged.remove(&tag).unwrap_or_default() {
+                                    *rows_released.entry(tag).or_default() +=
+                                        on_chunk(&mut q.metrics, chunk)?;
+                                }
+                            }
+                        }
+                        Err(e) => return Err(fragment_failure(q.query_id, &streams, tag, &e)),
+                    }
+                }
                 StreamMsg::Chunk { query_id, .. } | StreamMsg::End { query_id, .. } => {
                     return Err(PrismaError::Execution(format!(
                         "{}: reply for foreign {query_id} on this query's mailbox",
@@ -916,7 +1137,7 @@ impl ParallelExecutor {
         }
         // Every stream completed: the rows each fragment said it shipped
         // must be the rows that came out of reassembly.
-        for &(tag, frag) in streams {
+        for &(tag, frag) in &streams {
             let advertised = rows_advertised.get(&tag).copied().unwrap_or(0);
             let released = rows_released.get(&tag).copied().unwrap_or(0);
             if advertised != released {
@@ -1120,7 +1341,34 @@ impl ParallelExecutor {
             q.metrics.fragment_tasks += 1;
             streams.push((i as u64, frag.id));
         }
-        self.merge_batch_streams(&mailbox, &streams, 0, q, sink)
+        // Failover: re-run the lost fragment's subplan at the handle
+        // the coordinator was given back — the promoted backup replica
+        // when the primary died, the primary itself when only a chunk
+        // was lost — under the replacement tag.
+        let qid = q.query_id;
+        let reply_to = mailbox.id;
+        let streaming = self.streaming;
+        let mut reissue = |handle: &crate::dictionary::FragmentHandle,
+                           _old: u64,
+                           new_tag: u64|
+         -> Result<()> {
+            self.runtime.send(
+                handle.actor,
+                GdhMsg::RunSubplan {
+                    query_id: qid,
+                    plan: Box::new(physical.clone()),
+                    extra: extra.clone(),
+                    reply_to,
+                    tag: new_tag,
+                    stream: streaming,
+                },
+            )
+        };
+        let failover = Failover {
+            reissue: &mut reissue,
+            rounds: 2,
+        };
+        self.merge_batch_streams(&mailbox, streams, 0, q, Some(failover), sink)
     }
 }
 
@@ -1345,11 +1593,7 @@ mod tests {
                         Box::new(OfmActor::new(loaded_ofm_named(id, relation, rows.clone()))),
                     )
                     .unwrap();
-                FragmentHandle {
-                    id: FragmentId(id),
-                    pe,
-                    actor,
-                }
+                FragmentHandle::new(FragmentId(id), pe, actor)
             })
             .collect();
         dict.register(
@@ -1382,8 +1626,8 @@ mod tests {
                 schema: test_schema(),
                 frag_column: None,
                 fragments: vec![
-                    FragmentHandle { id: FragmentId(0), pe: PeId(0), actor: a0 },
-                    FragmentHandle { id: FragmentId(7), pe: PeId(1), actor: a1 },
+                    FragmentHandle::new(FragmentId(0), PeId(0), a0),
+                    FragmentHandle::new(FragmentId(7), PeId(1), a1),
                 ],
             },
         )
@@ -1417,8 +1661,8 @@ mod tests {
                 schema: test_schema(),
                 frag_column: None,
                 fragments: vec![
-                    FragmentHandle { id: FragmentId(0), pe: PeId(0), actor: a0 },
-                    FragmentHandle { id: FragmentId(1), pe: PeId(1), actor: a1 },
+                    FragmentHandle::new(FragmentId(0), PeId(0), a0),
+                    FragmentHandle::new(FragmentId(1), PeId(1), a1),
                 ],
             },
         )

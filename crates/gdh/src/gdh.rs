@@ -100,6 +100,10 @@ pub struct GlobalDataHandler {
     /// Shared-memory only: pool counters reach `ExecMetrics` through
     /// coordinator-side reads of this set, never through the wire.
     pools: Arc<prisma_poolx::PoolSet>,
+    /// Fault injection hooks handed to every spawned OFM actor — inert
+    /// in production (one atomic load per message) unless `FAULT_SEED`
+    /// or [`GlobalDataHandler::set_fault_injector`] scripted faults.
+    faults: Arc<prisma_faultx::FaultInjector>,
 }
 
 impl GlobalDataHandler {
@@ -136,7 +140,22 @@ impl GlobalDataHandler {
             optimizer_config: OptimizerConfig::default(),
             staged_stats: Mutex::new(HashMap::new()),
             pools,
+            faults: prisma_faultx::global().clone(),
         })
+    }
+
+    /// Replace the fault injector handed to subsequently spawned OFM
+    /// actors and consulted by the executor's failure detector (call
+    /// before `CREATE TABLE`; tests script faults per run instead of
+    /// per process via `FAULT_SEED`).
+    pub fn set_fault_injector(&mut self, faults: Arc<prisma_faultx::FaultInjector>) {
+        self.executor.set_fault_injector(faults.clone());
+        self.faults = faults;
+    }
+
+    /// The fault injector in effect.
+    pub fn fault_injector(&self) -> &Arc<prisma_faultx::FaultInjector> {
+        &self.faults
     }
 
     /// Boot with paper defaults (64-PE mesh, load-balanced allocation,
@@ -239,8 +258,20 @@ impl GlobalDataHandler {
             if let Some(pool) = self.pools.pool_for(pe.0 as usize) {
                 ofm.attach_pool(pool);
             }
-            let actor = self.runtime.spawn(pe, Box::new(OfmActor::new(ofm)))?;
-            fragments.push(FragmentHandle { id, pe, actor });
+            // Backup replica on a distinct PE, kept in sync by log
+            // shipping from the primary — what a mid-query failover
+            // flips to when the primary's PE dies.
+            let backup = self.spawn_backup(id, name, &schema, pe, Vec::new())?;
+            let mut actor_obj = OfmActor::with_faults(ofm, self.faults.clone());
+            if let Some((_, backup_actor)) = backup {
+                actor_obj = actor_obj.with_replica(backup_actor);
+            }
+            let actor = self.runtime.spawn(pe, Box::new(actor_obj))?;
+            let mut handle = FragmentHandle::new(id, pe, actor);
+            if let Some((backup_pe, backup_actor)) = backup {
+                handle = handle.with_backup(backup_pe, backup_actor);
+            }
+            fragments.push(handle);
         }
         self.dictionary.register(
             name,
@@ -251,6 +282,39 @@ impl GlobalDataHandler {
             },
         )?;
         Ok(())
+    }
+
+    /// Spawn a backup replica OFM for fragment `id` on a PE distinct
+    /// from `primary_pe`, pre-seeded with `seed` tuples (empty at
+    /// CREATE TABLE; the recovered image when rebuilding after a
+    /// crash). The replica is a main-memory mirror — redundancy *is*
+    /// its durability story — fed by the primary's shipped log.
+    /// Returns `None` on single-PE machines: no distinct PE survives a
+    /// crash there.
+    fn spawn_backup(
+        &self,
+        id: prisma_types::FragmentId,
+        name: &str,
+        schema: &Schema,
+        primary_pe: PeId,
+        seed: Vec<Tuple>,
+    ) -> Result<Option<(PeId, prisma_types::ProcessId)>> {
+        if self.config.num_pes < 2 {
+            return Ok(None);
+        }
+        let backup_pe = PeId::from((primary_pe.index() + 1) % self.config.num_pes);
+        let mut ofm = Ofm::new(id, name, schema.clone(), OfmKind::Transient);
+        for t in seed {
+            ofm.fragment_mut().insert(t)?;
+        }
+        if let Some(pool) = self.pools.pool_for(backup_pe.index()) {
+            ofm.attach_pool(pool);
+        }
+        let actor = self.runtime.spawn(
+            backup_pe,
+            Box::new(OfmActor::with_faults(ofm, self.faults.clone())),
+        )?;
+        Ok(Some((backup_pe, actor)))
     }
 
     /// Drop a relation and its OFM actors.
@@ -334,12 +398,25 @@ impl GlobalDataHandler {
             if let Some(pool) = self.pools.pool_for(frag.pe.0 as usize) {
                 ofm.attach_pool(pool);
             }
-            let actor = self.runtime.spawn(frag.pe, Box::new(OfmActor::new(ofm)))?;
-            new_fragments.push(FragmentHandle {
-                id: frag.id,
-                pe: frag.pe,
-                actor,
-            });
+            // Re-stand the backup replica, seeded with the recovered
+            // image so log shipping resumes from a synced pair.
+            let backup = self.spawn_backup(
+                frag.id,
+                name,
+                &info.schema,
+                frag.pe,
+                ofm.fragment().all_tuples(),
+            )?;
+            let mut actor_obj = OfmActor::with_faults(ofm, self.faults.clone());
+            if let Some((_, backup_actor)) = backup {
+                actor_obj = actor_obj.with_replica(backup_actor);
+            }
+            let actor = self.runtime.spawn(frag.pe, Box::new(actor_obj))?;
+            let mut handle = FragmentHandle::new(frag.id, frag.pe, actor);
+            if let Some((backup_pe, backup_actor)) = backup {
+                handle = handle.with_backup(backup_pe, backup_actor);
+            }
+            new_fragments.push(handle);
         }
         self.dictionary.unregister(name)?;
         self.dictionary.register(
@@ -415,7 +492,7 @@ impl GlobalDataHandler {
         for row in rows {
             info.schema.check_tuple(row.values())?;
             per_frag
-                .entry(info.route(row.values()))
+                .entry(info.route(row.values())?)
                 .or_default()
                 .push(row);
         }

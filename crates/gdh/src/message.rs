@@ -181,6 +181,11 @@ pub enum GdhMsg {
         key_cols: Vec<usize>,
         /// Phase-2 site actor per bucket (`sites.len()` = bucket count).
         sites: Vec<ProcessId>,
+        /// Failover re-issue: ship **only** to this site actor and skip
+        /// every other slot silently — buckets owned by surviving sites
+        /// were already delivered and must not arrive twice. `None` (the
+        /// normal fan-out) ships every bucket.
+        restrict_to: Option<ProcessId>,
         /// Which side of the join this source feeds.
         side: ShuffleSide,
         /// Source stream tag (unique per side across the fan-out).
@@ -353,6 +358,35 @@ pub enum GdhMsg {
         /// Correlation tag.
         tag: u64,
     },
+    /// Log-shipping: a batch of redo records from a replicated primary
+    /// OFM to its backup replica on a distinct PE, in primary log order
+    /// (the runtime's FIFO channels preserve it on the wire). Mutations
+    /// are buffered on the backup per transaction and only applied when
+    /// that transaction's `Commit` record arrives, so an aborted primary
+    /// transaction never surfaces on the backup.
+    ReplicaAppend {
+        /// The replicated fragment (backup sanity-checks it owns it).
+        fragment: FragmentId,
+        /// Redo records in primary log order.
+        records: Vec<prisma_stable::LogPayload>,
+        /// When true the batch carries a 2PC commit record and the
+        /// backup must acknowledge with [`GdhMsg::ReplicaAck`] before
+        /// the primary forwards its commit `Ack` upstream — after the
+        /// ack, either copy can serve the committed data.
+        ack: bool,
+        /// The primary actor (where the ack goes).
+        reply_to: ProcessId,
+        /// Correlation tag (the committing transaction's id).
+        tag: u64,
+    },
+    /// Backup's acknowledgement that a shipped batch — through its
+    /// commit record — is applied.
+    ReplicaAck {
+        /// Correlation tag echoed from the append.
+        tag: u64,
+        /// Transactions made durable on the backup, or the apply error.
+        result: Result<usize>,
+    },
     /// Ask the OFM for its fragment's statistics snapshot — the pull
     /// side of the statistics lifecycle: the GDH fans this out on
     /// `refresh_stats` and the dictionary caches the replies per
@@ -412,6 +446,20 @@ impl WireMessage for GdhMsg {
             // A stats report ships bounded summaries (histogram buckets
             // + most-common values), never tuples.
             GdhMsg::StatsReport { stats, .. } => stats.wire_bytes(),
+            // Log shipping moves the mutated tuples once more across
+            // the interconnect — charged like any other data message.
+            GdhMsg::ReplicaAppend { records, .. } => {
+                32 + records
+                    .iter()
+                    .map(|r| match r {
+                        prisma_stable::LogPayload::Insert { tuple, .. }
+                        | prisma_stable::LogPayload::Delete { tuple, .. } => {
+                            (tuple.wire_bits() / 8) as usize
+                        }
+                        _ => 8,
+                    })
+                    .sum::<usize>()
+            }
             _ => 32,
         }
     }
@@ -496,6 +544,16 @@ enum ShuffleState {
 /// locally.
 pub struct OfmActor {
     ofm: prisma_ofm::Ofm,
+    /// Backup replica actor this primary ships its redo log to
+    /// (`None` = unreplicated).
+    replica: Option<ProcessId>,
+    /// Commit acks gated on the backup: txn id → the upstream
+    /// `(coordinator, tag, local commit result)` to forward once the
+    /// backup's [`GdhMsg::ReplicaAck`] lands.
+    awaiting_replica: HashMap<u64, (ProcessId, u64, Result<u64>)>,
+    /// Fault injection hooks (inert unless a test or `FAULT_SEED`
+    /// scripted them — one atomic load on the hot path).
+    faults: Arc<prisma_faultx::FaultInjector>,
     /// In-flight shuffle-join tasks, keyed by `(query, exchange)`.
     shuffles: HashMap<(QueryId, u32), ShuffleState>,
     /// Recently finished (completed or torn down) shuffles: late peer
@@ -511,14 +569,62 @@ pub struct OfmActor {
 const FINISHED_SHUFFLES_REMEMBERED: usize = 256;
 
 impl OfmActor {
-    /// Wrap an OFM as an actor.
+    /// Wrap an OFM as an actor (process-wide fault injector, which is
+    /// inert unless `FAULT_SEED` is set).
     pub fn new(ofm: prisma_ofm::Ofm) -> Self {
+        Self::with_faults(ofm, prisma_faultx::global().clone())
+    }
+
+    /// Wrap an OFM as an actor with an explicit fault injector (tests
+    /// script faults per run instead of per process).
+    pub fn with_faults(
+        ofm: prisma_ofm::Ofm,
+        faults: Arc<prisma_faultx::FaultInjector>,
+    ) -> Self {
         OfmActor {
             ofm,
+            replica: None,
+            awaiting_replica: HashMap::new(),
+            faults,
             shuffles: HashMap::new(),
             finished: HashSet::new(),
             finished_order: std::collections::VecDeque::new(),
         }
+    }
+
+    /// Declare this actor the replicated primary: redo records are
+    /// captured and shipped to `backup` ([`GdhMsg::ReplicaAppend`]), and
+    /// 2PC commit acks are gated on the backup's acknowledgement.
+    pub fn with_replica(mut self, backup: ProcessId) -> Self {
+        self.ofm.enable_replication();
+        self.replica = Some(backup);
+        self
+    }
+
+    /// Ship captured redo records to the backup replica. With
+    /// `require_ack` the batch carries a commit record the backup must
+    /// acknowledge; returns whether an acked batch is now in flight.
+    fn ship_replica_batch(
+        &mut self,
+        ctx: &mut Ctx<'_, GdhMsg>,
+        require_ack: bool,
+        txn: TxnId,
+    ) -> bool {
+        let Some(backup) = self.replica else {
+            return false;
+        };
+        let records = self.ofm.drain_replica_records();
+        if records.is_empty() && !require_ack {
+            return false;
+        }
+        let msg = GdhMsg::ReplicaAppend {
+            fragment: self.ofm.fragment_id(),
+            records,
+            ack: require_ack,
+            reply_to: ctx.self_id,
+            tag: txn.index() as u64,
+        };
+        ctx.send(backup, msg).is_ok() && require_ack
     }
 
     fn note_shuffle_finished(&mut self, key: (QueryId, u32)) {
@@ -573,6 +679,7 @@ impl OfmActor {
             }
         };
         let mut held = Vec::new(); // materialized mode parks chunks here
+        let mut held_back = Vec::new(); // fault-delayed chunks
         let mut seq = 0u64;
         let mut rows = 0u64;
         loop {
@@ -581,7 +688,7 @@ impl OfmActor {
                     let (chunk_rows, msg) = to_chunk(seq, batch.into_rows());
                     rows += chunk_rows;
                     if stream {
-                        if ctx.send(reply_to, msg).is_err() {
+                        if self.faulted_send(ctx, reply_to, msg, &mut held_back).is_err() {
                             return; // requester is gone; abandon the stream
                         }
                     } else {
@@ -591,9 +698,12 @@ impl OfmActor {
                 }
                 Ok(None) => {
                     for msg in held {
-                        if ctx.send(reply_to, msg).is_err() {
+                        if self.faulted_send(ctx, reply_to, msg, &mut held_back).is_err() {
                             return;
                         }
+                    }
+                    if self.flush_held(ctx, &mut held_back).is_err() {
+                        return;
                     }
                     let _ = ctx.send(
                         reply_to,
@@ -610,6 +720,7 @@ impl OfmActor {
                 Err(e) => {
                     // Chunks already shipped stay valid; the error ends
                     // the stream (materialized mode ships nothing).
+                    let _ = self.flush_held(ctx, &mut held_back);
                     let shipped = if stream { seq } else { 0 };
                     let _ = ctx.send(reply_to, end(Err(e), shipped));
                     return;
@@ -620,6 +731,98 @@ impl OfmActor {
 }
 
 impl OfmActor {
+    /// Clone a data chunk for scripted duplicate delivery (control
+    /// messages are never duplicated).
+    fn clone_chunk(msg: &GdhMsg) -> Option<GdhMsg> {
+        match msg {
+            GdhMsg::BatchChunk {
+                query_id,
+                tag,
+                seq,
+                batch,
+            } => Some(GdhMsg::BatchChunk {
+                query_id: *query_id,
+                tag: *tag,
+                seq: *seq,
+                batch: batch.clone(),
+            }),
+            GdhMsg::PartitionChunk {
+                query_id,
+                tag,
+                seq,
+                buckets,
+            } => Some(GdhMsg::PartitionChunk {
+                query_id: *query_id,
+                tag: *tag,
+                seq: *seq,
+                buckets: buckets.clone(),
+            }),
+            GdhMsg::ShuffleChunk {
+                query_id,
+                exchange,
+                side,
+                tag,
+                seq,
+                buckets,
+            } => Some(GdhMsg::ShuffleChunk {
+                query_id: *query_id,
+                exchange: *exchange,
+                side: *side,
+                tag: *tag,
+                seq: *seq,
+                buckets: buckets.clone(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Ship one stream chunk through the fault injector's chunk hook: a
+    /// scripted fault can drop it on the floor, deliver it twice, or
+    /// hold it back so a later chunk overtakes it — a local reorder the
+    /// receiver's reassembly buffer absorbs. Held chunks are released
+    /// by the next delivered chunk and must be flushed with
+    /// [`OfmActor::flush_held`] before the stream's terminal marker.
+    fn faulted_send(
+        &self,
+        ctx: &mut Ctx<'_, GdhMsg>,
+        to: ProcessId,
+        msg: GdhMsg,
+        held: &mut Vec<(ProcessId, GdhMsg)>,
+    ) -> std::result::Result<(), ()> {
+        match self.faults.chunk_fate(ctx.self_pe) {
+            prisma_faultx::ChunkFate::Drop => Ok(()),
+            prisma_faultx::ChunkFate::Delay => {
+                held.push((to, msg));
+                Ok(())
+            }
+            prisma_faultx::ChunkFate::Duplicate => {
+                let copy = Self::clone_chunk(&msg);
+                ctx.send(to, msg).map_err(|_| ())?;
+                if let Some(copy) = copy {
+                    ctx.send(to, copy).map_err(|_| ())?;
+                }
+                self.flush_held(ctx, held)
+            }
+            prisma_faultx::ChunkFate::Deliver => {
+                ctx.send(to, msg).map_err(|_| ())?;
+                self.flush_held(ctx, held)
+            }
+        }
+    }
+
+    /// Deliver any held-back chunks (in hold order, after whatever
+    /// overtook them).
+    fn flush_held(
+        &self,
+        ctx: &mut Ctx<'_, GdhMsg>,
+        held: &mut Vec<(ProcessId, GdhMsg)>,
+    ) -> std::result::Result<(), ()> {
+        for (to, msg) in held.drain(..) {
+            ctx.send(to, msg).map_err(|_| ())?;
+        }
+        Ok(())
+    }
+
     /// Grace-join phase 1, direct form: run this fragment's side subplan
     /// and address every produced batch's buckets straight at the
     /// phase-2 site actors. One sequence-numbered stream per distinct
@@ -635,6 +838,7 @@ impl OfmActor {
         plan: &PhysicalPlan,
         key_cols: &[usize],
         sites: &[ProcessId],
+        restrict_to: Option<ProcessId>,
         side: ShuffleSide,
         tag: u64,
         ctx: &mut Ctx<'_, GdhMsg>,
@@ -644,6 +848,10 @@ impl OfmActor {
             seq: u64,
             rows: u64,
         }
+        // Failover re-issue: only the replacement site's slot ships;
+        // the partitioning itself still runs over all `sites.len()`
+        // buckets so bucket boundaries stay identical to the first run.
+        let active = |site: ProcessId| restrict_to.is_none_or(|r| r == site);
         // Distinct sites in first-bucket order; bucket j routes to
         // slot_of[sites[j]].
         let mut slots: Vec<SiteSlot> = Vec::new();
@@ -659,7 +867,7 @@ impl OfmActor {
             });
         }
         let fail_all = |slots: &[SiteSlot], e: PrismaError, ctx: &mut Ctx<'_, GdhMsg>| {
-            for slot in slots {
+            for slot in slots.iter().filter(|s| active(s.site)) {
                 let _ = ctx.send(
                     slot.site,
                     GdhMsg::ShuffleEnd {
@@ -680,6 +888,7 @@ impl OfmActor {
                 return;
             }
         };
+        let mut held_back = Vec::new(); // fault-delayed chunks
         loop {
             match source.next_batch() {
                 Ok(Some(batch)) => {
@@ -700,7 +909,7 @@ impl OfmActor {
                     }
                     let mut dead: Option<ProcessId> = None;
                     for (idx, payload) in per_slot.into_iter().enumerate() {
-                        if payload.is_empty() {
+                        if payload.is_empty() || !active(slots[idx].site) {
                             continue;
                         }
                         let rows: u64 =
@@ -714,7 +923,7 @@ impl OfmActor {
                             seq: slot.seq,
                             buckets: payload,
                         };
-                        if ctx.send(slot.site, msg).is_err() {
+                        if self.faulted_send(ctx, slot.site, msg, &mut held_back).is_err() {
                             dead = Some(slot.site);
                             break;
                         }
@@ -736,7 +945,8 @@ impl OfmActor {
                     }
                 }
                 Ok(None) => {
-                    for slot in &slots {
+                    let _ = self.flush_held(ctx, &mut held_back);
+                    for slot in slots.iter().filter(|s| active(s.site)) {
                         let _ = ctx.send(
                             slot.site,
                             GdhMsg::ShuffleEnd {
@@ -755,6 +965,7 @@ impl OfmActor {
                     return;
                 }
                 Err(e) => {
+                    let _ = self.flush_held(ctx, &mut held_back);
                     fail_all(&slots, e, ctx);
                     return;
                 }
@@ -1017,6 +1228,13 @@ impl OfmActor {
 
 impl Process<GdhMsg> for OfmActor {
     fn handle(&mut self, msg: GdhMsg, ctx: &mut Ctx<'_, GdhMsg>) {
+        // Scripted PE kill: once the injector declares this PE dead the
+        // actor falls silent mid-protocol — requests are swallowed, no
+        // replies, no stream ends — exactly what a crashed machine
+        // looks like to its peers.
+        if self.faults.on_message(ctx.self_pe) {
+            return;
+        }
         match msg {
             GdhMsg::RunSubplan {
                 query_id,
@@ -1055,11 +1273,13 @@ impl Process<GdhMsg> for OfmActor {
                 plan,
                 key_cols,
                 sites,
+                restrict_to,
                 side,
                 tag,
             } => {
                 self.run_shuffle_source(
-                    query_id, exchange, &plan, &key_cols, &sites, side, tag, ctx,
+                    query_id, exchange, &plan, &key_cols, &sites, restrict_to, side, tag,
+                    ctx,
                 );
             }
             GdhMsg::ShuffleJoin {
@@ -1151,6 +1371,7 @@ impl Process<GdhMsg> for OfmActor {
                     }
                 }
                 let result = result.map(|_| n);
+                self.ship_replica_batch(ctx, false, txn);
                 let _ = ctx.send(reply_to, GdhMsg::DmlDone { tag, result });
             }
             GdhMsg::DeleteWhere {
@@ -1162,6 +1383,7 @@ impl Process<GdhMsg> for OfmActor {
                 let pred = predicate
                     .unwrap_or_else(|| ScalarExpr::lit(true));
                 let result = self.ofm.delete_where(txn, &pred);
+                self.ship_replica_batch(ctx, false, txn);
                 let _ = ctx.send(reply_to, GdhMsg::DmlDone { tag, result });
             }
             GdhMsg::UpdateWhere {
@@ -1174,19 +1396,73 @@ impl Process<GdhMsg> for OfmActor {
                 let pred = predicate
                     .unwrap_or_else(|| ScalarExpr::lit(true));
                 let result = self.ofm.update_where(txn, &pred, &assignments);
+                self.ship_replica_batch(ctx, false, txn);
                 let _ = ctx.send(reply_to, GdhMsg::DmlDone { tag, result });
             }
             GdhMsg::Prepare { txn, reply_to, tag } => {
+                // Scripted crash between receiving the prepare and
+                // voting: the coordinator's vote timeout aborts.
+                if self.faults.on_2pc(ctx.self_pe, prisma_faultx::TwoPcPhase::Prepare) {
+                    return;
+                }
                 let result = self.ofm.prepare(txn);
                 let _ = ctx.send(reply_to, GdhMsg::Vote { tag, result });
             }
             GdhMsg::Commit { txn, reply_to, tag } => {
+                // Scripted crash after the commit decision reached this
+                // participant but before it applied: the decision is
+                // durable at the coordinator, so recovery re-delivers.
+                if self.faults.on_2pc(ctx.self_pe, prisma_faultx::TwoPcPhase::Commit) {
+                    return;
+                }
                 let result = self.ofm.commit(txn);
+                if result.is_ok()
+                    && self.ship_replica_batch(ctx, true, txn)
+                {
+                    // The 2PC ack is gated on the backup acknowledging
+                    // the commit record — once it does, either copy can
+                    // serve the committed data, which is what makes a
+                    // mid-query failover read-consistent.
+                    self.awaiting_replica
+                        .insert(txn.index() as u64, (reply_to, tag, result));
+                    return;
+                }
                 let _ = ctx.send(reply_to, GdhMsg::Ack { tag, result });
             }
             GdhMsg::Abort { txn, reply_to, tag } => {
                 let result = self.ofm.abort(txn).map(|_| 0);
+                self.ship_replica_batch(ctx, false, txn);
                 let _ = ctx.send(reply_to, GdhMsg::Ack { tag, result });
+            }
+            GdhMsg::ReplicaAppend {
+                fragment,
+                records,
+                ack,
+                reply_to,
+                tag,
+            } => {
+                let result = if fragment == self.ofm.fragment_id() {
+                    self.ofm.replica_apply(records)
+                } else {
+                    Err(PrismaError::Execution(format!(
+                        "replica batch for {fragment} reached the OFM of {}",
+                        self.ofm.fragment_id()
+                    )))
+                };
+                if ack {
+                    let _ = ctx.send(reply_to, GdhMsg::ReplicaAck { tag, result });
+                }
+            }
+            GdhMsg::ReplicaAck { tag, result } => {
+                if let Some((reply_to, coord_tag, local)) =
+                    self.awaiting_replica.remove(&tag)
+                {
+                    // The backup's apply error outranks the local
+                    // success: the coordinator must hear that the
+                    // redundancy it is counting on does not exist.
+                    let result = result.and(local);
+                    let _ = ctx.send(reply_to, GdhMsg::Ack { tag: coord_tag, result });
+                }
             }
             GdhMsg::CreateIndex {
                 column,

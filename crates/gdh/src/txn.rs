@@ -139,17 +139,39 @@ impl TransactionManager {
         let mut all_yes = true;
         // One deadline bounds the whole vote collection (each reply
         // narrows the remaining wait; see the same fix in gdh.rs).
-        let deadline = Instant::now() + self.reply_timeout;
-        for _ in 0..participants.len() {
-            match mailbox.recv_timeout(deadline.saturating_duration_since(Instant::now()))? {
-                GdhMsg::Vote { result, .. } => {
+        let started = Instant::now();
+        let deadline = started + self.reply_timeout;
+        let mut pending: HashMap<u64, ProcessId> = participants
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as u64, p))
+            .collect();
+        while !pending.is_empty() {
+            match mailbox.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+                Ok(GdhMsg::Vote { tag, result }) => {
+                    pending.remove(&tag);
                     metrics.messages += 1;
                     match result {
                         Ok(ns) => metrics.disk_ns += ns,
                         Err(_) => all_yes = false,
                     }
                 }
-                _ => all_yes = false,
+                Ok(_) => {} // stray non-vote traffic; keep waiting
+                Err(_) => {
+                    // A silent participant (crashed PE, dropped vote):
+                    // abort everywhere and name exactly who never voted.
+                    self.abort_participants(txn, &participants)?;
+                    self.coordinator_log
+                        .append_durable(&LogPayload::Abort { txn });
+                    self.locks.release_all(txn);
+                    return Err(Self::phase_timeout(
+                        txn,
+                        "prepare",
+                        started,
+                        &pending,
+                        participants.len(),
+                    ));
+                }
             }
         }
         if !all_yes {
@@ -181,19 +203,66 @@ impl TransactionManager {
             )?;
             metrics.messages += 1;
         }
-        let deadline = Instant::now() + self.reply_timeout;
-        for _ in 0..participants.len() {
-            if let GdhMsg::Ack { result, .. } =
-                mailbox.recv_timeout(deadline.saturating_duration_since(Instant::now()))?
-            {
-                metrics.messages += 1;
-                if let Ok(ns) = result {
-                    metrics.disk_ns += ns;
+        let started = Instant::now();
+        let deadline = started + self.reply_timeout;
+        let mut pending: HashMap<u64, ProcessId> = participants
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as u64, p))
+            .collect();
+        while !pending.is_empty() {
+            match mailbox.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+                Ok(GdhMsg::Ack { tag, result }) => {
+                    pending.remove(&tag);
+                    metrics.messages += 1;
+                    if let Ok(ns) = result {
+                        metrics.disk_ns += ns;
+                    }
+                }
+                Ok(_) => {} // stray non-ack traffic; keep waiting
+                Err(_) => {
+                    // The decision is durable: the transaction IS
+                    // committed, the silent participant applies it on
+                    // recovery. Release locks and surface who hung.
+                    self.locks.release_all(txn);
+                    return Err(Self::phase_timeout(
+                        txn,
+                        "commit",
+                        started,
+                        &pending,
+                        participants.len(),
+                    ));
                 }
             }
         }
         self.locks.release_all(txn);
         Ok(metrics)
+    }
+
+    /// Context-rich reply-timeout error for one 2PC phase: names the
+    /// transaction, the phase, the elapsed time, and every still-silent
+    /// participant by actor and tag — mirroring the executor's stream
+    /// timeouts, so an operator can tell *which* PE hung, not just that
+    /// something did.
+    fn phase_timeout(
+        txn: TxnId,
+        phase: &str,
+        started: Instant,
+        pending: &HashMap<u64, ProcessId>,
+        total: usize,
+    ) -> PrismaError {
+        let mut silent: Vec<String> = pending
+            .iter()
+            .map(|(tag, p)| format!("{p} (tag {tag})"))
+            .collect();
+        silent.sort();
+        PrismaError::Execution(format!(
+            "{txn}: 2PC {phase} reply timeout after {:.3}s — {} of {} participant(s) silent: [{}]",
+            started.elapsed().as_secs_f64(),
+            pending.len(),
+            total,
+            silent.join(", ")
+        ))
     }
 
     /// Abort a transaction everywhere and release its locks.

@@ -507,3 +507,158 @@ fn explain_names_cardinalities_and_stats_freshness() {
     assert!(out.contains("stats-source: ghostly: absent"), "{out}");
     gdh.shutdown();
 }
+
+// ---------------- mid-query failover (E10) ----------------
+
+/// A 4-PE machine with a 1-second reply deadline, so a scripted PE kill
+/// surfaces as a fast failover instead of a minute-long stall.
+fn failover_machine() -> GlobalDataHandler {
+    let cfg = MachineConfig {
+        num_pes: 4,
+        topology: TopologyKind::Mesh,
+        ..MachineConfig::default()
+    }
+    .with_reply_timeout_secs(1);
+    GlobalDataHandler::boot(cfg, AllocationPolicy::LoadBalanced, DiskProfile::instant()).unwrap()
+}
+
+/// Every join in these tests is forced onto the hash-partitioned (grace)
+/// path — the protocol with the most mid-flight state to lose.
+fn grace() -> prisma_optimizer::PhysicalConfig {
+    prisma_optimizer::PhysicalConfig {
+        broadcast_max_rows: 0.0,
+        ..prisma_optimizer::PhysicalConfig::default()
+    }
+}
+
+#[test]
+fn pe_killed_mid_grace_join_fails_over_to_backup_replica() {
+    use prisma_faultx::{FaultInjector, FaultSpec};
+    use prisma_types::PeId;
+
+    let sql = "SELECT e.id, d.name FROM emp e, dept d WHERE e.dept = d.id ORDER BY e.id";
+
+    // Oracle: the same machine shape and data, no faults.
+    let mut oracle_gdh = failover_machine();
+    oracle_gdh.set_physical_config(grace());
+    setup_emp(&oracle_gdh);
+    let (oracle, oracle_metrics) = oracle_gdh.query_sql_with_metrics(sql).unwrap();
+    assert_eq!(oracle_metrics.failovers, 0);
+    assert_eq!(oracle_metrics.streams_rerequested, 0);
+    oracle_gdh.shutdown();
+
+    // Victim: an armed (but initially empty) scripted injector, so the
+    // per-PE message clock ticks from boot and the kill can be scripted
+    // relative to "now" after setup.
+    let faults = FaultInjector::scripted(0x2026_0807, vec![]);
+    let mut gdh = failover_machine();
+    gdh.set_fault_injector(faults.clone());
+    gdh.set_physical_config(grace());
+    setup_emp(&gdh);
+
+    // Kill PE 2 three messages into the join: mid-shuffle, after it has
+    // accepted (at most) its phase-2 task and one subplan, its actors —
+    // an emp primary among them — fall silent.
+    faults.script(vec![FaultSpec::KillPeAtMessage {
+        pe: PeId(2),
+        at: faults.messages_seen(PeId(2)) + 3,
+    }]);
+    let (rows, metrics) = gdh.query_sql_with_metrics(sql).unwrap();
+
+    // The reply deadline fired, the dictionary promoted the dead PE's
+    // backup replicas, and the lost streams were re-requested — and the
+    // merged result is bit-identical to the fault-free run.
+    assert_eq!(rows.tuples(), oracle.tuples());
+    assert!(
+        metrics.failovers >= 1,
+        "no backup promotion recorded: {metrics:?}"
+    );
+    assert!(
+        metrics.streams_rerequested >= 1,
+        "no stream re-requested: {metrics:?}"
+    );
+    assert!(
+        faults.events().iter().any(|e| e.contains("kill")),
+        "scripted kill never fired: {:?}",
+        faults.events()
+    );
+    gdh.shutdown();
+}
+
+#[test]
+fn dropped_chunk_is_rerequested_from_the_living_primary() {
+    use prisma_faultx::{FaultInjector, FaultSpec};
+    use prisma_types::PeId;
+
+    let sql = "SELECT id FROM emp WHERE sal >= 150.0 ORDER BY id";
+
+    let oracle_gdh = failover_machine();
+    setup_emp(&oracle_gdh);
+    let (oracle, _) = oracle_gdh.query_sql_with_metrics(sql).unwrap();
+    oracle_gdh.shutdown();
+
+    // Drop the first stream chunk each of two PEs ships. Setup ships no
+    // stream chunks (DML and stats travel as replies), so ordinal 1 is
+    // the query's first batch from that PE.
+    let faults = FaultInjector::scripted(
+        7,
+        vec![
+            FaultSpec::DropChunk { pe: PeId(1), nth: 1 },
+            FaultSpec::DropChunk { pe: PeId(3), nth: 1 },
+        ],
+    );
+    let mut gdh = failover_machine();
+    gdh.set_fault_injector(faults.clone());
+    setup_emp(&gdh);
+    let (rows, metrics) = gdh.query_sql_with_metrics(sql).unwrap();
+
+    // The starved streams were re-asked of their (living) primaries:
+    // no backup promotion, same rows.
+    assert_eq!(rows.tuples(), oracle.tuples());
+    assert_eq!(metrics.failovers, 0, "{metrics:?}");
+    assert!(
+        metrics.streams_rerequested >= 1,
+        "no stream re-requested: {metrics:?}"
+    );
+    gdh.shutdown();
+}
+
+#[test]
+fn crash_during_2pc_prepare_aborts_and_names_the_silent_participant() {
+    use prisma_faultx::{FaultInjector, FaultSpec, TwoPcPhase};
+    use prisma_types::PeId;
+
+    let faults = FaultInjector::scripted(
+        11,
+        vec![FaultSpec::CrashDuring2pc {
+            pe: PeId(1),
+            phase: TwoPcPhase::Prepare,
+        }],
+    );
+    let mut gdh = failover_machine();
+    gdh.set_fault_injector(faults.clone());
+    gdh.execute_sql("CREATE TABLE t (k INT, v INT) FRAGMENTED BY HASH(k) INTO 4")
+        .unwrap();
+
+    let txn = gdh.begin();
+    gdh.execute_sql_in(txn, "INSERT INTO t VALUES (1, 10), (2, 20), (3, 30), (4, 40)")
+        .unwrap();
+    let err = gdh.commit(txn).unwrap_err().to_string();
+    assert!(err.contains("2PC prepare reply timeout"), "{err}");
+    assert!(err.contains("participant(s) silent"), "{err}");
+    assert!(
+        faults.events().iter().any(|e| e.contains("2PC")),
+        "{:?}",
+        faults.events()
+    );
+
+    // The machine survives: the aborted rows are absent and new work on
+    // the surviving PEs proceeds.
+    let rows = gdh
+        .execute_sql("SELECT COUNT(*) AS n FROM t")
+        .unwrap()
+        .rows()
+        .unwrap();
+    assert_eq!(rows.tuples()[0].get(0).as_int(), Some(0));
+    gdh.shutdown();
+}

@@ -9,7 +9,9 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
+use prisma_faultx::FaultInjector;
 use prisma_types::{MachineConfig, PeId, Result};
 
 use crate::stats::NetworkStats;
@@ -75,6 +77,11 @@ pub struct NetworkSim {
     seq: u64,
     next_packet_id: u64,
     stats: NetworkStats,
+    /// Fault injector consulted per injected packet: packets to or from a
+    /// dead PE are dropped at the NIC, and randomized delay faults add
+    /// latency at the source.
+    faults: Option<Arc<FaultInjector>>,
+    dropped_packets: u64,
 }
 
 impl NetworkSim {
@@ -96,7 +103,20 @@ impl NetworkSim {
             seq: 0,
             next_packet_id: 0,
             stats: NetworkStats::new(config.num_pes),
+            faults: None,
+            dropped_packets: 0,
         })
+    }
+
+    /// Attach a fault injector; every subsequently injected packet
+    /// consults it (dead-PE drops, randomized delays).
+    pub fn set_fault_injector(&mut self, faults: Arc<FaultInjector>) {
+        self.faults = Some(faults);
+    }
+
+    /// Packets dropped at injection because an endpoint PE was dead.
+    pub fn dropped_packets(&self) -> u64 {
+        self.dropped_packets
     }
 
     /// The topology the simulator routes over.
@@ -111,9 +131,22 @@ impl NetworkSim {
     }
 
     /// Queue a packet for injection at `src` at simulated time `when`.
+    ///
+    /// With a fault injector attached, packets touching a dead PE are
+    /// dropped at the NIC (counted in [`Self::dropped_packets`], never
+    /// delivered) and randomized delay faults defer the departure by one
+    /// extra service time — a reorder the protocols above must mask.
     pub fn inject(&mut self, src: PeId, dst: PeId, when: SimTime) -> u64 {
         let id = self.next_packet_id;
         self.next_packet_id += 1;
+        let mut when = when;
+        if let Some(faults) = &self.faults {
+            if faults.is_dead(src) || faults.is_dead(dst) {
+                self.dropped_packets += 1;
+                return id;
+            }
+            when += faults.packet_delay_ns(src, self.packet_tx_ns);
+        }
         let packet = Packet {
             id,
             src,
@@ -300,6 +333,40 @@ mod tests {
         }
         s.run_to_completion();
         assert_eq!(s.stats().delivered_total(), 64);
+    }
+
+    #[test]
+    fn dead_pe_drops_packets_at_the_nic() {
+        let cfg = MachineConfig::paper_prototype();
+        let mut s = sim(&cfg);
+        let faults = prisma_faultx::FaultInjector::inert();
+        faults.kill_pe(PeId(7));
+        s.set_fault_injector(faults);
+        s.inject(PeId(0), PeId(7), 0); // into the dead PE
+        s.inject(PeId(7), PeId(0), 0); // out of the dead PE
+        s.inject(PeId(0), PeId(1), 0); // unaffected
+        s.run_to_completion();
+        assert_eq!(s.dropped_packets(), 2);
+        assert_eq!(s.stats().delivered_total(), 1);
+    }
+
+    #[test]
+    fn injected_delays_reorder_but_deliver_everything() {
+        let cfg = MachineConfig::paper_prototype();
+        let mut a = sim(&cfg);
+        let mut b = sim(&cfg);
+        a.set_fault_injector(prisma_faultx::FaultInjector::delay_matrix(11, 0.5));
+        b.set_fault_injector(prisma_faultx::FaultInjector::delay_matrix(11, 0.5));
+        for i in 0..50u32 {
+            a.inject(PeId(i % 64), PeId((i * 13 + 5) % 64), (i as u64) * 777);
+            b.inject(PeId(i % 64), PeId((i * 13 + 5) % 64), (i as u64) * 777);
+        }
+        a.run_to_completion();
+        b.run_to_completion();
+        // Delays lose nothing and stay deterministic for the seed.
+        assert_eq!(a.stats().delivered_total(), 50);
+        assert_eq!(a.dropped_packets(), 0);
+        assert_eq!(a.stats().total_latency_ns(), b.stats().total_latency_ns());
     }
 
     #[test]

@@ -84,6 +84,15 @@ pub struct Ofm {
     undo: HashMap<TxnId, Vec<UndoOp>>,
     /// Transactions that voted yes in 2PC and await the decision.
     prepared: HashMap<TxnId, ()>,
+    /// Primary role: when true, every redo-relevant log record is also
+    /// captured into `replica_out` for the owning actor to ship to the
+    /// backup replica over the GDH stream protocol.
+    replicating: bool,
+    /// Outbox of captured records, drained by [`Ofm::drain_replica_records`].
+    replica_out: Vec<LogPayload>,
+    /// Backup role: records received from the primary, buffered per
+    /// transaction until its commit/abort decision arrives.
+    replica_buffer: HashMap<TxnId, Vec<LogPayload>>,
     /// The owning PE's compute worker pool for morsel-parallel plan
     /// execution; `None` runs the serial baseline. Attached by the GDH
     /// at spawn time ([`Ofm::attach_pool`]) — the pool lives beside the
@@ -100,6 +109,9 @@ impl Ofm {
             kind,
             undo: HashMap::new(),
             prepared: HashMap::new(),
+            replicating: false,
+            replica_out: Vec::new(),
+            replica_buffer: HashMap::new(),
             pool: None,
         }
     }
@@ -153,11 +165,69 @@ impl Ofm {
         &self.fragment
     }
 
+    // ---- replication (primary ships its redo log to a backup OFM) ----
+
+    /// Mark this OFM as a replicated primary: from now on every
+    /// redo-relevant log record is also queued for shipping to the backup.
+    pub fn enable_replication(&mut self) {
+        self.replicating = true;
+    }
+
+    /// Whether this OFM ships its log to a backup replica.
+    pub fn is_replicating(&self) -> bool {
+        self.replicating
+    }
+
+    /// Drain the queued replica records (primary side). The owning actor
+    /// ships these as one `ReplicaAppend` batch; FIFO delivery of the
+    /// underlying message layer preserves log order on the backup.
+    pub fn drain_replica_records(&mut self) -> Vec<LogPayload> {
+        std::mem::take(&mut self.replica_out)
+    }
+
+    /// Apply a batch of shipped log records (backup side). Mutations are
+    /// buffered per transaction and only touch the fragment once that
+    /// transaction's `Commit` record arrives — mirroring the redo rule of
+    /// [`Ofm::recover`] — so an aborted primary transaction never surfaces
+    /// on the backup. Returns the number of transactions made durable.
+    pub fn replica_apply(&mut self, records: Vec<LogPayload>) -> Result<usize> {
+        let mut committed = 0;
+        for rec in records {
+            match rec {
+                LogPayload::Insert { txn, .. } | LogPayload::Delete { txn, .. } => {
+                    self.replica_buffer.entry(txn).or_default().push(rec);
+                }
+                LogPayload::Commit { txn } => {
+                    for op in self.replica_buffer.remove(&txn).unwrap_or_default() {
+                        match op {
+                            LogPayload::Insert { tuple, .. } => {
+                                self.fragment.insert(tuple)?;
+                            }
+                            LogPayload::Delete { tuple, .. } => {
+                                self.fragment.delete_by_value(&tuple);
+                            }
+                            _ => unreachable!("only mutations are buffered"),
+                        }
+                    }
+                    committed += 1;
+                }
+                LogPayload::Abort { txn } => {
+                    self.replica_buffer.remove(&txn);
+                }
+                _ => {}
+            }
+        }
+        Ok(committed)
+    }
+
     // ---- transactional mutations ----
 
-    fn log(&self, payload: &LogPayload) {
+    fn log(&mut self, payload: &LogPayload) {
         if let OfmKind::Persistent { wal, .. } = &self.kind {
             wal.append(payload);
+        }
+        if self.replicating {
+            self.replica_out.push(payload.clone());
         }
     }
 
@@ -280,6 +350,9 @@ impl Ofm {
         } else {
             0
         };
+        if self.replicating {
+            self.replica_out.push(LogPayload::Commit { txn });
+        }
         self.prepared.remove(&txn);
         self.undo.remove(&txn);
         Ok(ns)
@@ -761,6 +834,43 @@ mod tests {
         let mut ofm = transient();
         assert!(ofm.checkpoint().is_err());
         assert_eq!(ofm.prepare(TxnId(1)).unwrap(), 0);
+    }
+
+    #[test]
+    fn replica_apply_mirrors_committed_work_and_discards_aborts() {
+        let mut primary = transient();
+        primary.enable_replication();
+        let mut backup = transient();
+
+        let t1 = TxnId(1);
+        primary.insert(t1, tuple![1, 100]).unwrap();
+        primary.insert(t1, tuple![2, 200]).unwrap();
+        primary.commit(t1).unwrap();
+        let shipped = primary.drain_replica_records();
+        assert_eq!(shipped.len(), 3, "two inserts + the commit record");
+        assert_eq!(backup.replica_apply(shipped).unwrap(), 1);
+        assert_eq!(backup.stats().tuples, 2);
+
+        // Buffered mutations of an aborted transaction never surface.
+        let t2 = TxnId(2);
+        primary.insert(t2, tuple![3, 300]).unwrap();
+        primary.abort(t2).unwrap();
+        backup
+            .replica_apply(primary.drain_replica_records())
+            .unwrap();
+        assert_eq!(backup.stats().tuples, 2);
+
+        // Deletes replicate by value.
+        let t3 = TxnId(3);
+        primary
+            .delete_where(t3, &ScalarExpr::eq(ScalarExpr::col(0), ScalarExpr::lit(1)))
+            .unwrap();
+        primary.commit(t3).unwrap();
+        backup
+            .replica_apply(primary.drain_replica_records())
+            .unwrap();
+        assert_eq!(backup.stats().tuples, 1);
+        assert_eq!(backup.snapshot().tuples(), &[tuple![2, 200]]);
     }
 
     #[test]

@@ -265,6 +265,34 @@ impl<M: WireMessage> PoolRuntime<M> {
         self.inner.dropped.load(Ordering::Relaxed)
     }
 
+    /// Kill one process from outside the process world (fault injection,
+    /// supervision). Subsequent messages to it count as dropped.
+    pub fn kill(&self, id: ProcessId) {
+        let pe = self.inner.placement.lock().remove(&id);
+        if let Some(pe) = pe {
+            let _ = self.inner.pe_senders[pe.index()].send(Envelope::Kill { id });
+        }
+    }
+
+    /// Kill every process hosted on `pe` — the hard-crash primitive the
+    /// fault injector uses to take a whole PE down mid-query. Returns the
+    /// ids of the processes that died.
+    pub fn kill_pe(&self, pe: PeId) -> Vec<ProcessId> {
+        let mut placement = self.inner.placement.lock();
+        let victims: Vec<ProcessId> = placement
+            .iter()
+            .filter_map(|(&id, &p)| (p == pe).then_some(id))
+            .collect();
+        for &id in &victims {
+            placement.remove(&id);
+        }
+        drop(placement);
+        for &id in &victims {
+            let _ = self.inner.pe_senders[pe.index()].send(Envelope::Kill { id });
+        }
+        victims
+    }
+
     /// Stop all workers after their mailboxes drain.
     pub fn shutdown(&self) {
         for tx in &self.inner.pe_senders {
@@ -430,6 +458,37 @@ mod tests {
             }
         }
         assert_eq!(got, 8);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn kill_pe_takes_down_every_hosted_process() {
+        let rt = runtime(4);
+        let mb = rt.external_mailbox();
+        let a = rt.spawn(PeId(2), Box::new(Echo)).unwrap();
+        let b = rt.spawn(PeId(2), Box::new(Echo)).unwrap();
+        let survivor = rt.spawn(PeId(1), Box::new(Echo)).unwrap();
+
+        let mut victims = rt.kill_pe(PeId(2));
+        victims.sort();
+        let mut expect = vec![a, b];
+        expect.sort();
+        assert_eq!(victims, expect);
+        assert_eq!(rt.placement_of(a), None);
+        assert_eq!(rt.placement_of(b), None);
+        assert_eq!(rt.placement_of(survivor), Some(PeId(1)));
+
+        // Messages to the dead PE's processes bounce; the survivor still
+        // answers.
+        assert!(rt.send(a, Msg::Ping { reply_to: mb.id, n: 1 }).is_err());
+        rt.send(survivor, Msg::Ping { reply_to: mb.id, n: 21 })
+            .unwrap();
+        match mb.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Msg::Pong(v) => assert_eq!(v, 42),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Killing an empty PE is a no-op.
+        assert!(rt.kill_pe(PeId(3)).is_empty());
         rt.shutdown();
     }
 

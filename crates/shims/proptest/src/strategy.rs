@@ -221,7 +221,7 @@ macro_rules! int_range_strategy {
     )*};
 }
 
-int_range_strategy!(u8, u16, u32, i8, i16, i32, i64, usize);
+int_range_strategy!(u8, u16, u32, u64, i8, i16, i32, i64, usize);
 
 /// Simple pattern strategies for `&str`: supports `[lo-hi]{min,max}`
 /// character-class repetitions (e.g. `"[a-z]{0,12}"`), which is the only

@@ -303,6 +303,38 @@ mod tests {
     }
 
     #[test]
+    fn tear_at_exact_frame_boundary_keeps_the_record() {
+        let w = wal();
+        w.append(&LogPayload::Begin { txn: TxnId(7) });
+        w.sync();
+        let before = w.device().durable_bytes().len();
+        w.append(&LogPayload::Commit { txn: TxnId(7) });
+        let frame = w.device().all_bytes().len() - before;
+        // The crash lands exactly on the frame boundary: every byte of
+        // the record made it, so recovery must keep it — the boundary
+        // itself is not "torn" territory.
+        w.device().crash(Some(frame));
+        let recs = w.read_durable();
+        assert_eq!(recs.len(), 2, "a fully-flushed frame survives");
+        assert_eq!(recs[1].payload, LogPayload::Commit { txn: TxnId(7) });
+    }
+
+    #[test]
+    fn tear_one_byte_into_a_frame_discards_it() {
+        let w = wal();
+        w.append(&LogPayload::Begin { txn: TxnId(7) });
+        w.sync();
+        w.append(&LogPayload::Commit { txn: TxnId(7) });
+        // One byte of the length header survives: not even the frame
+        // length is trustworthy, and recovery must stop cleanly at the
+        // previous record instead of chasing garbage.
+        w.device().crash(Some(1));
+        let recs = w.read_durable();
+        assert_eq!(recs.len(), 1, "a 1-byte frame prefix must be discarded");
+        assert_eq!(recs[0].payload, LogPayload::Begin { txn: TxnId(7) });
+    }
+
+    #[test]
     fn lsns_are_monotone_byte_offsets() {
         let w = wal();
         let a = w.append(&LogPayload::Begin { txn: TxnId(1) });

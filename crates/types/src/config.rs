@@ -53,7 +53,12 @@ pub struct MachineConfig {
     /// Expressed as a stride: PE `i` has a disk iff `i % disk_stride == 0`.
     pub disk_stride: usize,
     /// How long coordinators wait for a fragment/participant reply before
-    /// presuming it dead, in seconds (a simulation safety net).
+    /// presuming it dead, in seconds (the failover trigger: a fired
+    /// deadline is what flips a query to a fragment's backup replica).
+    /// The `REPLY_TIMEOUT_SECS` environment variable overrides this at
+    /// runtime ([`Self::effective_reply_timeout_secs`]). Absent from
+    /// older serialized configs, hence the serde default.
+    #[serde(default)]
     pub reply_timeout_secs: u64,
     /// Compute workers per PE for morsel-driven intra-fragment
     /// parallelism. `0` (the default) resolves at boot: the `OFM_WORKERS`
@@ -149,9 +154,36 @@ impl MachineConfig {
             .unwrap_or(1)
     }
 
-    /// The coordinator reply timeout as a [`Duration`].
+    /// Resolve the coordinator reply timeout to a concrete value, in
+    /// seconds.
+    ///
+    /// Precedence: the `REPLY_TIMEOUT_SECS` environment variable when it
+    /// parses to a positive integer (CI's fault-injection matrix shortens
+    /// deadlines this way without touching serialized configs); otherwise
+    /// the configured [`reply_timeout_secs`](Self::reply_timeout_secs).
+    /// Never returns 0.
+    pub fn effective_reply_timeout_secs(&self) -> u64 {
+        Self::reply_timeout_override(
+            std::env::var("REPLY_TIMEOUT_SECS").ok().as_deref(),
+            self.reply_timeout_secs,
+        )
+    }
+
+    /// Pure resolution rule behind
+    /// [`effective_reply_timeout_secs`](Self::effective_reply_timeout_secs),
+    /// split out so the precedence is testable without mutating the
+    /// process environment.
+    pub fn reply_timeout_override(env: Option<&str>, configured: u64) -> u64 {
+        match env.and_then(|v| v.trim().parse::<u64>().ok()) {
+            Some(n) if n > 0 => n,
+            _ => configured.max(1),
+        }
+    }
+
+    /// The coordinator reply timeout as a [`Duration`], environment
+    /// override applied.
     pub fn reply_timeout(&self) -> Duration {
-        Duration::from_secs(self.reply_timeout_secs)
+        Duration::from_secs(self.effective_reply_timeout_secs())
     }
 
     /// Seconds to push one packet through one link.
@@ -242,6 +274,19 @@ mod tests {
             ..MachineConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn reply_timeout_env_override_precedence() {
+        // Env wins when it parses to a positive integer.
+        assert_eq!(MachineConfig::reply_timeout_override(Some("5"), 60), 5);
+        assert_eq!(MachineConfig::reply_timeout_override(Some(" 7 "), 60), 7);
+        // Unset, garbage or zero falls back to the configured value.
+        assert_eq!(MachineConfig::reply_timeout_override(None, 60), 60);
+        assert_eq!(MachineConfig::reply_timeout_override(Some("abc"), 60), 60);
+        assert_eq!(MachineConfig::reply_timeout_override(Some("0"), 60), 60);
+        // The resolved value never reaches 0 even for a zero config.
+        assert_eq!(MachineConfig::reply_timeout_override(None, 0), 1);
     }
 
     #[test]
