@@ -1,0 +1,268 @@
+//! E11 — columnar wire format vs the legacy row wire.
+//!
+//! PR 8 makes the wire between PEs columnar: OFMs encode each shipped
+//! batch as a typed column block (`prisma_types::wire`) — dictionary/RLE
+//! strings, delta/bitpacked integers, bool bitmaps — instead of pivoting
+//! to rows and shipping fat tagged values. This experiment measures what
+//! that buys on the scan-ship path (every fragment streams its rows to
+//! the coordinator): total remote payload bytes on the interconnect
+//! (`TrafficLedger::remote_bytes`), bytes received at the coordinator PE,
+//! and end-to-end latency — on a `Str`-heavy table (where dictionary +
+//! RLE encodings bite hardest) and an `Int`-heavy table (delta/bitpack).
+//! The baseline is the same scans with `set_columnar_wire(false)`: the
+//! pre-PR 8 row wire. Records the trajectory in `BENCH_e11.json` at the
+//! repo root.
+//!
+//! Two latency numbers are reported, because the harness runs every PE
+//! in one process: the row wire ships `Vec<Tuple>` by reference-count
+//! bump and never serializes a byte, so its codec cost is zero by
+//! construction while the columnar wire pays real encode/decode CPU.
+//! `latency_us` is that measured wall clock. `e2e_latency_us` adds the
+//! interconnect transfer time the machine's analytic cost model
+//! (`CostModel::transfer_ns`, fed by `TrafficLedger`) charges for the
+//! bytes actually shipped at the configured link rate (10 Mbit/s
+//! default) — the end-to-end figure a physical PRISMA interconnect
+//! would see, where shipping 4–9× fewer bits dominates the codec CPU.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `E11_ROWS`   — rows per table (default 30000)
+//! * `E11_FRAGS`  — fragments per table (default 4)
+//! * `E11_ITERS`  — timed samples per measurement (default 7)
+//! * `E11_ENFORCE=1` — exit non-zero unless the columnar wire ships at
+//!   least 1.5× fewer bits than the row wire on the `Str`-heavy scan,
+//!   strictly fewer on the `Int`-heavy scan, and is no worse on modeled
+//!   end-to-end latency for both
+
+use prisma_core::poolx::COORDINATOR_PE;
+use prisma_core::types::{tuple, Value};
+use prisma_core::PrismaMachine;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Clone, Copy, Default)]
+struct Measured {
+    /// Total remote payload bytes that crossed the interconnect.
+    remote_bytes: u64,
+    /// Remote bytes received at the coordinator PE (the reply ships).
+    coord_recv_bytes: u64,
+    /// Measured in-process scan latency, µs (codec CPU, zero wire time).
+    latency_us: u64,
+    /// Modeled interconnect transfer time for the shipped bytes, µs.
+    transfer_us: u64,
+}
+
+impl Measured {
+    /// End-to-end latency: measured CPU plus modeled wire time.
+    fn e2e_us(&self) -> u64 {
+        self.latency_us + self.transfer_us
+    }
+}
+
+fn measure(db: &PrismaMachine, sql: &str, expect_rows: usize, iters: usize) -> Measured {
+    let run = || {
+        db.gdh().ledger().reset();
+        let (rows, m) = db.query_with_metrics(sql).unwrap();
+        assert_eq!(rows.len(), expect_rows, "scan lost rows");
+        let (_, recv) = db.gdh().ledger().pe_bytes(COORDINATOR_PE);
+        Measured {
+            remote_bytes: db.gdh().ledger().remote_bytes(),
+            coord_recv_bytes: recv,
+            latency_us: m.full_result_micros,
+            transfer_us: (db.gdh().ledger().est_transfer_ns() / 1_000.0) as u64,
+        }
+    };
+    let _warmup = run();
+    let mut samples: Vec<Measured> = (0..iters.max(1)).map(|_| run()).collect();
+    samples.sort_unstable_by_key(|s| s.latency_us);
+    let median = samples[samples.len() / 2];
+    // Byte counters are deterministic per plan; latency is the median.
+    Measured {
+        latency_us: median.latency_us,
+        ..samples[0]
+    }
+}
+
+/// Measure one scan over both wires; returns `(columnar, row)`.
+fn both_wires(
+    db: &mut PrismaMachine,
+    sql: &str,
+    expect_rows: usize,
+    iters: usize,
+) -> (Measured, Measured) {
+    db.gdh_mut().set_columnar_wire(true);
+    let columnar = measure(db, sql, expect_rows, iters);
+    db.gdh_mut().set_columnar_wire(false);
+    let row = measure(db, sql, expect_rows, iters);
+    db.gdh_mut().set_columnar_wire(true);
+    (columnar, row)
+}
+
+fn reduction(row: &Measured, columnar: &Measured) -> f64 {
+    row.remote_bytes as f64 / columnar.remote_bytes.max(1) as f64
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    path: &std::path::Path,
+    rows: usize,
+    frags: usize,
+    iters: usize,
+    str_col: &Measured,
+    str_row: &Measured,
+    int_col: &Measured,
+    int_row: &Measured,
+) {
+    let json = format!(
+        "{{\n  \"experiment\": \"e11_wire\",\n  \"rows\": {rows},\n  \"fragments\": {frags},\n  \"iters\": {iters},\n  \"benches\": {{\n    \"str_scan_remote_bytes\": {{\"columnar\": {}, \"row\": {}, \"reduction\": {:.2}}},\n    \"int_scan_remote_bytes\": {{\"columnar\": {}, \"row\": {}, \"reduction\": {:.2}}},\n    \"str_scan_coord_recv_bytes\": {{\"columnar\": {}, \"row\": {}}},\n    \"int_scan_coord_recv_bytes\": {{\"columnar\": {}, \"row\": {}}},\n    \"str_scan_latency_us\": {{\"columnar\": {}, \"row\": {}}},\n    \"int_scan_latency_us\": {{\"columnar\": {}, \"row\": {}}},\n    \"str_scan_e2e_latency_us\": {{\"columnar\": {}, \"row\": {}}},\n    \"int_scan_e2e_latency_us\": {{\"columnar\": {}, \"row\": {}}}\n  }},\n  \"notes\": \"latency_us is in-process wall clock (the row wire ships tuple vectors by refcount bump and never serializes, so codec CPU only shows on the columnar side); e2e_latency_us adds the analytic cost model's interconnect transfer time for the bytes shipped at the configured link rate\"\n}}\n",
+        str_col.remote_bytes,
+        str_row.remote_bytes,
+        reduction(str_row, str_col),
+        int_col.remote_bytes,
+        int_row.remote_bytes,
+        reduction(int_row, int_col),
+        str_col.coord_recv_bytes,
+        str_row.coord_recv_bytes,
+        int_col.coord_recv_bytes,
+        int_row.coord_recv_bytes,
+        str_col.latency_us,
+        str_row.latency_us,
+        int_col.latency_us,
+        int_row.latency_us,
+        str_col.e2e_us(),
+        str_row.e2e_us(),
+        int_col.e2e_us(),
+        int_row.e2e_us(),
+    );
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("[E11-wire] could not write {}: {e}", path.display());
+    } else {
+        eprintln!("[E11-wire] wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let rows = env_usize("E11_ROWS", 30_000);
+    let frags = env_usize("E11_FRAGS", 4);
+    let iters = env_usize("E11_ITERS", 7);
+    let enforce = std::env::var("E11_ENFORCE").is_ok_and(|v| v == "1");
+
+    let mut db = PrismaMachine::builder().pes(8).build().unwrap();
+
+    // Str-heavy: one low-cardinality column (dictionary + RLE territory)
+    // and one medium-cardinality column (dictionary), plus the key.
+    db.sql(&format!(
+        "CREATE TABLE ship_str (id INT, dept STRING, owner STRING) FRAGMENTED BY HASH(id) INTO {frags}"
+    ))
+    .unwrap();
+    // Int-heavy: a dense sequential key (delta = 1 bitpacks to nothing)
+    // and two small-domain columns.
+    db.sql(&format!(
+        "CREATE TABLE ship_int (a INT, b INT, c INT) FRAGMENTED BY HASH(a) INTO {frags}"
+    ))
+    .unwrap();
+    const DEPTS: [&str; 8] = [
+        "engineering",
+        "sales",
+        "operations",
+        "research",
+        "finance",
+        "logistics",
+        "support",
+        "marketing",
+    ];
+    let txn = db.begin();
+    for chunk in (0..rows as i64)
+        .map(|i| {
+            tuple![
+                i,
+                Value::Str(DEPTS[i as usize % DEPTS.len()].to_owned()),
+                Value::Str(format!("owner-{:04}", i % 500))
+            ]
+        })
+        .collect::<Vec<_>>()
+        .chunks(5000)
+    {
+        db.gdh().insert(txn, "ship_str", chunk.to_vec()).unwrap();
+    }
+    for chunk in (0..rows as i64)
+        .map(|i| tuple![i, i % 97, (i * 7) % 50])
+        .collect::<Vec<_>>()
+        .chunks(5000)
+    {
+        db.gdh().insert(txn, "ship_int", chunk.to_vec()).unwrap();
+    }
+    db.commit(txn).unwrap();
+    db.refresh_stats("ship_str").unwrap();
+    db.refresh_stats("ship_int").unwrap();
+
+    let (str_col, str_row) = both_wires(
+        &mut db,
+        "SELECT id, dept, owner FROM ship_str",
+        rows,
+        iters,
+    );
+    let (int_col, int_row) = both_wires(&mut db, "SELECT a, b, c FROM ship_int", rows, iters);
+
+    eprintln!(
+        "[E11-wire:str] columnar {} B remote ({} B at coordinator, {} µs cpu, {} µs e2e) vs row {} B ({} B, {} µs cpu, {} µs e2e) — {:.2}x fewer bits",
+        str_col.remote_bytes,
+        str_col.coord_recv_bytes,
+        str_col.latency_us,
+        str_col.e2e_us(),
+        str_row.remote_bytes,
+        str_row.coord_recv_bytes,
+        str_row.latency_us,
+        str_row.e2e_us(),
+        reduction(&str_row, &str_col),
+    );
+    eprintln!(
+        "[E11-wire:int] columnar {} B remote ({} B at coordinator, {} µs cpu, {} µs e2e) vs row {} B ({} B, {} µs cpu, {} µs e2e) — {:.2}x fewer bits",
+        int_col.remote_bytes,
+        int_col.coord_recv_bytes,
+        int_col.latency_us,
+        int_col.e2e_us(),
+        int_row.remote_bytes,
+        int_row.coord_recv_bytes,
+        int_row.latency_us,
+        int_row.e2e_us(),
+        reduction(&int_row, &int_col),
+    );
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_e11.json");
+    write_json(
+        &root, rows, frags, iters, &str_col, &str_row, &int_col, &int_row,
+    );
+
+    if enforce {
+        let str_gain = reduction(&str_row, &str_col);
+        assert!(
+            str_gain >= 1.5,
+            "columnar wire shipped only {str_gain:.2}x fewer bits on the Str-heavy scan (need >= 1.5x)"
+        );
+        assert!(
+            int_col.remote_bytes < int_row.remote_bytes,
+            "columnar wire did not reduce Int-heavy scan traffic: {} vs {} bytes",
+            int_col.remote_bytes,
+            int_row.remote_bytes
+        );
+        assert!(
+            str_col.e2e_us() <= str_row.e2e_us(),
+            "columnar wire lost end-to-end on the Str-heavy scan: {} vs {} µs",
+            str_col.e2e_us(),
+            str_row.e2e_us()
+        );
+        assert!(
+            int_col.e2e_us() <= int_row.e2e_us(),
+            "columnar wire lost end-to-end on the Int-heavy scan: {} vs {} µs",
+            int_col.e2e_us(),
+            int_row.e2e_us()
+        );
+    }
+    db.shutdown();
+}

@@ -55,6 +55,11 @@ pub enum FaultSpec {
     /// The `nth` chunk PE ships is held back and sent after its successor
     /// (a reorder, which the stream protocol must mask).
     DelayChunk { pe: PeId, nth: u64 },
+    /// The `nth` chunk PE ships has its encoded payload mangled in flight
+    /// (bit damage on the interconnect). Only meaningful for columnar-wire
+    /// chunks, whose frames carry a checksum; the receiver must reject the
+    /// frame with a protocol error, never mis-decode it.
+    CorruptChunk { pe: PeId, nth: u64 },
     /// PE crashes while handling the given 2PC phase message.
     CrashDuring2pc { pe: PeId, phase: TwoPcPhase },
 }
@@ -70,6 +75,8 @@ pub enum ChunkFate {
     Duplicate,
     /// Hold it back; ship after the next chunk (reorder).
     Delay,
+    /// Mangle the encoded payload before sending (wire bit damage).
+    Corrupt,
 }
 
 #[derive(Default)]
@@ -182,6 +189,20 @@ impl FaultInjector {
             .unwrap_or(0)
     }
 
+    /// Stream chunks shipped from `pe` so far (its next chunk is ordinal
+    /// `chunks_seen + 1`) — the chunk-clock twin of
+    /// [`messages_seen`](Self::messages_seen), for scripting chunk fates
+    /// relative to traffic a test has already generated.
+    pub fn chunks_seen(&self, pe: PeId) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .chunks
+            .get(&pe.index())
+            .copied()
+            .unwrap_or(0)
+    }
+
     /// Append scripted faults at runtime, arming the injector if it was
     /// inert. Ordinals stay absolute — combine with
     /// [`messages_seen`](Self::messages_seen) to fire relative to the
@@ -260,6 +281,9 @@ impl FaultInjector {
                 }
                 FaultSpec::DelayChunk { pe: p, nth } if p == pe && nth == n => {
                     Some(ChunkFate::Delay)
+                }
+                FaultSpec::CorruptChunk { pe: p, nth } if p == pe && nth == n => {
+                    Some(ChunkFate::Corrupt)
                 }
                 _ => None,
             };
@@ -378,15 +402,17 @@ mod tests {
                 FaultSpec::DropChunk { pe: PeId(0), nth: 2 },
                 FaultSpec::DuplicateChunk { pe: PeId(0), nth: 3 },
                 FaultSpec::DelayChunk { pe: PeId(1), nth: 1 },
+                FaultSpec::CorruptChunk { pe: PeId(0), nth: 4 },
             ],
         );
         assert_eq!(inj.chunk_fate(PeId(0)), ChunkFate::Deliver);
         assert_eq!(inj.chunk_fate(PeId(0)), ChunkFate::Drop);
         assert_eq!(inj.chunk_fate(PeId(0)), ChunkFate::Duplicate);
+        assert_eq!(inj.chunk_fate(PeId(0)), ChunkFate::Corrupt);
         assert_eq!(inj.chunk_fate(PeId(0)), ChunkFate::Deliver);
         assert_eq!(inj.chunk_fate(PeId(1)), ChunkFate::Delay);
         assert_eq!(inj.chunk_fate(PeId(1)), ChunkFate::Deliver);
-        assert_eq!(inj.events().len(), 3);
+        assert_eq!(inj.events().len(), 4);
     }
 
     #[test]

@@ -54,11 +54,19 @@
 //! stream cannot stall N×timeout before erroring.
 //!
 //! Inside a fragment, Filter/Project run vectorized over columnar
-//! batches ([`prisma_relalg::exec`]'s row/column duality); the wire
-//! format between PEs stays row-oriented — OFMs pivot columnar batches
-//! back to rows before shipping, so `BatchChunk` messages, the ledger's
-//! per-batch `wire_bits` metering, and everything coordinator-side see
-//! only rows.
+//! batches ([`prisma_relalg::exec`]'s row/column duality) — and by
+//! default the wire between PEs is columnar too: OFMs encode each
+//! shipped batch as a typed column block ([`prisma_types::wire`]), so
+//! `BatchChunk`/`ShuffleChunk` payloads, the ledger's `wire_bits`
+//! metering, and the shuffle-placement weights all see the encoded
+//! block size. The receiver decodes straight back into columnar
+//! batches; a frame mangled in flight fails checksum/structure
+//! validation and surfaces as a stream error, never a mis-decode.
+//! [`ParallelExecutor::set_columnar_wire`]`(false)` (or
+//! `PRISMA_ROW_WIRE=1`) selects the historical row wire — the E11
+//! baseline. The coordinator-relay `PartitionChunk` path and replica
+//! log shipping stay row-oriented regardless: they are the `stream:
+//! false` baseline and the recovery path, kept bit-compatible.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -78,7 +86,7 @@ use prisma_relalg::{
 use prisma_types::{FragmentId, PrismaError, QueryId, Result, Schema, Tuple, Value};
 
 use crate::dictionary::DataDictionary;
-use crate::message::{GdhMsg, ShuffleSide};
+use crate::message::{ChunkData, GdhMsg, ShuffleSide};
 
 /// One fan-out's reply streams: each stream's correlation tag paired with
 /// the fragment owing it (named in timeout/error messages).
@@ -224,6 +232,12 @@ pub struct ParallelExecutor {
     /// materialized baseline: OFMs drain their subplan before the first
     /// ship (same messages, no overlap) — kept for the E6 experiment.
     streaming: bool,
+    /// Ship batches as typed column blocks (default). Off = the row
+    /// wire: chunks carry `Vec<Tuple>`-backed batches and `wire_bits`
+    /// meters per-tuple row encoding — kept as the E11 baseline.
+    /// Defaults from [`prisma_types::wire::columnar_wire_default`]
+    /// (`PRISMA_ROW_WIRE=1` flips it machine-wide).
+    columnar_wire: bool,
     next_query: AtomicU32,
     /// The machine's per-PE worker pools, when morsel parallelism is on.
     /// Coordinator-side handle used only to snapshot counters around a
@@ -249,6 +263,7 @@ impl ParallelExecutor {
             physical_config: PhysicalConfig::default(),
             reply_timeout,
             streaming: true,
+            columnar_wire: prisma_types::wire::columnar_wire_default(),
             next_query: AtomicU32::new(0),
             pools: None,
             faults: prisma_faultx::global().clone(),
@@ -290,6 +305,18 @@ impl ParallelExecutor {
     /// Whether fragment replies stream per batch.
     pub fn streaming(&self) -> bool {
         self.streaming
+    }
+
+    /// Toggle the columnar wire format. `false` selects the row wire
+    /// (chunks carry row batches, metered per tuple) — the E11 baseline
+    /// and the escape hatch for a mixed-version machine.
+    pub fn set_columnar_wire(&mut self, columnar: bool) {
+        self.columnar_wire = columnar;
+    }
+
+    /// Whether chunks ship as typed column blocks.
+    pub fn columnar_wire(&self) -> bool {
+        self.columnar_wire
     }
 
     fn fresh_query(&self) -> QueryCtx {
@@ -620,6 +647,7 @@ impl ParallelExecutor {
                     reply_to: mailbox.id,
                     tag: sidx as u64,
                     stream: true,
+                    columnar: self.columnar_wire,
                 },
             )?;
             q.metrics.fragment_tasks += 1;
@@ -643,6 +671,7 @@ impl ParallelExecutor {
                         side,
                         tag: base + i as u64,
                         restrict_to: None,
+                        columnar: self.columnar_wire,
                     },
                 )?;
                 q.metrics.repartition_tasks += 1;
@@ -691,6 +720,7 @@ impl ParallelExecutor {
                     reply_to,
                     tag: new_tag,
                     stream: true,
+                    columnar: self.columnar_wire,
                 },
             )?;
             let new_site_actors: Vec<prisma_types::ProcessId> = resolved
@@ -728,6 +758,7 @@ impl ParallelExecutor {
                             side,
                             tag: base + i as u64,
                             restrict_to: Some(handle.actor),
+                            columnar: self.columnar_wire,
                         },
                     )?;
                 }
@@ -813,6 +844,7 @@ impl ParallelExecutor {
                     reply_to: mailbox.id,
                     tag: j as u64,
                     stream: self.streaming,
+                    columnar: self.columnar_wire,
                 },
             )?;
             q.metrics.fragment_tasks += 1;
@@ -926,16 +958,20 @@ impl ParallelExecutor {
                     query_id,
                     tag,
                     seq,
-                    batch,
+                    data,
                 } => Ok(StreamMsg::Chunk {
                     query_id,
                     tag,
                     seq,
-                    payload: batch,
+                    payload: data,
                 }),
                 other => Err(Box::new(other)),
             },
-            &mut |metrics, batch: Batch| {
+            &mut |metrics, data: ChunkData| {
+                // Decode at the merge: a column block that fails its
+                // checksum or structure validation fails the query as a
+                // protocol error instead of feeding the sink garbage.
+                let batch = data.into_batch()?;
                 let rows = batch.len() as u64;
                 metrics.batches_shipped += 1;
                 metrics.tuples_shipped += rows;
@@ -1000,6 +1036,13 @@ impl ParallelExecutor {
         let mut released: Vec<T> = Vec::new();
         let mut rows_released: HashMap<u64, u64> = HashMap::new();
         let mut rows_advertised: HashMap<u64, u64> = HashMap::new();
+        // Per-stream traffic stats, folded into the query metrics only
+        // once the whole fan-out completes. Folding at `StreamEnd` used
+        // to double-count: a stream whose end arrived but was then
+        // retired (lost chunk → failover re-request) had its bits
+        // counted once for the dead attempt and again when the
+        // replacement stream ended.
+        let mut stream_stats: HashMap<u64, crate::message::StreamStats> = HashMap::new();
         while !reassembly.all_complete() {
             let remaining = deadline.saturating_duration_since(Instant::now());
             let msg = match mailbox.recv_timeout(remaining) {
@@ -1041,6 +1084,7 @@ impl ParallelExecutor {
                         staged.remove(&tag);
                         rows_released.remove(&tag);
                         rows_advertised.remove(&tag);
+                        stream_stats.remove(&tag);
                         streams[pos].0 = new_tag;
                         (f.reissue)(&handle, tag, new_tag)?;
                         q.metrics.streams_rerequested += 1;
@@ -1108,10 +1152,7 @@ impl ParallelExecutor {
                     match result {
                         Ok(stats) => {
                             rows_advertised.insert(tag, stats.rows);
-                            q.metrics.shuffled_direct_bits += stats.shuffled_bits;
-                            q.metrics.max_site_shuffled_bits =
-                                q.metrics.max_site_shuffled_bits.max(stats.shuffled_bits);
-                            q.metrics.relay_bits_saved += stats.relay_saved_bits;
+                            stream_stats.insert(tag, stats);
                             reassembly.finish(tag, seq_count)?;
                             // Flush the stream's staged chunks only once
                             // it is genuinely complete — a lost chunk
@@ -1135,8 +1176,16 @@ impl ParallelExecutor {
                 }
             }
         }
-        // Every stream completed: the rows each fragment said it shipped
-        // must be the rows that came out of reassembly.
+        // Every stream completed: fold each surviving stream's traffic
+        // stats exactly once (retired attempts were dropped above).
+        for stats in stream_stats.values() {
+            q.metrics.shuffled_direct_bits += stats.shuffled_bits;
+            q.metrics.max_site_shuffled_bits =
+                q.metrics.max_site_shuffled_bits.max(stats.shuffled_bits);
+            q.metrics.relay_bits_saved += stats.relay_saved_bits;
+        }
+        // And the rows each fragment said it shipped must be the rows
+        // that came out of reassembly.
         for &(tag, frag) in &streams {
             let advertised = rows_advertised.get(&tag).copied().unwrap_or(0);
             let released = rows_released.get(&tag).copied().unwrap_or(0);
@@ -1336,6 +1385,7 @@ impl ParallelExecutor {
                     reply_to: mailbox.id,
                     tag: i as u64,
                     stream: self.streaming,
+                    columnar: self.columnar_wire,
                 },
             )?;
             q.metrics.fragment_tasks += 1;
@@ -1348,6 +1398,7 @@ impl ParallelExecutor {
         let qid = q.query_id;
         let reply_to = mailbox.id;
         let streaming = self.streaming;
+        let columnar = self.columnar_wire;
         let mut reissue = |handle: &crate::dictionary::FragmentHandle,
                            _old: u64,
                            new_tag: u64|
@@ -1361,6 +1412,7 @@ impl ParallelExecutor {
                     reply_to,
                     tag: new_tag,
                     stream: streaming,
+                    columnar,
                 },
             )
         };
@@ -1714,6 +1766,10 @@ mod tests {
         register_fragmented(&runtime, &dict, "r", 10, &[0..1100, 1100..2200]);
         let mut exec = ParallelExecutor::new(runtime.clone(), dict.clone());
         exec.set_physical_config(grace_config(None));
+        // Pin the row wire: the relay baseline meters row payloads, so
+        // the direct hop must ship rows too for the bit-for-bit
+        // relayed_bits == relay_bits_saved comparison below.
+        exec.set_columnar_wire(false);
 
         let (direct, md) = exec.execute(&join_plan()).unwrap();
         assert_eq!(md.partitioned_joins, 1, "{md:?}");
@@ -1763,6 +1819,9 @@ mod tests {
         register_fragmented(&runtime, &dict, "r", 10, &[100..103, 103..106]);
         let mut exec = ParallelExecutor::new(runtime.clone(), dict.clone());
         exec.set_physical_config(grace_config(Some(8)));
+        // Row wire, for the same reason as the test above: the savings
+        // figure is compared bit-for-bit against the row-based relay.
+        exec.set_columnar_wire(false);
 
         let (direct, md) = exec.execute(&join_plan()).unwrap();
         assert!(direct.is_empty(), "disjoint keys join to nothing");

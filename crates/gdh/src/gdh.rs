@@ -213,6 +213,19 @@ impl GlobalDataHandler {
         self.executor.streaming()
     }
 
+    /// Toggle the columnar wire format on the parallel executor.
+    /// `false` selects the historical row wire (chunks carry row
+    /// batches) — the E11 baseline and the compatibility escape hatch;
+    /// `PRISMA_ROW_WIRE=1` sets the same default machine-wide.
+    pub fn set_columnar_wire(&mut self, columnar: bool) {
+        self.executor.set_columnar_wire(columnar);
+    }
+
+    /// Whether chunks currently ship as typed column blocks.
+    pub fn executor_columnar_wire(&self) -> bool {
+        self.executor.columnar_wire()
+    }
+
     /// Shut the machine down (drains actor mailboxes).
     pub fn shutdown(&self) {
         self.runtime.shutdown();

@@ -82,6 +82,81 @@ pub enum ShuffleSide {
     Right,
 }
 
+/// Payload of one shipped data chunk — the wire-format seam.
+///
+/// The columnar wire ([`ChunkData::Blocks`]) ships each batch as one
+/// encoded [`prisma_types::wire::BlockChunk`]: typed per-column blocks
+/// with null bitmaps and cheap compression, decoded on the receive side
+/// straight into `ColumnVec`s (no pivot on either end). The legacy row
+/// wire ([`ChunkData::Rows`]) survives behind the executor's
+/// `set_columnar_wire(false)` / `PRISMA_ROW_WIRE=1` flag as the measured
+/// baseline (E11), shipping the batch pivoted to tagged-`Value` rows.
+#[derive(Debug, Clone)]
+pub enum ChunkData {
+    /// Row wire: the batch in row-oriented form.
+    Rows(Batch),
+    /// Columnar wire: the batch as one encoded column-block frame.
+    Blocks(prisma_types::wire::BlockChunk),
+}
+
+impl ChunkData {
+    /// Encode a produced batch for the wire — the sender-side seam where
+    /// the format flag takes effect.
+    pub fn from_batch(batch: Batch, columnar: bool) -> ChunkData {
+        if columnar {
+            ChunkData::Blocks(batch.encode_columnar())
+        } else {
+            ChunkData::Rows(batch.into_rows())
+        }
+    }
+
+    /// Rows this chunk carries (from the frame header for blocks — no
+    /// decode needed for stream accounting).
+    pub fn rows(&self) -> u64 {
+        match self {
+            ChunkData::Rows(batch) => batch.len() as u64,
+            ChunkData::Blocks(block) => block.rows() as u64,
+        }
+    }
+
+    /// Size on the metered interconnect, in bits: the tuple wire size for
+    /// the row form, the encoded frame size for blocks — so the traffic
+    /// ledger and shuffle stats meter whichever format actually shipped.
+    pub fn wire_bits(&self) -> u64 {
+        match self {
+            ChunkData::Rows(batch) => batch.wire_bits(),
+            ChunkData::Blocks(block) => block.wire_bits(),
+        }
+    }
+
+    /// Decode into a batch. Row payloads pass through; block payloads
+    /// decode into a columnar batch feeding the merge kernels directly.
+    /// A mangled frame returns a `wire:` protocol error — never a panic,
+    /// never silently wrong rows.
+    pub fn into_batch(self) -> Result<Batch> {
+        match self {
+            ChunkData::Rows(batch) => Ok(batch),
+            ChunkData::Blocks(block) => Batch::from_block(&block),
+        }
+    }
+
+    /// Decode into materialized tuples (the shuffle receiver's build/probe
+    /// collections are row-keyed relations).
+    pub fn into_tuples(self) -> Result<Vec<Tuple>> {
+        self.into_batch().map(Batch::into_tuples)
+    }
+
+    /// Mangle the payload in flight (the fault injector's
+    /// `ChunkFate::Corrupt`). Only encoded frames can take bit damage —
+    /// row payloads are in-memory typed values with no byte form to flip,
+    /// so the row wire delivers them unchanged.
+    pub fn corrupt_in_place(&mut self, seed: u64) {
+        if let ChunkData::Blocks(block) = self {
+            block.corrupt_in_place(seed);
+        }
+    }
+}
+
 /// Messages of the PRISMA DBMS layer.
 #[derive(Debug)]
 pub enum GdhMsg {
@@ -106,6 +181,8 @@ pub enum GdhMsg {
         /// or run the subplan to completion before the first ship (the
         /// materialized baseline the E6 experiment compares against).
         stream: bool,
+        /// Ship batches as encoded column blocks (true) or legacy rows.
+        columnar: bool,
     },
     /// One batch of a `RunSubplan` reply stream.
     BatchChunk {
@@ -115,8 +192,8 @@ pub enum GdhMsg {
         tag: u64,
         /// Position in the stream (0-based; consumers reassemble order).
         seq: u64,
-        /// The batch, in row-oriented wire form.
-        batch: Batch,
+        /// The batch payload in its wire form (column blocks or rows).
+        data: ChunkData,
     },
     /// Grace-join phase 1: run the subplan and hash-partition its output
     /// on `key_cols` into `parts` buckets, streaming each produced
@@ -190,8 +267,10 @@ pub enum GdhMsg {
         side: ShuffleSide,
         /// Source stream tag (unique per side across the fan-out).
         tag: u64,
+        /// Ship buckets as encoded column blocks (true) or legacy rows.
+        columnar: bool,
     },
-    /// One produced batch's bucket rows for one site, shipped
+    /// One produced batch's bucket payloads for one site, shipped
     /// fragment→fragment (never through the coordinator).
     ShuffleChunk {
         /// The owning query.
@@ -205,8 +284,8 @@ pub enum GdhMsg {
         /// Position in the `(source, site)` stream (0-based; each site
         /// reassembles its own sequence).
         seq: u64,
-        /// `(bucket, rows)` pairs owned by the receiving site.
-        buckets: Vec<(usize, Vec<Tuple>)>,
+        /// `(bucket, payload)` pairs owned by the receiving site.
+        buckets: Vec<(usize, ChunkData)>,
     },
     /// Terminal marker of one `(source, site)` shuffle stream: the chunk
     /// count this site was sent and the rows shipped to it — or the
@@ -256,6 +335,8 @@ pub enum GdhMsg {
         tag: u64,
         /// Ship the join result per batch (true) or materialized.
         stream: bool,
+        /// Ship the reply stream as encoded column blocks (true) or rows.
+        columnar: bool,
     },
     /// Insert rows under a transaction.
     Insert {
@@ -416,8 +497,10 @@ impl WireMessage for GdhMsg {
     fn wire_bytes(&self) -> usize {
         match self {
             // Result shipping dominates communication; control messages
-            // are a single packet.
-            GdhMsg::BatchChunk { batch, .. } => 32 + (batch.wire_bits() / 8) as usize,
+            // are a single packet. Data chunks are charged for whichever
+            // wire form they actually carry — encoded block frames meter
+            // their real (compressed) size.
+            GdhMsg::BatchChunk { data, .. } => 32 + (data.wire_bits() / 8) as usize,
             GdhMsg::RunSubplan { extra, .. } => {
                 64 + extra
                     .values()
@@ -436,8 +519,7 @@ impl WireMessage for GdhMsg {
             GdhMsg::ShuffleChunk { buckets, .. } => {
                 32 + buckets
                     .iter()
-                    .flat_map(|(_, rows)| rows)
-                    .map(|t| (t.wire_bits() / 8) as usize)
+                    .map(|(_, data)| (data.wire_bits() / 8) as usize)
                     .sum::<usize>()
             }
             GdhMsg::Insert { rows, .. } => {
@@ -466,8 +548,8 @@ impl WireMessage for GdhMsg {
 }
 
 /// Chunk payload of one `(source, site)` shuffle stream: the receiving
-/// site's `(bucket, rows)` pairs from one produced batch.
-type ShufflePayload = Vec<(usize, Vec<Tuple>)>;
+/// site's `(bucket, payload)` pairs from one produced batch.
+type ShufflePayload = Vec<(usize, ChunkData)>;
 
 /// One join side's peer streams reassembling at a phase-2 site.
 struct ShuffleSideState {
@@ -504,6 +586,8 @@ struct ShuffleTask {
     reply_to: ProcessId,
     tag: u64,
     stream: bool,
+    /// Wire format of the reply stream to the coordinator.
+    columnar: bool,
     left: ShuffleSideState,
     right: ShuffleSideState,
     /// Bits received fragment→fragment, reported to the coordinator in
@@ -685,7 +769,10 @@ impl OfmActor {
         loop {
             match source.next_batch() {
                 Ok(Some(batch)) => {
-                    let (chunk_rows, msg) = to_chunk(seq, batch.into_rows());
+                    // The batch reaches `to_chunk` in whatever form the
+                    // executor produced; the closure picks the wire form
+                    // (encoded column blocks or pivoted rows).
+                    let (chunk_rows, msg) = to_chunk(seq, batch);
                     rows += chunk_rows;
                     if stream {
                         if self.faulted_send(ctx, reply_to, msg, &mut held_back).is_err() {
@@ -739,12 +826,12 @@ impl OfmActor {
                 query_id,
                 tag,
                 seq,
-                batch,
+                data,
             } => Some(GdhMsg::BatchChunk {
                 query_id: *query_id,
                 tag: *tag,
                 seq: *seq,
-                batch: batch.clone(),
+                data: data.clone(),
             }),
             GdhMsg::PartitionChunk {
                 query_id,
@@ -776,12 +863,29 @@ impl OfmActor {
         }
     }
 
+    /// Mangle a data chunk's encoded payload (the `Corrupt` chunk fate):
+    /// wire bit damage between the sender's encode and the receiver's
+    /// decode. Only columnar-wire payloads have bytes to damage; the
+    /// receiver must reject the frame with a protocol error.
+    fn corrupt_chunk(msg: &mut GdhMsg) {
+        match msg {
+            GdhMsg::BatchChunk { seq, data, .. } => data.corrupt_in_place(*seq),
+            GdhMsg::ShuffleChunk { seq, buckets, .. } => {
+                if let Some((_, data)) = buckets.first_mut() {
+                    data.corrupt_in_place(*seq);
+                }
+            }
+            _ => {}
+        }
+    }
+
     /// Ship one stream chunk through the fault injector's chunk hook: a
-    /// scripted fault can drop it on the floor, deliver it twice, or
-    /// hold it back so a later chunk overtakes it — a local reorder the
-    /// receiver's reassembly buffer absorbs. Held chunks are released
-    /// by the next delivered chunk and must be flushed with
-    /// [`OfmActor::flush_held`] before the stream's terminal marker.
+    /// scripted fault can drop it on the floor, deliver it twice, mangle
+    /// its encoded payload, or hold it back so a later chunk overtakes
+    /// it — a local reorder the receiver's reassembly buffer absorbs.
+    /// Held chunks are released by the next delivered chunk and must be
+    /// flushed with [`OfmActor::flush_held`] before the stream's
+    /// terminal marker.
     fn faulted_send(
         &self,
         ctx: &mut Ctx<'_, GdhMsg>,
@@ -801,6 +905,12 @@ impl OfmActor {
                 if let Some(copy) = copy {
                     ctx.send(to, copy).map_err(|_| ())?;
                 }
+                self.flush_held(ctx, held)
+            }
+            prisma_faultx::ChunkFate::Corrupt => {
+                let mut msg = msg;
+                Self::corrupt_chunk(&mut msg);
+                ctx.send(to, msg).map_err(|_| ())?;
                 self.flush_held(ctx, held)
             }
             prisma_faultx::ChunkFate::Deliver => {
@@ -841,6 +951,7 @@ impl OfmActor {
         restrict_to: Option<ProcessId>,
         side: ShuffleSide,
         tag: u64,
+        columnar: bool,
         ctx: &mut Ctx<'_, GdhMsg>,
     ) {
         struct SiteSlot {
@@ -892,20 +1003,31 @@ impl OfmActor {
         loop {
             match source.next_batch() {
                 Ok(Some(batch)) => {
-                    // Partition this batch on the spot; the wire stays
-                    // row-oriented, exactly like the relay protocol.
-                    let buckets = prisma_relalg::exec::partition_batches(
-                        vec![batch.into_rows()],
+                    // Partition this batch on the spot by row *position*
+                    // (keys read straight from the columnar form — the
+                    // batch is never pivoted to rows here), then build
+                    // each bucket's wire payload: an encoded column
+                    // block on the columnar wire, gathered tuples on
+                    // the row baseline. Placement is bit-identical
+                    // across both wires (same key hash, same NULL drop).
+                    let positions = prisma_relalg::exec::partition_positions(
+                        &batch,
                         key_cols,
                         sites.len(),
                     );
                     let mut per_slot: Vec<ShufflePayload> = (0..slots.len())
                         .map(|_| Vec::new())
                         .collect();
-                    for (j, rows) in buckets.into_iter().enumerate() {
-                        if !rows.is_empty() {
-                            per_slot[slot_of[&sites[j]]].push((j, rows));
+                    for (j, pos) in positions.into_iter().enumerate() {
+                        if pos.is_empty() {
+                            continue;
                         }
+                        let data = if columnar {
+                            ChunkData::Blocks(batch.encode_positions(&pos))
+                        } else {
+                            ChunkData::Rows(Batch::owned(batch.gather_rows(&pos)))
+                        };
+                        per_slot[slot_of[&sites[j]]].push((j, data));
                     }
                     let mut dead: Option<ProcessId> = None;
                     for (idx, payload) in per_slot.into_iter().enumerate() {
@@ -913,7 +1035,7 @@ impl OfmActor {
                             continue;
                         }
                         let rows: u64 =
-                            payload.iter().map(|(_, r)| r.len() as u64).sum();
+                            payload.iter().map(|(_, d)| d.rows()).sum();
                         let slot = &mut slots[idx];
                         let msg = GdhMsg::ShuffleChunk {
                             query_id,
@@ -989,6 +1111,7 @@ impl OfmActor {
         reply_to: ProcessId,
         tag: u64,
         stream: bool,
+        columnar: bool,
         ctx: &mut Ctx<'_, GdhMsg>,
     ) {
         let key = (query_id, exchange);
@@ -1021,6 +1144,7 @@ impl OfmActor {
             reply_to,
             tag,
             stream,
+            columnar,
             left: ShuffleSideState::expecting(left_streams),
             right: ShuffleSideState::expecting(right_streams),
             shuffled_bits: 0,
@@ -1107,8 +1231,8 @@ impl OfmActor {
                     }
                 }
                 let side_idx = (side == ShuffleSide::Right) as usize;
-                for (bucket, rows) in &buckets {
-                    let bits: u64 = rows.iter().map(Tuple::wire_bits).sum();
+                for (bucket, data) in &buckets {
+                    let bits = data.wire_bits();
                     task.shuffled_bits += bits;
                     task.bucket_bits.entry(*bucket).or_default()[side_idx] += bits;
                 }
@@ -1116,9 +1240,12 @@ impl OfmActor {
                 let mut released: Vec<ShufflePayload> = Vec::new();
                 state.reassembly.accept(tag, seq, buckets, &mut released)?;
                 for payload in released {
-                    let n: u64 = payload.iter().map(|(_, r)| r.len() as u64).sum();
-                    *state.released.entry(tag).or_default() += n;
-                    for (_, rows) in payload {
+                    for (_, data) in payload {
+                        // Decode here — a frame mangled on the wire is a
+                        // protocol error that tears the task down and
+                        // fails the query, never a silent mis-join.
+                        let rows = data.into_tuples()?;
+                        *state.released.entry(tag).or_default() += rows.len() as u64;
                         state.rows.extend(rows);
                     }
                 }
@@ -1201,6 +1328,7 @@ impl OfmActor {
             Relation::new(task.rschema.clone(), task.right.rows),
         );
         let tag = task.tag;
+        let columnar = task.columnar;
         self.ship_stream(
             &task.plan,
             &extra,
@@ -1211,14 +1339,14 @@ impl OfmActor {
             stats,
             ctx,
             |seq, batch| {
-                let rows = batch.len() as u64;
+                let data = ChunkData::from_batch(batch, columnar);
                 (
-                    rows,
+                    data.rows(),
                     GdhMsg::BatchChunk {
                         query_id,
                         tag,
                         seq,
-                        batch,
+                        data,
                     },
                 )
             },
@@ -1243,6 +1371,7 @@ impl Process<GdhMsg> for OfmActor {
                 reply_to,
                 tag,
                 stream,
+                columnar,
             } => {
                 self.ship_stream(
                     &plan,
@@ -1254,14 +1383,14 @@ impl Process<GdhMsg> for OfmActor {
                     StreamStats::default(),
                     ctx,
                     |seq, batch| {
-                        let rows = batch.len() as u64;
+                        let data = ChunkData::from_batch(batch, columnar);
                         (
-                            rows,
+                            data.rows(),
                             GdhMsg::BatchChunk {
                                 query_id,
                                 tag,
                                 seq,
-                                batch,
+                                data,
                             },
                         )
                     },
@@ -1276,10 +1405,11 @@ impl Process<GdhMsg> for OfmActor {
                 restrict_to,
                 side,
                 tag,
+                columnar,
             } => {
                 self.run_shuffle_source(
                     query_id, exchange, &plan, &key_cols, &sites, restrict_to, side, tag,
-                    ctx,
+                    columnar, ctx,
                 );
             }
             GdhMsg::ShuffleJoin {
@@ -1294,6 +1424,7 @@ impl Process<GdhMsg> for OfmActor {
                 reply_to,
                 tag,
                 stream,
+                columnar,
             } => {
                 self.install_shuffle_join(
                     query_id,
@@ -1307,6 +1438,7 @@ impl Process<GdhMsg> for OfmActor {
                     reply_to,
                     tag,
                     stream,
+                    columnar,
                     ctx,
                 );
             }

@@ -662,3 +662,196 @@ fn crash_during_2pc_prepare_aborts_and_names_the_silent_participant() {
     assert_eq!(rows.tuples()[0].get(0).as_int(), Some(0));
     gdh.shutdown();
 }
+
+// ---------------- columnar wire format (E11) ----------------
+
+#[test]
+fn columnar_and_row_wire_agree_end_to_end() {
+    // Differential over the wire formats: the same machine shape and
+    // data, queried once over typed column blocks (the default) and once
+    // over the row-wire baseline, must produce identical results on
+    // streamed scans, grace joins and distributed aggregates.
+    let queries = [
+        "SELECT id FROM emp WHERE sal >= 150.0 ORDER BY id",
+        "SELECT e.id, d.name FROM emp e, dept d WHERE e.dept = d.id ORDER BY e.id",
+        "SELECT dept, COUNT(*) AS n, SUM(sal) AS total FROM emp GROUP BY dept ORDER BY dept",
+    ];
+    let mut columnar = machine(4);
+    assert_eq!(
+        columnar.executor_columnar_wire(),
+        prisma_types::wire::columnar_wire_default(),
+        "executor wire must follow the configured default"
+    );
+    // Pin both sides so the differential holds under a row-wire
+    // environment (`PRISMA_ROW_WIRE=1`, the CI baseline lane).
+    columnar.set_columnar_wire(true);
+    setup_emp(&columnar);
+    let mut row = machine(4);
+    row.set_columnar_wire(false);
+    assert!(!row.executor_columnar_wire());
+    setup_emp(&row);
+    for sql in queries {
+        let a = columnar.execute_sql(sql).unwrap().rows().unwrap();
+        let b = row.execute_sql(sql).unwrap().rows().unwrap();
+        assert_eq!(a.tuples(), b.tuples(), "wire formats disagree on {sql}");
+    }
+    columnar.shutdown();
+    row.shutdown();
+}
+
+#[test]
+fn corrupted_batch_chunk_fails_the_query_and_spares_the_machine() {
+    use prisma_faultx::{FaultInjector, FaultSpec};
+    use prisma_types::PeId;
+
+    // Mangle the first stream chunk every PE ships: whichever fragment
+    // replies first, its encoded frame arrives bit-damaged. The decoder
+    // must reject it as a protocol error — never panic, never hand the
+    // merge silently wrong rows.
+    let faults = FaultInjector::scripted(
+        21,
+        (0..4)
+            .map(|pe| FaultSpec::CorruptChunk { pe: PeId(pe), nth: 1 })
+            .collect(),
+    );
+    let mut gdh = machine(4);
+    // The corruption target is the encoded frame, so pin the columnar
+    // wire (row chunks ship tuple vectors — nothing decodes).
+    gdh.set_columnar_wire(true);
+    gdh.set_fault_injector(faults.clone());
+    setup_emp(&gdh);
+    let err = gdh
+        .execute_sql("SELECT id FROM emp ORDER BY id")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("wire"), "not a wire protocol error: {err}");
+    assert!(
+        faults.events().iter().any(|e| e.contains("Corrupt")),
+        "scripted corruption never fired: {:?}",
+        faults.events()
+    );
+    // The damage was confined to the one query: the machine keeps
+    // serving, and a clean re-run returns the full relation.
+    let rows = gdh
+        .execute_sql("SELECT id FROM emp ORDER BY id")
+        .unwrap()
+        .rows()
+        .unwrap();
+    assert_eq!(rows.len(), 100);
+    gdh.shutdown();
+}
+
+#[test]
+fn corrupted_shuffle_chunk_fails_the_join_with_a_wire_error() {
+    use prisma_faultx::{FaultInjector, FaultSpec};
+    use prisma_types::PeId;
+
+    // Same fault, but during a grace join's fragment→fragment shuffle:
+    // the first chunk any PE ships is a ShuffleChunk, so the mangled
+    // frame is decoded at a phase-2 *site*, which must tear the exchange
+    // down and fail the query through its reply stream.
+    let faults = FaultInjector::scripted(
+        22,
+        (0..4)
+            .map(|pe| FaultSpec::CorruptChunk { pe: PeId(pe), nth: 1 })
+            .collect(),
+    );
+    let mut gdh = failover_machine();
+    // As above: only the columnar wire has a frame to corrupt.
+    gdh.set_columnar_wire(true);
+    gdh.set_fault_injector(faults.clone());
+    gdh.set_physical_config(grace());
+    setup_emp(&gdh);
+    let err = gdh
+        .execute_sql("SELECT e.id, d.name FROM emp e, dept d WHERE e.dept = d.id")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("wire"), "not a wire protocol error: {err}");
+    gdh.shutdown();
+}
+
+#[test]
+fn row_wire_is_immune_to_chunk_corruption() {
+    use prisma_faultx::{FaultInjector, FaultSpec};
+    use prisma_types::PeId;
+
+    // The row wire ships in-memory typed values — there is no encoded
+    // byte frame to damage, so the same scripted fault delivers the
+    // chunk unchanged and the query succeeds. (This is the documented
+    // compatibility property of the baseline format.)
+    let faults = FaultInjector::scripted(
+        23,
+        (0..4)
+            .map(|pe| FaultSpec::CorruptChunk { pe: PeId(pe), nth: 1 })
+            .collect(),
+    );
+    let mut gdh = machine(4);
+    gdh.set_fault_injector(faults.clone());
+    gdh.set_columnar_wire(false);
+    setup_emp(&gdh);
+    let rows = gdh
+        .execute_sql("SELECT id FROM emp ORDER BY id")
+        .unwrap()
+        .rows()
+        .unwrap();
+    assert_eq!(rows.len(), 100);
+    assert!(
+        faults.events().iter().any(|e| e.contains("Corrupt")),
+        "the fate hook must still fire on the row wire: {:?}",
+        faults.events()
+    );
+    gdh.shutdown();
+}
+
+#[test]
+fn shuffle_stats_fold_once_across_failover_rerequests() {
+    use prisma_faultx::{FaultInjector, FaultSpec};
+    use prisma_types::PeId;
+
+    // Regression: shuffle traffic stats used to fold into the query
+    // metrics at every StreamEnd, so a site stream whose end arrived but
+    // was then retired (lost chunk → failover re-request) was counted
+    // once for the dead attempt and again for its replacement —
+    // shuffled_direct_bits and relay_bits_saved roughly doubled.
+    let sql = "SELECT e.id, d.name FROM emp e, dept d WHERE e.dept = d.id ORDER BY e.id";
+    let faults = FaultInjector::scripted(0x2026_0811, vec![]);
+    let mut gdh = failover_machine();
+    gdh.set_fault_injector(faults.clone());
+    gdh.set_physical_config(grace());
+    setup_emp(&gdh);
+
+    // Fault-free run: the oracle for both rows and traffic accounting.
+    // It also calibrates the chunk clock: each PE ships its shuffle
+    // chunks first and its site's reply batch *last*, and the second
+    // run repeats the same sends, so "twice this PE's count" is the
+    // ordinal of its final reply chunk in the run below.
+    let (oracle, baseline) = gdh.query_sql_with_metrics(sql).unwrap();
+    assert!(baseline.shuffled_direct_bits > 0, "{baseline:?}");
+    let specs: Vec<FaultSpec> = (0..4)
+        .map(PeId)
+        .filter(|&pe| faults.chunks_seen(pe) > 0)
+        .map(|pe| FaultSpec::DropChunk { pe, nth: 2 * faults.chunks_seen(pe) })
+        .collect();
+    assert!(!specs.is_empty());
+    faults.script(specs);
+
+    // Victim run: every site's final reply chunk is dropped, so its
+    // StreamEnd arrives while the stream is still open, the reply
+    // deadline retires it, and the join is re-requested at that site.
+    let (rows, metrics) = gdh.query_sql_with_metrics(sql).unwrap();
+    assert_eq!(rows.tuples(), oracle.tuples());
+    assert!(
+        metrics.streams_rerequested >= 1,
+        "no stream was re-requested — the drop never bit: {metrics:?}"
+    );
+    assert_eq!(metrics.failovers, 0, "no PE died: {metrics:?}");
+    assert_eq!(
+        metrics.shuffled_direct_bits, baseline.shuffled_direct_bits,
+        "retired attempts must not inflate the shuffle ledger: {metrics:?} vs {baseline:?}"
+    );
+    assert_eq!(
+        metrics.relay_bits_saved, baseline.relay_bits_saved,
+        "retired attempts must not inflate the savings ledger: {metrics:?} vs {baseline:?}"
+    );
+    gdh.shutdown();
+}

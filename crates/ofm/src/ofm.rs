@@ -468,10 +468,13 @@ impl Ofm {
     /// sides are never copied per fragment).
     ///
     /// Scans snapshot the fragment at open time, so the stream stays
-    /// consistent however long shipping takes. Batches still come out in
-    /// whatever physical form the executor produced — callers shipping
-    /// across PEs pivot with [`Batch::into_rows`] at the wire boundary
-    /// (the coordinator and the ledger never see the columnar form).
+    /// consistent however long shipping takes. Batches come out in
+    /// whatever physical form the executor produced — with the columnar
+    /// wire (the default) callers shipping across PEs encode them as
+    /// typed column blocks via `Batch::encode_columnar`, so the batch
+    /// never pivots to rows on its way to the coordinator; only the
+    /// legacy row wire (`PRISMA_ROW_WIRE=1`) still pivots with
+    /// [`Batch::into_rows`] at the wire boundary.
     pub fn open_physical(
         &self,
         plan: &PhysicalPlan,
@@ -498,8 +501,10 @@ impl Ofm {
 
     /// Execute a lowered physical subplan to completion, returning every
     /// batch at once (the materialized path; the actor hot path streams
-    /// through [`Ofm::open_physical`] instead). Batches are pivoted to the
-    /// row-oriented wire form.
+    /// through [`Ofm::open_physical`] instead). Batches are pivoted to
+    /// row form for the embedder- and test-facing callers of this
+    /// convenience; the wire path encodes straight from
+    /// [`Ofm::open_physical`]'s batches without this pivot.
     pub fn execute_physical(
         &self,
         plan: &PhysicalPlan,

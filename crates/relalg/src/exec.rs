@@ -247,6 +247,77 @@ impl Batch {
     pub fn key_at(&self, row: usize, key_cols: &[usize]) -> Vec<Value> {
         key_cols.iter().map(|&c| self.value_at(row, c)).collect()
     }
+
+    /// Encode the batch's live rows as one columnar wire frame
+    /// ([`prisma_types::wire::BlockChunk`]). Columnar batches encode their
+    /// column set directly (gathering through the selection when one is
+    /// active); row batches pivot per column here — the *only* pivot the
+    /// columnar wire pays, replacing the receive-side re-pivot of the row
+    /// wire.
+    pub fn encode_columnar(&self) -> prisma_types::wire::BlockChunk {
+        use std::borrow::Cow;
+        if let BatchInner::Columns { cols, sel, .. } = &self.inner {
+            let rows = sel.count();
+            return prisma_types::wire::BlockChunk::from_columns(
+                rows,
+                (0..cols.arity()).map(|c| {
+                    let col = cols.col(c);
+                    match sel.indices() {
+                        None => Cow::Borrowed(&**col),
+                        Some(idx) => Cow::Owned(col.gather(idx)),
+                    }
+                }),
+            );
+        }
+        // Row-backed batches (scan windows, operator output) pivot each
+        // attribute straight off the borrowed row slice — routing through
+        // `to_columns` would first clone the whole tuple vector just to
+        // own it inside a LazyColumns.
+        let rows = self.tuples();
+        let arity = rows.first().map_or(0, Tuple::arity);
+        prisma_types::wire::BlockChunk::from_columns(
+            rows.len(),
+            (0..arity).map(|c| Cow::Owned(ColumnVec::pivot_one(rows, c))),
+        )
+    }
+
+    /// Encode only the live rows at `positions` (indices into `0..len()`)
+    /// as a columnar wire frame — the shuffle sender's per-bucket encode,
+    /// which never materializes bucket tuples.
+    pub fn encode_positions(&self, positions: &[u32]) -> prisma_types::wire::BlockChunk {
+        use std::borrow::Cow;
+        let (cols, sel) = self.to_columns();
+        let idx: Vec<u32> = positions.iter().map(|&p| sel.nth(p as usize) as u32).collect();
+        prisma_types::wire::BlockChunk::from_columns(
+            positions.len(),
+            (0..cols.arity()).map(|c| Cow::Owned(cols.col(c).gather(&idx))),
+        )
+    }
+
+    /// Clone the live rows at `positions` — the row-wire counterpart of
+    /// [`Batch::encode_positions`] (refcount bumps, no payload copies).
+    pub fn gather_rows(&self, positions: &[u32]) -> Vec<Tuple> {
+        let tuples = self.tuples();
+        positions.iter().map(|&p| tuples[p as usize].clone()).collect()
+    }
+
+    /// Decode a received columnar wire frame into a columnar batch whose
+    /// columns feed the coordinator's merge kernels directly — the
+    /// receive side of the columnar wire never pivots to rows unless a
+    /// downstream consumer materializes tuples itself.
+    pub fn from_block(block: &prisma_types::wire::BlockChunk) -> Result<Batch> {
+        let rows = block.rows();
+        let cols = block.decode()?;
+        if cols.is_empty() {
+            // Zero-attribute batches (no such schema exists today, but the
+            // frame can express one) fall back to empty tuples.
+            return Ok(Batch::owned(vec![Tuple::new(Vec::new()); rows]));
+        }
+        Ok(Batch::columns(
+            cols.into_iter().map(Arc::new).collect(),
+            SelVec::all(rows),
+        ))
+    }
 }
 
 /// Materialize the selected rows of a columnar batch. When the column
@@ -629,6 +700,24 @@ pub fn partition_batches(batches: Vec<Batch>, key_cols: &[usize], parts: usize) 
             let idx = (key_hash(&key) % parts as u64) as usize;
             buckets[idx].push(t);
         }
+    }
+    buckets
+}
+
+/// Split one batch's live rows into `parts` buckets of row *positions*
+/// (indices into `0..batch.len()`) by join-key hash, reading keys straight
+/// from the columnar form. Bucket placement is bit-identical to
+/// [`partition_batches`] — same [`key_hash`], same NULL-key drop rule — so
+/// the columnar and row shuffle wires route every row to the same site.
+pub fn partition_positions(batch: &Batch, key_cols: &[usize], parts: usize) -> Vec<Vec<u32>> {
+    let mut buckets: Vec<Vec<u32>> = (0..parts).map(|_| Vec::new()).collect();
+    for row in 0..batch.len() {
+        let key = batch.key_at(row, key_cols);
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        let idx = (key_hash(&key) % parts as u64) as usize;
+        buckets[idx].push(row as u32);
     }
     buckets
 }

@@ -20,6 +20,7 @@ pub mod schema;
 pub mod stats;
 pub mod tuple;
 pub mod value;
+pub mod wire;
 
 pub use column::{ColumnVec, LazyColumns, SelVec};
 pub use config::{MachineConfig, TopologyKind};

@@ -1,5 +1,6 @@
 //! Property-based tests over the core invariants.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
@@ -10,6 +11,7 @@ use prisma::relalg::{eval, execute_physical, lower, AggExpr, AggFunc, LogicalPla
 use prisma::stable::encoding;
 use prisma::storage::expr::{ArithOp, CmpOp, ScalarExpr};
 use prisma::storage::{Marking, Rid};
+use prisma::types::wire::BlockChunk;
 use prisma::types::{tuple, Column, ColumnVec, DataType, LazyColumns, Schema, SelVec, Tuple, Value};
 use prisma::workload::values_clause;
 use prisma::PrismaMachine;
@@ -262,6 +264,25 @@ fn build_plan(ops: &[PlanOp], lschema: &Schema, rschema: &Schema) -> LogicalPlan
     plan
 }
 
+/// DDL + loads shared by [`shared_machine`] and its row-wire twin.
+fn load_lr(db: &PrismaMachine) {
+    db.sql("CREATE TABLE l (a INT, b INT, c INT) FRAGMENTED BY HASH(a) INTO 4")
+        .unwrap();
+    db.sql("CREATE TABLE r (a INT, b INT, c INT) FRAGMENTED BY HASH(b) INTO 3")
+        .unwrap();
+    let (lrows, rrows) = machine_rows();
+    for chunk in lrows.chunks(500) {
+        db.sql(&format!("INSERT INTO l VALUES {}", values_clause(chunk)))
+            .unwrap();
+    }
+    for chunk in rrows.chunks(500) {
+        db.sql(&format!("INSERT INTO r VALUES {}", values_clause(chunk)))
+            .unwrap();
+    }
+    db.refresh_stats("l").unwrap();
+    db.refresh_stats("r").unwrap();
+}
+
 /// The distributed machine the randomized-plan property queries; built
 /// once (same rows as [`machine_reference`]), with `l` large enough that
 /// scan-scan joins cross the broadcast threshold and take the
@@ -270,21 +291,21 @@ fn shared_machine() -> &'static Arc<PrismaMachine> {
     static MACHINE: OnceLock<Arc<PrismaMachine>> = OnceLock::new();
     MACHINE.get_or_init(|| {
         let db = PrismaMachine::builder().pes(8).build().unwrap();
-        db.sql("CREATE TABLE l (a INT, b INT, c INT) FRAGMENTED BY HASH(a) INTO 4")
-            .unwrap();
-        db.sql("CREATE TABLE r (a INT, b INT, c INT) FRAGMENTED BY HASH(b) INTO 3")
-            .unwrap();
-        let (lrows, rrows) = machine_rows();
-        for chunk in lrows.chunks(500) {
-            db.sql(&format!("INSERT INTO l VALUES {}", values_clause(chunk)))
-                .unwrap();
-        }
-        for chunk in rrows.chunks(500) {
-            db.sql(&format!("INSERT INTO r VALUES {}", values_clause(chunk)))
-                .unwrap();
-        }
-        db.refresh_stats("l").unwrap();
-        db.refresh_stats("r").unwrap();
+        load_lr(&db);
+        Arc::new(db)
+    })
+}
+
+/// The same machine shape and data as [`shared_machine`], pinned to the
+/// legacy row wire — the differential half of the wire-format property:
+/// both machines must give the same answer as the eval oracle on every
+/// generated plan.
+fn shared_row_wire_machine() -> &'static Arc<PrismaMachine> {
+    static MACHINE: OnceLock<Arc<PrismaMachine>> = OnceLock::new();
+    MACHINE.get_or_init(|| {
+        let mut db = PrismaMachine::builder().pes(8).build().unwrap();
+        db.gdh_mut().set_columnar_wire(false);
+        load_lr(&db);
         Arc::new(db)
     })
 }
@@ -639,6 +660,20 @@ proptest! {
             parts,
             key
         );
+
+        // Differential: the same shuffled join over the legacy row wire
+        // on the same machine must produce the same rows.
+        db.gdh_mut().set_columnar_wire(false);
+        let (row_rows, row_metrics) = db.gdh().query(&plan).unwrap();
+        prop_assert_eq!(row_metrics.partitioned_joins, 1, "{:?}", row_metrics);
+        let row_rows = row_rows.canonicalized();
+        prop_assert_eq!(
+            row_rows.tuples(),
+            oracle.tuples(),
+            "row wire disagrees with the oracle (parts={:?}, key={})",
+            parts,
+            key
+        );
         db.shutdown();
     }
 }
@@ -811,12 +846,18 @@ proptest! {
     // broadcast AND hash-partitioned joins (the scans are sized across
     // the broadcast threshold), decomposable-aggregate merges, CSE memo
     // hits from the union arm — agrees with the reference evaluator on
-    // randomized plans.
+    // randomized plans, over the columnar wire (the default) AND the
+    // legacy row wire run in the same case as a differential check.
     #[test]
     fn distributed_batch_pipeline_matches_reference_evaluator(
         ops in arb_plan_ops(5),
     ) {
         let db = shared_machine();
+        prop_assert_eq!(
+            db.gdh().executor_columnar_wire(),
+            prisma::types::wire::columnar_wire_default(),
+            "executor wire should follow the configured default"
+        );
         let plan = build_plan(&ops, &int3_schema(), &int3_schema());
         let (rows, _metrics) = db.gdh().query(&plan).unwrap();
         let via_machine = rows.canonicalized();
@@ -825,6 +866,15 @@ proptest! {
             via_machine.tuples(),
             via_reference.tuples(),
             "machine and reference disagree on:\n{}",
+            plan
+        );
+        let row_db = shared_row_wire_machine();
+        let (rows, _metrics) = row_db.gdh().query(&plan).unwrap();
+        let via_row_wire = rows.canonicalized();
+        prop_assert_eq!(
+            via_row_wire.tuples(),
+            via_reference.tuples(),
+            "row-wire machine disagrees with the reference on:\n{}",
             plan
         );
     }
@@ -1135,5 +1185,295 @@ proptest! {
                 prop_assert!((truth - *c as f64 / total).abs() < 1e-12);
             }
         }
+    }
+}
+
+// ---------- columnar wire format: round-trip and corruption ----------
+
+/// Slots generated per column plan; each case truncates every plan to one
+/// shared row count, so a block's columns line up without needing a
+/// flat-map combinator.
+const WIRE_SLOTS: usize = 40;
+
+/// One column's generation plan: per-slot `Option` values (None = NULL),
+/// or a `Mixed` row-tagged value vector.
+#[derive(Debug, Clone)]
+enum WireCol {
+    Int(Vec<Option<i64>>),
+    Double(Vec<Option<f64>>),
+    Bool(Vec<Option<bool>>),
+    Str(Vec<Option<String>>),
+    Mixed(Vec<Value>),
+}
+
+/// Canonical data/mask split: defaults under NULL slots, mask present
+/// only when at least one slot is NULL — the exact invariant
+/// `BlockChunk::decode` reconstructs, so round-trips compare equal.
+fn canonical<T: Default + Clone>(slots: &[Option<T>]) -> (Vec<T>, Option<Vec<bool>>) {
+    let data = slots.iter().map(|s| s.clone().unwrap_or_default()).collect();
+    let nulls = slots
+        .iter()
+        .any(Option::is_none)
+        .then(|| slots.iter().map(Option::is_none).collect());
+    (data, nulls)
+}
+
+impl WireCol {
+    /// Truncate to `rows` and build the canonical [`ColumnVec`].
+    fn build(&self, rows: usize) -> ColumnVec {
+        match self {
+            WireCol::Int(s) => {
+                let (data, nulls) = canonical(&s[..rows]);
+                ColumnVec::Int { data, nulls }
+            }
+            WireCol::Double(s) => {
+                let (data, nulls) = canonical(&s[..rows]);
+                ColumnVec::Double { data, nulls }
+            }
+            WireCol::Bool(s) => {
+                let (data, nulls) = canonical(&s[..rows]);
+                ColumnVec::Bool { data, nulls }
+            }
+            WireCol::Str(s) => {
+                let (data, nulls) = canonical(&s[..rows]);
+                ColumnVec::Str { data, nulls }
+            }
+            WireCol::Mixed(vals) => ColumnVec::Mixed(vals[..rows].to_vec()),
+        }
+    }
+}
+
+/// Column plans spanning every encoder and its selection heuristic:
+/// full-range ints (raw), small-range ints (delta/bitpack), constant
+/// columns, all-NULL columns, bit-pattern doubles (NaN payloads,
+/// infinities, signed zeros), bools, high-cardinality strings (raw),
+/// low-cardinality strings (dictionary, RLE when runs dominate), and the
+/// `Mixed` row-tagged fallback. Roughly 1-in-8 slots are NULL in the
+/// nullable arms.
+fn arb_wire_col() -> impl Strategy<Value = WireCol> {
+    let null_int = (0u8..8, any::<i64>()).prop_map(|(t, v)| (t != 0).then_some(v));
+    let small_int = (0u8..8, -200i64..200).prop_map(|(t, v)| (t != 0).then_some(v));
+    let null_double = (0u8..8, any::<f64>()).prop_map(|(t, v)| (t != 0).then_some(v));
+    let null_bool = (0u8..8, any::<bool>()).prop_map(|(t, v)| (t != 0).then_some(v));
+    let null_str = (0u8..8, "[a-z]{0,12}").prop_map(|(t, v)| (t != 0).then_some(v));
+    prop_oneof![
+        prop::collection::vec(null_int, WIRE_SLOTS).prop_map(WireCol::Int),
+        prop::collection::vec(small_int, WIRE_SLOTS).prop_map(WireCol::Int),
+        any::<i64>().prop_map(|v| WireCol::Int(vec![Some(v); WIRE_SLOTS])),
+        Just(WireCol::Int(vec![None; WIRE_SLOTS])),
+        prop::collection::vec(null_double, WIRE_SLOTS).prop_map(WireCol::Double),
+        prop::collection::vec(null_bool, WIRE_SLOTS).prop_map(WireCol::Bool),
+        prop::collection::vec(null_str, WIRE_SLOTS).prop_map(WireCol::Str),
+        // Low cardinality: every value drawn from a pool of at most four
+        // short strings, so the dictionary (and, with long runs, RLE)
+        // encoders win the cost comparison.
+        (
+            prop::collection::vec("[a-z]{0,4}", 1..5),
+            prop::collection::vec((0u8..8, 0usize..8), WIRE_SLOTS),
+        )
+            .prop_map(|(pool, picks)| {
+                WireCol::Str(
+                    picks
+                        .into_iter()
+                        .map(|(t, i)| (t != 0).then(|| pool[i % pool.len()].clone()))
+                        .collect(),
+                )
+            }),
+        Just(WireCol::Str(vec![None; WIRE_SLOTS])),
+        prop::collection::vec(arb_value(), WIRE_SLOTS).prop_map(WireCol::Mixed),
+    ]
+}
+
+/// Column equality with `Double` payloads compared bit-for-bit: NaN
+/// payloads and signed zeros must survive the wire exactly, and plain
+/// `PartialEq` would reject `NaN == NaN`.
+fn cols_bit_eq(a: &ColumnVec, b: &ColumnVec) -> bool {
+    match (a, b) {
+        (
+            ColumnVec::Double { data: da, nulls: na },
+            ColumnVec::Double { data: db, nulls: nb },
+        ) => {
+            na == nb
+                && da.len() == db.len()
+                && da.iter().zip(db).all(|(x, y)| x.to_bits() == y.to_bits())
+        }
+        (ColumnVec::Mixed(va), ColumnVec::Mixed(vb)) => {
+            va.len() == vb.len()
+                && va.iter().zip(vb).all(|(x, y)| match (x, y) {
+                    (Value::Double(x), Value::Double(y)) => x.to_bits() == y.to_bits(),
+                    _ => x == y,
+                })
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // encode → decode is bit-identical for arbitrary canonical columns:
+    // every encoder (raw/delta ints, dict/RLE strings, bool bitmaps, the
+    // Mixed fallback) and every shape (nullable, empty, all-NULL,
+    // single-value, high/low-cardinality Str), whatever codec the
+    // selection heuristics pick. Re-encoding the decoded columns must
+    // reproduce the same frame bytes — the canonical form is a fixed
+    // point of the codec.
+    #[test]
+    fn wire_block_roundtrip_is_bit_identical(
+        rows in 0usize..WIRE_SLOTS + 1,
+        plans in prop::collection::vec(arb_wire_col(), 1..6),
+    ) {
+        let cols: Vec<ColumnVec> = plans.iter().map(|p| p.build(rows)).collect();
+        let block = BlockChunk::from_columns(rows, cols.iter().map(Cow::Borrowed));
+        prop_assert_eq!(block.rows(), rows);
+        prop_assert_eq!(block.wire_bits(), block.as_bytes().len() as u64 * 8);
+        let decoded = block.decode().unwrap();
+        prop_assert_eq!(decoded.len(), cols.len());
+        for (i, (orig, back)) in cols.iter().zip(&decoded).enumerate() {
+            prop_assert!(
+                cols_bit_eq(orig, back),
+                "column {} mis-decoded:\n  sent {:?}\n  got  {:?}",
+                i,
+                orig,
+                back
+            );
+        }
+        let again = BlockChunk::from_columns(rows, decoded.iter().map(Cow::Borrowed));
+        prop_assert_eq!(again.as_bytes(), block.as_bytes(), "re-encode is not a fixed point");
+    }
+
+    // A frame mangled at an arbitrary offset — bit flip in any payload
+    // byte (even seeds) or truncation (odd seeds), the same mutation the
+    // fault injector's CorruptChunk applies on the live wire — must
+    // always surface as a `wire:` protocol error: never a panic, never a
+    // silent mis-decode.
+    #[test]
+    fn corrupted_wire_block_never_decodes(
+        rows in 0usize..WIRE_SLOTS + 1,
+        plans in prop::collection::vec(arb_wire_col(), 1..6),
+        seed in any::<u64>(),
+    ) {
+        let cols: Vec<ColumnVec> = plans.iter().map(|p| p.build(rows)).collect();
+        let mut block = BlockChunk::from_columns(rows, cols.iter().map(Cow::Borrowed));
+        block.corrupt_in_place(seed);
+        match block.decode() {
+            Ok(_) => prop_assert!(false, "corrupt frame decoded (seed {:#x})", seed),
+            Err(e) => prop_assert!(
+                e.to_string().contains("wire:"),
+                "not a wire protocol error: {} (seed {:#x})",
+                e,
+                seed
+            ),
+        }
+    }
+}
+
+// ---------- columnar wire under mid-query failover ----------
+
+/// A 4-PE machine with a 1-second reply deadline, so a dropped reply
+/// chunk retires its stream quickly instead of stalling for the default
+/// deadline (the shape `end_to_end.rs` uses for the E10 failover tests).
+fn failover_db() -> PrismaMachine {
+    let cfg = prisma::types::MachineConfig {
+        num_pes: 4,
+        topology: prisma::types::TopologyKind::Mesh,
+        ..prisma::types::MachineConfig::default()
+    }
+    .with_reply_timeout_secs(1);
+    PrismaMachine::builder().config(cfg).build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // Mid-query failover over the columnar wire: a grace join whose reply
+    // streams lose randomly chosen chunks (forcing retire + re-request
+    // under the PR 7 failover protocol) still matches the eval oracle
+    // exactly — and the row wire survives the same fault script in the
+    // same case as a differential check. The armed-but-empty injector
+    // calibrates the per-PE chunk clock on a fault-free run, so drops can
+    // be scripted at each victim's first chunk of the *next* run.
+    #[test]
+    fn failover_rerequests_match_eval_oracle_on_both_wires(
+        lrows in prop::collection::vec((-20i64..20, -20i64..20, -20i64..20), 30..90),
+        rrows in prop::collection::vec((-20i64..20, -20i64..20, -20i64..20), 20..70),
+        victims in prop::collection::vec(0usize..4, 1..3),
+        seed in any::<u64>(),
+    ) {
+        use prisma::faultx::{FaultInjector, FaultSpec};
+        use prisma::optimizer::PhysicalConfig;
+        use prisma::types::PeId;
+
+        let schema = int3_schema();
+        let to_rel = |rows: &[(i64, i64, i64)]| {
+            Relation::new(
+                schema.clone(),
+                rows.iter().map(|&(a, b, c)| tuple![a, b, c]).collect(),
+            )
+        };
+        let faults = FaultInjector::scripted(seed, vec![]);
+        let mut db = failover_db();
+        db.gdh_mut().set_fault_injector(faults.clone());
+        db.gdh_mut().set_physical_config(PhysicalConfig {
+            broadcast_max_rows: 0.0,
+            ..PhysicalConfig::default()
+        });
+        db.sql("CREATE TABLE l (a INT, b INT, c INT) FRAGMENTED BY HASH(a) INTO 3")
+            .unwrap();
+        db.sql("CREATE TABLE r (a INT, b INT, c INT) FRAGMENTED BY HASH(c) INTO 2")
+            .unwrap();
+        for (name, rows) in [("l", &lrows), ("r", &rrows)] {
+            db.sql(&format!(
+                "INSERT INTO {name} VALUES {}",
+                values_clause(to_rel(rows).tuples())
+            ))
+            .unwrap();
+        }
+        let plan = LogicalPlan::scan("l", schema.clone())
+            .join(LogicalPlan::scan("r", schema.clone()), vec![(0, 0)]);
+        let mut reference: HashMap<String, Relation> = HashMap::new();
+        reference.insert("l".into(), to_rel(&lrows));
+        reference.insert("r".into(), to_rel(&rrows));
+        let oracle = eval(&plan, &reference).unwrap().canonicalized();
+
+        // Fault-free calibration run (also pins the no-fault answer).
+        let (calm, calm_metrics) = db.gdh().query(&plan).unwrap();
+        prop_assert_eq!(calm_metrics.partitioned_joins, 1, "{:?}", calm_metrics);
+        let calm = calm.canonicalized();
+        prop_assert_eq!(calm.tuples(), oracle.tuples());
+
+        // Both wires take a faulted turn; chunk ordinals are scripted
+        // against the clock right before each run, so the second script
+        // lands in the third run regardless of how many extra chunks the
+        // re-requests of the second shipped.
+        for columnar in [true, false] {
+            db.gdh_mut().set_columnar_wire(columnar);
+            let specs: Vec<FaultSpec> = victims
+                .iter()
+                .map(|&pe| PeId(pe as u32))
+                .filter(|&pe| faults.chunks_seen(pe) > 0)
+                .map(|pe| FaultSpec::DropChunk { pe, nth: faults.chunks_seen(pe) + 1 })
+                .collect();
+            let expect_rerequest = !specs.is_empty();
+            faults.script(specs);
+            let (rows, metrics) = db.gdh().query(&plan).unwrap();
+            let rows = rows.canonicalized();
+            prop_assert_eq!(
+                rows.tuples(),
+                oracle.tuples(),
+                "columnar={}: faulted run disagrees with the oracle",
+                columnar
+            );
+            if expect_rerequest {
+                prop_assert!(
+                    metrics.streams_rerequested >= 1,
+                    "columnar={}: no stream was re-requested — the drop never bit: {:?}",
+                    columnar,
+                    metrics
+                );
+            }
+            prop_assert_eq!(metrics.failovers, 0, "no PE died: {:?}", metrics);
+        }
+        db.shutdown();
     }
 }
