@@ -1,0 +1,408 @@
+//! A minimal Rust lexer — just enough to lint token *sequences* without
+//! tripping over comments, strings, or lifetimes.
+//!
+//! This is deliberately not a parser: the project-invariant rules all
+//! match short token patterns (`.` `unwrap` `(`, `Instant` `::` `now`,
+//! `GdhMsg` `::` `Variant`), and a lexer that correctly skips string and
+//! comment content is exactly the precision they need. Two comment
+//! dialects carry lint metadata and are surfaced instead of skipped:
+//!
+//! * `// checkx:allow(<rule>)` — suppress findings of `<rule>` on the
+//!   same line and the following line (so the directive works both
+//!   trailing and as its own line above the code);
+//! * `// checkx:wire-fingerprint <hex>` — the pinned wire-constant
+//!   fingerprint checked by the `wire-fingerprint` rule.
+
+use std::collections::{HashMap, HashSet};
+
+/// Token class — enough to distinguish structure from content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character (multi-char operators arrive as
+    /// consecutive tokens: `::` is `:` `:`).
+    Punct,
+    /// String / char / numeric literal (content collapsed).
+    Lit,
+    /// Lifetime marker (`'a`), distinct from char literals.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class. A whole string literal is *one* [`TokKind::Lit`]
+    /// token, so its content can never match a multi-token rule pattern
+    /// (which require [`TokKind::Ident`]/[`TokKind::Punct`] tokens).
+    pub kind: TokKind,
+    /// Source text.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// A lexed file: the token stream plus lint metadata mined from
+/// comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and string contents stripped.
+    pub toks: Vec<Tok>,
+    /// Line → rules suppressed on that line (from `checkx:allow`).
+    pub allows: HashMap<u32, HashSet<String>>,
+    /// `checkx:wire-fingerprint` directives: (line, pinned hex value).
+    pub fingerprints: Vec<(u32, String)>,
+}
+
+impl Lexed {
+    /// True when findings of `rule` are suppressed at `line` — an allow
+    /// on the same line (trailing comment) or the line above (directive
+    /// on its own line).
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        [line, line.saturating_sub(1)]
+            .iter()
+            .any(|l| self.allows.get(l).is_some_and(|set| set.contains(rule)))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src`. Unterminated constructs lex as best-effort to end of file
+/// — the linter must never panic on the code it inspects.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                let comment: String = b[start..i].iter().collect();
+                mine_comment(&comment, line, &mut out);
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                // Block comment, nesting honored as rustc does.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (start, start_line) = (i, line);
+                i = skip_string(&b, i, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: b[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                let (start, start_line) = (i, line);
+                i = skip_raw_or_byte_string(&b, i, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: b[start..i].iter().collect(),
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime iff an ident follows and the char after the
+                // ident is not a closing quote ('a vs 'a').
+                let mut j = i + 1;
+                if j < b.len() && is_ident_start(b[j]) {
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    if b.get(j) != Some(&'\'') {
+                        out.toks.push(Tok {
+                            kind: TokKind::Lifetime,
+                            text: b[i + 1..j].iter().collect(),
+                            line,
+                        });
+                        i = j;
+                        continue;
+                    }
+                }
+                // Char literal: scan to the closing quote, escapes aware.
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        '\\' => i += 2,
+                        '\'' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => break, // malformed; don't eat the file
+                        _ => i += 1,
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: b[start..i.min(b.len())].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (is_ident_continue(b[i]) || b[i] == '.') {
+                    // `1.0` is one literal but `1.max(2)` is not: only
+                    // consume a dot followed by a digit.
+                    if b[i] == '.' && !b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Plain string literal: from the opening quote past the closing one.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// True at `r"`, `r#"`, `b"`, `br"`, `br#"` … — the raw/byte string
+/// openers (plain `b'x'` byte chars fall through to the char lexer).
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if b.get(j) == Some(&'r') {
+        j += 1;
+        while b.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return b.get(j) == Some(&'"');
+    }
+    b[i] == 'b' && b.get(j) == Some(&'"')
+}
+
+fn skip_raw_or_byte_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    if b[i] == 'b' {
+        i += 1;
+    }
+    let mut hashes = 0;
+    if b.get(i) == Some(&'r') {
+        i += 1;
+        while b.get(i) == Some(&'#') {
+            hashes += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        while i < b.len() {
+            if b[i] == '\n' {
+                *line += 1;
+                i += 1;
+            } else if b[i] == '"' && (1..=hashes).all(|k| b.get(i + k) == Some(&'#')) {
+                return i + 1 + hashes;
+            } else {
+                i += 1;
+            }
+        }
+        return i;
+    }
+    // b"..." — escape rules of a plain string.
+    skip_string(b, i, line)
+}
+
+/// Extract `checkx:` directives from one line comment.
+fn mine_comment(comment: &str, line: u32, out: &mut Lexed) {
+    if let Some(rest) = comment.split("checkx:allow(").nth(1) {
+        if let Some(rules) = rest.split(')').next() {
+            let entry = out.allows.entry(line).or_default();
+            for rule in rules.split(',') {
+                entry.insert(rule.trim().to_string());
+            }
+        }
+    }
+    if let Some(rest) = comment.split("checkx:wire-fingerprint").nth(1) {
+        if let Some(value) = rest.split_whitespace().next() {
+            out.fingerprints.push((line, value.to_string()));
+        }
+    }
+}
+
+/// Token-index ranges lying inside `#[cfg(test)] mod … { … }` blocks —
+/// code the style rules must ignore (the "outside tests" half of their
+/// contract). Returns a boolean mask over `toks`.
+pub fn test_module_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            // Find the mod's opening brace, then mask to its close.
+            let mut j = i;
+            while j < toks.len() && !(toks[j].kind == TokKind::Punct && toks[j].text == "{") {
+                j += 1;
+            }
+            let mut depth = 0usize;
+            while j < toks.len() {
+                match (toks[j].kind, toks[j].text.as_str()) {
+                    (TokKind::Punct, "{") => depth += 1,
+                    (TokKind::Punct, "}") => {
+                        depth -= 1;
+                        if depth == 0 {
+                            mask[j] = true;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                mask[j] = true;
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Match `# [ cfg ( test ) ]` or `# [ cfg ( test , … ) ]` at `i`,
+/// immediately followed (after the `]`) by `mod`.
+fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
+    let texts: Vec<&str> = toks[i..].iter().take(6).map(|t| t.text.as_str()).collect();
+    if texts.len() < 6 || texts[..5] != ["#", "[", "cfg", "(", "test"] {
+        return false;
+    }
+    // Walk to the closing `]` of the attribute, then require `mod`.
+    let mut j = i + 5;
+    let mut depth = 1usize; // inside the `(`
+    while j < toks.len() && depth > 0 {
+        match toks[j].text.as_str() {
+            "(" => depth += 1,
+            ")" => depth -= 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    // toks[j] should be `]`.
+    if toks.get(j).map(|t| t.text.as_str()) != Some("]") {
+        return false;
+    }
+    toks.get(j + 1)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == "mod")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_comments_and_lifetimes() {
+        let lexed = lex(concat!(
+            "fn f<'a>(x: &'a str) { // lock().unwrap() in a comment\n",
+            "  let s = \"lock().unwrap()\"; let c = 'x'; let r = r#\"\"unwrap\"\"#;\n",
+            "}\n"
+        ));
+        // Nothing from comment or string content leaks into the stream.
+        assert!(!lexed.toks.iter().any(|t| t.text == "unwrap"));
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+    }
+
+    #[test]
+    fn allow_directives_cover_their_line_and_the_next() {
+        let lexed = lex("let a = 1; // checkx:allow(sync-unwrap)\nlet b = 2;\nlet c = 3;\n");
+        assert!(lexed.allowed("sync-unwrap", 1));
+        assert!(lexed.allowed("sync-unwrap", 2));
+        assert!(!lexed.allowed("sync-unwrap", 3));
+        assert!(!lexed.allowed("wall-clock", 1));
+    }
+
+    #[test]
+    fn fingerprint_directive_is_mined() {
+        let lexed = lex("// checkx:wire-fingerprint deadbeef\nconst MAGIC: u8 = 1;\n");
+        assert_eq!(lexed.fingerprints, vec![(1, "deadbeef".to_string())]);
+    }
+
+    #[test]
+    fn test_modules_are_masked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.lock().unwrap(); }\n}\nfn also_live() {}\n";
+        let lexed = lex(src);
+        let mask = test_module_mask(&lexed.toks);
+        let unwrap_idx = lexed
+            .toks
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .expect("unwrap token");
+        assert!(mask[unwrap_idx]);
+        let live_idx = lexed
+            .toks
+            .iter()
+            .position(|t| t.text == "also_live")
+            .expect("fn after tests");
+        assert!(!mask[live_idx]);
+    }
+}

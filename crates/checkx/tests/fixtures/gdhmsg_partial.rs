@@ -1,0 +1,21 @@
+//! Lint fixture: a miniature GdhMsg protocol whose dispatch forgets one
+//! variant. Never compiled — lexed by tests/lint_fixtures.rs.
+
+pub enum GdhMsg {
+    /// Handled below.
+    Query(String),
+    /// Handled below.
+    Ack { seq: u64 },
+    /// Forgotten by the dispatch: the rule must flag this one.
+    Cancel(u64),
+}
+
+pub fn dispatch(msg: GdhMsg) {
+    match msg {
+        GdhMsg::Query(_) => {}
+        GdhMsg::Ack { .. } => {}
+        // A wildcard "handles" Cancel as far as rustc is concerned —
+        // exactly the drift the gdhmsg-exhaustive rule exists to catch.
+        _ => {}
+    }
+}

@@ -1,0 +1,38 @@
+//! Lint fixture: sync-unwrap violations and non-violations.
+//! Never compiled — lexed by tests/lint_fixtures.rs.
+
+fn bad_lock(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap() // FINDING: line 5
+}
+
+fn bad_recv(rx: &crossbeam::channel::Receiver<u32>) -> u32 {
+    rx.recv().expect("peer gone") // FINDING: line 9
+}
+
+fn suppressed(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap() // checkx:allow(sync-unwrap) — poisoning is fatal here by design
+}
+
+fn unrelated_unwrap(o: Option<u32>) -> u32 {
+    o.unwrap() // not a sync method: no finding
+}
+
+fn free_fn_named_send() -> u32 {
+    fn send() -> Option<u32> {
+        Some(1)
+    }
+    send().unwrap() // not a method call: no finding
+}
+
+fn string_decoy() -> &'static str {
+    "x.lock().unwrap()" // inside a string: no finding
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_tests_unwrap_is_fine() {
+        let m = std::sync::Mutex::new(1);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

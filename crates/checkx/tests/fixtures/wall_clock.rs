@@ -1,0 +1,21 @@
+//! Lint fixture: wall-clock reads in a (pretend) deterministic path.
+//! Never compiled — lexed by tests/lint_fixtures.rs.
+
+use std::time::{Instant, SystemTime};
+
+fn bad_instant() -> Instant {
+    Instant::now() // FINDING: line 7
+}
+
+fn bad_system_time() -> SystemTime {
+    SystemTime::now() // FINDING: line 11
+}
+
+fn allowed_instant() -> Instant {
+    // checkx:allow(wall-clock) — metrics only, never in a decision
+    Instant::now()
+}
+
+fn instant_type_only(t: Instant) -> Instant {
+    t // naming the type without ::now is fine
+}

@@ -1,0 +1,118 @@
+//! Seeded lock-inversion fixture: proves the lock-order recorder in the
+//! parking_lot shim actually fires, and precisely characterizes what it
+//! reports. If the detector is ever disabled or broken, the asserts on
+//! `cycle_reports()` fail — this test *is* the detector's detector.
+//!
+//! Everything lives in one `#[test]` because the recorder's graph and
+//! mode are process-global: the Rust test runner would otherwise
+//! interleave sections on different threads.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use parking_lot::lock_order::{self, Mode};
+use parking_lot::Mutex;
+
+#[test]
+fn seeded_inversion_is_reported_with_both_backtraces() {
+    // --- Record mode: the seeded ABBA inversion must produce a report.
+    lock_order::set_mode(Mode::Record);
+    lock_order::reset();
+
+    let a = Mutex::new(0u32);
+    let b = Mutex::new(0u32);
+
+    // Thread-order 1: A then B.
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    assert!(
+        lock_order::cycle_reports().is_empty(),
+        "a single ordering must not report"
+    );
+    assert_eq!(lock_order::edge_count(), 1, "one A→B edge");
+
+    // Thread-order 2: B then A — closes the cycle. Run on another thread
+    // as a real inversion would be; the graph is global, the held stacks
+    // are per-thread.
+    std::thread::spawn(move || {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    })
+    .join()
+    .expect("inversion thread");
+
+    let reports = lock_order::cycle_reports();
+    assert_eq!(reports.len(), 1, "exactly one cycle: {reports:?}");
+    let r = &reports[0];
+    // The two-lock inversion: both sites on the cycle, and *both*
+    // acquisition backtraces present (A-held-acquiring-B and
+    // B-held-acquiring-A).
+    assert!(r.sites.len() >= 2, "cycle over both sites: {:?}", r.sites);
+    assert_eq!(r.edges.len(), 2, "both halves of the ABBA pair");
+    for e in &r.edges {
+        assert!(
+            !e.backtrace.is_empty(),
+            "edge {}→{} must carry its acquisition backtrace",
+            e.held,
+            e.acquired
+        );
+    }
+    let rendered = r.render();
+    assert!(rendered.contains("potential deadlock"), "{rendered}");
+
+    // --- No false positives: a consistent order never reports.
+    lock_order::reset();
+    let c = Mutex::new(0u32);
+    let d = Mutex::new(0u32);
+    for _ in 0..3 {
+        let _gc = c.lock();
+        let _gd = d.lock();
+    }
+    assert!(lock_order::cycle_reports().is_empty());
+
+    // --- try_lock is never the blocking half of a deadlock: a
+    // successful try_lock acquisition adds no edge of its own.
+    lock_order::reset();
+    let e = Mutex::new(0u32);
+    let f = Mutex::new(0u32);
+    {
+        let _ge = e.lock();
+        let _gf = f.lock(); // E→F
+    }
+    {
+        let _gf = f.lock();
+        let _ge = e.try_lock().expect("uncontended"); // would be F→E
+    }
+    assert!(
+        lock_order::cycle_reports().is_empty(),
+        "try_lock closed a cycle it cannot cause"
+    );
+
+    // --- Panic mode: the CI lane's behavior — the acquisition that
+    // closes a cycle panics with the full report.
+    lock_order::reset();
+    lock_order::set_mode(Mode::Panic);
+    let g = std::sync::Arc::new(Mutex::new(0u32));
+    let h = std::sync::Arc::new(Mutex::new(0u32));
+    {
+        let _gg = g.lock();
+        let _gh = h.lock();
+    }
+    let (g2, h2) = (g.clone(), h.clone());
+    let panicked = std::thread::spawn(move || {
+        catch_unwind(AssertUnwindSafe(|| {
+            let _gh = h2.lock();
+            let _gg = g2.lock();
+        }))
+        .is_err()
+    })
+    .join()
+    .expect("panic-mode thread");
+    assert!(panicked, "Panic mode must abort the closing acquisition");
+
+    // Leave the process with the recorder off for any later test binary
+    // reusing this process (none today; cheap insurance).
+    lock_order::set_mode(Mode::Off);
+    lock_order::reset();
+}

@@ -1,0 +1,52 @@
+//! Probe coverage: the yield-point hooks in the crossbeam deque shim
+//! and the pool discipline fire on a *real threaded* pool run. This
+//! pins the instrumentation the explorer's exhaustiveness argument
+//! leans on — if someone removes a probe (or reroutes the pool off the
+//! instrumented queue ops), this test fails before the explorer's
+//! coverage silently narrows.
+//!
+//! Own file: the hook registry is process-global, and no other test in
+//! this binary may race it.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use prisma_poolx::{Job, WorkerPool};
+
+#[test]
+fn pool_run_crosses_every_scheduling_probe() {
+    static SEEN: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    crossbeam::hooks::set_hook(|point| {
+        SEEN.lock().unwrap_or_else(|e| e.into_inner()).insert(point);
+    });
+
+    let pool = WorkerPool::new(2);
+    let counter = AtomicUsize::new(0);
+    let jobs: Vec<Job> = (0..64)
+        .map(|_| {
+            Box::new(|| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }) as Job
+        })
+        .collect();
+    pool.run(jobs);
+    drop(pool);
+    crossbeam::hooks::clear_hook();
+    assert_eq!(counter.load(Ordering::Relaxed), 64);
+
+    let seen = SEEN.lock().unwrap_or_else(|e| e.into_inner());
+    // Deterministically crossed on any completed run: scatter pushes to
+    // mailboxes, every acquisition round drains (injector steal →
+    // worker push), pops, and the round itself announces drain/pop.
+    for point in [
+        "deque.injector.push",
+        "deque.injector.steal",
+        "deque.worker.push",
+        "deque.worker.pop",
+        "pool.drain",
+        "pool.pop",
+    ] {
+        assert!(seen.contains(point), "probe {point} never fired: {seen:?}");
+    }
+}

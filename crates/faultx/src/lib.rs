@@ -25,8 +25,9 @@
 //! are only ever scripted by individual tests.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
+use parking_lot::Mutex;
 use prisma_types::PeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -132,7 +133,7 @@ impl FaultInjector {
     pub fn scripted(seed: u64, specs: Vec<FaultSpec>) -> Arc<FaultInjector> {
         let inj = FaultInjector::default();
         {
-            let mut inner = inj.inner.lock().unwrap();
+            let mut inner = inj.inner.lock();
             inner.rng = Some(StdRng::seed_from_u64(seed));
             inner.used = vec![false; specs.len()];
             inner.scripted = specs;
@@ -148,7 +149,7 @@ impl FaultInjector {
     pub fn delay_matrix(seed: u64, p: f64) -> Arc<FaultInjector> {
         let inj = FaultInjector::default();
         {
-            let mut inner = inj.inner.lock().unwrap();
+            let mut inner = inj.inner.lock();
             inner.rng = Some(StdRng::seed_from_u64(seed));
             inner.delay_prob = p.clamp(0.0, 1.0);
         }
@@ -182,7 +183,6 @@ impl FaultInjector {
     pub fn messages_seen(&self, pe: PeId) -> u64 {
         self.inner
             .lock()
-            .unwrap()
             .msgs
             .get(&pe.index())
             .copied()
@@ -196,7 +196,6 @@ impl FaultInjector {
     pub fn chunks_seen(&self, pe: PeId) -> u64 {
         self.inner
             .lock()
-            .unwrap()
             .chunks
             .get(&pe.index())
             .copied()
@@ -209,7 +208,7 @@ impl FaultInjector {
     /// present (e.g. kill a PE three messages into the *next* query).
     pub fn script(&self, specs: Vec<FaultSpec>) {
         {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.inner.lock();
             inner.used.extend(std::iter::repeat_n(false, specs.len()));
             inner.scripted.extend(specs);
         }
@@ -222,7 +221,7 @@ impl FaultInjector {
     pub fn kill_pe(&self, pe: PeId) {
         self.active
             .store(true, std::sync::atomic::Ordering::Release);
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         if inner.dead.insert(pe.index()) {
             inner.events.push(format!("kill {pe}"));
         }
@@ -233,7 +232,7 @@ impl FaultInjector {
         if !self.is_active() {
             return false;
         }
-        self.inner.lock().unwrap().dead.contains(&pe.index())
+        self.inner.lock().dead.contains(&pe.index())
     }
 
     /// Called by an actor loop for every message delivered on `pe`.
@@ -243,7 +242,7 @@ impl FaultInjector {
         if !self.is_active() {
             return false;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         let n = inner.msgs.entry(pe.index()).or_insert(0);
         *n += 1;
         let n = *n;
@@ -266,7 +265,7 @@ impl FaultInjector {
         if !self.is_active() {
             return ChunkFate::Deliver;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         let n = inner.chunks.entry(pe.index()).or_insert(0);
         *n += 1;
         let n = *n;
@@ -310,7 +309,7 @@ impl FaultInjector {
         if !self.is_active() {
             return false;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         for i in 0..inner.scripted.len() {
             if inner.used[i] {
                 continue;
@@ -333,7 +332,7 @@ impl FaultInjector {
         if !self.is_active() {
             return 0;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         if inner.delay_prob > 0.0 {
             let p = inner.delay_prob;
             if let Some(rng) = inner.rng.as_mut() {
@@ -347,7 +346,7 @@ impl FaultInjector {
 
     /// The audit log of every fault that actually fired, in order.
     pub fn events(&self) -> Vec<String> {
-        self.inner.lock().unwrap().events.clone()
+        self.inner.lock().events.clone()
     }
 }
 

@@ -95,6 +95,7 @@ impl PoolShared {
     /// Grab one queued task, preferring sibling `me`'s neighbours'
     /// backlogs; counts cross-worker takes as steals.
     fn steal_for(&self, me: usize) -> Option<Task> {
+        crossbeam::hooks::probe("pool.steal");
         let n = self.mailboxes.len();
         for off in 1..n {
             let victim = (me + off) % n;
@@ -109,6 +110,59 @@ impl PoolShared {
         }
         None
     }
+
+    /// One round of worker `me`'s task-acquisition discipline: drain the
+    /// own mailbox into the private LIFO deque, pop the hot end, else
+    /// steal from a sibling (mailbox first, then deque, FIFO). This is
+    /// the scheduling core of [`worker_loop`], factored out so checkx's
+    /// interleaving explorer can drive the *same* code one acquisition
+    /// at a time instead of testing a re-model of it.
+    fn next_task(&self, me: usize, local: &Worker<Task>) -> Option<Task> {
+        crossbeam::hooks::probe("pool.drain");
+        while let Steal::Success(t) = self.mailboxes[me].steal() {
+            local.push(t);
+        }
+        crossbeam::hooks::probe("pool.pop");
+        local.pop().or_else(|| self.steal_for(me))
+    }
+}
+
+/// Build the queue fabric for `workers` workers: the shared state plus
+/// each worker's private LIFO deque (handed to its thread — or to the
+/// checkx harness driving the discipline without threads).
+fn build_shared(workers: usize) -> (Arc<PoolShared>, Vec<Worker<Task>>) {
+    let locals: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+    let shared = Arc::new(PoolShared {
+        mailboxes: (0..workers).map(|_| Injector::new()).collect(),
+        stealers: locals.iter().map(|w| w.stealer()).collect(),
+        epoch: Mutex::new(0),
+        wake: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        morsels: AtomicU64::new(0),
+        steals: AtomicU64::new(0),
+        busy_nanos: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+    });
+    (shared, locals)
+}
+
+/// Scatter `jobs` round-robin across the mailboxes starting at `rr0`,
+/// all tied to one fresh [`BatchState`].
+fn scatter(shared: &PoolShared, jobs: Vec<StaticJob>, rr0: usize) -> Arc<BatchState> {
+    let batch = Arc::new(BatchState {
+        remaining: AtomicUsize::new(jobs.len()),
+        lock: Mutex::new(()),
+        done: Condvar::new(),
+        panicked: AtomicBool::new(false),
+    });
+    let n = shared.mailboxes.len();
+    for (i, job) in jobs.into_iter().enumerate() {
+        let task = Task {
+            job,
+            batch: Arc::clone(&batch),
+        };
+        shared.mailboxes[(rr0 + i) % n].push(task);
+    }
+    batch
 }
 
 /// A pool of compute workers for one PE. Created via [`WorkerPool::new`];
@@ -123,17 +177,7 @@ impl WorkerPool {
     /// Spawn a pool of `workers` compute threads (clamped to ≥ 1).
     pub fn new(workers: usize) -> Arc<WorkerPool> {
         let workers = workers.max(1);
-        let locals: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new_lifo()).collect();
-        let shared = Arc::new(PoolShared {
-            mailboxes: (0..workers).map(|_| Injector::new()).collect(),
-            stealers: locals.iter().map(|w| w.stealer()).collect(),
-            epoch: Mutex::new(0),
-            wake: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            morsels: AtomicU64::new(0),
-            steals: AtomicU64::new(0),
-            busy_nanos: (0..workers).map(|_| AtomicU64::new(0)).collect(),
-        });
+        let (shared, locals) = build_shared(workers);
         let threads = locals
             .into_iter()
             .enumerate()
@@ -167,26 +211,13 @@ impl WorkerPool {
         if jobs.is_empty() {
             return;
         }
-        let batch = Arc::new(BatchState {
-            remaining: AtomicUsize::new(jobs.len()),
-            lock: Mutex::new(()),
-            done: Condvar::new(),
-            panicked: AtomicBool::new(false),
-        });
         // SAFETY: the jobs are erased to 'static only so they can sit in
         // the shared queues; this function blocks below until
         // `batch.remaining` hits zero, i.e. until every job has finished
         // executing, so no borrow they capture is used after it expires.
         let jobs: Vec<StaticJob> = unsafe { std::mem::transmute(jobs) };
-        let n = self.workers();
         let rr0 = self.next_rr.fetch_add(jobs.len(), Ordering::Relaxed);
-        for (i, job) in jobs.into_iter().enumerate() {
-            let task = Task {
-                job,
-                batch: Arc::clone(&batch),
-            };
-            self.shared.mailboxes[(rr0 + i) % n].push(task);
-        }
+        let batch = scatter(&self.shared, jobs, rr0);
         {
             let mut epoch = self.shared.epoch.lock();
             *epoch += 1;
@@ -239,24 +270,15 @@ fn worker_loop(id: usize, local: Worker<Task>, shared: Arc<PoolShared>) {
         // epoch, and the wait below notices.
         let seen = *shared.epoch.lock();
         let mut progressed = false;
-        loop {
-            // Drain own mailbox into the private deque, then work LIFO.
-            while let Steal::Success(t) = shared.mailboxes[id].steal() {
-                local.push(t);
-            }
-            let task = local.pop().or_else(|| shared.steal_for(id));
-            match task {
-                Some(task) => {
-                    progressed = true;
-                    run_task(id, task, &shared);
-                }
-                None => break,
-            }
+        while let Some(task) = shared.next_task(id, &local) {
+            progressed = true;
+            run_task(id, task, &shared);
         }
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
         if !progressed {
+            crossbeam::hooks::probe("pool.park");
             let mut epoch = shared.epoch.lock();
             while *epoch == seen && !shared.shutdown.load(Ordering::Acquire) {
                 shared.wake.wait(&mut epoch);
@@ -277,6 +299,107 @@ fn run_task(id: usize, task: Task, shared: &PoolShared) {
     if task.batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
         let _guard = task.batch.lock.lock();
         task.batch.done.notify_all();
+    }
+}
+
+/// The same queue fabric and acquisition discipline as [`WorkerPool`],
+/// but with **no OS threads**: each call to [`PoolHarness::step`] runs
+/// exactly one task acquisition (drain → pop → steal, the code path
+/// shared with the threaded worker loop via `PoolShared::next_task`) on behalf of
+/// one virtual worker. checkx's bounded interleaving explorer drives
+/// this to enumerate every ordering of worker steps for small job
+/// counts — turning the pool's no-lost-job / no-double-run / panic-
+/// propagation invariants from race-*sampled* into schedule-*enumerated*
+/// properties. The mutex-backed deque shim makes each acquisition step
+/// atomic, so step-granularity enumeration covers every observable
+/// thread interleaving.
+pub struct PoolHarness {
+    shared: Arc<PoolShared>,
+    locals: Vec<Worker<Task>>,
+    next_rr: usize,
+}
+
+/// Observable completion state of one batch submitted to a
+/// [`PoolHarness`] — what [`WorkerPool::run`] blocks on, exposed so the
+/// explorer can assert it instead.
+pub struct BatchHandle {
+    batch: Arc<BatchState>,
+}
+
+impl BatchHandle {
+    /// Jobs of this batch not yet executed.
+    pub fn remaining(&self) -> usize {
+        self.batch.remaining.load(Ordering::Acquire)
+    }
+
+    /// True when some job of this batch panicked (the flag
+    /// [`WorkerPool::run`] re-raises on the caller's thread).
+    pub fn panicked(&self) -> bool {
+        self.batch.panicked.load(Ordering::Acquire)
+    }
+}
+
+impl PoolHarness {
+    /// A harness over `workers` virtual workers (clamped to ≥ 1).
+    pub fn new(workers: usize) -> PoolHarness {
+        let workers = workers.max(1);
+        let (shared, locals) = build_shared(workers);
+        PoolHarness {
+            shared,
+            locals,
+            next_rr: 0,
+        }
+    }
+
+    /// Virtual worker count.
+    pub fn workers(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Submit a batch exactly as [`WorkerPool::run`] would: round-robin
+    /// scatter into the worker mailboxes. No worker runs anything until
+    /// [`step`](Self::step) is called.
+    pub fn submit(&mut self, jobs: Vec<Box<dyn FnOnce() + Send + 'static>>) -> BatchHandle {
+        let rr0 = self.next_rr;
+        self.next_rr += jobs.len();
+        BatchHandle {
+            batch: scatter(&self.shared, jobs, rr0),
+        }
+    }
+
+    /// Run one acquisition round for `worker`: the real
+    /// drain-mailbox / pop-LIFO / steal-sibling discipline, then execute
+    /// the acquired task (with the real panic-catching bookkeeping).
+    /// Returns false when the worker found nothing to do.
+    pub fn step(&self, worker: usize) -> bool {
+        match self.shared.next_task(worker, &self.locals[worker]) {
+            Some(task) => {
+                run_task(worker, task, &self.shared);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True while any mailbox or worker deque still holds a task.
+    pub fn has_work(&self) -> bool {
+        self.shared.mailboxes.iter().any(|m| !m.is_empty())
+            || self.shared.stealers.iter().any(|s| !s.is_empty())
+    }
+
+    /// Cumulative counters (morsels executed, steals), as for a real pool.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.workers(),
+            morsels: self.shared.morsels.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            busy_nanos: self
+                .shared
+                .busy_nanos
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
     }
 }
 

@@ -12,6 +12,60 @@
 //!   the `Steal` result enum) so a later swap to the real crate is a
 //!   drop-in: owner pops LIFO, stealers take FIFO from the other end.
 
+pub mod hooks {
+    //! Yield-point probes for prisma-checkx's interleaving tooling.
+    //!
+    //! Each instrumented operation in the [`crate::deque`] module (and in
+    //! `poolx::workers`, which builds on it) announces itself through
+    //! [`probe`] just before it runs. Unarmed — the default — a probe is
+    //! one relaxed atomic load. Armed via [`set_hook`], the registered
+    //! callback observes the exact sequence of queue operations a thread
+    //! performs: checkx uses this to assert schedule coverage and to
+    //! perturb thread interleavings deterministically (a seeded hook
+    //! yielding at chosen points replays the same schedule pressure
+    //! every run).
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    type Hook = Arc<dyn Fn(&'static str) + Send + Sync>;
+
+    static ARMED: AtomicBool = AtomicBool::new(false);
+
+    fn slot() -> &'static Mutex<Option<Hook>> {
+        static SLOT: OnceLock<Mutex<Option<Hook>>> = OnceLock::new();
+        SLOT.get_or_init(|| Mutex::new(None))
+    }
+
+    /// Announce an instrumented operation. `point` names it, e.g.
+    /// `"deque.stealer.steal"`. No-op unless a hook is armed.
+    pub fn probe(point: &'static str) {
+        if !ARMED.load(Ordering::Relaxed) {
+            return;
+        }
+        // Clone the hook out so it runs without the registry lock held:
+        // probes fire concurrently from every worker thread.
+        let hook = slot().lock().unwrap_or_else(|e| e.into_inner()).clone();
+        if let Some(hook) = hook {
+            hook(point);
+        }
+    }
+
+    /// Arm `hook` to run at every probe point (replacing any previous
+    /// hook). The hook must be reentrancy-safe: it runs on whichever
+    /// thread hits the probe.
+    pub fn set_hook(hook: impl Fn(&'static str) + Send + Sync + 'static) {
+        *slot().lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(hook));
+        ARMED.store(true, Ordering::Relaxed);
+    }
+
+    /// Disarm probes (back to one atomic load each).
+    pub fn clear_hook() {
+        ARMED.store(false, Ordering::Relaxed);
+        *slot().lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
@@ -332,11 +386,13 @@ pub mod deque {
 
         /// Push a task onto the owner's (hot) end.
         pub fn push(&self, task: T) {
+            crate::hooks::probe("deque.worker.push");
             lock(&self.queue).push_back(task);
         }
 
         /// Pop from the owner's end — the most recently pushed task.
         pub fn pop(&self) -> Option<T> {
+            crate::hooks::probe("deque.worker.pop");
             lock(&self.queue).pop_back()
         }
 
@@ -368,6 +424,7 @@ pub mod deque {
     impl<T> Stealer<T> {
         /// Try to take one task from the cold end.
         pub fn steal(&self) -> Steal<T> {
+            crate::hooks::probe("deque.stealer.steal");
             match lock(&self.queue).pop_front() {
                 Some(t) => Steal::Success(t),
                 None => Steal::Empty,
@@ -410,11 +467,13 @@ pub mod deque {
 
         /// Enqueue a task at the tail.
         pub fn push(&self, task: T) {
+            crate::hooks::probe("deque.injector.push");
             lock(&self.queue).push_back(task);
         }
 
         /// Take the oldest queued task.
         pub fn steal(&self) -> Steal<T> {
+            crate::hooks::probe("deque.injector.steal");
             match lock(&self.queue).pop_front() {
                 Some(t) => Steal::Success(t),
                 None => Steal::Empty,

@@ -4,21 +4,34 @@
 //! the subset used in-tree: `Mutex`, `RwLock`, `Condvar`. Poisoned std
 //! locks are recovered transparently (a panic while holding a lock does
 //! not wedge the rest of the machine, matching parking_lot semantics).
+//!
+//! Because every lock in the workspace resolves here, the shim doubles
+//! as the instrumentation point for prisma-checkx's lock-order deadlock
+//! analysis: see [`lock_order`]. Off by default (one relaxed atomic
+//! load per operation); armed by `CHECKX_LOCK_ORDER=1` or
+//! [`lock_order::set_mode`].
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::AtomicU32;
 use std::sync::{self, TryLockError};
 use std::time::Duration;
+
+pub mod lock_order;
 
 /// Mutual-exclusion lock whose `lock` returns the guard directly.
 #[derive(Default)]
 pub struct Mutex<T: ?Sized> {
+    /// Lock-order site id, assigned on first recorded acquisition
+    /// (0 = unassigned / recorder off).
+    site: AtomicU32,
     inner: sync::Mutex<T>,
 }
 
 /// Guard for [`Mutex`]. Holds an `Option` so [`Condvar::wait`] can move
 /// the underlying std guard out and back in around the blocking call.
 pub struct MutexGuard<'a, T: ?Sized> {
+    site: u32,
     inner: Option<sync::MutexGuard<'a, T>>,
 }
 
@@ -26,6 +39,7 @@ impl<T> Mutex<T> {
     /// Create a new mutex.
     pub const fn new(value: T) -> Self {
         Mutex {
+            site: AtomicU32::new(0),
             inner: sync::Mutex::new(value),
         }
     }
@@ -39,20 +53,37 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        let site = if lock_order::enabled() {
+            let s = lock_order::site_id(&self.site);
+            lock_order::on_acquire(s);
+            s
+        } else {
+            0
+        };
         MutexGuard {
+            site,
             inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
         }
     }
 
     /// Try to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: Some(e.into_inner()),
-            }),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        let site = if lock_order::enabled() {
+            let s = lock_order::site_id(&self.site);
+            lock_order::on_acquire_try(s);
+            s
+        } else {
+            0
+        };
+        Some(MutexGuard {
+            site,
+            inner: Some(inner),
+        })
     }
 }
 
@@ -75,6 +106,14 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.site != 0 {
+            lock_order::on_release(self.site);
+        }
+    }
+}
+
 /// Condition variable compatible with [`MutexGuard`].
 #[derive(Default)]
 pub struct Condvar {
@@ -92,10 +131,20 @@ impl Condvar {
     /// Block until notified, releasing the mutex while waiting.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let std_guard = guard.inner.take().expect("guard present");
+        // The mutex is released for the duration of the wait: take it off
+        // the lock-order held stack so nothing acquired by *other* code
+        // on this thread (via callbacks) is misattributed, and record the
+        // blocking reacquisition on wake.
+        if guard.site != 0 {
+            lock_order::on_release(guard.site);
+        }
         let std_guard = self
             .inner
             .wait(std_guard)
             .unwrap_or_else(|e| e.into_inner());
+        if guard.site != 0 {
+            lock_order::on_acquire(guard.site);
+        }
         guard.inner = Some(std_guard);
     }
 
@@ -103,10 +152,16 @@ impl Condvar {
     /// wait timed out.
     pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
         let std_guard = guard.inner.take().expect("guard present");
+        if guard.site != 0 {
+            lock_order::on_release(guard.site);
+        }
         let (std_guard, res) = self
             .inner
             .wait_timeout(std_guard, timeout)
             .unwrap_or_else(|e| e.into_inner());
+        if guard.site != 0 {
+            lock_order::on_acquire(guard.site);
+        }
         guard.inner = Some(std_guard);
         res.timed_out()
     }
@@ -125,16 +180,20 @@ impl Condvar {
 /// Reader-writer lock whose `read`/`write` return guards directly.
 #[derive(Default)]
 pub struct RwLock<T: ?Sized> {
+    /// Lock-order site id, assigned on first recorded acquisition.
+    site: AtomicU32,
     inner: sync::RwLock<T>,
 }
 
 /// Shared guard for [`RwLock`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
+    site: u32,
     inner: sync::RwLockReadGuard<'a, T>,
 }
 
 /// Exclusive guard for [`RwLock`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    site: u32,
     inner: sync::RwLockWriteGuard<'a, T>,
 }
 
@@ -142,6 +201,7 @@ impl<T> RwLock<T> {
     /// Create a new reader-writer lock.
     pub const fn new(value: T) -> Self {
         RwLock {
+            site: AtomicU32::new(0),
             inner: sync::RwLock::new(value),
         }
     }
@@ -153,16 +213,34 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
+    /// Site id for the recorder (0 when the recorder is off). Read locks
+    /// participate in ordering like write locks: a reader held while
+    /// blocking on another lock deadlocks against a writer taking the
+    /// two in the opposite order.
+    fn record_site(&self) -> u32 {
+        if lock_order::enabled() {
+            let s = lock_order::site_id(&self.site);
+            lock_order::on_acquire(s);
+            s
+        } else {
+            0
+        }
+    }
+
     /// Acquire a shared read lock.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let site = self.record_site();
         RwLockReadGuard {
+            site,
             inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
         }
     }
 
     /// Acquire an exclusive write lock.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let site = self.record_site();
         RwLockWriteGuard {
+            site,
             inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
         }
     }
@@ -191,6 +269,22 @@ impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.site != 0 {
+            lock_order::on_release(self.site);
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.site != 0 {
+            lock_order::on_release(self.site);
+        }
     }
 }
 

@@ -1,0 +1,309 @@
+//! Lock-order recorder — the data source for prisma-checkx's deadlock
+//! analysis.
+//!
+//! Every `Mutex`/`RwLock` in the workspace resolves to this shim, which
+//! puts the whole system's synchronization under one roof: when the
+//! recorder is armed (`CHECKX_LOCK_ORDER=1` or [`set_mode`]), each lock
+//! object is assigned a **site id** on its first acquisition and every
+//! *blocking* acquisition made while other shim locks are held adds a
+//! `held → acquired` edge to a global lock-order graph. An edge that
+//! closes a cycle is a **potential deadlock**: two threads could be
+//! running the two acquisition chains concurrently and block on each
+//! other forever, even if this particular run got lucky. The report
+//! carries the acquisition backtrace of every edge on the cycle — i.e.
+//! both sides of an ABBA inversion — captured when the edge was first
+//! observed.
+//!
+//! Design notes:
+//!
+//! * **Per-object sites.** Ids are per lock instance, not per source
+//!   location, so a cycle is only reported when the *same two objects*
+//!   are acquired in both orders — no false positives from unrelated
+//!   locks that happen to share a constructor. (The cost: an inversion
+//!   across two different instances of the same class is not
+//!   generalized, as lockdep would; for this workspace's small, static
+//!   lock population the precision trade is the right one.)
+//! * **`try_lock` never blocks**, so a successful `try_lock` cannot be
+//!   the blocking half of a deadlock: it participates as a *held* lock
+//!   in later edges but its own acquisition adds none.
+//! * **Condvar waits release the mutex**: the wait removes the lock from
+//!   the held stack and the wake re-records the reacquisition, so "held
+//!   across a wait" never fabricates edges — and a reacquisition while
+//!   holding other locks is checked like any other acquisition.
+//! * The recorder's own state uses `std::sync` primitives directly, so
+//!   instrumentation never recurses into itself.
+//!
+//! When off (the default), the entire recorder is one relaxed atomic
+//! load per lock operation.
+
+use std::backtrace::Backtrace;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::sync::Mutex as StdMutex;
+
+/// What the recorder does with a cycle-closing acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Recorder off: every hook is a no-op (the default).
+    Off,
+    /// Record cycles into the report list without interrupting the
+    /// program — what the seeded-inversion fixture uses to assert on
+    /// the report contents.
+    Record,
+    /// Record the cycle, print the full report to stderr, and panic at
+    /// the acquisition that closed it — what the `CHECKX_LOCK_ORDER=1`
+    /// CI lane uses so a potential deadlock fails the build loudly.
+    Panic,
+}
+
+const MODE_UNINIT: u8 = 0;
+const MODE_OFF: u8 = 1;
+const MODE_RECORD: u8 = 2;
+const MODE_PANIC: u8 = 3;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNINIT);
+static NEXT_SITE: AtomicU32 = AtomicU32::new(1);
+
+/// One observed `held → acquired` ordering, with the backtrace of the
+/// acquisition that created it.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Site id of the lock that was already held.
+    pub held: u32,
+    /// Site id of the lock being acquired.
+    pub acquired: u32,
+    /// Backtrace of the acquisition of `acquired` while `held` was
+    /// held, captured when this edge was first observed.
+    pub backtrace: String,
+}
+
+/// A cycle in the lock-order graph: a potential deadlock. `edges` walks
+/// the cycle — for the classic two-lock inversion it holds both
+/// acquisition backtraces (A held while taking B, B held while taking
+/// A).
+#[derive(Debug, Clone)]
+pub struct CycleReport {
+    /// The site ids on the cycle, in order.
+    pub sites: Vec<u32>,
+    /// The edges closing the cycle, each with its acquisition backtrace.
+    pub edges: Vec<Edge>,
+}
+
+impl CycleReport {
+    /// Human-readable multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "checkx: potential deadlock — lock-order cycle through sites {:?}\n",
+            self.sites
+        );
+        for e in &self.edges {
+            out.push_str(&format!(
+                "  site {} held while acquiring site {}; acquisition backtrace:\n{}\n",
+                e.held, e.acquired, e.backtrace
+            ));
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct Graph {
+    /// `held → acquired` edges, first-observation backtrace each.
+    edges: HashMap<(u32, u32), String>,
+    /// Adjacency: site → sites acquired while it was held.
+    succ: HashMap<u32, Vec<u32>>,
+    cycles: Vec<CycleReport>,
+}
+
+impl Graph {
+    /// A path `from →* to` over recorded edges.
+    fn path(&self, from: u32, to: u32) -> Option<Vec<u32>> {
+        let mut stack = vec![vec![from]];
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(from);
+        while let Some(path) = stack.pop() {
+            let last = *path.last().expect("paths are non-empty");
+            if last == to {
+                return Some(path);
+            }
+            for &next in self.succ.get(&last).into_iter().flatten() {
+                if seen.insert(next) || next == to {
+                    let mut p = path.clone();
+                    p.push(next);
+                    stack.push(p);
+                }
+            }
+        }
+        None
+    }
+}
+
+fn graph() -> &'static StdMutex<Graph> {
+    static GRAPH: std::sync::OnceLock<StdMutex<Graph>> = std::sync::OnceLock::new();
+    GRAPH.get_or_init(|| StdMutex::new(Graph::default()))
+}
+
+thread_local! {
+    /// Site ids of shim locks this thread currently holds, in
+    /// acquisition order (duplicates allowed: reader locks re-entered
+    /// through distinct guards each push).
+    static HELD: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The active mode, reading `CHECKX_LOCK_ORDER` on first use
+/// (`1`/`panic` → [`Mode::Panic`], `record` → [`Mode::Record`], anything
+/// else → off).
+pub fn mode() -> Mode {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_OFF => Mode::Off,
+        MODE_RECORD => Mode::Record,
+        MODE_PANIC => Mode::Panic,
+        _ => {
+            let m = match std::env::var("CHECKX_LOCK_ORDER").as_deref() {
+                Ok("1") | Ok("panic") => Mode::Panic,
+                Ok("record") => Mode::Record,
+                _ => Mode::Off,
+            };
+            set_mode(m);
+            m
+        }
+    }
+}
+
+/// Arm or disarm the recorder programmatically (tests and fixtures; the
+/// environment variable only seeds the initial mode).
+pub fn set_mode(m: Mode) {
+    let v = match m {
+        Mode::Off => MODE_OFF,
+        Mode::Record => MODE_RECORD,
+        Mode::Panic => MODE_PANIC,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+/// True when acquisitions are currently being recorded.
+pub fn enabled() -> bool {
+    mode() != Mode::Off
+}
+
+/// Assign (once) and return the site id for a lock object's id slot.
+pub(crate) fn site_id(slot: &AtomicU32) -> u32 {
+    let id = slot.load(Ordering::Relaxed);
+    if id != 0 {
+        return id;
+    }
+    let fresh = NEXT_SITE.fetch_add(1, Ordering::Relaxed);
+    match slot.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => fresh,
+        Err(existing) => existing,
+    }
+}
+
+/// Record a blocking acquisition of `site`: add `held → site` edges for
+/// every lock this thread holds, detect cycles, then push onto the held
+/// stack. Called *before* the underlying lock call so the edge exists
+/// even if the acquisition then blocks forever.
+pub(crate) fn on_acquire(site: u32) {
+    let m = mode();
+    if m == Mode::Off {
+        return;
+    }
+    HELD.with(|held| {
+        let held_now: Vec<u32> = held.borrow().clone();
+        for &h in &held_now {
+            if h != site {
+                record_edge(h, site, m);
+            }
+        }
+        held.borrow_mut().push(site);
+    });
+}
+
+/// Record a successful `try_lock`: the lock is now held (it gates later
+/// edges) but a non-blocking acquisition cannot itself deadlock, so no
+/// edges are added for it.
+pub(crate) fn on_acquire_try(site: u32) {
+    if mode() == Mode::Off {
+        return;
+    }
+    HELD.with(|held| held.borrow_mut().push(site));
+}
+
+/// Record a release (guard drop, or a condvar wait parking the mutex).
+pub(crate) fn on_release(site: u32) {
+    if mode() == Mode::Off {
+        return;
+    }
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&h| h == site) {
+            held.remove(pos);
+        }
+    });
+}
+
+fn record_edge(held: u32, acquired: u32, m: Mode) {
+    let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+    if g.edges.contains_key(&(held, acquired)) {
+        return;
+    }
+    // New ordering observed: does the reverse direction already exist as
+    // a path? Then `held → acquired` closes a cycle.
+    let cycle = g.path(acquired, held).map(|mut sites| {
+        sites.push(acquired); // close the loop for the report
+        let mut edges = Vec::new();
+        for w in sites.windows(2) {
+            if let Some(bt) = g.edges.get(&(w[0], w[1])) {
+                edges.push(Edge {
+                    held: w[0],
+                    acquired: w[1],
+                    backtrace: bt.clone(),
+                });
+            }
+        }
+        edges.push(Edge {
+            held,
+            acquired,
+            backtrace: format!("{}", Backtrace::force_capture()),
+        });
+        CycleReport { sites, edges }
+    });
+    let bt = format!("{}", Backtrace::force_capture());
+    g.edges.insert((held, acquired), bt);
+    g.succ.entry(held).or_default().push(acquired);
+    if let Some(report) = cycle {
+        let rendered = report.render();
+        g.cycles.push(report);
+        drop(g);
+        eprintln!("{rendered}");
+        if m == Mode::Panic {
+            panic!("{rendered}");
+        }
+    }
+}
+
+/// Every cycle observed so far (clones; the graph keeps accumulating).
+pub fn cycle_reports() -> Vec<CycleReport> {
+    graph()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .cycles
+        .clone()
+}
+
+/// Number of distinct `held → acquired` orderings observed.
+pub fn edge_count() -> usize {
+    graph()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .edges
+        .len()
+}
+
+/// Drop all recorded edges and cycle reports (test isolation within one
+/// process; site ids are never reused).
+pub fn reset() {
+    let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+    *g = Graph::default();
+}

@@ -65,6 +65,13 @@ use crate::error::{PrismaError, Result};
 use crate::value::Value;
 
 /// Frame magic: "PRISMA Column Block v1".
+///
+/// The fingerprint below pins every wire-format constant in this file
+/// (`MAGIC`, `HEADER_LEN`, `TAG_*`, `VTAG_*`): `checkx-lint` recomputes
+/// the hash and fails when they change without this line being touched.
+/// An incompatible change must bump the magic's version digit, then
+/// re-pin with `checkx-lint --wire-fingerprint`.
+// checkx:wire-fingerprint f28c40ace0bd6006
 const MAGIC: &[u8; 4] = b"PCB1";
 /// Byte offset of the first column frame (magic + rows + ncols + checksum).
 const HEADER_LEN: usize = 4 + 4 + 2 + 8;
