@@ -31,8 +31,11 @@
 //! * `E11_ITERS`  — timed samples per measurement (default 7)
 //! * `E11_ENFORCE=1` — exit non-zero unless the columnar wire ships at
 //!   least 1.5× fewer bits than the row wire on the `Str`-heavy scan,
-//!   strictly fewer on the `Int`-heavy scan, and is no worse on modeled
-//!   end-to-end latency for both
+//!   strictly fewer on the `Int`-heavy scan, is no worse on modeled
+//!   end-to-end latency for both, and — the PR 10 re-scan case — a
+//!   cached-wire-block re-scan of an unmutated fragment is at par with
+//!   the row wire in-process (within a 10% floor-to-floor noise margin)
+//!   and strictly faster than the cold scan that built the caches
 
 use prisma_core::poolx::COORDINATOR_PE;
 use prisma_core::types::{tuple, Value};
@@ -88,6 +91,33 @@ fn measure(db: &PrismaMachine, sql: &str, expect_rows: usize, iters: usize) -> M
     }
 }
 
+/// The PR 10 re-scan case: on a freshly loaded (never scanned) table,
+/// the first columnar scan pays sealing plus the wire-block encode and
+/// fills each sealed chunk's cached `BlockChunk`; every later scan of
+/// the unmutated fragment ships the cached blocks and skips the encoder
+/// entirely. Returns `(first_us, rescan_us, row_rescan_us)`: the cold
+/// columnar scan, the median cached columnar re-scan, and the row-wire
+/// re-scan baseline the cached path must not lose to.
+fn rescan_case(db: &mut PrismaMachine, sql: &str, expect_rows: usize, iters: usize) -> (u64, u64, u64) {
+    let timed = |db: &PrismaMachine| {
+        let (rows, m) = db.query_with_metrics(sql).unwrap();
+        assert_eq!(rows.len(), expect_rows, "scan lost rows");
+        m.full_result_micros
+    };
+    // Latency floors (min over samples), not medians: the two paths
+    // differ by well under the scheduler noise a loaded CI host adds,
+    // and the floor is the robust estimator of the work actually done.
+    let samples = iters.max(5);
+    db.gdh_mut().set_columnar_wire(true);
+    let first = timed(db);
+    let rescan = (0..samples).map(|_| timed(db)).min().unwrap_or(u64::MAX);
+    db.gdh_mut().set_columnar_wire(false);
+    let _warmup = timed(db);
+    let row_rescan = (0..samples).map(|_| timed(db)).min().unwrap_or(0);
+    db.gdh_mut().set_columnar_wire(true);
+    (first, rescan, row_rescan)
+}
+
 /// Measure one scan over both wires; returns `(columnar, row)`.
 fn both_wires(
     db: &mut PrismaMachine,
@@ -117,9 +147,11 @@ fn write_json(
     str_row: &Measured,
     int_col: &Measured,
     int_row: &Measured,
+    str_rescan: (u64, u64, u64),
+    int_rescan: (u64, u64, u64),
 ) {
     let json = format!(
-        "{{\n  \"experiment\": \"e11_wire\",\n  \"rows\": {rows},\n  \"fragments\": {frags},\n  \"iters\": {iters},\n  \"benches\": {{\n    \"str_scan_remote_bytes\": {{\"columnar\": {}, \"row\": {}, \"reduction\": {:.2}}},\n    \"int_scan_remote_bytes\": {{\"columnar\": {}, \"row\": {}, \"reduction\": {:.2}}},\n    \"str_scan_coord_recv_bytes\": {{\"columnar\": {}, \"row\": {}}},\n    \"int_scan_coord_recv_bytes\": {{\"columnar\": {}, \"row\": {}}},\n    \"str_scan_latency_us\": {{\"columnar\": {}, \"row\": {}}},\n    \"int_scan_latency_us\": {{\"columnar\": {}, \"row\": {}}},\n    \"str_scan_e2e_latency_us\": {{\"columnar\": {}, \"row\": {}}},\n    \"int_scan_e2e_latency_us\": {{\"columnar\": {}, \"row\": {}}}\n  }},\n  \"notes\": \"latency_us is in-process wall clock (the row wire ships tuple vectors by refcount bump and never serializes, so codec CPU only shows on the columnar side); e2e_latency_us adds the analytic cost model's interconnect transfer time for the bytes shipped at the configured link rate\"\n}}\n",
+        "{{\n  \"experiment\": \"e11_wire\",\n  \"rows\": {rows},\n  \"fragments\": {frags},\n  \"iters\": {iters},\n  \"benches\": {{\n    \"str_scan_remote_bytes\": {{\"columnar\": {}, \"row\": {}, \"reduction\": {:.2}}},\n    \"int_scan_remote_bytes\": {{\"columnar\": {}, \"row\": {}, \"reduction\": {:.2}}},\n    \"str_scan_coord_recv_bytes\": {{\"columnar\": {}, \"row\": {}}},\n    \"int_scan_coord_recv_bytes\": {{\"columnar\": {}, \"row\": {}}},\n    \"str_scan_latency_us\": {{\"columnar\": {}, \"row\": {}}},\n    \"int_scan_latency_us\": {{\"columnar\": {}, \"row\": {}}},\n    \"str_scan_e2e_latency_us\": {{\"columnar\": {}, \"row\": {}}},\n    \"int_scan_e2e_latency_us\": {{\"columnar\": {}, \"row\": {}}},\n    \"str_rescan_latency_us\": {{\"columnar_first\": {}, \"columnar\": {}, \"row\": {}}},\n    \"int_rescan_latency_us\": {{\"columnar_first\": {}, \"columnar\": {}, \"row\": {}}}\n  }},\n  \"notes\": \"latency_us is in-process wall clock (the row wire ships tuple vectors by refcount bump and never serializes, so codec CPU only shows on the columnar side); e2e_latency_us adds the analytic cost model's interconnect transfer time for the bytes shipped at the configured link rate; rescan_latency_us shows the cached-wire-block effect — columnar_first pays sealing plus the encode, columnar re-ships each sealed chunk's cached block and must not lose to the row wire\"\n}}\n",
         str_col.remote_bytes,
         str_row.remote_bytes,
         reduction(str_row, str_col),
@@ -138,6 +170,12 @@ fn write_json(
         str_row.e2e_us(),
         int_col.e2e_us(),
         int_row.e2e_us(),
+        str_rescan.0,
+        str_rescan.1,
+        str_rescan.2,
+        int_rescan.0,
+        int_rescan.1,
+        int_rescan.2,
     );
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("[E11-wire] could not write {}: {e}", path.display());
@@ -152,7 +190,9 @@ fn main() {
     let iters = env_usize("E11_ITERS", 7);
     let enforce = std::env::var("E11_ENFORCE").is_ok_and(|v| v == "1");
 
-    let mut db = PrismaMachine::builder().pes(8).build().unwrap();
+    // A 256-row seal threshold keeps the unsealed delta tail small, so
+    // the re-scan case measures the cached-block path, not the tail.
+    let mut db = PrismaMachine::builder().pes(8).seal_rows(256).build().unwrap();
 
     // Str-heavy: one low-cardinality column (dictionary + RLE territory)
     // and one medium-cardinality column (dictionary), plus the key.
@@ -201,6 +241,11 @@ fn main() {
     db.refresh_stats("ship_str").unwrap();
     db.refresh_stats("ship_int").unwrap();
 
+    // Re-scan case first, while the tables have never been scanned: the
+    // cold columnar scan is what seals and fills the wire-block caches.
+    let str_rescan = rescan_case(&mut db, "SELECT id, dept, owner FROM ship_str", rows, iters);
+    let int_rescan = rescan_case(&mut db, "SELECT a, b, c FROM ship_int", rows, iters);
+
     let (str_col, str_row) = both_wires(
         &mut db,
         "SELECT id, dept, owner FROM ship_str",
@@ -233,10 +278,14 @@ fn main() {
         int_row.e2e_us(),
         reduction(&int_row, &int_col),
     );
+    eprintln!(
+        "[E11-wire:rescan] str first {} µs, cached {} µs vs row {} µs; int first {} µs, cached {} µs vs row {} µs",
+        str_rescan.0, str_rescan.1, str_rescan.2, int_rescan.0, int_rescan.1, int_rescan.2,
+    );
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_e11.json");
     write_json(
-        &root, rows, frags, iters, &str_col, &str_row, &int_col, &int_row,
+        &root, rows, frags, iters, &str_col, &str_row, &int_col, &int_row, str_rescan, int_rescan,
     );
 
     if enforce {
@@ -263,6 +312,21 @@ fn main() {
             int_col.e2e_us(),
             int_row.e2e_us()
         );
+        // "At par" allows a 10% floor-to-floor noise margin: the two
+        // paths now do the same refcount-bump work and their measured
+        // floors flip sign run to run on a loaded host.
+        for (name, (first, cached, row)) in
+            [("Str", str_rescan), ("Int", int_rescan)]
+        {
+            assert!(
+                cached * 10 <= row * 11,
+                "cached wire blocks did not close the {name} re-scan gap: {cached} vs {row} µs"
+            );
+            assert!(
+                cached < first,
+                "{name} re-scan not faster than the cold scan that built the caches: {cached} vs {first} µs"
+            );
+        }
     }
     db.shutdown();
 }

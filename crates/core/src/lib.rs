@@ -96,6 +96,13 @@ impl MachineBuilder {
         self
     }
 
+    /// Rows-per-chunk threshold at which fragments seal column chunks
+    /// (default 0: resolve from `SEAL_EVERY`, else 1024).
+    pub fn seal_rows(mut self, rows: usize) -> Self {
+        self.config.seal_rows = rows;
+        self
+    }
+
     /// Full configuration override.
     pub fn config(mut self, c: MachineConfig) -> Self {
         self.config = c;

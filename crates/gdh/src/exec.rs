@@ -173,6 +173,15 @@ pub struct ExecMetrics {
     /// the work-stealing balance signal (0 under even load is fine; 0
     /// under skew means stealing is broken).
     pub pool_steals: u64,
+    /// Sealed column chunks actually scanned by this query's fragment
+    /// subplans (two-tier fragments only; delta rows are not counted
+    /// here). Read PE-side from shared counters, never shipped.
+    pub chunks_scanned: u64,
+    /// Sealed column chunks skipped whole because their zone maps
+    /// refuted the scan's pushed-down predicate — data never touched.
+    /// `chunks_pruned / (chunks_scanned + chunks_pruned)` is the E12
+    /// prune ratio.
+    pub chunks_pruned: u64,
     /// Fragments whose primary died mid-query: the dictionary promoted
     /// the backup replica and the fragment's work was re-issued against
     /// it (E10's recovery signal — 0 on a fault-free run).
@@ -340,8 +349,14 @@ impl ParallelExecutor {
         // query is this query's share (queries on one coordinator run
         // one at a time).
         let pools_before = self.pools.as_ref().map(|p| p.total_stats());
+        // Chunk-scan counters are cumulative per process, same as the
+        // pool counters: the delta across the query is this query's share.
+        let (scanned_before, pruned_before) = prisma_relalg::chunk_scan_counters();
         let rel = self.exec_node(plan, &cse_keys, &mut memo, &mut q)?;
         q.metrics.full_result_micros = q.started.elapsed().as_micros().max(1) as u64;
+        let (scanned_after, pruned_after) = prisma_relalg::chunk_scan_counters();
+        q.metrics.chunks_scanned = scanned_after - scanned_before;
+        q.metrics.chunks_pruned = pruned_after - pruned_before;
         if let (Some(pools), Some(before)) = (&self.pools, pools_before) {
             let after = pools.total_stats();
             q.metrics.pool_workers = pools.workers_per_pe().max(1) as u64;
@@ -564,11 +579,13 @@ impl ParallelExecutor {
                 relation: lname.into(),
                 schema: lschema.clone(),
                 projection: None,
+                prune: None,
             }),
             right: Box::new(PhysicalPlan::SeqScan {
                 relation: rname.into(),
                 schema: rschema.clone(),
                 projection: None,
+                prune: None,
             }),
             kind: JoinKind::Inner,
             on: on.to_vec(),
@@ -1615,6 +1632,10 @@ mod tests {
 
     fn loaded_ofm_named(id: u32, relation: &str, rows: std::ops::Range<i64>) -> Ofm {
         let mut ofm = Ofm::new(FragmentId(id), relation, test_schema(), OfmKind::Transient);
+        // Pin the seal threshold to the default batch size so tests that
+        // assert exact batch counts are immune to the `SEAL_EVERY` lane
+        // (sealed chunks ship one batch each).
+        ofm.fragment_mut().set_seal_rows(1024);
         let txn = TxnId(1);
         for i in rows {
             ofm.insert(txn, tuple![i, i % 5]).unwrap();

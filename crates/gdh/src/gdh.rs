@@ -268,6 +268,8 @@ impl GlobalDataHandler {
                     checkpoints: stable.checkpoints,
                 },
             );
+            ofm.fragment_mut()
+                .set_seal_rows(self.config.effective_seal_rows());
             if let Some(pool) = self.pools.pool_for(pe.0 as usize) {
                 ofm.attach_pool(pool);
             }
@@ -317,6 +319,8 @@ impl GlobalDataHandler {
         }
         let backup_pe = PeId::from((primary_pe.index() + 1) % self.config.num_pes);
         let mut ofm = Ofm::new(id, name, schema.clone(), OfmKind::Transient);
+        ofm.fragment_mut()
+            .set_seal_rows(self.config.effective_seal_rows());
         for t in seed {
             ofm.fragment_mut().insert(t)?;
         }
@@ -408,6 +412,8 @@ impl GlobalDataHandler {
                 stable.wal,
                 stable.checkpoints,
             )?;
+            ofm.fragment_mut()
+                .set_seal_rows(self.config.effective_seal_rows());
             if let Some(pool) = self.pools.pool_for(frag.pe.0 as usize) {
                 ofm.attach_pool(pool);
             }

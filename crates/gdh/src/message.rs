@@ -95,16 +95,34 @@ pub enum ShuffleSide {
 pub enum ChunkData {
     /// Row wire: the batch in row-oriented form.
     Rows(Batch),
-    /// Columnar wire: the batch as one encoded column-block frame.
-    Blocks(prisma_types::wire::BlockChunk),
+    /// Columnar wire: the batch as one encoded column-block frame,
+    /// `Arc`-shared so a sealed chunk's **cached** wire block ships
+    /// without copying the frame (re-ships of unmutated cold data are
+    /// refcount bumps — the encoder never re-runs).
+    Blocks {
+        /// The encoded frame — what the interconnect meters and what the
+        /// fault injector's bit damage lands on.
+        frame: std::sync::Arc<prisma_types::wire::BlockChunk>,
+        /// In-process delivery shortcut: when `frame` is a sealed chunk's
+        /// cached wire block, the chunk rides along and the receiver
+        /// serves its columns directly instead of re-decoding its own
+        /// shared frame (the columnar twin of the row wire's
+        /// refcount-bump ship). Dropped on corruption so injected bit
+        /// damage is always seen by the decoder.
+        sealed: Option<std::sync::Arc<prisma_types::SealedChunk>>,
+    },
 }
 
 impl ChunkData {
     /// Encode a produced batch for the wire — the sender-side seam where
-    /// the format flag takes effect.
+    /// the format flag takes effect. Batches that are whole sealed chunks
+    /// reuse the chunk's cached block frame.
     pub fn from_batch(batch: Batch, columnar: bool) -> ChunkData {
         if columnar {
-            ChunkData::Blocks(batch.encode_columnar())
+            ChunkData::Blocks {
+                sealed: batch.sealed_chunk().cloned(),
+                frame: batch.encode_columnar_shared(),
+            }
         } else {
             ChunkData::Rows(batch.into_rows())
         }
@@ -115,7 +133,7 @@ impl ChunkData {
     pub fn rows(&self) -> u64 {
         match self {
             ChunkData::Rows(batch) => batch.len() as u64,
-            ChunkData::Blocks(block) => block.rows() as u64,
+            ChunkData::Blocks { frame, .. } => frame.rows() as u64,
         }
     }
 
@@ -125,7 +143,7 @@ impl ChunkData {
     pub fn wire_bits(&self) -> u64 {
         match self {
             ChunkData::Rows(batch) => batch.wire_bits(),
-            ChunkData::Blocks(block) => block.wire_bits(),
+            ChunkData::Blocks { frame, .. } => frame.wire_bits(),
         }
     }
 
@@ -136,7 +154,11 @@ impl ChunkData {
     pub fn into_batch(self) -> Result<Batch> {
         match self {
             ChunkData::Rows(batch) => Ok(batch),
-            ChunkData::Blocks(block) => Batch::from_block(&block),
+            ChunkData::Blocks {
+                sealed: Some(chunk),
+                ..
+            } => Ok(Batch::from_sealed_chunk(&chunk, None)),
+            ChunkData::Blocks { frame, sealed: None } => Batch::from_block(&frame),
         }
     }
 
@@ -149,10 +171,15 @@ impl ChunkData {
     /// Mangle the payload in flight (the fault injector's
     /// `ChunkFate::Corrupt`). Only encoded frames can take bit damage —
     /// row payloads are in-memory typed values with no byte form to flip,
-    /// so the row wire delivers them unchanged.
+    /// so the row wire delivers them unchanged. Shared frames (a sealed
+    /// chunk's cached block) are copied-on-write first, so corruption
+    /// never leaks back into the sender's cache.
     pub fn corrupt_in_place(&mut self, seed: u64) {
-        if let ChunkData::Blocks(block) = self {
-            block.corrupt_in_place(seed);
+        if let ChunkData::Blocks { frame, sealed } = self {
+            std::sync::Arc::make_mut(frame).corrupt_in_place(seed);
+            // The shortcut must not mask the damage: force the receiver
+            // through the decoder, which rejects the mangled frame.
+            *sealed = None;
         }
     }
 }
@@ -1023,7 +1050,10 @@ impl OfmActor {
                             continue;
                         }
                         let data = if columnar {
-                            ChunkData::Blocks(batch.encode_positions(&pos))
+                            ChunkData::Blocks {
+                                frame: std::sync::Arc::new(batch.encode_positions(&pos)),
+                                sealed: None,
+                            }
                         } else {
                             ChunkData::Rows(Batch::owned(batch.gather_rows(&pos)))
                         };
@@ -1373,6 +1403,7 @@ impl Process<GdhMsg> for OfmActor {
                 stream,
                 columnar,
             } => {
+                self.ofm.seal_for_scan();
                 self.ship_stream(
                     &plan,
                     &extra,
@@ -1407,6 +1438,7 @@ impl Process<GdhMsg> for OfmActor {
                 tag,
                 columnar,
             } => {
+                self.ofm.seal_for_scan();
                 self.run_shuffle_source(
                     query_id, exchange, &plan, &key_cols, &sites, restrict_to, side, tag,
                     columnar, ctx,
@@ -1456,6 +1488,7 @@ impl Process<GdhMsg> for OfmActor {
             } => {
                 // Buckets ship per produced batch: partition each batch
                 // on the spot instead of materializing the whole side.
+                self.ofm.seal_for_scan();
                 self.ship_stream(
                     &plan,
                     &HashMap::new(),

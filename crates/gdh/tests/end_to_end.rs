@@ -855,3 +855,130 @@ fn shuffle_stats_fold_once_across_failover_rerequests() {
     );
     gdh.shutdown();
 }
+
+/// A machine whose fragments seal a column chunk every `seal_rows`
+/// delta rows, so small test tables exercise the two-tier layout
+/// without depending on the process-wide `SEAL_EVERY` default.
+fn sealing_machine(pes: usize, seal_rows: usize) -> GlobalDataHandler {
+    let cfg = MachineConfig {
+        num_pes: pes,
+        topology: TopologyKind::Mesh,
+        seal_rows,
+        ..MachineConfig::default()
+    };
+    GlobalDataHandler::boot(cfg, AllocationPolicy::LoadBalanced, DiskProfile::instant()).unwrap()
+}
+
+#[test]
+fn sealing_on_scan_is_not_a_mutation() {
+    let gdh = sealing_machine(8, 8);
+    setup_emp(&gdh);
+    let epoch_before = gdh.dictionary().mutation_epoch("emp");
+
+    // The scan seals every fragment's delta (25 rows each, threshold 8)
+    // and then serves the sealed chunks through the columnar path.
+    let (rows, metrics) = gdh
+        .query_sql_with_metrics("SELECT id FROM emp WHERE sal >= 100.0 ORDER BY id")
+        .unwrap();
+    assert_eq!(rows.len(), 100);
+    assert!(
+        metrics.chunks_scanned > 0,
+        "scan did not reach sealed chunks — sealing never happened: {metrics:?}"
+    );
+
+    // Sealing reorganises storage without changing the row multiset:
+    // the staleness model must not see it as DML.
+    assert_eq!(
+        gdh.dictionary().mutation_epoch("emp"),
+        epoch_before,
+        "sealing bumped the mutation epoch"
+    );
+
+    // Real DML still bumps it.
+    gdh.execute_sql("UPDATE emp SET sal = sal + 1.0 WHERE dept = 0")
+        .unwrap();
+    assert!(gdh.dictionary().mutation_epoch("emp") > epoch_before);
+    gdh.shutdown();
+}
+
+#[test]
+fn zone_pruning_end_to_end_skips_chunks_and_keeps_results_exact() {
+    // Ids arrive in increasing order, so each fragment's chunks are
+    // clustered on id and a selective id predicate refutes most zones.
+    let gdh = sealing_machine(8, 8);
+    setup_emp(&gdh);
+    let sql = "SELECT id, sal FROM emp WHERE id < 20 ORDER BY id";
+
+    let (rows, metrics) = gdh.query_sql_with_metrics(sql).unwrap();
+    assert_eq!(rows.len(), 20);
+    assert!(
+        metrics.chunks_pruned > 0,
+        "no chunk was zone-pruned: {metrics:?}"
+    );
+    assert!(
+        metrics.chunks_scanned + metrics.chunks_pruned > 0,
+        "no sealed chunk was even considered: {metrics:?}"
+    );
+
+    // The plan surfaces the hint.
+    let explain = gdh.explain_sql(sql).unwrap();
+    assert!(
+        explain.contains("prune"),
+        "EXPLAIN does not show the prune hint:\n{explain}"
+    );
+
+    // Oracle: same data on a machine that never seals (threshold above
+    // the table size), so every row flows through the row heap.
+    let oracle_gdh = sealing_machine(8, 1_000_000);
+    setup_emp(&oracle_gdh);
+    let (oracle, oracle_metrics) = oracle_gdh.query_sql_with_metrics(sql).unwrap();
+    assert_eq!(oracle_metrics.chunks_scanned + oracle_metrics.chunks_pruned, 0);
+    assert_eq!(rows.tuples(), oracle.tuples());
+    oracle_gdh.shutdown();
+    gdh.shutdown();
+}
+
+#[test]
+fn dml_after_sealing_dissolves_chunks_and_stays_exact() {
+    let gdh = sealing_machine(4, 8);
+    setup_emp(&gdh);
+
+    // Seal via a scan, then mutate sealed rows: updates and deletes
+    // dissolve the covering chunks back into the delta heap.
+    let (_, metrics) = gdh
+        .query_sql_with_metrics("SELECT COUNT(*) AS n FROM emp")
+        .unwrap();
+    assert!(metrics.chunks_scanned > 0);
+    let n = gdh
+        .execute_sql("UPDATE emp SET sal = 0.0 WHERE dept = 1")
+        .unwrap()
+        .affected()
+        .unwrap();
+    assert_eq!(n, 20);
+    let n = gdh
+        .execute_sql("DELETE FROM emp WHERE dept = 2")
+        .unwrap()
+        .affected()
+        .unwrap();
+    assert_eq!(n, 20);
+
+    let rows = gdh
+        .execute_sql("SELECT id FROM emp WHERE sal = 0.0 ORDER BY id")
+        .unwrap()
+        .rows()
+        .unwrap();
+    let ids: Vec<i64> = rows
+        .tuples()
+        .iter()
+        .map(|t| t.get(0).as_int().unwrap())
+        .collect();
+    let expect: Vec<i64> = (0..100).filter(|i| i % 5 == 1).collect();
+    assert_eq!(ids, expect);
+    let rows = gdh
+        .execute_sql("SELECT COUNT(*) AS n FROM emp")
+        .unwrap()
+        .rows()
+        .unwrap();
+    assert_eq!(rows.tuples()[0].get(0).as_int(), Some(80));
+    gdh.shutdown();
+}

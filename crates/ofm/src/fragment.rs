@@ -1,14 +1,41 @@
-//! A relation fragment: heap, secondary indexes, markings, and the
+//! A relation fragment: heap, secondary indexes, markings, the
 //! incrementally-maintained per-column statistics sketches behind
-//! [`Fragment::statistics`].
+//! [`Fragment::statistics`] — and the two-tier delta/sealed storage layout.
+//!
+//! # Two-tier layout
+//!
+//! The heap stays the single authority for every live row: Rids, indexes,
+//! markings, undo and recovery are untouched by sealing. On top of it the
+//! fragment maintains a list of [`SealedChunk`]s — immutable columnar runs
+//! of [`seal_every`] heap rows each, sealed in slot order whenever enough
+//! *uncovered* rows accumulate (and again on first scan, via the OFM's
+//! scan hook). Rows not covered by a chunk form the *delta* and flow
+//! through the row path exactly as before.
+//!
+//! A mutation of a covered row **dissolves** its chunk: the chunk (and its
+//! zone maps and cached wire block) is dropped and the rows fall back into
+//! the delta, to be resealed later. Insert/delete/update of delta rows
+//! never touch sealed state, so OLTP churn on fresh rows is as cheap as it
+//! was before chunks existed. Sealing is invisible to the GDH's
+//! mutation-epoch staleness model: it changes the physical layout, never
+//! the logical contents, and bumps no epoch.
 
 use prisma_storage::{BTreeIndex, Cursor, HashIndex, Marking, Rid, TupleHeap};
 use prisma_types::stats::{HISTOGRAM_BUCKETS, MOST_COMMON_VALUES};
 use prisma_types::{
-    ColumnStats, FragmentId, FragmentStatistics, Histogram, PrismaError, Result, Schema, Tuple,
-    Value,
+    chunk::seal_every, ColumnStats, FragmentId, FragmentStatistics, Histogram, PrismaError,
+    Result, Schema, SealedChunk, Tuple, Value,
 };
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// One sealed run: the heap Rids it covers (in seal order) plus the shared
+/// immutable chunk built from their tuples.
+#[derive(Debug)]
+struct SealedSpan {
+    rids: Vec<Rid>,
+    chunk: Arc<SealedChunk>,
+}
 
 /// Summary statistics the Global Data Handler's optimizer pulls from each
 /// fragment (cardinality and footprint feed the size-estimation rules of
@@ -38,6 +65,21 @@ pub struct Fragment {
     sketches: Vec<BTreeMap<Value, u64>>,
     /// NULL rows per column (NULLs never enter the sketches).
     null_counts: Vec<u64>,
+    /// Sealed columnar runs, oldest first. Scan order is sealed runs in
+    /// this order followed by the delta in heap-slot order.
+    sealed: Vec<SealedSpan>,
+    /// Rid → position in `sealed` for every covered row (the dissolution
+    /// lookup). Rows absent here form the delta.
+    covered: HashMap<Rid, usize>,
+    /// Uncovered live rids in slot order (`Rid` orders by slot, so the
+    /// set iterates exactly like a covered-filtered heap walk). Kept
+    /// incrementally on every mutation/seal/dissolve so per-scan delta
+    /// snapshots and sealing cost O(delta), never O(heap).
+    delta: BTreeSet<Rid>,
+    /// Rows per sealed chunk (and the delta size that triggers sealing).
+    /// Initialized from [`seal_every`]; tests and benches override it per
+    /// fragment via [`Fragment::set_seal_rows`].
+    seal_rows: usize,
 }
 
 impl Fragment {
@@ -49,8 +91,16 @@ impl Fragment {
             schema,
             sketches: vec![BTreeMap::new(); arity],
             null_counts: vec![0; arity],
+            seal_rows: seal_every(),
             ..Fragment::default()
         }
+    }
+
+    /// Override the rows-per-chunk seal threshold for this fragment
+    /// (tests and benches; production fragments use the `SEAL_EVERY`
+    /// environment override handled by [`seal_every`]).
+    pub fn set_seal_rows(&mut self, rows: usize) {
+        self.seal_rows = rows.max(1);
     }
 
     /// Record a tuple's values in the statistics sketches. Values are
@@ -115,13 +165,100 @@ impl Fragment {
         }
     }
 
+    // ---- the sealed columnar tier ----
+
+    /// Sealed chunks in scan order (oldest seal first). A scan serves
+    /// these as ready-made column batches and appends the delta after.
+    pub fn sealed_chunks(&self) -> Vec<Arc<SealedChunk>> {
+        self.sealed.iter().map(|s| Arc::clone(&s.chunk)).collect()
+    }
+
+    /// Number of sealed chunks.
+    pub fn sealed_count(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Live rows covered by sealed chunks.
+    pub fn sealed_rows(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// Live rows in the delta (not covered by any sealed chunk).
+    pub fn delta_rows(&self) -> usize {
+        debug_assert_eq!(self.delta.len() + self.covered.len(), self.heap.len());
+        self.delta.len()
+    }
+
+    /// The delta's tuples in heap-slot order — the row-path tail of a
+    /// two-tier scan.
+    pub fn delta_tuples(&self) -> Vec<Tuple> {
+        self.delta
+            .iter()
+            .map(|&rid| self.heap.get(rid).expect("delta rid is live").clone())
+            .collect()
+    }
+
+    /// Seal every full run of [`seal_every`] uncovered rows (slot order)
+    /// into immutable columnar chunks; a partial remainder stays in the
+    /// delta. Idempotent, and a no-op when the delta is smaller than one
+    /// chunk. Called on insert growth and by the OFM's scan hook — *not*
+    /// on dissolution, so a hot row being updated repeatedly does not pay
+    /// a reseal per mutation.
+    pub fn seal(&mut self) {
+        let every = self.seal_rows;
+        if every == 0 || self.delta_rows() < every {
+            return;
+        }
+        let pending: Vec<Rid> = self.delta.iter().copied().collect();
+        for run in pending.chunks(every) {
+            if run.len() < every {
+                break; // remainder stays row-oriented
+            }
+            let rows: Vec<Tuple> = run
+                .iter()
+                .map(|&r| self.heap.get(r).expect("pending rid is live").clone())
+                .collect();
+            let pos = self.sealed.len();
+            for &r in run {
+                self.covered.insert(r, pos);
+                self.delta.remove(&r);
+            }
+            self.sealed.push(SealedSpan {
+                rids: run.to_vec(),
+                chunk: Arc::new(SealedChunk::seal(rows)),
+            });
+        }
+    }
+
+    /// If `rid` is covered by a sealed chunk, dissolve that chunk back
+    /// into the delta (dropping its zone maps and cached wire block) so
+    /// the row can be mutated through the ordinary heap path.
+    fn dissolve(&mut self, rid: Rid) {
+        let Some(&pos) = self.covered.get(&rid) else {
+            return;
+        };
+        let span = self.sealed.remove(pos);
+        for r in &span.rids {
+            self.covered.remove(r);
+            self.delta.insert(*r);
+        }
+        for p in self.covered.values_mut() {
+            if *p > pos {
+                *p -= 1;
+            }
+        }
+    }
+
     /// Full statistics snapshot: row/byte counts plus per-column
     /// distinct/min/max, NULL counts, equi-depth histograms and
     /// most-common values — built from the incrementally-maintained
     /// sketches in O(distinct values), never by rescanning the heap.
-    /// This is the payload of the GDH's `StatsReport` message.
+    /// Sealed-chunk zone maps are folded into each column's min/max, so
+    /// the reported bounds always cover the columnar tier even if a
+    /// sketch and the chunks ever disagreed. This is the payload of the
+    /// GDH's `StatsReport` message.
     pub fn statistics(&self) -> FragmentStatistics {
-        let columns = self
+        let mut columns: Vec<ColumnStats> = self
             .sketches
             .iter()
             .zip(&self.null_counts)
@@ -153,6 +290,28 @@ impl Fragment {
                 }
             })
             .collect();
+        // Fold zone-map bounds from the sealed tier into the sketch-derived
+        // min/max (widening only — both sources describe live rows, so the
+        // extremes are the union's extremes).
+        for span in &self.sealed {
+            for (i, zone) in span.chunk.zones().iter().enumerate() {
+                let Some(cs) = columns.get_mut(i) else {
+                    continue;
+                };
+                if let Some(zmin) = &zone.min {
+                    cs.min = Some(match cs.min.take() {
+                        Some(m) if m.total_cmp(zmin).is_le() => m,
+                        _ => zmin.clone(),
+                    });
+                }
+                if let Some(zmax) = &zone.max {
+                    cs.max = Some(match cs.max.take() {
+                        Some(m) if m.total_cmp(zmax).is_ge() => m,
+                        _ => zmax.clone(),
+                    });
+                }
+            }
+        }
         FragmentStatistics {
             rows: self.heap.len() as u64,
             bytes: self.heap.byte_size() as u64,
@@ -223,6 +382,7 @@ impl Fragment {
     pub fn insert(&mut self, tuple: Tuple) -> Result<Rid> {
         self.schema.check_tuple(tuple.values())?;
         let rid = self.heap.insert(tuple);
+        self.delta.insert(rid);
         let t = self.heap.get(rid).expect("just inserted").clone();
         for idx in &mut self.hash_indexes {
             idx.insert(&t, rid);
@@ -231,13 +391,18 @@ impl Fragment {
             idx.insert(&t, rid);
         }
         self.sketch_add(&t);
+        // Inserts only ever grow the delta (a fresh or reused slot is
+        // never covered); seal when it crosses a chunk's worth of rows.
+        self.seal();
         Ok(rid)
     }
 
     /// Delete by Rid; maintains indexes and strips the Rid from every
     /// marking (the paper's marking-maintenance duty).
     pub fn delete(&mut self, rid: Rid) -> Option<Tuple> {
+        self.dissolve(rid);
         let t = self.heap.delete(rid)?;
+        self.delta.remove(&rid);
         for idx in &mut self.hash_indexes {
             idx.remove(&t, rid);
         }
@@ -254,6 +419,7 @@ impl Fragment {
     /// Replace the tuple at `rid` (validates, maintains indexes).
     pub fn update(&mut self, rid: Rid, tuple: Tuple) -> Result<Option<Tuple>> {
         self.schema.check_tuple(tuple.values())?;
+        self.dissolve(rid);
         let Some(old) = self.heap.update(rid, tuple.clone()) else {
             return Ok(None);
         };
@@ -414,6 +580,115 @@ mod tests {
         assert_eq!(s.columns[0].max, Some(Value::Int(9)));
         assert_eq!(s.columns[1].nulls, 0);
         assert_eq!(s.columns[0].histogram.as_ref().unwrap().rows(), 3);
+    }
+
+    #[test]
+    fn sealing_covers_full_runs_and_leaves_a_delta() {
+        let mut f = frag();
+        f.set_seal_rows(4);
+        for i in 0..10 {
+            f.insert(tuple![i, format!("s{i}")]).unwrap();
+        }
+        // 10 rows at 4 per chunk: two sealed chunks, delta of 2.
+        assert_eq!(f.sealed_count(), 2);
+        assert_eq!(f.sealed_rows(), 8);
+        assert_eq!(f.delta_rows(), 2);
+        let chunks = f.sealed_chunks();
+        assert!(chunks.iter().all(|c| c.len() == 4 && c.arity() == 2));
+        assert_eq!(chunks[0].rows()[0], tuple![0, "s0"]);
+        assert_eq!(f.delta_tuples(), vec![tuple![8, "s8"], tuple![9, "s9"]]);
+        // Sealed + delta together are exactly the live rows.
+        let mut union: Vec<Tuple> = chunks
+            .iter()
+            .flat_map(|c| c.rows().iter().cloned())
+            .chain(f.delta_tuples())
+            .collect();
+        union.sort_by(|a, b| a.values().cmp(b.values()));
+        let mut all = f.all_tuples();
+        all.sort_by(|a, b| a.values().cmp(b.values()));
+        assert_eq!(union, all);
+    }
+
+    #[test]
+    fn mutating_a_covered_row_dissolves_only_its_chunk() {
+        let mut f = frag();
+        f.set_seal_rows(4);
+        for i in 0..8 {
+            f.insert(tuple![i, "x"]).unwrap();
+        }
+        assert_eq!(f.sealed_count(), 2);
+        // Row 1 lives in the first chunk; updating it dissolves chunk 0
+        // only, and its 4 rows fall back into the delta.
+        let rid = f
+            .heap()
+            .iter()
+            .find(|(_, t)| t.get(0) == &Value::Int(1))
+            .map(|(r, _)| r)
+            .unwrap();
+        f.update(rid, tuple![100, "x"]).unwrap();
+        assert_eq!(f.sealed_count(), 1);
+        assert_eq!(f.delta_rows(), 4);
+        assert_eq!(f.sealed_chunks()[0].rows()[0], tuple![4, "x"]);
+        // Deleting a row of the surviving chunk dissolves it too.
+        let rid = f
+            .heap()
+            .iter()
+            .find(|(_, t)| t.get(0) == &Value::Int(5))
+            .map(|(r, _)| r)
+            .unwrap();
+        f.delete(rid);
+        assert_eq!(f.sealed_count(), 0);
+        assert_eq!(f.delta_rows(), 7);
+        // Dissolution alone never reseals; an explicit seal (the scan
+        // hook) re-covers the delta.
+        f.seal();
+        assert_eq!(f.sealed_count(), 1);
+        assert_eq!(f.delta_rows(), 3);
+    }
+
+    #[test]
+    fn delta_mutations_leave_sealed_chunks_alone() {
+        let mut f = frag();
+        f.set_seal_rows(4);
+        for i in 0..6 {
+            f.insert(tuple![i, "x"]).unwrap();
+        }
+        assert_eq!((f.sealed_count(), f.delta_rows()), (1, 2));
+        let chunk_before = Arc::as_ptr(&f.sealed_chunks()[0]);
+        let rid = f
+            .heap()
+            .iter()
+            .find(|(_, t)| t.get(0) == &Value::Int(5))
+            .map(|(r, _)| r)
+            .unwrap();
+        f.update(rid, tuple![50, "y"]).unwrap();
+        f.delete_by_value(&tuple![4, "x"]).unwrap();
+        assert_eq!(f.sealed_count(), 1);
+        assert_eq!(Arc::as_ptr(&f.sealed_chunks()[0]), chunk_before);
+    }
+
+    #[test]
+    fn statistics_fold_sealed_zone_bounds() {
+        let mut f = frag();
+        f.set_seal_rows(4);
+        for i in 10..14 {
+            f.insert(tuple![i, "x"]).unwrap();
+        }
+        f.insert(tuple![1, "a"]).unwrap();
+        f.insert(tuple![99, "z"]).unwrap();
+        assert_eq!(f.sealed_count(), 1);
+        let s = f.statistics();
+        // Bounds cover both tiers: sealed [10, 13] and delta {1, 99}.
+        assert_eq!(s.columns[0].min, Some(Value::Int(1)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(99)));
+        assert_eq!(s.rows, 6);
+        // Sealing itself must not change any reported statistic: seal the
+        // remaining delta and compare snapshots.
+        let before = f.statistics();
+        f.set_seal_rows(2);
+        f.seal();
+        assert_eq!(f.sealed_count(), 2);
+        assert_eq!(f.statistics(), before);
     }
 
     #[test]

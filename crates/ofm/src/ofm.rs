@@ -495,6 +495,21 @@ impl Ofm {
                         .ok_or_else(|| PrismaError::UnknownRelation(name.to_owned()))
                 }
             }
+
+            fn chunked(&self, name: &str) -> Option<Arc<prisma_relalg::ChunkedRelation>> {
+                if name != self.ofm.name {
+                    return None;
+                }
+                let frag = &self.ofm.fragment;
+                if frag.sealed_count() == 0 {
+                    // All-delta fragments scan through the plain row path.
+                    return None;
+                }
+                Some(Arc::new(prisma_relalg::ChunkedRelation::new(
+                    frag.sealed_chunks(),
+                    Relation::new(frag.schema().clone(), frag.delta_tuples()),
+                )))
+            }
         }
         prisma_relalg::open_batches_pooled(plan, &P { ofm: self, extra }, self.pool.clone())
     }
@@ -542,6 +557,16 @@ impl Ofm {
     /// fragment (must be binary).
     pub fn transitive_closure(&self) -> Result<Relation> {
         prisma_relalg::eval::transitive_closure(&self.snapshot())
+    }
+
+    /// Scan-side seal hook: fold any over-threshold delta into sealed
+    /// column chunks before a subplan opens against this fragment, so
+    /// cold data accumulated by mutations (dissolved chunks, bulk loads
+    /// with a later-lowered threshold) is served columnar from the first
+    /// scan. Sealing reorganizes storage only — it is **not** a mutation:
+    /// no log record, no replica traffic, no statistics-epoch bump.
+    pub fn seal_for_scan(&mut self) {
+        self.fragment.seal();
     }
 
     /// Snapshot the fragment as a relation.

@@ -120,7 +120,11 @@ pub fn lower_physical(
         trace.note("physical-join-skew", note);
     }
     let physical = fuse_projections(physical, trace);
-    let physical = place_shuffles(physical, stats, config, trace);
+    let mut physical = place_shuffles(physical, stats, config, trace);
+    physical.push_prune_hints();
+    if trace.enabled() {
+        note_prune_hints(&physical, trace);
+    }
     if trace.enabled() {
         // The annotation walks exist for EXPLAIN's reader; the
         // executor's per-query lowering passes a sink trace and skips
@@ -634,6 +638,24 @@ fn note_vectorized(plan: &PhysicalPlan, trace: &mut Trace) {
     }
 }
 
+/// Record in the EXPLAIN trace which scans carry a zone-map prune hint
+/// (the filter predicate copied down by
+/// [`PhysicalPlan::push_prune_hints`]): sealed chunks whose zone maps
+/// refute the hint are skipped whole at scan open.
+fn note_prune_hints(plan: &PhysicalPlan, trace: &mut Trace) {
+    if let PhysicalPlan::SeqScan {
+        relation,
+        prune: Some(p),
+        ..
+    } = plan
+    {
+        trace.note("physical-zone-prune", format!("{relation} prune {p}"));
+    }
+    for c in plan.children() {
+        note_prune_hints(c, trace);
+    }
+}
+
 /// Fold `Project [Col…] → SeqScan` pairs into projecting scans. Only
 /// pure column projections whose output schema matches the scan schema's
 /// projection are fused — expression evaluation and renaming stay as
@@ -650,6 +672,7 @@ fn fuse_projections(plan: PhysicalPlan, trace: &mut Trace) -> PhysicalPlan {
                 relation,
                 schema: base,
                 projection: None,
+                prune,
             } = &input
             {
                 let cols: Option<Vec<usize>> = exprs
@@ -669,6 +692,7 @@ fn fuse_projections(plan: PhysicalPlan, trace: &mut Trace) -> PhysicalPlan {
                             relation: relation.clone(),
                             schema: base.clone(),
                             projection: Some(cols),
+                            prune: prune.clone(),
                         };
                     }
                 }

@@ -24,6 +24,14 @@ use crate::table::Relation;
 pub trait RelationProvider {
     /// Materialize (or reference) the relation called `name`.
     fn relation(&self, name: &str) -> Result<Arc<Relation>>;
+
+    /// The two-tier (sealed chunks + delta) form of `name`, when the
+    /// provider stores it that way. `None` (the default) routes the scan
+    /// through [`RelationProvider::relation`]'s row path; a `Some` must
+    /// hold exactly the same tuples `relation(name)` would return.
+    fn chunked(&self, _name: &str) -> Option<Arc<crate::table::ChunkedRelation>> {
+        None
+    }
 }
 
 impl RelationProvider for HashMap<String, Relation> {
@@ -73,6 +81,19 @@ impl<'a> EvalContext<'a> {
         } else {
             self.provider.relation(name)
         }
+    }
+
+    /// Resolve a scan name to its two-tier form, when the provider has
+    /// one. Bindings (fixpoint accumulators/deltas) are plain relations
+    /// and *shadow* the provider, so a bound name never resolves chunked.
+    pub(crate) fn lookup_chunked(
+        &self,
+        name: &str,
+    ) -> Option<Arc<crate::table::ChunkedRelation>> {
+        if self.bindings.contains_key(name) {
+            return None;
+        }
+        self.provider.chunked(name)
     }
 
     pub(crate) fn bind(&mut self, name: String, rel: Arc<Relation>) {

@@ -69,6 +69,23 @@ use crate::table::Relation;
 /// Target tuples per batch.
 pub const BATCH_SIZE: usize = 1024;
 
+/// Process-wide chunk-scan telemetry: sealed chunks actually scanned vs
+/// pruned whole by zone-map refutation, monotone counters sampled
+/// before/after a query by the coordinator's metrics (the same pattern the
+/// worker pool uses for morsel counts).
+static CHUNKS_SCANNED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static CHUNKS_PRUNED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Snapshot of the process-wide `(chunks scanned, chunks pruned)`
+/// counters. Both are monotone; meter a query by differencing snapshots
+/// taken around it.
+pub fn chunk_scan_counters() -> (u64, u64) {
+    (
+        CHUNKS_SCANNED.load(std::sync::atomic::Ordering::Relaxed),
+        CHUNKS_PRUNED.load(std::sync::atomic::Ordering::Relaxed),
+    )
+}
+
 /// The shared column set of a columnar batch: a lazily-pivoting
 /// [`LazyColumns`], `Arc`d so a filtered batch shares it (and every
 /// column it ever materializes) with its input.
@@ -87,6 +104,13 @@ pub struct Batch {
     /// Wire size, computed at most once per batch (the ledger path asks
     /// on every ship).
     wire: OnceLock<u64>,
+    /// When the batch *is* a whole sealed chunk — unprojected, every row
+    /// selected — the chunk rides along so the wire boundary can reuse
+    /// its cached [`prisma_types::wire::BlockChunk`] instead of
+    /// re-encoding ([`Batch::encode_columnar_shared`]). Any operator that
+    /// refines, projects, or rebuilds the batch drops the tag (all other
+    /// constructors leave it `None`).
+    chunk: Option<Arc<prisma_types::SealedChunk>>,
 }
 
 #[derive(Debug, Clone)]
@@ -116,6 +140,43 @@ impl Batch {
         Batch {
             inner,
             wire: OnceLock::new(),
+            chunk: None,
+        }
+    }
+
+    /// Serve a sealed column chunk as a batch with **zero row pivot**:
+    /// the chunk's columns are `Arc`-shared into the batch (retaining the
+    /// chunk's row vector, so a later pivot back to rows only bumps
+    /// refcounts). Unprojected batches carry the chunk tag so the wire
+    /// boundary reuses its cached encoding; a projection selects a subset
+    /// of the chunk's columns — still no pivot — but drops the tag (the
+    /// cached block covers every column).
+    pub fn from_sealed_chunk(
+        chunk: &Arc<prisma_types::SealedChunk>,
+        projection: Option<&[usize]>,
+    ) -> Batch {
+        // An identity projection keeps the whole chunk, so it rides the
+        // tagged path and keeps the cached wire block reachable.
+        let identity = projection
+            .is_some_and(|idx| idx.len() == chunk.arity() && idx.iter().enumerate().all(|(i, &c)| i == c));
+        match projection.filter(|_| !identity) {
+            None => {
+                let cols = LazyColumns::from_rows_and_cols(
+                    Arc::clone(chunk.rows()),
+                    chunk.cols().to_vec(),
+                );
+                let mut b = Batch::from_inner(BatchInner::Columns {
+                    cols: Arc::new(cols),
+                    sel: SelVec::all(chunk.len()),
+                    rows: Arc::new(OnceLock::new()),
+                });
+                b.chunk = Some(Arc::clone(chunk));
+                b
+            }
+            Some(idx) => Batch::columns(
+                idx.iter().map(|&c| Arc::clone(&chunk.cols()[c])).collect(),
+                SelVec::all(chunk.len()),
+            ),
         }
     }
 
@@ -279,6 +340,26 @@ impl Batch {
             rows.len(),
             (0..arity).map(|c| Cow::Owned(ColumnVec::pivot_one(rows, c))),
         )
+    }
+
+    /// [`Batch::encode_columnar`] behind an `Arc`, reusing the sealed
+    /// chunk's **cached wire block** when the batch is a whole chunk
+    /// (first ship builds it, every later ship of the unmutated chunk is
+    /// an `Arc` clone — the encoder never runs again). Untagged batches
+    /// pay the ordinary encode.
+    pub fn encode_columnar_shared(&self) -> Arc<prisma_types::wire::BlockChunk> {
+        match &self.chunk {
+            Some(chunk) => chunk.wire_block(),
+            None => Arc::new(self.encode_columnar()),
+        }
+    }
+
+    /// The sealed chunk this batch is a whole, unfiltered view of, if
+    /// any — the tag [`Batch::from_sealed_chunk`] sets on unprojected
+    /// chunk scans. Receivers co-located in this process use it to serve
+    /// the chunk's columns without re-decoding their own shared frame.
+    pub fn sealed_chunk(&self) -> Option<&Arc<prisma_types::SealedChunk>> {
+        self.chunk.as_ref()
     }
 
     /// Encode only the live rows at `positions` (indices into `0..len()`)
@@ -464,12 +545,26 @@ pub(crate) fn open_with(
         PhysicalPlan::SeqScan {
             relation,
             projection,
+            prune,
             ..
-        } => Box::new(ScanOp {
-            rel: ctx.lookup(relation)?,
-            projection: projection.clone(),
-            pos: 0,
-        }),
+        } => match ctx.lookup_chunked(relation) {
+            Some(ch) => {
+                let refuter = prune
+                    .as_ref()
+                    .map(prisma_storage::ZoneRefuter::compile)
+                    .unwrap_or_default();
+                Box::new(ChunkScanOp {
+                    units: chunk_scan_units(&ch, &refuter),
+                    projection: projection.clone(),
+                    idx: 0,
+                })
+            }
+            None => Box::new(ScanOp {
+                rel: ctx.lookup(relation)?,
+                projection: projection.clone(),
+                pos: 0,
+            }),
+        },
         PhysicalPlan::Values { schema, rows } => Box::new(ScanOp {
             rel: Arc::new(Relation::new(schema.clone(), rows.clone())),
             projection: None,
@@ -483,6 +578,7 @@ pub(crate) fn open_with(
         PhysicalPlan::Project { input, exprs, .. } => Box::new(ProjectOp {
             child: open_with(input, ctx, pool)?,
             exprs: exprs.iter().map(|e| e.compile_vec()).collect(),
+            identity: identity_width(exprs),
         }),
         PhysicalPlan::HashJoin {
             left,
@@ -586,18 +682,39 @@ fn try_open_pipeline(
                 cur = input;
             }
             PhysicalPlan::Project { input, exprs, .. } => {
-                stages_rev.push(Stage::Project(
-                    exprs.iter().map(|e| e.compile_vec()).collect(),
-                ));
+                stages_rev.push(Stage::Project {
+                    exprs: exprs.iter().map(|e| e.compile_vec()).collect(),
+                    identity: identity_width(exprs),
+                });
                 cur = input;
             }
             PhysicalPlan::SeqScan {
                 relation,
                 projection,
+                prune,
                 ..
             } => {
-                let rel = ctx.lookup(relation)?;
                 let stages: Vec<Stage> = stages_rev.into_iter().rev().collect();
+                if let Some(ch) = ctx.lookup_chunked(relation) {
+                    // Eligibility is decided *before* cutting scan units
+                    // so an ineligible plan falls back to the serial
+                    // chunk scan without double-counting prune telemetry.
+                    if !ParPipelineOp::eligible(ch.len(), &stages, projection) {
+                        return Ok(None);
+                    }
+                    let refuter = prune
+                        .as_ref()
+                        .map(prisma_storage::ZoneRefuter::compile)
+                        .unwrap_or_default();
+                    let units = chunk_scan_units(&ch, &refuter);
+                    return Ok(Some(Box::new(morsel::ParChunkPipelineOp::new(
+                        units,
+                        projection.clone(),
+                        stages,
+                        Arc::clone(pool),
+                    ))));
+                }
+                let rel = ctx.lookup(relation)?;
                 if !ParPipelineOp::eligible(rel.len(), &stages, projection) {
                     return Ok(None);
                 }
@@ -724,6 +841,101 @@ pub fn partition_positions(batch: &Batch, key_cols: &[usize], parts: usize) -> V
 
 // ---------------- operators ----------------
 
+/// One unit of a two-tier fragment scan: a whole sealed chunk (the
+/// natural morsel — pre-pivoted, zone-mapped, wire-cached) or a
+/// [`BATCH_SIZE`] window of the row delta.
+#[derive(Debug, Clone)]
+pub(crate) enum ScanUnit {
+    /// A sealed column chunk, served with zero row pivot.
+    Chunk(Arc<prisma_types::SealedChunk>),
+    /// `[start, end)` window into the delta relation.
+    Delta(Arc<Relation>, usize, usize),
+}
+
+impl ScanUnit {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            ScanUnit::Chunk(c) => c.len(),
+            ScanUnit::Delta(_, start, end) => end - start,
+        }
+    }
+
+    /// The unit as a batch; delta windows mirror `ScanOp` exactly (shared
+    /// window, or projected owned rows), so a chunked scan's delta tail is
+    /// bit-identical to the row path.
+    pub(crate) fn batch(&self, projection: Option<&[usize]>) -> Batch {
+        match self {
+            ScanUnit::Chunk(c) => Batch::from_sealed_chunk(c, projection),
+            ScanUnit::Delta(rel, start, end) => match projection {
+                None => Batch::shared(Arc::clone(rel), *start, *end),
+                Some(cols) => Batch::owned(
+                    rel.tuples()[*start..*end]
+                        .iter()
+                        .map(|t| t.project(cols))
+                        .collect(),
+                ),
+            },
+        }
+    }
+}
+
+/// Cut a chunked relation into scan units, zone-pruning sealed chunks
+/// **eagerly at open time**: a chunk whose zone maps refute the scan's
+/// prune hint is dropped here, before any of its data is touched. Kept
+/// chunks and prune victims bump the process-wide telemetry counters; the
+/// delta is appended as ordinary row windows (units stay in
+/// sealed-then-delta order so every execution mode scans identically).
+pub(crate) fn chunk_scan_units(
+    ch: &crate::table::ChunkedRelation,
+    refuter: &prisma_storage::ZoneRefuter,
+) -> Vec<ScanUnit> {
+    let mut units = Vec::new();
+    let mut scanned = 0u64;
+    let mut pruned = 0u64;
+    for chunk in ch.chunks() {
+        if !refuter.is_trivial() && refuter.refutes(chunk.zones()) {
+            pruned += 1;
+        } else {
+            scanned += 1;
+            units.push(ScanUnit::Chunk(Arc::clone(chunk)));
+        }
+    }
+    if scanned + pruned > 0 {
+        CHUNKS_SCANNED.fetch_add(scanned, std::sync::atomic::Ordering::Relaxed);
+        CHUNKS_PRUNED.fetch_add(pruned, std::sync::atomic::Ordering::Relaxed);
+    }
+    let delta = ch.delta();
+    let mut start = 0;
+    while start < delta.len() {
+        let end = (start + BATCH_SIZE).min(delta.len());
+        units.push(ScanUnit::Delta(Arc::clone(delta), start, end));
+        start = end;
+    }
+    units
+}
+
+/// Scan over a two-tier chunked relation: one batch per surviving scan
+/// unit (pruning already happened in [`chunk_scan_units`]).
+struct ChunkScanOp {
+    units: Vec<ScanUnit>,
+    projection: Option<Vec<usize>>,
+    idx: usize,
+}
+
+impl Operator for ChunkScanOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        while self.idx < self.units.len() {
+            let unit = &self.units[self.idx];
+            self.idx += 1;
+            if unit.len() == 0 {
+                continue;
+            }
+            return Ok(Some(unit.batch(self.projection.as_deref())));
+        }
+        Ok(None)
+    }
+}
+
 struct ScanOp {
     rel: Arc<Relation>,
     projection: Option<Vec<usize>>,
@@ -791,6 +1003,21 @@ impl Operator for FilterOp {
 struct ProjectOp {
     child: BoxOp,
     exprs: Vec<CompiledVecExpr>,
+    /// `Some(n)` when the projection is `Col(0)..Col(n-1)` — a pure
+    /// rename at plan level. Whole-chunk batches of arity `n` then pass
+    /// through untouched, keeping their sealed-chunk tag (and with it
+    /// the cached wire block) alive across the projection.
+    identity: Option<usize>,
+}
+
+/// `Some(n)` iff `exprs` is exactly `[Col(0), .., Col(n-1)]`.
+pub(crate) fn identity_width(exprs: &[prisma_storage::expr::ScalarExpr]) -> Option<usize> {
+    use prisma_storage::expr::ScalarExpr;
+    exprs
+        .iter()
+        .enumerate()
+        .all(|(i, e)| matches!(e, ScalarExpr::Col(c) if *c == i))
+        .then_some(exprs.len())
 }
 
 impl Operator for ProjectOp {
@@ -801,6 +1028,11 @@ impl Operator for ProjectOp {
             // carries no rows to project anyway.
             if batch.is_empty() {
                 continue;
+            }
+            if let (Some(n), Some(chunk)) = (self.identity, batch.sealed_chunk()) {
+                if chunk.arity() == n {
+                    return Ok(Some(batch));
+                }
             }
             let (cols, sel) = batch.to_columns();
             let out: Vec<Arc<ColumnVec>> =
@@ -1573,10 +1805,175 @@ mod tests {
             relation: "emp".into(),
             schema: db["emp"].schema().clone(),
             projection: Some(vec![1, 0]),
+            prune: None,
         };
         let out = execute_physical(&phys, &db).unwrap();
         assert_eq!(out.schema().arity(), 2);
         assert_eq!(out.schema().column(0).unwrap().name, "dept");
         assert_eq!(out.len(), 3000);
+    }
+
+    // ---------------- two-tier chunked scans ----------------
+
+    /// A provider serving `emp` two-tier: the first `sealed_rows` rows as
+    /// sealed column chunks of `chunk_rows` each, the rest as a row delta.
+    struct ChunkedDb {
+        rows: HashMap<String, Relation>,
+        chunked: HashMap<String, Arc<crate::table::ChunkedRelation>>,
+    }
+
+    impl RelationProvider for ChunkedDb {
+        fn relation(&self, name: &str) -> Result<Arc<Relation>> {
+            self.rows.relation(name)
+        }
+
+        fn chunked(&self, name: &str) -> Option<Arc<crate::table::ChunkedRelation>> {
+            self.chunked.get(name).map(Arc::clone)
+        }
+    }
+
+    fn chunked_db(chunk_rows: usize, sealed_rows: usize) -> ChunkedDb {
+        let rows = db();
+        let emp = &rows["emp"];
+        let chunks: Vec<Arc<prisma_types::SealedChunk>> = emp.tuples()[..sealed_rows]
+            .chunks(chunk_rows)
+            .map(|run| Arc::new(prisma_types::SealedChunk::seal(run.to_vec())))
+            .collect();
+        let delta = Relation::new(emp.schema().clone(), emp.tuples()[sealed_rows..].to_vec());
+        let mut chunked = HashMap::new();
+        chunked.insert(
+            "emp".to_owned(),
+            Arc::new(crate::table::ChunkedRelation::new(chunks, delta)),
+        );
+        ChunkedDb { rows, chunked }
+    }
+
+    #[test]
+    fn chunked_scan_matches_row_scan_and_tags_whole_chunks() {
+        let db = chunked_db(512, 2048);
+        let phys = lower(&LogicalPlan::scan("emp", db.rows["emp"].schema().clone())).unwrap();
+        let batches = execute_batches(&phys, &db).unwrap();
+        // 4 sealed chunks + 1 delta window of 952 rows.
+        assert_eq!(batches.len(), 5);
+        assert!(batches[..4].iter().all(|b| b.chunk.is_some()), "whole chunks tagged");
+        assert!(batches[4].chunk.is_none(), "delta window untagged");
+        let via_chunks = execute_physical(&phys, &db).unwrap().canonicalized();
+        let via_rows = execute_physical(&phys, &db.rows).unwrap().canonicalized();
+        assert_eq!(via_chunks, via_rows);
+    }
+
+    #[test]
+    fn chunked_scan_serves_columns_without_pivoting_rows() {
+        let db = chunked_db(1024, 1024);
+        let chunk = &db.chunked["emp"].chunks()[0];
+        let batch = Batch::from_sealed_chunk(chunk, None);
+        let (cols, sel) = batch.to_columns();
+        assert!(sel.is_all());
+        // Every column is pre-materialized straight off the sealed form —
+        // nothing pivots, and pivoting *back* to rows is refcount gathers
+        // of the chunk's own tuples.
+        assert_eq!(cols.materialized_count(), 3);
+        assert_eq!(batch.tuples(), &chunk.rows()[..]);
+        // A projected chunk batch shares the selected columns untagged.
+        let projected = Batch::from_sealed_chunk(chunk, Some(&[2, 0]));
+        assert!(projected.chunk.is_none());
+        assert_eq!(projected.len(), 1024);
+        assert_eq!(projected.value_at(0, 0), chunk.rows()[0].get(2).clone());
+    }
+
+    #[test]
+    fn zone_pruning_skips_chunks_and_keeps_results_exact() {
+        let db = chunked_db(512, 2048);
+        // `id < 600` refutes chunks [1024,1536) and [1536,2048) by zone
+        // map alone (id is clustered), keeps chunks 0-1 and the delta.
+        let plan = LogicalPlan::scan("emp", db.rows["emp"].schema().clone()).select(
+            ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::col(0), ScalarExpr::lit(600)),
+        );
+        let mut phys = lower(&plan).unwrap();
+        phys.push_prune_hints();
+        let (scanned0, pruned0) = chunk_scan_counters();
+        let out = execute_physical(&phys, &db).unwrap().canonicalized();
+        let (scanned1, pruned1) = chunk_scan_counters();
+        assert_eq!(scanned1 - scanned0, 2);
+        assert_eq!(pruned1 - pruned0, 2);
+        let oracle = eval(&plan, &db.rows).unwrap().canonicalized();
+        assert_eq!(out, oracle);
+        // Without hints nothing is pruned and the result is identical.
+        let unhinted = lower(&plan).unwrap();
+        let (_, pruned2) = chunk_scan_counters();
+        let out2 = execute_physical(&unhinted, &db).unwrap().canonicalized();
+        let (_, pruned3) = chunk_scan_counters();
+        assert_eq!(pruned3 - pruned2, 0);
+        assert_eq!(out2, oracle);
+    }
+
+    #[test]
+    fn all_pruned_chunks_still_scan_the_delta() {
+        let db = chunked_db(512, 2048);
+        // Matches only delta rows (ids 2048..2999).
+        let plan = LogicalPlan::scan("emp", db.rows["emp"].schema().clone()).select(
+            ScalarExpr::cmp(CmpOp::Ge, ScalarExpr::col(0), ScalarExpr::lit(2500)),
+        );
+        let mut phys = lower(&plan).unwrap();
+        phys.push_prune_hints();
+        let (scanned0, pruned0) = chunk_scan_counters();
+        let out = execute_physical(&phys, &db).unwrap().canonicalized();
+        let (scanned1, pruned1) = chunk_scan_counters();
+        assert_eq!(scanned1 - scanned0, 0);
+        assert_eq!(pruned1 - pruned0, 4);
+        assert_eq!(out, eval(&plan, &db.rows).unwrap().canonicalized());
+        assert_eq!(out.len(), 500);
+    }
+
+    #[test]
+    fn pooled_chunked_scan_is_bit_identical_to_serial() {
+        let db = chunked_db(512, 2048);
+        let plan = LogicalPlan::scan("emp", db.rows["emp"].schema().clone())
+            .select(ScalarExpr::cmp(
+                CmpOp::Lt,
+                ScalarExpr::col(2),
+                ScalarExpr::lit(50.0),
+            ))
+            .project_cols(&[0, 1])
+            .unwrap();
+        let mut phys = lower(&plan).unwrap();
+        phys.push_prune_hints();
+        let serial: Vec<Tuple> = open_batches(&phys, &db)
+            .unwrap()
+            .drain()
+            .unwrap()
+            .into_iter()
+            .flat_map(Batch::into_tuples)
+            .collect();
+        for workers in [2usize, 4] {
+            let pool = prisma_poolx::WorkerPool::new(workers);
+            let pooled: Vec<Tuple> = open_batches_pooled(&phys, &db, Some(Arc::clone(&pool)))
+                .unwrap()
+                .drain()
+                .unwrap()
+                .into_iter()
+                .flat_map(Batch::into_tuples)
+                .collect();
+            assert_eq!(pooled, serial, "workers={workers}");
+            assert!(pool.stats().morsels > 0, "pool unused at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn whole_chunk_batches_ship_the_cached_wire_block() {
+        let db = chunked_db(1024, 2048);
+        let chunk = &db.chunked["emp"].chunks()[0];
+        let a = Batch::from_sealed_chunk(chunk, None).encode_columnar_shared();
+        let b = Batch::from_sealed_chunk(chunk, None).encode_columnar_shared();
+        assert!(Arc::ptr_eq(&a, &b), "second ship reuses the cached frame");
+        // The cached frame round-trips to exactly the chunk's rows.
+        let back = Batch::from_block(&a).unwrap();
+        assert_eq!(back.tuples(), &chunk.rows()[..]);
+        // An identity projection is a whole-chunk view: still cached.
+        let c = Batch::from_sealed_chunk(chunk, Some(&[0, 1, 2])).encode_columnar_shared();
+        assert!(Arc::ptr_eq(&a, &c), "identity projection reuses the cache");
+        // A narrowing projection is untagged and pays a fresh encode.
+        let d = Batch::from_sealed_chunk(chunk, Some(&[0, 1])).encode_columnar_shared();
+        assert!(!Arc::ptr_eq(&a, &d));
     }
 }

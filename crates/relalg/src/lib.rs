@@ -33,9 +33,9 @@ pub mod table;
 pub use agg::{AggExpr, AggFunc};
 pub use eval::{eval, EvalContext, RelationProvider};
 pub use exec::{
-    execute_batches, execute_physical, open_batches, open_batches_pooled, Batch, BatchStream,
-    Operator, BATCH_SIZE,
+    chunk_scan_counters, execute_batches, execute_physical, open_batches, open_batches_pooled,
+    Batch, BatchStream, Operator, BATCH_SIZE,
 };
 pub use physical::{lower, lower_with, JoinStrategy, PhysicalPlan, ShufflePlacement};
 pub use plan::{JoinKind, LogicalPlan};
-pub use table::Relation;
+pub use table::{ChunkedRelation, Relation};

@@ -54,8 +54,14 @@ const PAR_PROBE_MIN_ROWS: usize = 512;
 pub(crate) enum Stage {
     /// Vectorized filter (each worker clones its own scratch).
     Filter(prisma_storage::expr::CompiledVecPredicate),
-    /// Vectorized projection.
-    Project(Vec<prisma_storage::expr::CompiledVecExpr>),
+    /// Vectorized projection. `identity` is `Some(n)` for a pure
+    /// `Col(0)..Col(n-1)` rename, which passes whole-chunk batches of
+    /// arity `n` through untouched (preserving the sealed-chunk tag and
+    /// its cached wire block).
+    Project {
+        exprs: Vec<prisma_storage::expr::CompiledVecExpr>,
+        identity: Option<usize>,
+    },
 }
 
 /// A scan→(filter|project)* chain executed morsel-parallel: the source
@@ -146,7 +152,7 @@ fn run_morsel(
     start: usize,
     end: usize,
 ) -> Option<Batch> {
-    let mut batch = match projection {
+    let batch = match projection {
         None => Batch::shared(Arc::clone(rel), start, end),
         Some(cols) => Batch::owned(
             rel.tuples()[start..end]
@@ -155,6 +161,13 @@ fn run_morsel(
                 .collect(),
         ),
     };
+    run_stages(batch, stages)
+}
+
+/// Push one source batch through the stage chain — the per-morsel kernel
+/// shared by the relation-backed and chunk-backed pipelines (mirrors
+/// `FilterOp` → `ProjectOp` exactly, one batch deep).
+fn run_stages(mut batch: Batch, stages: &[Stage]) -> Option<Batch> {
     for stage in stages {
         if batch.is_empty() {
             return None;
@@ -175,7 +188,12 @@ fn run_morsel(
                 };
                 batch = Batch::columns_shared(cols, kept);
             }
-            Stage::Project(exprs) => {
+            Stage::Project { exprs, identity } => {
+                if let (Some(n), Some(chunk)) = (identity, batch.sealed_chunk()) {
+                    if chunk.arity() == *n {
+                        continue; // pure rename: keep the tagged batch
+                    }
+                }
                 let (cols, sel) = batch.to_columns();
                 let out: Vec<_> = exprs.iter().map(|e| e.eval(&cols, &sel)).collect();
                 batch = Batch::columns(out, SelVec::all(sel.count()));
@@ -186,6 +204,77 @@ fn run_morsel(
         None
     } else {
         Some(batch)
+    }
+}
+
+/// The chunked-scan counterpart of [`ParPipelineOp`]: scan units — whole
+/// sealed chunks plus delta windows, pre-pruned by the zone maps at open
+/// time — are the morsels. Waves of units run the stage chain on the
+/// pool's workers and outputs merge in unit order, so the pooled chunked
+/// scan is bit-identical to the serial [`crate::exec`] chunk scan.
+pub(crate) struct ParChunkPipelineOp {
+    units: Vec<crate::exec::ScanUnit>,
+    projection: Option<Vec<usize>>,
+    stages: Vec<Stage>,
+    pool: Arc<WorkerPool>,
+    next_unit: usize,
+    ready: VecDeque<Batch>,
+}
+
+impl ParChunkPipelineOp {
+    pub(crate) fn new(
+        units: Vec<crate::exec::ScanUnit>,
+        projection: Option<Vec<usize>>,
+        stages: Vec<Stage>,
+        pool: Arc<WorkerPool>,
+    ) -> ParChunkPipelineOp {
+        ParChunkPipelineOp {
+            units,
+            projection,
+            stages,
+            pool,
+            next_unit: 0,
+            ready: VecDeque::new(),
+        }
+    }
+
+    fn run_wave(&mut self) {
+        let wave = self.pool.workers() * WAVE_MORSELS_PER_WORKER;
+        let end = (self.next_unit + wave).min(self.units.len());
+        let wave_units = &self.units[self.next_unit..end];
+        self.next_unit = end;
+        let mut slots: Vec<Option<Batch>> = wave_units.iter().map(|_| None).collect();
+        {
+            let projection = &self.projection;
+            let stages = &self.stages;
+            let jobs: Vec<Job> = slots
+                .iter_mut()
+                .zip(wave_units)
+                .map(|(slot, unit)| {
+                    Box::new(move || {
+                        if unit.len() > 0 {
+                            *slot = run_stages(unit.batch(projection.as_deref()), stages);
+                        }
+                    }) as Job
+                })
+                .collect();
+            self.pool.run(jobs);
+        }
+        self.ready.extend(slots.into_iter().flatten());
+    }
+}
+
+impl Operator for ParChunkPipelineOp {
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        loop {
+            if let Some(b) = self.ready.pop_front() {
+                return Ok(Some(b));
+            }
+            if self.next_unit >= self.units.len() {
+                return Ok(None);
+            }
+            self.run_wave();
+        }
     }
 }
 

@@ -103,6 +103,13 @@ pub enum PhysicalPlan {
         schema: Schema,
         /// Columns to keep (None = all, in storage order).
         projection: Option<Vec<usize>>,
+        /// Pushed-down copy of the predicate directly above this scan,
+        /// used *only* for zone-map refutation of sealed chunks. The
+        /// `Filter` node above is retained for exactness — pruning skips
+        /// chunks whose zone maps prove no row can match; everything else
+        /// still flows through the filter. Over the **stored** schema
+        /// (column ordinals pre-projection).
+        prune: Option<ScalarExpr>,
     },
     /// Literal rows.
     Values {
@@ -234,6 +241,7 @@ pub fn lower_with(plan: &LogicalPlan, choose: &mut StrategyChooser<'_>) -> Resul
             relation: relation.clone(),
             schema: schema.clone(),
             projection: None,
+            prune: None,
         },
         LogicalPlan::Values { schema, rows } => PhysicalPlan::Values {
             schema: schema.clone(),
@@ -369,6 +377,62 @@ impl PhysicalPlan {
         })
     }
 
+    /// Copy each `Filter` predicate onto the `SeqScan` directly beneath
+    /// it as a zone-map **prune hint** (rewritten to stored-schema
+    /// ordinals when the scan projects). The filter itself is left in
+    /// place: pruning is refutation-only, so the plan's results are
+    /// bit-identical with or without the hints — chunks the zone maps
+    /// cannot refute still pass through the exact predicate.
+    pub fn push_prune_hints(&mut self) {
+        if let PhysicalPlan::Filter { input, predicate } = self {
+            if let PhysicalPlan::SeqScan {
+                projection, prune, ..
+            } = input.as_mut()
+            {
+                let hint = match projection {
+                    None => Some(predicate.clone()),
+                    Some(cols) => {
+                        // Filter ordinals are over the projected schema;
+                        // zone maps are per stored column. Remap through
+                        // the projection (validated plans never index
+                        // past it, but stay conservative if one does).
+                        if predicate.columns().iter().any(|&i| i >= cols.len()) {
+                            None
+                        } else {
+                            let cols = cols.clone();
+                            Some(predicate.remap_columns(&|i| cols[i]))
+                        }
+                    }
+                };
+                if hint.is_some() {
+                    *prune = hint;
+                }
+            }
+        }
+        for c in self.children_mut() {
+            c.push_prune_hints();
+        }
+    }
+
+    /// Immediate children, mutably.
+    pub fn children_mut(&mut self) -> Vec<&mut PhysicalPlan> {
+        match self {
+            PhysicalPlan::SeqScan { .. } | PhysicalPlan::Values { .. } => vec![],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Closure { input } => vec![input],
+            PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::NestedLoopJoin { left, right, .. }
+            | PhysicalPlan::Union { left, right, .. }
+            | PhysicalPlan::Difference { left, right } => vec![left, right],
+            PhysicalPlan::Fixpoint { base, step, .. } => vec![base, step],
+        }
+    }
+
     /// Immediate children.
     pub fn children(&self) -> Vec<&PhysicalPlan> {
         match self {
@@ -464,11 +528,18 @@ impl PhysicalPlan {
             PhysicalPlan::SeqScan {
                 relation,
                 projection,
+                prune,
                 ..
-            } => match projection {
-                None => writeln!(f, "{pad}SeqScan {relation}")?,
-                Some(cols) => writeln!(f, "{pad}SeqScan {relation} cols={cols:?}")?,
-            },
+            } => {
+                match projection {
+                    None => write!(f, "{pad}SeqScan {relation}")?,
+                    Some(cols) => write!(f, "{pad}SeqScan {relation} cols={cols:?}")?,
+                }
+                if let Some(p) = prune {
+                    write!(f, " prune {p}")?;
+                }
+                writeln!(f)?;
+            }
             PhysicalPlan::Values { rows, .. } => {
                 writeln!(f, "{pad}Values [{} rows]", rows.len())?
             }
@@ -612,6 +683,7 @@ mod tests {
             relation: "emp".into(),
             schema: emp_schema(),
             projection: Some(vec![1]),
+            prune: None,
         };
         let s = scan.output_schema().unwrap();
         assert_eq!(s.arity(), 1);
@@ -621,7 +693,59 @@ mod tests {
             relation: "emp".into(),
             schema: emp_schema(),
             projection: Some(vec![9]),
+            prune: None,
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn prune_hints_copy_filters_onto_scans() {
+        let pred = ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::col(0), ScalarExpr::lit(5));
+        let mut plan = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::SeqScan {
+                relation: "emp".into(),
+                schema: emp_schema(),
+                projection: None,
+                prune: None,
+            }),
+            predicate: pred.clone(),
+        };
+        plan.push_prune_hints();
+        let PhysicalPlan::Filter { input, .. } = &plan else {
+            panic!("filter survives the pass");
+        };
+        let PhysicalPlan::SeqScan { prune, .. } = input.as_ref() else {
+            panic!("scan survives the pass");
+        };
+        assert_eq!(prune.as_ref(), Some(&pred));
+        let txt = plan.to_string();
+        assert!(txt.contains("prune "), "{txt}");
+    }
+
+    #[test]
+    fn prune_hints_remap_through_scan_projection() {
+        // Filter col#0 over a scan projecting stored column 1 → the hint
+        // must name stored column 1.
+        let mut plan = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::SeqScan {
+                relation: "emp".into(),
+                schema: emp_schema(),
+                projection: Some(vec![1]),
+                prune: None,
+            }),
+            predicate: ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col(0), ScalarExpr::lit(7)),
+        };
+        plan.push_prune_hints();
+        let PhysicalPlan::Filter { input, .. } = &plan else {
+            panic!("filter survives the pass");
+        };
+        let PhysicalPlan::SeqScan { prune, .. } = input.as_ref() else {
+            panic!("scan survives the pass");
+        };
+        assert_eq!(
+            prune.as_ref().map(|p| p.columns()),
+            Some(vec![1]),
+            "hint rewritten to stored ordinals"
+        );
     }
 }

@@ -171,6 +171,61 @@ impl fmt::Display for Relation {
     }
 }
 
+/// A two-tier scan source: a fragment's sealed columnar chunks plus its
+/// row-oriented delta, snapshotted together.
+///
+/// Providers that store fragments two-tier (`prisma-ofm`) hand this out
+/// through [`crate::RelationProvider::chunked`]; the executor's chunk scan
+/// serves the sealed chunks as ready-made column batches (zero row pivot,
+/// zone-map pruning) and appends the delta through the ordinary row path.
+/// The logical contents are exactly `chunks ⧺ delta` — the same multiset a
+/// row scan of the fragment would produce.
+#[derive(Debug, Clone)]
+pub struct ChunkedRelation {
+    schema: Schema,
+    chunks: Vec<std::sync::Arc<prisma_types::SealedChunk>>,
+    delta: std::sync::Arc<Relation>,
+}
+
+impl ChunkedRelation {
+    /// Snapshot from parts. `delta`'s schema is the relation's schema.
+    pub fn new(
+        chunks: Vec<std::sync::Arc<prisma_types::SealedChunk>>,
+        delta: Relation,
+    ) -> ChunkedRelation {
+        ChunkedRelation {
+            schema: delta.schema().clone(),
+            chunks,
+            delta: std::sync::Arc::new(delta),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Sealed chunks in scan order.
+    pub fn chunks(&self) -> &[std::sync::Arc<prisma_types::SealedChunk>] {
+        &self.chunks
+    }
+
+    /// The row-oriented delta (scanned after the chunks).
+    pub fn delta(&self) -> &std::sync::Arc<Relation> {
+        &self.delta
+    }
+
+    /// Total rows across both tiers.
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(|c| c.len()).sum::<usize>() + self.delta.len()
+    }
+
+    /// True when both tiers are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

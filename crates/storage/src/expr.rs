@@ -596,6 +596,133 @@ impl CompiledVecPredicate {
     }
 }
 
+// =================== zone-map refutation ===================
+
+/// Chunk-level refutation of a predicate against per-column
+/// [`ZoneMap`](prisma_types::chunk::ZoneMap)s.
+///
+/// Compiled once per scan from the pushed-down predicate, it answers "can
+/// *any* row of a chunk summarized by these zone maps satisfy the
+/// predicate?" — [`ZoneRefuter::refutes`] returning `true` means provably
+/// not, so the scan skips the whole chunk without touching its payloads.
+///
+/// Only conjunction factors of the shape `col <op> literal` (either
+/// orientation) contribute refutation rules; everything else is ignored,
+/// which keeps the answer *conservative* — a factor the refuter does not
+/// understand can only cause a chunk to be scanned, never skipped. A single
+/// refuted factor refutes the chunk: under Kleene AND a false (or NULL)
+/// factor makes the conjunction false-or-NULL for every row, and SQL filter
+/// semantics reject both.
+///
+/// Soundness leans on the same total order the kernels use: zone `min`/
+/// `max` are under [`Value::total_cmp`], the vectorized comparison loops
+/// compare `Double`s with `f64::total_cmp`, and every fallback goes through
+/// [`Value::sql_cmp`] — so a bound proven here can never disagree with the
+/// per-row kernel, NaN and `-0.0` included.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneRefuter {
+    rules: Vec<ZoneRule>,
+}
+
+#[derive(Debug, Clone)]
+enum ZoneRule {
+    /// `col <op> lit` factor with a non-null literal.
+    CmpColLit { col: usize, op: CmpOp, lit: Value },
+    /// A factor that is constant false or NULL (`WHERE false`, `x = NULL`):
+    /// no row of any chunk can pass, so every chunk is refuted.
+    Never,
+}
+
+impl ZoneRefuter {
+    /// Extract refutation rules from `pred`'s conjunction factors.
+    pub fn compile(pred: &ScalarExpr) -> ZoneRefuter {
+        let mut rules = Vec::new();
+        for factor in pred.clone().split_conjunction() {
+            match factor {
+                // A literal factor other than TRUE rejects every row
+                // (false and NULL directly; non-bool folds to NULL under
+                // Kleene AND).
+                ScalarExpr::Lit(v) if v != Value::Bool(true) => {
+                    rules.push(ZoneRule::Never);
+                }
+                ScalarExpr::Cmp(op, l, r) => match (&*l, &*r) {
+                    (ScalarExpr::Col(i), ScalarExpr::Lit(v)) => {
+                        rules.push(ZoneRule::cmp(*i, op, v));
+                    }
+                    (ScalarExpr::Lit(v), ScalarExpr::Col(i)) => {
+                        rules.push(ZoneRule::cmp(*i, op.flip(), v));
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+        ZoneRefuter { rules }
+    }
+
+    /// True when the predicate provably selects no row of a chunk whose
+    /// columns are summarized by `zones`.
+    pub fn refutes(&self, zones: &[prisma_types::ZoneMap]) -> bool {
+        self.rules.iter().any(|r| r.refutes(zones))
+    }
+
+    /// True when no factor yielded a rule — the refuter can never prune.
+    pub fn is_trivial(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+impl ZoneRule {
+    fn cmp(col: usize, op: CmpOp, lit: &Value) -> ZoneRule {
+        if lit.is_null() {
+            // `col <op> NULL` is NULL for every row — never selects.
+            ZoneRule::Never
+        } else {
+            ZoneRule::CmpColLit {
+                col,
+                op,
+                lit: lit.clone(),
+            }
+        }
+    }
+
+    fn refutes(&self, zones: &[prisma_types::ZoneMap]) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            ZoneRule::Never => true,
+            ZoneRule::CmpColLit { col, op, lit } => {
+                let Some(zone) = zones.get(*col) else {
+                    return false;
+                };
+                let (Some(min), Some(max)) = (&zone.min, &zone.max) else {
+                    // Every row of the column is NULL (or the chunk is
+                    // empty): the comparison is NULL for each row, so none
+                    // is selected.
+                    return true;
+                };
+                // Both sides non-null, so sql_cmp is total here.
+                let (Some(lo), Some(hi)) = (lit.sql_cmp(min), lit.sql_cmp(max)) else {
+                    return false;
+                };
+                match op {
+                    // No row can equal a literal outside [min, max].
+                    CmpOp::Eq => lo == Less || hi == Greater,
+                    // Every non-null row equals the literal.
+                    CmpOp::Ne => lo == Equal && hi == Equal,
+                    // `row < lit` impossible when lit <= min.
+                    CmpOp::Lt => lo != Greater,
+                    // `row <= lit` impossible when lit < min.
+                    CmpOp::Le => lo == Less,
+                    // `row > lit` impossible when lit >= max.
+                    CmpOp::Gt => hi != Less,
+                    // `row >= lit` impossible when lit > max.
+                    CmpOp::Ge => hi == Greater,
+                }
+            }
+        }
+    }
+}
+
 /// Borrowed view of a selection (so factors can chain through index
 /// buffers without building `SelVec`s).
 #[derive(Clone, Copy)]
@@ -1425,5 +1552,95 @@ mod tests {
         assert_eq!(e.columns(), vec![1, 4]);
         let shifted = e.remap_columns(&|i| i + 10);
         assert_eq!(shifted.columns(), vec![11, 14]);
+    }
+
+    #[test]
+    fn zone_refuter_prunes_out_of_range_chunks() {
+        use prisma_types::ZoneMap;
+        let zones = vec![ZoneMap {
+            min: Some(Value::Int(100)),
+            max: Some(Value::Int(200)),
+            nulls: 3,
+            rows: 10,
+            has_dups: false,
+        }];
+        let refutes = |op, lit: i64| {
+            ZoneRefuter::compile(&ScalarExpr::cmp(op, ScalarExpr::col(0), ScalarExpr::lit(lit)))
+                .refutes(&zones)
+        };
+        // Eq: only refutable outside [min, max].
+        assert!(refutes(CmpOp::Eq, 99));
+        assert!(refutes(CmpOp::Eq, 201));
+        assert!(!refutes(CmpOp::Eq, 100));
+        assert!(!refutes(CmpOp::Eq, 150));
+        // Lt/Le hinge on min; Gt/Ge hinge on max — boundary-exact.
+        assert!(refutes(CmpOp::Lt, 100));
+        assert!(!refutes(CmpOp::Lt, 101));
+        assert!(refutes(CmpOp::Le, 99));
+        assert!(!refutes(CmpOp::Le, 100));
+        assert!(refutes(CmpOp::Gt, 200));
+        assert!(!refutes(CmpOp::Gt, 199));
+        assert!(refutes(CmpOp::Ge, 201));
+        assert!(!refutes(CmpOp::Ge, 200));
+        // Ne: only when every non-null row equals the literal.
+        let point = vec![ZoneMap {
+            min: Some(Value::Int(7)),
+            max: Some(Value::Int(7)),
+            nulls: 0,
+            rows: 4,
+            has_dups: true,
+        }];
+        let ne = |lit: i64| {
+            ZoneRefuter::compile(&ScalarExpr::cmp(
+                CmpOp::Ne,
+                ScalarExpr::col(0),
+                ScalarExpr::lit(lit),
+            ))
+            .refutes(&point)
+        };
+        assert!(ne(7));
+        assert!(!ne(8));
+    }
+
+    #[test]
+    fn zone_refuter_flipped_null_and_conjunction_factors() {
+        use prisma_types::ZoneMap;
+        let zones = vec![ZoneMap {
+            min: Some(Value::Int(10)),
+            max: Some(Value::Int(20)),
+            nulls: 0,
+            rows: 5,
+            has_dups: false,
+        }];
+        // `30 < col` is `col > 30` — refuted by max = 20.
+        let flipped = ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::lit(30), ScalarExpr::col(0));
+        assert!(ZoneRefuter::compile(&flipped).refutes(&zones));
+        // Comparison against a NULL literal never selects a row.
+        let vs_null = ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col(0), ScalarExpr::Lit(Value::Null));
+        assert!(ZoneRefuter::compile(&vs_null).refutes(&zones));
+        // One refuted conjunct refutes the chunk even when the other matches.
+        let conj = ScalarExpr::and(
+            ScalarExpr::cmp(CmpOp::Ge, ScalarExpr::col(0), ScalarExpr::lit(10)),
+            ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col(0), ScalarExpr::lit(99)),
+        );
+        assert!(ZoneRefuter::compile(&conj).refutes(&zones));
+        // An all-NULL column refutes any comparison against it.
+        let all_null = vec![ZoneMap {
+            min: None,
+            max: None,
+            nulls: 5,
+            rows: 5,
+            has_dups: false,
+        }];
+        let cmp = ScalarExpr::cmp(CmpOp::Ne, ScalarExpr::col(0), ScalarExpr::lit(1));
+        assert!(ZoneRefuter::compile(&cmp).refutes(&all_null));
+        // Factors the refuter does not model stay conservative.
+        let opaque = ScalarExpr::or(
+            ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col(0), ScalarExpr::lit(99)),
+            ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::col(0), ScalarExpr::lit(98)),
+        );
+        let r = ZoneRefuter::compile(&opaque);
+        assert!(r.is_trivial());
+        assert!(!r.refutes(&zones));
     }
 }

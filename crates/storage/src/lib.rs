@@ -23,7 +23,7 @@ pub use btree_index::BTreeIndex;
 pub use cursor::{Cursor, Marking};
 pub use expr::{
     ArithOp, CmpOp, CompiledExpr, CompiledPredicate, CompiledVecExpr, CompiledVecPredicate,
-    ScalarExpr,
+    ScalarExpr, ZoneRefuter,
 };
 pub use hash_index::HashIndex;
 pub use heap::{Rid, TupleHeap};

@@ -321,6 +321,29 @@ impl LazyColumns {
         }
     }
 
+    /// Column set from already-materialized columns **and** the retained
+    /// row form they were pivoted from — a sealed fragment chunk. Kernels
+    /// read the pre-filled columns with zero pivot, while row consumers
+    /// (`pivot_to_rows`, point reads, the row wire) gather refcounted
+    /// tuples out of `rows` instead of rebuilding them from the columns.
+    pub fn from_rows_and_cols(
+        rows: std::sync::Arc<Vec<crate::tuple::Tuple>>,
+        cols: Vec<std::sync::Arc<ColumnVec>>,
+    ) -> LazyColumns {
+        debug_assert!(cols.iter().all(|c| c.len() == rows.len()));
+        LazyColumns {
+            src_rows: Some(rows),
+            cols: cols
+                .into_iter()
+                .map(|c| {
+                    let cell = std::sync::OnceLock::new();
+                    cell.set(c).expect("fresh cell");
+                    cell
+                })
+                .collect(),
+        }
+    }
+
     /// Column set from already-materialized columns (operator output).
     pub fn from_cols(cols: Vec<std::sync::Arc<ColumnVec>>) -> LazyColumns {
         LazyColumns {

@@ -67,6 +67,12 @@ pub struct MachineConfig {
     /// older serialized configs, hence the serde default.
     #[serde(default)]
     pub ofm_workers: usize,
+    /// Delta-heap row count at which a fragment seals a column chunk.
+    /// `0` (the default) resolves at boot: the `SEAL_EVERY` environment
+    /// variable if set, else [`crate::DEFAULT_SEAL_EVERY`]. Absent from
+    /// older serialized configs, hence the serde default.
+    #[serde(default)]
+    pub seal_rows: usize,
 }
 
 impl Default for MachineConfig {
@@ -82,6 +88,7 @@ impl Default for MachineConfig {
             disk_stride: 8,
             reply_timeout_secs: 60,
             ofm_workers: 0,
+            seal_rows: 0,
         }
     }
 }
@@ -130,6 +137,26 @@ impl MachineConfig {
     pub fn with_ofm_workers(mut self, n: usize) -> Self {
         self.ofm_workers = n;
         self
+    }
+
+    /// Builder-style override of the chunk-seal threshold
+    /// (`0` = resolve from `SEAL_EVERY`/default at boot).
+    pub fn with_seal_rows(mut self, n: usize) -> Self {
+        self.seal_rows = n;
+        self
+    }
+
+    /// Resolve [`seal_rows`](Self::seal_rows) to a concrete threshold.
+    ///
+    /// Precedence: an explicit non-zero config value wins; otherwise the
+    /// process-wide [`crate::seal_every`] resolution (the `SEAL_EVERY`
+    /// environment variable, else [`crate::DEFAULT_SEAL_EVERY`]).
+    /// Never returns 0.
+    pub fn effective_seal_rows(&self) -> usize {
+        if self.seal_rows > 0 {
+            return self.seal_rows;
+        }
+        crate::seal_every()
     }
 
     /// Resolve [`ofm_workers`](Self::ofm_workers) to a concrete count.

@@ -12,6 +12,7 @@
 //! (`prisma-multicomputer`, `prisma-storage`, ...) and the DBMS crates can
 //! share vocabulary without depending on each other.
 
+pub mod chunk;
 pub mod column;
 pub mod config;
 pub mod error;
@@ -22,6 +23,7 @@ pub mod tuple;
 pub mod value;
 pub mod wire;
 
+pub use chunk::{seal_every, SealedChunk, ZoneMap, DEFAULT_SEAL_EVERY};
 pub use column::{ColumnVec, LazyColumns, SelVec};
 pub use config::{MachineConfig, TopologyKind};
 pub use error::{PrismaError, Result};
